@@ -1,0 +1,52 @@
+//! Benchmarks for parsing, dependency analysis, and the crude model.
+
+use comet_graph::BlockGraph;
+use comet_isa::{parse_block, Microarch};
+use comet_models::{CostModel, CrudeModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const BETA2: &str = "shl eax, 3\nimul rax, r15\nxor edx, edx\nadd rax, 7\nshr rax, 3\nlea rax, [rbp + rax - 1]\ndiv rbp\nimul rax, rbp\nmov rbp, qword ptr [rsp + 8]\nsub rbp, rax";
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("isa/parse_block_10_instrs", |b| {
+        b.iter(|| parse_block(std::hint::black_box(BETA2)).unwrap())
+    });
+    let block = parse_block(BETA2).unwrap();
+    c.bench_function("isa/display_block_10_instrs", |b| {
+        b.iter(|| std::hint::black_box(&block).to_string())
+    });
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let block = parse_block(BETA2).unwrap();
+    c.bench_function("graph/build_10_instrs", |b| {
+        b.iter(|| BlockGraph::build(std::hint::black_box(&block)))
+    });
+}
+
+fn bench_crude(c: &mut Criterion) {
+    let block = parse_block(BETA2).unwrap();
+    let crude = CrudeModel::new(Microarch::Haswell);
+    c.bench_function("models/crude_predict", |b| {
+        b.iter(|| crude.predict(std::hint::black_box(&block)))
+    });
+}
+
+fn bench_replacements(c: &mut Criterion) {
+    let block = parse_block(BETA2).unwrap();
+    c.bench_function("isa/opcode_replacements_block", |b| {
+        b.iter(|| {
+            block
+                .iter()
+                .map(|inst| comet_isa::opcode_replacements(std::hint::black_box(inst)).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_parse, bench_graph, bench_crude, bench_replacements
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks for the neural stack: inference and training steps of
+//! the Ithemal-architecture regressor.
+
+use comet_nn::{AdamConfig, HierarchicalRegressor, Loss, Trainer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tokenized_block(insts: usize, tokens: usize) -> Vec<Vec<usize>> {
+    (0..insts).map(|i| (0..tokens).map(|t| (i * 7 + t * 3) % 64).collect()).collect()
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = HierarchicalRegressor::new(64, 24, 40, &mut rng);
+    let mut group = c.benchmark_group("nn/predict");
+    for insts in [2usize, 6, 10] {
+        let block = tokenized_block(insts, 5);
+        group.bench_function(format!("{insts}_instructions"), |b| {
+            b.iter(|| model.predict(std::hint::black_box(&block)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let block = tokenized_block(6, 5);
+    c.bench_function("nn/train_example", |b| {
+        let mut model = HierarchicalRegressor::new(64, 24, 40, &mut rng);
+        b.iter(|| model.train_example(std::hint::black_box(&block), 3.0, 1.0, Loss::Relative))
+    });
+    c.bench_function("nn/fit_epoch_32_blocks", |b| {
+        let data: Vec<_> = (0..32).map(|i| (tokenized_block(4 + i % 5, 4), 2.0)).collect();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut model = HierarchicalRegressor::new(64, 16, 24, &mut rng);
+            let mut trainer = Trainer::new(AdamConfig::default(), 16, 1);
+            trainer.fit(&mut model, &data, &mut rng)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inference, bench_training
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmarks for the perturbation algorithm Γ — the inner loop of
+//! every COMET explanation.
+
+use comet_core::{Feature, FeatureSet, PerturbConfig, Perturber};
+use comet_isa::parse_block;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CASE2: &str = "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
+const BETA1: &str = "vdivss xmm0, xmm0, xmm6\nvmulss xmm7, xmm0, xmm0\nvxorps xmm0, xmm0, xmm5\nvaddss xmm7, xmm7, xmm3\nvmulss xmm6, xmm6, xmm7\nvdivss xmm6, xmm3, xmm6\nvmulss xmm0, xmm6, xmm0";
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb");
+    for (name, text) in [("case2_scalar", CASE2), ("beta1_vector", BETA1)] {
+        let block = parse_block(text).unwrap();
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let empty = FeatureSet::new();
+        let mut preserved = FeatureSet::new();
+        preserved.insert(Feature::NumInstructions);
+        preserved.insert(Feature::Instruction(0));
+
+        group.bench_function(format!("{name}/free"), |b| {
+            b.iter_batched(
+                || StdRng::seed_from_u64(1),
+                |mut rng| perturber.perturb(&empty, &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("{name}/preserving"), |b| {
+            b.iter_batched(
+                || StdRng::seed_from_u64(1),
+                |mut rng| perturber.perturb(&preserved, &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_perturber_setup(c: &mut Criterion) {
+    let block = parse_block(CASE2).unwrap();
+    c.bench_function("perturber/new", |b| {
+        b.iter(|| Perturber::new(std::hint::black_box(&block), PerturbConfig::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_perturb, bench_perturber_setup
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks for the pipeline simulator — every uiCA-surrogate query
+//! pays this cost.
+
+use comet_isa::{parse_block, Microarch};
+use comet_sim::{MachineConfig, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SMALL: &str = "add rcx, rax\nmov rdx, rcx\npop rbx";
+const MEDIUM: &str = "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
+const MEMORY: &str = "lea rdx, [rax + 1]\nmov qword ptr [rdi + 24], rdx\nmov byte ptr [rax], 80\nmov rsi, qword ptr [r14 + 32]\nmov rdi, rbp";
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/throughput");
+    let sim = Simulator::new(MachineConfig::detailed(Microarch::Haswell));
+    for (name, text) in [("small_alu", SMALL), ("div_chain", MEDIUM), ("memory_heavy", MEMORY)] {
+        let block = parse_block(text).unwrap();
+        group.bench_function(name, |b| b.iter(|| sim.throughput(std::hint::black_box(&block))));
+    }
+    group.finish();
+}
+
+fn bench_configs(c: &mut Criterion) {
+    let block = parse_block(MEDIUM).unwrap();
+    let mut group = c.benchmark_group("simulator/config");
+    for (name, config) in [
+        ("detailed_hsw", MachineConfig::detailed(Microarch::Haswell)),
+        ("uica_like_hsw", MachineConfig::uica_like(Microarch::Haswell)),
+        ("detailed_skl", MachineConfig::detailed(Microarch::Skylake)),
+    ] {
+        let sim = Simulator::new(config);
+        group.bench_function(name, |b| b.iter(|| sim.throughput(std::hint::black_box(&block))));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_throughput, bench_configs
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! # comet-bench
+//!
+//! Criterion benchmarks for the COMET reproduction. Micro-benchmarks
+//! cover the hot paths (Γ perturbation, simulation, dependency
+//! analysis, neural inference/training, KL bounds), and the
+//! `paper_experiments` bench runs a miniature version of each paper
+//! table/figure pipeline. The full-scale regenerators live in the
+//! `comet-eval` binary.

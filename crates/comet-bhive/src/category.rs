@@ -1,0 +1,136 @@
+//! BHive's block taxonomy: categories (by instruction semantics) and
+//! sources (by provenance).
+
+use std::fmt;
+
+use comet_isa::{BasicBlock, OpCategory};
+use serde::{Deserialize, Serialize};
+
+/// BHive's six block categories (paper Appendix H.1), characterized by
+/// the semantics of the instructions in the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Loads from memory, no stores.
+    Load,
+    /// Stores to memory, no loads.
+    Store,
+    /// Both loads and stores.
+    LoadStore,
+    /// Scalar (GPR) arithmetic only, no memory traffic.
+    Scalar,
+    /// Vector (SIMD) computation only, no memory traffic.
+    Vector,
+    /// Mixed scalar and vector computation, no memory traffic.
+    ScalarVector,
+}
+
+impl Category {
+    /// All six categories, in the paper's Figure 4 order.
+    pub const ALL: [Category; 6] = [
+        Category::Load,
+        Category::LoadStore,
+        Category::Store,
+        Category::Scalar,
+        Category::Vector,
+        Category::ScalarVector,
+    ];
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Load => "Load",
+            Category::Store => "Store",
+            Category::LoadStore => "Load/Store",
+            Category::Scalar => "Scalar",
+            Category::Vector => "Vector",
+            Category::ScalarVector => "Scalar/Vector",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The real-world code base a block is styled after (paper Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Source {
+    /// Compiler-generated scalar/pointer-chasing code (Clang building
+    /// itself: address arithmetic, flag tests, spills).
+    Clang,
+    /// Dense-linear-algebra kernels (OpenBLAS: unrolled vector
+    /// arithmetic with streaming loads).
+    OpenBlas,
+}
+
+impl Source {
+    /// Both modelled sources.
+    pub const ALL: [Source; 2] = [Source::Clang, Source::OpenBlas];
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Source::Clang => write!(f, "Clang"),
+            Source::OpenBlas => write!(f, "OpenBLAS"),
+        }
+    }
+}
+
+/// Classify a block into its BHive category from instruction semantics.
+pub fn classify(block: &BasicBlock) -> Category {
+    let mut loads = false;
+    let mut stores = false;
+    let mut vector = false;
+    let mut scalar = false;
+    for inst in block {
+        loads |= inst.reads_memory();
+        stores |= inst.writes_memory();
+        let cat = inst.opcode.category();
+        if cat.is_vector() {
+            vector = true;
+        } else if !matches!(cat, OpCategory::Nop) {
+            scalar = true;
+        }
+    }
+    match (loads, stores) {
+        (true, true) => Category::LoadStore,
+        (true, false) => Category::Load,
+        (false, true) => Category::Store,
+        (false, false) => match (scalar, vector) {
+            (_, false) => Category::Scalar,
+            (false, true) => Category::Vector,
+            (true, true) => Category::ScalarVector,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::parse_block;
+
+    #[test]
+    fn classifies_memory_categories() {
+        let load = parse_block("mov rax, qword ptr [rdi]\nadd rax, 1").unwrap();
+        assert_eq!(classify(&load), Category::Load);
+        let store = parse_block("mov qword ptr [rdi], rax").unwrap();
+        assert_eq!(classify(&store), Category::Store);
+        let both = parse_block("mov rax, qword ptr [rdi]\nmov qword ptr [rsi], rax").unwrap();
+        assert_eq!(classify(&both), Category::LoadStore);
+    }
+
+    #[test]
+    fn classifies_compute_categories() {
+        let scalar = parse_block("add rcx, rax\nimul rdx, rcx").unwrap();
+        assert_eq!(classify(&scalar), Category::Scalar);
+        let vector = parse_block("vaddss xmm0, xmm1, xmm2\nvmulss xmm3, xmm0, xmm0").unwrap();
+        assert_eq!(classify(&vector), Category::Vector);
+        let mixed = parse_block("add rcx, rax\nvmulss xmm3, xmm0, xmm0").unwrap();
+        assert_eq!(classify(&mixed), Category::ScalarVector);
+    }
+
+    #[test]
+    fn push_pop_count_as_memory() {
+        assert_eq!(classify(&parse_block("pop rbx").unwrap()), Category::Load);
+        assert_eq!(classify(&parse_block("push rbx").unwrap()), Category::Store);
+    }
+}

@@ -1,0 +1,246 @@
+//! Labelled block corpora: the synthetic stand-in for the BHive
+//! dataset.
+
+use std::collections::HashSet;
+
+use comet_isa::{BasicBlock, Microarch};
+use comet_models::{CostModel, HardwareOracle};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::category::{classify, Category, Source};
+use crate::gen::{generate_category_block, generate_source_block, GenConfig};
+
+/// One corpus entry: a block, its provenance metadata, and measured
+/// throughputs (from the detailed simulator standing in for hardware).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BhiveBlock {
+    /// The basic block.
+    pub block: BasicBlock,
+    /// Provenance style the block was generated in.
+    pub source: Source,
+    /// Content-derived category.
+    pub category: Category,
+    /// Measured throughput on Haswell (cycles/iteration).
+    pub throughput_hsw: f64,
+    /// Measured throughput on Skylake (cycles/iteration).
+    pub throughput_skl: f64,
+}
+
+impl BhiveBlock {
+    /// Measured throughput on the given microarchitecture.
+    pub fn throughput(&self, march: Microarch) -> f64 {
+        match march {
+            Microarch::Haswell => self.throughput_hsw,
+            Microarch::Skylake => self.throughput_skl,
+        }
+    }
+}
+
+/// A labelled collection of unique basic blocks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    blocks: Vec<BhiveBlock>,
+}
+
+impl Corpus {
+    /// Generate `n` unique blocks with the source mix of the full BHive
+    /// dataset (an even Clang/OpenBLAS split here), labelled on both
+    /// microarchitectures. Deterministic per seed.
+    pub fn generate(n: usize, config: GenConfig, seed: u64) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hsw = HardwareOracle::new(Microarch::Haswell);
+        let skl = HardwareOracle::new(Microarch::Skylake);
+        let mut seen = HashSet::new();
+        let mut blocks = Vec::with_capacity(n);
+        while blocks.len() < n {
+            let source = if rng.gen_bool(0.5) { Source::Clang } else { Source::OpenBlas };
+            let block = generate_source_block(source, config, &mut rng);
+            if !seen.insert(block.to_string()) {
+                continue;
+            }
+            blocks.push(label(block, source, &hsw, &skl));
+        }
+        Corpus { blocks }
+    }
+
+    /// Generate `n_per_source` unique blocks for each BHive source
+    /// (paper Figure 3 uses 100 per source).
+    pub fn generate_by_source(n_per_source: usize, config: GenConfig, seed: u64) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hsw = HardwareOracle::new(Microarch::Haswell);
+        let skl = HardwareOracle::new(Microarch::Skylake);
+        let mut seen = HashSet::new();
+        let mut blocks = Vec::new();
+        for source in Source::ALL {
+            let mut count = 0;
+            while count < n_per_source {
+                let block = generate_source_block(source, config, &mut rng);
+                if !seen.insert(block.to_string()) {
+                    continue;
+                }
+                blocks.push(label(block, source, &hsw, &skl));
+                count += 1;
+            }
+        }
+        Corpus { blocks }
+    }
+
+    /// Generate `n_per_category` unique blocks for each BHive category
+    /// (paper Figure 4 uses 50 per category).
+    pub fn generate_by_category(n_per_category: usize, config: GenConfig, seed: u64) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hsw = HardwareOracle::new(Microarch::Haswell);
+        let skl = HardwareOracle::new(Microarch::Skylake);
+        let mut seen = HashSet::new();
+        let mut blocks = Vec::new();
+        for category in Category::ALL {
+            let mut count = 0;
+            while count < n_per_category {
+                let block = generate_category_block(category, config, &mut rng);
+                if !seen.insert(block.to_string()) {
+                    continue;
+                }
+                // Category pools are not tied to a source; attribute by
+                // the dominant style.
+                let source = if category == Category::Vector || category == Category::ScalarVector
+                {
+                    Source::OpenBlas
+                } else {
+                    Source::Clang
+                };
+                blocks.push(label(block, source, &hsw, &skl));
+                count += 1;
+            }
+        }
+        Corpus { blocks }
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[BhiveBlock] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterate over the blocks.
+    pub fn iter(&self) -> std::slice::Iter<'_, BhiveBlock> {
+        self.blocks.iter()
+    }
+
+    /// The sub-corpus from one source.
+    pub fn by_source(&self, source: Source) -> Vec<&BhiveBlock> {
+        self.blocks.iter().filter(|b| b.source == source).collect()
+    }
+
+    /// The sub-corpus in one category.
+    pub fn by_category(&self, category: Category) -> Vec<&BhiveBlock> {
+        self.blocks.iter().filter(|b| b.category == category).collect()
+    }
+
+    /// A reproducible random sample of `n` blocks.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<&BhiveBlock> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut refs: Vec<&BhiveBlock> = self.blocks.iter().collect();
+        refs.shuffle(&mut rng);
+        refs.truncate(n);
+        refs
+    }
+
+    /// Training pairs `(block, throughput)` for one microarchitecture.
+    pub fn training_pairs(&self, march: Microarch) -> Vec<(BasicBlock, f64)> {
+        self.blocks.iter().map(|b| (b.block.clone(), b.throughput(march))).collect()
+    }
+}
+
+fn label(
+    block: BasicBlock,
+    source: Source,
+    hsw: &HardwareOracle,
+    skl: &HardwareOracle,
+) -> BhiveBlock {
+    let category = classify(&block);
+    let throughput_hsw = hsw.predict(&block);
+    let throughput_skl = skl.predict(&block);
+    BhiveBlock { block, source, category, throughput_hsw, throughput_skl }
+}
+
+impl<'a> IntoIterator for &'a Corpus {
+    type Item = &'a BhiveBlock;
+    type IntoIter = std::slice::Iter<'a, BhiveBlock>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.blocks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_unique_labelled_blocks() {
+        let corpus = Corpus::generate(30, GenConfig::default(), 42);
+        assert_eq!(corpus.len(), 30);
+        let texts: HashSet<String> = corpus.iter().map(|b| b.block.to_string()).collect();
+        assert_eq!(texts.len(), 30);
+        for entry in &corpus {
+            assert!(entry.throughput_hsw > 0.0);
+            assert!(entry.throughput_skl > 0.0);
+            assert_eq!(classify(&entry.block), entry.category);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Corpus::generate(10, GenConfig::default(), 7);
+        let b = Corpus::generate(10, GenConfig::default(), 7);
+        let at: Vec<String> = a.iter().map(|x| x.block.to_string()).collect();
+        let bt: Vec<String> = b.iter().map(|x| x.block.to_string()).collect();
+        assert_eq!(at, bt);
+    }
+
+    #[test]
+    fn by_category_covers_all_six() {
+        let corpus = Corpus::generate_by_category(5, GenConfig::default(), 3);
+        assert_eq!(corpus.len(), 30);
+        for category in Category::ALL {
+            assert_eq!(corpus.by_category(category).len(), 5, "{category}");
+        }
+    }
+
+    #[test]
+    fn by_source_covers_both() {
+        let corpus = Corpus::generate_by_source(8, GenConfig::default(), 5);
+        assert_eq!(corpus.by_source(Source::Clang).len(), 8);
+        assert_eq!(corpus.by_source(Source::OpenBlas).len(), 8);
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let corpus = Corpus::generate(20, GenConfig::default(), 1);
+        let s1: Vec<String> = corpus.sample(5, 9).iter().map(|b| b.block.to_string()).collect();
+        let s2: Vec<String> = corpus.sample(5, 9).iter().map(|b| b.block.to_string()).collect();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 5);
+    }
+
+    #[test]
+    fn training_pairs_match_labels() {
+        let corpus = Corpus::generate(5, GenConfig::default(), 2);
+        let pairs = corpus.training_pairs(Microarch::Haswell);
+        for (pair, entry) in pairs.iter().zip(&corpus) {
+            assert_eq!(pair.1, entry.throughput_hsw);
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Random basic-block generation in the style of BHive's sources and
+//! categories.
+//!
+//! The generator draws instruction *shapes* from weighted pools (one
+//! pool per source style or target category), keeps a recency pool of
+//! written registers so realistic dependency chains form, and validates
+//! every emitted instruction against the ISA signatures.
+
+use comet_isa::{
+    BasicBlock, Instruction, MemOperand, Opcode, Operand, RegClass, Register, Size,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::category::{classify, Category, Source};
+
+/// Block-length bounds (the paper's explanation test set uses 4–10
+/// instructions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Minimum instructions per block.
+    pub min_insts: usize,
+    /// Maximum instructions per block.
+    pub max_insts: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig { min_insts: 4, max_insts: 10 }
+    }
+}
+
+/// Instruction shapes the generator can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    AluRR,
+    AluRI,
+    MovRR,
+    MovRI,
+    Lea,
+    Load,
+    Store,
+    LoadVec,
+    StoreVec,
+    Imul,
+    Div,
+    Shift,
+    Movzx,
+    Cmov,
+    Push,
+    Pop,
+    VecAvx3,
+    VecSse2,
+    VecDiv,
+    VecMov,
+    BitCount,
+}
+
+/// A weighted pool of shapes.
+type Pool = &'static [(Shape, u32)];
+
+static CLANG_POOL: Pool = &[
+    (Shape::AluRR, 14),
+    (Shape::AluRI, 10),
+    (Shape::MovRR, 9),
+    (Shape::MovRI, 4),
+    (Shape::Lea, 10),
+    (Shape::Load, 15),
+    (Shape::Store, 9),
+    (Shape::Shift, 5),
+    (Shape::Movzx, 3),
+    (Shape::Imul, 4),
+    (Shape::Cmov, 4),
+    (Shape::Push, 2),
+    (Shape::Pop, 2),
+    (Shape::Div, 2),
+    (Shape::BitCount, 2),
+];
+
+static OPENBLAS_POOL: Pool = &[
+    (Shape::VecAvx3, 24),
+    (Shape::VecSse2, 8),
+    (Shape::LoadVec, 18),
+    (Shape::StoreVec, 8),
+    (Shape::Lea, 8),
+    (Shape::AluRI, 8),
+    (Shape::Load, 5),
+    (Shape::VecDiv, 4),
+    (Shape::VecMov, 4),
+    (Shape::MovRR, 3),
+];
+
+static LOAD_POOL: Pool = &[
+    (Shape::Load, 35),
+    (Shape::LoadVec, 8),
+    (Shape::AluRR, 18),
+    (Shape::Lea, 10),
+    (Shape::AluRI, 10),
+    (Shape::Imul, 5),
+    (Shape::Pop, 4),
+];
+
+static STORE_POOL: Pool = &[
+    (Shape::Store, 35),
+    (Shape::StoreVec, 8),
+    (Shape::AluRR, 16),
+    (Shape::Lea, 10),
+    (Shape::MovRI, 8),
+    (Shape::AluRI, 8),
+    (Shape::Push, 4),
+];
+
+static LOAD_STORE_POOL: Pool = &[
+    (Shape::Load, 22),
+    (Shape::Store, 20),
+    (Shape::AluRR, 15),
+    (Shape::Lea, 10),
+    (Shape::AluRI, 8),
+    (Shape::Imul, 4),
+];
+
+static SCALAR_POOL: Pool = &[
+    (Shape::AluRR, 28),
+    (Shape::AluRI, 16),
+    (Shape::MovRR, 10),
+    (Shape::Lea, 12),
+    (Shape::Shift, 8),
+    (Shape::Imul, 8),
+    (Shape::Movzx, 4),
+    (Shape::Cmov, 5),
+    (Shape::Div, 4),
+    (Shape::BitCount, 4),
+];
+
+static VECTOR_POOL: Pool = &[
+    (Shape::VecAvx3, 40),
+    (Shape::VecSse2, 20),
+    (Shape::VecDiv, 8),
+    (Shape::VecMov, 10),
+];
+
+static SCALAR_VECTOR_POOL: Pool = &[
+    (Shape::VecAvx3, 20),
+    (Shape::VecSse2, 10),
+    (Shape::AluRR, 20),
+    (Shape::AluRI, 10),
+    (Shape::Lea, 8),
+    (Shape::Imul, 6),
+    (Shape::VecDiv, 4),
+    (Shape::Shift, 5),
+];
+
+fn pool_for_source(source: Source) -> Pool {
+    match source {
+        Source::Clang => CLANG_POOL,
+        Source::OpenBlas => OPENBLAS_POOL,
+    }
+}
+
+fn pool_for_category(category: Category) -> Pool {
+    match category {
+        Category::Load => LOAD_POOL,
+        Category::Store => STORE_POOL,
+        Category::LoadStore => LOAD_STORE_POOL,
+        Category::Scalar => SCALAR_POOL,
+        Category::Vector => VECTOR_POOL,
+        Category::ScalarVector => SCALAR_VECTOR_POOL,
+    }
+}
+
+/// Register recency pool biasing operand choice toward recently written
+/// registers, so blocks develop RAW chains like real code.
+struct RegPool {
+    recent_gpr: Vec<u8>,
+    recent_vec: Vec<u8>,
+}
+
+/// Pointer-ish registers used as address bases, mirroring compiler
+/// conventions (`rdi`, `rsi`, `rbp`, `rbx`, `r14`, `r15`).
+const PTR_REGS: [u8; 6] = [7, 6, 5, 3, 14, 15];
+
+impl RegPool {
+    fn new() -> RegPool {
+        RegPool { recent_gpr: Vec::new(), recent_vec: Vec::new() }
+    }
+
+    fn random_gpr_index<R: Rng>(&self, rng: &mut R) -> u8 {
+        loop {
+            let i = rng.gen_range(0..16u8);
+            if i != comet_isa::reg::RSP_INDEX {
+                return i;
+            }
+        }
+    }
+
+    fn src_gpr<R: Rng>(&self, rng: &mut R, size: Size) -> Register {
+        let index = if !self.recent_gpr.is_empty() && rng.gen_bool(0.6) {
+            *self.recent_gpr.choose(rng).unwrap()
+        } else {
+            self.random_gpr_index(rng)
+        };
+        Register::new(RegClass::Gpr, index, size)
+    }
+
+    fn dst_gpr<R: Rng>(&mut self, rng: &mut R, size: Size) -> Register {
+        // Half the time overwrite a live register (WAW/WAR pressure),
+        // otherwise define a fresh one.
+        let index = if !self.recent_gpr.is_empty() && rng.gen_bool(0.35) {
+            *self.recent_gpr.choose(rng).unwrap()
+        } else {
+            self.random_gpr_index(rng)
+        };
+        self.mark_gpr(index);
+        Register::new(RegClass::Gpr, index, size)
+    }
+
+    fn mark_gpr(&mut self, index: u8) {
+        self.recent_gpr.retain(|&i| i != index);
+        self.recent_gpr.push(index);
+        if self.recent_gpr.len() > 5 {
+            self.recent_gpr.remove(0);
+        }
+    }
+
+    fn src_vec<R: Rng>(&self, rng: &mut R) -> Register {
+        let index = if !self.recent_vec.is_empty() && rng.gen_bool(0.6) {
+            *self.recent_vec.choose(rng).unwrap()
+        } else {
+            rng.gen_range(0..16u8)
+        };
+        Register::xmm(index)
+    }
+
+    fn dst_vec<R: Rng>(&mut self, rng: &mut R) -> Register {
+        let index = if !self.recent_vec.is_empty() && rng.gen_bool(0.35) {
+            *self.recent_vec.choose(rng).unwrap()
+        } else {
+            rng.gen_range(0..16u8)
+        };
+        self.recent_vec.retain(|&i| i != index);
+        self.recent_vec.push(index);
+        if self.recent_vec.len() > 5 {
+            self.recent_vec.remove(0);
+        }
+        Register::xmm(index)
+    }
+
+    fn addr<R: Rng>(&self, rng: &mut R, size: Size) -> MemOperand {
+        let base = Register::gpr64(*PTR_REGS.choose(rng).unwrap());
+        let disp = 8 * rng.gen_range(0..12i64);
+        if rng.gen_bool(0.25) {
+            let index = Register::gpr64(self.random_gpr_index(rng));
+            let scale = *[1u8, 2, 4, 8].choose(rng).unwrap();
+            MemOperand::base_index(base, index, scale, disp, size)
+        } else {
+            MemOperand::base_disp(base, disp, size)
+        }
+    }
+}
+
+fn gpr_size<R: Rng>(rng: &mut R) -> Size {
+    if rng.gen_bool(0.75) {
+        Size::B64
+    } else {
+        Size::B32
+    }
+}
+
+fn emit<R: Rng>(shape: Shape, pool: &mut RegPool, rng: &mut R) -> Instruction {
+    let inst = match shape {
+        Shape::AluRR => {
+            let op = *[Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Cmp]
+                .choose(rng)
+                .unwrap();
+            let size = gpr_size(rng);
+            let src = pool.src_gpr(rng, size);
+            let dst = pool.dst_gpr(rng, size);
+            Instruction::new(op, vec![Operand::reg(dst), Operand::reg(src)])
+        }
+        Shape::AluRI => {
+            let op = *[Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Cmp, Opcode::Shl]
+                .choose(rng)
+                .unwrap();
+            let size = gpr_size(rng);
+            let dst = pool.dst_gpr(rng, size);
+            let imm = if op == Opcode::Shl { rng.gen_range(1..8) } else { rng.gen_range(1..64) };
+            Instruction::new(op, vec![Operand::reg(dst), Operand::imm(imm)])
+        }
+        Shape::MovRR => {
+            let size = gpr_size(rng);
+            let src = pool.src_gpr(rng, size);
+            let dst = pool.dst_gpr(rng, size);
+            Instruction::new(Opcode::Mov, vec![Operand::reg(dst), Operand::reg(src)])
+        }
+        Shape::MovRI => {
+            let size = gpr_size(rng);
+            let dst = pool.dst_gpr(rng, size);
+            Instruction::new(Opcode::Mov, vec![Operand::reg(dst), Operand::imm(rng.gen_range(0..256))])
+        }
+        Shape::Lea => {
+            let src = pool.src_gpr(rng, Size::B64);
+            let dst = pool.dst_gpr(rng, Size::B64);
+            let disp = rng.gen_range(-8..32i64);
+            let mem = if rng.gen_bool(0.5) {
+                MemOperand::base_disp(src, disp.max(1), Size::B64)
+            } else {
+                let index = pool.src_gpr(rng, Size::B64);
+                MemOperand::base_index(src, index, 1, disp, Size::B64)
+            };
+            Instruction::new(Opcode::Lea, vec![Operand::reg(dst), Operand::Mem(mem)])
+        }
+        Shape::Load => {
+            let size = gpr_size(rng);
+            let mem = pool.addr(rng, size);
+            let dst = pool.dst_gpr(rng, size);
+            Instruction::new(Opcode::Mov, vec![Operand::reg(dst), Operand::Mem(mem)])
+        }
+        Shape::Store => {
+            let size = gpr_size(rng);
+            let mem = pool.addr(rng, size);
+            let src = pool.src_gpr(rng, size);
+            Instruction::new(Opcode::Mov, vec![Operand::Mem(mem), Operand::reg(src)])
+        }
+        Shape::LoadVec => {
+            let dst = pool.dst_vec(rng);
+            let mem = pool.addr(rng, Size::B32);
+            Instruction::new(Opcode::Movss, vec![Operand::reg(dst), Operand::Mem(mem)])
+        }
+        Shape::StoreVec => {
+            let src = pool.src_vec(rng);
+            let mem = pool.addr(rng, Size::B32);
+            Instruction::new(Opcode::Movss, vec![Operand::Mem(mem), Operand::reg(src)])
+        }
+        Shape::Imul => {
+            let size = if rng.gen_bool(0.75) { Size::B64 } else { Size::B32 };
+            let src = pool.src_gpr(rng, size);
+            let dst = pool.dst_gpr(rng, size);
+            Instruction::new(Opcode::Imul, vec![Operand::reg(dst), Operand::reg(src)])
+        }
+        Shape::Div => {
+            let op = if rng.gen_bool(0.5) { Opcode::Div } else { Opcode::Idiv };
+            let size = gpr_size(rng);
+            let divisor = pool.src_gpr(rng, size);
+            Instruction::new(op, vec![Operand::reg(divisor)])
+        }
+        Shape::Shift => {
+            let op = *[Opcode::Shl, Opcode::Shr, Opcode::Sar].choose(rng).unwrap();
+            let size = gpr_size(rng);
+            let dst = pool.dst_gpr(rng, size);
+            Instruction::new(op, vec![Operand::reg(dst), Operand::imm(rng.gen_range(1..16))])
+        }
+        Shape::Movzx => {
+            let src_idx = pool.random_gpr_index(rng);
+            let src = Register::new(RegClass::Gpr, src_idx, Size::B8);
+            let dst_size = if rng.gen_bool(0.5) { Size::B32 } else { Size::B64 };
+            let dst = pool.dst_gpr(rng, dst_size);
+            Instruction::new(Opcode::Movzx, vec![Operand::reg(dst), Operand::reg(src)])
+        }
+        Shape::Cmov => {
+            let op = *[Opcode::Cmove, Opcode::Cmovne, Opcode::Cmovl, Opcode::Cmovg]
+                .choose(rng)
+                .unwrap();
+            let size = if rng.gen_bool(0.75) { Size::B64 } else { Size::B32 };
+            let src = pool.src_gpr(rng, size);
+            let dst = pool.dst_gpr(rng, size);
+            Instruction::new(op, vec![Operand::reg(dst), Operand::reg(src)])
+        }
+        Shape::Push => {
+            let src = pool.src_gpr(rng, Size::B64);
+            Instruction::new(Opcode::Push, vec![Operand::reg(src)])
+        }
+        Shape::Pop => {
+            let dst = pool.dst_gpr(rng, Size::B64);
+            Instruction::new(Opcode::Pop, vec![Operand::reg(dst)])
+        }
+        Shape::VecAvx3 => {
+            let op = *[
+                Opcode::Vaddss,
+                Opcode::Vsubss,
+                Opcode::Vmulss,
+                Opcode::Vxorps,
+                Opcode::Vminss,
+                Opcode::Vmaxss,
+            ]
+            .choose(rng)
+            .unwrap();
+            let a = pool.src_vec(rng);
+            let b = pool.src_vec(rng);
+            let dst = pool.dst_vec(rng);
+            Instruction::new(op, vec![Operand::reg(dst), Operand::reg(a), Operand::reg(b)])
+        }
+        Shape::VecSse2 => {
+            let op = *[Opcode::Addss, Opcode::Mulss, Opcode::Subss, Opcode::Pxor, Opcode::Paddd]
+                .choose(rng)
+                .unwrap();
+            let src = pool.src_vec(rng);
+            let dst = pool.dst_vec(rng);
+            Instruction::new(op, vec![Operand::reg(dst), Operand::reg(src)])
+        }
+        Shape::VecDiv => {
+            let (op, three) = *[
+                (Opcode::Vdivss, true),
+                (Opcode::Divss, false),
+                (Opcode::Vdivsd, true),
+                (Opcode::Sqrtss, false),
+            ]
+            .choose(rng)
+            .unwrap();
+            if three {
+                let a = pool.src_vec(rng);
+                let b = pool.src_vec(rng);
+                let dst = pool.dst_vec(rng);
+                Instruction::new(op, vec![Operand::reg(dst), Operand::reg(a), Operand::reg(b)])
+            } else {
+                let src = pool.src_vec(rng);
+                let dst = pool.dst_vec(rng);
+                Instruction::new(op, vec![Operand::reg(dst), Operand::reg(src)])
+            }
+        }
+        Shape::VecMov => {
+            let src = pool.src_vec(rng);
+            let dst = pool.dst_vec(rng);
+            Instruction::new(Opcode::Movaps, vec![Operand::reg(dst), Operand::reg(src)])
+        }
+        Shape::BitCount => {
+            let op = *[Opcode::Popcnt, Opcode::Lzcnt, Opcode::Tzcnt].choose(rng).unwrap();
+            let size = if rng.gen_bool(0.75) { Size::B64 } else { Size::B32 };
+            let src = pool.src_gpr(rng, size);
+            let dst = pool.dst_gpr(rng, size);
+            Instruction::new(op, vec![Operand::reg(dst), Operand::reg(src)])
+        }
+    };
+    inst.expect("generator emitted an invalid instruction")
+}
+
+fn pick_shape<R: Rng>(pool: Pool, rng: &mut R) -> Shape {
+    let total: u32 = pool.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(shape, w) in pool {
+        if roll < w {
+            return shape;
+        }
+        roll -= w;
+    }
+    unreachable!("weights exhausted")
+}
+
+fn generate_from_pool<R: Rng>(pool: Pool, config: GenConfig, rng: &mut R) -> BasicBlock {
+    let n = rng.gen_range(config.min_insts..=config.max_insts);
+    let mut regs = RegPool::new();
+    let insts: Vec<Instruction> =
+        (0..n).map(|_| emit(pick_shape(pool, rng), &mut regs, rng)).collect();
+    BasicBlock::new(insts).expect("generated block failed validation")
+}
+
+/// Generate a block in the style of a BHive source.
+pub fn generate_source_block<R: Rng>(
+    source: Source,
+    config: GenConfig,
+    rng: &mut R,
+) -> BasicBlock {
+    generate_from_pool(pool_for_source(source), config, rng)
+}
+
+/// Generate a block that classifies into the requested category
+/// (rejection-sampled; pools are tuned so acceptance is high).
+pub fn generate_category_block<R: Rng>(
+    category: Category,
+    config: GenConfig,
+    rng: &mut R,
+) -> BasicBlock {
+    loop {
+        let block = generate_from_pool(pool_for_category(category), config, rng);
+        if classify(&block) == category {
+            return block;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn category_generation_matches_classification() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for category in Category::ALL {
+            for _ in 0..20 {
+                let block = generate_category_block(category, GenConfig::default(), &mut rng);
+                assert_eq!(classify(&block), category, "block:\n{block}");
+                assert!((4..=10).contains(&block.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn source_styles_differ() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = GenConfig::default();
+        let mut clang_vec = 0usize;
+        let mut blas_vec = 0usize;
+        for _ in 0..50 {
+            let c = generate_source_block(Source::Clang, config, &mut rng);
+            let b = generate_source_block(Source::OpenBlas, config, &mut rng);
+            clang_vec +=
+                c.iter().filter(|i| i.opcode.category().is_vector()).count();
+            blas_vec += b.iter().filter(|i| i.opcode.category().is_vector()).count();
+        }
+        assert!(blas_vec > clang_vec * 3, "clang {clang_vec} vs blas {blas_vec}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = GenConfig::default();
+        let a = generate_source_block(Source::Clang, config, &mut StdRng::seed_from_u64(1));
+        let b = generate_source_block(Source::Clang, config, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blocks_develop_dependencies() {
+        // With the recency pool, most blocks should have at least one
+        // dependency edge.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut with_deps = 0;
+        for _ in 0..30 {
+            let block = generate_source_block(Source::Clang, GenConfig::default(), &mut rng);
+            if !comet_graph::BlockGraph::build(&block).edges().is_empty() {
+                with_deps += 1;
+            }
+        }
+        assert!(with_deps >= 24, "only {with_deps}/30 blocks had dependencies");
+    }
+}

@@ -1,0 +1,103 @@
+//! Corpus (de)serialization: save generated, labelled corpora to JSON
+//! so expensive generation/labelling runs once.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use crate::corpus::Corpus;
+
+/// Errors from corpus persistence.
+#[derive(Debug)]
+pub enum CorpusIoError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON or schema mismatch.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for CorpusIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusIoError::Io(e) => write!(f, "corpus i/o failed: {e}"),
+            CorpusIoError::Format(e) => write!(f, "corpus format invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusIoError::Io(e) => Some(e),
+            CorpusIoError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CorpusIoError {
+    fn from(e: std::io::Error) -> CorpusIoError {
+        CorpusIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CorpusIoError {
+    fn from(e: serde_json::Error) -> CorpusIoError {
+        CorpusIoError::Format(e)
+    }
+}
+
+/// Write a corpus as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`CorpusIoError::Io`] on filesystem failures.
+pub fn save_corpus(corpus: &Corpus, path: impl AsRef<Path>) -> Result<(), CorpusIoError> {
+    let file = File::create(path)?;
+    serde_json::to_writer_pretty(BufWriter::new(file), corpus)?;
+    Ok(())
+}
+
+/// Load a corpus previously written by [`save_corpus`].
+///
+/// # Errors
+///
+/// Returns [`CorpusIoError::Io`] on filesystem failures and
+/// [`CorpusIoError::Format`] on malformed content.
+pub fn load_corpus(path: impl AsRef<Path>) -> Result<Corpus, CorpusIoError> {
+    let file = File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenConfig;
+
+    #[test]
+    fn corpus_round_trips_through_json() {
+        let corpus = Corpus::generate(6, GenConfig::default(), 31);
+        let dir = std::env::temp_dir().join("comet-bhive-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        save_corpus(&corpus, &path).unwrap();
+        let loaded = load_corpus(&path).unwrap();
+        assert_eq!(corpus.len(), loaded.len());
+        for (a, b) in corpus.iter().zip(loaded.iter()) {
+            assert_eq!(a.block, b.block);
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.throughput_hsw, b.throughput_hsw);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("comet-bhive-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(matches!(load_corpus(&path), Err(CorpusIoError::Format(_))));
+        assert!(load_corpus(dir.join("missing.json")).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

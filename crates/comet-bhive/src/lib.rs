@@ -1,0 +1,33 @@
+//! # comet-bhive
+//!
+//! A synthetic stand-in for the BHive basic-block benchmark suite
+//! (Chen et al., IISWC '19): generators producing x86 blocks in the
+//! style of BHive's *sources* (Clang, OpenBLAS) and *categories* (Load,
+//! Store, Load/Store, Scalar, Vector, Scalar/Vector), labelled with
+//! steady-state throughputs by the detailed pipeline simulator standing
+//! in for Haswell/Skylake silicon (see DESIGN.md §1 for the
+//! substitution rationale).
+//!
+//! # Examples
+//!
+//! ```
+//! use comet_bhive::{Corpus, GenConfig};
+//!
+//! let corpus = Corpus::generate(10, GenConfig::default(), 42);
+//! assert_eq!(corpus.len(), 10);
+//! for entry in &corpus {
+//!     assert!(entry.throughput_hsw > 0.0);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod category;
+mod corpus;
+mod gen;
+mod io;
+
+pub use category::{classify, Category, Source};
+pub use corpus::{BhiveBlock, Corpus};
+pub use gen::{generate_category_block, generate_source_block, GenConfig};
+pub use io::{load_corpus, save_corpus, CorpusIoError};

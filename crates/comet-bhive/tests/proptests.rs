@@ -1,0 +1,42 @@
+//! Property-based tests for the synthetic BHive corpus generators.
+
+use comet_bhive::{classify, generate_category_block, generate_source_block, Category, GenConfig, Source};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated blocks are always valid, within the length bounds,
+    /// and printable/reparsable.
+    #[test]
+    fn source_blocks_are_valid_and_round_trip(seed in any::<u64>()) {
+        for source in Source::ALL {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let block = generate_source_block(source, GenConfig::default(), &mut rng);
+            prop_assert!(block.is_valid());
+            prop_assert!((4..=10).contains(&block.len()));
+            let reparsed = comet_isa::parse_block(&block.to_string()).unwrap();
+            prop_assert_eq!(block, reparsed);
+        }
+    }
+
+    /// Category-targeted generation always classifies as requested.
+    #[test]
+    fn category_blocks_classify_correctly(seed in any::<u64>(), idx in 0usize..6) {
+        let category = Category::ALL[idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let block = generate_category_block(category, GenConfig::default(), &mut rng);
+        prop_assert_eq!(classify(&block), category);
+    }
+
+    /// Custom length bounds are honoured.
+    #[test]
+    fn length_bounds_respected(seed in any::<u64>(), min in 1usize..5, extra in 0usize..4) {
+        let config = GenConfig { min_insts: min, max_insts: min + extra };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let block = generate_source_block(Source::Clang, config, &mut rng);
+        prop_assert!((min..=min + extra).contains(&block.len()));
+    }
+}

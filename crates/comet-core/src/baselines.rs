@@ -1,0 +1,210 @@
+//! Ground-truth explanations for the crude model C (paper eq. 9), the
+//! explanation-accuracy metric, and the random/fixed baseline
+//! explainers from §6.
+
+use std::collections::HashMap;
+
+use comet_graph::BlockGraph;
+use comet_isa::BasicBlock;
+use comet_models::{CostModel, CrudeModel};
+use rand::Rng;
+
+use crate::feature::{extract_features, Feature, FeatureKind, FeatureSet};
+
+/// GT(β) (paper eq. 9): the features whose cost equals C(β) — the
+/// bottleneck features of the block under the crude model.
+pub fn ground_truth(model: &CrudeModel, block: &BasicBlock) -> FeatureSet {
+    let graph = BlockGraph::build(block);
+    let total = model.predict(block);
+    let mut gt = FeatureSet::new();
+    let close = |cost: f64| (cost - total).abs() < 1e-9;
+    if close(model.cost_eta(block.len())) {
+        gt.insert(Feature::NumInstructions);
+    }
+    for i in 0..block.len() {
+        if close(model.cost_inst(block, i)) {
+            gt.insert(Feature::Instruction(i));
+        }
+    }
+    for edge in graph.edges() {
+        if close(model.cost_dep(block, edge)) {
+            gt.insert(Feature::Dependency { kind: edge.kind, src: edge.src, dst: edge.dst });
+        }
+    }
+    debug_assert!(!gt.is_empty(), "C(β) must be achieved by some feature");
+    gt
+}
+
+/// The paper's accuracy criterion: an explanation is accurate iff it
+/// identifies at least one ground-truth feature and nothing outside the
+/// ground truth.
+pub fn is_accurate(explanation: &FeatureSet, ground_truth: &FeatureSet) -> bool {
+    !explanation.is_empty() && explanation.is_subset(ground_truth)
+}
+
+/// The empirical distribution of feature *types* across a set of
+/// ground-truth explanations — shared context for both baselines.
+#[derive(Debug, Clone)]
+pub struct BaselineContext {
+    type_counts: HashMap<FeatureKind, usize>,
+    total: usize,
+}
+
+impl BaselineContext {
+    /// Collect type statistics over the ground-truth explanations of an
+    /// explanation test set.
+    pub fn from_ground_truths<'a, I>(ground_truths: I) -> BaselineContext
+    where
+        I: IntoIterator<Item = &'a FeatureSet>,
+    {
+        let mut type_counts: HashMap<FeatureKind, usize> = HashMap::new();
+        let mut total = 0;
+        for gt in ground_truths {
+            for feature in gt {
+                *type_counts.entry(feature.kind()).or_default() += 1;
+                total += 1;
+            }
+        }
+        BaselineContext { type_counts, total }
+    }
+
+    /// Probability of a feature type among all ground-truth features.
+    pub fn type_probability(&self, kind: FeatureKind) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.type_counts.get(&kind).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// The most frequent ground-truth feature type.
+    pub fn dominant_type(&self) -> FeatureKind {
+        FeatureKind::ALL
+            .into_iter()
+            .max_by(|a, b| {
+                self.type_probability(*a)
+                    .partial_cmp(&self.type_probability(*b))
+                    .expect("probabilities are finite")
+            })
+            .expect("at least one feature kind")
+    }
+
+    /// The *random* baseline (paper §6): sample a feature type from the
+    /// ground-truth type distribution, then a uniform feature of that
+    /// type from the block (retrying while the block lacks the type).
+    pub fn random_explanation<R: Rng>(&self, block: &BasicBlock, rng: &mut R) -> FeatureSet {
+        let graph = BlockGraph::build(block);
+        let features = extract_features(block, &graph);
+        let mut result = FeatureSet::new();
+        for _ in 0..64 {
+            let roll: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut chosen = FeatureKind::Eta;
+            for kind in FeatureKind::ALL {
+                acc += self.type_probability(kind);
+                if roll < acc {
+                    chosen = kind;
+                    break;
+                }
+            }
+            let of_kind: Vec<&Feature> =
+                features.iter().filter(|f| f.kind() == chosen).collect();
+            if !of_kind.is_empty() {
+                result.insert(*of_kind[rng.gen_range(0..of_kind.len())]);
+                return result;
+            }
+        }
+        // Degenerate fallback: η always exists.
+        result.insert(Feature::NumInstructions);
+        result
+    }
+
+    /// The *fixed* baseline (paper §6): always the first feature of the
+    /// globally most frequent ground-truth type.
+    pub fn fixed_explanation(&self, block: &BasicBlock) -> FeatureSet {
+        let graph = BlockGraph::build(block);
+        let features = extract_features(block, &graph);
+        let dominant = self.dominant_type();
+        let mut result = FeatureSet::new();
+        if let Some(feature) = features.iter().find(|f| f.kind() == dominant) {
+            result.insert(*feature);
+        } else {
+            result.insert(Feature::NumInstructions);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::{parse_block, Microarch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ground_truth_finds_the_eta_bottleneck() {
+        let text = (0..8).map(|i| format!("mov r{}, 1", 8 + i)).collect::<Vec<_>>().join("\n");
+        let block = parse_block(&text).unwrap();
+        let c = CrudeModel::new(Microarch::Haswell);
+        let gt = ground_truth(&c, &block);
+        assert!(gt.contains(&Feature::NumInstructions));
+        assert!(gt.iter().all(|f| f.kind() == FeatureKind::Eta));
+    }
+
+    #[test]
+    fn ground_truth_finds_the_div_bottleneck() {
+        let block = parse_block("div rcx\nmov rbx, 1").unwrap();
+        let c = CrudeModel::new(Microarch::Haswell);
+        let gt = ground_truth(&c, &block);
+        assert!(gt.contains(&Feature::Instruction(0)));
+        assert!(!gt.contains(&Feature::NumInstructions));
+    }
+
+    #[test]
+    fn ground_truth_finds_raw_dependency_bottleneck() {
+        let block = parse_block("add rcx, rax\nmov qword ptr [rdi], rcx").unwrap();
+        let c = CrudeModel::new(Microarch::Haswell);
+        let gt = ground_truth(&c, &block);
+        assert!(gt.iter().any(|f| f.kind() == FeatureKind::Dep), "{gt:?}");
+    }
+
+    #[test]
+    fn accuracy_requires_subset_and_overlap() {
+        let mut gt = FeatureSet::new();
+        gt.insert(Feature::Instruction(0));
+        gt.insert(Feature::Instruction(1));
+        let mut good = FeatureSet::new();
+        good.insert(Feature::Instruction(1));
+        assert!(is_accurate(&good, &gt));
+        let mut bad = FeatureSet::new();
+        bad.insert(Feature::Instruction(1));
+        bad.insert(Feature::NumInstructions);
+        assert!(!is_accurate(&bad, &gt));
+        assert!(!is_accurate(&FeatureSet::new(), &gt));
+    }
+
+    #[test]
+    fn baselines_produce_singletons() {
+        let block = parse_block("div rcx\nmov rbx, 1").unwrap();
+        let c = CrudeModel::new(Microarch::Haswell);
+        let gts = vec![ground_truth(&c, &block)];
+        let ctx = BaselineContext::from_ground_truths(&gts);
+        let mut rng = StdRng::seed_from_u64(0);
+        let random = ctx.random_explanation(&block, &mut rng);
+        assert_eq!(random.len(), 1);
+        let fixed = ctx.fixed_explanation(&block);
+        assert_eq!(fixed.len(), 1);
+        // The only GT type here is Inst, so fixed picks the first inst.
+        assert_eq!(fixed.iter().next().unwrap(), &Feature::Instruction(0));
+    }
+
+    #[test]
+    fn type_distribution_normalizes() {
+        let block = parse_block("div rcx\nmov rbx, 1").unwrap();
+        let c = CrudeModel::new(Microarch::Haswell);
+        let gts = vec![ground_truth(&c, &block)];
+        let ctx = BaselineContext::from_ground_truths(&gts);
+        let total: f64 = FeatureKind::ALL.iter().map(|k| ctx.type_probability(*k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

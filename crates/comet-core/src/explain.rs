@@ -1,0 +1,517 @@
+//! COMET's explanation search (paper §5.2): an Anchors-style beam
+//! search over feature sets, with precision estimated by KL-LUCB
+//! Bernoulli bounds and coverage estimated empirically over a shared
+//! pool of unconstrained perturbations.
+
+use std::cell::Cell;
+use std::collections::HashSet;
+
+use comet_isa::BasicBlock;
+use comet_models::CostModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::feature::{Feature, FeatureSet};
+use crate::perturb::{PerturbConfig, Perturber};
+use crate::precision::{exploration_beta, BernoulliEstimate};
+
+/// Explanation-search configuration. Defaults follow the paper:
+/// precision threshold 0.7 (δ = 0.3), ε = 0.5 cycles, Anchors' default
+/// beam hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExplainConfig {
+    /// Radius of the acceptable-cost ball T around M(β). The paper uses
+    /// 0.25 for the crude model C and 0.5 cycles for Ithemal/uiCA.
+    pub epsilon: f64,
+    /// Precision threshold is `1 - delta` (paper: δ = 0.3).
+    pub delta: f64,
+    /// Beam width (Anchors default: 10).
+    pub beam_width: usize,
+    /// Initial samples per candidate feature set.
+    pub init_samples: usize,
+    /// Additional samples drawn per LUCB refinement round.
+    pub batch_size: usize,
+    /// Total sample budget per candidate.
+    pub max_samples: usize,
+    /// Samples from Π(∅) used for empirical coverage (paper: 10k).
+    pub coverage_samples: usize,
+    /// Failure probability for the KL confidence bounds.
+    pub confidence: f64,
+    /// LUCB stopping tolerance on the top-k boundary gap.
+    pub tolerance: f64,
+    /// Maximum explanation cardinality (simplicity cap).
+    pub max_features: usize,
+    /// Global cap on model queries per explanation; when exhausted the
+    /// search returns its current best candidate. Bounds worst-case
+    /// latency on models where few feature sets anchor.
+    pub max_total_queries: u64,
+    /// Perturbation-algorithm parameters.
+    pub perturb: PerturbConfig,
+}
+
+impl Default for ExplainConfig {
+    fn default() -> ExplainConfig {
+        ExplainConfig {
+            epsilon: 0.5,
+            delta: 0.3,
+            beam_width: 10,
+            init_samples: 16,
+            batch_size: 8,
+            max_samples: 600,
+            coverage_samples: 2_000,
+            confidence: 0.05,
+            tolerance: 0.15,
+            max_features: 4,
+            max_total_queries: 25_000,
+            perturb: PerturbConfig::default(),
+        }
+    }
+}
+
+impl ExplainConfig {
+    /// The paper's settings for the crude analytical model C
+    /// (ε = 0.25, Appendix E).
+    pub fn for_crude_model() -> ExplainConfig {
+        ExplainConfig { epsilon: 0.25, ..ExplainConfig::default() }
+    }
+
+    /// The paper's settings for practical throughput models
+    /// (ε = 0.5 cycles).
+    pub fn for_throughput_model() -> ExplainConfig {
+        ExplainConfig::default()
+    }
+
+    /// The precision threshold `1 - delta`.
+    pub fn threshold(&self) -> f64 {
+        1.0 - self.delta
+    }
+}
+
+/// A COMET explanation: the feature set, its estimated quality, and
+/// bookkeeping about the search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// The explanation feature set F̂*.
+    pub features: FeatureSet,
+    /// Estimated precision (probabilistic faithfulness).
+    pub precision: f64,
+    /// Estimated coverage (probabilistic generalizability).
+    pub coverage: f64,
+    /// The model's prediction for the explained block.
+    pub prediction: f64,
+    /// Whether the precision threshold was actually reached (if false,
+    /// this is the best-effort highest-precision candidate).
+    pub anchored: bool,
+    /// Number of cost-model queries spent.
+    pub queries: u64,
+}
+
+impl Explanation {
+    /// The explanation rendered in the paper's notation.
+    pub fn display_features(&self) -> String {
+        crate::feature::format_feature_set(&self.features)
+    }
+}
+
+/// The COMET explainer for a given cost model.
+#[derive(Debug)]
+pub struct Explainer<M> {
+    model: M,
+    config: ExplainConfig,
+}
+
+struct Candidate {
+    features: FeatureSet,
+    est: BernoulliEstimate,
+}
+
+impl<M: CostModel> Explainer<M> {
+    /// Create an explainer. The model is queried, never introspected.
+    pub fn new(model: M, config: ExplainConfig) -> Explainer<M> {
+        Explainer { model, config }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExplainConfig {
+        &self.config
+    }
+
+    /// Explain the model's prediction for `block` (paper Figure 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has no features (cannot happen for valid
+    /// blocks: η always exists).
+    pub fn explain<R: Rng>(&self, block: &BasicBlock, rng: &mut R) -> Explanation {
+        let perturber = Perturber::new(block, self.config.perturb);
+        let queries = Cell::new(0u64);
+        let prediction = self.predict_counted(block, &queries);
+
+        // Shared coverage pool: surviving feature sets of unconstrained
+        // perturbations (no model queries needed).
+        let coverage_pool: Vec<FeatureSet> = (0..self.config.coverage_samples)
+            .map(|_| perturber.perturb(&FeatureSet::new(), rng).surviving)
+            .collect();
+        let coverage_of = |features: &FeatureSet| -> f64 {
+            let hits = coverage_pool.iter().filter(|s| features.is_subset(s)).count();
+            hits as f64 / coverage_pool.len().max(1) as f64
+        };
+
+        let all_features: Vec<Feature> = perturber.features().to_vec();
+        assert!(!all_features.is_empty(), "block without features");
+
+        let sample = |candidate: &mut Candidate, rng: &mut R| {
+            let perturbed = perturber.perturb(&candidate.features, rng);
+            let cost = self.predict_counted(&perturbed.block, &queries);
+            // Open ε-ball: with quantized cost models (the crude model
+            // moves in exact quarter-cycle steps) an inclusive bound
+            // would admit genuinely changed predictions.
+            candidate.est.update((cost - prediction).abs() < self.config.epsilon);
+        };
+
+        let threshold = self.config.threshold();
+        let mut beam: Vec<Candidate> = Vec::new();
+        let mut best_overall: Option<(FeatureSet, f64)> = None;
+        let budget_left = |queries: &Cell<u64>| queries.get() < self.config.max_total_queries;
+
+        'levels: for level in 1..=self.config.max_features {
+            // Build this level's candidates.
+            let mut seen: HashSet<FeatureSet> = HashSet::new();
+            let mut candidates: Vec<Candidate> = Vec::new();
+            if level == 1 {
+                for &f in &all_features {
+                    let mut set = FeatureSet::new();
+                    set.insert(f);
+                    if seen.insert(set.clone()) {
+                        candidates.push(Candidate { features: set, est: Default::default() });
+                    }
+                }
+            } else {
+                for parent in &beam {
+                    for &f in &all_features {
+                        if parent.features.contains(&f) {
+                            continue;
+                        }
+                        let mut set = parent.features.clone();
+                        set.insert(f);
+                        if seen.insert(set.clone()) {
+                            candidates.push(Candidate { features: set, est: Default::default() });
+                        }
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+
+            // Initial sampling.
+            for candidate in &mut candidates {
+                for _ in 0..self.config.init_samples {
+                    sample(candidate, rng);
+                }
+            }
+            if !budget_left(&queries) {
+                for candidate in &candidates {
+                    let mean = candidate.est.mean();
+                    if best_overall.as_ref().is_none_or(|(_, p)| mean > *p) {
+                        best_overall = Some((candidate.features.clone(), mean));
+                    }
+                }
+                break 'levels;
+            }
+
+            // LUCB refinement of the top-k boundary.
+            let k = self.config.beam_width.min(candidates.len());
+            let mut round: u64 = 1;
+            loop {
+                let beta = exploration_beta(round, candidates.len(), self.config.confidence);
+                let mut order: Vec<usize> = (0..candidates.len()).collect();
+                order.sort_by(|&a, &b| {
+                    candidates[b]
+                        .est
+                        .mean()
+                        .partial_cmp(&candidates[a].est.mean())
+                        .expect("non-NaN means")
+                });
+                let in_top = &order[..k];
+                let out_top = &order[k..];
+                let weakest_in = in_top
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        candidates[a]
+                            .est
+                            .lcb(beta)
+                            .partial_cmp(&candidates[b].est.lcb(beta))
+                            .expect("non-NaN bounds")
+                    })
+                    .expect("non-empty top set");
+                let strongest_out = out_top.iter().copied().max_by(|&a, &b| {
+                    candidates[a]
+                        .est
+                        .ucb(beta)
+                        .partial_cmp(&candidates[b].est.ucb(beta))
+                        .expect("non-NaN bounds")
+                });
+                let gap = match strongest_out {
+                    Some(v) => {
+                        candidates[v].est.ucb(beta) - candidates[weakest_in].est.lcb(beta)
+                    }
+                    None => 0.0,
+                };
+                let budget_left_global = budget_left(&queries);
+                let budget_left = candidates[weakest_in].est.samples
+                    < self.config.max_samples as u64
+                    || strongest_out.is_some_and(|v| {
+                        candidates[v].est.samples < self.config.max_samples as u64
+                    });
+                if gap <= self.config.tolerance || !budget_left || !budget_left_global {
+                    break;
+                }
+                for _ in 0..self.config.batch_size {
+                    if candidates[weakest_in].est.samples < self.config.max_samples as u64 {
+                        sample(&mut candidates[weakest_in], rng);
+                    }
+                    if let Some(v) = strongest_out {
+                        if candidates[v].est.samples < self.config.max_samples as u64 {
+                            sample(&mut candidates[v], rng);
+                        }
+                    }
+                }
+                round += 1;
+            }
+
+            // Track the best-precision candidate seen anywhere.
+            for candidate in &candidates {
+                let mean = candidate.est.mean();
+                if best_overall.as_ref().is_none_or(|(_, p)| mean > *p) {
+                    best_overall = Some((candidate.features.clone(), mean));
+                }
+            }
+
+            // Confirmation pass: candidates whose point estimate clears
+            // the threshold are sampled until their lower bound either
+            // confirms the anchor or the estimate falls below the
+            // threshold (Anchors' `lb > τ - tolerance` check needs
+            // enough samples to be meaningful).
+            for candidate in &mut candidates {
+                loop {
+                    let beta =
+                        exploration_beta(round, self.config.beam_width.max(1), self.config.confidence);
+                    if candidate.est.mean() < threshold
+                        || candidate.est.lcb(beta) >= threshold - self.config.tolerance
+                        || candidate.est.samples >= self.config.max_samples as u64
+                        || !budget_left(&queries)
+                    {
+                        break;
+                    }
+                    for _ in 0..self.config.batch_size {
+                        sample(candidate, rng);
+                    }
+                }
+            }
+
+            // Anchors at this level: precision estimate over threshold
+            // with a confident lower bound (same exploration rate as the
+            // confirmation pass).
+            let beta =
+                exploration_beta(round, self.config.beam_width.max(1), self.config.confidence);
+            let anchors: Vec<&Candidate> = candidates
+                .iter()
+                .filter(|c| {
+                    c.est.mean() >= threshold
+                        && c.est.lcb(beta) >= threshold - self.config.tolerance
+                })
+                .collect();
+            if !anchors.is_empty() {
+                // Coverage is monotone decreasing in |F|, so the first
+                // level with an anchor holds the max-coverage anchor.
+                let best = anchors
+                    .into_iter()
+                    .map(|c| {
+                        let cov = coverage_of(&c.features);
+                        (c, cov)
+                    })
+                    .max_by(|(_, ca), (_, cb)| ca.partial_cmp(cb).expect("non-NaN coverage"))
+                    .expect("non-empty anchors");
+                // Greedy minimization: borderline singletons can miss
+                // their own level by sampling noise, leaving a redundant
+                // feature in the anchor. Try dropping each feature and
+                // keep any subset that still confirms the threshold
+                // (strictly improving coverage).
+                let mut features = best.0.features.clone();
+                let mut precision = best.0.est.mean();
+                let mut improved = true;
+                while improved && features.len() > 1 {
+                    improved = false;
+                    for feature in features.clone() {
+                        let mut subset = features.clone();
+                        subset.remove(&feature);
+                        let mut candidate =
+                            Candidate { features: subset.clone(), est: Default::default() };
+                        let b = exploration_beta(
+                            round,
+                            self.config.beam_width.max(1),
+                            self.config.confidence,
+                        );
+                        while candidate.est.samples < self.config.max_samples as u64
+                            && budget_left(&queries)
+                        {
+                            sample(&mut candidate, rng);
+                            if candidate.est.samples >= self.config.init_samples as u64
+                                && candidate.est.ucb(b) < threshold
+                            {
+                                break;
+                            }
+                        }
+                        let est = candidate.est;
+                        if est.mean() >= threshold
+                            && est.lcb(b) >= threshold - self.config.tolerance
+                        {
+                            features = subset;
+                            precision = est.mean();
+                            improved = true;
+                            break;
+                        }
+                    }
+                }
+                let coverage = coverage_of(&features);
+                return Explanation {
+                    features,
+                    precision,
+                    coverage,
+                    prediction,
+                    anchored: true,
+                    queries: queries.get(),
+                };
+            }
+
+            // No anchor yet: carry the beam to the next level.
+            let mut order: Vec<usize> = (0..candidates.len()).collect();
+            order.sort_by(|&a, &b| {
+                candidates[b]
+                    .est
+                    .mean()
+                    .partial_cmp(&candidates[a].est.mean())
+                    .expect("non-NaN means")
+            });
+            order.truncate(self.config.beam_width);
+            let mut next_beam = Vec::new();
+            let mut taken: HashSet<usize> = order.iter().copied().collect();
+            for (i, candidate) in candidates.into_iter().enumerate() {
+                if taken.remove(&i) {
+                    next_beam.push(candidate);
+                }
+            }
+            beam = next_beam;
+        }
+
+        // Nothing reached the threshold: report the best effort.
+        let (features, precision) =
+            best_overall.expect("at least one candidate was evaluated");
+        let coverage = coverage_of(&features);
+        Explanation { features, precision, coverage, prediction, anchored: false, queries: queries.get() }
+    }
+
+    fn predict_counted(&self, block: &BasicBlock, queries: &Cell<u64>) -> f64 {
+        queries.set(queries.get() + 1);
+        self.model.predict(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::parse_block;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A cost model that only looks at the block length.
+    struct LengthModel;
+
+    impl CostModel for LengthModel {
+        fn name(&self) -> &str {
+            "length"
+        }
+
+        fn predict(&self, block: &BasicBlock) -> f64 {
+            block.len() as f64 / 4.0
+        }
+    }
+
+    /// A cost model that only cares whether a `div` is present.
+    struct DivModel;
+
+    impl CostModel for DivModel {
+        fn name(&self) -> &str {
+            "div"
+        }
+
+        fn predict(&self, block: &BasicBlock) -> f64 {
+            let has_div =
+                block.iter().any(|i| matches!(i.opcode, comet_isa::Opcode::Div | comet_isa::Opcode::Idiv));
+            if has_div {
+                25.0
+            } else {
+                1.0
+            }
+        }
+    }
+
+    #[test]
+    fn explains_a_length_only_model_with_eta() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx\nimul r9, r10").unwrap();
+        let explainer = Explainer::new(LengthModel, ExplainConfig::for_crude_model());
+        let mut rng = StdRng::seed_from_u64(0);
+        let explanation = explainer.explain(&block, &mut rng);
+        assert!(explanation.anchored);
+        assert_eq!(
+            explanation.features.iter().copied().collect::<Vec<_>>(),
+            vec![Feature::NumInstructions],
+            "{}",
+            explanation.display_features()
+        );
+        assert!(explanation.precision >= 0.7);
+        assert!(explanation.coverage > 0.0);
+    }
+
+    #[test]
+    fn explains_a_div_model_with_the_div_instruction() {
+        let block =
+            parse_block("mov ecx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nimul rax, rcx").unwrap();
+        let explainer = Explainer::new(DivModel, ExplainConfig::for_crude_model());
+        let mut rng = StdRng::seed_from_u64(1);
+        let explanation = explainer.explain(&block, &mut rng);
+        assert!(explanation.anchored);
+        assert_eq!(
+            explanation.features.iter().copied().collect::<Vec<_>>(),
+            vec![Feature::Instruction(2)],
+            "{}",
+            explanation.display_features()
+        );
+    }
+
+    #[test]
+    fn query_counter_tracks_usage() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx").unwrap();
+        let explainer = Explainer::new(LengthModel, ExplainConfig::for_crude_model());
+        let mut rng = StdRng::seed_from_u64(2);
+        let explanation = explainer.explain(&block, &mut rng);
+        assert!(explanation.queries > 10);
+    }
+
+    #[test]
+    fn explanation_is_reproducible_per_seed() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx").unwrap();
+        let explainer = Explainer::new(LengthModel, ExplainConfig::for_crude_model());
+        let a = explainer.explain(&block, &mut StdRng::seed_from_u64(3));
+        let b = explainer.explain(&block, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.precision, b.precision);
+    }
+}

@@ -1,0 +1,149 @@
+//! Block features P̂ (paper §5.1): instructions, data dependencies, and
+//! the instruction count — the primitives COMET composes explanations
+//! from.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use comet_graph::{BlockGraph, DepKind};
+use comet_isa::BasicBlock;
+use serde::{Deserialize, Serialize};
+
+/// One feature of a basic block.
+///
+/// Instruction indices are 0-based internally; [`fmt::Display`] prints
+/// them 1-based to match the paper's notation (`inst_2`,
+/// `δ_RAW,3,6`, `η(num_insts)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Feature {
+    /// The instruction at the given position (identified by its opcode
+    /// under the default replacement scheme — paper Appendix E.4).
+    Instruction(usize),
+    /// A data dependency of `kind` from instruction `src` to `dst`.
+    Dependency {
+        /// Hazard kind.
+        kind: DepKind,
+        /// Producer index.
+        src: usize,
+        /// Consumer index.
+        dst: usize,
+    },
+    /// The number of instructions in the block (η).
+    NumInstructions,
+}
+
+/// The coarse type of a feature — the unit of the paper's Figures 2–4
+/// analysis (η vs inst vs δ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// A specific instruction.
+    Inst,
+    /// A specific data dependency.
+    Dep,
+    /// The instruction count.
+    Eta,
+}
+
+impl FeatureKind {
+    /// All feature kinds.
+    pub const ALL: [FeatureKind; 3] = [FeatureKind::Inst, FeatureKind::Dep, FeatureKind::Eta];
+}
+
+impl fmt::Display for FeatureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureKind::Inst => write!(f, "inst"),
+            FeatureKind::Dep => write!(f, "delta"),
+            FeatureKind::Eta => write!(f, "eta"),
+        }
+    }
+}
+
+impl Feature {
+    /// The type of this feature (paper eq. 9's `type(f)`).
+    pub fn kind(&self) -> FeatureKind {
+        match self {
+            Feature::Instruction(_) => FeatureKind::Inst,
+            Feature::Dependency { .. } => FeatureKind::Dep,
+            Feature::NumInstructions => FeatureKind::Eta,
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Feature::Instruction(i) => write!(f, "inst_{}", i + 1),
+            Feature::Dependency { kind, src, dst } => {
+                write!(f, "d_{},{},{}", kind.abbrev(), src + 1, dst + 1)
+            }
+            Feature::NumInstructions => write!(f, "eta(num_insts)"),
+        }
+    }
+}
+
+/// A set of features, ordered for deterministic iteration.
+pub type FeatureSet = BTreeSet<Feature>;
+
+/// Extract the candidate features P̂ of a block: every instruction,
+/// every dependency edge, and η (paper §5.1, Figure 1(iii)).
+pub fn extract_features(block: &BasicBlock, graph: &BlockGraph) -> Vec<Feature> {
+    let mut features = Vec::with_capacity(block.len() + graph.edges().len() + 1);
+    for i in 0..block.len() {
+        features.push(Feature::Instruction(i));
+    }
+    for edge in graph.edges() {
+        features.push(Feature::Dependency { kind: edge.kind, src: edge.src, dst: edge.dst });
+    }
+    features.push(Feature::NumInstructions);
+    features
+}
+
+/// Render a feature set in the paper's brace notation.
+pub fn format_feature_set(features: &FeatureSet) -> String {
+    let items: Vec<String> = features.iter().map(|f| f.to_string()).collect();
+    format!("{{{}}}", items.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::parse_block;
+
+    #[test]
+    fn extracts_all_feature_types() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx").unwrap();
+        let graph = BlockGraph::build(&block);
+        let features = extract_features(&block, &graph);
+        // 3 instructions + 1 RAW edge + eta.
+        assert_eq!(features.len(), 5);
+        assert!(features.contains(&Feature::NumInstructions));
+        assert!(features.contains(&Feature::Instruction(2)));
+        assert!(features
+            .contains(&Feature::Dependency { kind: DepKind::Raw, src: 0, dst: 1 }));
+    }
+
+    #[test]
+    fn display_uses_one_based_paper_notation() {
+        assert_eq!(Feature::Instruction(1).to_string(), "inst_2");
+        let dep = Feature::Dependency { kind: DepKind::Raw, src: 2, dst: 5 };
+        assert_eq!(dep.to_string(), "d_RAW,3,6");
+        assert_eq!(Feature::NumInstructions.to_string(), "eta(num_insts)");
+    }
+
+    #[test]
+    fn kinds_partition_features() {
+        assert_eq!(Feature::Instruction(0).kind(), FeatureKind::Inst);
+        assert_eq!(Feature::NumInstructions.kind(), FeatureKind::Eta);
+        let dep = Feature::Dependency { kind: DepKind::War, src: 0, dst: 1 };
+        assert_eq!(dep.kind(), FeatureKind::Dep);
+    }
+
+    #[test]
+    fn formats_sets() {
+        let mut set = FeatureSet::new();
+        set.insert(Feature::Instruction(1));
+        set.insert(Feature::NumInstructions);
+        assert_eq!(format_feature_set(&set), "{inst_2, eta(num_insts)}");
+    }
+}

@@ -1,0 +1,585 @@
+//! The basic-block perturbation algorithm Γ (paper §5.2, Algorithm 1,
+//! Appendices C–D).
+//!
+//! Given a set of features to preserve, Γ randomly perturbs every other
+//! feature independently:
+//!
+//! * *vertices* (instructions) are deleted (when η need not be
+//!   preserved) or their opcode is replaced with another opcode
+//!   accepting the same operands — opcodes with no valid replacement
+//!   (`lea`) are retained, the paper's Appendix D case;
+//! * *edges* (data dependencies) are broken by renaming the carrying
+//!   operand registers to others of the same type and size, or by
+//!   displacing the carrying memory address.
+//!
+//! Operand occurrences that carry a *preserved* dependency are
+//! protected from renaming, and a post-check guarantees every preserved
+//! feature survives in the emitted block (re-attempting the stochastic
+//! choices when a rare interaction — e.g. an opcode replacement turning
+//! a read into an interposing write — would violate one).
+
+use std::collections::{HashMap, HashSet};
+
+use comet_graph::{BlockGraph, DepEdge};
+#[cfg(test)]
+use comet_graph::DepKind;
+use comet_isa::{
+    opcode_replacements, BasicBlock, Instruction, Operand, RegClass, Register, Size,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::feature::{extract_features, Feature, FeatureSet};
+
+/// What counts as perturbing "the instruction feature" (paper
+/// Appendix E.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementScheme {
+    /// Only opcode changes perturb an instruction feature (the paper's
+    /// default — higher explanation accuracy).
+    OpcodeOnly,
+    /// Operand renames (type- and size-preserving) also count as
+    /// instruction perturbations.
+    WholeInstruction,
+}
+
+/// Γ's stochastic parameters (defaults follow the paper's §6 settings
+/// and Appendix E ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerturbConfig {
+    /// Probability of retaining a non-preserved instruction
+    /// (`p_I,ret`, paper: 0.5).
+    pub p_inst_retain: f64,
+    /// Probability of *explicitly* retaining a non-preserved data
+    /// dependency — the lower bound for `p_D,ret` (paper Appendix E.3:
+    /// 0.1).
+    pub p_dep_retain: f64,
+    /// Probability that a perturbed instruction is deleted rather than
+    /// replaced (`p_del`, paper Appendix E.2: 0.33).
+    pub p_delete: f64,
+    /// Instruction replacement scheme (paper Appendix E.4).
+    pub scheme: ReplacementScheme,
+}
+
+impl Default for PerturbConfig {
+    fn default() -> PerturbConfig {
+        PerturbConfig {
+            p_inst_retain: 0.5,
+            p_dep_retain: 0.1,
+            p_delete: 0.33,
+            scheme: ReplacementScheme::OpcodeOnly,
+        }
+    }
+}
+
+/// A perturbed block together with the original-block features that
+/// survive in it (used for both precision and coverage estimation).
+#[derive(Debug, Clone)]
+pub struct PerturbedBlock {
+    /// The perturbed basic block (always valid).
+    pub block: BasicBlock,
+    /// Features of the *original* block still present.
+    pub surviving: FeatureSet,
+}
+
+/// The perturbation sampler for one target block.
+#[derive(Debug, Clone)]
+pub struct Perturber<'a> {
+    block: &'a BasicBlock,
+    graph: BlockGraph,
+    features: Vec<Feature>,
+    config: PerturbConfig,
+}
+
+const MAX_ATTEMPTS: usize = 8;
+
+impl<'a> Perturber<'a> {
+    /// Build a perturber (analyzes the block's multigraph once).
+    pub fn new(block: &'a BasicBlock, config: PerturbConfig) -> Perturber<'a> {
+        let graph = BlockGraph::build(block);
+        let features = extract_features(block, &graph);
+        Perturber { block, graph, features, config }
+    }
+
+    /// The target block.
+    pub fn block(&self) -> &BasicBlock {
+        self.block
+    }
+
+    /// The block's multigraph.
+    pub fn graph(&self) -> &BlockGraph {
+        &self.graph
+    }
+
+    /// The candidate features P̂ of the block.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PerturbConfig {
+        &self.config
+    }
+
+    /// Sample one perturbation that preserves `preserve` (β′ ~ D_F).
+    ///
+    /// Preserved features are guaranteed to be in
+    /// [`PerturbedBlock::surviving`]; on the rare stochastic
+    /// interactions that would violate one, the draw is retried, and
+    /// after [`MAX_ATTEMPTS`] the unperturbed block is returned (the
+    /// identity perturbation — β ∈ Π(F) by definition).
+    pub fn perturb<R: Rng>(&self, preserve: &FeatureSet, rng: &mut R) -> PerturbedBlock {
+        debug_assert!(
+            preserve.iter().all(|f| self.features.contains(f)),
+            "preserve set contains features not in the block"
+        );
+        for _ in 0..MAX_ATTEMPTS {
+            let candidate = self.attempt(preserve, rng);
+            if preserve.is_subset(&candidate.surviving) {
+                return candidate;
+            }
+        }
+        PerturbedBlock {
+            block: self.block.clone(),
+            surviving: self.features.iter().copied().collect(),
+        }
+    }
+
+    fn attempt<R: Rng>(&self, preserve: &FeatureSet, rng: &mut R) -> PerturbedBlock {
+        let n = self.block.len();
+        let preserve_eta = preserve.contains(&Feature::NumInstructions);
+
+        // Vertices whose opcode (and, for preserved dependencies, whose
+        // carrying operands) must stay intact.
+        let mut keep_opcode = vec![false; n];
+        let mut protected_regs: HashSet<(usize, Register)> = HashSet::new();
+        let mut protected_mem: HashSet<usize> = HashSet::new();
+        for feature in preserve {
+            match *feature {
+                Feature::Instruction(i) => {
+                    keep_opcode[i] = true;
+                    if self.config.scheme == ReplacementScheme::WholeInstruction {
+                        protect_instruction(self.block, i, &mut protected_regs, &mut protected_mem);
+                    }
+                }
+                Feature::Dependency { kind, src, dst } => {
+                    keep_opcode[src] = true;
+                    keep_opcode[dst] = true;
+                    if let Some(edge) = self.graph.find_edge(kind, src, dst) {
+                        for reg in edge.cause_registers() {
+                            protected_regs.insert((src, reg.full()));
+                            protected_regs.insert((dst, reg.full()));
+                        }
+                        if edge.has_memory_cause() {
+                            protected_mem.insert(src);
+                            protected_mem.insert(dst);
+                        }
+                    }
+                }
+                Feature::NumInstructions => {}
+            }
+        }
+
+        // --- vertex perturbations -----------------------------------
+        let mut insts: Vec<Option<Instruction>> =
+            self.block.iter().cloned().map(Some).collect();
+        let mut opcode_changed = vec![false; n];
+        let mut operands_changed = vec![false; n];
+        for i in 0..n {
+            if keep_opcode[i] || rng.gen::<f64>() < self.config.p_inst_retain {
+                continue;
+            }
+            if !preserve_eta && rng.gen::<f64>() < self.config.p_delete {
+                insts[i] = None;
+                continue;
+            }
+            let inst = insts[i].as_mut().expect("vertex not yet deleted");
+            let candidates = opcode_replacements(inst);
+            if let Some(&new_opcode) = candidates.choose(rng) {
+                inst.opcode = new_opcode;
+                opcode_changed[i] = true;
+            }
+            // Under the whole-instruction scheme, operand renames are
+            // part of instruction perturbation as well.
+            if self.config.scheme == ReplacementScheme::WholeInstruction && rng.gen_bool(0.5) {
+                if rename_random_operand(insts[i].as_mut().unwrap(), i, &protected_regs, rng) {
+                    operands_changed[i] = true;
+                }
+            }
+        }
+
+        // --- edge perturbations --------------------------------------
+        for edge in self.graph.edges() {
+            let id = Feature::Dependency { kind: edge.kind, src: edge.src, dst: edge.dst };
+            if preserve.contains(&id) {
+                continue;
+            }
+            if insts[edge.src].is_none() || insts[edge.dst].is_none() {
+                continue; // already gone with its vertex
+            }
+            if rng.gen::<f64>() < self.config.p_dep_retain {
+                continue; // explicit retention
+            }
+            self.break_edge(edge, &mut insts, &protected_regs, &protected_mem, rng);
+        }
+
+        // --- rebuild & survival --------------------------------------
+        let mut index_map: HashMap<usize, usize> = HashMap::new();
+        let mut kept = Vec::new();
+        for (i, inst) in insts.into_iter().enumerate() {
+            if let Some(inst) = inst {
+                index_map.insert(i, kept.len());
+                kept.push(inst);
+            }
+        }
+        if kept.is_empty() {
+            // Blocks must be non-empty; retain the first instruction.
+            index_map.insert(0, 0);
+            kept.push(self.block.instructions()[0].clone());
+            opcode_changed[0] = false;
+            operands_changed[0] = false;
+        }
+        let new_len = kept.len();
+        let block = BasicBlock::new(kept).expect("perturbation produced an invalid block");
+        let new_graph = BlockGraph::build(&block);
+
+        let mut surviving = FeatureSet::new();
+        for feature in &self.features {
+            let present = match *feature {
+                Feature::Instruction(i) => match index_map.get(&i) {
+                    Some(_) => {
+                        !opcode_changed[i]
+                            && (self.config.scheme == ReplacementScheme::OpcodeOnly
+                                || !operands_changed[i])
+                    }
+                    None => false,
+                },
+                Feature::Dependency { kind, src, dst } => {
+                    match (index_map.get(&src), index_map.get(&dst)) {
+                        (Some(&s), Some(&d)) => new_graph.find_edge(kind, s, d).is_some(),
+                        _ => false,
+                    }
+                }
+                Feature::NumInstructions => new_len == n,
+            };
+            if present {
+                surviving.insert(*feature);
+            }
+        }
+        PerturbedBlock { block, surviving }
+    }
+
+    /// Break one dependency edge by perturbing the carrying operands of
+    /// the consumer instruction. Protected occurrences are skipped, so
+    /// a break attempt can fail (implicit retention — the paper's
+    /// block-specific probability effect, Appendix D).
+    fn break_edge<R: Rng>(
+        &self,
+        edge: &DepEdge,
+        insts: &mut [Option<Instruction>],
+        protected_regs: &HashSet<(usize, Register)>,
+        protected_mem: &HashSet<usize>,
+        rng: &mut R,
+    ) {
+        for cause in edge.cause_registers() {
+            let full = cause.full();
+            if protected_regs.contains(&(edge.dst, full)) {
+                continue;
+            }
+            let replacement = self.pick_replacement_register(full, insts, rng);
+            if let Some(inst) = insts[edge.dst].as_mut() {
+                rename_register(inst, full, replacement);
+            }
+        }
+        if edge.has_memory_cause() && !protected_mem.contains(&edge.dst) {
+            if let Some(inst) = insts[edge.dst].as_mut() {
+                displace_memory(inst, 64 * (1 + rng.gen_range(0..4)));
+            }
+        }
+    }
+
+    /// Choose a register of the same class to substitute for `full`,
+    /// preferring registers unused anywhere in the current block so no
+    /// new dependencies form.
+    fn pick_replacement_register<R: Rng>(
+        &self,
+        full: Register,
+        insts: &[Option<Instruction>],
+        rng: &mut R,
+    ) -> Register {
+        let mut used: HashSet<Register> = HashSet::new();
+        for inst in insts.iter().flatten() {
+            for operand in &inst.operands {
+                match operand {
+                    Operand::Reg(r) => {
+                        used.insert(r.full());
+                    }
+                    Operand::Mem(m) => used.extend(m.address_registers().map(Register::full)),
+                    Operand::Imm(_) => {}
+                }
+            }
+        }
+        let full_size = match full.class() {
+            RegClass::Gpr => Size::B64,
+            RegClass::Vec => Size::B256,
+        };
+        let candidates: Vec<Register> = Register::all(full.class(), full_size)
+            .filter(|r| *r != full && !r.is_stack_pointer())
+            .collect();
+        let fresh: Vec<Register> =
+            candidates.iter().copied().filter(|r| !used.contains(r)).collect();
+        *fresh
+            .choose(rng)
+            .or_else(|| candidates.choose(rng))
+            .expect("register file exhausted")
+    }
+}
+
+/// Protect every register and memory operand of an instruction.
+fn protect_instruction(
+    block: &BasicBlock,
+    index: usize,
+    protected_regs: &mut HashSet<(usize, Register)>,
+    protected_mem: &mut HashSet<usize>,
+) {
+    for operand in &block.instructions()[index].operands {
+        match operand {
+            Operand::Reg(r) => {
+                protected_regs.insert((index, r.full()));
+            }
+            Operand::Mem(m) => {
+                protected_mem.insert(index);
+                for r in m.address_registers() {
+                    protected_regs.insert((index, r.full()));
+                }
+            }
+            Operand::Imm(_) => {}
+        }
+    }
+}
+
+/// Substitute every occurrence of the architectural register `full`
+/// (at any width) in the instruction by the same-width view of
+/// `replacement`.
+fn rename_register(inst: &mut Instruction, full: Register, replacement: Register) {
+    let swap = |reg: Register| -> Register {
+        if reg.full() == full {
+            replacement.with_size(reg.size()).unwrap_or(reg)
+        } else {
+            reg
+        }
+    };
+    for operand in &mut inst.operands {
+        match operand {
+            Operand::Reg(r) => *r = swap(*r),
+            Operand::Mem(m) => {
+                m.base = m.base.map(swap);
+                m.index = m.index.map(swap);
+            }
+            Operand::Imm(_) => {}
+        }
+    }
+}
+
+/// Shift the instruction's memory operand by `delta` bytes, breaking
+/// address-carried dependencies.
+fn displace_memory(inst: &mut Instruction, delta: i64) {
+    for operand in &mut inst.operands {
+        if let Operand::Mem(m) = operand {
+            m.disp += delta;
+        }
+    }
+}
+
+/// Rename one random non-protected register operand to another of the
+/// same class and size. Returns whether a rename happened.
+fn rename_random_operand<R: Rng>(
+    inst: &mut Instruction,
+    index: usize,
+    protected_regs: &HashSet<(usize, Register)>,
+    rng: &mut R,
+) -> bool {
+    let renameable: Vec<usize> = inst
+        .operands
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, op)| match op {
+            Operand::Reg(r)
+                if !protected_regs.contains(&(index, r.full())) && !r.is_stack_pointer() =>
+            {
+                Some(pos)
+            }
+            _ => None,
+        })
+        .collect();
+    let Some(&pos) = renameable.choose(rng) else {
+        return false;
+    };
+    let Operand::Reg(old) = inst.operands[pos] else { unreachable!() };
+    let choices: Vec<Register> = Register::all(old.class(), old.size())
+        .filter(|r| *r != old && !r.is_stack_pointer())
+        .collect();
+    if let Some(&new) = choices.choose(rng) {
+        inst.operands[pos] = Operand::Reg(new);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::parse_block;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn feature_dep(kind: DepKind, src: usize, dst: usize) -> Feature {
+        Feature::Dependency { kind, src, dst }
+    }
+
+    #[test]
+    fn preserved_features_always_survive() {
+        let block = parse_block(
+            "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx",
+        )
+        .unwrap();
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let all_features: Vec<Feature> = perturber.features().to_vec();
+        for feature in all_features {
+            let mut preserve = FeatureSet::new();
+            preserve.insert(feature);
+            for _ in 0..50 {
+                let result = perturber.perturb(&preserve, &mut rng);
+                assert!(
+                    preserve.is_subset(&result.surviving),
+                    "{feature} lost in:\n{}",
+                    result.block
+                );
+                assert!(result.block.is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_preserve_set_produces_diverse_blocks() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx").unwrap();
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut distinct = HashSet::new();
+        for _ in 0..200 {
+            let result = perturber.perturb(&FeatureSet::new(), &mut rng);
+            distinct.insert(result.block.to_string());
+        }
+        assert!(distinct.len() > 40, "only {} distinct perturbations", distinct.len());
+    }
+
+    #[test]
+    fn eta_preservation_fixes_length() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx\nimul r9, r10").unwrap();
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut preserve = FeatureSet::new();
+        preserve.insert(Feature::NumInstructions);
+        for _ in 0..100 {
+            let result = perturber.perturb(&preserve, &mut rng);
+            assert_eq!(result.block.len(), 4);
+        }
+        // And without it, deletions happen.
+        let mut shrunk = false;
+        for _ in 0..100 {
+            let result = perturber.perturb(&FeatureSet::new(), &mut rng);
+            shrunk |= result.block.len() < 4;
+        }
+        assert!(shrunk, "no deletion in 100 free perturbations");
+    }
+
+    #[test]
+    fn preserved_dependency_keeps_endpoint_opcodes() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx").unwrap();
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut preserve = FeatureSet::new();
+        preserve.insert(feature_dep(DepKind::Raw, 0, 1));
+        for _ in 0..100 {
+            let result = perturber.perturb(&preserve, &mut rng);
+            // Endpoints' opcodes must be intact (positions may shift
+            // only if earlier instructions were deleted; here 0 and 1
+            // are the first two).
+            assert_eq!(result.block.instructions()[0].opcode.name(), "add");
+            assert_eq!(result.block.instructions()[1].opcode.name(), "mov");
+        }
+    }
+
+    #[test]
+    fn dependencies_get_broken_when_not_preserved() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx").unwrap();
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        let dep = feature_dep(DepKind::Raw, 0, 1);
+        let mut broken = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let result = perturber.perturb(&FeatureSet::new(), &mut rng);
+            if !result.surviving.contains(&dep) {
+                broken += 1;
+            }
+        }
+        assert!(broken > trials / 3, "dependency broken only {broken}/{trials} times");
+    }
+
+    #[test]
+    fn lea_is_never_replaced() {
+        let block = parse_block("lea rdx, [rax + 1]\nadd rcx, rdx").unwrap();
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let result = perturber.perturb(&FeatureSet::new(), &mut rng);
+            for inst in &result.block {
+                if inst.mem_operand().is_some() && inst.opcode.name() == "lea" {
+                    // fine: lea retained
+                }
+            }
+            // If instruction 0 survived, it must still be a lea.
+            if result.block.len() == 2 {
+                assert_eq!(result.block.instructions()[0].opcode.name(), "lea");
+            }
+        }
+    }
+
+    #[test]
+    fn perturbations_are_reproducible_per_seed() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx").unwrap();
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let a = perturber.perturb(&FeatureSet::new(), &mut StdRng::seed_from_u64(9));
+        let b = perturber.perturb(&FeatureSet::new(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.block, b.block);
+        assert_eq!(a.surviving, b.surviving);
+    }
+
+    #[test]
+    fn whole_instruction_scheme_perturbs_operands() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\nsub r9, r10\nxor r11, r12").unwrap();
+        let config =
+            PerturbConfig { scheme: ReplacementScheme::WholeInstruction, ..Default::default() };
+        let perturber = Perturber::new(&block, config);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut operand_changes = 0;
+        for _ in 0..200 {
+            let result = perturber.perturb(&FeatureSet::new(), &mut rng);
+            // Count perturbed blocks where some surviving-length
+            // instruction has different operands but same opcode count.
+            if result.block.len() == block.len() {
+                for (orig, new) in block.iter().zip(&result.block) {
+                    if orig.opcode == new.opcode && orig.operands != new.operands {
+                        operand_changes += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(operand_changes > 5, "got {operand_changes}");
+    }
+}

@@ -1,0 +1,170 @@
+//! KL-divergence-based confidence bounds for Bernoulli precision
+//! estimation (Kaufmann & Kalyanakrishnan, 2013), as used by the
+//! Anchors/COMET candidate-selection loop.
+
+/// Bernoulli KL divergence `kl(p, q)`.
+///
+/// Conventions: `0 log 0 = 0`; divergence is `+inf` when `q` touches a
+/// boundary `p` does not.
+pub fn kl_bernoulli(p: f64, q: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&q));
+    let q = q.clamp(1e-12, 1.0 - 1e-12);
+    let mut kl = 0.0;
+    if p > 0.0 {
+        kl += p * (p / q).ln();
+    }
+    if p < 1.0 {
+        kl += (1.0 - p) * ((1.0 - p) / (1.0 - q)).ln();
+    }
+    kl
+}
+
+/// Upper confidence bound: the largest `q >= p_hat` with
+/// `n * kl(p_hat, q) <= beta`.
+pub fn kl_ucb(p_hat: f64, n: u64, beta: f64) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let level = beta / n as f64;
+    bisect(|q| kl_bernoulli(p_hat, q), p_hat, 1.0, level)
+}
+
+/// Lower confidence bound: the smallest `q <= p_hat` with
+/// `n * kl(p_hat, q) <= beta`.
+pub fn kl_lcb(p_hat: f64, n: u64, beta: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let level = beta / n as f64;
+    // kl(p_hat, q) is decreasing in q on [0, p_hat]; search the mirror.
+    let f = |q: f64| kl_bernoulli(p_hat, q);
+    // Bisect on [0, p_hat] for the smallest q with f(q) <= level.
+    let (mut lo, mut hi) = (0.0f64, p_hat);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > level {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Bisect on `[lo0, hi0]` (with `f` increasing away from `lo0`) for the
+/// largest `x` with `f(x) <= level`.
+fn bisect(f: impl Fn(f64) -> f64, lo0: f64, hi0: f64, level: f64) -> f64 {
+    let (mut lo, mut hi) = (lo0, hi0);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > level {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+/// The exploration rate `beta(n, t)` from the Anchors implementation:
+/// grows logarithmically with the round `t` and the number of
+/// candidates `k`, at failure probability `delta_conf`.
+pub fn exploration_beta(t: u64, k: usize, delta_conf: f64) -> f64 {
+    let t = t.max(1) as f64;
+    let k = k.max(1) as f64;
+    // alpha = 1.1, standard LUCB1 schedule.
+    let temp = (1.1 * t.powf(1.1) * k / delta_conf).ln();
+    temp.max(0.0)
+}
+
+/// A running Bernoulli estimate with KL confidence bounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BernoulliEstimate {
+    /// Positive outcomes observed.
+    pub successes: u64,
+    /// Total outcomes observed.
+    pub samples: u64,
+}
+
+impl BernoulliEstimate {
+    /// Record one outcome.
+    pub fn update(&mut self, success: bool) {
+        self.samples += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Point estimate (0.0 with no samples).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.samples as f64
+        }
+    }
+
+    /// KL upper confidence bound at exploration rate `beta`.
+    pub fn ucb(&self, beta: f64) -> f64 {
+        kl_ucb(self.mean(), self.samples, beta)
+    }
+
+    /// KL lower confidence bound at exploration rate `beta`.
+    pub fn lcb(&self, beta: f64) -> f64 {
+        kl_lcb(self.mean(), self.samples, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_is_zero_on_diagonal_and_positive_off() {
+        for p in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert!(kl_bernoulli(p, p) < 1e-9);
+        }
+        assert!(kl_bernoulli(0.5, 0.9) > 0.0);
+        assert!(kl_bernoulli(0.9, 0.5) > 0.0);
+    }
+
+    #[test]
+    fn bounds_bracket_the_mean() {
+        let mut est = BernoulliEstimate::default();
+        for i in 0..100 {
+            est.update(i % 4 != 0); // p̂ = 0.75
+        }
+        let beta = exploration_beta(1, 10, 0.05);
+        assert!(est.lcb(beta) <= est.mean());
+        assert!(est.ucb(beta) >= est.mean());
+        assert!(est.lcb(beta) > 0.5, "lcb {}", est.lcb(beta));
+        assert!(est.ucb(beta) < 0.95, "ucb {}", est.ucb(beta));
+    }
+
+    #[test]
+    fn bounds_tighten_with_samples() {
+        let beta = 2.0;
+        let few = kl_ucb(0.7, 10, beta) - kl_lcb(0.7, 10, beta);
+        let many = kl_ucb(0.7, 1000, beta) - kl_lcb(0.7, 1000, beta);
+        assert!(many < few);
+        assert!(many < 0.1);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(kl_ucb(0.5, 0, 1.0), 1.0);
+        assert_eq!(kl_lcb(0.5, 0, 1.0), 0.0);
+        // p̂ = 1 with few samples: UCB stays 1, LCB well below.
+        assert!((kl_ucb(1.0, 5, 1.0) - 1.0).abs() < 1e-6);
+        assert!(kl_lcb(1.0, 5, 1.0) < 1.0);
+        // Extreme certainty.
+        assert!(kl_lcb(1.0, 100_000, 1.0) > 0.999);
+    }
+
+    #[test]
+    fn exploration_beta_grows_with_round() {
+        let b1 = exploration_beta(1, 10, 0.05);
+        let b100 = exploration_beta(100, 10, 0.05);
+        assert!(b100 > b1);
+    }
+}

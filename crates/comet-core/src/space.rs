@@ -1,0 +1,134 @@
+//! Perturbation-space cardinality estimation (paper Appendix F): how
+//! many distinct blocks Π̂(F) contains — evidence that the ideal
+//! explanation problem is intractable and sampling is required.
+//!
+//! Counts are astronomically large, so everything is computed in
+//! log10 space.
+
+use comet_isa::{opcode_replacements, BasicBlock, Operand, RegClass, Register, Size};
+
+use crate::feature::{Feature, FeatureSet};
+use crate::perturb::Perturber;
+
+/// log10 of the estimated number of perturbed blocks retaining
+/// `preserve`.
+///
+/// The estimate multiplies independent per-feature choice counts, the
+/// same independence structure Γ uses (paper §5.2):
+///
+/// * a perturbable vertex contributes `1 + |replacements| (+1 if
+///   deletable)` opcode choices;
+/// * every register operand occurrence outside preserved features
+///   contributes the number of same-class, same-size registers;
+/// * every perturbable memory operand contributes its displacement
+///   choices.
+pub fn log10_space_size(perturber: &Perturber<'_>, preserve: &FeatureSet) -> f64 {
+    let block = perturber.block();
+    let preserve_eta = preserve.contains(&Feature::NumInstructions);
+
+    // Vertices whose opcode is pinned by the preserve set.
+    let mut keep_opcode = vec![false; block.len()];
+    for feature in preserve {
+        match *feature {
+            Feature::Instruction(i) => keep_opcode[i] = true,
+            Feature::Dependency { src, dst, .. } => {
+                keep_opcode[src] = true;
+                keep_opcode[dst] = true;
+            }
+            Feature::NumInstructions => {}
+        }
+    }
+
+    let mut log10 = 0.0;
+    for (i, inst) in block.iter().enumerate() {
+        // Opcode choices.
+        if !keep_opcode[i] {
+            let mut choices = 1 + opcode_replacements(inst).len();
+            if !preserve_eta {
+                choices += 1; // deletion
+            }
+            log10 += (choices as f64).log10();
+        }
+        // Operand choices (registers renameable within class+size).
+        for operand in &inst.operands {
+            match operand {
+                Operand::Reg(reg) => log10 += (register_choices(*reg) as f64).log10(),
+                Operand::Mem(mem) => {
+                    for reg in mem.address_registers() {
+                        log10 += (register_choices(reg) as f64).log10();
+                    }
+                    // Displacement perturbation choices.
+                    log10 += 4f64.log10();
+                }
+                Operand::Imm(_) => {}
+            }
+        }
+    }
+    log10
+}
+
+fn register_choices(reg: Register) -> usize {
+    match reg.class() {
+        // Excluding the stack pointer.
+        RegClass::Gpr => usize::from(comet_isa::reg::NUM_GPR) - 1,
+        RegClass::Vec => usize::from(comet_isa::reg::NUM_VEC),
+    }
+}
+
+/// Human-readable scientific rendering of a log10 count, e.g.
+/// `"1.94e38"`.
+pub fn format_log10(log10: f64) -> String {
+    let exponent = log10.floor();
+    let mantissa = 10f64.powf(log10 - exponent);
+    format!("{:.2}e{}", mantissa, exponent as i64)
+}
+
+/// Convenience: estimate for a block with default Γ parameters.
+pub fn estimate_space(block: &BasicBlock, preserve: &FeatureSet) -> f64 {
+    let perturber = Perturber::new(block, crate::perturb::PerturbConfig::default());
+    log10_space_size(&perturber, preserve)
+}
+
+// Silence an unused-import lint path for Size on some feature sets.
+#[allow(unused)]
+fn _size_witness(_: Size) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::parse_block;
+
+    /// Paper Appendix F, listing 4 (β1): seven AVX instructions,
+    /// |Π̂(∅)| ≈ 1.94e38 in the authors' counting. Our opcode subset and
+    /// counting differ; what must hold is the order of magnitude being
+    /// astronomically large (> 1e25).
+    #[test]
+    fn beta1_space_is_astronomical() {
+        let text = "vdivss xmm0, xmm0, xmm6\nvmulss xmm7, xmm0, xmm0\nvxorps xmm0, xmm0, xmm5\n\
+                    vaddss xmm7, xmm7, xmm3\nvmulss xmm6, xmm6, xmm7\nvdivss xmm6, xmm3, xmm6\n\
+                    vmulss xmm0, xmm6, xmm0";
+        let block = parse_block(text).unwrap();
+        let log10 = estimate_space(&block, &FeatureSet::new());
+        assert!(log10 > 25.0, "log10 = {log10}");
+    }
+
+    #[test]
+    fn preserving_features_shrinks_the_space() {
+        let block = parse_block("vdivss xmm0, xmm0, xmm6\nvmulss xmm7, xmm0, xmm0").unwrap();
+        let empty = estimate_space(&block, &FeatureSet::new());
+        let mut preserve = FeatureSet::new();
+        preserve.insert(Feature::Instruction(0));
+        let pinned = estimate_space(&block, &preserve);
+        assert!(pinned < empty, "{pinned} vs {empty}");
+        let mut eta = FeatureSet::new();
+        eta.insert(Feature::NumInstructions);
+        let no_delete = estimate_space(&block, &eta);
+        assert!(no_delete < empty);
+    }
+
+    #[test]
+    fn formatting_matches_scientific_notation() {
+        assert_eq!(format_log10(38.2878), "1.94e38");
+        assert_eq!(format_log10(2.0), "1.00e2");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the COMET framework's core invariants.
+
+use comet_bhive::{generate_source_block, GenConfig, Source};
+use comet_core::{
+    extract_features, ground_truth, is_accurate, precision, Feature, FeatureSet, PerturbConfig,
+    Perturber,
+};
+use comet_graph::BlockGraph;
+use comet_isa::{BasicBlock, Microarch};
+use comet_models::{CostModel, CrudeModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_block() -> impl Strategy<Value = BasicBlock> {
+    (any::<u64>(), prop_oneof![Just(Source::Clang), Just(Source::OpenBlas)]).prop_map(
+        |(seed, source)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            generate_source_block(source, GenConfig::default(), &mut rng)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Γ's central guarantee: preserved features always survive, and
+    /// the emitted block is always valid.
+    #[test]
+    fn perturbation_preserves_requested_features(
+        block in arb_block(),
+        seed in any::<u64>(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let features = perturber.features().to_vec();
+        let feature = features[pick.index(features.len())];
+        let mut preserve = FeatureSet::new();
+        preserve.insert(feature);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let out = perturber.perturb(&preserve, &mut rng);
+            prop_assert!(out.block.is_valid());
+            prop_assert!(
+                preserve.is_subset(&out.surviving),
+                "{feature} lost in\n{}",
+                out.block
+            );
+        }
+    }
+
+    /// Surviving feature sets are sound: every reported surviving
+    /// feature is actually a feature of the perturbed block.
+    #[test]
+    fn surviving_features_exist_in_perturbed_block(
+        block in arb_block(),
+        seed in any::<u64>(),
+    ) {
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = perturber.perturb(&FeatureSet::new(), &mut rng);
+        // η survival must match length equality.
+        prop_assert_eq!(
+            out.surviving.contains(&Feature::NumInstructions),
+            out.block.len() == block.len()
+        );
+        // Dependency survival is checked against a fresh analysis when
+        // lengths match (positions are then stable for undeleted
+        // prefixes only; full re-mapping is internal, so restrict to
+        // the no-deletion case).
+        if out.block.len() == block.len() {
+            let new_graph = BlockGraph::build(&out.block);
+            for feature in &out.surviving {
+                if let Feature::Dependency { kind, src, dst } = *feature {
+                    prop_assert!(
+                        new_graph.find_edge(kind, src, dst).is_some(),
+                        "reported surviving {feature} missing in\n{}",
+                        out.block
+                    );
+                }
+            }
+        }
+    }
+
+    /// GT(β) is never empty, contains only block features, and is
+    /// self-accurate.
+    #[test]
+    fn ground_truth_well_formed(block in arb_block()) {
+        for march in Microarch::ALL {
+            let crude = CrudeModel::new(march);
+            let gt = ground_truth(&crude, &block);
+            prop_assert!(!gt.is_empty());
+            let graph = BlockGraph::build(&block);
+            let all: FeatureSet = extract_features(&block, &graph).into_iter().collect();
+            prop_assert!(gt.is_subset(&all));
+            prop_assert!(is_accurate(&gt, &gt));
+        }
+    }
+
+    /// The crude model's prediction equals the max of its component
+    /// costs and is achieved by every ground-truth feature.
+    #[test]
+    fn crude_prediction_is_the_feature_max(block in arb_block()) {
+        let crude = CrudeModel::new(Microarch::Haswell);
+        let total = crude.predict(&block);
+        let graph = BlockGraph::build(&block);
+        let mut max_cost = crude.cost_eta(block.len());
+        for i in 0..block.len() {
+            max_cost = max_cost.max(crude.cost_inst(&block, i));
+        }
+        for edge in graph.edges() {
+            max_cost = max_cost.max(crude.cost_dep(&block, edge));
+        }
+        prop_assert!((total - max_cost).abs() < 1e-12);
+    }
+
+    /// KL bounds always bracket the empirical mean and lie in [0, 1].
+    #[test]
+    fn kl_bounds_bracket_mean(successes in 0u64..200, extra in 0u64..200, beta in 0.01f64..20.0) {
+        let n = successes + extra;
+        prop_assume!(n > 0);
+        let p_hat = successes as f64 / n as f64;
+        let lcb = precision::kl_lcb(p_hat, n, beta);
+        let ucb = precision::kl_ucb(p_hat, n, beta);
+        prop_assert!((0.0..=1.0).contains(&lcb));
+        prop_assert!((0.0..=1.0).contains(&ucb));
+        prop_assert!(lcb <= p_hat + 1e-9, "lcb {lcb} > mean {p_hat}");
+        prop_assert!(ucb >= p_hat - 1e-9, "ucb {ucb} < mean {p_hat}");
+    }
+
+    /// Perturbation-space estimates shrink monotonically as features
+    /// are pinned.
+    #[test]
+    fn space_estimates_monotone(block in arb_block(), pick in any::<prop::sample::Index>()) {
+        let empty = comet_core::space::estimate_space(&block, &FeatureSet::new());
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let features = perturber.features().to_vec();
+        let feature = features[pick.index(features.len())];
+        let mut preserve = FeatureSet::new();
+        preserve.insert(feature);
+        let pinned = comet_core::space::estimate_space(&block, &preserve);
+        prop_assert!(pinned <= empty + 1e-9, "{feature}: {pinned} > {empty}");
+    }
+}

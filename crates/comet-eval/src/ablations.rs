@@ -1,0 +1,122 @@
+//! Appendix E ablations (Figures 5–8): sensitivity of explanation
+//! accuracy to COMET's hyperparameters, measured against the crude
+//! model's ground truth on Haswell.
+
+use comet_core::{ground_truth, ExplainConfig, FeatureSet, PerturbConfig, ReplacementScheme};
+use comet_isa::{BasicBlock, Microarch};
+use comet_models::{mean_std, CrudeModel};
+
+use crate::context::EvalContext;
+use crate::experiments::{accuracy_pct, crude_config, explain_blocks};
+use crate::report::{pm, Table};
+
+struct AblationSetup<'a> {
+    crude: CrudeModel,
+    blocks: Vec<&'a BasicBlock>,
+    gts: Vec<FeatureSet>,
+    seeds: u64,
+}
+
+fn setup(ctx: &EvalContext) -> AblationSetup<'_> {
+    let crude = CrudeModel::new(Microarch::Haswell);
+    let blocks: Vec<&BasicBlock> = ctx
+        .test_corpus
+        .iter()
+        .take(ctx.scale.ablation_blocks)
+        .map(|b| &b.block)
+        .collect();
+    let gts: Vec<FeatureSet> = blocks.iter().map(|b| ground_truth(&crude, b)).collect();
+    AblationSetup { crude, blocks, gts, seeds: ctx.scale.seeds.min(3) as u64 }
+}
+
+/// Accuracy (mean ± std over seeds) for one configuration, plus the
+/// mean explanation precision.
+fn run_config(s: &AblationSetup<'_>, config: ExplainConfig) -> ((f64, f64), f64) {
+    let mut accs = Vec::new();
+    let mut precisions = Vec::new();
+    for seed in 0..s.seeds {
+        let explanations = explain_blocks(&s.crude, &s.blocks, config, 1000 + seed);
+        precisions
+            .push(explanations.iter().map(|e| e.precision).sum::<f64>() / explanations.len() as f64);
+        let sets: Vec<FeatureSet> = explanations.into_iter().map(|e| e.features).collect();
+        accs.push(accuracy_pct(&sets, &s.gts));
+    }
+    (mean_std(&accs), precisions.iter().sum::<f64>() / precisions.len() as f64)
+}
+
+/// Figure 5: accuracy vs the precision threshold (1 − δ). The paper
+/// finds 0.7 the best high threshold.
+pub fn run_figure5(ctx: &EvalContext) -> Table {
+    let s = setup(ctx);
+    let mut table = Table::new(
+        "Figure 5: Accuracy vs precision threshold (crude model, HSW)",
+        &["Threshold (1-delta)", "Accuracy (%)"],
+    );
+    for threshold in [0.5, 0.6, 0.7, 0.8, 0.9] {
+        let config = ExplainConfig { delta: 1.0 - threshold, ..crude_config(ctx) };
+        let ((mean, std), _) = run_config(&s, config);
+        table.push_row(vec![format!("{threshold:.1}"), pm(mean, std)]);
+    }
+    table
+}
+
+/// Figure 6: accuracy vs the instruction-deletion probability `p_del`.
+/// The paper selects 0.33.
+pub fn run_figure6(ctx: &EvalContext) -> Table {
+    let s = setup(ctx);
+    let mut table = Table::new(
+        "Figure 6: Accuracy vs instruction deletion probability (crude model, HSW)",
+        &["p_del", "Accuracy (%)"],
+    );
+    for p_delete in [0.0, 0.2, 0.33, 0.5, 0.75] {
+        let base = crude_config(ctx);
+        let config = ExplainConfig {
+            perturb: PerturbConfig { p_delete, ..base.perturb },
+            ..base
+        };
+        let ((mean, std), _) = run_config(&s, config);
+        table.push_row(vec![format!("{p_delete:.2}"), pm(mean, std)]);
+    }
+    table
+}
+
+/// Figure 7: accuracy and precision vs the explicit data-dependency
+/// retention probability. The paper selects 0.1.
+pub fn run_figure7(ctx: &EvalContext) -> Table {
+    let s = setup(ctx);
+    let mut table = Table::new(
+        "Figure 7: Accuracy and precision vs explicit dependency retention (crude model, HSW)",
+        &["p_dep_retain", "Accuracy (%)", "Av. precision"],
+    );
+    for p_dep_retain in [0.0, 0.1, 0.25, 0.5, 0.75] {
+        let base = crude_config(ctx);
+        let config = ExplainConfig {
+            perturb: PerturbConfig { p_dep_retain, ..base.perturb },
+            ..base
+        };
+        let ((mean, std), precision) = run_config(&s, config);
+        table.push_row(vec![format!("{p_dep_retain:.2}"), pm(mean, std), format!("{precision:.3}")]);
+    }
+    table
+}
+
+/// Figure 8: opcode-only vs whole-instruction replacement schemes. The
+/// paper finds opcode-only more accurate.
+pub fn run_figure8(ctx: &EvalContext) -> Table {
+    let s = setup(ctx);
+    let mut table = Table::new(
+        "Figure 8: Accuracy by instruction replacement scheme (crude model, HSW)",
+        &["Scheme", "Accuracy (%)"],
+    );
+    for (label, scheme) in [
+        ("Opcode-only", ReplacementScheme::OpcodeOnly),
+        ("Whole instruction", ReplacementScheme::WholeInstruction),
+    ] {
+        let base = crude_config(ctx);
+        let config =
+            ExplainConfig { perturb: PerturbConfig { scheme, ..base.perturb }, ..base };
+        let ((mean, std), _) = run_config(&s, config);
+        table.push_row(vec![label.into(), pm(mean, std)]);
+    }
+    table
+}

@@ -1,0 +1,234 @@
+//! Shared experiment machinery plus the paper's Table 2 and Table 3.
+
+use comet_bhive::BhiveBlock;
+use comet_core::{
+    ground_truth, is_accurate, BaselineContext, ExplainConfig, Explainer, Explanation,
+    FeatureSet,
+};
+use comet_isa::{BasicBlock, Microarch};
+use comet_models::{mean_std, CachedModel, CostModel, CrudeModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::context::EvalContext;
+use crate::par::par_map;
+use crate::report::{pm, Table};
+
+/// Explain every block in parallel with deterministic per-block seeds.
+pub fn explain_blocks<M: CostModel + Sync>(
+    model: &M,
+    blocks: &[&BasicBlock],
+    config: ExplainConfig,
+    seed: u64,
+) -> Vec<Explanation> {
+    let explainer = Explainer::new(model, config);
+    par_map(blocks, |i, block| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64));
+        explainer.explain(block, &mut rng)
+    })
+}
+
+/// The explanation config used for the crude-model experiments at the
+/// given evaluation scale.
+pub fn crude_config(ctx: &EvalContext) -> ExplainConfig {
+    ExplainConfig {
+        coverage_samples: ctx.scale.coverage_samples,
+        ..ExplainConfig::for_crude_model()
+    }
+}
+
+/// The explanation config used for the practical-model experiments.
+pub fn model_config(ctx: &EvalContext) -> ExplainConfig {
+    ExplainConfig {
+        coverage_samples: ctx.scale.coverage_samples,
+        max_samples: 400,
+        max_total_queries: 12_000,
+        ..ExplainConfig::for_throughput_model()
+    }
+}
+
+/// Accuracy of a list of explanations against ground truths, in percent.
+pub fn accuracy_pct(explanations: &[FeatureSet], ground_truths: &[FeatureSet]) -> f64 {
+    assert_eq!(explanations.len(), ground_truths.len());
+    let hits = explanations
+        .iter()
+        .zip(ground_truths)
+        .filter(|(e, gt)| is_accurate(e, gt))
+        .count();
+    100.0 * hits as f64 / explanations.len().max(1) as f64
+}
+
+/// Result bundle for one (march) column of Table 2.
+struct Table2Column {
+    random: (f64, f64),
+    fixed: f64,
+    comet: (f64, f64),
+}
+
+fn table2_column(ctx: &EvalContext, march: Microarch) -> Table2Column {
+    let crude = CrudeModel::new(march);
+    let blocks: Vec<&BasicBlock> = ctx.test_corpus.iter().map(|b| &b.block).collect();
+    let gts: Vec<FeatureSet> = blocks.iter().map(|b| ground_truth(&crude, b)).collect();
+    let baseline_ctx = BaselineContext::from_ground_truths(&gts);
+
+    let mut comet_accs = Vec::new();
+    let mut random_accs = Vec::new();
+    for seed in 0..ctx.scale.seeds as u64 {
+        let explanations = explain_blocks(&crude, &blocks, crude_config(ctx), seed + 1);
+        let sets: Vec<FeatureSet> = explanations.into_iter().map(|e| e.features).collect();
+        comet_accs.push(accuracy_pct(&sets, &gts));
+
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let random_sets: Vec<FeatureSet> =
+            blocks.iter().map(|b| baseline_ctx.random_explanation(b, &mut rng)).collect();
+        random_accs.push(accuracy_pct(&random_sets, &gts));
+    }
+    let fixed_sets: Vec<FeatureSet> =
+        blocks.iter().map(|b| baseline_ctx.fixed_explanation(b)).collect();
+    Table2Column {
+        random: mean_std(&random_accs),
+        fixed: accuracy_pct(&fixed_sets, &gts),
+        comet: mean_std(&comet_accs),
+    }
+}
+
+/// Paper Table 2: accuracy of COMET's explanations over the crude
+/// interpretable cost model C, against the random and fixed baselines.
+pub fn run_table2(ctx: &EvalContext) -> Table {
+    let hsw = table2_column(ctx, Microarch::Haswell);
+    let skl = table2_column(ctx, Microarch::Skylake);
+    let mut table = Table::new(
+        "Table 2: Accuracy of COMET's explanations",
+        &["Explanation", "Acc.(%) over C_HSW", "Acc.(%) over C_SKL"],
+    );
+    table.push_row(vec![
+        "Random".into(),
+        pm(hsw.random.0, hsw.random.1),
+        pm(skl.random.0, skl.random.1),
+    ]);
+    table.push_row(vec![
+        "Fixed".into(),
+        format!("{:.2}", hsw.fixed),
+        format!("{:.2}", skl.fixed),
+    ]);
+    table.push_row(vec![
+        "COMET".into(),
+        pm(hsw.comet.0, hsw.comet.1),
+        pm(skl.comet.0, skl.comet.1),
+    ]);
+    table
+}
+
+/// Average precision and coverage of a model's explanations over the
+/// test set, per seed.
+fn precision_coverage<M: CostModel + Sync>(
+    ctx: &EvalContext,
+    model: &M,
+) -> ((f64, f64), (f64, f64)) {
+    let blocks: Vec<&BasicBlock> = ctx.test_corpus.iter().map(|b| &b.block).collect();
+    let mut precisions = Vec::new();
+    let mut coverages = Vec::new();
+    for seed in 0..ctx.scale.seeds as u64 {
+        let cached = CachedModel::new(model);
+        let explanations = explain_blocks(&cached, &blocks, model_config(ctx), seed + 11);
+        let p: f64 =
+            explanations.iter().map(|e| e.precision).sum::<f64>() / explanations.len() as f64;
+        let c: f64 =
+            explanations.iter().map(|e| e.coverage).sum::<f64>() / explanations.len() as f64;
+        precisions.push(p);
+        coverages.push(c);
+    }
+    (mean_std(&precisions), mean_std(&coverages))
+}
+
+/// Paper Table 3: average precision and coverage of COMET's
+/// explanations for Ithemal (I) and uiCA (U) on Haswell and Skylake.
+pub fn run_table3(ctx: &EvalContext) -> Table {
+    let mut table = Table::new(
+        "Table 3: Average precision and coverage of COMET's explanations",
+        &["Model", "Av. Precision", "Av. Coverage"],
+    );
+    let rows: [(&str, &dyn CostModelSync); 4] = [
+        ("I (HSW)", &ctx.ithemal_hsw),
+        ("I (SKL)", &ctx.ithemal_skl),
+        ("U (HSW)", &ctx.uica_hsw),
+        ("U (SKL)", &ctx.uica_skl),
+    ];
+    for (label, model) in rows {
+        let ((p_mean, p_std), (c_mean, c_std)) = precision_coverage(ctx, &model);
+        table.push_row(vec![
+            label.into(),
+            format!("{p_mean:.3} +- {p_std:.3}"),
+            format!("{c_mean:.3} +- {c_std:.3}"),
+        ]);
+    }
+    table
+}
+
+/// Object-safe alias for models usable across threads.
+pub trait CostModelSync: CostModel + Sync {}
+
+impl<M: CostModel + Sync> CostModelSync for M {}
+
+// `dyn CostModelSync` automatically implements `CostModel` (supertrait
+// object upcasting), so `&dyn CostModelSync` is usable anywhere a
+// `CostModel` is expected via the reference blanket impl.
+
+/// MAPE of a model over a partition, against the hardware labels.
+pub fn partition_mape<M: CostModel>(
+    model: &M,
+    blocks: &[&BhiveBlock],
+    march: Microarch,
+) -> f64 {
+    let labelled: Vec<(BasicBlock, f64)> =
+        blocks.iter().map(|b| (b.block.clone(), b.throughput(march))).collect();
+    comet_models::mape(model, &labelled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_core::Feature;
+
+    #[test]
+    fn accuracy_pct_counts_subset_matches() {
+        let mut gt = FeatureSet::new();
+        gt.insert(Feature::NumInstructions);
+        gt.insert(Feature::Instruction(0));
+        let mut exact = FeatureSet::new();
+        exact.insert(Feature::Instruction(0));
+        let mut wrong = FeatureSet::new();
+        wrong.insert(Feature::Instruction(1));
+        let gts = vec![gt.clone(), gt];
+        let explanations = vec![exact, wrong];
+        assert_eq!(accuracy_pct(&explanations, &gts), 50.0);
+    }
+
+    #[test]
+    fn explain_blocks_is_deterministic_and_ordered() {
+        let blocks = [
+            comet_isa::parse_block("add rcx, rax\nmov rdx, rcx").unwrap(),
+            comet_isa::parse_block("div rcx\nmov rbx, 1").unwrap(),
+        ];
+        let refs: Vec<&comet_isa::BasicBlock> = blocks.iter().collect();
+        let crude = CrudeModel::new(Microarch::Haswell);
+        let config = ExplainConfig {
+            coverage_samples: 100,
+            max_samples: 80,
+            ..ExplainConfig::for_crude_model()
+        };
+        let a = explain_blocks(&crude, &refs, config, 7);
+        let b = explain_blocks(&crude, &refs, config, 7);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].features, b[0].features);
+        assert_eq!(a[1].features, b[1].features);
+    }
+
+    #[test]
+    fn partition_mape_zero_for_oracle() {
+        let corpus = comet_bhive::Corpus::generate(5, comet_bhive::GenConfig::default(), 3);
+        let blocks: Vec<&BhiveBlock> = corpus.iter().collect();
+        let oracle = comet_models::HardwareOracle::new(Microarch::Haswell);
+        assert_eq!(partition_mape(&oracle, &blocks, Microarch::Haswell), 0.0);
+    }
+}

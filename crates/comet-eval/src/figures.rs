@@ -1,0 +1,209 @@
+//! Figures 2–4: the inverse correlation between model error (MAPE) and
+//! the granularity of block features in COMET's explanations.
+
+use comet_bhive::{BhiveBlock, Category, Source};
+use comet_core::{Explanation, FeatureKind};
+use comet_isa::{BasicBlock, Microarch};
+use comet_models::CachedModel;
+
+use crate::context::EvalContext;
+use crate::experiments::{explain_blocks, model_config, partition_mape, CostModelSync};
+use crate::report::{pct, Table};
+
+/// Fraction of explanations containing at least one feature of each
+/// kind, in percent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureMix {
+    /// % of explanations containing η.
+    pub eta: f64,
+    /// % of explanations containing a specific instruction.
+    pub inst: f64,
+    /// % of explanations containing a data dependency.
+    pub dep: f64,
+}
+
+/// Compute the feature-kind mix of a batch of explanations.
+pub fn feature_mix(explanations: &[Explanation]) -> FeatureMix {
+    let count = |kind: FeatureKind| {
+        let hits = explanations
+            .iter()
+            .filter(|e| e.features.iter().any(|f| f.kind() == kind))
+            .count();
+        100.0 * hits as f64 / explanations.len().max(1) as f64
+    };
+    FeatureMix {
+        eta: count(FeatureKind::Eta),
+        inst: count(FeatureKind::Inst),
+        dep: count(FeatureKind::Dep),
+    }
+}
+
+/// One figure row: a model evaluated on a partition.
+pub struct PartitionResult {
+    /// Model label ("Ithemal" / "uiCA").
+    pub model: String,
+    /// Mean absolute percentage error on the partition.
+    pub mape: f64,
+    /// Explanation feature mix on the partition.
+    pub mix: FeatureMix,
+}
+
+/// Evaluate both models (Ithemal and uiCA surrogates) on a partition of
+/// blocks for one microarchitecture.
+pub fn evaluate_partition(
+    ctx: &EvalContext,
+    blocks: &[&BhiveBlock],
+    march: Microarch,
+    seed: u64,
+) -> Vec<PartitionResult> {
+    let plain: Vec<&BasicBlock> = blocks.iter().map(|b| &b.block).collect();
+    let models: [(&str, &dyn CostModelSync); 2] = [
+        ("Ithemal", ctx.ithemal(march)),
+        ("uiCA", ctx.uica(march)),
+    ];
+    let mut results = Vec::new();
+    for (label, model) in models {
+        let mape = partition_mape(&model, blocks, march);
+        let cached = CachedModel::new(model);
+        let explanations = explain_blocks(&cached, &plain, model_config(ctx), seed);
+        results.push(PartitionResult {
+            model: label.to_string(),
+            mape,
+            mix: feature_mix(&explanations),
+        });
+    }
+    results
+}
+
+fn push_partition_rows(table: &mut Table, partition: &str, results: &[PartitionResult]) {
+    for r in results {
+        table.push_row(vec![
+            partition.to_string(),
+            r.model.clone(),
+            pct(r.mape),
+            pct(r.mix.eta),
+            pct(r.mix.inst),
+            pct(r.mix.dep),
+        ]);
+    }
+}
+
+const FIGURE_HEADERS: [&str; 6] =
+    ["Partition", "Model", "MAPE", "% expl. with eta", "% with inst", "% with dep"];
+
+/// Figure 2: MAPE vs explanation feature mix on the full test set, for
+/// Haswell and Skylake.
+pub fn run_figure2(ctx: &EvalContext) -> Table {
+    let mut table = Table::new(
+        "Figure 2: Error vs explanation granularity (full test set)",
+        &FIGURE_HEADERS,
+    );
+    let blocks: Vec<&BhiveBlock> = ctx.test_corpus.iter().collect();
+    for march in Microarch::ALL {
+        let results = evaluate_partition(ctx, &blocks, march, 21 + march as u64);
+        push_partition_rows(&mut table, march.abbrev(), &results);
+    }
+    table
+}
+
+/// Figure 3: the same analysis on the BHive source partitions
+/// (Clang, OpenBLAS), on Haswell.
+pub fn run_figure3(ctx: &EvalContext) -> Table {
+    let mut table = Table::new(
+        "Figure 3: Error vs explanation granularity by BHive source (Haswell)",
+        &FIGURE_HEADERS,
+    );
+    for source in Source::ALL {
+        let blocks = ctx.source_corpus.by_source(source);
+        let results = evaluate_partition(ctx, &blocks, Microarch::Haswell, 31 + source as u64);
+        push_partition_rows(&mut table, &source.to_string(), &results);
+    }
+    table
+}
+
+/// Figure 4: the same analysis on the six BHive category partitions,
+/// on Haswell.
+pub fn run_figure4(ctx: &EvalContext) -> Table {
+    let mut table = Table::new(
+        "Figure 4: Error vs explanation granularity by BHive category (Haswell)",
+        &FIGURE_HEADERS,
+    );
+    for category in Category::ALL {
+        let blocks = ctx.category_corpus.by_category(category);
+        let results = evaluate_partition(ctx, &blocks, Microarch::Haswell, 41 + category as u64);
+        push_partition_rows(&mut table, &category.to_string(), &results);
+    }
+    table
+}
+
+/// Extension table: model MAPE summary (Ithemal vs uiCA vs the crude
+/// model) on both microarchitectures over the test set.
+pub fn run_mape_table(ctx: &EvalContext) -> Table {
+    let mut table = Table::new(
+        "Model error summary (MAPE over the test set)",
+        &["Model", "HSW", "SKL"],
+    );
+    let blocks: Vec<&BhiveBlock> = ctx.test_corpus.iter().collect();
+    let row = |label: &str, hsw: f64, skl: f64| vec![label.to_string(), pct(hsw), pct(skl)];
+    table.push_row(row(
+        "Ithemal (surrogate)",
+        partition_mape(&ctx.ithemal_hsw, &blocks, Microarch::Haswell),
+        partition_mape(&ctx.ithemal_skl, &blocks, Microarch::Skylake),
+    ));
+    table.push_row(row(
+        "uiCA (surrogate)",
+        partition_mape(&ctx.uica_hsw, &blocks, Microarch::Haswell),
+        partition_mape(&ctx.uica_skl, &blocks, Microarch::Skylake),
+    ));
+    let coarse = comet_models::CoarseBaselineModel::new();
+    table.push_row(row(
+        "Coarse baseline",
+        partition_mape(&coarse, &blocks, Microarch::Haswell),
+        partition_mape(&coarse, &blocks, Microarch::Skylake),
+    ));
+    let crude_hsw = comet_models::CrudeModel::new(Microarch::Haswell);
+    let crude_skl = comet_models::CrudeModel::new(Microarch::Skylake);
+    table.push_row(row(
+        "Crude C",
+        partition_mape(&crude_hsw, &blocks, Microarch::Haswell),
+        partition_mape(&crude_skl, &blocks, Microarch::Skylake),
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_core::{Explanation, Feature, FeatureSet};
+
+    fn explanation_with(features: &[Feature]) -> Explanation {
+        Explanation {
+            features: features.iter().copied().collect::<FeatureSet>(),
+            precision: 0.8,
+            coverage: 0.2,
+            prediction: 1.0,
+            anchored: true,
+            queries: 1,
+        }
+    }
+
+    #[test]
+    fn feature_mix_percentages() {
+        let explanations = vec![
+            explanation_with(&[Feature::NumInstructions]),
+            explanation_with(&[Feature::Instruction(0), Feature::NumInstructions]),
+            explanation_with(&[Feature::Instruction(1)]),
+            explanation_with(&[]),
+        ];
+        let mix = feature_mix(&explanations);
+        assert_eq!(mix.eta, 50.0);
+        assert_eq!(mix.inst, 50.0);
+        assert_eq!(mix.dep, 0.0);
+    }
+
+    #[test]
+    fn feature_mix_of_empty_batch_is_zero() {
+        let mix = feature_mix(&[]);
+        assert_eq!((mix.eta, mix.inst, mix.dep), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,31 @@
+//! # comet-eval
+//!
+//! The experiment harness regenerating every table and figure from the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index):
+//!
+//! * Table 2 — explanation accuracy vs random/fixed baselines over the
+//!   crude model C;
+//! * Table 3 — average precision/coverage for Ithemal and uiCA;
+//! * Figures 2–4 — MAPE vs explanation-feature granularity on the full
+//!   test set and the source/category partitions;
+//! * Figures 5–8 — Appendix E hyperparameter ablations;
+//! * Appendix F — perturbation-space size estimates;
+//! * §6.4 — the two case studies.
+//!
+//! Run everything with the `comet-eval` binary:
+//!
+//! ```text
+//! comet-eval --scale standard --exp all --out EXPERIMENTS-results.md
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod context;
+pub mod experiments;
+pub mod extras;
+pub mod figures;
+pub mod par;
+pub mod report;
+
+pub use context::{EvalContext, Scale};

@@ -1,0 +1,114 @@
+//! `comet-eval` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! comet-eval [--scale quick|standard|paper] [--exp all|table2|table3|
+//!             fig2|fig3|fig4|fig5|fig6|fig7|fig8|appf|cases|mape]
+//!            [--out FILE]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use comet_eval::{ablations, experiments, extras, figures, EvalContext, Scale};
+
+fn main() {
+    let mut scale_name = "standard".to_string();
+    let mut exp = "all".to_string();
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale_name = args.next().unwrap_or_else(|| usage("missing scale")),
+            "--exp" => exp = args.next().unwrap_or_else(|| usage("missing experiment")),
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage("missing output path"))),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let scale = match scale_name.as_str() {
+        "quick" => Scale::quick(),
+        "standard" => Scale::standard(),
+        "paper" => Scale::paper(),
+        other => usage(&format!("unknown scale `{other}`")),
+    };
+
+    let mut report = String::new();
+    let _ = writeln!(report, "# COMET reproduction — experiment results\n");
+    let _ = writeln!(
+        report,
+        "Scale: `{scale_name}` (test {} / sources {}x2 / categories {}x6 / seeds {} / coverage {}).\n",
+        scale.test_blocks, scale.source_blocks, scale.category_blocks, scale.seeds,
+        scale.coverage_samples
+    );
+
+    // Appendix F needs no context; run it first so `--exp appf` is instant.
+    let wants = |name: &str| exp == "all" || exp == name;
+    if wants("appf") {
+        section(&mut report, extras::run_appendix_f().to_string());
+    }
+    if exp == "appf" {
+        finish(&report, out.as_deref());
+        return;
+    }
+
+    eprintln!("[comet-eval] building corpora and training surrogates ({scale_name} scale)...");
+    let t0 = Instant::now();
+    let ctx = EvalContext::build(scale);
+    eprintln!("[comet-eval] context ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let experiments_list: [(&str, Box<dyn Fn(&EvalContext) -> comet_eval::report::Table>); 10] = [
+        ("mape", Box::new(figures::run_mape_table)),
+        ("table2", Box::new(experiments::run_table2)),
+        ("table3", Box::new(experiments::run_table3)),
+        ("fig2", Box::new(figures::run_figure2)),
+        ("fig3", Box::new(figures::run_figure3)),
+        ("fig4", Box::new(figures::run_figure4)),
+        ("fig5", Box::new(ablations::run_figure5)),
+        ("fig6", Box::new(ablations::run_figure6)),
+        ("fig7", Box::new(ablations::run_figure7)),
+        ("fig8", Box::new(ablations::run_figure8)),
+    ];
+    for (name, run) in experiments_list {
+        if !wants(name) {
+            continue;
+        }
+        eprintln!("[comet-eval] running {name}...");
+        let t = Instant::now();
+        let table = run(&ctx);
+        eprintln!("[comet-eval] {name} done in {:.1}s", t.elapsed().as_secs_f64());
+        section(&mut report, table.to_string());
+    }
+    if wants("cases") {
+        eprintln!("[comet-eval] running case studies...");
+        section(&mut report, extras::case_study_hardware().to_string());
+        section(&mut report, extras::run_case_studies(&ctx).to_string());
+    }
+
+    finish(&report, out.as_deref());
+}
+
+fn section(report: &mut String, text: String) {
+    let _ = writeln!(report, "{text}");
+    println!("{text}");
+}
+
+fn finish(report: &str, out: Option<&str>) {
+    if let Some(path) = out {
+        std::fs::write(path, report).unwrap_or_else(|e| {
+            eprintln!("[comet-eval] failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[comet-eval] wrote {path}");
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!(
+        "usage: comet-eval [--scale quick|standard|paper] [--exp all|table2|table3|fig2..fig8|appf|cases|mape] [--out FILE]"
+    );
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,58 @@
+//! A minimal scoped-thread parallel map for embarrassingly parallel
+//! per-block work (explanations are independent given per-item RNG
+//! seeds).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` using all available cores, preserving order.
+///
+/// `f` receives `(index, item)` so callers can derive deterministic
+/// per-item RNG seeds.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let value = f(i, &items[i]);
+                *results[i].lock().expect("result slot") = Some(value);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock").expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_indices() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |i, &x| (i as u64) * 1000 + x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 1000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        let items: Vec<u64> = Vec::new();
+        let out: Vec<u64> = par_map(&items, |_, &x| x);
+        assert!(out.is_empty());
+    }
+}

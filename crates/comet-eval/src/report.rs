@@ -1,0 +1,121 @@
+//! Plain-text/markdown table rendering for experiment reports.
+
+use std::fmt;
+
+/// A titled table with aligned text rendering (also valid markdown).
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor for tests.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "### {}", self.title)?;
+        writeln!(f)?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format `mean ± std` with two decimals.
+pub fn pm(mean: f64, std: f64) -> String {
+    format!("{mean:.2} +- {std:.2}")
+}
+
+/// Format a percentage with two decimals.
+pub fn pct(value: f64) -> String {
+    format!("{value:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_table() {
+        let mut t = Table::new("Demo", &["a", "bb"]);
+        t.push_row(vec!["x".into(), "yyyy".into()]);
+        let text = t.to_string();
+        assert!(text.contains("### Demo"));
+        assert!(text.contains("| x | yyyy |"));
+        assert!(text.contains("|---"));
+        assert_eq!(t.cell(0, 1), "yyyy");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_misshapen_rows() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pm(96.9, 0.92), "96.90 +- 0.92");
+        assert_eq!(pct(12.345), "12.35%");
+    }
+}

@@ -1,0 +1,114 @@
+//! Data-dependency kinds, causes, and edges.
+
+use std::fmt;
+
+use comet_isa::{MemOperand, Register};
+use serde::{Deserialize, Serialize};
+
+/// The classic data-dependency hazard kinds (paper Appendix B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Read-after-write: the *true* dependency. The consumer cannot
+    /// execute until the producer's result is available.
+    Raw,
+    /// Write-after-read: an anti-dependency, normally resolved by
+    /// register renaming.
+    War,
+    /// Write-after-write: an output dependency, also resolved by
+    /// renaming.
+    Waw,
+}
+
+impl DepKind {
+    /// All hazard kinds.
+    pub const ALL: [DepKind; 3] = [DepKind::Raw, DepKind::War, DepKind::Waw];
+
+    /// Conventional abbreviation ("RAW" / "WAR" / "WAW").
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            DepKind::Raw => "RAW",
+            DepKind::War => "WAR",
+            DepKind::Waw => "WAW",
+        }
+    }
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// What carries a dependency between two instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepCause {
+    /// A shared architectural register. Stored as the *full* register
+    /// (`eax` and `rax` both record `rax`) so aliased accesses compare
+    /// equal.
+    Register(Register),
+    /// Overlapping memory accesses through the given operand of the
+    /// source instruction.
+    Memory(MemOperand),
+}
+
+impl fmt::Display for DepCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepCause::Register(r) => write!(f, "{r}"),
+            DepCause::Memory(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// A labelled edge of the basic-block multigraph: a data dependency of
+/// `kind` from instruction `src` to instruction `dst` (`src < dst` in
+/// program order), carried by one or more `causes`.
+///
+/// Several same-kind hazards between the same instruction pair (e.g. two
+/// registers both read-after-written) are collapsed into one edge with
+/// multiple causes: they constitute a single dependency *feature*, and
+/// breaking the feature requires breaking every cause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// Hazard kind.
+    pub kind: DepKind,
+    /// Producer / earlier instruction index.
+    pub src: usize,
+    /// Consumer / later instruction index.
+    pub dst: usize,
+    /// The registers or memory operands carrying the hazard.
+    pub causes: Vec<DepCause>,
+}
+
+impl DepEdge {
+    /// The identity of this edge as a block feature: `(kind, src, dst)`.
+    pub fn id(&self) -> (DepKind, usize, usize) {
+        (self.kind, self.src, self.dst)
+    }
+
+    /// Registers among the causes.
+    pub fn cause_registers(&self) -> impl Iterator<Item = Register> + '_ {
+        self.causes.iter().filter_map(|c| match c {
+            DepCause::Register(r) => Some(*r),
+            DepCause::Memory(_) => None,
+        })
+    }
+
+    /// Whether any cause is a memory overlap.
+    pub fn has_memory_cause(&self) -> bool {
+        self.causes.iter().any(|c| matches!(c, DepCause::Memory(_)))
+    }
+}
+
+impl fmt::Display for DepEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} -> {} (", self.kind, self.src + 1, self.dst + 1)?;
+        for (i, cause) in self.causes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{cause}")?;
+        }
+        write!(f, ")")
+    }
+}

@@ -1,0 +1,27 @@
+//! # comet-graph
+//!
+//! Basic-block dependency multigraphs for COMET (paper §5.1): vertices
+//! are instructions annotated with their positions, and labelled directed
+//! edges record RAW/WAR/WAW data-dependency hazards, detected through
+//! register aliasing and syntactic memory disambiguation.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), comet_isa::IsaError> {
+//! use comet_graph::{BlockGraph, DepKind};
+//!
+//! let block = comet_isa::parse_block("add rcx, rax\nmov rdx, rcx")?;
+//! let graph = BlockGraph::build(&block);
+//! assert!(graph.find_edge(DepKind::Raw, 0, 1).is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod dep;
+mod graph;
+
+pub use dep::{DepCause, DepEdge, DepKind};
+pub use graph::{BlockGraph, DepConfig};

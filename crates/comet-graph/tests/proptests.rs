@@ -1,0 +1,87 @@
+//! Property-based tests for dependency analysis.
+
+use comet_bhive::{generate_source_block, GenConfig, Source};
+use comet_graph::{BlockGraph, DepConfig, DepKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_block() -> impl Strategy<Value = comet_isa::BasicBlock> {
+    (any::<u64>(), prop_oneof![Just(Source::Clang), Just(Source::OpenBlas)]).prop_map(
+        |(seed, source)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            generate_source_block(source, GenConfig::default(), &mut rng)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn edges_point_forward_and_in_range(block in arb_block()) {
+        let graph = BlockGraph::build(&block);
+        prop_assert_eq!(graph.num_vertices(), block.len());
+        for edge in graph.edges() {
+            prop_assert!(edge.src < edge.dst, "{edge}");
+            prop_assert!(edge.dst < block.len());
+            prop_assert!(!edge.causes.is_empty(), "{edge}");
+        }
+    }
+
+    #[test]
+    fn edge_identities_are_unique(block in arb_block()) {
+        let graph = BlockGraph::build(&block);
+        let mut seen = std::collections::HashSet::new();
+        for edge in graph.edges() {
+            prop_assert!(seen.insert(edge.id()), "duplicate edge {edge}");
+        }
+    }
+
+    #[test]
+    fn analysis_is_deterministic(block in arb_block()) {
+        let a = BlockGraph::build(&block);
+        let b = BlockGraph::build(&block);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn register_raw_edges_are_justified(block in arb_block()) {
+        // Every register-caused RAW edge must correspond to an actual
+        // write in src and read in dst of an aliasing register, and no
+        // intervening explicit write.
+        let graph = BlockGraph::build(&block);
+        let effects: Vec<_> = block.iter().map(|i| i.explicit_effects()).collect();
+        for edge in graph.edges_of_kind(DepKind::Raw) {
+            for reg in edge.cause_registers() {
+                let writes =
+                    effects[edge.src].reg_writes.iter().any(|w| w.full() == reg);
+                let reads = effects[edge.dst].reg_reads.iter().any(|r| r.full() == reg);
+                prop_assert!(writes && reads, "unjustified {edge} in\n{block}");
+                for k in edge.src + 1..edge.dst {
+                    let interposed =
+                        effects[k].reg_writes.iter().any(|w| w.full() == reg);
+                    prop_assert!(!interposed, "{edge} has interposing writer {k} in\n{block}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_config_only_adds_edges(block in arb_block()) {
+        let without = BlockGraph::build(&block);
+        let with = BlockGraph::build_with(
+            &block,
+            DepConfig { include_implicit: true, include_memory: true },
+        );
+        // Explicit-only edges can disappear (an implicit write can
+        // interpose), but the total hazard count should not shrink for
+        // blocks with no implicit-operand instructions.
+        let has_implicit = block
+            .iter()
+            .any(|i| !comet_isa::implicit_operands(i.opcode).is_empty());
+        if !has_implicit {
+            prop_assert_eq!(without.edges(), with.edges());
+        }
+    }
+}

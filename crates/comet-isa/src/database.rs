@@ -1,0 +1,121 @@
+//! Opcode replacement queries for COMET's perturbation algorithm.
+//!
+//! The paper perturbs a vertex (instruction) by replacing its opcode with
+//! "another opcode in the ISA that can produce a valid assembly basic
+//! block instruction with the operands of the original instruction".
+
+use crate::inst::Instruction;
+use crate::operand::OperandKind;
+use crate::sig::signatures;
+use crate::Opcode;
+
+/// The address-only profile of the signature an instruction matched:
+/// one flag per operand position, true where the position is an
+/// address-only memory pattern (`lea`).
+fn addr_profile(opcode: Opcode, kinds: &[OperandKind]) -> Option<Vec<bool>> {
+    signatures(opcode)
+        .iter()
+        .find(|sig| sig.matches(kinds))
+        .map(|sig| sig.pats.iter().map(|pat| pat.addr_only).collect())
+}
+
+/// All opcodes (other than `inst.opcode`) that accept `inst`'s operands,
+/// i.e. the valid opcode replacements for a vertex perturbation.
+///
+/// An opcode qualifies iff one of its signatures matches the operand
+/// kinds *and* treats memory operands with the same address-only profile:
+/// a real memory access may not become an address computation or vice
+/// versa. This reproduces the paper's Appendix D observation that `lea`
+/// has no valid replacement.
+///
+/// Returns an empty vector for instructions that cannot be replaced.
+pub fn opcode_replacements(inst: &Instruction) -> Vec<Opcode> {
+    let kinds = inst.operand_kinds();
+    let Some(profile) = addr_profile(inst.opcode, &kinds) else {
+        return Vec::new();
+    };
+    Opcode::ALL
+        .iter()
+        .copied()
+        .filter(|&candidate| candidate != inst.opcode)
+        .filter(|&candidate| {
+            addr_profile(candidate, &kinds).is_some_and(|cand_profile| cand_profile == profile)
+        })
+        .collect()
+}
+
+/// Number of distinct opcodes (including the original) that accept the
+/// instruction's operands. Used for perturbation-space size estimation
+/// (paper Appendix F).
+pub fn replacement_universe_size(inst: &Instruction) -> usize {
+    opcode_replacements(inst).len() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::{MemOperand, Operand};
+    use crate::reg::{Register, Size};
+
+    fn r(name: &str) -> Operand {
+        Operand::reg(Register::from_name(name).unwrap())
+    }
+
+    fn inst(op: Opcode, operands: Vec<Operand>) -> Instruction {
+        Instruction::new(op, operands).unwrap()
+    }
+
+    #[test]
+    fn alu_reg_reg_has_rich_replacements() {
+        let add = inst(Opcode::Add, vec![r("rcx"), r("rax")]);
+        let repl = opcode_replacements(&add);
+        assert!(repl.contains(&Opcode::Sub));
+        assert!(repl.contains(&Opcode::Mov));
+        assert!(repl.contains(&Opcode::Xor));
+        assert!(repl.contains(&Opcode::Cmovne));
+        assert!(!repl.contains(&Opcode::Add));
+        assert!(!repl.contains(&Opcode::Addss));
+        assert!(repl.len() >= 15, "got {}", repl.len());
+    }
+
+    #[test]
+    fn lea_has_no_replacements() {
+        let mem = MemOperand::base_disp(Register::from_name("rax").unwrap(), 1, Size::B64);
+        let lea = inst(Opcode::Lea, vec![r("rdx"), Operand::Mem(mem)]);
+        assert!(opcode_replacements(&lea).is_empty());
+    }
+
+    #[test]
+    fn load_is_not_replaceable_by_lea() {
+        let mem = MemOperand::base_disp(Register::from_name("r14").unwrap(), 32, Size::B64);
+        let load = inst(Opcode::Mov, vec![r("rsi"), Operand::Mem(mem)]);
+        let repl = opcode_replacements(&load);
+        assert!(!repl.contains(&Opcode::Lea));
+        assert!(repl.contains(&Opcode::Add));
+    }
+
+    #[test]
+    fn pop_replaceable_by_push() {
+        // The paper's motivating example perturbs `pop rbx` into `push rbx`.
+        let pop = inst(Opcode::Pop, vec![r("rbx")]);
+        let repl = opcode_replacements(&pop);
+        assert!(repl.contains(&Opcode::Push));
+        assert!(repl.contains(&Opcode::Inc));
+    }
+
+    #[test]
+    fn avx_scalar_replacements_stay_in_family() {
+        let vdiv = inst(Opcode::Vdivss, vec![r("xmm0"), r("xmm0"), r("xmm6")]);
+        let repl = opcode_replacements(&vdiv);
+        assert!(repl.contains(&Opcode::Vmulss));
+        assert!(repl.contains(&Opcode::Vaddss));
+        assert!(!repl.contains(&Opcode::Addss));
+        assert!(!repl.contains(&Opcode::Mov));
+    }
+
+    #[test]
+    fn universe_counts_original() {
+        let add = inst(Opcode::Add, vec![r("rcx"), r("rax")]);
+        assert_eq!(replacement_universe_size(&add), opcode_replacements(&add).len() + 1);
+    }
+}

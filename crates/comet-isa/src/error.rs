@@ -1,0 +1,52 @@
+//! Error types for the ISA crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::operand::OperandKind;
+use crate::Opcode;
+
+/// Errors produced while constructing or parsing instructions and blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// The mnemonic is not part of the modelled subset.
+    UnknownOpcode(String),
+    /// The opcode does not accept the given operand kinds.
+    InvalidOperands {
+        /// The offending opcode.
+        opcode: Opcode,
+        /// The operand kinds that failed to match any signature.
+        kinds: Vec<OperandKind>,
+    },
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number within the parsed block.
+        line: usize,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// A block must contain at least one instruction.
+    EmptyBlock,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnknownOpcode(name) => write!(f, "unknown opcode `{name}`"),
+            IsaError::InvalidOperands { opcode, kinds } => {
+                write!(f, "opcode `{opcode}` does not accept operands (")?;
+                for (i, kind) in kinds.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{kind}")?;
+                }
+                write!(f, ")")
+            }
+            IsaError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            IsaError::EmptyBlock => write!(f, "basic block is empty"),
+        }
+    }
+}
+
+impl Error for IsaError {}

@@ -1,0 +1,57 @@
+//! # comet-isa
+//!
+//! An x86-64 instruction-set substrate for the COMET cost-model
+//! explanation framework: registers (with aliasing), operands, a curated
+//! opcode subset with operand signatures and access semantics, Intel
+//! syntax parsing/printing, and per-microarchitecture timing tables for
+//! Haswell and Skylake.
+//!
+//! The design centres on the two queries COMET's perturbation algorithm
+//! needs:
+//!
+//! * *which opcodes can replace this one?* — [`opcode_replacements`]
+//!   matches operand kinds against every opcode's signatures;
+//! * *what does this instruction read and write?* —
+//!   [`Instruction::effects`] reports register and memory effects
+//!   including implicit operands, from which the dependency multigraph is
+//!   built.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), comet_isa::IsaError> {
+//! use comet_isa::{parse_block, opcode_replacements};
+//!
+//! let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx")?;
+//! assert_eq!(block.len(), 3);
+//!
+//! // `add rcx, rax` can be replaced by any opcode accepting (r64, r64).
+//! let replacements = opcode_replacements(&block.instructions()[0]);
+//! assert!(replacements.contains(&comet_isa::Opcode::Sub));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod database;
+mod error;
+mod inst;
+mod opcode;
+pub mod operand;
+pub mod parse;
+pub mod reg;
+pub mod sig;
+pub mod tables;
+
+pub use database::{opcode_replacements, replacement_universe_size};
+pub use error::IsaError;
+pub use inst::{implicit_operands, BasicBlock, Effects, Instruction};
+pub use opcode::{OpCategory, Opcode};
+pub use operand::{Immediate, MemOperand, Operand, OperandKind};
+pub use parse::{parse_block, parse_instruction};
+pub use reg::{RegClass, Register, Size};
+pub use sig::{signatures, Access, Signature};
+pub use tables::{
+    instruction_latency, instruction_throughput, profile, InstProfile, Microarch, PortSet,
+};

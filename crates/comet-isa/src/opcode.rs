@@ -1,0 +1,371 @@
+//! The opcode subset of x86-64 modelled by this reproduction.
+//!
+//! The subset covers every opcode appearing in the paper's listings plus a
+//! representative mix of scalar ALU, multiply/divide, shift, stack,
+//! conditional-move, bit-manipulation, SSE, and AVX instructions — enough
+//! for the BHive-style category partition (Scalar, Vector, Load, Store,
+//! …) and for COMET's opcode-replacement perturbations to have rich,
+//! realistic candidate sets.
+//!
+//! Control-transfer opcodes (`call`, `jmp`, `ret`, branches) are *not*
+//! part of the subset: basic blocks by definition contain none, and the
+//! paper explicitly excludes them from valid perturbations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! opcodes {
+    ($($variant:ident => $name:literal / $cat:ident),* $(,)?) => {
+        /// An x86-64 opcode in the modelled subset.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum Opcode {
+            $($variant,)*
+        }
+
+        impl Opcode {
+            /// Every opcode in the subset.
+            pub const ALL: &'static [Opcode] = &[$(Opcode::$variant,)*];
+
+            /// The Intel-syntax mnemonic.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Opcode::$variant => $name,)*
+                }
+            }
+
+            /// Parse an Intel-syntax mnemonic (lowercase).
+            pub fn from_name(name: &str) -> Option<Opcode> {
+                match name {
+                    $($name => Some(Opcode::$variant),)*
+                    _ => None,
+                }
+            }
+
+            /// Coarse semantic category, used by the timing tables and the
+            /// BHive-style block generators.
+            pub fn category(self) -> OpCategory {
+                match self {
+                    $(Opcode::$variant => OpCategory::$cat,)*
+                }
+            }
+        }
+    };
+}
+
+/// Coarse semantic category of an opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpCategory {
+    /// Single-cycle scalar integer ALU (add, xor, …).
+    ScalarAlu,
+    /// Scalar integer multiply.
+    ScalarMul,
+    /// Scalar integer divide (unpipelined, very expensive).
+    ScalarDiv,
+    /// Shifts and rotates.
+    Shift,
+    /// Data movement between registers/memory.
+    Move,
+    /// Address computation (`lea`).
+    Lea,
+    /// Stack push/pop.
+    Stack,
+    /// Conditional moves.
+    Cmov,
+    /// Bit scans / counts.
+    BitScan,
+    /// No-op.
+    Nop,
+    /// Vector/scalar floating-point add/sub/min/max.
+    VecFloatAdd,
+    /// Vector/scalar floating-point multiply.
+    VecFloatMul,
+    /// Vector/scalar floating-point divide or square root.
+    VecFloatDiv,
+    /// Vector bitwise logic.
+    VecLogic,
+    /// Vector integer arithmetic.
+    VecIntAlu,
+    /// Vector integer multiply.
+    VecIntMul,
+    /// Vector data movement.
+    VecMove,
+}
+
+impl OpCategory {
+    /// Whether the category touches vector (SIMD) state.
+    pub fn is_vector(self) -> bool {
+        matches!(
+            self,
+            OpCategory::VecFloatAdd
+                | OpCategory::VecFloatMul
+                | OpCategory::VecFloatDiv
+                | OpCategory::VecLogic
+                | OpCategory::VecIntAlu
+                | OpCategory::VecIntMul
+                | OpCategory::VecMove
+        )
+    }
+}
+
+opcodes! {
+    // Scalar integer ALU.
+    Add => "add" / ScalarAlu,
+    Sub => "sub" / ScalarAlu,
+    Adc => "adc" / ScalarAlu,
+    Sbb => "sbb" / ScalarAlu,
+    And => "and" / ScalarAlu,
+    Or => "or" / ScalarAlu,
+    Xor => "xor" / ScalarAlu,
+    Cmp => "cmp" / ScalarAlu,
+    Test => "test" / ScalarAlu,
+    Inc => "inc" / ScalarAlu,
+    Dec => "dec" / ScalarAlu,
+    Neg => "neg" / ScalarAlu,
+    Not => "not" / ScalarAlu,
+    // Multiply / divide.
+    Imul => "imul" / ScalarMul,
+    Mul => "mul" / ScalarMul,
+    Div => "div" / ScalarDiv,
+    Idiv => "idiv" / ScalarDiv,
+    // Shifts and rotates.
+    Shl => "shl" / Shift,
+    Shr => "shr" / Shift,
+    Sar => "sar" / Shift,
+    Rol => "rol" / Shift,
+    Ror => "ror" / Shift,
+    // Moves.
+    Mov => "mov" / Move,
+    Movzx => "movzx" / Move,
+    Movsx => "movsx" / Move,
+    Xchg => "xchg" / Move,
+    Bswap => "bswap" / Move,
+    // Address generation.
+    Lea => "lea" / Lea,
+    // Stack.
+    Push => "push" / Stack,
+    Pop => "pop" / Stack,
+    // Conditional moves.
+    Cmove => "cmove" / Cmov,
+    Cmovne => "cmovne" / Cmov,
+    Cmovl => "cmovl" / Cmov,
+    Cmovg => "cmovg" / Cmov,
+    Cmovle => "cmovle" / Cmov,
+    Cmovge => "cmovge" / Cmov,
+    Cmovb => "cmovb" / Cmov,
+    Cmova => "cmova" / Cmov,
+    // Bit scans / counts.
+    Bsf => "bsf" / BitScan,
+    Bsr => "bsr" / BitScan,
+    Popcnt => "popcnt" / BitScan,
+    Lzcnt => "lzcnt" / BitScan,
+    Tzcnt => "tzcnt" / BitScan,
+    // Nop.
+    Nop => "nop" / Nop,
+    // SSE scalar float.
+    Addss => "addss" / VecFloatAdd,
+    Subss => "subss" / VecFloatAdd,
+    Minss => "minss" / VecFloatAdd,
+    Maxss => "maxss" / VecFloatAdd,
+    Mulss => "mulss" / VecFloatMul,
+    Divss => "divss" / VecFloatDiv,
+    Sqrtss => "sqrtss" / VecFloatDiv,
+    Addsd => "addsd" / VecFloatAdd,
+    Subsd => "subsd" / VecFloatAdd,
+    Minsd => "minsd" / VecFloatAdd,
+    Maxsd => "maxsd" / VecFloatAdd,
+    Mulsd => "mulsd" / VecFloatMul,
+    Divsd => "divsd" / VecFloatDiv,
+    Sqrtsd => "sqrtsd" / VecFloatDiv,
+    // SSE scalar compares, approximations, and converts.
+    Comiss => "comiss" / VecFloatAdd,
+    Ucomiss => "ucomiss" / VecFloatAdd,
+    Comisd => "comisd" / VecFloatAdd,
+    Ucomisd => "ucomisd" / VecFloatAdd,
+    Rcpss => "rcpss" / VecFloatMul,
+    Rsqrtss => "rsqrtss" / VecFloatMul,
+    Cvtss2sd => "cvtss2sd" / VecMove,
+    Cvtsd2ss => "cvtsd2ss" / VecMove,
+    // SSE packed float.
+    Addps => "addps" / VecFloatAdd,
+    Subps => "subps" / VecFloatAdd,
+    Mulps => "mulps" / VecFloatMul,
+    Divps => "divps" / VecFloatDiv,
+    Addpd => "addpd" / VecFloatAdd,
+    Subpd => "subpd" / VecFloatAdd,
+    Mulpd => "mulpd" / VecFloatMul,
+    Divpd => "divpd" / VecFloatDiv,
+    // SSE logic.
+    Xorps => "xorps" / VecLogic,
+    Andps => "andps" / VecLogic,
+    Orps => "orps" / VecLogic,
+    Andnps => "andnps" / VecLogic,
+    // SSE packed float min/max and shuffles.
+    Minps => "minps" / VecFloatAdd,
+    Maxps => "maxps" / VecFloatAdd,
+    Unpcklps => "unpcklps" / VecMove,
+    Unpckhps => "unpckhps" / VecMove,
+    // SSE integer.
+    Paddd => "paddd" / VecIntAlu,
+    Psubd => "psubd" / VecIntAlu,
+    Paddq => "paddq" / VecIntAlu,
+    Psubq => "psubq" / VecIntAlu,
+    Pand => "pand" / VecLogic,
+    Por => "por" / VecLogic,
+    Pxor => "pxor" / VecLogic,
+    Pmulld => "pmulld" / VecIntMul,
+    Pminud => "pminud" / VecIntAlu,
+    Pmaxud => "pmaxud" / VecIntAlu,
+    Pavgb => "pavgb" / VecIntAlu,
+    Pcmpeqd => "pcmpeqd" / VecIntAlu,
+    Pcmpgtd => "pcmpgtd" / VecIntAlu,
+    Punpckldq => "punpckldq" / VecMove,
+    Punpckhdq => "punpckhdq" / VecMove,
+    // Additional cheap packed-integer arithmetic (SSE2/SSE4 + AVX).
+    Paddb => "paddb" / VecIntAlu,
+    Paddw => "paddw" / VecIntAlu,
+    Paddsb => "paddsb" / VecIntAlu,
+    Paddsw => "paddsw" / VecIntAlu,
+    Paddusb => "paddusb" / VecIntAlu,
+    Paddusw => "paddusw" / VecIntAlu,
+    Psubb => "psubb" / VecIntAlu,
+    Psubw => "psubw" / VecIntAlu,
+    Psubsb => "psubsb" / VecIntAlu,
+    Psubsw => "psubsw" / VecIntAlu,
+    Psubusb => "psubusb" / VecIntAlu,
+    Psubusw => "psubusw" / VecIntAlu,
+    Pminsw => "pminsw" / VecIntAlu,
+    Pminsd => "pminsd" / VecIntAlu,
+    Pminub => "pminub" / VecIntAlu,
+    Pminuw => "pminuw" / VecIntAlu,
+    Pmaxsw => "pmaxsw" / VecIntAlu,
+    Pmaxsd => "pmaxsd" / VecIntAlu,
+    Pmaxub => "pmaxub" / VecIntAlu,
+    Pmaxuw => "pmaxuw" / VecIntAlu,
+    Pcmpeqb => "pcmpeqb" / VecIntAlu,
+    Pcmpeqw => "pcmpeqw" / VecIntAlu,
+    Pcmpeqq => "pcmpeqq" / VecIntAlu,
+    Pcmpgtb => "pcmpgtb" / VecIntAlu,
+    Pcmpgtw => "pcmpgtw" / VecIntAlu,
+    Pcmpgtq => "pcmpgtq" / VecIntAlu,
+    Pavgw => "pavgw" / VecIntAlu,
+    Vpaddb => "vpaddb" / VecIntAlu,
+    Vpaddw => "vpaddw" / VecIntAlu,
+    Vpsubb => "vpsubb" / VecIntAlu,
+    Vpsubw => "vpsubw" / VecIntAlu,
+    Vpminsd => "vpminsd" / VecIntAlu,
+    Vpmaxsd => "vpmaxsd" / VecIntAlu,
+    Vpminsw => "vpminsw" / VecIntAlu,
+    Vpmaxsw => "vpmaxsw" / VecIntAlu,
+    Vpcmpeqb => "vpcmpeqb" / VecIntAlu,
+    Vpcmpgtb => "vpcmpgtb" / VecIntAlu,
+    Vpavgw => "vpavgw" / VecIntAlu,
+    // Packed pack/unpack shuffles.
+    Packssdw => "packssdw" / VecMove,
+    Packsswb => "packsswb" / VecMove,
+    Packusdw => "packusdw" / VecMove,
+    Punpcklbw => "punpcklbw" / VecMove,
+    Punpcklwd => "punpcklwd" / VecMove,
+    Punpckhbw => "punpckhbw" / VecMove,
+    Punpckhwd => "punpckhwd" / VecMove,
+    Vpacksswb => "vpacksswb" / VecMove,
+    Vpackssdw => "vpackssdw" / VecMove,
+    Vpunpcklbw => "vpunpcklbw" / VecMove,
+    Vpunpcklwd => "vpunpcklwd" / VecMove,
+    // SSE moves.
+    Movaps => "movaps" / VecMove,
+    Movups => "movups" / VecMove,
+    Movss => "movss" / VecMove,
+    Movsd => "movsd" / VecMove,
+    // AVX three-operand scalar float.
+    Vaddss => "vaddss" / VecFloatAdd,
+    Vsubss => "vsubss" / VecFloatAdd,
+    Vminss => "vminss" / VecFloatAdd,
+    Vmaxss => "vmaxss" / VecFloatAdd,
+    Vmulss => "vmulss" / VecFloatMul,
+    Vdivss => "vdivss" / VecFloatDiv,
+    Vsqrtss => "vsqrtss" / VecFloatDiv,
+    Vaddsd => "vaddsd" / VecFloatAdd,
+    Vsubsd => "vsubsd" / VecFloatAdd,
+    Vmulsd => "vmulsd" / VecFloatMul,
+    Vdivsd => "vdivsd" / VecFloatDiv,
+    Vrcpss => "vrcpss" / VecFloatMul,
+    Vrsqrtss => "vrsqrtss" / VecFloatMul,
+    Vcvtss2sd => "vcvtss2sd" / VecMove,
+    Vcvtsd2ss => "vcvtsd2ss" / VecMove,
+    // AVX three-operand packed float and logic.
+    Vaddps => "vaddps" / VecFloatAdd,
+    Vsubps => "vsubps" / VecFloatAdd,
+    Vmulps => "vmulps" / VecFloatMul,
+    Vdivps => "vdivps" / VecFloatDiv,
+    Vxorps => "vxorps" / VecLogic,
+    Vandps => "vandps" / VecLogic,
+    Vorps => "vorps" / VecLogic,
+    Vandnps => "vandnps" / VecLogic,
+    Vminps => "vminps" / VecFloatAdd,
+    Vmaxps => "vmaxps" / VecFloatAdd,
+    Vunpcklps => "vunpcklps" / VecMove,
+    Vunpckhps => "vunpckhps" / VecMove,
+    // AVX integer.
+    Vpaddd => "vpaddd" / VecIntAlu,
+    Vpsubd => "vpsubd" / VecIntAlu,
+    Vpand => "vpand" / VecLogic,
+    Vpor => "vpor" / VecLogic,
+    Vpxor => "vpxor" / VecLogic,
+    Vpminud => "vpminud" / VecIntAlu,
+    Vpmaxud => "vpmaxud" / VecIntAlu,
+    Vpavgb => "vpavgb" / VecIntAlu,
+    Vpcmpeqd => "vpcmpeqd" / VecIntAlu,
+    Vpcmpgtd => "vpcmpgtd" / VecIntAlu,
+    Vpunpckldq => "vpunpckldq" / VecMove,
+    Vpunpckhdq => "vpunpckhdq" / VecMove,
+    // AVX moves.
+    Vmovaps => "vmovaps" / VecMove,
+    Vmovups => "vmovups" / VecMove,
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_round_trip() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_name(op.name()), Some(op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<_> = Opcode::ALL.iter().map(|op| op.name()).collect();
+        assert_eq!(names.len(), Opcode::ALL.len());
+    }
+
+    #[test]
+    fn unknown_mnemonics_rejected() {
+        assert_eq!(Opcode::from_name("jmp"), None);
+        assert_eq!(Opcode::from_name("call"), None);
+        assert_eq!(Opcode::from_name(""), None);
+    }
+
+    #[test]
+    fn subset_is_reasonably_large() {
+        assert!(Opcode::ALL.len() >= 90, "got {}", Opcode::ALL.len());
+    }
+
+    #[test]
+    fn vector_categories_flagged() {
+        assert!(Opcode::Vdivss.category().is_vector());
+        assert!(Opcode::Paddd.category().is_vector());
+        assert!(!Opcode::Add.category().is_vector());
+        assert!(!Opcode::Div.category().is_vector());
+    }
+}

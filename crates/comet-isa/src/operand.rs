@@ -1,0 +1,304 @@
+//! Instruction operands: registers, memory references, immediates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::reg::{RegClass, Register, Size};
+
+/// A memory operand in Intel syntax: `size ptr [base + index*scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemOperand {
+    /// Base address register, if any.
+    pub base: Option<Register>,
+    /// Index register, if any.
+    pub index: Option<Register>,
+    /// Index scale factor (1, 2, 4, or 8). Meaningful only with `index`.
+    pub scale: u8,
+    /// Constant displacement.
+    pub disp: i64,
+    /// Access width of the memory reference.
+    pub size: Size,
+}
+
+impl MemOperand {
+    /// `size ptr [base]`
+    pub fn base(base: Register, size: Size) -> MemOperand {
+        MemOperand { base: Some(base), index: None, scale: 1, disp: 0, size }
+    }
+
+    /// `size ptr [base + disp]`
+    pub fn base_disp(base: Register, disp: i64, size: Size) -> MemOperand {
+        MemOperand { base: Some(base), index: None, scale: 1, disp, size }
+    }
+
+    /// `size ptr [base + index*scale + disp]`
+    pub fn base_index(
+        base: Register,
+        index: Register,
+        scale: u8,
+        disp: i64,
+        size: Size,
+    ) -> MemOperand {
+        MemOperand { base: Some(base), index: Some(index), scale, disp, size }
+    }
+
+    /// Registers read to compute the effective address.
+    pub fn address_registers(&self) -> impl Iterator<Item = Register> + '_ {
+        self.base.into_iter().chain(self.index)
+    }
+
+    /// Whether two memory operands may refer to the same location.
+    ///
+    /// We use the conservative *syntactic* disambiguation common to static
+    /// analyzers: identical (base, index, scale, disp) expressions
+    /// definitely overlap; expressions that differ only in displacement by
+    /// at least the access width definitely do not; anything else may
+    /// alias.
+    pub fn may_alias(&self, other: &MemOperand) -> bool {
+        let same_base = match (self.base, other.base) {
+            (Some(a), Some(b)) => a.aliases(b),
+            (None, None) => true,
+            _ => return true, // unknown vs known base: conservatively alias
+        };
+        let same_index = match (self.index, other.index) {
+            (Some(a), Some(b)) => a.aliases(b) && self.scale == other.scale,
+            (None, None) => true,
+            _ => return true,
+        };
+        if !same_base || !same_index {
+            // Different base/index registers: could still alias at runtime,
+            // but like the paper's multigraph construction we treat
+            // distinct address expressions as independent.
+            return false;
+        }
+        // Same address expression: check displacement ranges.
+        let a0 = self.disp;
+        let a1 = self.disp + i64::from(self.size.bytes());
+        let b0 = other.disp;
+        let b1 = other.disp + i64::from(other.size.bytes());
+        a0 < b1 && b0 < a1
+    }
+
+    /// Whether the two operands are the *same* syntactic expression.
+    pub fn same_address(&self, other: &MemOperand) -> bool {
+        self.base == other.base
+            && self.index == other.index
+            && (self.index.is_none() || self.scale == other.scale)
+            && self.disp == other.disp
+    }
+}
+
+impl fmt::Display for MemOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kw = match self.size {
+            Size::B8 => "byte",
+            Size::B16 => "word",
+            Size::B32 => "dword",
+            Size::B64 => "qword",
+            Size::B128 => "xmmword",
+            Size::B256 => "ymmword",
+        };
+        write!(f, "{kw} ptr [")?;
+        let mut wrote = false;
+        if let Some(base) = self.base {
+            write!(f, "{base}")?;
+            wrote = true;
+        }
+        if let Some(index) = self.index {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            write!(f, "{index}")?;
+            if self.scale != 1 {
+                write!(f, "*{}", self.scale)?;
+            }
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp >= 0 {
+                    write!(f, " + {}", self.disp)?;
+                } else {
+                    write!(f, " - {}", -self.disp)?;
+                }
+            } else {
+                write!(f, "{}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// An immediate (constant) operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Immediate {
+    /// The constant value.
+    pub value: i64,
+}
+
+impl Immediate {
+    /// Wrap a constant.
+    pub fn new(value: i64) -> Immediate {
+        Immediate { value }
+    }
+}
+
+impl fmt::Display for Immediate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Register),
+    /// A memory operand.
+    Mem(MemOperand),
+    /// An immediate operand.
+    Imm(Immediate),
+}
+
+impl Operand {
+    /// Convenience constructor for a register operand.
+    pub fn reg(register: Register) -> Operand {
+        Operand::Reg(register)
+    }
+
+    /// Convenience constructor for an immediate operand.
+    pub fn imm(value: i64) -> Operand {
+        Operand::Imm(Immediate::new(value))
+    }
+
+    /// The register, if this is a register operand.
+    pub fn as_reg(&self) -> Option<Register> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The memory operand, if this is one.
+    pub fn as_mem(&self) -> Option<&MemOperand> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The structural kind of this operand (for signature matching).
+    pub fn kind(&self) -> OperandKind {
+        match self {
+            Operand::Reg(r) => match r.class() {
+                RegClass::Gpr => OperandKind::Gpr(r.size()),
+                RegClass::Vec => OperandKind::Vec(r.size()),
+            },
+            Operand::Mem(m) => OperandKind::Mem(m.size),
+            Operand::Imm(_) => OperandKind::Imm,
+        }
+    }
+
+    /// The operand's data width, if it has one (immediates are sized by
+    /// the opcode form and report `None`).
+    pub fn size(&self) -> Option<Size> {
+        match self {
+            Operand::Reg(r) => Some(r.size()),
+            Operand::Mem(m) => Some(m.size),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// The structural kind of an operand, used for opcode signature matching:
+/// an opcode may replace another only if it accepts operands of the same
+/// kinds and sizes (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandKind {
+    /// General-purpose register of the given width.
+    Gpr(Size),
+    /// Vector register of the given width.
+    Vec(Size),
+    /// Memory reference of the given width.
+    Mem(Size),
+    /// Immediate constant.
+    Imm,
+}
+
+impl fmt::Display for OperandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperandKind::Gpr(s) => write!(f, "r{}", s.bits()),
+            OperandKind::Vec(s) => write!(f, "v{}", s.bits()),
+            OperandKind::Mem(s) => write!(f, "m{}", s.bits()),
+            OperandKind::Imm => write!(f, "imm"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(name: &str) -> Register {
+        Register::from_name(name).unwrap()
+    }
+
+    #[test]
+    fn display_formats_intel_syntax() {
+        let m = MemOperand::base_index(r("rbp"), r("rax"), 4, -8, Size::B64);
+        assert_eq!(m.to_string(), "qword ptr [rbp + rax*4 - 8]");
+        let m2 = MemOperand::base(r("rdi"), Size::B8);
+        assert_eq!(m2.to_string(), "byte ptr [rdi]");
+        let m3 = MemOperand::base_disp(r("rsp"), 16, Size::B32);
+        assert_eq!(m3.to_string(), "dword ptr [rsp + 16]");
+    }
+
+    #[test]
+    fn same_expression_aliases() {
+        let a = MemOperand::base_disp(r("rax"), 8, Size::B64);
+        let b = MemOperand::base_disp(r("rax"), 8, Size::B64);
+        assert!(a.may_alias(&b));
+        assert!(a.same_address(&b));
+    }
+
+    #[test]
+    fn disjoint_displacements_do_not_alias() {
+        let a = MemOperand::base_disp(r("rax"), 0, Size::B64);
+        let b = MemOperand::base_disp(r("rax"), 8, Size::B64);
+        assert!(!a.may_alias(&b));
+        // Overlapping ranges do alias.
+        let c = MemOperand::base_disp(r("rax"), 4, Size::B64);
+        assert!(a.may_alias(&c));
+    }
+
+    #[test]
+    fn different_bases_treated_independent() {
+        let a = MemOperand::base(r("rax"), Size::B64);
+        let b = MemOperand::base(r("rcx"), Size::B64);
+        assert!(!a.may_alias(&b));
+        // But aliased register names with the same expression do overlap.
+        let eax_based = MemOperand::base(r("rax"), Size::B64);
+        assert!(a.may_alias(&eax_based));
+    }
+
+    #[test]
+    fn operand_kinds() {
+        assert_eq!(Operand::reg(r("eax")).kind(), OperandKind::Gpr(Size::B32));
+        assert_eq!(Operand::reg(r("xmm5")).kind(), OperandKind::Vec(Size::B128));
+        assert_eq!(Operand::imm(42).kind(), OperandKind::Imm);
+        let m = Operand::Mem(MemOperand::base(r("rsi"), Size::B16));
+        assert_eq!(m.kind(), OperandKind::Mem(Size::B16));
+    }
+}

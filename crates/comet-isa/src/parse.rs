@@ -1,0 +1,343 @@
+//! Intel-syntax assembly parser for basic blocks.
+//!
+//! Accepts the syntax used throughout the paper's listings, e.g.
+//!
+//! ```text
+//! lea rdx, [rax + 1]
+//! mov qword ptr [rdi + 24], rdx
+//! mov byte ptr [rax], 80
+//! ```
+//!
+//! One instruction per line; `;` and `#` begin comments.
+
+use crate::error::IsaError;
+use crate::inst::{BasicBlock, Instruction};
+use crate::operand::{MemOperand, Operand};
+use crate::reg::{Register, Size};
+use crate::Opcode;
+
+/// Parse a multi-line Intel-syntax listing into a validated basic block.
+///
+/// # Errors
+///
+/// Returns a [`IsaError::Parse`] describing the first offending line, an
+/// [`IsaError::UnknownOpcode`]/[`IsaError::InvalidOperands`] for
+/// semantic problems, or [`IsaError::EmptyBlock`] if no instructions
+/// remain after stripping comments and blank lines.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), comet_isa::IsaError> {
+/// let block = comet_isa::parse_block("add rcx, rax\nmov rdx, rcx")?;
+/// assert_eq!(block.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_block(text: &str) -> Result<BasicBlock, IsaError> {
+    let mut insts = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        insts.push(parse_instruction_inner(line, lineno + 1)?);
+    }
+    BasicBlock::new(insts)
+}
+
+/// Parse a single instruction.
+///
+/// # Errors
+///
+/// Same failure modes as [`parse_block`], reported as line 1.
+pub fn parse_instruction(line: &str) -> Result<Instruction, IsaError> {
+    let stripped = strip_comment(line).trim();
+    parse_instruction_inner(stripped, 1)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IsaError {
+    IsaError::Parse { line, message: message.into() }
+}
+
+fn parse_instruction_inner(line: &str, lineno: usize) -> Result<Instruction, IsaError> {
+    // Tolerate a leading numeric label as found in the paper's listings
+    // ("1 add rcx, rax").
+    let line = line
+        .split_once(char::is_whitespace)
+        .filter(|(head, _)| head.chars().all(|c| c.is_ascii_digit()) && !head.is_empty())
+        .map_or(line, |(_, rest)| rest.trim());
+
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, rest)) => (m, rest.trim()),
+        None => (line, ""),
+    };
+    let mnemonic_lc = mnemonic.to_ascii_lowercase();
+    let opcode = Opcode::from_name(&mnemonic_lc)
+        .ok_or_else(|| IsaError::UnknownOpcode(mnemonic_lc.clone()))?;
+
+    let mut operands = Vec::new();
+    if !rest.is_empty() {
+        for part in rest.split(',') {
+            operands.push(parse_operand(part.trim(), lineno)?);
+        }
+    }
+    resolve_memory_sizes(opcode, &mut operands);
+    Instruction::new(opcode, operands)
+}
+
+/// Memory operands written without a size keyword (`lea rax, [rbx]`)
+/// inherit the width of the first sized register operand, defaulting to
+/// 64 bits.
+fn resolve_memory_sizes(opcode: Opcode, operands: &mut [Operand]) {
+    let inferred = operands
+        .iter()
+        .find_map(|op| op.as_reg())
+        .map_or(Size::B64, |reg| reg.size());
+    let _ = opcode;
+    for op in operands.iter_mut() {
+        if let Operand::Mem(mem) = op {
+            if mem.size == UNSIZED_SENTINEL {
+                mem.size = inferred;
+            }
+        }
+    }
+}
+
+/// Placeholder width for `[expr]` with no size keyword, fixed up by
+/// [`resolve_memory_sizes`]. `B256` never appears bare in our syntax.
+const UNSIZED_SENTINEL: Size = Size::B256;
+
+fn parse_operand(text: &str, lineno: usize) -> Result<Operand, IsaError> {
+    if text.is_empty() {
+        return Err(parse_err(lineno, "empty operand"));
+    }
+    if let Some(reg) = Register::from_name(&text.to_ascii_lowercase()) {
+        return Ok(Operand::Reg(reg));
+    }
+    if text.starts_with('[') {
+        return parse_mem(text, None, lineno).map(Operand::Mem);
+    }
+    let lower = text.to_ascii_lowercase();
+    for (kw, size) in [
+        ("byte", Size::B8),
+        ("word", Size::B16),
+        ("dword", Size::B32),
+        ("qword", Size::B64),
+        ("xmmword", Size::B128),
+        ("ymmword", Size::B256),
+    ] {
+        if let Some(rest) = lower.strip_prefix(kw) {
+            let rest = rest.trim_start();
+            let rest = rest
+                .strip_prefix("ptr")
+                .ok_or_else(|| parse_err(lineno, format!("expected `ptr` after `{kw}`")))?
+                .trim_start();
+            return parse_mem(rest, Some(size), lineno).map(Operand::Mem);
+        }
+    }
+    parse_imm(text, lineno).map(Operand::imm)
+}
+
+fn parse_imm(text: &str, lineno: usize) -> Result<i64, IsaError> {
+    let (negative, digits) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest.trim_start()),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+    {
+        i64::from_str_radix(hex, 16)
+    } else {
+        digits.parse::<i64>()
+    }
+    .map_err(|_| parse_err(lineno, format!("invalid operand `{text}`")))?;
+    Ok(if negative { -value } else { value })
+}
+
+fn parse_mem(text: &str, size: Option<Size>, lineno: usize) -> Result<MemOperand, IsaError> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| parse_err(lineno, format!("malformed memory operand `{text}`")))?
+        .trim();
+    let mut mem = MemOperand {
+        base: None,
+        index: None,
+        scale: 1,
+        disp: 0,
+        size: size.unwrap_or(UNSIZED_SENTINEL),
+    };
+
+    for (sign, term) in split_signed_terms(inner) {
+        let term = term.trim();
+        if term.is_empty() {
+            return Err(parse_err(lineno, "empty address term"));
+        }
+        // reg*scale or scale*reg
+        if let Some((lhs, rhs)) = term.split_once('*') {
+            let (lhs, rhs) = (lhs.trim(), rhs.trim());
+            let (reg_text, scale_text) =
+                if Register::from_name(&lhs.to_ascii_lowercase()).is_some() {
+                    (lhs, rhs)
+                } else {
+                    (rhs, lhs)
+                };
+            let reg = Register::from_name(&reg_text.to_ascii_lowercase())
+                .ok_or_else(|| parse_err(lineno, format!("bad scaled register `{term}`")))?;
+            let scale: u8 = scale_text
+                .parse()
+                .map_err(|_| parse_err(lineno, format!("bad scale `{term}`")))?;
+            if !matches!(scale, 1 | 2 | 4 | 8) || sign < 0 {
+                return Err(parse_err(lineno, format!("bad scale `{term}`")));
+            }
+            if mem.index.is_some() {
+                return Err(parse_err(lineno, "two index registers"));
+            }
+            mem.index = Some(reg);
+            mem.scale = scale;
+        } else if let Some(reg) = Register::from_name(&term.to_ascii_lowercase()) {
+            if sign < 0 {
+                return Err(parse_err(lineno, "negated register in address"));
+            }
+            if mem.base.is_none() {
+                mem.base = Some(reg);
+            } else if mem.index.is_none() {
+                mem.index = Some(reg);
+                mem.scale = 1;
+            } else {
+                return Err(parse_err(lineno, "too many address registers"));
+            }
+        } else {
+            let value = parse_imm(term, lineno)?;
+            mem.disp += i64::from(sign) * value;
+        }
+    }
+    Ok(mem)
+}
+
+/// Split `a + b - c` into signed terms at the top level.
+fn split_signed_terms(text: &str) -> Vec<(i8, &str)> {
+    let mut terms = Vec::new();
+    let mut sign: i8 = 1;
+    let mut start = 0;
+    for (i, ch) in text.char_indices() {
+        if ch == '+' || ch == '-' {
+            let piece = &text[start..i];
+            if !piece.trim().is_empty() {
+                terms.push((sign, piece));
+            }
+            sign = if ch == '+' { 1 } else { -1 };
+            start = i + 1;
+        }
+    }
+    let tail = &text[start..];
+    if !tail.trim().is_empty() {
+        terms.push((sign, tail));
+    }
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_motivating_example() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx").unwrap();
+        assert_eq!(block.len(), 3);
+        assert_eq!(block.get(0).unwrap().opcode, Opcode::Add);
+        assert_eq!(block.get(2).unwrap().opcode, Opcode::Pop);
+    }
+
+    #[test]
+    fn parses_case_study_one() {
+        let text = "lea rdx, [rax + 1]\n\
+                    mov qword ptr [rdi + 24], rdx\n\
+                    mov byte ptr [rax], 80\n\
+                    mov rsi, qword ptr [r14 + 32]\n\
+                    mov rdi, rbp";
+        let block = parse_block(text).unwrap();
+        assert_eq!(block.len(), 5);
+        let store = block.get(1).unwrap();
+        assert!(store.writes_memory());
+        let mem = store.mem_operand().unwrap();
+        assert_eq!(mem.disp, 24);
+        assert_eq!(mem.size, Size::B64);
+        assert_eq!(block.get(2).unwrap().operands[1], Operand::imm(80));
+    }
+
+    #[test]
+    fn parses_case_study_two() {
+        let text = "mov ecx, edx\n\
+                    xor edx, edx\n\
+                    lea rax, [rcx + rax - 1]\n\
+                    div rcx\n\
+                    mov rdx, rcx\n\
+                    imul rax, rcx";
+        let block = parse_block(text).unwrap();
+        assert_eq!(block.len(), 6);
+        let lea = block.get(2).unwrap();
+        let mem = lea.mem_operand().unwrap();
+        assert_eq!(mem.base, Register::from_name("rcx"));
+        assert_eq!(mem.index, Register::from_name("rax"));
+        assert_eq!(mem.disp, -1);
+    }
+
+    #[test]
+    fn parses_vector_listing() {
+        let text = "vdivss xmm0, xmm0, xmm6\n\
+                    vmulss xmm7, xmm0, xmm0\n\
+                    vxorps xmm0, xmm0, xmm5";
+        let block = parse_block(text).unwrap();
+        assert_eq!(block.len(), 3);
+        assert_eq!(block.get(0).unwrap().opcode, Opcode::Vdivss);
+    }
+
+    #[test]
+    fn parses_scaled_index_and_hex() {
+        let inst = parse_instruction("mov rax, qword ptr [rbp + rcx*8 + 0x10]").unwrap();
+        let mem = inst.mem_operand().unwrap();
+        assert_eq!(mem.scale, 8);
+        assert_eq!(mem.disp, 16);
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let texts = [
+            "add rcx, rax",
+            "mov qword ptr [rdi + 24], rdx",
+            "lea rax, [rcx + rax - 1]",
+            "vdivss xmm0, xmm0, xmm6",
+            "shl eax, 3",
+            "mov rbp, qword ptr [rsp + 8]",
+        ];
+        for text in texts {
+            let inst = parse_instruction(text).unwrap();
+            let printed = inst.to_string();
+            let reparsed = parse_instruction(&printed).unwrap();
+            assert_eq!(inst, reparsed, "{text} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn comments_and_labels_tolerated() {
+        let block = parse_block("1 add rcx, rax ; comment\n# full line comment\n2 pop rbx")
+            .unwrap();
+        assert_eq!(block.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_block("jmp somewhere").is_err());
+        assert!(parse_block("").is_err());
+        assert!(parse_instruction("add rcx").is_err());
+        assert!(parse_instruction("mov qword [rax], 1").is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! x86-64 register model with aliasing.
+//!
+//! Registers are modelled structurally as a (class, index, size) triple
+//! rather than a flat enum: COMET's perturbation algorithm needs to
+//! enumerate "all registers of the same type and size" cheaply, and the
+//! dependency analysis needs to know when two differently-sized names
+//! refer to overlapping architectural state (e.g. `eax` aliases `rax`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural register class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegClass {
+    /// General-purpose integer registers (`rax` family, `r8`..`r15`).
+    Gpr,
+    /// SIMD vector registers (`xmm0`..`xmm15`, `ymm0`..`ymm15`).
+    Vec,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Gpr => write!(f, "gpr"),
+            RegClass::Vec => write!(f, "vec"),
+        }
+    }
+}
+
+/// Operand width in bits.
+///
+/// The paper restricts operand sizes to powers of two between 8 and 512
+/// bits; our ISA subset tops out at 256 (AVX `ymm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants are self-describing bit widths
+pub enum Size {
+    B8,
+    B16,
+    B32,
+    B64,
+    B128,
+    B256,
+}
+
+impl Size {
+    /// Width in bits.
+    pub fn bits(self) -> u16 {
+        match self {
+            Size::B8 => 8,
+            Size::B16 => 16,
+            Size::B32 => 32,
+            Size::B64 => 64,
+            Size::B128 => 128,
+            Size::B256 => 256,
+        }
+    }
+
+    /// Width in bytes.
+    pub fn bytes(self) -> u16 {
+        self.bits() / 8
+    }
+
+    /// Parse a width in bits back into a [`Size`].
+    pub fn from_bits(bits: u16) -> Option<Size> {
+        Some(match bits {
+            8 => Size::B8,
+            16 => Size::B16,
+            32 => Size::B32,
+            64 => Size::B64,
+            128 => Size::B128,
+            256 => Size::B256,
+            _ => return None,
+        })
+    }
+
+    /// All sizes valid for general-purpose registers.
+    pub const GPR_SIZES: [Size; 4] = [Size::B8, Size::B16, Size::B32, Size::B64];
+
+    /// All sizes valid for vector registers.
+    pub const VEC_SIZES: [Size; 2] = [Size::B128, Size::B256];
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// A concrete architectural register name, e.g. `rcx` or `xmm3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Register {
+    class: RegClass,
+    index: u8,
+    size: Size,
+}
+
+/// Number of architectural registers per class in our subset.
+pub const NUM_GPR: u8 = 16;
+/// Number of vector registers in our subset.
+pub const NUM_VEC: u8 = 16;
+
+/// GPR index of the stack pointer (`rsp`), which is implicitly used by
+/// `push`/`pop` and excluded from random renaming.
+pub const RSP_INDEX: u8 = 4;
+
+const GPR64: [&str; 16] = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
+    "r13", "r14", "r15",
+];
+const GPR32: [&str; 16] = [
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi", "r8d", "r9d", "r10d", "r11d", "r12d",
+    "r13d", "r14d", "r15d",
+];
+const GPR16: [&str; 16] = [
+    "ax", "cx", "dx", "bx", "sp", "bp", "si", "di", "r8w", "r9w", "r10w", "r11w", "r12w", "r13w",
+    "r14w", "r15w",
+];
+const GPR8: [&str; 16] = [
+    "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil", "r8b", "r9b", "r10b", "r11b", "r12b",
+    "r13b", "r14b", "r15b",
+];
+
+impl Register {
+    /// Create a register from its components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (class, size) combination or index is invalid; use
+    /// [`Register::try_new`] for a fallible variant.
+    pub fn new(class: RegClass, index: u8, size: Size) -> Register {
+        Register::try_new(class, index, size).expect("invalid register description")
+    }
+
+    /// Fallible constructor validating the class/index/size combination.
+    pub fn try_new(class: RegClass, index: u8, size: Size) -> Option<Register> {
+        let ok = match class {
+            RegClass::Gpr => index < NUM_GPR && Size::GPR_SIZES.contains(&size),
+            RegClass::Vec => index < NUM_VEC && Size::VEC_SIZES.contains(&size),
+        };
+        ok.then_some(Register { class, index, size })
+    }
+
+    /// 64-bit GPR with the given hardware index.
+    pub fn gpr64(index: u8) -> Register {
+        Register::new(RegClass::Gpr, index, Size::B64)
+    }
+
+    /// 128-bit vector register with the given index.
+    pub fn xmm(index: u8) -> Register {
+        Register::new(RegClass::Vec, index, Size::B128)
+    }
+
+    /// 256-bit vector register with the given index.
+    pub fn ymm(index: u8) -> Register {
+        Register::new(RegClass::Vec, index, Size::B256)
+    }
+
+    /// Register class.
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// Hardware index within the class (0..16).
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// Operand size of this register name.
+    pub fn size(self) -> Size {
+        self.size
+    }
+
+    /// The widest register aliasing this one (`eax` → `rax`, `xmm3` → `ymm3`).
+    ///
+    /// Two registers refer to overlapping architectural state exactly when
+    /// their full registers are equal; this is the unit of dependency
+    /// analysis.
+    pub fn full(self) -> Register {
+        let size = match self.class {
+            RegClass::Gpr => Size::B64,
+            RegClass::Vec => Size::B256,
+        };
+        Register { size, ..self }
+    }
+
+    /// Whether two register names alias (overlap architecturally).
+    pub fn aliases(self, other: Register) -> bool {
+        self.full() == other.full()
+    }
+
+    /// The same architectural register viewed at a different width.
+    pub fn with_size(self, size: Size) -> Option<Register> {
+        Register::try_new(self.class, self.index, size)
+    }
+
+    /// Whether this is the stack pointer (any width of `rsp`).
+    pub fn is_stack_pointer(self) -> bool {
+        self.class == RegClass::Gpr && self.index == RSP_INDEX
+    }
+
+    /// The canonical Intel-syntax name of this register.
+    pub fn name(self) -> &'static str {
+        match (self.class, self.size) {
+            (RegClass::Gpr, Size::B64) => GPR64[self.index as usize],
+            (RegClass::Gpr, Size::B32) => GPR32[self.index as usize],
+            (RegClass::Gpr, Size::B16) => GPR16[self.index as usize],
+            (RegClass::Gpr, Size::B8) => GPR8[self.index as usize],
+            (RegClass::Vec, Size::B128) => XMM[self.index as usize],
+            (RegClass::Vec, Size::B256) => YMM[self.index as usize],
+            _ => unreachable!("invalid register"),
+        }
+    }
+
+    /// Parse an Intel-syntax register name.
+    pub fn from_name(name: &str) -> Option<Register> {
+        let tables: [(&[&str; 16], RegClass, Size); 6] = [
+            (&GPR64, RegClass::Gpr, Size::B64),
+            (&GPR32, RegClass::Gpr, Size::B32),
+            (&GPR16, RegClass::Gpr, Size::B16),
+            (&GPR8, RegClass::Gpr, Size::B8),
+            (&XMM, RegClass::Vec, Size::B128),
+            (&YMM, RegClass::Vec, Size::B256),
+        ];
+        for (table, class, size) in tables {
+            if let Some(index) = table.iter().position(|n| *n == name) {
+                return Some(Register::new(class, index as u8, size));
+            }
+        }
+        None
+    }
+
+    /// Iterate over every register of the given class and size.
+    pub fn all(class: RegClass, size: Size) -> impl Iterator<Item = Register> {
+        let count = match class {
+            RegClass::Gpr => NUM_GPR,
+            RegClass::Vec => NUM_VEC,
+        };
+        (0..count).filter_map(move |index| Register::try_new(class, index, size))
+    }
+}
+
+const XMM: [&str; 16] = [
+    "xmm0", "xmm1", "xmm2", "xmm3", "xmm4", "xmm5", "xmm6", "xmm7", "xmm8", "xmm9", "xmm10",
+    "xmm11", "xmm12", "xmm13", "xmm14", "xmm15",
+];
+const YMM: [&str; 16] = [
+    "ymm0", "ymm1", "ymm2", "ymm3", "ymm4", "ymm5", "ymm6", "ymm7", "ymm8", "ymm9", "ymm10",
+    "ymm11", "ymm12", "ymm13", "ymm14", "ymm15",
+];
+
+impl fmt::Display for Register {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_name() {
+        for class in [RegClass::Gpr, RegClass::Vec] {
+            let sizes: &[Size] = match class {
+                RegClass::Gpr => &Size::GPR_SIZES,
+                RegClass::Vec => &Size::VEC_SIZES,
+            };
+            for &size in sizes {
+                for reg in Register::all(class, size) {
+                    assert_eq!(Register::from_name(reg.name()), Some(reg));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aliasing_follows_full_register() {
+        let rax = Register::from_name("rax").unwrap();
+        let eax = Register::from_name("eax").unwrap();
+        let al = Register::from_name("al").unwrap();
+        let rcx = Register::from_name("rcx").unwrap();
+        assert!(rax.aliases(eax));
+        assert!(eax.aliases(al));
+        assert!(!rax.aliases(rcx));
+
+        let xmm0 = Register::from_name("xmm0").unwrap();
+        let ymm0 = Register::from_name("ymm0").unwrap();
+        assert!(xmm0.aliases(ymm0));
+    }
+
+    #[test]
+    fn invalid_combinations_rejected() {
+        assert!(Register::try_new(RegClass::Gpr, 0, Size::B128).is_none());
+        assert!(Register::try_new(RegClass::Vec, 0, Size::B32).is_none());
+        assert!(Register::try_new(RegClass::Gpr, 16, Size::B64).is_none());
+    }
+
+    #[test]
+    fn stack_pointer_detected_at_all_widths() {
+        for name in ["rsp", "esp", "sp", "spl"] {
+            assert!(Register::from_name(name).unwrap().is_stack_pointer());
+        }
+        assert!(!Register::from_name("rbp").unwrap().is_stack_pointer());
+    }
+
+    #[test]
+    fn with_size_changes_view() {
+        let rdx = Register::from_name("rdx").unwrap();
+        assert_eq!(rdx.with_size(Size::B32).unwrap().name(), "edx");
+        assert_eq!(rdx.with_size(Size::B128), None);
+    }
+
+    #[test]
+    fn all_enumerates_full_class() {
+        assert_eq!(Register::all(RegClass::Gpr, Size::B64).count(), 16);
+        assert_eq!(Register::all(RegClass::Vec, Size::B128).count(), 16);
+    }
+}

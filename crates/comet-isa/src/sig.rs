@@ -1,0 +1,427 @@
+//! Opcode operand signatures and access semantics.
+//!
+//! A [`Signature`] describes one legal operand form of an opcode: which
+//! operand kinds/sizes are accepted in each position, and whether each
+//! operand is read, written, or both. COMET's perturbation algorithm uses
+//! signatures in two ways:
+//!
+//! * *validity*: an instruction is a legal basic-block instruction iff its
+//!   operand list matches one of its opcode's signatures;
+//! * *replacement*: opcode `O'` may replace `O` in an instruction iff `O'`
+//!   accepts the instruction's exact operand kinds (paper §5.2) — with the
+//!   additional requirement that address-only memory operands (`lea`) only
+//!   match address-only patterns, which reproduces the paper's observation
+//!   (Appendix D) that `lea` has no valid replacement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::operand::OperandKind;
+use crate::reg::Size;
+
+/// How an instruction treats one of its explicit operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// Operand value is read.
+    Read,
+    /// Operand value is written.
+    Write,
+    /// Operand value is read and written.
+    ReadWrite,
+    /// Operand value is neither read nor written (e.g. the memory operand
+    /// of `lea`, whose *address registers* are still read).
+    None,
+}
+
+impl Access {
+    /// Whether the operand's value is read.
+    pub fn reads(self) -> bool {
+        matches!(self, Access::Read | Access::ReadWrite)
+    }
+
+    /// Whether the operand's value is written.
+    pub fn writes(self) -> bool {
+        matches!(self, Access::Write | Access::ReadWrite)
+    }
+}
+
+/// A pattern matched against one operand position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pat {
+    /// Accepted general-purpose register widths (empty = not accepted).
+    pub gpr: &'static [Size],
+    /// Accepted vector register widths.
+    pub vec: &'static [Size],
+    /// Accepted memory access widths.
+    pub mem: &'static [Size],
+    /// Whether an immediate is accepted.
+    pub imm: bool,
+    /// If true, a matching memory operand is an address computation only
+    /// (no load/store) — `lea`'s second operand.
+    pub addr_only: bool,
+}
+
+const NO_SIZES: &[Size] = &[];
+
+impl Pat {
+    const EMPTY: Pat =
+        Pat { gpr: NO_SIZES, vec: NO_SIZES, mem: NO_SIZES, imm: false, addr_only: false };
+
+    /// GPR-only pattern.
+    pub const fn gpr(sizes: &'static [Size]) -> Pat {
+        Pat { gpr: sizes, ..Pat::EMPTY }
+    }
+
+    /// GPR-or-memory pattern (`r/m`).
+    pub const fn rm(sizes: &'static [Size]) -> Pat {
+        Pat { gpr: sizes, mem: sizes, ..Pat::EMPTY }
+    }
+
+    /// Memory-only pattern.
+    pub const fn mem(sizes: &'static [Size]) -> Pat {
+        Pat { mem: sizes, ..Pat::EMPTY }
+    }
+
+    /// Address-only memory pattern (`lea`).
+    pub const fn addr(sizes: &'static [Size]) -> Pat {
+        Pat { mem: sizes, addr_only: true, ..Pat::EMPTY }
+    }
+
+    /// Immediate pattern.
+    pub const fn imm() -> Pat {
+        Pat { imm: true, ..Pat::EMPTY }
+    }
+
+    /// Vector-register-only pattern.
+    pub const fn vec(sizes: &'static [Size]) -> Pat {
+        Pat { vec: sizes, ..Pat::EMPTY }
+    }
+
+    /// Vector-register-or-memory pattern.
+    pub const fn vm(vsizes: &'static [Size], msizes: &'static [Size]) -> Pat {
+        Pat { vec: vsizes, mem: msizes, ..Pat::EMPTY }
+    }
+
+    /// Whether this pattern accepts the given operand kind.
+    pub fn matches(&self, kind: OperandKind) -> bool {
+        match kind {
+            OperandKind::Gpr(s) => self.gpr.contains(&s),
+            OperandKind::Vec(s) => self.vec.contains(&s),
+            OperandKind::Mem(s) => self.mem.contains(&s),
+            OperandKind::Imm => self.imm,
+        }
+    }
+}
+
+/// One legal operand form of an opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// Per-position operand patterns.
+    pub pats: &'static [Pat],
+    /// Per-position access semantics (parallel to `pats`).
+    pub accesses: &'static [Access],
+    /// If true, all sized operands (registers and memory) must share one
+    /// width — the standard x86 ALU form constraint.
+    pub uniform: bool,
+    /// If true, the first operand must be strictly wider than the second
+    /// (`movzx`/`movsx`).
+    pub widening: bool,
+}
+
+impl Signature {
+    const fn new(pats: &'static [Pat], accesses: &'static [Access]) -> Signature {
+        Signature { pats, accesses, uniform: true, widening: false }
+    }
+
+    const fn free(pats: &'static [Pat], accesses: &'static [Access]) -> Signature {
+        Signature { pats, accesses, uniform: false, widening: false }
+    }
+
+    const fn widen(pats: &'static [Pat], accesses: &'static [Access]) -> Signature {
+        Signature { pats, accesses, uniform: false, widening: true }
+    }
+
+    /// Whether this signature accepts the given operand kind list.
+    pub fn matches(&self, kinds: &[OperandKind]) -> bool {
+        if kinds.len() != self.pats.len() {
+            return false;
+        }
+        if !self.pats.iter().zip(kinds).all(|(pat, &kind)| pat.matches(kind)) {
+            return false;
+        }
+        let size_of = |kind: &OperandKind| match *kind {
+            OperandKind::Gpr(s) | OperandKind::Vec(s) | OperandKind::Mem(s) => Some(s),
+            OperandKind::Imm => None,
+        };
+        if self.uniform {
+            let mut sized = kinds.iter().filter_map(size_of);
+            if let Some(first) = sized.next() {
+                if !sized.all(|s| s == first) {
+                    return false;
+                }
+            }
+        }
+        if self.widening {
+            match (size_of(&kinds[0]), kinds.get(1).and_then(size_of)) {
+                (Some(a), Some(b)) if a > b => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+// Size sets.
+use Size::{B128, B16, B256, B32, B64, B8};
+const S_ALL: &[Size] = &[B8, B16, B32, B64];
+const S_WIDE: &[Size] = &[B16, B32, B64];
+const S_32_64: &[Size] = &[B32, B64];
+const S_8: &[Size] = &[B8];
+const S_8_16: &[Size] = &[B8, B16];
+const S_64: &[Size] = &[B64];
+const V_128: &[Size] = &[B128];
+const V_ANY: &[Size] = &[B128, B256];
+const M_32: &[Size] = &[B32];
+const M_64: &[Size] = &[B64];
+const M_128: &[Size] = &[B128];
+const M_VANY: &[Size] = &[B128, B256];
+
+use Access::{None as NoAcc, Read as R, ReadWrite as RW, Write as W};
+
+// ---- scalar families -------------------------------------------------------
+
+/// `op r/m, r` | `op r, r/m` | `op r/m, imm` with read-write destination.
+pub static ALU2: &[Signature] = &[
+    Signature::new(&[Pat::rm(S_ALL), Pat::gpr(S_ALL)], &[RW, R]),
+    Signature::new(&[Pat::gpr(S_ALL), Pat::rm(S_ALL)], &[RW, R]),
+    Signature::new(&[Pat::rm(S_ALL), Pat::imm()], &[RW, R]),
+];
+
+/// Compare family: same forms as [`ALU2`] but reads both operands.
+pub static CMP2: &[Signature] = &[
+    Signature::new(&[Pat::rm(S_ALL), Pat::gpr(S_ALL)], &[R, R]),
+    Signature::new(&[Pat::gpr(S_ALL), Pat::rm(S_ALL)], &[R, R]),
+    Signature::new(&[Pat::rm(S_ALL), Pat::imm()], &[R, R]),
+];
+
+static UNARY_RM: &[Signature] = &[Signature::new(&[Pat::rm(S_ALL)], &[RW])];
+
+static MULDIV: &[Signature] = &[Signature::new(&[Pat::rm(S_ALL)], &[R])];
+
+static IMUL: &[Signature] = &[
+    Signature::new(&[Pat::gpr(S_WIDE), Pat::rm(S_WIDE)], &[RW, R]),
+    Signature::new(&[Pat::gpr(S_WIDE), Pat::rm(S_WIDE), Pat::imm()], &[W, R, R]),
+];
+
+static SHIFT: &[Signature] = &[
+    Signature::new(&[Pat::rm(S_ALL), Pat::imm()], &[RW, R]),
+    Signature::free(&[Pat::rm(S_ALL), Pat::gpr(S_8)], &[RW, R]),
+];
+
+static MOV: &[Signature] = &[
+    Signature::new(&[Pat::rm(S_ALL), Pat::gpr(S_ALL)], &[W, R]),
+    Signature::new(&[Pat::gpr(S_ALL), Pat::rm(S_ALL)], &[W, R]),
+    Signature::new(&[Pat::rm(S_ALL), Pat::imm()], &[W, R]),
+];
+
+static MOVX: &[Signature] =
+    &[Signature::widen(&[Pat::gpr(S_WIDE), Pat::rm(S_8_16)], &[W, R])];
+
+static XCHG: &[Signature] = &[
+    Signature::new(&[Pat::rm(S_ALL), Pat::gpr(S_ALL)], &[RW, RW]),
+    Signature::new(&[Pat::gpr(S_ALL), Pat::rm(S_ALL)], &[RW, RW]),
+];
+
+static BSWAP: &[Signature] = &[Signature::new(&[Pat::gpr(S_32_64)], &[RW])];
+
+static LEA: &[Signature] =
+    &[Signature::free(&[Pat::gpr(S_WIDE), Pat::addr(S_ALL)], &[W, NoAcc])];
+
+static PUSH: &[Signature] = &[
+    Signature::new(&[Pat::gpr(S_64)], &[R]),
+    Signature::new(&[Pat::mem(S_64)], &[R]),
+    Signature::new(&[Pat::imm()], &[R]),
+];
+
+static POP: &[Signature] =
+    &[Signature::new(&[Pat::gpr(S_64)], &[W]), Signature::new(&[Pat::mem(S_64)], &[W])];
+
+static CMOV: &[Signature] = &[Signature::new(&[Pat::gpr(S_WIDE), Pat::rm(S_WIDE)], &[RW, R])];
+
+static BITSCAN: &[Signature] = &[Signature::new(&[Pat::gpr(S_WIDE), Pat::rm(S_WIDE)], &[W, R])];
+
+static NOP: &[Signature] = &[Signature::new(&[], &[])];
+
+// ---- vector families -------------------------------------------------------
+
+static SSE_SS_RW: &[Signature] = &[
+    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_32)], &[RW, R]),
+];
+static SSE_SD_RW: &[Signature] = &[
+    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_64)], &[RW, R]),
+];
+static SSE_SS_W: &[Signature] = &[
+    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_32)], &[W, R]),
+];
+static SSE_SD_W: &[Signature] = &[
+    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_64)], &[W, R]),
+];
+static SSE_PACKED: &[Signature] = &[
+    Signature::new(&[Pat::vec(V_128), Pat::vm(V_128, M_128)], &[RW, R]),
+];
+static SSE_MOV: &[Signature] = &[
+    Signature::new(&[Pat::vec(V_128), Pat::vm(V_128, M_128)], &[W, R]),
+    Signature::new(&[Pat::mem(M_128), Pat::vec(V_128)], &[W, R]),
+];
+static MOVSS: &[Signature] = &[
+    Signature::free(&[Pat::vec(V_128), Pat::vec(V_128)], &[RW, R]),
+    Signature::free(&[Pat::vec(V_128), Pat::mem(M_32)], &[W, R]),
+    Signature::free(&[Pat::mem(M_32), Pat::vec(V_128)], &[W, R]),
+];
+static MOVSD: &[Signature] = &[
+    Signature::free(&[Pat::vec(V_128), Pat::vec(V_128)], &[RW, R]),
+    Signature::free(&[Pat::vec(V_128), Pat::mem(M_64)], &[W, R]),
+    Signature::free(&[Pat::mem(M_64), Pat::vec(V_128)], &[W, R]),
+];
+static SSE_SS_CMP: &[Signature] = &[
+    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_32)], &[R, R]),
+];
+static SSE_SD_CMP: &[Signature] = &[
+    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_64)], &[R, R]),
+];
+static AVX_SS: &[Signature] = &[
+    Signature::free(&[Pat::vec(V_128), Pat::vec(V_128), Pat::vm(V_128, M_32)], &[W, R, R]),
+];
+static AVX_SD: &[Signature] = &[
+    Signature::free(&[Pat::vec(V_128), Pat::vec(V_128), Pat::vm(V_128, M_64)], &[W, R, R]),
+];
+static AVX_PACKED: &[Signature] = &[
+    Signature::new(&[Pat::vec(V_ANY), Pat::vec(V_ANY), Pat::vm(V_ANY, M_VANY)], &[W, R, R]),
+];
+static AVX_MOV: &[Signature] = &[
+    Signature::new(&[Pat::vec(V_ANY), Pat::vm(V_ANY, M_VANY)], &[W, R]),
+    Signature::new(&[Pat::mem(M_VANY), Pat::vec(V_ANY)], &[W, R]),
+];
+
+/// The legal operand signatures of an opcode.
+pub fn signatures(op: crate::Opcode) -> &'static [Signature] {
+    use crate::Opcode::*;
+    match op {
+        Add | Sub | Adc | Sbb | And | Or | Xor => ALU2,
+        Cmp | Test => CMP2,
+        Inc | Dec | Neg | Not => UNARY_RM,
+        Imul => IMUL,
+        Mul | Div | Idiv => MULDIV,
+        Shl | Shr | Sar | Rol | Ror => SHIFT,
+        Mov => MOV,
+        Movzx | Movsx => MOVX,
+        Xchg => XCHG,
+        Bswap => BSWAP,
+        Lea => LEA,
+        Push => PUSH,
+        Pop => POP,
+        Cmove | Cmovne | Cmovl | Cmovg | Cmovle | Cmovge | Cmovb | Cmova => CMOV,
+        Bsf | Bsr | Popcnt | Lzcnt | Tzcnt => BITSCAN,
+        Nop => NOP,
+        Addss | Subss | Minss | Maxss | Mulss | Divss => SSE_SS_RW,
+        Sqrtss | Rcpss | Rsqrtss | Cvtss2sd => SSE_SS_W,
+        Comiss | Ucomiss => SSE_SS_CMP,
+        Comisd | Ucomisd => SSE_SD_CMP,
+        Addsd | Subsd | Minsd | Maxsd | Mulsd | Divsd => SSE_SD_RW,
+        Sqrtsd | Cvtsd2ss => SSE_SD_W,
+        Addps | Subps | Mulps | Divps | Addpd | Subpd | Mulpd | Divpd | Xorps | Andps | Orps
+        | Andnps | Minps | Maxps | Unpcklps | Unpckhps | Paddd | Psubd | Paddq | Psubq | Pand
+        | Por | Pxor | Pmulld | Pminud | Pmaxud | Pavgb | Pcmpeqd | Pcmpgtd | Punpckldq
+        | Punpckhdq | Paddb | Paddw | Paddsb | Paddsw | Paddusb | Paddusw | Psubb | Psubw | Psubsb | Psubsw | Psubusb | Psubusw | Pminsw | Pminsd | Pminub | Pminuw | Pmaxsw | Pmaxsd | Pmaxub | Pmaxuw | Pcmpeqb | Pcmpeqw | Pcmpeqq | Pcmpgtb | Pcmpgtw | Pcmpgtq | Pavgw | Packssdw | Packsswb | Packusdw | Punpcklbw | Punpcklwd | Punpckhbw | Punpckhwd => SSE_PACKED,
+        Movaps | Movups => SSE_MOV,
+        Movss => MOVSS,
+        Movsd => MOVSD,
+        Vaddss | Vsubss | Vminss | Vmaxss | Vmulss | Vdivss | Vsqrtss | Vrcpss | Vrsqrtss
+        | Vcvtss2sd => AVX_SS,
+        Vaddsd | Vsubsd | Vmulsd | Vdivsd | Vcvtsd2ss => AVX_SD,
+        Vaddps | Vsubps | Vmulps | Vdivps | Vxorps | Vandps | Vorps | Vandnps | Vminps | Vmaxps
+        | Vunpcklps | Vunpckhps | Vpaddd | Vpsubd | Vpand | Vpor | Vpxor | Vpminud | Vpmaxud
+        | Vpavgb | Vpcmpeqd | Vpcmpgtd | Vpunpckldq | Vpunpckhdq | Vpaddb | Vpaddw | Vpsubb | Vpsubw | Vpminsd | Vpmaxsd | Vpminsw | Vpmaxsw | Vpcmpeqb | Vpcmpgtb | Vpavgw | Vpacksswb | Vpackssdw | Vpunpcklbw | Vpunpcklwd => AVX_PACKED,
+        Vmovaps | Vmovups => AVX_MOV,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Opcode;
+
+    #[test]
+    fn alu_accepts_standard_forms() {
+        let sigs = signatures(Opcode::Add);
+        let rr = [OperandKind::Gpr(B64), OperandKind::Gpr(B64)];
+        let rm = [OperandKind::Gpr(B32), OperandKind::Mem(B32)];
+        let ri = [OperandKind::Gpr(B64), OperandKind::Imm];
+        for kinds in [&rr[..], &rm[..], &ri[..]] {
+            assert!(sigs.iter().any(|s| s.matches(kinds)), "{kinds:?}");
+        }
+    }
+
+    #[test]
+    fn alu_rejects_mixed_widths() {
+        let sigs = signatures(Opcode::Add);
+        let bad = [OperandKind::Gpr(B64), OperandKind::Gpr(B32)];
+        assert!(!sigs.iter().any(|s| s.matches(&bad)));
+        let bad2 = [OperandKind::Gpr(B64), OperandKind::Mem(B32)];
+        assert!(!sigs.iter().any(|s| s.matches(&bad2)));
+    }
+
+    #[test]
+    fn movzx_requires_widening() {
+        let sigs = signatures(Opcode::Movzx);
+        let ok = [OperandKind::Gpr(B32), OperandKind::Gpr(B8)];
+        let bad = [OperandKind::Gpr(B16), OperandKind::Gpr(B16)];
+        assert!(sigs.iter().any(|s| s.matches(&ok)));
+        assert!(!sigs.iter().any(|s| s.matches(&bad)));
+    }
+
+    #[test]
+    fn shift_accepts_byte_count_register() {
+        let sigs = signatures(Opcode::Shl);
+        let by_cl = [OperandKind::Gpr(B64), OperandKind::Gpr(B8)];
+        let by_imm = [OperandKind::Gpr(B32), OperandKind::Imm];
+        assert!(sigs.iter().any(|s| s.matches(&by_cl)));
+        assert!(sigs.iter().any(|s| s.matches(&by_imm)));
+    }
+
+    #[test]
+    fn avx_packed_uniform_across_lanes() {
+        let sigs = signatures(Opcode::Vaddps);
+        let ok = [OperandKind::Vec(B256), OperandKind::Vec(B256), OperandKind::Vec(B256)];
+        let bad = [OperandKind::Vec(B256), OperandKind::Vec(B128), OperandKind::Vec(B128)];
+        assert!(sigs.iter().any(|s| s.matches(&ok)));
+        assert!(!sigs.iter().any(|s| s.matches(&bad)));
+    }
+
+    #[test]
+    fn scalar_sse_takes_narrow_memory() {
+        let sigs = signatures(Opcode::Addss);
+        let mem = [OperandKind::Vec(B128), OperandKind::Mem(B32)];
+        let wide_mem = [OperandKind::Vec(B128), OperandKind::Mem(B128)];
+        assert!(sigs.iter().any(|s| s.matches(&mem)));
+        assert!(!sigs.iter().any(|s| s.matches(&wide_mem)));
+    }
+
+    #[test]
+    fn lea_memory_operand_is_address_only() {
+        let sigs = signatures(Opcode::Lea);
+        assert!(sigs[0].pats[1].addr_only);
+        let kinds = [OperandKind::Gpr(B64), OperandKind::Mem(B64)];
+        assert!(sigs.iter().any(|s| s.matches(&kinds)));
+    }
+
+    #[test]
+    fn every_opcode_has_signatures() {
+        for &op in Opcode::ALL {
+            let sigs = signatures(op);
+            assert!(!sigs.is_empty(), "{op}");
+            for sig in sigs {
+                assert_eq!(sig.pats.len(), sig.accesses.len(), "{op}");
+            }
+        }
+    }
+}

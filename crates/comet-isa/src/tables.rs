@@ -1,0 +1,424 @@
+//! Per-microarchitecture instruction timing and port-usage tables.
+//!
+//! Latency, reciprocal throughput, µop counts, and execution-port sets
+//! for the modelled opcode subset on Haswell and Skylake. Values are
+//! approximations of publicly documented measurements (uops.info, Agner
+//! Fog's tables); the reproduction targets the *shape* of the paper's
+//! results, not absolute cycle counts — see DESIGN.md §1.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::inst::Instruction;
+use crate::opcode::OpCategory;
+use crate::reg::Size;
+use crate::Opcode;
+
+/// An Intel microarchitecture modelled by the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Microarch {
+    /// Intel Haswell (4th generation Core).
+    Haswell,
+    /// Intel Skylake (6th generation Core).
+    Skylake,
+}
+
+impl Microarch {
+    /// Both modelled microarchitectures.
+    pub const ALL: [Microarch; 2] = [Microarch::Haswell, Microarch::Skylake];
+
+    /// Short name used in tables ("HSW" / "SKL").
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Microarch::Haswell => "HSW",
+            Microarch::Skylake => "SKL",
+        }
+    }
+}
+
+impl fmt::Display for Microarch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Microarch::Haswell => write!(f, "Haswell"),
+            Microarch::Skylake => write!(f, "Skylake"),
+        }
+    }
+}
+
+/// A set of execution ports, as a bitmask over ports 0–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortSet(pub u8);
+
+impl PortSet {
+    /// Ports usable by scalar ALU µops on HSW/SKL.
+    pub const P0156: PortSet = PortSet(0b0110_0011);
+    /// Ports 0, 1, 5 (vector logic).
+    pub const P015: PortSet = PortSet(0b0010_0011);
+    /// Ports 0 and 1.
+    pub const P01: PortSet = PortSet(0b0000_0011);
+    /// Ports 0 and 6 (shifts, branches).
+    pub const P06: PortSet = PortSet(0b0100_0001);
+    /// Ports 1 and 5.
+    pub const P15: PortSet = PortSet(0b0010_0010);
+    /// Port 0 only (divider).
+    pub const P0: PortSet = PortSet(0b0000_0001);
+    /// Port 1 only (integer multiply, bit scans).
+    pub const P1: PortSet = PortSet(0b0000_0010);
+    /// Port 5 only.
+    pub const P5: PortSet = PortSet(0b0010_0000);
+    /// Load ports 2 and 3.
+    pub const LOAD: PortSet = PortSet(0b0000_1100);
+    /// Store-data port 4.
+    pub const STORE_DATA: PortSet = PortSet(0b0001_0000);
+    /// Store-address ports 2, 3, 7.
+    pub const STORE_ADDR: PortSet = PortSet(0b1000_1100);
+
+    /// Iterate over the port indices in the set.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        (0..8).filter(move |p| self.0 & (1 << p) != 0)
+    }
+
+    /// Number of ports in the set.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set contains the given port.
+    pub fn contains(self, port: u8) -> bool {
+        self.0 & (1 << port) != 0
+    }
+}
+
+impl fmt::Display for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p")?;
+        for p in self.iter() {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Timing profile of one *instruction* (opcode + operand form) on a
+/// microarchitecture, decomposed the way port-based simulators do:
+/// compute µops plus separate load/store µops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstProfile {
+    /// Number of compute µops (excludes load/store µops).
+    pub compute_uops: u8,
+    /// Result latency of the compute part, in cycles.
+    pub latency: f64,
+    /// Reciprocal throughput of the compute part, in cycles.
+    pub rtp: f64,
+    /// Ports usable by the compute µops.
+    pub ports: PortSet,
+    /// Number of load µops (issued on [`PortSet::LOAD`]).
+    pub loads: u8,
+    /// Number of store µops (store-data on port 4).
+    pub stores: u8,
+}
+
+impl InstProfile {
+    /// Total µops issued by the front end.
+    pub fn total_uops(&self) -> u32 {
+        u32::from(self.compute_uops) + u32::from(self.loads) + 2 * u32::from(self.stores)
+    }
+}
+
+/// L1 load-to-use latency, in cycles.
+pub const LOAD_LATENCY: f64 = 5.0;
+
+/// Front-end issue width (µops per cycle) for HSW/SKL.
+pub const ISSUE_WIDTH: f64 = 4.0;
+
+/// Base (register-form) timing of an opcode:
+/// `(compute_uops, latency, reciprocal throughput, ports)`.
+fn base_profile(op: Opcode, march: Microarch) -> (u8, f64, f64, PortSet) {
+    use Microarch::{Haswell as Hsw, Skylake as Skl};
+    use Opcode::*;
+    match (op, march) {
+        // Scalar ALU.
+        (Add | Sub | And | Or | Xor | Cmp | Test | Inc | Dec | Neg | Not, _) => {
+            (1, 1.0, 0.25, PortSet::P0156)
+        }
+        (Adc | Sbb, Hsw) => (2, 2.0, 1.0, PortSet::P06),
+        (Adc | Sbb, Skl) => (1, 1.0, 0.5, PortSet::P06),
+        // Multiply / divide.
+        (Imul, _) => (1, 3.0, 1.0, PortSet::P1),
+        (Mul, _) => (2, 3.0, 1.0, PortSet::P1),
+        (Div, Hsw) => (10, 36.0, 25.0, PortSet::P0),
+        (Div, Skl) => (10, 35.0, 21.0, PortSet::P0),
+        (Idiv, Hsw) => (10, 39.0, 27.0, PortSet::P0),
+        (Idiv, Skl) => (10, 37.0, 23.0, PortSet::P0),
+        // Shifts.
+        (Shl | Shr | Sar | Rol | Ror, _) => (1, 1.0, 0.5, PortSet::P06),
+        // Moves.
+        (Mov | Movzx | Movsx, _) => (1, 1.0, 0.25, PortSet::P0156),
+        (Xchg, _) => (3, 2.0, 1.0, PortSet::P0156),
+        (Bswap, _) => (2, 2.0, 1.0, PortSet::P15),
+        // Address generation (simple form; see `profile` for complex LEA).
+        (Lea, _) => (1, 1.0, 0.5, PortSet::P15),
+        // Stack (compute part only; the load/store µops are added by
+        // `profile`).
+        (Push | Pop, _) => (0, 0.0, 0.0, PortSet::P0156),
+        // Conditional moves.
+        (
+            Cmove | Cmovne | Cmovl | Cmovg | Cmovle | Cmovge | Cmovb | Cmova,
+            Hsw,
+        ) => (2, 2.0, 0.5, PortSet::P0156),
+        (
+            Cmove | Cmovne | Cmovl | Cmovg | Cmovle | Cmovge | Cmovb | Cmova,
+            Skl,
+        ) => (1, 1.0, 0.5, PortSet::P06),
+        // Bit scans / counts.
+        (Bsf | Bsr | Popcnt | Lzcnt | Tzcnt, _) => (1, 3.0, 1.0, PortSet::P1),
+        (Nop, _) => (1, 0.0, 0.25, PortSet::P0156),
+        // Float add family.
+        (Addss | Subss | Minss | Maxss | Addsd | Subsd | Minsd | Maxsd | Addps | Subps
+        | Addpd | Subpd | Minps | Maxps | Vaddss | Vsubss | Vminss | Vmaxss | Vaddsd | Vsubsd
+        | Vaddps | Vsubps | Vminps | Vmaxps, Hsw) => (1, 3.0, 1.0, PortSet::P1),
+        (Addss | Subss | Minss | Maxss | Addsd | Subsd | Minsd | Maxsd | Addps | Subps
+        | Addpd | Subpd | Minps | Maxps | Vaddss | Vsubss | Vminss | Vmaxss | Vaddsd | Vsubsd
+        | Vaddps | Vsubps | Vminps | Vmaxps, Skl) => (1, 4.0, 0.5, PortSet::P01),
+        // Float multiply.
+        (Mulss | Mulsd | Mulps | Mulpd | Vmulss | Vmulsd | Vmulps, Hsw) => {
+            (1, 5.0, 0.5, PortSet::P01)
+        }
+        (Mulss | Mulsd | Mulps | Mulpd | Vmulss | Vmulsd | Vmulps, Skl) => {
+            (1, 4.0, 0.5, PortSet::P01)
+        }
+        // Float divide / sqrt (unpipelined-ish: high rtp, port 0).
+        (Divss | Divps | Vdivss | Vdivps, Hsw) => (1, 13.0, 7.0, PortSet::P0),
+        (Divss | Divps | Vdivss | Vdivps, Skl) => (1, 11.0, 3.0, PortSet::P0),
+        (Divsd | Divpd | Vdivsd, Hsw) => (1, 20.0, 14.0, PortSet::P0),
+        (Divsd | Divpd | Vdivsd, Skl) => (1, 14.0, 4.0, PortSet::P0),
+        (Sqrtss | Vsqrtss, Hsw) => (1, 11.0, 7.0, PortSet::P0),
+        (Sqrtss | Vsqrtss, Skl) => (1, 12.0, 3.0, PortSet::P0),
+        (Sqrtsd, Hsw) => (1, 16.0, 8.0, PortSet::P0),
+        (Sqrtsd, Skl) => (1, 18.0, 6.0, PortSet::P0),
+        // Scalar compares, reciprocal approximations, converts.
+        (Comiss | Ucomiss | Comisd | Ucomisd, _) => (1, 2.0, 1.0, PortSet::P1),
+        (Rcpss | Rsqrtss | Vrcpss | Vrsqrtss, _) => (1, 5.0, 1.0, PortSet::P0),
+        (Cvtss2sd | Cvtsd2ss | Vcvtss2sd | Vcvtsd2ss, Hsw) => (1, 2.0, 1.0, PortSet::P1),
+        (Cvtss2sd | Cvtsd2ss | Vcvtss2sd | Vcvtsd2ss, Skl) => (1, 2.0, 1.0, PortSet::P01),
+        // Vector logic.
+        (Xorps | Andps | Orps | Andnps | Pand | Por | Pxor | Vxorps | Vandps | Vorps | Vandnps
+        | Vpand | Vpor | Vpxor, _) => (1, 1.0, 0.34, PortSet::P015),
+        // Vector integer.
+        (Paddd | Psubd | Paddq | Psubq | Pminud | Pmaxud | Pavgb | Pcmpeqd | Pcmpgtd | Vpaddd
+        | Vpsubd | Vpminud | Vpmaxud | Vpavgb | Vpcmpeqd | Vpcmpgtd, Hsw) => {
+            (1, 1.0, 0.5, PortSet::P15)
+        }
+        (Paddd | Psubd | Paddq | Psubq | Pminud | Pmaxud | Pavgb | Pcmpeqd | Pcmpgtd | Vpaddd
+        | Vpsubd | Vpminud | Vpmaxud | Vpavgb | Vpcmpeqd | Vpcmpgtd, Skl) => {
+            (1, 1.0, 0.34, PortSet::P015)
+        }
+        (Pmulld, Hsw) => (2, 10.0, 2.0, PortSet::P0),
+        (Pmulld, Skl) => (2, 10.0, 1.0, PortSet::P01),
+        // Vector moves.
+        (Movaps | Movups | Vmovaps | Vmovups, _) => (1, 1.0, 0.25, PortSet::P015),
+        (Paddb | Paddw | Paddsb | Paddsw | Paddusb | Paddusw | Psubb | Psubw | Psubsb | Psubsw | Psubusb | Psubusw | Pminsw | Pminsd | Pminub | Pminuw | Pmaxsw | Pmaxsd | Pmaxub | Pmaxuw | Pcmpeqb | Pcmpeqw | Pcmpeqq | Pcmpgtb | Pcmpgtw | Pcmpgtq | Pavgw | Vpaddb | Vpaddw | Vpsubb | Vpsubw | Vpminsd | Vpmaxsd | Vpminsw | Vpmaxsw | Vpcmpeqb | Vpcmpgtb | Vpavgw, Hsw) => (1, 1.0, 0.5, PortSet::P15),
+        (Paddb | Paddw | Paddsb | Paddsw | Paddusb | Paddusw | Psubb | Psubw | Psubsb | Psubsw | Psubusb | Psubusw | Pminsw | Pminsd | Pminub | Pminuw | Pmaxsw | Pmaxsd | Pmaxub | Pmaxuw | Pcmpeqb | Pcmpeqw | Pcmpeqq | Pcmpgtb | Pcmpgtw | Pcmpgtq | Pavgw | Vpaddb | Vpaddw | Vpsubb | Vpsubw | Vpminsd | Vpmaxsd | Vpminsw | Vpmaxsw | Vpcmpeqb | Vpcmpgtb | Vpavgw, Skl) => (1, 1.0, 0.34, PortSet::P015),
+        (Packssdw | Packsswb | Packusdw | Punpcklbw | Punpcklwd | Punpckhbw | Punpckhwd | Vpacksswb | Vpackssdw | Vpunpcklbw | Vpunpcklwd, _) => (1, 1.0, 1.0, PortSet::P5),
+        (Unpcklps | Unpckhps | Punpckldq | Punpckhdq | Vunpcklps | Vunpckhps | Vpunpckldq
+        | Vpunpckhdq, _) => (1, 1.0, 1.0, PortSet::P5),
+        (Movss | Movsd, _) => (1, 1.0, 1.0, PortSet::P5),
+    }
+}
+
+/// The full timing profile of an instruction on a microarchitecture.
+///
+/// Beyond the opcode's base profile, accounts for:
+///
+/// * load/store µops for memory operands (and for `push`/`pop`);
+/// * narrow (≤32-bit) integer division being markedly cheaper;
+/// * complex `lea` forms (base + index + displacement) taking the slow
+///   port-1 path;
+/// * 256-bit divide throughput halving.
+pub fn profile(inst: &Instruction, march: Microarch) -> InstProfile {
+    let (mut compute_uops, mut latency, mut rtp, mut ports) = base_profile(inst.opcode, march);
+    let category = inst.opcode.category();
+
+    // Narrow integer division is much cheaper than 64-bit.
+    if category == OpCategory::ScalarDiv {
+        let wide = inst
+            .operands
+            .first()
+            .and_then(|op| op.size())
+            .is_some_and(|s| s == Size::B64);
+        if !wide {
+            latency = (latency * 0.65).round();
+            rtp = (rtp * 0.4).round();
+            compute_uops = compute_uops.min(6);
+        }
+    }
+
+    // Complex LEA (three address components) takes the slow path.
+    if inst.opcode == Opcode::Lea {
+        if let Some(mem) = inst.mem_operand() {
+            let components = usize::from(mem.base.is_some())
+                + usize::from(mem.index.is_some())
+                + usize::from(mem.disp != 0);
+            if components >= 3 {
+                latency = 3.0;
+                rtp = 1.0;
+                ports = PortSet::P1;
+            }
+        }
+    }
+
+    // 256-bit divides halve throughput.
+    if category == OpCategory::VecFloatDiv {
+        let wide = inst
+            .operands
+            .first()
+            .and_then(|op| op.size())
+            .is_some_and(|s| s == Size::B256);
+        if wide {
+            rtp *= 2.0;
+            latency += 1.0;
+        }
+    }
+
+    let fx = inst.effects();
+    let mut loads = fx.mem_reads.len() as u8;
+    let mut stores = fx.mem_writes.len() as u8;
+    if inst.opcode == Opcode::Push {
+        stores += 1;
+    }
+    if inst.opcode == Opcode::Pop {
+        loads += 1;
+    }
+
+    InstProfile { compute_uops, latency, rtp, ports, loads, stores }
+}
+
+/// Crude per-instruction reciprocal-throughput estimate, used by the
+/// paper's interpretable cost model C as `cost_inst` (Appendix G derives
+/// it from uops.info's hardware throughput table; we derive it from our
+/// own tables): the binding resource among compute, load, and store
+/// pressure.
+pub fn instruction_throughput(inst: &Instruction, march: Microarch) -> f64 {
+    let p = profile(inst, march);
+    let load_pressure = f64::from(p.loads) * 0.5; // two load ports
+    let store_pressure = f64::from(p.stores) * 1.0; // one store-data port
+    p.rtp.max(load_pressure).max(store_pressure).max(f64::from(p.total_uops()) / ISSUE_WIDTH)
+}
+
+/// Register-to-register result latency plus load latency when the value
+/// is sourced from memory.
+pub fn instruction_latency(inst: &Instruction, march: Microarch) -> f64 {
+    let p = profile(inst, march);
+    if p.loads > 0 {
+        p.latency + LOAD_LATENCY
+    } else {
+        p.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::{MemOperand, Operand};
+    use crate::reg::Register;
+
+    fn parse(text: &str) -> Instruction {
+        crate::parse::parse_instruction(text).unwrap()
+    }
+
+    #[test]
+    fn every_opcode_has_profiles_on_both_marches() {
+        for &op in Opcode::ALL {
+            for march in Microarch::ALL {
+                let (uops, lat, rtp, ports) = base_profile(op, march);
+                assert!(rtp >= 0.0 && lat >= 0.0, "{op} {march}");
+                assert!(uops > 0 || matches!(op, Opcode::Push | Opcode::Pop), "{op}");
+                let _ = ports.count();
+            }
+        }
+    }
+
+    #[test]
+    fn div_dominates_alu() {
+        let div = parse("div rcx");
+        let add = parse("add rcx, rax");
+        for march in Microarch::ALL {
+            assert!(
+                instruction_throughput(&div, march) > 10.0 * instruction_throughput(&add, march)
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_div_cheaper_than_wide() {
+        let div64 = parse("div rcx");
+        let div32 = parse("div ecx");
+        let p64 = profile(&div64, Microarch::Haswell);
+        let p32 = profile(&div32, Microarch::Haswell);
+        assert!(p32.rtp < p64.rtp);
+        assert!(p32.latency < p64.latency);
+    }
+
+    #[test]
+    fn stores_cost_more_than_register_moves() {
+        let store = parse("mov qword ptr [rdi + 24], rdx");
+        let mov = parse("mov rdi, rbp");
+        for march in Microarch::ALL {
+            assert!(instruction_throughput(&store, march) > instruction_throughput(&mov, march));
+        }
+    }
+
+    #[test]
+    fn loads_add_latency() {
+        let load = parse("mov rsi, qword ptr [r14 + 32]");
+        let mov = parse("mov rsi, r14");
+        assert!(
+            instruction_latency(&load, Microarch::Haswell)
+                >= instruction_latency(&mov, Microarch::Haswell) + LOAD_LATENCY
+        );
+    }
+
+    #[test]
+    fn complex_lea_slower_than_simple() {
+        let complex = parse("lea rax, [rcx + rax - 1]");
+        let simple = parse("lea rdx, [rax + 1]");
+        let pc = profile(&complex, Microarch::Haswell);
+        let ps = profile(&simple, Microarch::Haswell);
+        assert!(pc.latency > ps.latency);
+        assert!(pc.rtp > ps.rtp);
+    }
+
+    #[test]
+    fn skylake_divides_faster_than_haswell() {
+        let div = parse("vdivss xmm0, xmm0, xmm6");
+        let hsw = profile(&div, Microarch::Haswell);
+        let skl = profile(&div, Microarch::Skylake);
+        assert!(skl.rtp < hsw.rtp);
+    }
+
+    #[test]
+    fn push_profile_counts_store_uops() {
+        let push = Instruction::new(
+            Opcode::Push,
+            vec![Operand::reg(Register::from_name("rbx").unwrap())],
+        )
+        .unwrap();
+        let p = profile(&push, Microarch::Haswell);
+        assert_eq!(p.stores, 1);
+        assert_eq!(p.loads, 0);
+        let mem = MemOperand::base(Register::from_name("rax").unwrap(), Size::B64);
+        let pop_mem = Instruction::new(Opcode::Pop, vec![Operand::Mem(mem)]).unwrap();
+        let p2 = profile(&pop_mem, Microarch::Haswell);
+        // `pop m64` both loads (stack) and stores (destination).
+        assert_eq!(p2.loads, 1);
+        assert_eq!(p2.stores, 1);
+    }
+
+    #[test]
+    fn portset_iteration() {
+        assert_eq!(PortSet::P0156.iter().collect::<Vec<_>>(), vec![0, 1, 5, 6]);
+        assert_eq!(PortSet::LOAD.count(), 2);
+        assert!(PortSet::STORE_ADDR.contains(7));
+    }
+}

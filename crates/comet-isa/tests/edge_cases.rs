@@ -1,0 +1,128 @@
+//! Parser and table edge cases beyond the unit tests.
+
+use comet_isa::{
+    instruction_throughput, opcode_replacements, parse_block, parse_instruction, signatures,
+    Microarch, Opcode,
+};
+
+#[test]
+fn parser_handles_whitespace_and_case() {
+    let inst = parse_instruction("  ADD   RCX ,  RAX  ").unwrap();
+    assert_eq!(inst.opcode, Opcode::Add);
+    assert_eq!(inst.to_string(), "add rcx, rax");
+}
+
+#[test]
+fn parser_handles_all_size_keywords() {
+    for (kw, reg) in [
+        ("byte", "al"),
+        ("word", "ax"),
+        ("dword", "eax"),
+        ("qword", "rax"),
+    ] {
+        let text = format!("mov {kw} ptr [rdi], {reg}");
+        let inst = parse_instruction(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert!(inst.writes_memory());
+    }
+    let v = parse_instruction("movaps xmmword ptr [rdi], xmm3").unwrap();
+    assert!(v.writes_memory());
+    let y = parse_instruction("vmovaps ymmword ptr [rdi], ymm3").unwrap();
+    assert!(y.writes_memory());
+}
+
+#[test]
+fn parser_handles_negative_and_hex_immediates() {
+    let a = parse_instruction("add rax, -17").unwrap();
+    assert_eq!(a.operands[1], comet_isa::Operand::imm(-17));
+    let b = parse_instruction("and rax, 0xFF").unwrap();
+    assert_eq!(b.operands[1], comet_isa::Operand::imm(255));
+    let c = parse_instruction("mov rax, qword ptr [rdi - 0x10]").unwrap();
+    assert_eq!(c.mem_operand().unwrap().disp, -16);
+}
+
+#[test]
+fn parser_rejects_control_flow_and_malformed_input() {
+    for bad in [
+        "ret",
+        "jne label",
+        "call rax",
+        "add rcx rax",     // missing comma
+        "mov [rax], 1 2",  // trailing junk
+        "add , rax",
+        "mov rax, qword ptr [rax + rbx + rcx + rdx]", // too many regs
+    ] {
+        assert!(parse_instruction(bad).is_err(), "accepted `{bad}`");
+    }
+}
+
+#[test]
+fn parse_block_reports_line_numbers() {
+    let err = parse_block("add rcx, rax\nbogus rdx\npop rbx").unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("bogus"), "{message}");
+}
+
+#[test]
+fn every_opcode_signature_arity_is_consistent() {
+    for &op in Opcode::ALL {
+        for sig in signatures(op) {
+            assert_eq!(sig.pats.len(), sig.accesses.len(), "{op}");
+            assert!(sig.pats.len() <= 3, "{op} has >3 operands");
+        }
+    }
+}
+
+#[test]
+fn replacements_never_include_self_and_are_symmetric_sets() {
+    let samples = [
+        "add rcx, rax",
+        "mov qword ptr [rdi], rax",
+        "vdivss xmm0, xmm1, xmm2",
+        "paddd xmm3, xmm4",
+        "shl rbx, 3",
+        "div rcx",
+        "pop r12",
+    ];
+    for text in samples {
+        let inst = parse_instruction(text).unwrap();
+        let repl = opcode_replacements(&inst);
+        assert!(!repl.contains(&inst.opcode), "{text}");
+        let unique: std::collections::HashSet<_> = repl.iter().collect();
+        assert_eq!(unique.len(), repl.len(), "duplicates for {text}");
+    }
+}
+
+#[test]
+fn expensive_replacement_fraction_stays_realistic() {
+    // The divide/sqrt family must remain a small minority of valid
+    // replacements (like the real ISA), or η-bound blocks lose
+    // precision through cost-exploding flips; see DESIGN.md.
+    for text in ["vaddss xmm1, xmm2, xmm3", "addss xmm1, xmm2", "movss xmm1, dword ptr [rsi]"] {
+        let inst = parse_instruction(text).unwrap();
+        let repl = opcode_replacements(&inst);
+        let expensive = repl
+            .iter()
+            .filter(|op| {
+                let probe = comet_isa::Instruction::new(**op, inst.operands.clone()).unwrap();
+                instruction_throughput(&probe, Microarch::Haswell) >= 3.0
+            })
+            .count();
+        let fraction = expensive as f64 / repl.len() as f64;
+        assert!(
+            fraction < 0.20,
+            "{text}: {expensive}/{} replacements are expensive",
+            repl.len()
+        );
+    }
+}
+
+#[test]
+fn throughput_tables_cover_memory_forms() {
+    let reg_form = parse_instruction("addss xmm0, xmm1").unwrap();
+    let mem_form = parse_instruction("addss xmm0, dword ptr [rsi]").unwrap();
+    for march in Microarch::ALL {
+        let r = instruction_throughput(&reg_form, march);
+        let m = instruction_throughput(&mem_form, march);
+        assert!(m >= r, "{march}: mem form cheaper than reg form");
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the ISA substrate.
+
+use comet_isa::{
+    opcode_replacements, parse_instruction, profile, Instruction, MemOperand, Microarch, Opcode,
+    Operand, RegClass, Register, Size,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid register of any class/size.
+fn any_register() -> impl Strategy<Value = Register> {
+    prop_oneof![
+        (0u8..16, prop_oneof![Just(Size::B8), Just(Size::B16), Just(Size::B32), Just(Size::B64)])
+            .prop_map(|(i, s)| Register::new(RegClass::Gpr, i, s)),
+        (0u8..16, prop_oneof![Just(Size::B128), Just(Size::B256)])
+            .prop_map(|(i, s)| Register::new(RegClass::Vec, i, s)),
+    ]
+}
+
+/// Strategy: a GPR of the given size.
+fn gpr(size: Size) -> impl Strategy<Value = Register> {
+    (0u8..16).prop_map(move |i| Register::new(RegClass::Gpr, i, size))
+}
+
+/// Strategy: a memory operand with a GPR base and optional index.
+fn mem_operand(size: Size) -> impl Strategy<Value = MemOperand> {
+    (
+        gpr(Size::B64),
+        proptest::option::of(gpr(Size::B64)),
+        prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+        -256i64..256,
+    )
+        .prop_map(move |(base, index, scale, disp)| MemOperand {
+            base: Some(base),
+            scale: if index.is_some() { scale } else { 1 },
+            index,
+            disp,
+            size,
+        })
+}
+
+/// Strategy: a valid instruction drawn from several common shapes.
+fn valid_instruction() -> impl Strategy<Value = Instruction> {
+    let gpr_size = prop_oneof![Just(Size::B16), Just(Size::B32), Just(Size::B64)];
+    let alu_op = proptest::sample::select(vec![
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Cmp,
+        Opcode::Mov,
+        Opcode::Imul,
+    ]);
+    let alu_rr = (alu_op.clone(), gpr_size.clone()).prop_flat_map(|(op, size)| {
+        (gpr(size), gpr(size))
+            .prop_map(move |(d, s)| Instruction::new(op, vec![Operand::reg(d), Operand::reg(s)]))
+    });
+    let alu_rm = (alu_op.clone(), gpr_size.clone()).prop_flat_map(|(op, size)| {
+        (gpr(size), mem_operand(size)).prop_map(move |(d, m)| {
+            Instruction::new(op, vec![Operand::reg(d), Operand::Mem(m)])
+        })
+    });
+    let store = gpr_size.clone().prop_flat_map(|size| {
+        (mem_operand(size), gpr(size)).prop_map(move |(m, s)| {
+            Instruction::new(Opcode::Mov, vec![Operand::Mem(m), Operand::reg(s)])
+        })
+    });
+    // `imul r, imm` is not a legal two-operand form, so exclude it here.
+    let imm_op = proptest::sample::select(vec![
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Cmp,
+        Opcode::Mov,
+    ]);
+    let alu_imm = (imm_op, gpr_size).prop_flat_map(|(op, size)| {
+        (gpr(size), -1000i64..1000)
+            .prop_map(move |(d, v)| Instruction::new(op, vec![Operand::reg(d), Operand::imm(v)]))
+    });
+    let lea = (gpr(Size::B64), mem_operand(Size::B64)).prop_map(|(d, m)| {
+        Instruction::new(Opcode::Lea, vec![Operand::reg(d), Operand::Mem(m)])
+    });
+    let vec_op = proptest::sample::select(vec![
+        Opcode::Vaddss,
+        Opcode::Vmulss,
+        Opcode::Vdivss,
+        Opcode::Vxorps,
+    ]);
+    let avx = (vec_op, 0u8..16, 0u8..16, 0u8..16).prop_map(|(op, a, b, c)| {
+        Instruction::new(
+            op,
+            vec![
+                Operand::reg(Register::xmm(a)),
+                Operand::reg(Register::xmm(b)),
+                Operand::reg(Register::xmm(c)),
+            ],
+        )
+    });
+    let unary = (0u8..16).prop_map(|i| {
+        Instruction::new(Opcode::Div, vec![Operand::reg(Register::gpr64(i))])
+    });
+    prop_oneof![alu_rr, alu_rm, store, alu_imm, lea, avx, unary]
+        .prop_map(|r| r.expect("strategy produced invalid instruction"))
+}
+
+proptest! {
+    #[test]
+    fn register_name_round_trips(reg in any_register()) {
+        prop_assert_eq!(Register::from_name(reg.name()), Some(reg));
+    }
+
+    #[test]
+    fn instruction_print_parse_round_trips(inst in valid_instruction()) {
+        let printed = inst.to_string();
+        let reparsed = parse_instruction(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert_eq!(inst, reparsed);
+    }
+
+    #[test]
+    fn replacements_always_produce_valid_instructions(inst in valid_instruction()) {
+        for op in opcode_replacements(&inst) {
+            let replaced = Instruction::new(op, inst.operands.clone());
+            prop_assert!(replaced.is_ok(), "{op} rejected operands of `{inst}`");
+        }
+    }
+
+    #[test]
+    fn replacement_is_symmetric(inst in valid_instruction()) {
+        // If O' can replace O, then O can replace O' (same operand list).
+        for op in opcode_replacements(&inst) {
+            let replaced = Instruction::new(op, inst.operands.clone()).unwrap();
+            let back = opcode_replacements(&replaced);
+            prop_assert!(
+                back.contains(&inst.opcode),
+                "{} -> {} not symmetric", inst.opcode, op
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_are_finite_and_positive(inst in valid_instruction()) {
+        for march in Microarch::ALL {
+            let p = profile(&inst, march);
+            prop_assert!(p.latency.is_finite() && p.latency >= 0.0);
+            prop_assert!(p.rtp.is_finite() && p.rtp >= 0.0);
+            prop_assert!(p.total_uops() > 0);
+            prop_assert!(
+                comet_isa::instruction_throughput(&inst, march) > 0.0
+            );
+        }
+    }
+
+    #[test]
+    fn effects_reference_only_instruction_registers(inst in valid_instruction()) {
+        let fx = inst.effects();
+        // Every explicit register effect must trace back to an operand or
+        // a documented implicit register.
+        let implicit: Vec<Register> =
+            comet_isa::implicit_operands(inst.opcode).into_iter().map(|(r, _)| r).collect();
+        for reg in fx.reg_reads.iter().chain(&fx.reg_writes) {
+            let explicit = inst.operands.iter().any(|op| match op {
+                Operand::Reg(r) => r == reg,
+                Operand::Mem(m) => m.address_registers().any(|ar| ar == *reg),
+                Operand::Imm(_) => false,
+            });
+            prop_assert!(explicit || implicit.contains(reg), "{reg} not justified in `{inst}`");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The coarse-grained baseline throughput model from Abel & Reineke
+//! (ICS '22), Table 1 — referenced by the paper in §6.3 as a
+//! traditional model that uses only coarse block features yet beats
+//! LLVM-MCA. Its prediction is the binding coarse resource:
+//!
+//! `max( n/4 , loads/2 , stores )`
+//!
+//! (4-wide issue, two load ports, one store port.) Included both as the
+//! design ancestor of the crude model C's `cost_η` term and as an extra
+//! comparison point for the error tables.
+
+use comet_isa::{BasicBlock, Microarch};
+
+use crate::traits::CostModel;
+
+/// The coarse-feature baseline throughput model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoarseBaselineModel;
+
+impl CoarseBaselineModel {
+    /// A new baseline model (microarchitecture-independent).
+    pub fn new() -> CoarseBaselineModel {
+        CoarseBaselineModel
+    }
+
+    /// Count the coarse features of a block:
+    /// `(instructions, loads, stores)`.
+    pub fn coarse_features(block: &BasicBlock) -> (usize, usize, usize) {
+        let mut loads = 0;
+        let mut stores = 0;
+        for inst in block {
+            if inst.reads_memory() {
+                loads += 1;
+            }
+            if inst.writes_memory() {
+                stores += 1;
+            }
+        }
+        (block.len(), loads, stores)
+    }
+}
+
+impl CostModel for CoarseBaselineModel {
+    fn name(&self) -> &str {
+        "coarse baseline"
+    }
+
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        let (n, loads, stores) = CoarseBaselineModel::coarse_features(block);
+        let issue = n as f64 / comet_isa::tables::ISSUE_WIDTH;
+        let load_pressure = loads as f64 / 2.0;
+        let store_pressure = stores as f64;
+        issue.max(load_pressure).max(store_pressure)
+    }
+}
+
+/// Convenience: the baseline is microarchitecture-independent, but some
+/// call sites want a per-march constructor for symmetry.
+pub fn coarse_baseline(_march: Microarch) -> CoarseBaselineModel {
+    CoarseBaselineModel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::parse_block;
+
+    #[test]
+    fn issue_bound_for_compute_blocks() {
+        let block = parse_block("add rax, 1\nadd rbx, 1\nimul rcx, rdx\nxor r8, r9").unwrap();
+        assert_eq!(CoarseBaselineModel::new().predict(&block), 1.0);
+    }
+
+    #[test]
+    fn store_bound_for_store_heavy_blocks() {
+        let block = parse_block(
+            "mov qword ptr [rdi], rax\nmov qword ptr [rdi + 8], rbx\nmov qword ptr [rdi + 16], rcx",
+        )
+        .unwrap();
+        assert_eq!(CoarseBaselineModel::new().predict(&block), 3.0);
+    }
+
+    #[test]
+    fn load_bound_counts_two_ports() {
+        let text = (0..6)
+            .map(|i| format!("mov r{}, qword ptr [rdi + {}]", 8 + i, 8 * i))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let block = parse_block(&text).unwrap();
+        assert_eq!(CoarseBaselineModel::new().predict(&block), 3.0);
+    }
+
+    #[test]
+    fn blind_to_expensive_instructions() {
+        // The defining weakness of coarse features: div looks like mov.
+        let cheap = parse_block("mov rax, rbx").unwrap();
+        let expensive = parse_block("div rbx").unwrap();
+        let model = CoarseBaselineModel::new();
+        assert_eq!(model.predict(&cheap), model.predict(&expensive));
+    }
+
+    #[test]
+    fn coarse_features_counted() {
+        let block =
+            parse_block("mov rax, qword ptr [rdi]\nmov qword ptr [rsi], rax\npush rbx").unwrap();
+        assert_eq!(CoarseBaselineModel::coarse_features(&block), (3, 1, 2));
+    }
+}

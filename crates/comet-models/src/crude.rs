@@ -1,0 +1,139 @@
+//! The crude, interpretable analytical cost model C (paper §6, eq. 8
+//! and Appendix G), used as the explanation-accuracy oracle: its
+//! closed-form structure yields objective ground-truth explanations.
+
+use comet_graph::{BlockGraph, DepEdge, DepKind};
+use comet_isa::{instruction_throughput, BasicBlock, Microarch};
+
+use crate::traits::CostModel;
+
+/// The paper's interpretable cost model C:
+///
+/// `C(β) = max{ cost_η(n), max_i cost_inst(inst_i), max_δ cost_dep(δ) }`
+///
+/// with `cost_η(n) = n/4`, `cost_inst` the per-instruction hardware
+/// reciprocal throughput (Appendix G sources uops.info; we source our
+/// own timing tables), and `cost_dep` zero for WAR/WAW (resolved by
+/// renaming) but `cost_inst(i) + cost_inst(j)` for RAW.
+#[derive(Debug, Clone, Copy)]
+pub struct CrudeModel {
+    march: Microarch,
+}
+
+impl CrudeModel {
+    /// The crude model for a microarchitecture.
+    pub fn new(march: Microarch) -> CrudeModel {
+        CrudeModel { march }
+    }
+
+    /// Target microarchitecture.
+    pub fn march(&self) -> Microarch {
+        self.march
+    }
+
+    /// `cost_inst`: the throughput cost of one instruction.
+    pub fn cost_inst(&self, block: &BasicBlock, index: usize) -> f64 {
+        instruction_throughput(&block.instructions()[index], self.march)
+    }
+
+    /// `cost_dep`: the throughput cost of one dependency edge.
+    pub fn cost_dep(&self, block: &BasicBlock, edge: &DepEdge) -> f64 {
+        match edge.kind {
+            DepKind::Raw => self.cost_inst(block, edge.src) + self.cost_inst(block, edge.dst),
+            DepKind::War | DepKind::Waw => 0.0,
+        }
+    }
+
+    /// `cost_η`: the throughput cost of issuing `n` instructions on a
+    /// 4-wide front end.
+    pub fn cost_eta(&self, n: usize) -> f64 {
+        n as f64 / 4.0
+    }
+}
+
+impl CostModel for CrudeModel {
+    fn name(&self) -> &str {
+        match self.march {
+            Microarch::Haswell => "C_HSW",
+            Microarch::Skylake => "C_SKL",
+        }
+    }
+
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        let graph = BlockGraph::build(block);
+        let mut cost = self.cost_eta(block.len());
+        for i in 0..block.len() {
+            cost = cost.max(self.cost_inst(block, i));
+        }
+        for edge in graph.edges() {
+            cost = cost.max(self.cost_dep(block, edge));
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::parse_block;
+
+    #[test]
+    fn eta_bound_for_cheap_blocks() {
+        // Eight independent cheap instructions: η/4 = 2 dominates.
+        let text = (0..8).map(|i| format!("mov r{}, 1", 8 + i)).collect::<Vec<_>>().join("\n");
+        let block = parse_block(&text).unwrap();
+        let c = CrudeModel::new(Microarch::Haswell);
+        assert_eq!(c.predict(&block), 2.0);
+    }
+
+    #[test]
+    fn division_bound() {
+        let block = parse_block("div rcx\nmov rbx, 1").unwrap();
+        let c = CrudeModel::new(Microarch::Haswell);
+        let div_cost = c.cost_inst(&block, 0);
+        assert!(c.predict(&block) >= div_cost);
+        assert!(div_cost > 20.0);
+    }
+
+    #[test]
+    fn raw_dependency_bound() {
+        // Two stores with a RAW chain: dep cost = 1.0 + 1.0 > η/4.
+        let block = parse_block("add rcx, rax\nmov qword ptr [rdi], rcx").unwrap();
+        let c = CrudeModel::new(Microarch::Haswell);
+        let g = BlockGraph::build(&block);
+        let edge = g.find_edge(DepKind::Raw, 0, 1).unwrap();
+        let dep_cost = c.cost_dep(&block, edge);
+        assert_eq!(c.predict(&block), dep_cost);
+        assert!(dep_cost > c.cost_eta(2));
+    }
+
+    #[test]
+    fn war_waw_cost_nothing() {
+        let block = parse_block("mov rdx, rcx\nmov rcx, rbx\nmov rcx, rax").unwrap();
+        let c = CrudeModel::new(Microarch::Haswell);
+        let g = BlockGraph::build(&block);
+        for edge in g.edges() {
+            if edge.kind != DepKind::Raw {
+                assert_eq!(c.cost_dep(&block, edge), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quarter_cycle_granularity() {
+        // The least change in C's prediction is a quarter unit
+        // (Appendix E: ε = Δη/4 = 0.25).
+        let c = CrudeModel::new(Microarch::Skylake);
+        let b1 = parse_block("mov rax, 1").unwrap();
+        let b2 = parse_block("mov rax, 1\nmov rbx, 1").unwrap();
+        assert_eq!(c.predict(&b2) - c.predict(&b1), 0.25);
+    }
+
+    #[test]
+    fn microarch_changes_predictions() {
+        let block = parse_block("vdivss xmm0, xmm0, xmm6").unwrap();
+        let hsw = CrudeModel::new(Microarch::Haswell).predict(&block);
+        let skl = CrudeModel::new(Microarch::Skylake).predict(&block);
+        assert!(hsw > skl, "HSW {hsw} vs SKL {skl}");
+    }
+}

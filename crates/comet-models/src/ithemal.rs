@@ -1,0 +1,168 @@
+//! The Ithemal surrogate: a hierarchical LSTM throughput regressor
+//! trained on a labelled basic-block corpus.
+//!
+//! The paper explains the released Ithemal checkpoints (PyTorch, trained
+//! on BHive hardware measurements). Those artifacts are unavailable
+//! here, so — per the substitution policy in DESIGN.md — we train the
+//! same architecture from scratch in `comet-nn` on the synthetic corpus
+//! labelled by the detailed simulator. What matters for COMET is
+//! preserved: a black-box neural model with realistic (higher-than-uiCA)
+//! prediction error whose reliance on coarse block features can be
+//! probed by explanation.
+
+use comet_isa::{BasicBlock, Microarch};
+use comet_nn::{AdamConfig, HierarchicalRegressor, Loss, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::tokenize::Vocab;
+use crate::traits::CostModel;
+
+/// Training hyperparameters for the surrogate.
+#[derive(Debug, Clone, Copy)]
+pub struct IthemalConfig {
+    /// Token-embedding dimensionality.
+    pub embed_dim: usize,
+    /// LSTM hidden width (both levels).
+    pub hidden: usize,
+    /// Optimizer settings.
+    pub adam: AdamConfig,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed (weights + shuffling), for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for IthemalConfig {
+    fn default() -> IthemalConfig {
+        IthemalConfig {
+            embed_dim: 24,
+            hidden: 40,
+            adam: AdamConfig { lr: 3e-3, ..AdamConfig::default() },
+            batch_size: 16,
+            epochs: 6,
+            seed: 0x17E4A1,
+        }
+    }
+}
+
+/// A trained neural cost model with the Ithemal architecture.
+#[derive(Debug, Clone)]
+pub struct IthemalSurrogate {
+    model: HierarchicalRegressor,
+    vocab: Vocab,
+    name: String,
+    march: Microarch,
+}
+
+impl IthemalSurrogate {
+    /// Train a surrogate on `(block, measured throughput)` pairs.
+    ///
+    /// Deterministic for a fixed corpus and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus is empty.
+    pub fn train(
+        march: Microarch,
+        corpus: &[(BasicBlock, f64)],
+        config: IthemalConfig,
+    ) -> IthemalSurrogate {
+        assert!(!corpus.is_empty(), "training corpus must be non-empty");
+        let vocab = Vocab::standard();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ march as u64);
+        let mut model =
+            HierarchicalRegressor::new(vocab.len(), config.embed_dim, config.hidden, &mut rng);
+        let data: Vec<(Vec<Vec<usize>>, f64)> = corpus
+            .iter()
+            .map(|(block, cost)| (vocab.tokenize_block(block), *cost))
+            .collect();
+        let mut trainer = Trainer::new(config.adam, config.batch_size, config.epochs)
+            .with_loss(Loss::Relative);
+        trainer.fit(&mut model, &data, &mut rng);
+        IthemalSurrogate {
+            model,
+            vocab,
+            name: format!("Ithemal ({})", march.abbrev()),
+            march,
+        }
+    }
+
+    /// The microarchitecture the surrogate was trained for.
+    pub fn march(&self) -> Microarch {
+        self.march
+    }
+}
+
+impl CostModel for IthemalSurrogate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        let tokens = self.vocab.tokenize_block(block);
+        // Throughputs are positive; clamp the regressor's raw output.
+        self.model.predict(&tokens).max(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::parse_block;
+
+    fn tiny_corpus() -> Vec<(BasicBlock, f64)> {
+        vec![
+            (parse_block("add rax, 1").unwrap(), 1.0),
+            (parse_block("add rax, 1\nadd rbx, 1").unwrap(), 1.0),
+            (parse_block("div rcx").unwrap(), 25.0),
+            (parse_block("div rcx\nadd rax, 1").unwrap(), 25.0),
+            (parse_block("mov rdx, rcx\nmov rbx, rax").unwrap(), 1.0),
+            (parse_block("vdivss xmm0, xmm0, xmm6").unwrap(), 7.0),
+        ]
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = tiny_corpus();
+        let config = IthemalConfig { epochs: 2, ..IthemalConfig::default() };
+        let a = IthemalSurrogate::train(Microarch::Haswell, &corpus, config);
+        let b = IthemalSurrogate::train(Microarch::Haswell, &corpus, config);
+        let block = parse_block("add rax, 1\ndiv rcx").unwrap();
+        assert_eq!(a.predict(&block), b.predict(&block));
+    }
+
+    #[test]
+    fn learns_to_separate_cheap_from_expensive() {
+        let corpus = tiny_corpus();
+        let config = IthemalConfig {
+            epochs: 300,
+            batch_size: 3,
+            adam: AdamConfig { lr: 1e-2, ..AdamConfig::default() },
+            embed_dim: 12,
+            hidden: 20,
+            ..IthemalConfig::default()
+        };
+        let model = IthemalSurrogate::train(Microarch::Haswell, &corpus, config);
+        let cheap = model.predict(&parse_block("add rax, 1").unwrap());
+        let expensive = model.predict(&parse_block("div rcx").unwrap());
+        assert!(
+            expensive > cheap * 3.0,
+            "expected div >> add, got {expensive} vs {cheap}"
+        );
+    }
+
+    #[test]
+    fn predictions_positive() {
+        let model = IthemalSurrogate::train(
+            Microarch::Skylake,
+            &tiny_corpus(),
+            IthemalConfig { epochs: 1, ..IthemalConfig::default() },
+        );
+        let block = parse_block("nop").unwrap();
+        assert!(model.predict(&block) > 0.0);
+        assert!(model.name().contains("SKL"));
+    }
+}

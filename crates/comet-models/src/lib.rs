@@ -1,0 +1,46 @@
+//! # comet-models
+//!
+//! Cost models for the COMET reproduction, all behind the query-only
+//! [`CostModel`] trait exactly as COMET requires (paper §4):
+//!
+//! * [`CrudeModel`] — the paper's interpretable analytical model C
+//!   (eq. 8), the oracle for explanation-accuracy evaluation;
+//! * [`IthemalSurrogate`] — a hierarchical LSTM trained from scratch on
+//!   a simulator-labelled corpus (substitute for the released Ithemal
+//!   checkpoints, see DESIGN.md);
+//! * [`UicaSurrogate`] — the pipeline simulator with slightly deviated
+//!   tables (substitute for uiCA);
+//! * [`HardwareOracle`] — the detailed simulator standing in for real
+//!   Haswell/Skylake silicon.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), comet_isa::IsaError> {
+//! use comet_models::{CostModel, CrudeModel};
+//! use comet_isa::Microarch;
+//!
+//! let c = CrudeModel::new(Microarch::Haswell);
+//! let block = comet_isa::parse_block("div rcx")?;
+//! assert!(c.predict(&block) > 20.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod baseline;
+mod crude;
+mod ithemal;
+mod metrics;
+mod simulated;
+mod tokenize;
+mod traits;
+
+pub use baseline::{coarse_baseline, CoarseBaselineModel};
+pub use crude::CrudeModel;
+pub use ithemal::{IthemalConfig, IthemalSurrogate};
+pub use metrics::{mape, mean_std};
+pub use simulated::{HardwareOracle, UicaSurrogate};
+pub use tokenize::{Vocab, IMM, MEM_CLOSE, MEM_OPEN};
+pub use traits::{CachedModel, CostModel, QueryStats};

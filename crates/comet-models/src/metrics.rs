@@ -1,0 +1,70 @@
+//! Prediction-error metrics.
+
+use comet_isa::BasicBlock;
+
+use crate::traits::CostModel;
+
+/// Mean absolute percentage error of a model against labelled blocks.
+///
+/// # Panics
+///
+/// Panics on an empty corpus or non-positive label.
+pub fn mape<M: CostModel>(model: &M, corpus: &[(BasicBlock, f64)]) -> f64 {
+    assert!(!corpus.is_empty(), "MAPE over an empty corpus");
+    let total: f64 = corpus
+        .iter()
+        .map(|(block, truth)| {
+            assert!(*truth > 0.0, "labels must be positive");
+            (model.predict(block) - truth).abs() / truth
+        })
+        .sum();
+    100.0 * total / corpus.len() as f64
+}
+
+/// Mean and sample standard deviation of a series.
+///
+/// Returns `(mean, 0.0)` for singleton series.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty(), "mean of an empty series");
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+
+    impl CostModel for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+
+        fn predict(&self, _block: &BasicBlock) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn mape_of_perfect_model_is_zero() {
+        let block = comet_isa::parse_block("nop").unwrap();
+        let corpus = vec![(block, 2.0)];
+        assert_eq!(mape(&Fixed(2.0), &corpus), 0.0);
+        assert!((mape(&Fixed(3.0), &corpus) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_matches_hand_computation() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        let (m1, s1) = mean_std(&[5.0]);
+        assert_eq!((m1, s1), (5.0, 0.0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Simulation-backed cost models: the uiCA surrogate and the
+//! "hardware" oracle.
+
+use comet_isa::{BasicBlock, Microarch};
+use comet_sim::{MachineConfig, Simulator};
+
+use crate::traits::CostModel;
+
+/// The uiCA surrogate: the pipeline simulator with slightly
+/// mis-calibrated timing tables (see [`MachineConfig::uica_like`]).
+/// Plays the role of the paper's low-error, simulation-based model.
+#[derive(Debug, Clone)]
+pub struct UicaSurrogate {
+    sim: Simulator,
+    name: String,
+}
+
+impl UicaSurrogate {
+    /// The surrogate for a microarchitecture.
+    pub fn new(march: Microarch) -> UicaSurrogate {
+        UicaSurrogate {
+            sim: Simulator::new(MachineConfig::uica_like(march)),
+            name: format!("uiCA ({})", march.abbrev()),
+        }
+    }
+
+    /// The microarchitecture simulated.
+    pub fn march(&self) -> Microarch {
+        self.sim.config().march
+    }
+}
+
+impl CostModel for UicaSurrogate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        self.sim.throughput(block)
+    }
+}
+
+/// The detailed simulator standing in for real hardware. It labels the
+/// synthetic BHive corpus (the paper used silicon measurements) and
+/// provides the reference against which model error (MAPE) is computed.
+#[derive(Debug, Clone)]
+pub struct HardwareOracle {
+    sim: Simulator,
+    name: String,
+}
+
+impl HardwareOracle {
+    /// The oracle for a microarchitecture.
+    pub fn new(march: Microarch) -> HardwareOracle {
+        HardwareOracle {
+            sim: Simulator::new(MachineConfig::detailed(march)),
+            name: format!("hardware ({})", march.abbrev()),
+        }
+    }
+
+    /// The microarchitecture measured.
+    pub fn march(&self) -> Microarch {
+        self.sim.config().march
+    }
+}
+
+impl CostModel for HardwareOracle {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        self.sim.throughput(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::parse_block;
+
+    #[test]
+    fn uica_tracks_hardware_closely() {
+        let blocks = [
+            "add rax, 1\nadd rax, 1",
+            "div rcx",
+            "mov qword ptr [rdi], rax\nmov rbx, qword ptr [rsi]",
+            "vdivss xmm0, xmm0, xmm6\nvmulss xmm7, xmm0, xmm0",
+        ];
+        for march in Microarch::ALL {
+            let hw = HardwareOracle::new(march);
+            let uica = UicaSurrogate::new(march);
+            for text in blocks {
+                let block = parse_block(text).unwrap();
+                let h = hw.predict(&block);
+                let u = uica.predict(&block);
+                let err = (h - u).abs() / h;
+                assert!(err < 0.2, "{march} `{text}`: hw {h} vs uica {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn models_are_named() {
+        assert_eq!(UicaSurrogate::new(Microarch::Haswell).name(), "uiCA (HSW)");
+        assert_eq!(HardwareOracle::new(Microarch::Skylake).name(), "hardware (SKL)");
+    }
+}

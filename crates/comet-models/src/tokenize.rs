@@ -1,0 +1,157 @@
+//! Tokenization of basic blocks for the neural cost model, mirroring
+//! Ithemal's canonicalization: opcode token, then per-operand tokens,
+//! with memory operands bracketed so the model sees addressing
+//! structure.
+
+use std::collections::HashMap;
+
+use comet_isa::{BasicBlock, Instruction, Operand, RegClass, Register, Size};
+
+/// A fixed, deterministic vocabulary over the modelled ISA.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    ids: HashMap<String, usize>,
+    names: Vec<String>,
+}
+
+/// Marker token opening a memory operand.
+pub const MEM_OPEN: &str = "<mem>";
+/// Marker token closing a memory operand.
+pub const MEM_CLOSE: &str = "</mem>";
+/// Marker token for an immediate operand.
+pub const IMM: &str = "<imm>";
+
+impl Vocab {
+    /// Build the canonical vocabulary: every opcode, every register
+    /// name, and the structural markers. Deterministic across runs.
+    pub fn standard() -> Vocab {
+        let mut names: Vec<String> = Vec::new();
+        for op in comet_isa::Opcode::ALL {
+            names.push(op.name().to_string());
+        }
+        for class in [RegClass::Gpr, RegClass::Vec] {
+            let sizes: &[Size] = match class {
+                RegClass::Gpr => &Size::GPR_SIZES,
+                RegClass::Vec => &Size::VEC_SIZES,
+            };
+            for &size in sizes {
+                for reg in Register::all(class, size) {
+                    names.push(reg.name().to_string());
+                }
+            }
+        }
+        names.push(MEM_OPEN.to_string());
+        names.push(MEM_CLOSE.to_string());
+        names.push(IMM.to_string());
+        let ids = names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+        Vocab { ids, names }
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty (never for [`Vocab::standard`]).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Id of a token.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a token outside the vocabulary (cannot happen for
+    /// blocks built from this crate's ISA).
+    pub fn id(&self, token: &str) -> usize {
+        *self.ids.get(token).unwrap_or_else(|| panic!("token `{token}` not in vocabulary"))
+    }
+
+    /// Token string of an id.
+    pub fn token(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// Tokenize one instruction.
+    pub fn tokenize_instruction(&self, inst: &Instruction) -> Vec<usize> {
+        let mut tokens = vec![self.id(inst.opcode.name())];
+        for operand in &inst.operands {
+            match operand {
+                Operand::Reg(reg) => tokens.push(self.id(reg.name())),
+                Operand::Mem(mem) => {
+                    tokens.push(self.id(MEM_OPEN));
+                    if let Some(base) = mem.base {
+                        tokens.push(self.id(base.name()));
+                    }
+                    if let Some(index) = mem.index {
+                        tokens.push(self.id(index.name()));
+                    }
+                    tokens.push(self.id(MEM_CLOSE));
+                }
+                Operand::Imm(_) => tokens.push(self.id(IMM)),
+            }
+        }
+        tokens
+    }
+
+    /// Tokenize a block: one id sequence per instruction.
+    pub fn tokenize_block(&self, block: &BasicBlock) -> Vec<Vec<usize>> {
+        block.iter().map(|inst| self.tokenize_instruction(inst)).collect()
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Vocab {
+        Vocab::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::parse_block;
+
+    #[test]
+    fn vocabulary_is_deterministic() {
+        let a = Vocab::standard();
+        let b = Vocab::standard();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.id("add"), b.id("add"));
+        assert_eq!(a.id("xmm5"), b.id("xmm5"));
+    }
+
+    #[test]
+    fn tokens_round_trip() {
+        let vocab = Vocab::standard();
+        for token in ["add", "div", "rax", "r15b", "ymm9", MEM_OPEN, IMM] {
+            assert_eq!(vocab.token(vocab.id(token)), token);
+        }
+    }
+
+    #[test]
+    fn tokenizes_memory_with_structure() {
+        let vocab = Vocab::standard();
+        let block = parse_block("mov rax, qword ptr [rbp + rcx*8 + 16]").unwrap();
+        let tokens = vocab.tokenize_block(&block);
+        assert_eq!(tokens.len(), 1);
+        let names: Vec<&str> = tokens[0].iter().map(|&id| vocab.token(id)).collect();
+        assert_eq!(names, vec!["mov", "rax", MEM_OPEN, "rbp", "rcx", MEM_CLOSE]);
+    }
+
+    #[test]
+    fn different_registers_tokenize_differently() {
+        let vocab = Vocab::standard();
+        let a = vocab.tokenize_block(&parse_block("add rcx, rax").unwrap());
+        let b = vocab.tokenize_block(&parse_block("add rcx, rbx").unwrap());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_opcode_and_register_tokenizes() {
+        let vocab = Vocab::standard();
+        assert!(vocab.len() >= 95 + 96 + 3);
+        for op in comet_isa::Opcode::ALL {
+            let _ = vocab.id(op.name());
+        }
+    }
+}

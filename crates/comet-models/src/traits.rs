@@ -1,0 +1,142 @@
+//! The query-access-only cost-model abstraction.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use comet_isa::BasicBlock;
+
+/// A cost model: a function from valid basic blocks to real-valued
+/// costs (paper §4). COMET requires nothing else — explanations are
+/// generated with query access only.
+pub trait CostModel {
+    /// Human-readable model name ("Ithemal", "uiCA", …).
+    fn name(&self) -> &str;
+
+    /// Predict the cost (throughput in cycles) of a basic block.
+    fn predict(&self, block: &BasicBlock) -> f64;
+}
+
+impl<M: CostModel + ?Sized> CostModel for &M {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        (**self).predict(block)
+    }
+}
+
+impl<M: CostModel + ?Sized> CostModel for Box<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        (**self).predict(block)
+    }
+}
+
+/// A memoizing wrapper: COMET evaluates many feature sets against
+/// overlapping perturbation samples, so repeated queries are common.
+///
+/// Keys are the printed block text (blocks print canonically).
+#[derive(Debug)]
+pub struct CachedModel<M> {
+    inner: M,
+    cache: Mutex<HashMap<String, f64>>,
+    queries: Mutex<QueryStats>,
+}
+
+/// Counters exposed by [`CachedModel::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Total predictions requested.
+    pub total: u64,
+    /// Predictions answered from the cache.
+    pub hits: u64,
+}
+
+impl<M: CostModel> CachedModel<M> {
+    /// Wrap a model with a prediction cache.
+    pub fn new(inner: M) -> CachedModel<M> {
+        CachedModel { inner, cache: Mutex::new(HashMap::new()), queries: Mutex::new(QueryStats::default()) }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Cache hit statistics.
+    pub fn stats(&self) -> QueryStats {
+        *self.queries.lock().expect("stats lock")
+    }
+
+    /// Drop all cached predictions.
+    pub fn clear(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+}
+
+impl<M: CostModel> CostModel for CachedModel<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        let key = block.to_string();
+        {
+            let mut stats = self.queries.lock().expect("stats lock");
+            stats.total += 1;
+            if let Some(&v) = self.cache.lock().expect("cache lock").get(&key) {
+                stats.hits += 1;
+                return v;
+            }
+        }
+        let value = self.inner.predict(block);
+        self.cache.lock().expect("cache lock").insert(key, value);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Counting(AtomicU64);
+
+    impl CostModel for Counting {
+        fn name(&self) -> &str {
+            "counting"
+        }
+
+        fn predict(&self, block: &BasicBlock) -> f64 {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            block.len() as f64
+        }
+    }
+
+    #[test]
+    fn cache_avoids_repeat_queries() {
+        let model = CachedModel::new(Counting(AtomicU64::new(0)));
+        let block = comet_isa::parse_block("add rcx, rax\nmov rdx, rcx").unwrap();
+        assert_eq!(model.predict(&block), 2.0);
+        assert_eq!(model.predict(&block), 2.0);
+        assert_eq!(model.inner().0.load(Ordering::SeqCst), 1);
+        let stats = model.stats();
+        assert_eq!(stats.total, 2);
+        assert_eq!(stats.hits, 1);
+        model.clear();
+        model.predict(&block);
+        assert_eq!(model.inner().0.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let model: Box<dyn CostModel> = Box::new(Counting(AtomicU64::new(0)));
+        let block = comet_isa::parse_block("nop").unwrap();
+        assert_eq!(model.predict(&block), 1.0);
+        assert_eq!(model.name(), "counting");
+    }
+}

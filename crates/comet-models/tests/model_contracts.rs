@@ -1,0 +1,81 @@
+//! Cross-cutting behavioural contracts every cost model must satisfy.
+
+use comet_isa::{parse_block, BasicBlock, Microarch};
+use comet_models::{
+    CoarseBaselineModel, CostModel, CrudeModel, HardwareOracle, UicaSurrogate, Vocab,
+};
+
+fn sample_blocks() -> Vec<BasicBlock> {
+    [
+        "add rcx, rax\nmov rdx, rcx\npop rbx",
+        "div rcx\nmov rbx, 1",
+        "lea rdx, [rax + 1]\nmov qword ptr [rdi + 24], rdx\nmov byte ptr [rax], 80",
+        "vdivss xmm0, xmm0, xmm6\nvmulss xmm7, xmm0, xmm0",
+        "paddd xmm1, xmm2\npxor xmm3, xmm4\nmovss dword ptr [rsi], xmm1",
+    ]
+    .into_iter()
+    .map(|t| parse_block(t).unwrap())
+    .collect()
+}
+
+#[test]
+fn all_models_are_positive_and_deterministic() {
+    let models: Vec<Box<dyn CostModel>> = vec![
+        Box::new(CrudeModel::new(Microarch::Haswell)),
+        Box::new(CrudeModel::new(Microarch::Skylake)),
+        Box::new(UicaSurrogate::new(Microarch::Haswell)),
+        Box::new(HardwareOracle::new(Microarch::Skylake)),
+        Box::new(CoarseBaselineModel::new()),
+    ];
+    for model in &models {
+        for block in sample_blocks() {
+            let a = model.predict(&block);
+            let b = model.predict(&block);
+            assert!(a > 0.0, "{}: non-positive prediction", model.name());
+            assert!(a.is_finite());
+            assert_eq!(a, b, "{}: non-deterministic", model.name());
+        }
+    }
+}
+
+#[test]
+fn coarse_baseline_less_informed_than_crude() {
+    // On a div-heavy block the crude model (fine-grained features) must
+    // be closer to hardware than the coarse baseline.
+    let block = parse_block("div rcx\nmov rbx, 1").unwrap();
+    let hw = HardwareOracle::new(Microarch::Haswell).predict(&block);
+    let crude = CrudeModel::new(Microarch::Haswell).predict(&block);
+    let coarse = CoarseBaselineModel::new().predict(&block);
+    assert!((crude - hw).abs() < (coarse - hw).abs());
+}
+
+#[test]
+fn tokenizer_covers_every_generated_block() {
+    use comet_bhive::{generate_source_block, GenConfig, Source};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let vocab = Vocab::standard();
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..50 {
+        for source in Source::ALL {
+            let block = generate_source_block(source, GenConfig::default(), &mut rng);
+            let tokens = vocab.tokenize_block(&block);
+            assert_eq!(tokens.len(), block.len());
+            for seq in &tokens {
+                assert!(!seq.is_empty());
+                assert!(seq.iter().all(|&id| id < vocab.len()));
+            }
+        }
+    }
+}
+
+#[test]
+fn uica_and_hardware_disagree_somewhere() {
+    // The surrogate must not be a perfect copy — its table deviations
+    // must be visible on some block (otherwise the paper's error
+    // contrast degenerates).
+    let hw = HardwareOracle::new(Microarch::Haswell);
+    let uica = UicaSurrogate::new(Microarch::Haswell);
+    let differs = sample_blocks().iter().any(|b| hw.predict(b) != uica.predict(b));
+    assert!(differs, "uiCA surrogate identical to hardware on all samples");
+}

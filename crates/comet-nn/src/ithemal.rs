@@ -1,0 +1,267 @@
+//! The hierarchical token → instruction → block LSTM regressor — the
+//! architecture of the Ithemal cost model (paper §H.2):
+//!
+//! 1. token embeddings are combined per instruction by a token-level
+//!    LSTM into instruction embeddings;
+//! 2. an instruction-level LSTM combines those into a block embedding;
+//! 3. a linear head regresses the block embedding to a throughput.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{Embedding, Linear};
+use crate::lstm::{Lstm, LstmCache};
+use crate::param::{adam_step_all, AdamConfig, Param};
+
+/// A basic block tokenized for the model: one token-id sequence per
+/// instruction.
+pub type TokenizedBlock = Vec<Vec<usize>>;
+
+/// Regression loss used for training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Loss {
+    /// Plain mean squared error on raw targets.
+    #[default]
+    Squared,
+    /// Squared *relative* error `((pred - t) / max(t, 1))²` —
+    /// appropriate when targets span orders of magnitude and the
+    /// evaluation metric is percentage error (MAPE), as for basic-block
+    /// throughputs.
+    Relative,
+}
+
+/// The hierarchical multiscale RNN regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierarchicalRegressor {
+    embedding: Embedding,
+    token_lstm: Lstm,
+    instr_lstm: Lstm,
+    head: Linear,
+}
+
+struct ForwardCaches {
+    token_embeds: Vec<Vec<Vec<f64>>>,
+    token_caches: Vec<LstmCache>,
+    instr_inputs: Vec<Vec<f64>>,
+    instr_cache: LstmCache,
+    block_hidden: Vec<f64>,
+    prediction: f64,
+}
+
+impl HierarchicalRegressor {
+    /// A freshly initialized model.
+    pub fn new<R: Rng>(vocab: usize, embed_dim: usize, hidden: usize, rng: &mut R) -> Self {
+        HierarchicalRegressor {
+            embedding: Embedding::new(vocab, embed_dim, rng),
+            token_lstm: Lstm::new(embed_dim, hidden, rng),
+            instr_lstm: Lstm::new(hidden, hidden, rng),
+            head: Linear::new(hidden, 1, rng),
+        }
+    }
+
+    /// Vocabulary size the model was built for.
+    pub fn vocab(&self) -> usize {
+        self.embedding.vocab()
+    }
+
+    fn forward(&self, block: &TokenizedBlock) -> ForwardCaches {
+        assert!(!block.is_empty(), "cannot predict an empty block");
+        let mut token_embeds = Vec::with_capacity(block.len());
+        let mut token_caches = Vec::with_capacity(block.len());
+        let mut instr_inputs = Vec::with_capacity(block.len());
+        for tokens in block {
+            assert!(!tokens.is_empty(), "instruction with no tokens");
+            let embeds: Vec<Vec<f64>> =
+                tokens.iter().map(|&id| self.embedding.lookup(id)).collect();
+            let cache = self.token_lstm.forward(&embeds);
+            instr_inputs.push(cache.final_hidden().to_vec());
+            token_embeds.push(embeds);
+            token_caches.push(cache);
+        }
+        let instr_cache = self.instr_lstm.forward(&instr_inputs);
+        let block_hidden = instr_cache.final_hidden().to_vec();
+        let prediction = self.head.forward(&block_hidden)[0];
+        ForwardCaches { token_embeds, token_caches, instr_inputs, instr_cache, block_hidden, prediction }
+    }
+
+    /// Predict the cost of a tokenized block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty block, an empty instruction, or an
+    /// out-of-vocabulary token id.
+    pub fn predict(&self, block: &TokenizedBlock) -> f64 {
+        self.forward(block).prediction
+    }
+
+    /// One training example: forward, accumulate loss gradients scaled
+    /// by `grad_scale` (use `1 / batch_size`), return the loss value.
+    pub fn train_example(
+        &mut self,
+        block: &TokenizedBlock,
+        target: f64,
+        grad_scale: f64,
+        loss: Loss,
+    ) -> f64 {
+        let caches = self.forward(block);
+        let denom = match loss {
+            Loss::Squared => 1.0,
+            Loss::Relative => target.abs().max(1.0),
+        };
+        let err = (caches.prediction - target) / denom;
+        let dy = vec![2.0 * err * grad_scale / denom];
+        let d_block = self.head.backward(&caches.block_hidden, &dy);
+        let d_instr_inputs = self.instr_lstm.backward(&caches.instr_cache, &d_block);
+        debug_assert_eq!(d_instr_inputs.len(), caches.instr_inputs.len());
+        for (i, d_input) in d_instr_inputs.iter().enumerate() {
+            let d_embeds = self.token_lstm.backward(&caches.token_caches[i], d_input);
+            for (t, d_embed) in d_embeds.iter().enumerate() {
+                self.embedding.backward(block[i][t], d_embed);
+            }
+        }
+        let _ = caches.token_embeds;
+        err * err
+    }
+
+    /// Mutable references to all trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.embedding.params_mut();
+        params.extend(self.token_lstm.params_mut());
+        params.extend(self.instr_lstm.params_mut());
+        params.extend(self.head.params_mut());
+        params
+    }
+}
+
+/// Mini-batch Adam trainer for [`HierarchicalRegressor`].
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    /// Optimizer configuration.
+    pub config: AdamConfig,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Regression loss.
+    pub loss: Loss,
+    step: u64,
+}
+
+impl Trainer {
+    /// A trainer with the given schedule.
+    pub fn new(config: AdamConfig, batch_size: usize, epochs: usize) -> Trainer {
+        Trainer { config, batch_size, epochs, loss: Loss::Squared, step: 0 }
+    }
+
+    /// Use a different regression loss.
+    pub fn with_loss(mut self, loss: Loss) -> Trainer {
+        self.loss = loss;
+        self
+    }
+
+    /// Fit the model, returning the mean squared error per epoch.
+    pub fn fit<R: Rng>(
+        &mut self,
+        model: &mut HierarchicalRegressor,
+        data: &[(TokenizedBlock, f64)],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        assert!(!data.is_empty(), "training set must be non-empty");
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(self.epochs);
+        for _ in 0..self.epochs {
+            order.shuffle(rng);
+            let mut total = 0.0;
+            for chunk in order.chunks(self.batch_size) {
+                let scale = 1.0 / chunk.len() as f64;
+                for &idx in chunk {
+                    let (block, target) = &data[idx];
+                    total += model.train_example(block, *target, scale, self.loss);
+                }
+                self.step += 1;
+                adam_step_all(&mut model.params_mut(), self.config, self.step);
+            }
+            epoch_losses.push(total / data.len() as f64);
+        }
+        epoch_losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Synthetic task: cost = 1 + number of "expensive" tokens (id 1).
+    fn synthetic_data(rng: &mut StdRng, n: usize) -> Vec<(TokenizedBlock, f64)> {
+        (0..n)
+            .map(|_| {
+                let insts = rng.gen_range(1..6);
+                let mut block = Vec::new();
+                let mut cost = 1.0;
+                for _ in 0..insts {
+                    let expensive = rng.gen_bool(0.3);
+                    if expensive {
+                        cost += 3.0;
+                    }
+                    block.push(vec![if expensive { 1 } else { 0 }, rng.gen_range(2..8)]);
+                }
+                (block, cost)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_a_synthetic_cost_function() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = synthetic_data(&mut rng, 300);
+        let mut model = HierarchicalRegressor::new(8, 8, 16, &mut rng);
+        let mut trainer = Trainer::new(
+            AdamConfig { lr: 5e-3, ..AdamConfig::default() },
+            16,
+            30,
+        );
+        let losses = trainer.fit(&mut model, &data, &mut rng);
+        let first = losses[0];
+        let last = *losses.last().unwrap();
+        assert!(last < first * 0.2, "loss did not drop: {first} -> {last}");
+        // Spot-check generalization on fresh samples.
+        let test = synthetic_data(&mut rng, 50);
+        let mse: f64 = test
+            .iter()
+            .map(|(b, t)| {
+                let p = model.predict(b);
+                (p - t) * (p - t)
+            })
+            .sum::<f64>()
+            / test.len() as f64;
+        assert!(mse < 1.5, "test MSE too high: {mse}");
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = HierarchicalRegressor::new(8, 4, 8, &mut rng);
+        let block = vec![vec![0, 1], vec![2, 3, 4]];
+        assert_eq!(model.predict(&block), model.predict(&block));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty block")]
+    fn empty_block_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = HierarchicalRegressor::new(8, 4, 8, &mut rng);
+        let _ = model.predict(&vec![]);
+    }
+
+    #[test]
+    fn longer_blocks_change_prediction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = HierarchicalRegressor::new(8, 4, 8, &mut rng);
+        let short = vec![vec![0, 1]];
+        let long = vec![vec![0, 1]; 6];
+        assert_ne!(model.predict(&short), model.predict(&long));
+    }
+}

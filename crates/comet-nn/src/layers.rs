@@ -1,0 +1,161 @@
+//! Embedding and linear layers.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ops::{add_assign, matvec, matvec_transpose_acc, outer_acc};
+use crate::param::Param;
+
+/// A token-embedding table mapping vocabulary ids to dense vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    /// `vocab x dim` row-major table.
+    pub table: Param,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// A freshly initialized table.
+    pub fn new<R: Rng>(vocab: usize, dim: usize, rng: &mut R) -> Embedding {
+        let scale = (1.0 / dim as f64).sqrt();
+        Embedding { table: Param::uniform(vocab * dim, scale, rng), vocab, dim }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Look up the embedding of a token id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= vocab`.
+    pub fn lookup(&self, id: usize) -> Vec<f64> {
+        assert!(id < self.vocab, "token id {id} out of range {}", self.vocab);
+        self.table.value[id * self.dim..(id + 1) * self.dim].to_vec()
+    }
+
+    /// Accumulate the gradient for a looked-up token.
+    pub fn backward(&mut self, id: usize, grad: &[f64]) {
+        let row = &mut self.table.grad[id * self.dim..(id + 1) * self.dim];
+        add_assign(row, grad);
+    }
+
+    /// Mutable references to the trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.table]
+    }
+}
+
+/// A fully connected layer `y = W x + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weights, `out x in` row-major.
+    pub w: Param,
+    /// Bias, `out` elements.
+    pub b: Param,
+    input: usize,
+    output: usize,
+}
+
+impl Linear {
+    /// A freshly initialized layer.
+    pub fn new<R: Rng>(input: usize, output: usize, rng: &mut R) -> Linear {
+        let scale = (1.0 / input as f64).sqrt();
+        Linear {
+            w: Param::uniform(output * input, scale, rng),
+            b: Param::zeros(output),
+            input,
+            output,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.output];
+        matvec(&self.w.value, self.output, self.input, x, &mut y);
+        add_assign(&mut y, &self.b.value);
+        y
+    }
+
+    /// Accumulate gradients for output-gradient `dy` at input `x`,
+    /// returning the gradient w.r.t. `x`.
+    pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        outer_acc(&mut self.w.grad, dy, x);
+        add_assign(&mut self.b.grad, dy);
+        let mut dx = vec![0.0; self.input];
+        matvec_transpose_acc(&self.w.value, self.output, self.input, dy, &mut dx);
+        dx
+    }
+
+    /// Mutable references to the trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Linear::new(4, 2, &mut rng);
+        let x: Vec<f64> = (0..4).map(|i| (i as f64 + 1.0) * 0.3).collect();
+        let loss = |l: &Linear| l.forward(&x).iter().sum::<f64>();
+        let dy = vec![1.0, 1.0];
+        let dx = layer.backward(&x, &dy);
+
+        let eps = 1e-6;
+        for idx in 0..8 {
+            let analytic = layer.w.grad[idx];
+            let orig = layer.w.value[idx];
+            layer.w.value[idx] = orig + eps;
+            let plus = loss(&layer);
+            layer.w.value[idx] = orig - eps;
+            let minus = loss(&layer);
+            layer.w.value[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((analytic - numeric).abs() < 1e-6, "w[{idx}]");
+        }
+        // dx check.
+        let mut x2 = x.clone();
+        x2[1] += eps;
+        let plus = layer.forward(&x2).iter().sum::<f64>();
+        x2[1] -= 2.0 * eps;
+        let minus = layer.forward(&x2).iter().sum::<f64>();
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!((dx[1] - numeric).abs() < 1e-6);
+    }
+
+    #[test]
+    fn embedding_lookup_and_grad() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut emb = Embedding::new(10, 3, &mut rng);
+        let v = emb.lookup(7);
+        assert_eq!(v.len(), 3);
+        emb.backward(7, &[1.0, 2.0, 3.0]);
+        emb.backward(7, &[1.0, 0.0, 0.0]);
+        assert_eq!(&emb.table.grad[21..24], &[2.0, 2.0, 3.0]);
+        // Other rows untouched.
+        assert!(emb.table.grad[..21].iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn embedding_rejects_bad_id() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let emb = Embedding::new(4, 2, &mut rng);
+        let _ = emb.lookup(4);
+    }
+}

@@ -1,0 +1,40 @@
+//! # comet-nn
+//!
+//! A minimal, dependency-light deep-learning library sufficient to
+//! implement the Ithemal cost-model architecture from scratch: dense
+//! linear algebra, embeddings, LSTM cells with hand-derived
+//! backpropagation-through-time, Adam with gradient clipping, and the
+//! hierarchical token → instruction → block regressor itself.
+//!
+//! This crate is deliberately small and CPU-only: the reproduction's
+//! Ithemal surrogate needs thousands — not billions — of parameters.
+//!
+//! # Examples
+//!
+//! ```
+//! use comet_nn::{AdamConfig, HierarchicalRegressor, Trainer};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut model = HierarchicalRegressor::new(16, 8, 16, &mut rng);
+//! // Learn that every block costs 2.0.
+//! let data = vec![(vec![vec![0, 1], vec![2]], 2.0)];
+//! let config = AdamConfig { lr: 0.05, ..AdamConfig::default() };
+//! let mut trainer = Trainer::new(config, 1, 200);
+//! trainer.fit(&mut model, &data, &mut rng);
+//! let pred = model.predict(&vec![vec![0, 1], vec![2]]);
+//! assert!((pred - 2.0).abs() < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod ithemal;
+mod layers;
+mod lstm;
+pub mod ops;
+mod param;
+
+pub use ithemal::{HierarchicalRegressor, Loss, TokenizedBlock, Trainer};
+pub use layers::{Embedding, Linear};
+pub use lstm::{Lstm, LstmCache};
+pub use param::{adam_step_all, AdamConfig, Param};

@@ -1,0 +1,103 @@
+//! Dense linear-algebra primitives used by the network layers.
+//!
+//! All matrices are row-major `Vec<f64>` buffers with explicit
+//! dimensions; the layers pass raw slices to keep the hot loops free of
+//! bounds-check overhead beyond what the optimizer removes.
+
+/// `y = W x`, where `W` is `rows x cols` row-major and `x` has `cols`
+/// elements.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the dimensions disagree.
+pub fn matvec(w: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    debug_assert_eq!(y.len(), rows);
+    for (r, yr) in y.iter_mut().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut acc = 0.0;
+        for (a, b) in row.iter().zip(x) {
+            acc += a * b;
+        }
+        *yr = acc;
+    }
+}
+
+/// `y += W^T g`: accumulate the transpose product, used to propagate
+/// gradients to a layer's input.
+pub fn matvec_transpose_acc(w: &[f64], rows: usize, cols: usize, g: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(g.len(), rows);
+    debug_assert_eq!(y.len(), cols);
+    for (r, gr) in g.iter().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        for (yc, wc) in y.iter_mut().zip(row) {
+            *yc += wc * gr;
+        }
+    }
+}
+
+/// `dW += g ⊗ x` (outer product), used to accumulate weight gradients.
+pub fn outer_acc(dw: &mut [f64], g: &[f64], x: &[f64]) {
+    debug_assert_eq!(dw.len(), g.len() * x.len());
+    for (r, gr) in g.iter().enumerate() {
+        let row = &mut dw[r * x.len()..(r + 1) * x.len()];
+        for (wc, xc) in row.iter_mut().zip(x) {
+            *wc += gr * xc;
+        }
+    }
+}
+
+/// Element-wise `y += x`.
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (a, b) in y.iter_mut().zip(x) {
+        *a += b;
+    }
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        // W = [[1,2],[3,4],[5,6]], x = [1,-1]
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = [1.0, -1.0];
+        let mut y = [0.0; 3];
+        matvec(&w, 3, 2, &x, &mut y);
+        assert_eq!(y, [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn transpose_accumulates() {
+        let w = [1.0, 2.0, 3.0, 4.0]; // 2x2
+        let g = [1.0, 1.0];
+        let mut y = [1.0, 0.0];
+        matvec_transpose_acc(&w, 2, 2, &g, &mut y);
+        assert_eq!(y, [5.0, 6.0]); // [1+1+3, 0+2+4]
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut dw = [0.0; 4];
+        outer_acc(&mut dw, &[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(dw, [3.0, 4.0, 6.0, 8.0]);
+        outer_acc(&mut dw, &[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(dw, [4.0, 5.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+}

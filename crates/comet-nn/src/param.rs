@@ -1,0 +1,152 @@
+//! Trainable parameter buffers with Adam state.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A flat trainable tensor: values, accumulated gradient, and Adam
+/// moment estimates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current values.
+    pub value: Vec<f64>,
+    /// Gradient accumulator, zeroed by [`Param::zero_grad`].
+    pub grad: Vec<f64>,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Param {
+    /// A zero-initialized parameter of `len` elements.
+    pub fn zeros(len: usize) -> Param {
+        Param { value: vec![0.0; len], grad: vec![0.0; len], m: vec![0.0; len], v: vec![0.0; len] }
+    }
+
+    /// Uniform(-scale, scale) initialization (the classic
+    /// Glorot-style fan-in scaling is chosen by the caller).
+    pub fn uniform<R: Rng>(len: usize, scale: f64, rng: &mut R) -> Param {
+        let mut p = Param::zeros(len);
+        for v in &mut p.value {
+            *v = rng.gen_range(-scale..scale);
+        }
+        p
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Reset the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// L2 norm of the gradient (for clipping).
+    pub fn grad_norm_sq(&self) -> f64 {
+        self.grad.iter().map(|g| g * g).sum()
+    }
+
+    /// Scale the gradient in place.
+    pub fn scale_grad(&mut self, factor: f64) {
+        self.grad.iter_mut().for_each(|g| *g *= factor);
+    }
+
+    /// One Adam update with the given hyperparameters.
+    ///
+    /// `t` is the 1-based global step used for bias correction.
+    pub fn adam_step(&mut self, lr: f64, beta1: f64, beta2: f64, eps: f64, t: u64) {
+        let bc1 = 1.0 - beta1.powi(t as i32);
+        let bc2 = 1.0 - beta2.powi(t as i32);
+        for i in 0..self.value.len() {
+            let g = self.grad[i];
+            self.m[i] = beta1 * self.m[i] + (1.0 - beta1) * g;
+            self.v[i] = beta2 * self.v[i] + (1.0 - beta2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            self.value[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+}
+
+/// Adam optimizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    /// Global gradient-norm clip (0 disables clipping).
+    pub clip: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> AdamConfig {
+        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: 5.0 }
+    }
+}
+
+/// Apply one Adam step to a set of parameters with optional global
+/// gradient clipping, then zero the gradients.
+pub fn adam_step_all(params: &mut [&mut Param], config: AdamConfig, t: u64) {
+    if config.clip > 0.0 {
+        let norm: f64 = params.iter().map(|p| p.grad_norm_sq()).sum::<f64>().sqrt();
+        if norm > config.clip {
+            let factor = config.clip / norm;
+            for p in params.iter_mut() {
+                p.scale_grad(factor);
+            }
+        }
+    }
+    for p in params.iter_mut() {
+        p.adam_step(config.lr, config.beta1, config.beta2, config.eps, t);
+        p.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        // Minimize f(x) = (x - 3)^2 with Adam.
+        let mut p = Param::zeros(1);
+        let config = AdamConfig { lr: 0.1, ..AdamConfig::default() };
+        for t in 1..=500 {
+            p.grad[0] = 2.0 * (p.value[0] - 3.0);
+            adam_step_all(&mut [&mut p], config, t);
+        }
+        assert!((p.value[0] - 3.0).abs() < 1e-2, "got {}", p.value[0]);
+    }
+
+    #[test]
+    fn clipping_bounds_gradient_norm() {
+        let mut p = Param::zeros(2);
+        p.grad = vec![30.0, 40.0]; // norm 50
+        let config = AdamConfig { clip: 5.0, lr: 0.0, ..AdamConfig::default() };
+        // lr 0: only clipping + zeroing happens; verify via scale_grad math.
+        let norm = p.grad_norm_sq().sqrt();
+        assert!((norm - 50.0).abs() < 1e-12);
+        adam_step_all(&mut [&mut p], config, 1);
+        assert!(p.grad.iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    fn uniform_init_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Param::uniform(1000, 0.1, &mut rng);
+        assert!(p.value.iter().all(|v| v.abs() < 0.1));
+        assert!(p.value.iter().any(|v| v.abs() > 1e-4));
+    }
+}

@@ -1,0 +1,90 @@
+//! Finite-difference gradient verification through the *entire*
+//! hierarchical regressor (embedding → token LSTM → instruction LSTM →
+//! head), complementing the per-layer checks in the unit tests.
+
+use comet_nn::{HierarchicalRegressor, Loss};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn loss_of(model: &HierarchicalRegressor, block: &[Vec<usize>], target: f64) -> f64 {
+    let pred = model.predict(&block.to_vec());
+    (pred - target) * (pred - target)
+}
+
+#[test]
+fn full_model_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut model = HierarchicalRegressor::new(12, 5, 6, &mut rng);
+    let block = vec![vec![0usize, 3, 7], vec![1, 4], vec![2, 5, 9, 11]];
+    let target = 2.5;
+
+    // Analytic gradients.
+    model.train_example(&block, target, 1.0, Loss::Squared);
+    let analytic: Vec<Vec<f64>> =
+        model.params_mut().iter().map(|p| p.grad.clone()).collect();
+    for p in model.params_mut() {
+        p.zero_grad();
+    }
+
+    // Numeric gradients by central differences, spot-checked across
+    // every parameter tensor.
+    let eps = 1e-6;
+    let num_params = analytic.len();
+    for pi in 0..num_params {
+        let len = model.params_mut()[pi].len();
+        let step = (len / 11).max(1);
+        for idx in (0..len).step_by(step) {
+            let orig = model.params_mut()[pi].value[idx];
+            model.params_mut()[pi].value[idx] = orig + eps;
+            let plus = loss_of(&model, &block, target);
+            model.params_mut()[pi].value[idx] = orig - eps;
+            let minus = loss_of(&model, &block, target);
+            model.params_mut()[pi].value[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic[pi][idx];
+            assert!(
+                (a - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "param {pi}[{idx}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+}
+
+#[test]
+fn relative_loss_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut model = HierarchicalRegressor::new(8, 4, 5, &mut rng);
+    let block = vec![vec![0usize, 1], vec![2, 3]];
+    let target = 8.0;
+
+    model.train_example(&block, target, 1.0, Loss::Relative);
+    let analytic: Vec<Vec<f64>> =
+        model.params_mut().iter().map(|p| p.grad.clone()).collect();
+    for p in model.params_mut() {
+        p.zero_grad();
+    }
+
+    let rel_loss = |m: &HierarchicalRegressor| {
+        let pred = m.predict(&block);
+        let err = (pred - target) / target.max(1.0);
+        err * err
+    };
+    let eps = 1e-6;
+    for pi in 0..analytic.len() {
+        let len = model.params_mut()[pi].len();
+        for idx in (0..len).step_by((len / 7).max(1)) {
+            let orig = model.params_mut()[pi].value[idx];
+            model.params_mut()[pi].value[idx] = orig + eps;
+            let plus = rel_loss(&model);
+            model.params_mut()[pi].value[idx] = orig - eps;
+            let minus = rel_loss(&model);
+            model.params_mut()[pi].value[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic[pi][idx];
+            assert!(
+                (a - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "param {pi}[{idx}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+}

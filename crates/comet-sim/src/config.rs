@@ -1,0 +1,122 @@
+//! Machine configurations: the detailed ("hardware") model and the
+//! deliberately mis-calibrated variant backing the uiCA surrogate.
+
+use comet_isa::{InstProfile, Instruction, Microarch, Opcode};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated out-of-order machine.
+///
+/// The *detailed* configuration plays the role of real hardware in this
+/// reproduction (it labels the synthetic BHive corpus). The *uiCA-like*
+/// configuration is the same pipeline driven by per-opcode timing tables
+/// deterministically deviated by a few percent — modelling a
+/// hand-engineered simulator that is a near-perfect but not exact model
+/// of the machine, which is precisely uiCA's situation in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Target microarchitecture (selects timing tables).
+    pub march: Microarch,
+    /// Front-end issue width in µops per cycle.
+    pub issue_width: f64,
+    /// Seed for deterministic per-opcode table deviations (ignored when
+    /// `deviation` is 0).
+    pub deviation_seed: u64,
+    /// Maximum relative deviation applied to latencies and reciprocal
+    /// throughputs, e.g. `0.06` for ±6%.
+    pub deviation: f64,
+    /// Model the dependency-breaking zero idiom (`xor r, r`).
+    pub zero_idioms: bool,
+    /// Store-to-load forwarding latency in cycles.
+    pub forward_latency: f64,
+}
+
+impl MachineConfig {
+    /// The detailed configuration standing in for real hardware.
+    pub fn detailed(march: Microarch) -> MachineConfig {
+        MachineConfig {
+            march,
+            issue_width: comet_isa::tables::ISSUE_WIDTH,
+            deviation_seed: 0,
+            deviation: 0.0,
+            zero_idioms: true,
+            forward_latency: 5.0,
+        }
+    }
+
+    /// The uiCA-surrogate configuration: same pipeline, slightly
+    /// deviated tables.
+    pub fn uica_like(march: Microarch) -> MachineConfig {
+        MachineConfig {
+            deviation_seed: 0xC0FFEE ^ march as u64,
+            deviation: 0.06,
+            ..MachineConfig::detailed(march)
+        }
+    }
+
+    /// The timing profile of an instruction under this configuration,
+    /// with table deviations applied.
+    pub fn profile(&self, inst: &Instruction) -> InstProfile {
+        let mut p = comet_isa::profile(inst, self.march);
+        if self.deviation > 0.0 {
+            let f_lat = self.deviation_factor(inst.opcode, 0);
+            let f_rtp = self.deviation_factor(inst.opcode, 1);
+            p.latency = (p.latency * f_lat).max(0.0);
+            p.rtp = (p.rtp * f_rtp).max(0.05);
+        }
+        p
+    }
+
+    /// Deterministic multiplicative deviation in
+    /// `[1 - deviation, 1 + deviation]` for an opcode.
+    fn deviation_factor(&self, opcode: Opcode, salt: u64) -> f64 {
+        let mut h = self
+            .deviation_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(opcode as u64)
+            .wrapping_add(salt.wrapping_mul(0x1234_5678_9ABC_DEF1));
+        // SplitMix64 finalizer for good bit diffusion.
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 + self.deviation * (2.0 * unit - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_isa::parse_instruction;
+
+    #[test]
+    fn detailed_config_is_exact() {
+        let config = MachineConfig::detailed(Microarch::Haswell);
+        let inst = parse_instruction("add rcx, rax").unwrap();
+        let base = comet_isa::profile(&inst, Microarch::Haswell);
+        assert_eq!(config.profile(&inst), base);
+    }
+
+    #[test]
+    fn uica_config_deviates_but_stays_close() {
+        let config = MachineConfig::uica_like(Microarch::Haswell);
+        let inst = parse_instruction("div rcx").unwrap();
+        let base = comet_isa::profile(&inst, Microarch::Haswell);
+        let dev = config.profile(&inst);
+        assert_ne!(dev.latency, base.latency);
+        assert!((dev.latency - base.latency).abs() / base.latency <= 0.061);
+        assert!((dev.rtp - base.rtp).abs() / base.rtp <= 0.061);
+    }
+
+    #[test]
+    fn deviations_are_deterministic_and_opcode_specific() {
+        let config = MachineConfig::uica_like(Microarch::Skylake);
+        let div = parse_instruction("div rcx").unwrap();
+        let add = parse_instruction("add rcx, rax").unwrap();
+        assert_eq!(config.profile(&div), config.profile(&div));
+        let f_div = config.profile(&div).latency / comet_isa::profile(&div, config.march).latency;
+        let f_add = config.profile(&add).latency / comet_isa::profile(&add, config.march).latency;
+        assert_ne!(f_div, f_add);
+    }
+}

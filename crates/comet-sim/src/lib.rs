@@ -1,0 +1,36 @@
+//! # comet-sim
+//!
+//! A port-based, steady-state basic-block throughput simulator in the
+//! spirit of uiCA (Abel & Reineke, ICS '22): width-limited in-order
+//! issue, out-of-order execution with register renaming, per-port
+//! contention, unpipelined dividers, zero-idiom elimination, and
+//! store-to-load forwarding.
+//!
+//! Two machine configurations matter to the reproduction (see
+//! DESIGN.md): [`MachineConfig::detailed`] stands in for real hardware
+//! (it labels the synthetic BHive corpus), and
+//! [`MachineConfig::uica_like`] drives the uiCA-surrogate cost model —
+//! the same pipeline with slightly mis-calibrated timing tables.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), comet_isa::IsaError> {
+//! use comet_sim::{MachineConfig, Simulator};
+//! use comet_isa::Microarch;
+//!
+//! let block = comet_isa::parse_block("add rax, 1\nadd rax, 1")?;
+//! let sim = Simulator::new(MachineConfig::detailed(Microarch::Haswell));
+//! let cycles = sim.throughput(&block);
+//! assert!(cycles >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod sim;
+
+pub use config::MachineConfig;
+pub use sim::Simulator;

@@ -1,0 +1,73 @@
+//! Property-based tests for the pipeline simulator.
+
+use comet_bhive::{generate_source_block, GenConfig, Source};
+use comet_isa::{BasicBlock, Instruction, Microarch};
+use comet_sim::{MachineConfig, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_block() -> impl Strategy<Value = BasicBlock> {
+    (any::<u64>(), prop_oneof![Just(Source::Clang), Just(Source::OpenBlas)]).prop_map(
+        |(seed, source)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            generate_source_block(source, GenConfig::default(), &mut rng)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Throughput is positive, finite, and quarter-cycle quantized.
+    #[test]
+    fn throughput_is_well_formed(block in arb_block()) {
+        for march in Microarch::ALL {
+            let sim = Simulator::new(MachineConfig::detailed(march));
+            let t = sim.throughput(&block);
+            prop_assert!(t.is_finite());
+            prop_assert!(t > 0.0, "non-positive throughput {t} for\n{block}");
+            prop_assert!(((t * 4.0) - (t * 4.0).round()).abs() < 1e-9);
+            // A steady-state iteration cannot beat the front-end bound
+            // by more than rounding.
+            prop_assert!(t * 4.0 + 1.0 >= block.len() as f64 * 0.9);
+        }
+    }
+
+    /// Duplicating a block's body cannot make an iteration faster.
+    #[test]
+    fn duplication_is_monotone(block in arb_block()) {
+        let sim = Simulator::new(MachineConfig::detailed(Microarch::Haswell));
+        let single = sim.throughput(&block);
+        let doubled: Vec<Instruction> = block
+            .iter()
+            .chain(block.iter())
+            .cloned()
+            .collect();
+        let doubled = BasicBlock::new(doubled).unwrap();
+        let double_t = sim.throughput(&doubled);
+        prop_assert!(
+            double_t >= single - 0.26,
+            "doubling sped up: {single} -> {double_t}\n{block}"
+        );
+    }
+
+    /// The uiCA-like configuration stays within a bounded relative
+    /// error of the detailed one.
+    #[test]
+    fn surrogate_tracks_detailed(block in arb_block()) {
+        for march in Microarch::ALL {
+            let detailed = Simulator::new(MachineConfig::detailed(march)).throughput(&block);
+            let surrogate = Simulator::new(MachineConfig::uica_like(march)).throughput(&block);
+            let rel = (detailed - surrogate).abs() / detailed;
+            prop_assert!(rel < 0.35, "{march}: {detailed} vs {surrogate} on\n{block}");
+        }
+    }
+
+    /// Determinism: same block, same configuration, same result.
+    #[test]
+    fn throughput_is_deterministic(block in arb_block()) {
+        let sim = Simulator::new(MachineConfig::detailed(Microarch::Skylake));
+        prop_assert_eq!(sim.throughput(&block), sim.throughput(&block));
+    }
+}

@@ -1,0 +1,65 @@
+//! Cross-crate model behaviour: surrogate error ordering, corpus
+//! labelling, and cache interplay.
+
+use comet::bhive::{Corpus, GenConfig};
+use comet::isa::{parse_block, Microarch};
+use comet::models::{
+    mape, CachedModel, CostModel, CrudeModel, HardwareOracle, IthemalConfig, IthemalSurrogate,
+    UicaSurrogate,
+};
+
+#[test]
+fn model_error_ordering_matches_paper() {
+    // uiCA must track the "hardware" far better than both the neural
+    // surrogate and the crude analytical model — the premise of the
+    // paper's Figures 2-4 analysis.
+    let train = Corpus::generate(300, GenConfig::default(), 50);
+    let test = Corpus::generate(60, GenConfig::default(), 51);
+    let march = Microarch::Haswell;
+    let labelled = test.training_pairs(march);
+
+    let uica = UicaSurrogate::new(march);
+    let crude = CrudeModel::new(march);
+    let ithemal = IthemalSurrogate::train(
+        march,
+        &train.training_pairs(march),
+        IthemalConfig { epochs: 3, ..IthemalConfig::default() },
+    );
+
+    let uica_err = mape(&uica, &labelled);
+    let ithemal_err = mape(&ithemal, &labelled);
+    let crude_err = mape(&crude, &labelled);
+    assert!(uica_err < 5.0, "uiCA MAPE {uica_err}");
+    assert!(ithemal_err > uica_err, "Ithemal {ithemal_err} vs uiCA {uica_err}");
+    assert!(crude_err > uica_err, "crude {crude_err} vs uiCA {uica_err}");
+}
+
+#[test]
+fn hardware_oracle_labels_are_positive_and_stable() {
+    let corpus = Corpus::generate(40, GenConfig::default(), 52);
+    let hsw = HardwareOracle::new(Microarch::Haswell);
+    for entry in &corpus {
+        assert!(entry.throughput_hsw > 0.0);
+        assert!(entry.throughput_skl > 0.0);
+        // Corpus labels must equal fresh oracle queries.
+        assert_eq!(hsw.predict(&entry.block), entry.throughput_hsw);
+    }
+}
+
+#[test]
+fn cached_model_is_transparent() {
+    let block = parse_block("div rcx\nmov rbx, 1").unwrap();
+    let crude = CrudeModel::new(Microarch::Haswell);
+    let cached = CachedModel::new(crude);
+    assert_eq!(cached.predict(&block), crude.predict(&block));
+    assert_eq!(cached.predict(&block), crude.predict(&block));
+    assert_eq!(cached.stats().hits, 1);
+}
+
+#[test]
+fn microarchitectures_give_distinct_models() {
+    let block = parse_block("vdivss xmm0, xmm0, xmm6\nvmulss xmm7, xmm0, xmm0").unwrap();
+    let hsw = HardwareOracle::new(Microarch::Haswell).predict(&block);
+    let skl = HardwareOracle::new(Microarch::Skylake).predict(&block);
+    assert!(hsw > skl, "HSW {hsw} should be slower than SKL {skl} on divides");
+}
