@@ -32,7 +32,7 @@ fn bench_table2(c: &mut Criterion) {
                 .iter()
                 .filter(|entry| {
                     let gt = ground_truth(&crude, &entry.block);
-                    let e = explainer.explain(&entry.block, &mut rng);
+                    let e = explainer.explain(&entry.block, &mut rng).unwrap();
                     is_accurate(&e.features, &gt)
                 })
                 .count()
@@ -54,7 +54,7 @@ fn bench_table3(c: &mut Criterion) {
             };
             let explainer = Explainer::new(&uica, config);
             let mut rng = StdRng::seed_from_u64(2);
-            let e = explainer.explain(std::hint::black_box(&block), &mut rng);
+            let e = explainer.explain(std::hint::black_box(&block), &mut rng).unwrap();
             (e.precision, e.coverage)
         })
     });
@@ -98,7 +98,7 @@ fn bench_ablation(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(3);
             corpus
                 .iter()
-                .map(|e| explainer.explain(&e.block, &mut rng).precision)
+                .map(|e| explainer.explain(&e.block, &mut rng).unwrap().precision)
                 .sum::<f64>()
         })
     });

@@ -80,11 +80,8 @@ impl BaselineContext {
     pub fn dominant_type(&self) -> FeatureKind {
         FeatureKind::ALL
             .into_iter()
-            .max_by(|a, b| {
-                self.type_probability(*a)
-                    .partial_cmp(&self.type_probability(*b))
-                    .expect("probabilities are finite")
-            })
+            .max_by(|a, b| self.type_probability(*a).total_cmp(&self.type_probability(*b)))
+            // Invariant: `FeatureKind::ALL` is a non-empty const array.
             .expect("at least one feature kind")
     }
 

@@ -7,7 +7,7 @@ use comet_models::CostModel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::explain::{ExplainConfig, Explainer, Explanation};
+use crate::explain::{ExplainConfig, ExplainError, Explainer, Explanation};
 use crate::feature::{FeatureKind, FeatureSet};
 
 /// The two models' explanations for one block, with agreement metrics.
@@ -78,13 +78,18 @@ impl ComparisonReport {
 }
 
 /// Explain every block under both models and collect the comparison.
+///
+/// Fails with the first [`ExplainError`] encountered: a comparison with
+/// a hole in it would silently bias the aggregate agreement metrics, so
+/// callers that want partial results should compare block-by-block and
+/// skip failures explicitly.
 pub fn compare_models<A, B, R>(
     model_a: &A,
     model_b: &B,
     blocks: &[BasicBlock],
     config: ExplainConfig,
     rng: &mut R,
-) -> ComparisonReport
+) -> Result<ComparisonReport, ExplainError>
 where
     A: CostModel,
     B: CostModel,
@@ -92,21 +97,23 @@ where
 {
     let explainer_a = Explainer::new(model_a, config);
     let explainer_b = Explainer::new(model_b, config);
-    let comparisons = blocks
-        .iter()
-        .map(|block| BlockComparison {
+    let mut comparisons = Vec::with_capacity(blocks.len());
+    for block in blocks {
+        let explanation_a = explainer_a.explain(block, rng)?;
+        let explanation_b = explainer_b.explain(block, rng)?;
+        comparisons.push(BlockComparison {
             block: block.to_string(),
-            prediction_a: model_a.predict(block),
-            prediction_b: model_b.predict(block),
-            explanation_a: explainer_a.explain(block, rng),
-            explanation_b: explainer_b.explain(block, rng),
-        })
-        .collect();
-    ComparisonReport {
+            prediction_a: explanation_a.prediction,
+            prediction_b: explanation_b.prediction,
+            explanation_a,
+            explanation_b,
+        });
+    }
+    Ok(ComparisonReport {
         model_a: model_a.name().to_string(),
         model_b: model_b.name().to_string(),
         blocks: comparisons,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -158,7 +165,7 @@ mod tests {
             vec![parse_block("mov ecx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nimul rax, rcx")
                 .unwrap()];
         let mut rng = StdRng::seed_from_u64(0);
-        let report = compare_models(&LengthModel, &DivModel, &blocks, config(), &mut rng);
+        let report = compare_models(&LengthModel, &DivModel, &blocks, config(), &mut rng).unwrap();
         assert_eq!(report.blocks.len(), 1);
         assert!(report.blocks[0].granularity_disagreement());
         assert_eq!(report.granularity_disagreements().count(), 1);
@@ -169,9 +176,27 @@ mod tests {
     fn identical_models_agree() {
         let blocks = vec![parse_block("add rcx, rax\nmov rdx, rcx").unwrap()];
         let mut rng = StdRng::seed_from_u64(1);
-        let report = compare_models(&LengthModel, &LengthModel, &blocks, config(), &mut rng);
+        let report =
+            compare_models(&LengthModel, &LengthModel, &blocks, config(), &mut rng).unwrap();
         assert_eq!(report.mean_agreement(), 1.0);
         assert_eq!(report.granularity_disagreements().count(), 0);
+    }
+
+    #[test]
+    fn model_failure_propagates() {
+        struct BrokenModel;
+        impl CostModel for BrokenModel {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn predict(&self, _: &BasicBlock) -> f64 {
+                f64::NAN
+            }
+        }
+        let blocks = vec![parse_block("add rcx, rax").unwrap()];
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = compare_models(&LengthModel, &BrokenModel, &blocks, config(), &mut rng);
+        assert!(matches!(result, Err(ExplainError::Model(_))));
     }
 
     #[test]

@@ -2,12 +2,19 @@
 //! search over feature sets, with precision estimated by KL-LUCB
 //! Bernoulli bounds and coverage estimated empirically over a shared
 //! pool of unconstrained perturbations.
+//!
+//! The model is treated as an untrusted black box: every query goes
+//! through [`CostModel::try_predict`], individual query failures are
+//! tolerated (the sample is skipped, the fault counted, the budget
+//! charged), and [`Explainer::explain`] returns a typed
+//! [`ExplainError`] only when no explanation can be produced at all.
 
 use std::cell::Cell;
 use std::collections::HashSet;
+use std::fmt;
 
 use comet_isa::BasicBlock;
-use comet_models::CostModel;
+use comet_models::{CostModel, ModelError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -43,7 +50,8 @@ pub struct ExplainConfig {
     pub max_features: usize,
     /// Global cap on model queries per explanation; when exhausted the
     /// search returns its current best candidate. Bounds worst-case
-    /// latency on models where few feature sets anchor.
+    /// latency on models where few feature sets anchor. Failed queries
+    /// are charged too, so a faulting model cannot stall the search.
     pub max_total_queries: u64,
     /// Perturbation-algorithm parameters.
     pub perturb: PerturbConfig,
@@ -87,6 +95,44 @@ impl ExplainConfig {
     }
 }
 
+/// Why no explanation could be produced.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExplainError {
+    /// The model failed on the original, unperturbed block, so there is
+    /// no reference prediction to explain. (Failures on *perturbed*
+    /// blocks are tolerated and surface as [`Explanation::faults`].)
+    Model(ModelError),
+    /// The block has no extractable features (e.g. an empty block).
+    NoFeatures,
+}
+
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainError::Model(e) => {
+                write!(f, "cost model failed on the explained block: {e}")
+            }
+            ExplainError::NoFeatures => write!(f, "block has no extractable features"),
+        }
+    }
+}
+
+impl std::error::Error for ExplainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExplainError::Model(e) => Some(e),
+            ExplainError::NoFeatures => None,
+        }
+    }
+}
+
+impl From<ModelError> for ExplainError {
+    fn from(e: ModelError) -> ExplainError {
+        ExplainError::Model(e)
+    }
+}
+
 /// A COMET explanation: the feature set, its estimated quality, and
 /// bookkeeping about the search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,8 +148,23 @@ pub struct Explanation {
     /// Whether the precision threshold was actually reached (if false,
     /// this is the best-effort highest-precision candidate).
     pub anchored: bool,
-    /// Number of cost-model queries spent.
+    /// Number of cost-model queries spent (failed queries included).
     pub queries: u64,
+    /// Queries that returned an error; the sampler skips them, so high
+    /// fault counts mean the estimates rest on fewer samples.
+    #[serde(default)]
+    pub faults: u64,
+    /// Model-layer retries spent during this explanation (reported by
+    /// [`CostModel::resilience`]; zero for models that do not track
+    /// them).
+    #[serde(default)]
+    pub retries: u64,
+    /// True when the explanation was produced under degraded
+    /// conditions: at least one query faulted, or the model reports
+    /// itself degraded (e.g. a tripped circuit breaker serving
+    /// fallback predictions).
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 impl Explanation {
@@ -143,14 +204,24 @@ impl<M: CostModel> Explainer<M> {
 
     /// Explain the model's prediction for `block` (paper Figure 1).
     ///
-    /// # Panics
-    ///
-    /// Panics if the block has no features (cannot happen for valid
-    /// blocks: η always exists).
-    pub fn explain<R: Rng>(&self, block: &BasicBlock, rng: &mut R) -> Explanation {
+    /// Model failures on perturbed samples are tolerated: the sample is
+    /// skipped, counted in [`Explanation::faults`], and charged against
+    /// [`ExplainConfig::max_total_queries`]. An error is returned only
+    /// when the model fails on the original block itself
+    /// ([`ExplainError::Model`]) or the block has no features
+    /// ([`ExplainError::NoFeatures`]).
+    pub fn explain<R: Rng>(
+        &self,
+        block: &BasicBlock,
+        rng: &mut R,
+    ) -> Result<Explanation, ExplainError> {
         let perturber = Perturber::new(block, self.config.perturb);
         let queries = Cell::new(0u64);
-        let prediction = self.predict_counted(block, &queries);
+        let faults = Cell::new(0u64);
+        let resilience_before = self.model.resilience().unwrap_or_default();
+
+        queries.set(queries.get() + 1);
+        let prediction = self.model.try_predict(block).map_err(ExplainError::Model)?;
 
         // Shared coverage pool: surviving feature sets of unconstrained
         // perturbations (no model queries needed).
@@ -163,20 +234,40 @@ impl<M: CostModel> Explainer<M> {
         };
 
         let all_features: Vec<Feature> = perturber.features().to_vec();
-        assert!(!all_features.is_empty(), "block without features");
+        if all_features.is_empty() {
+            return Err(ExplainError::NoFeatures);
+        }
 
+        // One precision sample: query the model on a perturbation. A
+        // failed query is charged to the budget and counted as a fault
+        // but contributes no evidence (skipping keeps the Bernoulli
+        // estimate unbiased; the budget charge guarantees termination
+        // even against a model that always fails). Once the budget is
+        // exhausted the sampler is a no-op, so `queries` never exceeds
+        // `max_total_queries`.
         let sample = |candidate: &mut Candidate, rng: &mut R| {
+            if queries.get() >= self.config.max_total_queries {
+                return;
+            }
             let perturbed = perturber.perturb(&candidate.features, rng);
-            let cost = self.predict_counted(&perturbed.block, &queries);
-            // Open ε-ball: with quantized cost models (the crude model
-            // moves in exact quarter-cycle steps) an inclusive bound
-            // would admit genuinely changed predictions.
-            candidate.est.update((cost - prediction).abs() < self.config.epsilon);
+            queries.set(queries.get() + 1);
+            match self.model.try_predict(&perturbed.block) {
+                // Open ε-ball: with quantized cost models (the crude
+                // model moves in exact quarter-cycle steps) an
+                // inclusive bound would admit genuinely changed
+                // predictions.
+                Ok(cost) => {
+                    candidate.est.update((cost - prediction).abs() < self.config.epsilon)
+                }
+                Err(_) => faults.set(faults.get() + 1),
+            }
         };
 
         let threshold = self.config.threshold();
         let mut beam: Vec<Candidate> = Vec::new();
         let mut best_overall: Option<(FeatureSet, f64)> = None;
+        // Outcome of the beam search: (features, precision, anchored).
+        let mut outcome: Option<(FeatureSet, f64, bool)> = None;
         let budget_left = |queries: &Cell<u64>| queries.get() < self.config.max_total_queries;
 
         'levels: for level in 1..=self.config.max_features {
@@ -232,11 +323,7 @@ impl<M: CostModel> Explainer<M> {
                 let beta = exploration_beta(round, candidates.len(), self.config.confidence);
                 let mut order: Vec<usize> = (0..candidates.len()).collect();
                 order.sort_by(|&a, &b| {
-                    candidates[b]
-                        .est
-                        .mean()
-                        .partial_cmp(&candidates[a].est.mean())
-                        .expect("non-NaN means")
+                    candidates[b].est.mean().total_cmp(&candidates[a].est.mean())
                 });
                 let in_top = &order[..k];
                 let out_top = &order[k..];
@@ -244,19 +331,13 @@ impl<M: CostModel> Explainer<M> {
                     .iter()
                     .copied()
                     .min_by(|&a, &b| {
-                        candidates[a]
-                            .est
-                            .lcb(beta)
-                            .partial_cmp(&candidates[b].est.lcb(beta))
-                            .expect("non-NaN bounds")
+                        candidates[a].est.lcb(beta).total_cmp(&candidates[b].est.lcb(beta))
                     })
+                    // Invariant: `k >= 1` because `candidates` is
+                    // non-empty, so the top set is never empty.
                     .expect("non-empty top set");
                 let strongest_out = out_top.iter().copied().max_by(|&a, &b| {
-                    candidates[a]
-                        .est
-                        .ucb(beta)
-                        .partial_cmp(&candidates[b].est.ucb(beta))
-                        .expect("non-NaN bounds")
+                    candidates[a].est.ucb(beta).total_cmp(&candidates[b].est.ucb(beta))
                 });
                 let gap = match strongest_out {
                     Some(v) => {
@@ -337,7 +418,8 @@ impl<M: CostModel> Explainer<M> {
                         let cov = coverage_of(&c.features);
                         (c, cov)
                     })
-                    .max_by(|(_, ca), (_, cb)| ca.partial_cmp(cb).expect("non-NaN coverage"))
+                    .max_by(|(_, ca), (_, cb)| ca.total_cmp(cb))
+                    // Invariant: guarded by `!anchors.is_empty()`.
                     .expect("non-empty anchors");
                 // Greedy minimization: borderline singletons can miss
                 // their own level by sampling noise, leaving a redundant
@@ -380,25 +462,14 @@ impl<M: CostModel> Explainer<M> {
                         }
                     }
                 }
-                let coverage = coverage_of(&features);
-                return Explanation {
-                    features,
-                    precision,
-                    coverage,
-                    prediction,
-                    anchored: true,
-                    queries: queries.get(),
-                };
+                outcome = Some((features, precision, true));
+                break 'levels;
             }
 
             // No anchor yet: carry the beam to the next level.
             let mut order: Vec<usize> = (0..candidates.len()).collect();
             order.sort_by(|&a, &b| {
-                candidates[b]
-                    .est
-                    .mean()
-                    .partial_cmp(&candidates[a].est.mean())
-                    .expect("non-NaN means")
+                candidates[b].est.mean().total_cmp(&candidates[a].est.mean())
             });
             order.truncate(self.config.beam_width);
             let mut next_beam = Vec::new();
@@ -411,16 +482,33 @@ impl<M: CostModel> Explainer<M> {
             beam = next_beam;
         }
 
-        // Nothing reached the threshold: report the best effort.
-        let (features, precision) =
-            best_overall.expect("at least one candidate was evaluated");
+        // Either an anchor was found, or we report the best effort.
+        let (features, precision, anchored) = match outcome {
+            Some(found) => found,
+            // Invariant: level 1 always has candidates (`all_features`
+            // is non-empty), and both exits of the level loop record
+            // every level-1 candidate into `best_overall` first.
+            None => {
+                let (features, precision) =
+                    best_overall.expect("at least one candidate was evaluated");
+                (features, precision, false)
+            }
+        };
         let coverage = coverage_of(&features);
-        Explanation { features, precision, coverage, prediction, anchored: false, queries: queries.get() }
-    }
-
-    fn predict_counted(&self, block: &BasicBlock, queries: &Cell<u64>) -> f64 {
-        queries.set(queries.get() + 1);
-        self.model.predict(block)
+        let resilience_after = self.model.resilience().unwrap_or_default();
+        let retries = resilience_after.retries.saturating_sub(resilience_before.retries);
+        let degraded = faults.get() > 0 || resilience_after.degraded;
+        Ok(Explanation {
+            features,
+            precision,
+            coverage,
+            prediction,
+            anchored,
+            queries: queries.get(),
+            faults: faults.get(),
+            retries,
+            degraded,
+        })
     }
 }
 
@@ -428,6 +516,7 @@ impl<M: CostModel> Explainer<M> {
 mod tests {
     use super::*;
     use comet_isa::parse_block;
+    use comet_models::{FaultConfig, FaultyModel};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -468,7 +557,7 @@ mod tests {
         let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx\nimul r9, r10").unwrap();
         let explainer = Explainer::new(LengthModel, ExplainConfig::for_crude_model());
         let mut rng = StdRng::seed_from_u64(0);
-        let explanation = explainer.explain(&block, &mut rng);
+        let explanation = explainer.explain(&block, &mut rng).unwrap();
         assert!(explanation.anchored);
         assert_eq!(
             explanation.features.iter().copied().collect::<Vec<_>>(),
@@ -478,6 +567,8 @@ mod tests {
         );
         assert!(explanation.precision >= 0.7);
         assert!(explanation.coverage > 0.0);
+        assert_eq!(explanation.faults, 0);
+        assert!(!explanation.degraded);
     }
 
     #[test]
@@ -486,7 +577,7 @@ mod tests {
             parse_block("mov ecx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nimul rax, rcx").unwrap();
         let explainer = Explainer::new(DivModel, ExplainConfig::for_crude_model());
         let mut rng = StdRng::seed_from_u64(1);
-        let explanation = explainer.explain(&block, &mut rng);
+        let explanation = explainer.explain(&block, &mut rng).unwrap();
         assert!(explanation.anchored);
         assert_eq!(
             explanation.features.iter().copied().collect::<Vec<_>>(),
@@ -501,7 +592,7 @@ mod tests {
         let block = parse_block("add rcx, rax\nmov rdx, rcx").unwrap();
         let explainer = Explainer::new(LengthModel, ExplainConfig::for_crude_model());
         let mut rng = StdRng::seed_from_u64(2);
-        let explanation = explainer.explain(&block, &mut rng);
+        let explanation = explainer.explain(&block, &mut rng).unwrap();
         assert!(explanation.queries > 10);
     }
 
@@ -509,9 +600,94 @@ mod tests {
     fn explanation_is_reproducible_per_seed() {
         let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx").unwrap();
         let explainer = Explainer::new(LengthModel, ExplainConfig::for_crude_model());
-        let a = explainer.explain(&block, &mut StdRng::seed_from_u64(3));
-        let b = explainer.explain(&block, &mut StdRng::seed_from_u64(3));
+        let a = explainer.explain(&block, &mut StdRng::seed_from_u64(3)).unwrap();
+        let b = explainer.explain(&block, &mut StdRng::seed_from_u64(3)).unwrap();
         assert_eq!(a.features, b.features);
         assert_eq!(a.precision, b.precision);
+    }
+
+    #[test]
+    fn model_failure_on_the_original_block_is_typed() {
+        struct AlwaysNan;
+        impl CostModel for AlwaysNan {
+            fn name(&self) -> &str {
+                "always-nan"
+            }
+            fn predict(&self, _: &BasicBlock) -> f64 {
+                f64::NAN
+            }
+        }
+        let block = parse_block("add rcx, rax\nmov rdx, rcx").unwrap();
+        let explainer = Explainer::new(AlwaysNan, ExplainConfig::for_crude_model());
+        let mut rng = StdRng::seed_from_u64(0);
+        match explainer.explain(&block, &mut rng) {
+            Err(ExplainError::Model(ModelError::NonFinite { .. })) => {}
+            other => panic!("expected a NonFinite model error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulting_samples_degrade_but_do_not_fail() {
+        // The original block predicts fine (seeded schedule: first
+        // query healthy with overwhelming probability is not assumed —
+        // we retry seeds until the initial prediction succeeds).
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx").unwrap();
+        let config = ExplainConfig {
+            coverage_samples: 100,
+            max_samples: 60,
+            max_total_queries: 1_500,
+            ..ExplainConfig::for_crude_model()
+        };
+        let mut explained = false;
+        for seed in 0..10u64 {
+            let faulty = FaultyModel::new(
+                LengthModel,
+                FaultConfig { nan_rate: 0.1, transient_rate: 0.1, seed, ..Default::default() },
+            );
+            let explainer = Explainer::new(faulty, config);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match explainer.explain(&block, &mut rng) {
+                Ok(e) => {
+                    assert!(e.queries <= config.max_total_queries);
+                    if e.faults > 0 {
+                        assert!(e.degraded);
+                        explained = true;
+                    }
+                }
+                Err(ExplainError::Model(_)) => {} // initial query faulted
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert!(explained, "no seed produced a degraded-but-successful explanation");
+    }
+
+    #[test]
+    fn budget_is_a_hard_cap_even_when_every_sample_faults() {
+        struct HealthyOnceThenFail(Cell<bool>);
+        impl CostModel for HealthyOnceThenFail {
+            fn name(&self) -> &str {
+                "healthy-once"
+            }
+            fn predict(&self, _: &BasicBlock) -> f64 {
+                if self.0.replace(true) {
+                    f64::NAN
+                } else {
+                    1.0
+                }
+            }
+        }
+        let block = parse_block("add rcx, rax\nmov rdx, rcx").unwrap();
+        let config = ExplainConfig {
+            coverage_samples: 50,
+            max_total_queries: 500,
+            ..ExplainConfig::for_crude_model()
+        };
+        let explainer = Explainer::new(HealthyOnceThenFail(Cell::new(false)), config);
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = explainer.explain(&block, &mut rng).unwrap();
+        assert!(e.queries <= 500);
+        assert_eq!(e.faults, e.queries - 1);
+        assert!(e.degraded);
+        assert!(!e.anchored);
     }
 }

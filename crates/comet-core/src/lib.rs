@@ -19,6 +19,16 @@
 //! 4. runs an Anchors-style beam search for the max-coverage set whose
 //!    precision exceeds `1 - δ` ([`Explainer`]).
 //!
+//! The model is an untrusted black box: [`Explainer::explain`] queries
+//! it only through the fallible [`CostModel::try_predict`] entry point
+//! and returns `Result<Explanation, ExplainError>` — failures on
+//! individual perturbed samples are tolerated (counted in
+//! [`Explanation::faults`] and flagged via [`Explanation::degraded`]),
+//! while failures on the explained block itself become
+//! [`ExplainError::Model`].
+//!
+//! [`CostModel::try_predict`]: comet_models::CostModel::try_predict
+//!
 //! # Examples
 //!
 //! ```
@@ -27,11 +37,11 @@
 //! use comet_isa::Microarch;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! # fn main() -> Result<(), comet_isa::IsaError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let block = comet_isa::parse_block("add rcx, rax\nmov rdx, rcx\npop rbx")?;
 //! let model = CrudeModel::new(Microarch::Haswell);
 //! let explainer = Explainer::new(model, ExplainConfig::for_crude_model());
-//! let explanation = explainer.explain(&block, &mut StdRng::seed_from_u64(0));
+//! let explanation = explainer.explain(&block, &mut StdRng::seed_from_u64(0))?;
 //! println!("{} explains the prediction", explanation.display_features());
 //! # Ok(())
 //! # }
@@ -49,6 +59,6 @@ pub mod space;
 
 pub use baselines::{ground_truth, is_accurate, BaselineContext};
 pub use compare::{compare_models, BlockComparison, ComparisonReport};
-pub use explain::{ExplainConfig, Explainer, Explanation};
+pub use explain::{ExplainConfig, ExplainError, Explainer, Explanation};
 pub use feature::{extract_features, format_feature_set, Feature, FeatureKind, FeatureSet};
 pub use perturb::{PerturbConfig, PerturbedBlock, Perturber, ReplacementScheme};

@@ -194,6 +194,8 @@ impl<'a> Perturber<'a> {
                 insts[i] = None;
                 continue;
             }
+            // Invariant: the delete branch above `continue`s, so slot
+            // `i` still holds its instruction here.
             let inst = insts[i].as_mut().expect("vertex not yet deleted");
             let candidates = opcode_replacements(inst);
             if let Some(&new_opcode) = candidates.choose(rng) {
@@ -203,6 +205,7 @@ impl<'a> Perturber<'a> {
             // Under the whole-instruction scheme, operand renames are
             // part of instruction perturbation as well.
             if self.config.scheme == ReplacementScheme::WholeInstruction && rng.gen_bool(0.5) {
+                // Invariant: same slot as `inst` above — still occupied.
                 if rename_random_operand(insts[i].as_mut().unwrap(), i, &protected_regs, rng) {
                     operands_changed[i] = true;
                 }
@@ -241,6 +244,9 @@ impl<'a> Perturber<'a> {
             operands_changed[0] = false;
         }
         let new_len = kept.len();
+        // Invariant: `kept` is non-empty (backfilled above) and every
+        // instruction came from a valid block, possibly with operands
+        // renamed within their register class — still well-formed.
         let block = BasicBlock::new(kept).expect("perturbation produced an invalid block");
         let new_graph = BlockGraph::build(&block);
 
@@ -329,6 +335,8 @@ impl<'a> Perturber<'a> {
             .collect();
         let fresh: Vec<Register> =
             candidates.iter().copied().filter(|r| !used.contains(r)).collect();
+        // Invariant: both register classes have ≥ 15 members besides
+        // `full` and the stack pointer, so `candidates` is never empty.
         *fresh
             .choose(rng)
             .or_else(|| candidates.choose(rng))

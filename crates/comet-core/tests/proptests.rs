@@ -2,12 +2,12 @@
 
 use comet_bhive::{generate_source_block, GenConfig, Source};
 use comet_core::{
-    extract_features, ground_truth, is_accurate, precision, Feature, FeatureSet, PerturbConfig,
-    Perturber,
+    extract_features, ground_truth, is_accurate, precision, ExplainConfig, ExplainError,
+    Explainer, Feature, FeatureSet, PerturbConfig, Perturber,
 };
 use comet_graph::BlockGraph;
 use comet_isa::{BasicBlock, Microarch};
-use comet_models::{CostModel, CrudeModel};
+use comet_models::{CostModel, CrudeModel, FaultConfig, FaultyModel};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -140,5 +140,48 @@ proptest! {
         preserve.insert(feature);
         let pinned = comet_core::space::estimate_space(&block, &preserve);
         prop_assert!(pinned <= empty + 1e-9, "{feature}: {pinned} > {empty}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Robustness contract: explaining through a misbehaving model
+    /// never panics, never exceeds the query budget, and either yields
+    /// a well-formed (possibly degraded) explanation or a typed model
+    /// error from the initial prediction.
+    #[test]
+    fn explain_tolerates_fault_injection(block in arb_block(), seed in any::<u64>()) {
+        let faulty = FaultyModel::new(
+            CrudeModel::new(Microarch::Haswell),
+            FaultConfig {
+                nan_rate: 0.05,
+                transient_rate: 0.05,
+                panic_rate: 0.05,
+                seed,
+                ..Default::default()
+            },
+        );
+        let config = ExplainConfig {
+            coverage_samples: 50,
+            max_samples: 40,
+            max_total_queries: 600,
+            ..ExplainConfig::for_crude_model()
+        };
+        let explainer = Explainer::new(faulty, config);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        match explainer.explain(&block, &mut rng) {
+            Ok(e) => {
+                prop_assert!(e.queries <= config.max_total_queries, "budget blown: {}", e.queries);
+                prop_assert!(!e.features.is_empty());
+                prop_assert!((0.0..=1.0).contains(&e.precision));
+                prop_assert!((0.0..=1.0).contains(&e.coverage));
+                prop_assert!(e.faults == 0 || e.degraded, "faults without degraded flag");
+                prop_assert_eq!(e.faults, explainer.model().stats().total_faults());
+            }
+            // The model faulted on the original block itself: a typed
+            // error, not a panic, is the contract.
+            Err(err) => prop_assert!(matches!(err, ExplainError::Model(_)), "unexpected: {err:?}"),
+        }
     }
 }

@@ -35,11 +35,13 @@ fn run_config(s: &AblationSetup<'_>, config: ExplainConfig) -> ((f64, f64), f64)
     let mut accs = Vec::new();
     let mut precisions = Vec::new();
     for seed in 0..s.seeds {
-        let explanations = explain_blocks(&s.crude, &s.blocks, config, 1000 + seed);
-        precisions
-            .push(explanations.iter().map(|e| e.precision).sum::<f64>() / explanations.len() as f64);
-        let sets: Vec<FeatureSet> = explanations.into_iter().map(|e| e.features).collect();
-        accs.push(accuracy_pct(&sets, &s.gts));
+        let survivors = explain_blocks(&s.crude, &s.blocks, config, 1000 + seed);
+        let n = survivors.len().max(1) as f64;
+        precisions.push(survivors.iter().map(|(_, e)| e.precision).sum::<f64>() / n);
+        let kept_gts: Vec<FeatureSet> =
+            survivors.iter().map(|&(i, _)| s.gts[i].clone()).collect();
+        let sets: Vec<FeatureSet> = survivors.into_iter().map(|(_, e)| e.features).collect();
+        accs.push(accuracy_pct(&sets, &kept_gts));
     }
     (mean_std(&accs), precisions.iter().sum::<f64>() / precisions.len() as f64)
 }

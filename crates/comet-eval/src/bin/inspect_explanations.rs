@@ -21,11 +21,13 @@ fn main() {
     for (i, entry) in corpus.iter().enumerate() {
         let gt = ground_truth(&crude, &entry.block);
         let mut rng = StdRng::seed_from_u64(i as u64);
-        let e = explainer.explain(&entry.block, &mut rng);
         println!("=== block {i} (C = {:.2})", crude.predict(&entry.block));
         println!("{}", entry.block);
         println!("GT       : {}", format_feature_set(&gt));
-        println!("COMET    : {} (prec {:.2}, anchored {}, cov {:.2})", e.display_features(), e.precision, e.anchored, e.coverage);
+        match explainer.explain(&entry.block, &mut rng) {
+            Ok(e) => println!("COMET    : {} (prec {:.2}, anchored {}, cov {:.2})", e.display_features(), e.precision, e.anchored, e.coverage),
+            Err(error) => println!("COMET    : failed ({error})"),
+        }
         println!();
     }
 }

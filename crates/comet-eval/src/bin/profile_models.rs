@@ -38,7 +38,7 @@ fn main() {
         let explainer = Explainer::new(&cached, config);
         let t = Instant::now();
         let mut rng = StdRng::seed_from_u64(0);
-        let e = explainer.explain(block, &mut rng);
+        let e = explainer.explain(block, &mut rng).expect("surrogate models predict finite costs");
         let stats = cached.stats();
         println!("{name} explain: {:?}, queries {} (cache hits {})", t.elapsed(), e.queries, stats.hits);
     }

@@ -1,9 +1,11 @@
 //! Shared experiment machinery plus the paper's Table 2 and Table 3.
 
+use std::fmt;
+
 use comet_bhive::BhiveBlock;
 use comet_core::{
-    ground_truth, is_accurate, BaselineContext, ExplainConfig, Explainer, Explanation,
-    FeatureSet,
+    ground_truth, is_accurate, BaselineContext, ExplainConfig, ExplainError, Explainer,
+    Explanation, FeatureSet,
 };
 use comet_isa::{BasicBlock, Microarch};
 use comet_models::{mean_std, CachedModel, CostModel, CrudeModel};
@@ -11,21 +13,77 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::context::EvalContext;
-use crate::par::par_map;
+use crate::par::{par_map, ParPanic};
 use crate::report::{pm, Table};
 
-/// Explain every block in parallel with deterministic per-block seeds.
-pub fn explain_blocks<M: CostModel + Sync>(
+/// Why one block's explanation failed.
+#[derive(Debug)]
+pub enum BlockFailure {
+    /// The explainer returned a typed error.
+    Explain(ExplainError),
+    /// The worker thread panicked (caught per-item by `par_map`).
+    Panic(ParPanic),
+}
+
+impl fmt::Display for BlockFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockFailure::Explain(e) => write!(f, "{e}"),
+            BlockFailure::Panic(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlockFailure::Explain(e) => Some(e),
+            BlockFailure::Panic(p) => Some(p),
+        }
+    }
+}
+
+/// Explain every block in parallel with deterministic per-block seeds,
+/// returning one outcome per input block (order preserved). Neither a
+/// typed explainer error nor a worker panic aborts the batch.
+pub fn try_explain_blocks<M: CostModel + Sync>(
     model: &M,
     blocks: &[&BasicBlock],
     config: ExplainConfig,
     seed: u64,
-) -> Vec<Explanation> {
+) -> Vec<Result<Explanation, BlockFailure>> {
     let explainer = Explainer::new(model, config);
     par_map(blocks, |i, block| {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64));
         explainer.explain(block, &mut rng)
     })
+    .into_iter()
+    .map(|slot| match slot {
+        Ok(Ok(explanation)) => Ok(explanation),
+        Ok(Err(error)) => Err(BlockFailure::Explain(error)),
+        Err(panic) => Err(BlockFailure::Panic(panic)),
+    })
+    .collect()
+}
+
+/// Skip-and-report harness entry point: failed blocks are reported on
+/// stderr and dropped, and each surviving explanation is paired with
+/// its original block index so callers can keep per-block metadata
+/// (e.g. ground truths) aligned.
+pub fn explain_blocks<M: CostModel + Sync>(
+    model: &M,
+    blocks: &[&BasicBlock],
+    config: ExplainConfig,
+    seed: u64,
+) -> Vec<(usize, Explanation)> {
+    let mut kept = Vec::with_capacity(blocks.len());
+    for (i, outcome) in try_explain_blocks(model, blocks, config, seed).into_iter().enumerate() {
+        match outcome {
+            Ok(explanation) => kept.push((i, explanation)),
+            Err(failure) => eprintln!("warning: skipping block {i}: {failure}"),
+        }
+    }
+    kept
 }
 
 /// The explanation config used for the crude-model experiments at the
@@ -74,9 +132,10 @@ fn table2_column(ctx: &EvalContext, march: Microarch) -> Table2Column {
     let mut comet_accs = Vec::new();
     let mut random_accs = Vec::new();
     for seed in 0..ctx.scale.seeds as u64 {
-        let explanations = explain_blocks(&crude, &blocks, crude_config(ctx), seed + 1);
-        let sets: Vec<FeatureSet> = explanations.into_iter().map(|e| e.features).collect();
-        comet_accs.push(accuracy_pct(&sets, &gts));
+        let survivors = explain_blocks(&crude, &blocks, crude_config(ctx), seed + 1);
+        let kept_gts: Vec<FeatureSet> = survivors.iter().map(|&(i, _)| gts[i].clone()).collect();
+        let sets: Vec<FeatureSet> = survivors.into_iter().map(|(_, e)| e.features).collect();
+        comet_accs.push(accuracy_pct(&sets, &kept_gts));
 
         let mut rng = StdRng::seed_from_u64(seed + 1);
         let random_sets: Vec<FeatureSet> =
@@ -131,10 +190,9 @@ fn precision_coverage<M: CostModel + Sync>(
     for seed in 0..ctx.scale.seeds as u64 {
         let cached = CachedModel::new(model);
         let explanations = explain_blocks(&cached, &blocks, model_config(ctx), seed + 11);
-        let p: f64 =
-            explanations.iter().map(|e| e.precision).sum::<f64>() / explanations.len() as f64;
-        let c: f64 =
-            explanations.iter().map(|e| e.coverage).sum::<f64>() / explanations.len() as f64;
+        let n = explanations.len().max(1) as f64;
+        let p: f64 = explanations.iter().map(|(_, e)| e.precision).sum::<f64>() / n;
+        let c: f64 = explanations.iter().map(|(_, e)| e.coverage).sum::<f64>() / n;
         precisions.push(p);
         coverages.push(c);
     }
@@ -220,8 +278,46 @@ mod tests {
         let a = explain_blocks(&crude, &refs, config, 7);
         let b = explain_blocks(&crude, &refs, config, 7);
         assert_eq!(a.len(), 2);
-        assert_eq!(a[0].features, b[0].features);
-        assert_eq!(a[1].features, b[1].features);
+        assert_eq!((a[0].0, a[1].0), (0, 1));
+        assert_eq!(a[0].1.features, b[0].1.features);
+        assert_eq!(a[1].1.features, b[1].1.features);
+    }
+
+    #[test]
+    fn failed_blocks_are_skipped_not_fatal() {
+        struct NanOnDiv;
+        impl CostModel for NanOnDiv {
+            fn name(&self) -> &str {
+                "nan-on-div"
+            }
+            fn predict(&self, block: &BasicBlock) -> f64 {
+                if block.iter().any(|i| i.opcode == comet_isa::Opcode::Div) {
+                    f64::NAN
+                } else {
+                    block.len() as f64
+                }
+            }
+        }
+        let blocks = [
+            comet_isa::parse_block("add rcx, rax\nmov rdx, rcx").unwrap(),
+            comet_isa::parse_block("div rcx\nmov rbx, 1").unwrap(),
+        ];
+        let refs: Vec<&comet_isa::BasicBlock> = blocks.iter().collect();
+        // Block 1 contains the div, so its *initial* prediction is NaN
+        // and the explainer fails it with a typed error; block 0 is
+        // unaffected.
+        let config = ExplainConfig {
+            coverage_samples: 100,
+            max_samples: 80,
+            ..ExplainConfig::for_crude_model()
+        };
+        let outcomes = try_explain_blocks(&NanOnDiv, &refs, config, 7);
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].is_ok());
+        assert!(matches!(outcomes[1], Err(BlockFailure::Explain(ExplainError::Model(_)))));
+        let survivors = explain_blocks(&NanOnDiv, &refs, config, 7);
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].0, 0);
     }
 
     #[test]

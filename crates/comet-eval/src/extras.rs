@@ -73,12 +73,18 @@ pub fn run_case_studies(ctx: &EvalContext) -> Table {
             let prediction = cached.predict(&block);
             let explainer = Explainer::new(&cached, config);
             let mut rng = StdRng::seed_from_u64(0xCA5E + index as u64);
-            let explanation = explainer.explain(&block, &mut rng);
+            let rendered = match explainer.explain(&block, &mut rng) {
+                Ok(explanation) => explanation.display_features(),
+                Err(error) => {
+                    eprintln!("warning: case study {case} ({label}) failed: {error}");
+                    format!("(unavailable: {error})")
+                }
+            };
             table.push_row(vec![
                 case.into(),
                 label.into(),
                 format!("{prediction:.2}"),
-                explanation.display_features(),
+                rendered,
             ]);
         }
     }

@@ -65,7 +65,10 @@ pub fn evaluate_partition(
     for (label, model) in models {
         let mape = partition_mape(&model, blocks, march);
         let cached = CachedModel::new(model);
-        let explanations = explain_blocks(&cached, &plain, model_config(ctx), seed);
+        let explanations: Vec<Explanation> = explain_blocks(&cached, &plain, model_config(ctx), seed)
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
         results.push(PartitionResult {
             model: label.to_string(),
             mape,
@@ -184,6 +187,9 @@ mod tests {
             prediction: 1.0,
             anchored: true,
             queries: 1,
+            faults: 0,
+            retries: 0,
+            degraded: false,
         }
     }
 

@@ -13,6 +13,13 @@
 //! * [`HardwareOracle`] — the detailed simulator standing in for real
 //!   Haswell/Skylake silicon.
 //!
+//! Because the explainer treats models as untrusted black boxes, the
+//! crate also provides a fault-tolerance layer: a [`ModelError`]
+//! taxonomy with the fallible [`CostModel::try_predict`] entry point,
+//! the [`ResilientModel`] decorator (retries, circuit breaker,
+//! fallback degradation), and the [`FaultyModel`] seeded
+//! fault-injection wrapper for robustness testing.
+//!
 //! # Examples
 //!
 //! ```
@@ -31,16 +38,22 @@
 
 mod baseline;
 mod crude;
+mod error;
+mod faulty;
 mod ithemal;
 mod metrics;
+mod resilient;
 mod simulated;
 mod tokenize;
 mod traits;
 
 pub use baseline::{coarse_baseline, CoarseBaselineModel};
 pub use crude::CrudeModel;
+pub use error::{catch_prediction, panic_payload_message, ModelError};
+pub use faulty::{FaultConfig, FaultStats, FaultyModel};
 pub use ithemal::{IthemalConfig, IthemalSurrogate};
 pub use metrics::{mape, mean_std};
+pub use resilient::{NoFallback, ResilienceReport, ResilientConfig, ResilientModel};
 pub use simulated::{HardwareOracle, UicaSurrogate};
-pub use tokenize::{Vocab, IMM, MEM_CLOSE, MEM_OPEN};
+pub use tokenize::{Vocab, IMM, MEM_CLOSE, MEM_OPEN, UNK};
 pub use traits::{CachedModel, CostModel, QueryStats};

@@ -1,0 +1,515 @@
+//! A resilience decorator for cost models: bounded retries with
+//! deterministic seeded backoff, a consecutive-failure circuit breaker,
+//! and graceful degradation to a fallback model.
+//!
+//! The ROADMAP's production target is a service answering millions of
+//! explanation queries; at that scale a model backend *will* emit NaNs,
+//! panic, or stall. [`ResilientModel`] keeps a query pipeline alive
+//! through all of that:
+//!
+//! * retryable failures ([`ModelError::is_retryable`]) are retried up
+//!   to [`ResilientConfig::max_retries`] times with exponential,
+//!   seeded-jitter backoff (deterministic for a given seed, so eval
+//!   runs stay reproducible);
+//! * after [`ResilientConfig::breaker_threshold`] *consecutive* failed
+//!   queries the breaker opens and queries are served by the fallback
+//!   model (e.g. [`CoarseBaselineModel`](crate::CoarseBaselineModel))
+//!   — degraded but alive;
+//! * while open, every [`ResilientConfig::probe_interval`]-th query
+//!   probes the inner model (half-open state); one success closes the
+//!   breaker again;
+//! * every decision is counted in a [`ResilienceReport`] so callers
+//!   (and [`Explanation`](../../comet_core/struct.Explanation.html)
+//!   diagnostics) can see how degraded a run was.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use comet_isa::BasicBlock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::ModelError;
+use crate::traits::CostModel;
+
+/// Retry/circuit-breaker parameters for [`ResilientModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilientConfig {
+    /// Maximum retries per query for retryable failures (the first
+    /// attempt is not a retry).
+    pub max_retries: u32,
+    /// Consecutive failed queries (after retries) that trip the
+    /// circuit breaker.
+    pub breaker_threshold: u32,
+    /// Base backoff delay; attempt `k` waits `base * 2^(k-1)` scaled by
+    /// a seeded jitter in `[0.5, 1.5)`. `Duration::ZERO` disables
+    /// sleeping (useful in tests and tight eval loops).
+    pub backoff_base: Duration,
+    /// While the breaker is open, probe the inner model once every this
+    /// many queries (half-open state). A successful probe closes the
+    /// breaker.
+    pub probe_interval: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> ResilientConfig {
+        ResilientConfig {
+            max_retries: 2,
+            breaker_threshold: 5,
+            backoff_base: Duration::from_millis(1),
+            probe_interval: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// Failure counters tracked by [`ResilientModel`], also surfaced
+/// through [`CostModel::resilience`] for explanation diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Total queries received by the decorator.
+    pub queries: u64,
+    /// Individual failed attempts observed from the inner model
+    /// (each retry that fails counts again).
+    pub failures: u64,
+    /// Retries performed.
+    pub retries: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Queries answered by the fallback model.
+    pub fallback_queries: u64,
+    /// Whether the breaker is currently open (the model is degraded).
+    pub degraded: bool,
+}
+
+/// Placeholder fallback for [`ResilientModel::new`]: a breaker trip
+/// with this fallback yields [`ModelError::CircuitOpen`] instead of a
+/// degraded prediction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFallback;
+
+impl CostModel for NoFallback {
+    fn name(&self) -> &str {
+        "no-fallback"
+    }
+
+    fn predict(&self, _block: &BasicBlock) -> f64 {
+        f64::NAN
+    }
+
+    fn try_predict(&self, _block: &BasicBlock) -> Result<f64, ModelError> {
+        Err(ModelError::CircuitOpen)
+    }
+}
+
+#[derive(Debug)]
+struct ResilientState {
+    rng: StdRng,
+    consecutive_failures: u32,
+    open: bool,
+    queries_while_open: u64,
+    report: ResilienceReport,
+}
+
+/// The resilience decorator. See the [module docs](self) for the
+/// retry/breaker/fallback semantics.
+#[derive(Debug)]
+pub struct ResilientModel<M, F = NoFallback> {
+    inner: M,
+    fallback: Option<F>,
+    config: ResilientConfig,
+    state: Mutex<ResilientState>,
+}
+
+/// How a query should be routed, decided under the state lock.
+enum Route {
+    /// Breaker closed: query the inner model normally.
+    Inner,
+    /// Breaker open, probe due: try the inner model once.
+    Probe,
+    /// Breaker open: go straight to the fallback.
+    Fallback,
+}
+
+impl<M: CostModel> ResilientModel<M, NoFallback> {
+    /// Wrap a model with retries and a circuit breaker but no fallback:
+    /// once the breaker opens, queries fail fast with
+    /// [`ModelError::CircuitOpen`] (modulo half-open probes).
+    pub fn new(inner: M, config: ResilientConfig) -> ResilientModel<M, NoFallback> {
+        ResilientModel::build(inner, None, config)
+    }
+}
+
+impl<M: CostModel, F: CostModel> ResilientModel<M, F> {
+    /// Wrap a model with retries, a circuit breaker, and a fallback
+    /// model that serves queries while the breaker is open.
+    pub fn with_fallback(inner: M, fallback: F, config: ResilientConfig) -> ResilientModel<M, F> {
+        ResilientModel::build(inner, Some(fallback), config)
+    }
+
+    fn build(inner: M, fallback: Option<F>, config: ResilientConfig) -> ResilientModel<M, F> {
+        ResilientModel {
+            inner,
+            fallback,
+            config,
+            state: Mutex::new(ResilientState {
+                rng: StdRng::seed_from_u64(config.seed),
+                consecutive_failures: 0,
+                open: false,
+                queries_while_open: 0,
+                report: ResilienceReport::default(),
+            }),
+        }
+    }
+
+    /// The wrapped (primary) model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// A snapshot of the failure counters.
+    pub fn report(&self) -> ResilienceReport {
+        let st = self.state();
+        let mut report = st.report;
+        report.degraded = st.open;
+        report
+    }
+
+    /// Whether the circuit breaker is currently open.
+    pub fn breaker_open(&self) -> bool {
+        self.state().open
+    }
+
+    /// The state mutex cannot be poisoned by *this* module (no user
+    /// code runs while it is held), but a fallback or probe panic
+    /// elsewhere must not wedge the decorator — recover the guard.
+    fn state(&self) -> std::sync::MutexGuard<'_, ResilientState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Route a new query, updating breaker bookkeeping.
+    fn route(&self) -> Route {
+        let mut st = self.state();
+        st.report.queries += 1;
+        if !st.open {
+            return Route::Inner;
+        }
+        st.queries_while_open += 1;
+        if self.config.probe_interval > 0 && st.queries_while_open % self.config.probe_interval == 0
+        {
+            Route::Probe
+        } else {
+            Route::Fallback
+        }
+    }
+
+    /// Seeded exponential backoff with jitter for retry `attempt`
+    /// (1-based). Deterministic for a given config seed.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let jitter: f64 = {
+            let mut st = self.state();
+            0.5 + st.rng.gen::<f64>()
+        };
+        let exp = 2u32.saturating_pow(attempt.saturating_sub(1));
+        self.config.backoff_base.mul_f64(exp as f64 * jitter)
+    }
+
+    /// Answer from the fallback model (breaker open), or fail fast.
+    fn fallback_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+        match &self.fallback {
+            Some(fallback) => {
+                self.state().report.fallback_queries += 1;
+                fallback.try_predict(block)
+            }
+            None => Err(ModelError::CircuitOpen),
+        }
+    }
+
+    /// One successful inner prediction: reset failure tracking and
+    /// close the breaker if it was open (successful probe).
+    fn record_success(&self) {
+        let mut st = self.state();
+        st.consecutive_failures = 0;
+        if st.open {
+            st.open = false;
+            st.queries_while_open = 0;
+        }
+    }
+
+    /// One *query-level* failure (retries exhausted or non-retryable):
+    /// advance the breaker. Returns whether the breaker is now open.
+    fn record_failure(&self) -> bool {
+        let mut st = self.state();
+        st.consecutive_failures = st.consecutive_failures.saturating_add(1);
+        if !st.open && st.consecutive_failures >= self.config.breaker_threshold {
+            st.open = true;
+            st.queries_while_open = 0;
+            st.report.breaker_trips += 1;
+        }
+        st.open
+    }
+
+    /// Query the inner model with bounded retries and seeded backoff.
+    fn query_inner(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.inner.try_predict(block) {
+                Ok(value) => {
+                    self.record_success();
+                    return Ok(value);
+                }
+                Err(error) => {
+                    self.state().report.failures += 1;
+                    if error.is_retryable() && attempt < self.config.max_retries {
+                        attempt += 1;
+                        self.state().report.retries += 1;
+                        let delay = self.backoff(attempt);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        continue;
+                    }
+                    let error = if attempt > 0 {
+                        ModelError::BudgetExhausted {
+                            attempts: attempt + 1,
+                            last: Box::new(error),
+                        }
+                    } else {
+                        error
+                    };
+                    let now_open = self.record_failure();
+                    return if now_open {
+                        // Degrade this very query: the caller gets an
+                        // answer, not an error, when a fallback exists.
+                        self.fallback_predict(block).map_err(|_| error)
+                    } else {
+                        Err(error)
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl<M: CostModel, F: CostModel> CostModel for ResilientModel<M, F> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// Infallible view: failures surface as NaN (callers wanting the
+    /// error should use [`try_predict`](CostModel::try_predict)).
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        self.try_predict(block).unwrap_or(f64::NAN)
+    }
+
+    fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+        match self.route() {
+            Route::Inner | Route::Probe => self.query_inner(block),
+            Route::Fallback => self.fallback_predict(block),
+        }
+    }
+
+    fn resilience(&self) -> Option<ResilienceReport> {
+        Some(self.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn test_config() -> ResilientConfig {
+        ResilientConfig { backoff_base: Duration::ZERO, ..ResilientConfig::default() }
+    }
+
+    fn block() -> BasicBlock {
+        comet_isa::parse_block("add rcx, rax\nmov rdx, rcx").unwrap()
+    }
+
+    /// Fails with a transient error for the first `failures` calls,
+    /// then answers 2.0.
+    struct FlakyModel {
+        calls: AtomicU64,
+        failures: u64,
+    }
+
+    impl CostModel for FlakyModel {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+
+        fn predict(&self, block: &BasicBlock) -> f64 {
+            self.try_predict(block).unwrap_or(f64::NAN)
+        }
+
+        fn try_predict(&self, _: &BasicBlock) -> Result<f64, ModelError> {
+            if self.calls.fetch_add(1, Ordering::SeqCst) < self.failures {
+                Err(ModelError::Transient { message: "flap".into() })
+            } else {
+                Ok(2.0)
+            }
+        }
+    }
+
+    struct AlwaysNan;
+
+    impl CostModel for AlwaysNan {
+        fn name(&self) -> &str {
+            "always-nan"
+        }
+
+        fn predict(&self, _: &BasicBlock) -> f64 {
+            f64::NAN
+        }
+    }
+
+    #[test]
+    fn retries_recover_transient_failures() {
+        let model = ResilientModel::new(
+            FlakyModel { calls: AtomicU64::new(0), failures: 2 },
+            test_config(),
+        );
+        assert_eq!(model.try_predict(&block()), Ok(2.0));
+        let report = model.report();
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.failures, 2);
+        assert_eq!(report.breaker_trips, 0);
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_typed() {
+        let model = ResilientModel::new(
+            FlakyModel { calls: AtomicU64::new(0), failures: 100 },
+            ResilientConfig { max_retries: 2, breaker_threshold: 50, ..test_config() },
+        );
+        match model.try_predict(&block()) {
+            Err(ModelError::BudgetExhausted { attempts, last }) => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, ModelError::Transient { .. }));
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_trips_and_falls_back() {
+        let model = ResilientModel::with_fallback(
+            AlwaysNan,
+            FlakyModel { calls: AtomicU64::new(0), failures: 0 },
+            ResilientConfig { breaker_threshold: 3, ..test_config() },
+        );
+        let b = block();
+        // Non-retryable NaN failures: the first two propagate.
+        assert!(model.try_predict(&b).is_err());
+        assert!(model.try_predict(&b).is_err());
+        // Third failure trips the breaker; this query already degrades.
+        assert_eq!(model.try_predict(&b), Ok(2.0));
+        assert!(model.breaker_open());
+        // Subsequent queries go straight to the fallback.
+        assert_eq!(model.try_predict(&b), Ok(2.0));
+        let report = model.report();
+        assert_eq!(report.breaker_trips, 1);
+        assert!(report.fallback_queries >= 2);
+        assert!(report.degraded);
+        assert_eq!(model.resilience(), Some(report));
+        // The infallible view also degrades gracefully.
+        assert_eq!(model.predict(&b), 2.0);
+    }
+
+    #[test]
+    fn breaker_without_fallback_fails_fast() {
+        let model = ResilientModel::new(
+            AlwaysNan,
+            ResilientConfig { breaker_threshold: 1, probe_interval: 1000, ..test_config() },
+        );
+        let b = block();
+        // First failure trips the breaker; no fallback → original error.
+        assert!(matches!(model.try_predict(&b), Err(ModelError::NonFinite { .. })));
+        assert!(model.breaker_open());
+        assert_eq!(model.try_predict(&b), Err(ModelError::CircuitOpen));
+        assert!(model.predict(&b).is_nan());
+    }
+
+    #[test]
+    fn half_open_probe_closes_breaker_on_recovery() {
+        // Fails 3 times (tripping a threshold-3 breaker), then recovers.
+        let model = ResilientModel::with_fallback(
+            FlakyModel { calls: AtomicU64::new(0), failures: 3 },
+            FlakyModel { calls: AtomicU64::new(0), failures: 0 },
+            ResilientConfig {
+                max_retries: 0,
+                breaker_threshold: 3,
+                probe_interval: 2,
+                ..test_config()
+            },
+        );
+        let b = block();
+        for _ in 0..2 {
+            assert!(model.try_predict(&b).is_err());
+        }
+        // Third failure trips the breaker and degrades to the fallback.
+        assert_eq!(model.try_predict(&b), Ok(2.0));
+        assert!(model.breaker_open());
+        // Open query #1: fallback. Open query #2: probe — the inner
+        // model has recovered, so the breaker closes again.
+        assert_eq!(model.try_predict(&b), Ok(2.0));
+        assert_eq!(model.try_predict(&b), Ok(2.0));
+        assert!(!model.breaker_open());
+        let report = model.report();
+        assert_eq!(report.breaker_trips, 1);
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let mk = || {
+            ResilientModel::new(
+                AlwaysNan,
+                ResilientConfig {
+                    backoff_base: Duration::from_nanos(100),
+                    seed: 7,
+                    ..ResilientConfig::default()
+                },
+            )
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.backoff(1), b.backoff(1));
+        assert_eq!(a.backoff(2), b.backoff(2));
+        // Exponential growth: attempt 2 waits at least as long as the
+        // smallest possible attempt-1 delay doubled would allow.
+        assert!(a.backoff(2) >= Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        // Alternating failure/success must never trip a threshold-2
+        // breaker.
+        struct Alternating(AtomicU64);
+        impl CostModel for Alternating {
+            fn name(&self) -> &str {
+                "alternating"
+            }
+            fn predict(&self, _: &BasicBlock) -> f64 {
+                if self.0.fetch_add(1, Ordering::SeqCst) % 2 == 0 {
+                    f64::NAN
+                } else {
+                    1.0
+                }
+            }
+        }
+        let model = ResilientModel::new(
+            Alternating(AtomicU64::new(0)),
+            ResilientConfig { breaker_threshold: 2, ..test_config() },
+        );
+        let b = block();
+        for _ in 0..6 {
+            let _ = model.try_predict(&b);
+        }
+        assert!(!model.breaker_open());
+        assert_eq!(model.report().breaker_trips, 0);
+    }
+}

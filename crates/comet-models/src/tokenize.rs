@@ -20,6 +20,11 @@ pub const MEM_OPEN: &str = "<mem>";
 pub const MEM_CLOSE: &str = "</mem>";
 /// Marker token for an immediate operand.
 pub const IMM: &str = "<imm>";
+/// Token standing in for anything outside the vocabulary: blocks from
+/// foreign corpora can contain opcodes or registers the surrogate was
+/// never trained on, and the model must survive them (with a generic
+/// embedding) rather than crash.
+pub const UNK: &str = "<unk>";
 
 impl Vocab {
     /// Build the canonical vocabulary: every opcode, every register
@@ -43,6 +48,7 @@ impl Vocab {
         names.push(MEM_OPEN.to_string());
         names.push(MEM_CLOSE.to_string());
         names.push(IMM.to_string());
+        names.push(UNK.to_string());
         let ids = names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
         Vocab { ids, names }
     }
@@ -57,14 +63,25 @@ impl Vocab {
         self.names.is_empty()
     }
 
-    /// Id of a token.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a token outside the vocabulary (cannot happen for
-    /// blocks built from this crate's ISA).
+    /// Id of a token. Out-of-vocabulary tokens map to the dedicated
+    /// [`UNK`] id, so tokenization never fails on unfamiliar input.
     pub fn id(&self, token: &str) -> usize {
-        *self.ids.get(token).unwrap_or_else(|| panic!("token `{token}` not in vocabulary"))
+        match self.ids.get(token) {
+            Some(&id) => id,
+            None => self.unk_id(),
+        }
+    }
+
+    /// Id of a token, or `None` if it is outside the vocabulary.
+    pub fn try_id(&self, token: &str) -> Option<usize> {
+        self.ids.get(token).copied()
+    }
+
+    /// The id of the [`UNK`] token.
+    pub fn unk_id(&self) -> usize {
+        // UNK is inserted by `standard`; a hand-built vocabulary
+        // without it degrades to id 0 rather than panicking.
+        self.ids.get(UNK).copied().unwrap_or(0)
     }
 
     /// Token string of an id.
@@ -149,9 +166,18 @@ mod tests {
     #[test]
     fn every_opcode_and_register_tokenizes() {
         let vocab = Vocab::standard();
-        assert!(vocab.len() >= 95 + 96 + 3);
+        assert!(vocab.len() >= 95 + 96 + 4);
         for op in comet_isa::Opcode::ALL {
-            let _ = vocab.id(op.name());
+            assert_ne!(vocab.id(op.name()), vocab.unk_id());
         }
+    }
+
+    #[test]
+    fn unknown_tokens_map_to_unk_instead_of_panicking() {
+        let vocab = Vocab::standard();
+        assert_eq!(vocab.id("totally_bogus_opcode"), vocab.unk_id());
+        assert_eq!(vocab.token(vocab.unk_id()), UNK);
+        assert_eq!(vocab.try_id("totally_bogus_opcode"), None);
+        assert_eq!(vocab.try_id("add"), Some(vocab.id("add")));
     }
 }

@@ -5,6 +5,9 @@ use std::sync::Mutex;
 
 use comet_isa::BasicBlock;
 
+use crate::error::{catch_prediction, ModelError};
+use crate::resilient::ResilienceReport;
+
 /// A cost model: a function from valid basic blocks to real-valued
 /// costs (paper §4). COMET requires nothing else — explanations are
 /// generated with query access only.
@@ -14,6 +17,26 @@ pub trait CostModel {
 
     /// Predict the cost (throughput in cycles) of a basic block.
     fn predict(&self, block: &BasicBlock) -> f64;
+
+    /// Fallible prediction: the robust entry point the explainer uses.
+    ///
+    /// The default implementation wraps [`predict`](CostModel::predict)
+    /// with a panic guard and a finiteness check, so every existing
+    /// model is fallible for free: a panicking model yields
+    /// [`ModelError::Panic`] and a NaN/Inf prediction yields
+    /// [`ModelError::NonFinite`]. Wrappers with richer failure handling
+    /// ([`ResilientModel`](crate::ResilientModel),
+    /// [`FaultyModel`](crate::FaultyModel)) override this.
+    fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+        catch_prediction(|| self.predict(block))
+    }
+
+    /// Resilience counters, when the model (or a wrapper in its stack)
+    /// tracks them. Plain models report `None`; see
+    /// [`ResilientModel::resilience`](crate::ResilientModel).
+    fn resilience(&self) -> Option<ResilienceReport> {
+        None
+    }
 }
 
 impl<M: CostModel + ?Sized> CostModel for &M {
@@ -23,6 +46,14 @@ impl<M: CostModel + ?Sized> CostModel for &M {
 
     fn predict(&self, block: &BasicBlock) -> f64 {
         (**self).predict(block)
+    }
+
+    fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+        (**self).try_predict(block)
+    }
+
+    fn resilience(&self) -> Option<ResilienceReport> {
+        (**self).resilience()
     }
 }
 
@@ -34,12 +65,23 @@ impl<M: CostModel + ?Sized> CostModel for Box<M> {
     fn predict(&self, block: &BasicBlock) -> f64 {
         (**self).predict(block)
     }
+
+    fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+        (**self).try_predict(block)
+    }
+
+    fn resilience(&self) -> Option<ResilienceReport> {
+        (**self).resilience()
+    }
 }
 
 /// A memoizing wrapper: COMET evaluates many feature sets against
 /// overlapping perturbation samples, so repeated queries are common.
 ///
-/// Keys are the printed block text (blocks print canonically).
+/// Keys are the printed block text (blocks print canonically). Only
+/// finite predictions are cached — errors (and NaN/Inf values) are
+/// re-queried, so a model recovering from a transient fault is not
+/// pinned to its failure.
 #[derive(Debug)]
 pub struct CachedModel<M> {
     inner: M,
@@ -56,6 +98,13 @@ pub struct QueryStats {
     pub hits: u64,
 }
 
+/// Recover a lock even when a previous holder panicked: every critical
+/// section in this module is a plain read or insert, which cannot leave
+/// the map in a torn state, so the poison flag carries no information.
+fn recover<'a, T>(lock: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 impl<M: CostModel> CachedModel<M> {
     /// Wrap a model with a prediction cache.
     pub fn new(inner: M) -> CachedModel<M> {
@@ -69,12 +118,23 @@ impl<M: CostModel> CachedModel<M> {
 
     /// Cache hit statistics.
     pub fn stats(&self) -> QueryStats {
-        *self.queries.lock().expect("stats lock")
+        *recover(&self.queries)
     }
 
     /// Drop all cached predictions.
     pub fn clear(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        recover(&self.cache).clear();
+    }
+
+    /// Cache lookup shared by both prediction paths.
+    fn lookup(&self, key: &str) -> Option<f64> {
+        let mut stats = recover(&self.queries);
+        stats.total += 1;
+        if let Some(&v) = recover(&self.cache).get(key) {
+            stats.hits += 1;
+            return Some(v);
+        }
+        None
     }
 }
 
@@ -85,17 +145,38 @@ impl<M: CostModel> CostModel for CachedModel<M> {
 
     fn predict(&self, block: &BasicBlock) -> f64 {
         let key = block.to_string();
-        {
-            let mut stats = self.queries.lock().expect("stats lock");
-            stats.total += 1;
-            if let Some(&v) = self.cache.lock().expect("cache lock").get(&key) {
-                stats.hits += 1;
-                return v;
-            }
+        if let Some(v) = self.lookup(&key) {
+            return v;
         }
         let value = self.inner.predict(block);
-        self.cache.lock().expect("cache lock").insert(key, value);
+        if value.is_finite() {
+            recover(&self.cache).insert(key, value);
+        }
         value
+    }
+
+    fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+        let key = block.to_string();
+        if let Some(v) = self.lookup(&key) {
+            // Cached values are finite by construction, but an old
+            // entry could predate the finiteness guard; re-check.
+            if v.is_finite() {
+                return Ok(v);
+            }
+        }
+        let value = self.inner.try_predict(block)?;
+        if value.is_finite() {
+            recover(&self.cache).insert(key, value);
+            Ok(value)
+        } else {
+            // An overridden `try_predict` failed to uphold the
+            // finiteness contract; normalize rather than propagate NaN.
+            Err(ModelError::NonFinite { value })
+        }
+    }
+
+    fn resilience(&self) -> Option<ResilienceReport> {
+        self.inner.resilience()
     }
 }
 
@@ -138,5 +219,80 @@ mod tests {
         let block = comet_isa::parse_block("nop").unwrap();
         assert_eq!(model.predict(&block), 1.0);
         assert_eq!(model.name(), "counting");
+        assert_eq!(model.try_predict(&block), Ok(1.0));
+        assert!(model.resilience().is_none());
+    }
+
+    #[test]
+    fn default_try_predict_matches_predict_on_healthy_models() {
+        let model = Counting(AtomicU64::new(0));
+        let block = comet_isa::parse_block("add rcx, rax\nmov rdx, rcx").unwrap();
+        assert_eq!(model.try_predict(&block), Ok(2.0));
+    }
+
+    #[test]
+    fn default_try_predict_rejects_non_finite() {
+        struct NanModel;
+        impl CostModel for NanModel {
+            fn name(&self) -> &str {
+                "nan"
+            }
+            fn predict(&self, _: &BasicBlock) -> f64 {
+                f64::NAN
+            }
+        }
+        let block = comet_isa::parse_block("nop").unwrap();
+        assert!(matches!(
+            NanModel.try_predict(&block),
+            Err(ModelError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn default_try_predict_catches_panics() {
+        struct PanicModel;
+        impl CostModel for PanicModel {
+            fn name(&self) -> &str {
+                "panic"
+            }
+            fn predict(&self, _: &BasicBlock) -> f64 {
+                panic!("model exploded")
+            }
+        }
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let block = comet_isa::parse_block("nop").unwrap();
+        let result = PanicModel.try_predict(&block);
+        std::panic::set_hook(prev);
+        match result {
+            Err(ModelError::Panic { message }) => assert!(message.contains("exploded")),
+            other => panic!("expected Panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_does_not_pin_non_finite_predictions() {
+        struct FlakyNan(AtomicU64);
+        impl CostModel for FlakyNan {
+            fn name(&self) -> &str {
+                "flaky-nan"
+            }
+            fn predict(&self, block: &BasicBlock) -> f64 {
+                // First call yields NaN; later calls are healthy.
+                if self.0.fetch_add(1, Ordering::SeqCst) == 0 {
+                    f64::NAN
+                } else {
+                    block.len() as f64
+                }
+            }
+        }
+        let model = CachedModel::new(FlakyNan(AtomicU64::new(0)));
+        let block = comet_isa::parse_block("nop").unwrap();
+        assert!(model.predict(&block).is_nan());
+        // The NaN was not cached: the retry reaches the inner model.
+        assert_eq!(model.try_predict(&block), Ok(1.0));
+        // And the recovered value is now served from the cache.
+        assert_eq!(model.predict(&block), 1.0);
+        assert_eq!(model.inner().0.load(Ordering::SeqCst), 2);
     }
 }

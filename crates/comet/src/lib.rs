@@ -26,15 +26,21 @@
 //! use comet::isa::Microarch;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! # fn main() -> Result<(), comet::isa::IsaError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let block = comet::isa::parse_block("add rcx, rax\nmov rdx, rcx\npop rbx")?;
 //! let model = CrudeModel::new(Microarch::Haswell);
 //! let explainer = Explainer::new(model, ExplainConfig::for_crude_model());
-//! let explanation = explainer.explain(&block, &mut StdRng::seed_from_u64(0));
+//! let explanation = explainer.explain(&block, &mut StdRng::seed_from_u64(0))?;
 //! println!("{}", explanation.display_features());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Cost models are untrusted black boxes: predictions flow through the
+//! fallible [`models::CostModel::try_predict`], `explain` returns
+//! `Result<Explanation, ExplainError>`, and the [`models`] crate ships
+//! a resilience decorator ([`models::ResilientModel`]) plus a seeded
+//! fault injector ([`models::FaultyModel`]) for robustness testing.
 
 #![warn(missing_docs)]
 
@@ -48,6 +54,7 @@ pub use comet_nn as nn;
 pub use comet_sim as sim;
 
 pub use comet_core::{
-    ExplainConfig, Explainer, Explanation, Feature, FeatureKind, FeatureSet, PerturbConfig,
-    Perturber,
+    ExplainConfig, ExplainError, Explainer, Explanation, Feature, FeatureKind, FeatureSet,
+    PerturbConfig, Perturber,
 };
+pub use comet_models::ModelError;

@@ -35,8 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cached = CachedModel::new(model);
         let explainer = Explainer::new(&cached, ExplainConfig::for_throughput_model());
         let mut rng = StdRng::seed_from_u64(3);
-        let explanations: Vec<_> =
-            test.iter().map(|entry| explainer.explain(&entry.block, &mut rng)).collect();
+        let explanations: Vec<_> = test
+            .iter()
+            .map(|entry| explainer.explain(&entry.block, &mut rng))
+            .collect::<Result<_, _>>()?;
         let pct = |kind: FeatureKind| {
             100.0
                 * explanations

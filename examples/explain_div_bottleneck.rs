@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cached = CachedModel::new(model);
         let prediction = cached.predict(&block);
         let explainer = Explainer::new(&cached, config);
-        let explanation = explainer.explain(&block, &mut rng);
+        let explanation = explainer.explain(&block, &mut rng)?;
         println!(
             "{:<14} prediction {:>6.2} cycles  explanation {}",
             model.name(),

@@ -16,7 +16,7 @@ use comet::ExplainConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: usize = std::env::args().nth(1).map_or(12, |s| s.parse().expect("numeric argument"));
     let corpus = Corpus::generate(n, GenConfig::default(), 17);
     let blocks: Vec<_> = corpus.iter().map(|e| e.block.clone()).collect();
@@ -31,7 +31,7 @@ fn main() {
         ..ExplainConfig::for_throughput_model()
     };
     let mut rng = StdRng::seed_from_u64(0);
-    let report = compare_models(&coarse, &uica, &blocks, config, &mut rng);
+    let report = compare_models(&coarse, &uica, &blocks, config, &mut rng)?;
 
     println!(
         "compared `{}` vs `{}` on {} blocks",
@@ -66,4 +66,5 @@ fn main() {
          ignoring instruction identity and dependencies — exactly the failure\n\
          mode the paper diagnoses in under-trained neural cost models."
     );
+    Ok(())
 }
