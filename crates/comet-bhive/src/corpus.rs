@@ -118,6 +118,12 @@ impl Corpus {
         Corpus { blocks }
     }
 
+    /// A corpus from pre-labelled blocks (used by the lenient loader,
+    /// which validates records individually before assembling them).
+    pub fn from_blocks(blocks: Vec<BhiveBlock>) -> Corpus {
+        Corpus { blocks }
+    }
+
     /// The blocks.
     pub fn blocks(&self) -> &[BhiveBlock] {
         &self.blocks

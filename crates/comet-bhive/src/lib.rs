@@ -30,4 +30,4 @@ mod io;
 pub use category::{classify, Category, Source};
 pub use corpus::{BhiveBlock, Corpus};
 pub use gen::{generate_category_block, generate_source_block, GenConfig};
-pub use io::{load_corpus, save_corpus, CorpusIoError};
+pub use io::{load_corpus, load_corpus_reporting, save_corpus, CorpusIoError, CorpusLoadReport};

@@ -1,9 +1,13 @@
 //! Shared experimental setup: corpora, trained surrogates, and scale
 //! presets.
 
+use std::path::PathBuf;
+
 use comet_bhive::{Corpus, GenConfig};
 use comet_isa::Microarch;
 use comet_models::{IthemalConfig, IthemalSurrogate, UicaSurrogate};
+
+use crate::par::CancelToken;
 
 /// Experiment scale: `paper` replicates the paper's set sizes; `quick`
 /// is a minutes-scale smoke configuration for CI and tests.
@@ -75,6 +79,29 @@ impl Scale {
 /// Deterministic base seed for all corpora.
 const CORPUS_SEED: u64 = 0xB10C5;
 
+/// Run-durability settings shared by the experiments: where (and
+/// whether) to journal per-block results, and the cooperative
+/// cancellation flag workers poll (tripped by Ctrl-C in the
+/// `comet-eval` binary).
+///
+/// The default is fully transparent: no journal directory, a token
+/// nobody cancels.
+#[derive(Debug, Clone, Default)]
+pub struct Durability {
+    /// Directory for write-ahead journals (one `<key>.jsonl` per
+    /// experiment/march/seed). `None` disables journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// Cooperative cancellation flag checked by parallel workers.
+    pub cancel: CancelToken,
+}
+
+impl Durability {
+    /// Journal into `dir` with a fresh cancellation token.
+    pub fn journaling(dir: impl Into<PathBuf>) -> Durability {
+        Durability { journal_dir: Some(dir.into()), cancel: CancelToken::new() }
+    }
+}
+
 /// Everything the experiments share: corpora and cost models.
 pub struct EvalContext {
     /// Scale preset in use.
@@ -94,6 +121,8 @@ pub struct EvalContext {
     pub uica_hsw: UicaSurrogate,
     /// uiCA surrogate for Skylake.
     pub uica_skl: UicaSurrogate,
+    /// Journaling and cancellation settings for long runs.
+    pub durability: Durability,
 }
 
 impl EvalContext {
@@ -130,6 +159,7 @@ impl EvalContext {
             ithemal_skl,
             uica_hsw: UicaSurrogate::new(Microarch::Haswell),
             uica_skl: UicaSurrogate::new(Microarch::Skylake),
+            durability: Durability::default(),
         }
     }
 

@@ -12,8 +12,9 @@ use comet_models::{mean_std, CachedModel, CostModel, CrudeModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::context::EvalContext;
-use crate::par::{par_map, ParPanic};
+use crate::context::{Durability, EvalContext};
+use crate::journal::{fingerprint, Journal, JournalError, JournalRecord};
+use crate::par::{par_map_cancellable, ParPanic};
 use crate::report::{pm, Table};
 
 /// Why one block's explanation failed.
@@ -43,6 +44,128 @@ impl std::error::Error for BlockFailure {
     }
 }
 
+/// The fingerprint binding a journal to one run: model, config, seed,
+/// and the exact block set. Any change to these invalidates resumption.
+fn run_fingerprint<M: CostModel>(
+    model: &M,
+    blocks: &[&BasicBlock],
+    config: &ExplainConfig,
+    seed: u64,
+) -> String {
+    let config_json = serde_json::to_string(config).unwrap_or_default();
+    let seed_text = seed.to_string();
+    let mut parts: Vec<String> =
+        vec![model.name().to_string(), config_json, seed_text];
+    parts.extend(blocks.iter().map(|b| b.to_string()));
+    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    fingerprint(&refs)
+}
+
+/// Explain every block in parallel with deterministic per-block seeds,
+/// durably and interruptibly:
+///
+/// * when `durability` names a journal directory, a write-ahead journal
+///   at `<dir>/<key>.jsonl` is recovered first (checksums verified,
+///   torn tail truncated, config fingerprint required to match) and
+///   already-completed blocks are *skipped* — re-running the same
+///   command resumes instead of restarting. Each newly completed block
+///   is appended and fsynced as soon as it finishes;
+/// * workers poll `durability.cancel` before claiming each block, so a
+///   Ctrl-C drains in-flight blocks, leaves them journaled, and stops.
+///
+/// Returns one slot per input block, in order: `Some(Ok)` for a
+/// completed explanation (recovered or fresh), `Some(Err)` for a typed
+/// failure or worker panic, `None` for a block never started because
+/// the run was cancelled. Per-block RNG seeds derive from the block
+/// index, so resumed and uninterrupted runs produce identical results.
+///
+/// # Errors
+///
+/// [`JournalError::FingerprintMismatch`] when the on-disk journal was
+/// written under a different (model, config, seed, block set);
+/// [`JournalError::Io`] when the journal cannot be created or
+/// recovered. Append failures after a block completes are reported on
+/// stderr but do not fail the run (durability degrades, results don't).
+pub fn try_explain_blocks_durable<M: CostModel + Sync>(
+    model: &M,
+    blocks: &[&BasicBlock],
+    config: ExplainConfig,
+    seed: u64,
+    durability: &Durability,
+    key: &str,
+) -> Result<Vec<Option<Result<Explanation, BlockFailure>>>, JournalError> {
+    let journal = match &durability.journal_dir {
+        None => None,
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(format!("{key}.jsonl"));
+            let fp = run_fingerprint(model, blocks, &config, seed);
+            let (journal, recovery) = Journal::open_or_create(path, &fp)?;
+            Some((journal, recovery))
+        }
+    };
+
+    let mut slots: Vec<Option<Result<Explanation, BlockFailure>>> =
+        (0..blocks.len()).map(|_| None).collect();
+    if let Some((journal, recovery)) = &journal {
+        let mut resumed = 0usize;
+        for record in &recovery.records {
+            match blocks.get(record.index) {
+                Some(block) if block.to_string() == record.block && record.seed == seed => {
+                    slots[record.index] = Some(Ok(record.explanation.clone()));
+                    resumed += 1;
+                }
+                // The fingerprint should make this unreachable; recompute
+                // rather than trust a record that contradicts the input.
+                _ => eprintln!(
+                    "warning: journal record {} does not match its block; recomputing",
+                    record.index
+                ),
+            }
+        }
+        if resumed > 0 || recovery.truncated_bytes > 0 {
+            eprintln!(
+                "[journal] {}: resuming with {resumed}/{} blocks already complete{}",
+                journal.path().display(),
+                blocks.len(),
+                if recovery.truncated_bytes > 0 {
+                    format!(" (truncated {} bytes of torn tail)", recovery.truncated_bytes)
+                } else {
+                    String::new()
+                },
+            );
+        }
+    }
+
+    let pending: Vec<usize> = (0..blocks.len()).filter(|&i| slots[i].is_none()).collect();
+    let journal_writer = journal.as_ref().map(|(j, _)| j);
+    let explainer = Explainer::new(model, config);
+    let outcomes = par_map_cancellable(&pending, &durability.cancel, |_, &i| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64));
+        let result = explainer.explain(blocks[i], &mut rng);
+        if let (Some(journal), Ok(explanation)) = (journal_writer, &result) {
+            let record = JournalRecord {
+                index: i,
+                block: blocks[i].to_string(),
+                seed,
+                explanation: explanation.clone(),
+            };
+            if let Err(error) = journal.append(&record) {
+                eprintln!("warning: journal append failed for block {i}: {error}");
+            }
+        }
+        result
+    });
+    for (&i, outcome) in pending.iter().zip(outcomes) {
+        slots[i] = outcome.map(|slot| match slot {
+            Ok(Ok(explanation)) => Ok(explanation),
+            Ok(Err(error)) => Err(BlockFailure::Explain(error)),
+            Err(panic) => Err(BlockFailure::Panic(panic)),
+        });
+    }
+    Ok(slots)
+}
+
 /// Explain every block in parallel with deterministic per-block seeds,
 /// returning one outcome per input block (order preserved). Neither a
 /// typed explainer error nor a worker panic aborts the batch.
@@ -52,18 +175,41 @@ pub fn try_explain_blocks<M: CostModel + Sync>(
     config: ExplainConfig,
     seed: u64,
 ) -> Vec<Result<Explanation, BlockFailure>> {
-    let explainer = Explainer::new(model, config);
-    par_map(blocks, |i, block| {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64));
-        explainer.explain(block, &mut rng)
-    })
-    .into_iter()
-    .map(|slot| match slot {
-        Ok(Ok(explanation)) => Ok(explanation),
-        Ok(Err(error)) => Err(BlockFailure::Explain(error)),
-        Err(panic) => Err(BlockFailure::Panic(panic)),
-    })
-    .collect()
+    try_explain_blocks_durable(model, blocks, config, seed, &Durability::default(), "")
+        // No journal directory means no journal I/O, hence no error...
+        .expect("journal-less explain cannot fail")
+        .into_iter()
+        // ...and an uncancelled token means every slot is filled.
+        .map(|slot| slot.expect("uncancelled explain fills every slot"))
+        .collect()
+}
+
+/// [`explain_blocks`] with durability: journal-recovered blocks are
+/// skipped, fresh completions are journaled, cancellation drains and
+/// stops. Cancelled (never-started) blocks are silently absent from
+/// the result; failed blocks are reported on stderr and dropped.
+///
+/// # Errors
+///
+/// See [`try_explain_blocks_durable`].
+pub fn explain_blocks_durable<M: CostModel + Sync>(
+    model: &M,
+    blocks: &[&BasicBlock],
+    config: ExplainConfig,
+    seed: u64,
+    durability: &Durability,
+    key: &str,
+) -> Result<Vec<(usize, Explanation)>, JournalError> {
+    let slots = try_explain_blocks_durable(model, blocks, config, seed, durability, key)?;
+    let mut kept = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(explanation)) => kept.push((i, explanation)),
+            Some(Err(failure)) => eprintln!("warning: skipping block {i}: {failure}"),
+            None => {} // cancelled before this block started
+        }
+    }
+    Ok(kept)
 }
 
 /// Skip-and-report harness entry point: failed blocks are reported on
@@ -84,6 +230,17 @@ pub fn explain_blocks<M: CostModel + Sync>(
         }
     }
     kept
+}
+
+/// Unwrap a durable-explain result in table runners: a journal error
+/// here is unrecoverable operator error (wrong `--journal` directory
+/// for this configuration), so fail loudly rather than produce tables
+/// from mixed results.
+fn durable_or_die(
+    result: Result<Vec<(usize, Explanation)>, JournalError>,
+    key: &str,
+) -> Vec<(usize, Explanation)> {
+    result.unwrap_or_else(|error| panic!("cannot run experiment `{key}`: {error}"))
 }
 
 /// The explanation config used for the crude-model experiments at the
@@ -123,6 +280,20 @@ struct Table2Column {
     comet: (f64, f64),
 }
 
+/// A filesystem-safe journal key: lowercase alphanumerics and dashes.
+fn journal_key(parts: &[&str]) -> String {
+    let mut key = String::new();
+    for part in parts {
+        if !key.is_empty() {
+            key.push('-');
+        }
+        for c in part.chars() {
+            key.push(if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' });
+        }
+    }
+    key
+}
+
 fn table2_column(ctx: &EvalContext, march: Microarch) -> Table2Column {
     let crude = CrudeModel::new(march);
     let blocks: Vec<&BasicBlock> = ctx.test_corpus.iter().map(|b| &b.block).collect();
@@ -132,7 +303,18 @@ fn table2_column(ctx: &EvalContext, march: Microarch) -> Table2Column {
     let mut comet_accs = Vec::new();
     let mut random_accs = Vec::new();
     for seed in 0..ctx.scale.seeds as u64 {
-        let survivors = explain_blocks(&crude, &blocks, crude_config(ctx), seed + 1);
+        let key = journal_key(&["table2", &format!("{march:?}"), &format!("seed{seed}")]);
+        let survivors = durable_or_die(
+            explain_blocks_durable(
+                &crude,
+                &blocks,
+                crude_config(ctx),
+                seed + 1,
+                &ctx.durability,
+                &key,
+            ),
+            &key,
+        );
         let kept_gts: Vec<FeatureSet> = survivors.iter().map(|&(i, _)| gts[i].clone()).collect();
         let sets: Vec<FeatureSet> = survivors.into_iter().map(|(_, e)| e.features).collect();
         comet_accs.push(accuracy_pct(&sets, &kept_gts));
@@ -183,13 +365,25 @@ pub fn run_table2(ctx: &EvalContext) -> Table {
 fn precision_coverage<M: CostModel + Sync>(
     ctx: &EvalContext,
     model: &M,
+    label: &str,
 ) -> ((f64, f64), (f64, f64)) {
     let blocks: Vec<&BasicBlock> = ctx.test_corpus.iter().map(|b| &b.block).collect();
     let mut precisions = Vec::new();
     let mut coverages = Vec::new();
     for seed in 0..ctx.scale.seeds as u64 {
         let cached = CachedModel::new(model);
-        let explanations = explain_blocks(&cached, &blocks, model_config(ctx), seed + 11);
+        let key = journal_key(&["table3", label, &format!("seed{seed}")]);
+        let explanations = durable_or_die(
+            explain_blocks_durable(
+                &cached,
+                &blocks,
+                model_config(ctx),
+                seed + 11,
+                &ctx.durability,
+                &key,
+            ),
+            &key,
+        );
         let n = explanations.len().max(1) as f64;
         let p: f64 = explanations.iter().map(|(_, e)| e.precision).sum::<f64>() / n;
         let c: f64 = explanations.iter().map(|(_, e)| e.coverage).sum::<f64>() / n;
@@ -213,7 +407,7 @@ pub fn run_table3(ctx: &EvalContext) -> Table {
         ("U (SKL)", &ctx.uica_skl),
     ];
     for (label, model) in rows {
-        let ((p_mean, p_std), (c_mean, c_std)) = precision_coverage(ctx, &model);
+        let ((p_mean, p_std), (c_mean, c_std)) = precision_coverage(ctx, &model, label);
         table.push_row(vec![
             label.into(),
             format!("{p_mean:.3} +- {p_std:.3}"),

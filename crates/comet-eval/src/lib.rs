@@ -17,6 +17,13 @@
 //! ```text
 //! comet-eval --scale standard --exp all --out EXPERIMENTS-results.md
 //! ```
+//!
+//! Long runs are crash-safe and resumable: pass `--journal DIR` to
+//! append each completed block explanation to a checksummed
+//! write-ahead journal (see [`journal`]). Interrupting the run
+//! (Ctrl-C drains in-flight blocks and flushes) and re-running the
+//! same command resumes from the journal, skipping completed blocks,
+//! and produces output identical to an uninterrupted run.
 
 #![warn(missing_docs)]
 
@@ -25,7 +32,9 @@ pub mod context;
 pub mod experiments;
 pub mod extras;
 pub mod figures;
+pub mod journal;
 pub mod par;
 pub mod report;
 
-pub use context::{EvalContext, Scale};
+pub use context::{Durability, EvalContext, Scale};
+pub use par::CancelToken;

@@ -3,18 +3,59 @@
 //! ```text
 //! comet-eval [--scale quick|standard|paper] [--exp all|table2|table3|
 //!             fig2|fig3|fig4|fig5|fig6|fig7|fig8|appf|cases|mape]
-//!            [--out FILE]
+//!            [--out FILE] [--journal DIR]
 //! ```
+//!
+//! With `--journal DIR`, completed block explanations are written ahead
+//! to checksummed journals under `DIR`; an interrupted run (Ctrl-C, or
+//! a crash) re-run with the same command resumes where it stopped and
+//! produces identical output. The first Ctrl-C cancels cooperatively
+//! (in-flight blocks drain and are journaled); a second aborts at once.
 
 use std::fmt::Write as _;
+use std::sync::OnceLock;
 use std::time::Instant;
 
-use comet_eval::{ablations, experiments, extras, figures, EvalContext, Scale};
+use comet_eval::{ablations, experiments, extras, figures, CancelToken, Durability, EvalContext, Scale};
+
+/// Process exit status for an interrupted (SIGINT) run, shell-style.
+const SIGINT_EXIT: i32 = 130;
+
+/// Install a SIGINT handler that trips `token` on the first Ctrl-C and
+/// aborts the process on the second. Uses a raw `signal(2)` binding
+/// (the handler only touches atomics, which is async-signal-safe)
+/// to stay dependency-free.
+fn install_sigint(token: CancelToken) {
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    let _ = TOKEN.set(token);
+
+    extern "C" fn handle(_signum: i32) {
+        if let Some(token) = TOKEN.get() {
+            if token.is_cancelled() {
+                // Second Ctrl-C: the user wants out *now*.
+                std::process::abort();
+            }
+            token.cancel();
+        }
+    }
+
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        signal(SIGINT, handle as extern "C" fn(i32) as usize);
+    }
+    #[cfg(not(unix))]
+    let _ = handle; // graceful interruption is a unix-only affordance
+}
 
 fn main() {
     let mut scale_name = "standard".to_string();
     let mut exp = "all".to_string();
     let mut out: Option<String> = None;
+    let mut journal_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -22,6 +63,9 @@ fn main() {
             "--scale" => scale_name = args.next().unwrap_or_else(|| usage("missing scale")),
             "--exp" => exp = args.next().unwrap_or_else(|| usage("missing experiment")),
             "--out" => out = Some(args.next().unwrap_or_else(|| usage("missing output path"))),
+            "--journal" => {
+                journal_dir = Some(args.next().unwrap_or_else(|| usage("missing journal dir")))
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -32,6 +76,10 @@ fn main() {
         "paper" => Scale::paper(),
         other => usage(&format!("unknown scale `{other}`")),
     };
+
+    let cancel = CancelToken::new();
+    install_sigint(cancel.clone());
+    let durability = Durability { journal_dir: journal_dir.map(Into::into), cancel: cancel.clone() };
 
     let mut report = String::new();
     let _ = writeln!(report, "# COMET reproduction — experiment results\n");
@@ -54,7 +102,8 @@ fn main() {
 
     eprintln!("[comet-eval] building corpora and training surrogates ({scale_name} scale)...");
     let t0 = Instant::now();
-    let ctx = EvalContext::build(scale);
+    let mut ctx = EvalContext::build(scale);
+    ctx.durability = durability;
     eprintln!("[comet-eval] context ready in {:.1}s", t0.elapsed().as_secs_f64());
 
     let experiments_list: [(&str, Box<dyn Fn(&EvalContext) -> comet_eval::report::Table>); 10] = [
@@ -76,16 +125,35 @@ fn main() {
         eprintln!("[comet-eval] running {name}...");
         let t = Instant::now();
         let table = run(&ctx);
+        if cancel.is_cancelled() {
+            interrupted(&report, out.as_deref(), name);
+        }
         eprintln!("[comet-eval] {name} done in {:.1}s", t.elapsed().as_secs_f64());
         section(&mut report, table.to_string());
     }
     if wants("cases") {
         eprintln!("[comet-eval] running case studies...");
         section(&mut report, extras::case_study_hardware().to_string());
-        section(&mut report, extras::run_case_studies(&ctx).to_string());
+        let cases = extras::run_case_studies(&ctx).to_string();
+        if cancel.is_cancelled() {
+            interrupted(&report, out.as_deref(), "cases");
+        }
+        section(&mut report, cases);
     }
 
     finish(&report, out.as_deref());
+}
+
+/// An experiment was cancelled mid-run: its partial table would be
+/// misleading, so write only the sections finished before it, explain
+/// how to resume, and exit with the conventional SIGINT status.
+fn interrupted(report: &str, out: Option<&str>, name: &str) -> ! {
+    eprintln!(
+        "[comet-eval] interrupted during {name}; completed blocks are journaled — \
+         re-run the same command to resume"
+    );
+    finish(report, out);
+    std::process::exit(SIGINT_EXIT);
 }
 
 fn section(report: &mut String, text: String) {
@@ -108,7 +176,7 @@ fn usage(problem: &str) -> ! {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: comet-eval [--scale quick|standard|paper] [--exp all|table2|table3|fig2..fig8|appf|cases|mape] [--out FILE]"
+        "usage: comet-eval [--scale quick|standard|paper] [--exp all|table2|table3|fig2..fig8|appf|cases|mape] [--out FILE] [--journal DIR]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

@@ -3,11 +3,18 @@
 //! seeds), hardened against panicking workers: a panic in one item is
 //! caught and reported as that item's [`ParPanic`] error, and every
 //! sibling item still completes.
+//!
+//! Long runs are also *interruptible*: [`par_map_cancellable`] takes a
+//! [`CancelToken`] that workers poll cooperatively before claiming the
+//! next item. Cancelling (e.g. from a Ctrl-C handler) stops new items
+//! from starting while every in-flight item drains to completion, so a
+//! journaling caller gets a clean flush of everything finished instead
+//! of torn state.
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use comet_models::panic_payload_message;
 
@@ -28,6 +35,79 @@ impl fmt::Display for ParPanic {
 
 impl std::error::Error for ParPanic {}
 
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// Remaining [`CancelToken::poll`] calls before auto-cancellation;
+    /// only consulted when `budgeted` (the deterministic test mode).
+    polls_left: AtomicI64,
+    budgeted: bool,
+}
+
+/// A shared cooperative-cancellation flag. Clones share state; any
+/// holder can [`cancel`](CancelToken::cancel) and every worker polling
+/// the token observes it. Used by `par_map_cancellable` workers and by
+/// the `comet-eval` Ctrl-C handler.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that cancels only when [`cancel`](CancelToken::cancel)
+    /// is called.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                polls_left: AtomicI64::new(i64::MAX),
+                budgeted: false,
+            }),
+        }
+    }
+
+    /// A token that additionally self-cancels after `n` worker polls —
+    /// a deterministic stand-in for "Ctrl-C partway through a run" in
+    /// tests (each worker polls once per item it claims).
+    pub fn after_polls(n: u64) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                polls_left: AtomicI64::new(n.min(i64::MAX as u64) as i64),
+                budgeted: true,
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; never blocks (safe to call
+    /// from a signal handler).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested. Does not consume a
+    /// poll-budget slot.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Worker-side check: consumes one slot of an
+    /// [`after_polls`](CancelToken::after_polls) budget, then reports
+    /// whether the token is cancelled.
+    pub fn poll(&self) -> bool {
+        if self.inner.budgeted && self.inner.polls_left.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            self.cancel();
+        }
+        self.is_cancelled()
+    }
+}
+
 /// Map `f` over `items` using all available cores, preserving order.
 ///
 /// `f` receives `(index, item)` so callers can derive deterministic
@@ -41,13 +121,38 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(items.len().max(1));
+    par_map_cancellable(items, &CancelToken::new(), f)
+        .into_iter()
+        // Invariant: with a never-cancelled token every slot is filled.
+        .map(|slot| slot.expect("uncancelled par_map filled every slot"))
+        .collect()
+}
+
+/// [`par_map`] with cooperative cancellation: workers poll `cancel`
+/// before claiming each item, so after cancellation no *new* item
+/// starts while in-flight items drain to completion. Unstarted items
+/// yield `None` in their slots (started items yield `Some` as usual).
+pub fn par_map_cancellable<T, R, F>(
+    items: &[T],
+    cancel: &CancelToken,
+    f: F,
+) -> Vec<Option<Result<R, ParPanic>>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers =
+        std::thread::available_parallelism().map_or(4, |n| n.get()).min(items.len().max(1));
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<Result<R, ParPanic>>>> =
         (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if cancel.poll() {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -64,13 +169,7 @@ where
     });
     results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(|p| p.into_inner())
-                // Invariant: the worker loop stores into every index
-                // below `items.len()` exactly once before exiting.
-                .expect("worker filled slot")
-        })
+        .map(|slot| slot.into_inner().unwrap_or_else(|p| p.into_inner()))
         .collect()
 }
 
@@ -140,5 +239,51 @@ mod tests {
         let items: Vec<u64> = (0..10).collect();
         let out = par_map_strict(&items, |_, &x| x + 1);
         assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pre_cancelled_token_runs_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let items: Vec<u64> = (0..20).collect();
+        let out = par_map_cancellable(&items, &token, |_, &x| x);
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().all(|slot| slot.is_none()));
+    }
+
+    #[test]
+    fn cancellation_mid_run_drains_started_items() {
+        let items: Vec<u64> = (0..200).collect();
+        let token = CancelToken::after_polls(10);
+        let out = par_map_cancellable(&items, &token, |_, &x| x * 2);
+        assert!(token.is_cancelled());
+        assert_eq!(out.len(), 200);
+        let done = out.iter().flatten().count();
+        // Strictly fewer than all items ran, and every completed slot
+        // holds the right answer.
+        assert!(done < 200, "expected an interrupted run, all items completed");
+        for (i, slot) in out.iter().enumerate() {
+            if let Some(result) = slot {
+                assert_eq!(*result, Ok(i as u64 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_is_transparent() {
+        let items: Vec<u64> = (0..30).collect();
+        let token = CancelToken::new();
+        let out = par_map_cancellable(&items, &token, |_, &x| x + 7);
+        assert!(out.iter().enumerate().all(|(i, slot)| *slot == Some(Ok(i as u64 + 7))));
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn token_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(a.poll());
     }
 }

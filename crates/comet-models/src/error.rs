@@ -28,6 +28,9 @@ pub enum ModelError {
     Timeout {
         /// How long the query ran before being abandoned.
         elapsed: Duration,
+        /// The configured deadline the query blew through, so reports
+        /// can say "2.0s elapsed vs 500ms budget".
+        deadline: Duration,
     },
     /// A transient failure that may succeed on retry (e.g. a dropped
     /// connection to a remote model server).
@@ -66,8 +69,8 @@ impl fmt::Display for ModelError {
             ModelError::Panic { message } => {
                 write!(f, "model panicked during prediction: {message}")
             }
-            ModelError::Timeout { elapsed } => {
-                write!(f, "model query timed out after {elapsed:?}")
+            ModelError::Timeout { elapsed, deadline } => {
+                write!(f, "model query timed out: {elapsed:?} elapsed vs {deadline:?} budget")
             }
             ModelError::Transient { message } => {
                 write!(f, "transient model failure: {message}")
@@ -156,7 +159,14 @@ mod tests {
     #[test]
     fn retryability_classification() {
         assert!(ModelError::Transient { message: "x".into() }.is_retryable());
-        assert!(ModelError::Timeout { elapsed: Duration::from_millis(5) }.is_retryable());
+        let timeout = ModelError::Timeout {
+            elapsed: Duration::from_millis(5),
+            deadline: Duration::from_millis(2),
+        };
+        assert!(timeout.is_retryable());
+        let text = timeout.to_string();
+        assert!(text.contains("5ms"), "{text}");
+        assert!(text.contains("2ms"), "{text}");
         assert!(!ModelError::NonFinite { value: f64::NAN }.is_retryable());
         assert!(!ModelError::Panic { message: "x".into() }.is_retryable());
         assert!(!ModelError::CircuitOpen.is_retryable());

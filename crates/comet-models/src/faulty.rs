@@ -196,7 +196,7 @@ impl<M: CostModel> FaultyModel<M> {
                 if !deadline.is_zero() {
                     std::thread::sleep(deadline);
                 }
-                Err(ModelError::Timeout { elapsed: self.config.latency })
+                Err(ModelError::Timeout { elapsed: self.config.latency, deadline })
             }
             _ => {
                 if !self.config.latency.is_zero() {

@@ -76,6 +76,12 @@ pub struct ResilienceReport {
     pub failures: u64,
     /// Retries performed.
     pub retries: u64,
+    /// Failed attempts that were deadline timeouts
+    /// ([`ModelError::Timeout`], typically produced by a
+    /// [`DeadlineModel`](crate::DeadlineModel) watchdog in the stack;
+    /// counted per attempt, so one query retried past two timeouts
+    /// counts twice).
+    pub timeouts: u64,
     /// Times the circuit breaker tripped open.
     pub breaker_trips: u64,
     /// Queries answered by the fallback model.
@@ -139,6 +145,22 @@ impl<M: CostModel> ResilientModel<M, NoFallback> {
     /// [`ModelError::CircuitOpen`] (modulo half-open probes).
     pub fn new(inner: M, config: ResilientConfig) -> ResilientModel<M, NoFallback> {
         ResilientModel::build(inner, None, config)
+    }
+}
+
+impl<M: CostModel + Send + Sync + 'static> ResilientModel<crate::DeadlineModel<M>, NoFallback> {
+    /// Wrap a model with retries, a circuit breaker, *and* a
+    /// wall-clock deadline: every query runs under a
+    /// [`DeadlineModel`](crate::DeadlineModel) watchdog, so a stalled
+    /// `try_predict` is abandoned on its worker thread and surfaces as
+    /// a retryable [`ModelError::Timeout`] (counted in
+    /// [`ResilienceReport::timeouts`]) instead of hanging the caller.
+    pub fn with_deadline(
+        inner: M,
+        deadline: Duration,
+        config: ResilientConfig,
+    ) -> ResilientModel<crate::DeadlineModel<M>, NoFallback> {
+        ResilientModel::new(crate::DeadlineModel::new(inner, deadline), config)
     }
 }
 
@@ -261,7 +283,13 @@ impl<M: CostModel, F: CostModel> ResilientModel<M, F> {
                     return Ok(value);
                 }
                 Err(error) => {
-                    self.state().report.failures += 1;
+                    {
+                        let mut st = self.state();
+                        st.report.failures += 1;
+                        if matches!(error, ModelError::Timeout { .. }) {
+                            st.report.timeouts += 1;
+                        }
+                    }
                     if error.is_retryable() && attempt < self.config.max_retries {
                         attempt += 1;
                         self.state().report.retries += 1;
@@ -462,6 +490,35 @@ mod tests {
         let report = model.report();
         assert_eq!(report.breaker_trips, 1);
         assert!(!report.degraded);
+    }
+
+    #[test]
+    fn deadline_watchdog_surfaces_timeouts_through_the_decorator() {
+        struct StallForever;
+        impl CostModel for StallForever {
+            fn name(&self) -> &str {
+                "stall-forever"
+            }
+            fn predict(&self, _: &BasicBlock) -> f64 {
+                std::thread::sleep(Duration::from_millis(400));
+                1.0
+            }
+        }
+        let model = ResilientModel::with_deadline(
+            StallForever,
+            Duration::from_millis(10),
+            ResilientConfig { max_retries: 0, ..test_config() },
+        );
+        match model.try_predict(&block()) {
+            Err(ModelError::Timeout { elapsed, deadline }) => {
+                assert_eq!(deadline, Duration::from_millis(10));
+                assert!(elapsed >= deadline);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        let report = model.report();
+        assert_eq!(report.timeouts, 1);
+        assert_eq!(report.failures, 1);
     }
 
     #[test]
