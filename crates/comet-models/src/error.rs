@@ -11,7 +11,7 @@ use std::fmt;
 use std::time::Duration;
 
 /// Why a single cost-model query failed.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum ModelError {
     /// The model returned a non-finite prediction (NaN or ±Inf).
@@ -47,6 +47,32 @@ pub enum ModelError {
     },
     /// The circuit breaker is open and no fallback model is configured.
     CircuitOpen,
+}
+
+/// Equality compares [`ModelError::NonFinite`] values *bitwise* so two
+/// identically injected NaN faults compare equal — derived `PartialEq`
+/// would make a NaN error unequal to itself, breaking "same seed, same
+/// fault schedule" comparisons.
+impl PartialEq for ModelError {
+    fn eq(&self, other: &ModelError) -> bool {
+        match (self, other) {
+            (ModelError::NonFinite { value: a }, ModelError::NonFinite { value: b }) => {
+                a.to_bits() == b.to_bits()
+            }
+            (ModelError::Panic { message: a }, ModelError::Panic { message: b }) => a == b,
+            (
+                ModelError::Timeout { elapsed: ea, deadline: da },
+                ModelError::Timeout { elapsed: eb, deadline: db },
+            ) => ea == eb && da == db,
+            (ModelError::Transient { message: a }, ModelError::Transient { message: b }) => a == b,
+            (
+                ModelError::BudgetExhausted { attempts: aa, last: la },
+                ModelError::BudgetExhausted { attempts: ab, last: lb },
+            ) => aa == ab && la == lb,
+            (ModelError::CircuitOpen, ModelError::CircuitOpen) => true,
+            _ => false,
+        }
+    }
 }
 
 impl ModelError {

@@ -1,0 +1,221 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace patches `criterion` to this crate. It provides the same
+//! bench-authoring surface (`criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, groups, `iter`/`iter_batched`,
+//! `black_box`) with a simple measurement loop: a short warm-up, then
+//! timed batches, reporting the median ns/iteration on stdout. No
+//! statistics engine, no HTML reports — benchmarks stay runnable and
+//! comparable, which is all the workspace needs (the real gating
+//! numbers come from `comet-bench`'s own `bench-report` harness).
+//!
+//! Honors `--bench` / `--test` CLI args passed by `cargo bench`
+//! / `cargo test --benches`; `--test` runs each benchmark once.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; ignored by this stub.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to bench closures; runs and times the measured routine.
+pub struct Bencher {
+    /// Total measured time and iteration count for the last run.
+    elapsed: Duration,
+    iters: u64,
+    /// When true (cargo test --benches) run the routine exactly once.
+    smoke: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            black_box(routine());
+            self.elapsed = Duration::from_nanos(1);
+            self.iters = 1;
+            return;
+        }
+        // Warm-up: estimate per-iteration cost.
+        let mut n = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let t = start.elapsed();
+            if t > Duration::from_millis(5) || n > 1 << 20 {
+                break t.as_nanos().max(1) / n as u128;
+            }
+            n *= 2;
+        };
+        // Measure: aim for ~100ms total.
+        let target = Duration::from_millis(100).as_nanos();
+        let iters = (target / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke {
+            black_box(routine(setup()));
+            self.elapsed = Duration::from_nanos(1);
+            self.iters = 1;
+            return;
+        }
+        let mut n = 1u64;
+        let per_iter = loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let t = start.elapsed();
+            if t > Duration::from_millis(5) || n > 1 << 16 {
+                break t.as_nanos().max(1) / n as u128;
+            }
+            n *= 2;
+        };
+        let target = Duration::from_millis(100).as_nanos();
+        let iters = (target / per_iter.max(1)).clamp(1, 1 << 20) as u64;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn report(id: &str, bencher: &Bencher) {
+    if bencher.smoke {
+        println!("{id}: ok (smoke)");
+    } else {
+        let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64;
+        println!("{id}: {ns:.1} ns/iter ({} iters)", bencher.iters);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    smoke: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo bench` passes `--bench`; `cargo test --benches` passes
+        // `--test`, which we treat as smoke mode (run once, fast).
+        let smoke = args.iter().any(|a| a == "--test");
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty())
+            .cloned();
+        Criterion { smoke, filter }
+    }
+}
+
+impl Criterion {
+    /// Criterion's statistical sample count; ignored by this stub.
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    fn wants(&self, id: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| id.contains(f))
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        if self.wants(id) {
+            let mut bencher =
+                Bencher { elapsed: Duration::ZERO, iters: 0, smoke: self.smoke };
+            f(&mut bencher);
+            report(id, &bencher);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.wants(&full) {
+            let mut bencher =
+                Bencher { elapsed: Duration::ZERO, iters: 0, smoke: self.criterion.smoke };
+            f(&mut bencher);
+            report(&full, &bencher);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,320 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace patches `serde` to this crate. The COMET workspace only
+//! ever uses serde through `#[derive(Serialize, Deserialize)]` and
+//! `serde_json`, so instead of serde's full `Serializer`/`Deserializer`
+//! visitor machinery this stub uses a single JSON-shaped intermediate
+//! value, [`Content`]:
+//!
+//! * [`Serialize`] turns a value into a [`Content`] tree;
+//! * [`Deserialize`] rebuilds a value from a [`Content`] tree;
+//! * the vendored `serde_json` renders/parses `Content` as JSON text.
+//!
+//! Field order is preserved (maps are association lists), so struct
+//! serialization order matches declaration order exactly as with real
+//! `serde_json`. The only serde attribute honoured is
+//! `#[serde(default)]` — the only one the workspace uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped intermediate representation for (de)serialization.
+///
+/// Numbers keep their integer-ness: `u64`/`i64` values round-trip
+/// exactly (important for 64-bit seeds, which do not fit in an `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Association list: preserves insertion (declaration) order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a key in a `Map`.
+    pub fn get_field(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable path/reason.
+pub type DeError = String;
+
+/// Serialize into the [`Content`] intermediate representation.
+pub trait Serialize {
+    fn serialize_content(&self) -> Content;
+}
+
+/// Deserialize from the [`Content`] intermediate representation.
+pub trait Deserialize: Sized {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Marker alias used by generic code written against real serde.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+fn type_err<T>(expected: &str, got: &Content) -> Result<T, DeError> {
+    Err(format!("expected {expected}, got {got:?}"))
+}
+
+// ---- primitive impls -------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<bool, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<$t, DeError> {
+                match c {
+                    Content::U64(v) => <$t>::try_from(*v).map_err(|_| format!("{v} out of range")),
+                    Content::I64(v) => <$t>::try_from(*v).map_err(|_| format!("{v} out of range")),
+                    other => type_err("unsigned integer", other),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<$t, DeError> {
+                match c {
+                    Content::U64(v) => <$t>::try_from(*v).map_err(|_| format!("{v} out of range")),
+                    Content::I64(v) => <$t>::try_from(*v).map_err(|_| format!("{v} out of range")),
+                    other => type_err("integer", other),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(c: &Content) -> Result<f64, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => type_err("number", other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(c: &Content) -> Result<f32, DeError> {
+        f64::deserialize_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<String, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(c: &Content) -> Result<char, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_err("single-char string", other),
+        }
+    }
+}
+
+// ---- container impls -------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Box<T>, DeError> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Option<T>, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Vec<T>, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize_content())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| V::deserialize_content(v).map(|v| (k.clone(), v)))
+                .collect(),
+            other => type_err("object", other),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) => {
+                        let mut it = items.iter();
+                        Ok(($( {
+                            let _ = stringify!($name);
+                            $name::deserialize_content(
+                                it.next().ok_or("tuple too short")?,
+                            )?
+                        },)+))
+                    }
+                    other => type_err("tuple array", other),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}

@@ -1,0 +1,469 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the
+//! vendored `serde` stub.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes the
+//! COMET workspace derives on:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`);
+//! * tuple structs — one field is treated as a transparent newtype
+//!   (serde's behaviour), more fields serialize as a sequence;
+//! * enums with unit variants (`"Name"`), newtype variants
+//!   (`{"Name": value}`), tuple variants (`{"Name": [..]}`) and struct
+//!   variants (`{"Name": {..}}`) — serde's default "external tagging".
+//!
+//! Generics are not supported (the workspace derives only on concrete
+//! types); an item with generic parameters is a compile error here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---- item model ------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+// ---- parsing ---------------------------------------------------------
+
+/// Skip a run of `#[...]` attributes; report whether any of them was
+/// `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                has_default |= attr_is_serde_default(&g.stream());
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+fn attr_is_serde_default(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Skip an optional `pub` / `pub(crate)` visibility.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skip a type: everything up to the next `,` at angle-bracket depth 0.
+/// Returns the index of that comma (or `tokens.len()`).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, default) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i = skip_type(&tokens, i + 1);
+        i += 1; // consume the comma (or run off the end)
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Number of comma-separated entries in a tuple-struct/tuple-variant
+/// body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        i = skip_type(&tokens, i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = next;
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the separating comma (tolerates discriminants).
+        while i < tokens.len()
+            && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+        {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (i, _) = skip_attrs(&tokens, 0);
+    let mut i = skip_vis(&tokens, i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => panic!("unit struct `{name}` is not supported"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("malformed enum `{name}`"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+// ---- codegen ---------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), \
+                         ::serde::Serialize::serialize_content(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::serialize_content(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", entries.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => ::serde::Content::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::serialize_content(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::serialize_content(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Content::Map(vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Content::Seq(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", "),
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{n}\"), \
+                                         ::serde::Serialize::serialize_content({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Content::Map(vec![{entries}]))]),",
+                                binds = binds.join(", "),
+                                entries = entries.join(", "),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Codegen for pulling field `fname` out of the association list
+/// `entries`, in a context where `return Err` is legal.
+fn field_getter(owner: &str, fname: &str, default: bool) -> String {
+    let missing = if default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::std::string::String::from(\
+             \"missing field `{fname}` in {owner}\"))"
+        )
+    };
+    format!(
+        "{fname}: match entries.iter().find(|(k, _)| k == \"{fname}\") {{\n\
+         ::std::option::Option::Some((_, v)) => ::serde::Deserialize::deserialize_content(v)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let getters: Vec<String> =
+                fields.iter().map(|f| field_getter(name, &f.name, f.default)).collect();
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Map(entries) => ::std::result::Result::Ok({name} {{ {getters} }}),\n\
+                 other => ::std::result::Result::Err(\
+                 format!(\"expected object for {name}, got {{other:?}}\")),\n\
+                 }}",
+                getters = getters.join(",\n"),
+            )
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::Deserialize::deserialize_content(content)?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let getters: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize_content(\
+                         items.get({i}).ok_or_else(|| ::std::string::String::from(\
+                         \"tuple struct {name} too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Seq(items) => ::std::result::Result::Ok({name}({getters})),\n\
+                 other => ::std::result::Result::Err(\
+                 format!(\"expected array for {name}, got {{other:?}}\")),\n\
+                 }}",
+                getters = getters.join(", "),
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),", v = v.name)
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize_content(v)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let getters: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_content(\
+                                         items.get({i}).ok_or_else(|| \
+                                         ::std::string::String::from(\
+                                         \"variant {vname} too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match v {{\n\
+                                 ::serde::Content::Seq(items) => \
+                                 ::std::result::Result::Ok({name}::{vname}({getters})),\n\
+                                 other => ::std::result::Result::Err(format!(\
+                                 \"expected array for {name}::{vname}, got {{other:?}}\")),\n\
+                                 }},",
+                                getters = getters.join(", "),
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let getters: Vec<String> = fields
+                                .iter()
+                                .map(|f| field_getter(vname, &f.name, f.default))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match v {{\n\
+                                 ::serde::Content::Map(entries) => \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {getters} }}),\n\
+                                 other => ::std::result::Result::Err(format!(\
+                                 \"expected object for {name}::{vname}, got {{other:?}}\")),\n\
+                                 }},",
+                                getters = getters.join(",\n"),
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let payload_bind = if payload_arms.is_empty() { "(k, _v)" } else { "(k, v)" };
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(\
+                 format!(\"unknown {name} variant `{{other}}`\")),\n\
+                 }},\n\
+                 ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let {payload_bind} = &entries[0];\n\
+                 match k.as_str() {{\n\
+                 {payload_arms}\n\
+                 other => ::std::result::Result::Err(\
+                 format!(\"unknown {name} variant `{{other}}`\")),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(\
+                 format!(\"expected {name} variant, got {{other:?}}\")),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                payload_arms = payload_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_content(content: &::serde::Content) \
+         -> ::std::result::Result<{name}, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,713 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Renders and parses the vendored `serde` crate's [`Content`] model as
+//! JSON text. Matches real `serde_json` in the properties the COMET
+//! workspace relies on:
+//!
+//! * struct fields serialize in declaration order; [`Value`] objects
+//!   sort keys (`BTreeMap`), exactly like upstream without
+//!   `preserve_order`;
+//! * numbers keep their integer-ness — `u64` seeds round-trip exactly;
+//! * non-finite floats serialize as `null` (and therefore fail to
+//!   deserialize back into an `f64` field);
+//! * output is deterministic, so checksummed journal lines round-trip
+//!   byte-identically.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+/// Serialization/deserialization failure.
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Error {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.message)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// An arbitrary JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+/// A JSON number, preserving integer-ness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object member lookup (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Mutable object member lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(map) => map.get_mut(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v as f64),
+            Value::Number(Number::NegInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON text, like upstream `serde_json`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(&mut out, &value_to_content(self));
+        f.write_str(&out)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(BTreeMap::new());
+        }
+        match self {
+            Value::Object(map) => map.entry(key.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index {other:?} with a string key"),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, i: usize) -> &mut Value {
+        match self {
+            Value::Array(items) => &mut items[i],
+            other => panic!("cannot index {other:?} with a usize"),
+        }
+    }
+}
+
+macro_rules! impl_value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(Number::PosInt(v)) => {
+                        <$t>::try_from(*v).map(|v| v == *other).unwrap_or(false)
+                    }
+                    Value::Number(Number::NegInt(v)) => {
+                        <$t>::try_from(*v).map(|v| v == *other).unwrap_or(false)
+                    }
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+impl_value_eq_int!(i32, i64, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+// ---- Value ⇄ Content -------------------------------------------------
+
+fn value_to_content(value: &Value) -> Content {
+    match value {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(Number::PosInt(v)) => Content::U64(*v),
+        Value::Number(Number::NegInt(v)) => Content::I64(*v),
+        Value::Number(Number::Float(v)) => Content::F64(*v),
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(items) => Content::Seq(items.iter().map(value_to_content).collect()),
+        Value::Object(map) => {
+            Content::Map(map.iter().map(|(k, v)| (k.clone(), value_to_content(v))).collect())
+        }
+    }
+}
+
+fn content_to_value(content: &Content) -> Value {
+    match content {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::U64(v) => Value::Number(Number::PosInt(*v)),
+        Content::I64(v) => Value::Number(Number::NegInt(*v)),
+        Content::F64(v) => {
+            if v.is_finite() {
+                Value::Number(Number::Float(*v))
+            } else {
+                Value::Null
+            }
+        }
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(items) => Value::Array(items.iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries.iter().map(|(k, v)| (k.clone(), content_to_value(v))).collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_content(&self) -> Content {
+        value_to_content(self)
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_content(content: &Content) -> Result<Value, serde::DeError> {
+        Ok(content_to_value(content))
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree (used by the
+/// [`json!`] macro).
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    content_to_value(&value.serialize_content())
+}
+
+// ---- writing ---------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Float formatting: shortest round-trip repr, with a `.0` appended to
+/// integral values so floats stay floats across a parse (mirroring
+/// `serde_json`'s ryu output). Non-finite floats render as `null`.
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_compact(out: &mut String, c: &Content) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => escape_into(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, c: &Content, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_inner = "  ".repeat(indent + 1);
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&mut out, &value.serialize_content());
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.serialize_content(), 0);
+    Ok(out)
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+// ---- parsing ---------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn err<T>(&self, message: &str) -> Result<T, Error> {
+        Err(Error::new(format!("{message} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected `{word}`"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Content::Null),
+            Some(b't') => self.literal("true", Content::Bool(true)),
+            Some(b'f') => self.literal("false", Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: expect `\uXXXX` low half.
+                                self.pos += 1;
+                                if self.peek() != Some(b'\\') {
+                                    return self.err("expected low surrogate");
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return self.err("expected low surrogate");
+                                }
+                                let low = self.parse_hex4()?;
+                                0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                first
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parse the 4 hex digits after the `u` the cursor sits on.
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return self.err("truncated unicode escape");
+        }
+        let hex = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| Error::new("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid unicode escape"))?;
+        self.pos = end - 1; // caller advances past the final digit
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(v) = digits.parse::<u64>() {
+                    if let Ok(neg) = i64::try_from(v).map(|v| -v) {
+                        return Ok(Content::I64(neg));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+fn parse_document(input: &str) -> Result<Content, Error> {
+    let mut parser = Parser::new(input);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing characters");
+    }
+    Ok(value)
+}
+
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let content = parse_document(input)?;
+    T::deserialize_content(&content).map_err(Error::new)
+}
+
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf).map_err(|e| Error::new(format!("io error: {e}")))?;
+    from_str(&buf)
+}
+
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize_content(&value_to_content(&value)).map_err(Error::new)
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Supports the shapes the
+/// workspace uses: scalars/expressions, `{ "key": expr, .. }` objects
+/// and `[expr, ..]` arrays.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = ::std::collections::BTreeMap::new();
+        $( map.insert(::std::string::String::from($key), $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-17", "3.5", "1e300", "\"hi\\n\""] {
+            let v: Value = from_str(text).unwrap();
+            let again: Value = from_str(&to_string(&v).unwrap()).unwrap();
+            assert_eq!(v, again, "{text}");
+        }
+    }
+
+    #[test]
+    fn u64_seeds_round_trip_exactly() {
+        let seed = u64::MAX - 12345;
+        let text = to_string(&seed).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, seed);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let text = to_string(&2.0f64).unwrap();
+        assert_eq!(text, "2.0");
+        let v: Value = from_str(&text).unwrap();
+        assert_eq!(v, 2.0);
+        // Exact round-trip through shortest repr.
+        let tricky = 0.1f64 + 0.2f64;
+        let back: f64 = from_str(&to_string(&tricky).unwrap()).unwrap();
+        assert_eq!(back.to_bits(), tricky.to_bits());
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert!(from_str::<f64>("null").is_err());
+    }
+
+    #[test]
+    fn json_macro_and_indexing() {
+        let mut v = json!({ "index": 1, "record": { "what": "is this" }, "xs": [1, 2] });
+        assert_eq!(v["index"], 1);
+        assert_eq!(v["record"]["what"], "is this");
+        v["index"] = json!(-2.5);
+        assert_eq!(v["index"], -2.5);
+        assert!(v.get("missing").is_none());
+        assert_eq!(v["xs"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({ "a": [1, 2, 3], "b": { "c": "d" }, "empty": [] });
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+}
