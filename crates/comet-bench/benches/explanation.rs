@@ -9,7 +9,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const SMALL: &str = "add rcx, rax\nmov rdx, rcx\npop rbx";
-const CASE2: &str = "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
+const CASE2: &str =
+    "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
 
 fn bench_explain(c: &mut Criterion) {
     let mut group = c.benchmark_group("explain/crude");

@@ -12,11 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn mini_config() -> ExplainConfig {
-    ExplainConfig {
-        coverage_samples: 200,
-        max_samples: 200,
-        ..ExplainConfig::for_crude_model()
-    }
+    ExplainConfig { coverage_samples: 200, max_samples: 200, ..ExplainConfig::for_crude_model() }
 }
 
 /// Table 2 pipeline: ground truth + explanation + accuracy over a
@@ -78,12 +74,7 @@ fn bench_figures(c: &mut Criterion) {
     });
     let source_corpus = Corpus::generate_by_source(3, GenConfig::default(), 79);
     c.bench_function("paper/fig3_source_partition_gen", |b| {
-        b.iter(|| {
-            Source::ALL
-                .iter()
-                .map(|s| source_corpus.by_source(*s).len())
-                .sum::<usize>()
-        })
+        b.iter(|| Source::ALL.iter().map(|s| source_corpus.by_source(*s).len()).sum::<usize>())
     });
 }
 

@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const CASE2: &str = "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
+const CASE2: &str =
+    "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
 const BETA1: &str = "vdivss xmm0, xmm0, xmm6\nvmulss xmm7, xmm0, xmm0\nvxorps xmm0, xmm0, xmm5\nvaddss xmm7, xmm7, xmm3\nvmulss xmm6, xmm6, xmm7\nvdivss xmm6, xmm3, xmm6\nvmulss xmm0, xmm6, xmm0";
 
 fn bench_perturb(c: &mut Criterion) {

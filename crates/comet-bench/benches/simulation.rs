@@ -6,7 +6,8 @@ use comet_sim::{MachineConfig, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const SMALL: &str = "add rcx, rax\nmov rdx, rcx\npop rbx";
-const MEDIUM: &str = "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
+const MEDIUM: &str =
+    "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
 const MEMORY: &str = "lea rdx, [rax + 1]\nmov qword ptr [rdi + 24], rdx\nmov byte ptr [rax], 80\nmov rsi, qword ptr [r14 + 32]\nmov rdi, rbp";
 
 fn bench_throughput(c: &mut Criterion) {

@@ -1,0 +1,313 @@
+//! `bench-report` — the machine-readable performance gate for the
+//! explanation hot path.
+//!
+//! Runs the explanation / perturbation / neural-inference / cache
+//! micro-benches plus a miniature Table-2 pipeline and emits
+//! `BENCH_explain.json` with ops/sec, ns/query, cache hit rate, and
+//! allocations per query (measured by a counting global allocator).
+//!
+//! ```text
+//! bench-report [--smoke] [--out FILE] [--baseline FILE]
+//! ```
+//!
+//! * `--smoke` shrinks iteration counts so CI finishes in seconds; the
+//!   numbers are informational, not statistically stable.
+//! * `--baseline FILE` merges a previously captured report in as the
+//!   `baseline` section and computes `speedup` ratios against it —
+//!   this is how the committed `BENCH_explain.json` carries both the
+//!   pre-optimization and post-optimization numbers.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+use comet_core::{ExplainConfig, Explainer, FeatureSet, PerturbConfig, Perturber};
+use comet_isa::{parse_block, BasicBlock, Microarch};
+use comet_models::{CachedModel, CostModel, CrudeModel, Vocab};
+use comet_nn::HierarchicalRegressor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+
+/// Counts every heap allocation so benches can report allocs/query.
+/// Deallocations are not counted: the metric of interest is allocation
+/// *pressure* per operation, and frees mirror allocs at steady state.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(new_size as u64, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One micro-bench measurement.
+struct Sample {
+    ns_per_iter: f64,
+    allocs_per_iter: f64,
+    bytes_per_iter: f64,
+    iters: u64,
+}
+
+impl Sample {
+    fn to_json(&self) -> Value {
+        json!({
+            "ns_per_iter": self.ns_per_iter,
+            "ops_per_sec": if self.ns_per_iter > 0.0 { 1e9 / self.ns_per_iter } else { 0.0 },
+            "allocs_per_iter": self.allocs_per_iter,
+            "bytes_per_iter": self.bytes_per_iter,
+            "iters": self.iters,
+        })
+    }
+}
+
+/// Run `f` repeatedly until `target_ms` of measured time accumulates
+/// (minimum 3 iterations), timing and counting allocations.
+fn measure(target_ms: u64, mut f: impl FnMut()) -> Sample {
+    // Warm up: one unmeasured run populates caches and lazy statics.
+    f();
+    let mut iters: u64 = 0;
+    let allocs0 = ALLOCS.load(Relaxed);
+    let bytes0 = BYTES.load(Relaxed);
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        if iters >= 3 && start.elapsed().as_millis() as u64 >= target_ms {
+            break;
+        }
+        if iters >= 1_000_000 {
+            break;
+        }
+    }
+    let elapsed = start.elapsed();
+    let allocs = ALLOCS.load(Relaxed) - allocs0;
+    let bytes = BYTES.load(Relaxed) - bytes0;
+    Sample {
+        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        allocs_per_iter: allocs as f64 / iters as f64,
+        bytes_per_iter: bytes as f64 / iters as f64,
+        iters,
+    }
+}
+
+const SMALL: &str = "add rcx, rax\nmov rdx, rcx\npop rbx";
+const CASE2: &str =
+    "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
+
+/// End-to-end explanation micro-bench: the ≥2× wall-clock and ≥3×
+/// allocs/query targets are judged on these entries.
+fn bench_explain(target_ms: u64, name: &str, text: &str) -> Value {
+    let block = parse_block(text).unwrap();
+    let config = ExplainConfig { coverage_samples: 500, ..ExplainConfig::for_crude_model() };
+    let explainer = Explainer::new(CrudeModel::new(Microarch::Haswell), config);
+    let mut queries = 0u64;
+    let sample = measure(target_ms, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let explanation =
+            explainer.explain(std::hint::black_box(&block), &mut rng).expect("explain");
+        queries = explanation.queries;
+    });
+    let mut v = sample.to_json();
+    v["queries_per_explanation"] = json!(queries);
+    v["ns_per_query"] = json!(sample.ns_per_iter / queries.max(1) as f64);
+    v["allocs_per_query"] = json!(sample.allocs_per_iter / queries.max(1) as f64);
+    eprintln!(
+        "[bench] explain/{name}: {:.2} ms/iter, {} queries, {:.1} allocs/query",
+        sample.ns_per_iter / 1e6,
+        queries,
+        sample.allocs_per_iter / queries.max(1) as f64
+    );
+    v
+}
+
+/// Γ-sampling micro-bench: one unconstrained perturbation per iter.
+fn bench_perturb(target_ms: u64) -> Value {
+    let block = parse_block(CASE2).unwrap();
+    let perturber = Perturber::new(&block, PerturbConfig::default());
+    let mut rng = StdRng::seed_from_u64(7);
+    let empty = FeatureSet::new();
+    let sample = measure(target_ms, || {
+        std::hint::black_box(perturber.perturb(&empty, &mut rng));
+    });
+    eprintln!(
+        "[bench] perturb/6_instr: {:.0} ns/iter, {:.1} allocs/iter",
+        sample.ns_per_iter, sample.allocs_per_iter
+    );
+    sample.to_json()
+}
+
+/// Neural-inference micro-bench: one hierarchical-LSTM prediction per
+/// iter on an untrained (but fully sized) Ithemal-architecture model.
+/// `allocs_per_iter` here is the steady-state heap traffic the scratch
+/// buffers are meant to eliminate.
+fn bench_nn(target_ms: u64) -> Value {
+    let vocab = Vocab::standard();
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = HierarchicalRegressor::new(vocab.len(), 24, 40, &mut rng);
+    let tokens = vocab.tokenize_block(&parse_block(CASE2).unwrap());
+    let sample = measure(target_ms, || {
+        std::hint::black_box(model.predict(std::hint::black_box(&tokens)));
+    });
+    eprintln!(
+        "[bench] nn/ithemal_predict: {:.0} ns/iter, {:.1} allocs/iter",
+        sample.ns_per_iter, sample.allocs_per_iter
+    );
+    let mut v = sample.to_json();
+    v["zero_alloc_steady_state"] = json!(sample.allocs_per_iter == 0.0);
+    v
+}
+
+/// Prediction-cache micro-bench: a working set of distinct blocks
+/// queried round-robin, so after the first pass every query hits.
+fn bench_cache(target_ms: u64) -> Value {
+    let model = CachedModel::new(CrudeModel::new(Microarch::Haswell));
+    let texts = [SMALL, CASE2, "div rcx", "imul rax, rcx\nadd rcx, rax", "nop"];
+    let blocks: Vec<BasicBlock> = texts.iter().map(|t| parse_block(t).unwrap()).collect();
+    for b in &blocks {
+        model.predict(b); // prime: the measured loop is the hit path
+    }
+    let mut i = 0usize;
+    let sample = measure(target_ms, || {
+        let b = &blocks[i % blocks.len()];
+        i += 1;
+        std::hint::black_box(model.predict(std::hint::black_box(b)));
+    });
+    let stats = model.stats();
+    let hit_rate = stats.hits as f64 / stats.total.max(1) as f64;
+    eprintln!(
+        "[bench] cache/hit_path: {:.0} ns/query, {:.1} allocs/query, hit rate {:.3}",
+        sample.ns_per_iter, sample.allocs_per_iter, hit_rate
+    );
+    let mut v = sample.to_json();
+    v["hit_rate"] = json!(hit_rate);
+    v
+}
+
+/// Miniature Table-2 pipeline: explain a small generated corpus with
+/// the crude model, reporting wall-clock and aggregate queries/sec.
+/// This is the shape of work `comet-eval` does at full scale.
+fn bench_mini_table2(smoke: bool) -> Value {
+    let n_blocks = if smoke { 2 } else { 8 };
+    let corpus = comet_bhive::Corpus::generate(n_blocks, comet_bhive::GenConfig::default(), 3);
+    let blocks: Vec<&BasicBlock> = corpus.iter().map(|b| &b.block).collect();
+    let crude = CrudeModel::new(Microarch::Haswell);
+    let config = ExplainConfig { coverage_samples: 500, ..ExplainConfig::for_crude_model() };
+    let allocs0 = ALLOCS.load(Relaxed);
+    let start = Instant::now();
+    let explanations = comet_eval::experiments::explain_blocks(&crude, &blocks, config, 1);
+    let elapsed = start.elapsed();
+    let allocs = ALLOCS.load(Relaxed) - allocs0;
+    let queries: u64 = explanations.iter().map(|(_, e)| e.queries).sum();
+    let secs = elapsed.as_secs_f64();
+    eprintln!(
+        "[bench] mini_table2: {n_blocks} blocks in {secs:.2}s, {:.0} queries/sec",
+        queries as f64 / secs.max(1e-9)
+    );
+    json!({
+        "blocks": n_blocks,
+        "wall_clock_sec": secs,
+        "total_queries": queries,
+        "queries_per_sec": queries as f64 / secs.max(1e-9),
+        "allocs_total": allocs,
+        "explained": explanations.len(),
+    })
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = "BENCH_explain.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            "--help" | "-h" => {
+                eprintln!("usage: bench-report [--smoke] [--out FILE] [--baseline FILE]");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Smoke mode trades statistical stability for CI latency.
+    let target_ms: u64 = if smoke { 200 } else { 2_000 };
+
+    eprintln!("[bench-report] mode: {}", if smoke { "smoke" } else { "full" });
+    let current = json!({
+        "explain_small": bench_explain(target_ms, "3_instr", SMALL),
+        "explain_case2": bench_explain(target_ms, "6_instr_div", CASE2),
+        "perturb": bench_perturb(target_ms / 2),
+        "nn_predict": bench_nn(target_ms / 2),
+        "cache_hit": bench_cache(target_ms / 2),
+        "mini_table2": bench_mini_table2(smoke),
+    });
+
+    let mut report = json!({
+        "schema": 1,
+        "mode": if smoke { "smoke" } else { "full" },
+        "current": current.clone(),
+    });
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let loaded: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        // Accept either a bare capture (its `current` section) or an
+        // already-merged report (its `baseline` section).
+        let baseline =
+            loaded.get("current").or_else(|| loaded.get("baseline")).cloned().unwrap_or(loaded);
+        let ratio = |bench: &str, field: &str| -> Option<f64> {
+            let b = baseline.get(bench)?.get(field)?.as_f64()?;
+            let c = current.get(bench)?.get(field)?.as_f64()?;
+            if c > 0.0 {
+                Some(b / c)
+            } else {
+                None
+            }
+        };
+        let mut speedup = json!({});
+        for bench in ["explain_small", "explain_case2", "perturb", "nn_predict", "cache_hit"] {
+            if let Some(r) = ratio(bench, "ns_per_iter") {
+                speedup[format!("{bench}_time")] = json!(r);
+            }
+            if let Some(r) = ratio(bench, "allocs_per_iter") {
+                speedup[format!("{bench}_allocs")] = json!(r);
+            }
+        }
+        report["baseline"] = baseline;
+        report["speedup"] = speedup;
+    }
+
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, text).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("[bench-report] wrote {out}");
+}

@@ -105,8 +105,7 @@ impl Corpus {
                 }
                 // Category pools are not tied to a source; attribute by
                 // the dominant style.
-                let source = if category == Category::Vector || category == Category::ScalarVector
-                {
+                let source = if category == Category::Vector || category == Category::ScalarVector {
                     Source::OpenBlas
                 } else {
                     Source::Clang

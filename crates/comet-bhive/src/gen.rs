@@ -6,9 +6,7 @@
 //! written registers so realistic dependency chains form, and validates
 //! every emitted instruction against the ISA signatures.
 
-use comet_isa::{
-    BasicBlock, Instruction, MemOperand, Opcode, Operand, RegClass, Register, Size,
-};
+use comet_isa::{BasicBlock, Instruction, MemOperand, Opcode, Operand, RegClass, Register, Size};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -132,12 +130,8 @@ static SCALAR_POOL: Pool = &[
     (Shape::BitCount, 4),
 ];
 
-static VECTOR_POOL: Pool = &[
-    (Shape::VecAvx3, 40),
-    (Shape::VecSse2, 20),
-    (Shape::VecDiv, 8),
-    (Shape::VecMov, 10),
-];
+static VECTOR_POOL: Pool =
+    &[(Shape::VecAvx3, 40), (Shape::VecSse2, 20), (Shape::VecDiv, 8), (Shape::VecMov, 10)];
 
 static SCALAR_VECTOR_POOL: Pool = &[
     (Shape::VecAvx3, 20),
@@ -295,7 +289,10 @@ fn emit<R: Rng>(shape: Shape, pool: &mut RegPool, rng: &mut R) -> Instruction {
         Shape::MovRI => {
             let size = gpr_size(rng);
             let dst = pool.dst_gpr(rng, size);
-            Instruction::new(Opcode::Mov, vec![Operand::reg(dst), Operand::imm(rng.gen_range(0..256))])
+            Instruction::new(
+                Opcode::Mov,
+                vec![Operand::reg(dst), Operand::imm(rng.gen_range(0..256))],
+            )
         }
         Shape::Lea => {
             let src = pool.src_gpr(rng, Size::B64);
@@ -357,9 +354,8 @@ fn emit<R: Rng>(shape: Shape, pool: &mut RegPool, rng: &mut R) -> Instruction {
             Instruction::new(Opcode::Movzx, vec![Operand::reg(dst), Operand::reg(src)])
         }
         Shape::Cmov => {
-            let op = *[Opcode::Cmove, Opcode::Cmovne, Opcode::Cmovl, Opcode::Cmovg]
-                .choose(rng)
-                .unwrap();
+            let op =
+                *[Opcode::Cmove, Opcode::Cmovne, Opcode::Cmovl, Opcode::Cmovg].choose(rng).unwrap();
             let size = if rng.gen_bool(0.75) { Size::B64 } else { Size::B32 };
             let src = pool.src_gpr(rng, size);
             let dst = pool.dst_gpr(rng, size);
@@ -454,11 +450,7 @@ fn generate_from_pool<R: Rng>(pool: Pool, config: GenConfig, rng: &mut R) -> Bas
 }
 
 /// Generate a block in the style of a BHive source.
-pub fn generate_source_block<R: Rng>(
-    source: Source,
-    config: GenConfig,
-    rng: &mut R,
-) -> BasicBlock {
+pub fn generate_source_block<R: Rng>(source: Source, config: GenConfig, rng: &mut R) -> BasicBlock {
     generate_from_pool(pool_for_source(source), config, rng)
 }
 
@@ -504,8 +496,7 @@ mod tests {
         for _ in 0..50 {
             let c = generate_source_block(Source::Clang, config, &mut rng);
             let b = generate_source_block(Source::OpenBlas, config, &mut rng);
-            clang_vec +=
-                c.iter().filter(|i| i.opcode.category().is_vector()).count();
+            clang_vec += c.iter().filter(|i| i.opcode.category().is_vector()).count();
             blas_vec += b.iter().filter(|i| i.opcode.category().is_vector()).count();
         }
         assert!(blas_vec > clang_vec * 3, "clang {clang_vec} vs blas {blas_vec}");

@@ -162,12 +162,9 @@ pub fn load_corpus_reporting(
     let path = path.as_ref();
     let file = File::open(path)?;
     let value: serde_json::Value = serde_json::from_reader(BufReader::new(file))?;
-    let entries = value
-        .get("blocks")
-        .and_then(|b| b.as_array())
-        .ok_or_else(|| CorpusIoError::Schema {
-            message: "top-level `blocks` array missing".to_string(),
-        })?;
+    let entries = value.get("blocks").and_then(|b| b.as_array()).ok_or_else(|| {
+        CorpusIoError::Schema { message: "top-level `blocks` array missing".to_string() }
+    })?;
 
     let mut blocks = Vec::with_capacity(entries.len());
     let mut quarantine: Vec<String> = Vec::new();
@@ -181,8 +178,11 @@ pub fn load_corpus_reporting(
         }
     }
 
-    let mut report =
-        CorpusLoadReport { loaded: blocks.len(), quarantined: quarantine.len(), quarantine_path: None };
+    let mut report = CorpusLoadReport {
+        loaded: blocks.len(),
+        quarantined: quarantine.len(),
+        quarantine_path: None,
+    };
     if !quarantine.is_empty() {
         let sidecar = quarantine_sibling(path);
         let mut body = quarantine.join("\n");
@@ -221,9 +221,7 @@ fn validate(block: &BhiveBlock) -> Result<(), String> {
     if block.block.is_empty() {
         return Err("empty basic block".to_string());
     }
-    for (march, value) in
-        [("hsw", block.throughput_hsw), ("skl", block.throughput_skl)]
-    {
+    for (march, value) in [("hsw", block.throughput_hsw), ("skl", block.throughput_skl)] {
         if !value.is_finite() || value <= 0.0 {
             return Err(format!("throughput_{march} is not a positive finite number ({value})"));
         }

@@ -1,6 +1,8 @@
 //! Property-based tests for the synthetic BHive corpus generators.
 
-use comet_bhive::{classify, generate_category_block, generate_source_block, Category, GenConfig, Source};
+use comet_bhive::{
+    classify, generate_category_block, generate_source_block, Category, GenConfig, Source,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

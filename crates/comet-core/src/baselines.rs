@@ -103,8 +103,7 @@ impl BaselineContext {
                     break;
                 }
             }
-            let of_kind: Vec<&Feature> =
-                features.iter().filter(|f| f.kind() == chosen).collect();
+            let of_kind: Vec<&Feature> = features.iter().filter(|f| f.kind() == chosen).collect();
             if !of_kind.is_empty() {
                 result.insert(*of_kind[rng.gen_range(0..of_kind.len())]);
                 return result;

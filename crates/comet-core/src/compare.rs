@@ -66,8 +66,7 @@ impl ComparisonReport {
         if self.blocks.is_empty() {
             return 1.0;
         }
-        self.blocks.iter().map(BlockComparison::agreement).sum::<f64>()
-            / self.blocks.len() as f64
+        self.blocks.iter().map(BlockComparison::agreement).sum::<f64>() / self.blocks.len() as f64
     }
 
     /// Blocks where the models disagree about feature granularity —
@@ -201,11 +200,8 @@ mod tests {
 
     #[test]
     fn empty_report_defaults() {
-        let report = ComparisonReport {
-            model_a: "a".into(),
-            model_b: "b".into(),
-            blocks: Vec::new(),
-        };
+        let report =
+            ComparisonReport { model_a: "a".into(), model_b: "b".into(), blocks: Vec::new() };
         assert_eq!(report.mean_agreement(), 1.0);
     }
 }

@@ -9,16 +9,18 @@
 //! charged), and [`Explainer::explain`] returns a typed
 //! [`ExplainError`] only when no explanation can be produced at all.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::fmt;
+use std::time::Instant;
 
 use comet_isa::BasicBlock;
 use comet_models::{CostModel, ModelError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::feature::{Feature, FeatureSet};
+use crate::bitset::FeatureMask;
+use crate::feature::FeatureSet;
 use crate::perturb::{PerturbConfig, Perturber};
 use crate::precision::{exploration_beta, BernoulliEstimate};
 
@@ -135,7 +137,7 @@ impl From<ModelError> for ExplainError {
 
 /// A COMET explanation: the feature set, its estimated quality, and
 /// bookkeeping about the search.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Explanation {
     /// The explanation feature set F̂*.
     pub features: FeatureSet,
@@ -165,12 +167,45 @@ pub struct Explanation {
     /// fallback predictions).
     #[serde(default)]
     pub degraded: bool,
+    /// Wall-clock seconds the search took. Diagnostic only: excluded
+    /// from serialization (journals stay byte-stable across machines
+    /// and resumes) and from equality (see the `PartialEq` impl).
+    #[serde(skip)]
+    pub duration_secs: f64,
+}
+
+/// Equality ignores [`Explanation::duration_secs`]: timing varies
+/// between identical-seed runs, and the determinism contract ("same
+/// seed, same explanation") is about search *content*, which is what
+/// journal resume-identity checks compare.
+impl PartialEq for Explanation {
+    fn eq(&self, other: &Explanation) -> bool {
+        self.features == other.features
+            && self.precision == other.precision
+            && self.coverage == other.coverage
+            && self.prediction == other.prediction
+            && self.anchored == other.anchored
+            && self.queries == other.queries
+            && self.faults == other.faults
+            && self.retries == other.retries
+            && self.degraded == other.degraded
+    }
 }
 
 impl Explanation {
     /// The explanation rendered in the paper's notation.
     pub fn display_features(&self) -> String {
         crate::feature::format_feature_set(&self.features)
+    }
+
+    /// Model queries per wall-clock second, the search's throughput.
+    /// Zero when no duration was recorded (e.g. deserialized records).
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.duration_secs > 0.0 {
+            self.queries as f64 / self.duration_secs
+        } else {
+            0.0
+        }
     }
 }
 
@@ -181,8 +216,12 @@ pub struct Explainer<M> {
     config: ExplainConfig,
 }
 
+/// A beam-search candidate: a feature subset (as a bitmask over the
+/// perturber's interned [`FeaturePool`](crate::FeaturePool)) plus its
+/// running precision estimate. Masks make beam dedup integer hashing
+/// and subset checks bitwise AND-compares.
 struct Candidate {
-    features: FeatureSet,
+    features: FeatureMask,
     est: BernoulliEstimate,
 }
 
@@ -215,7 +254,9 @@ impl<M: CostModel> Explainer<M> {
         block: &BasicBlock,
         rng: &mut R,
     ) -> Result<Explanation, ExplainError> {
+        let start = Instant::now();
         let perturber = Perturber::new(block, self.config.perturb);
+        let pool = perturber.pool();
         let queries = Cell::new(0u64);
         let faults = Cell::new(0u64);
         let resilience_before = self.model.resilience().unwrap_or_default();
@@ -223,18 +264,34 @@ impl<M: CostModel> Explainer<M> {
         queries.set(queries.get() + 1);
         let prediction = self.model.try_predict(block).map_err(ExplainError::Model)?;
 
-        // Shared coverage pool: surviving feature sets of unconstrained
-        // perturbations (no model queries needed).
-        let coverage_pool: Vec<FeatureSet> = (0..self.config.coverage_samples)
-            .map(|_| perturber.perturb(&FeatureSet::new(), rng).surviving)
-            .collect();
-        let coverage_of = |features: &FeatureSet| -> f64 {
+        // Shared sampling scratch: one set of perturbation buffers
+        // serves every model query this explanation makes. RefCell
+        // because the sampling closure below is shared across the
+        // search loops; borrows never overlap (sampling is strictly
+        // sequential).
+        let scratch = RefCell::new(perturber.make_scratch());
+        let empty_mask = pool.empty_mask();
+
+        // Shared coverage pool: surviving feature masks of
+        // unconstrained perturbations (no model queries needed). A flat
+        // `Vec` of bitmasks — coverage counting over it is a bitwise
+        // AND-compare per entry instead of a `BTreeSet` subset walk.
+        let coverage_pool: Vec<FeatureMask> = {
+            let mut s = scratch.borrow_mut();
+            (0..self.config.coverage_samples)
+                .map(|_| {
+                    perturber.perturb_into(&empty_mask, rng, &mut s);
+                    s.surviving().clone()
+                })
+                .collect()
+        };
+        let coverage_of = |features: &FeatureMask| -> f64 {
             let hits = coverage_pool.iter().filter(|s| features.is_subset(s)).count();
             hits as f64 / coverage_pool.len().max(1) as f64
         };
 
-        let all_features: Vec<Feature> = perturber.features().to_vec();
-        if all_features.is_empty() {
+        let n_features = pool.len();
+        if n_features == 0 {
             return Err(ExplainError::NoFeatures);
         }
 
@@ -244,39 +301,40 @@ impl<M: CostModel> Explainer<M> {
         // estimate unbiased; the budget charge guarantees termination
         // even against a model that always fails). Once the budget is
         // exhausted the sampler is a no-op, so `queries` never exceeds
-        // `max_total_queries`.
+        // `max_total_queries`. The whole path is allocation-free: the
+        // perturbed block is written into the shared scratch.
         let sample = |candidate: &mut Candidate, rng: &mut R| {
             if queries.get() >= self.config.max_total_queries {
                 return;
             }
-            let perturbed = perturber.perturb(&candidate.features, rng);
+            let mut s = scratch.borrow_mut();
+            perturber.perturb_into(&candidate.features, rng, &mut s);
             queries.set(queries.get() + 1);
-            match self.model.try_predict(&perturbed.block) {
+            match self.model.try_predict(s.block()) {
                 // Open ε-ball: with quantized cost models (the crude
                 // model moves in exact quarter-cycle steps) an
                 // inclusive bound would admit genuinely changed
                 // predictions.
-                Ok(cost) => {
-                    candidate.est.update((cost - prediction).abs() < self.config.epsilon)
-                }
+                Ok(cost) => candidate.est.update((cost - prediction).abs() < self.config.epsilon),
                 Err(_) => faults.set(faults.get() + 1),
             }
         };
 
         let threshold = self.config.threshold();
         let mut beam: Vec<Candidate> = Vec::new();
-        let mut best_overall: Option<(FeatureSet, f64)> = None;
+        let mut best_overall: Option<(FeatureMask, f64)> = None;
         // Outcome of the beam search: (features, precision, anchored).
-        let mut outcome: Option<(FeatureSet, f64, bool)> = None;
+        let mut outcome: Option<(FeatureMask, f64, bool)> = None;
         let budget_left = |queries: &Cell<u64>| queries.get() < self.config.max_total_queries;
 
         'levels: for level in 1..=self.config.max_features {
-            // Build this level's candidates.
-            let mut seen: HashSet<FeatureSet> = HashSet::new();
+            // Build this level's candidates. Dedup hashes fixed-width
+            // masks (two words inline), not heap sets.
+            let mut seen: HashSet<FeatureMask> = HashSet::new();
             let mut candidates: Vec<Candidate> = Vec::new();
             if level == 1 {
-                for &f in &all_features {
-                    let mut set = FeatureSet::new();
+                for f in 0..n_features {
+                    let mut set = empty_mask.clone();
                     set.insert(f);
                     if seen.insert(set.clone()) {
                         candidates.push(Candidate { features: set, est: Default::default() });
@@ -284,8 +342,8 @@ impl<M: CostModel> Explainer<M> {
                 }
             } else {
                 for parent in &beam {
-                    for &f in &all_features {
-                        if parent.features.contains(&f) {
+                    for f in 0..n_features {
+                        if parent.features.contains(f) {
                             continue;
                         }
                         let mut set = parent.features.clone();
@@ -340,9 +398,7 @@ impl<M: CostModel> Explainer<M> {
                     candidates[a].est.ucb(beta).total_cmp(&candidates[b].est.ucb(beta))
                 });
                 let gap = match strongest_out {
-                    Some(v) => {
-                        candidates[v].est.ucb(beta) - candidates[weakest_in].est.lcb(beta)
-                    }
+                    Some(v) => candidates[v].est.ucb(beta) - candidates[weakest_in].est.lcb(beta),
                     None => 0.0,
                 };
                 let budget_left_global = budget_left(&queries);
@@ -382,8 +438,11 @@ impl<M: CostModel> Explainer<M> {
             // enough samples to be meaningful).
             for candidate in &mut candidates {
                 loop {
-                    let beta =
-                        exploration_beta(round, self.config.beam_width.max(1), self.config.confidence);
+                    let beta = exploration_beta(
+                        round,
+                        self.config.beam_width.max(1),
+                        self.config.confidence,
+                    );
                     if candidate.est.mean() < threshold
                         || candidate.est.lcb(beta) >= threshold - self.config.tolerance
                         || candidate.est.samples >= self.config.max_samples as u64
@@ -431,9 +490,13 @@ impl<M: CostModel> Explainer<M> {
                 let mut improved = true;
                 while improved && features.len() > 1 {
                     improved = false;
-                    for feature in features.clone() {
+                    // Ascending-bit order is the features' `Ord` order,
+                    // so the drop sequence (and hence RNG consumption)
+                    // matches the former `BTreeSet` iteration exactly.
+                    let snapshot = features.clone();
+                    for feature in snapshot.iter() {
                         let mut subset = features.clone();
-                        subset.remove(&feature);
+                        subset.remove(feature);
                         let mut candidate =
                             Candidate { features: subset.clone(), est: Default::default() };
                         let b = exploration_beta(
@@ -468,9 +531,7 @@ impl<M: CostModel> Explainer<M> {
 
             // No anchor yet: carry the beam to the next level.
             let mut order: Vec<usize> = (0..candidates.len()).collect();
-            order.sort_by(|&a, &b| {
-                candidates[b].est.mean().total_cmp(&candidates[a].est.mean())
-            });
+            order.sort_by(|&a, &b| candidates[b].est.mean().total_cmp(&candidates[a].est.mean()));
             order.truncate(self.config.beam_width);
             let mut next_beam = Vec::new();
             let mut taken: HashSet<usize> = order.iter().copied().collect();
@@ -499,7 +560,7 @@ impl<M: CostModel> Explainer<M> {
         let retries = resilience_after.retries.saturating_sub(resilience_before.retries);
         let degraded = faults.get() > 0 || resilience_after.degraded;
         Ok(Explanation {
-            features,
+            features: pool.set_of(&features),
             precision,
             coverage,
             prediction,
@@ -508,6 +569,7 @@ impl<M: CostModel> Explainer<M> {
             faults: faults.get(),
             retries,
             degraded,
+            duration_secs: start.elapsed().as_secs_f64(),
         })
     }
 }
@@ -515,6 +577,7 @@ impl<M: CostModel> Explainer<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::feature::Feature;
     use comet_isa::parse_block;
     use comet_models::{FaultConfig, FaultyModel};
     use rand::rngs::StdRng;
@@ -542,8 +605,9 @@ mod tests {
         }
 
         fn predict(&self, block: &BasicBlock) -> f64 {
-            let has_div =
-                block.iter().any(|i| matches!(i.opcode, comet_isa::Opcode::Div | comet_isa::Opcode::Idiv));
+            let has_div = block
+                .iter()
+                .any(|i| matches!(i.opcode, comet_isa::Opcode::Div | comet_isa::Opcode::Idiv));
             if has_div {
                 25.0
             } else {

@@ -119,8 +119,7 @@ mod tests {
         assert_eq!(features.len(), 5);
         assert!(features.contains(&Feature::NumInstructions));
         assert!(features.contains(&Feature::Instruction(2)));
-        assert!(features
-            .contains(&Feature::Dependency { kind: DepKind::Raw, src: 0, dst: 1 }));
+        assert!(features.contains(&Feature::Dependency { kind: DepKind::Raw, src: 0, dst: 1 }));
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod baselines;
+mod bitset;
 mod compare;
 mod explain;
 mod feature;
@@ -58,7 +59,8 @@ pub mod precision;
 pub mod space;
 
 pub use baselines::{ground_truth, is_accurate, BaselineContext};
+pub use bitset::{FeatureMask, FeaturePool};
 pub use compare::{compare_models, BlockComparison, ComparisonReport};
 pub use explain::{ExplainConfig, ExplainError, Explainer, Explanation};
 pub use feature::{extract_features, format_feature_set, Feature, FeatureKind, FeatureSet};
-pub use perturb::{PerturbConfig, PerturbedBlock, Perturber, ReplacementScheme};
+pub use perturb::{PerturbConfig, PerturbScratch, PerturbedBlock, Perturber, ReplacementScheme};

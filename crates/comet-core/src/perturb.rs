@@ -17,19 +17,32 @@
 //! feature survives in the emitted block (re-attempting the stochastic
 //! choices when a rare interaction — e.g. an opcode replacement turning
 //! a read into an interposing write — would violate one).
+//!
+//! # Hot path
+//!
+//! Γ runs once per model query — tens of thousands of times per
+//! explanation — so the sampler has two entry points. The original
+//! [`Perturber::perturb`] allocates a fresh [`PerturbedBlock`] per
+//! call; [`Perturber::perturb_into`] instead writes into a caller-held
+//! [`PerturbScratch`] (instruction buffers, protection tables, the
+//! rebuilt block, and the surviving-feature bitmask), reaching zero
+//! steady-state heap allocations. Both paths draw from the RNG in
+//! exactly the same order, so seeded explanations are byte-identical
+//! whichever entry point the caller uses.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use comet_graph::{BlockGraph, DepEdge};
 #[cfg(test)]
 use comet_graph::DepKind;
+use comet_graph::{BlockGraph, DepConfig, DepEdge, EdgeSetScratch};
 use comet_isa::{
-    opcode_replacements, BasicBlock, Instruction, Operand, RegClass, Register, Size,
+    opcode_replacements, BasicBlock, Instruction, Opcode, Operand, RegClass, Register, Size,
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::bitset::{FeatureMask, FeaturePool};
 use crate::feature::{extract_features, Feature, FeatureSet};
 
 /// What counts as perturbing "the instruction feature" (paper
@@ -83,12 +96,57 @@ pub struct PerturbedBlock {
     pub surviving: FeatureSet,
 }
 
+/// Caller-held scratch for [`Perturber::perturb_into`].
+///
+/// Holds every buffer one perturbation sample needs — the working
+/// instruction slots, protection tables, the rebuilt output block, the
+/// dependency-analysis scratch, and the surviving-feature bitmask — so
+/// repeated sampling reuses warm allocations instead of rebuilding a
+/// fresh block graph per sample. Create one per sampling loop with
+/// [`Perturber::make_scratch`]; it is tied to that perturber's block
+/// and feature pool.
+#[derive(Debug, Clone)]
+pub struct PerturbScratch {
+    insts: Vec<Instruction>,
+    alive: Vec<bool>,
+    keep_opcode: Vec<bool>,
+    opcode_changed: Vec<bool>,
+    operands_changed: Vec<bool>,
+    protected_regs: HashSet<(usize, Register)>,
+    protected_mem: HashSet<usize>,
+    new_index: Vec<usize>,
+    block: BasicBlock,
+    surviving: FeatureMask,
+    edges: EdgeSetScratch,
+    reg_candidates: Vec<Register>,
+    reg_fresh: Vec<Register>,
+    rename_positions: Vec<usize>,
+    rename_choices: Vec<Register>,
+}
+
+impl PerturbScratch {
+    /// The perturbed block produced by the last
+    /// [`Perturber::perturb_into`] call.
+    pub fn block(&self) -> &BasicBlock {
+        &self.block
+    }
+
+    /// The surviving-feature mask (over the perturber's
+    /// [`FeaturePool`]) of the last [`Perturber::perturb_into`] call.
+    pub fn surviving(&self) -> &FeatureMask {
+        &self.surviving
+    }
+}
+
 /// The perturbation sampler for one target block.
 #[derive(Debug, Clone)]
 pub struct Perturber<'a> {
     block: &'a BasicBlock,
     graph: BlockGraph,
-    features: Vec<Feature>,
+    pool: FeaturePool,
+    /// Per-instruction opcode replacement candidates, precomputed once
+    /// (they depend only on the original instruction).
+    replacements: Vec<Vec<Opcode>>,
     config: PerturbConfig,
 }
 
@@ -98,8 +156,18 @@ impl<'a> Perturber<'a> {
     /// Build a perturber (analyzes the block's multigraph once).
     pub fn new(block: &'a BasicBlock, config: PerturbConfig) -> Perturber<'a> {
         let graph = BlockGraph::build(block);
-        let features = extract_features(block, &graph);
-        Perturber { block, graph, features, config }
+        let pool = FeaturePool::new(extract_features(block, &graph));
+        // The pool's index layout is positional: instruction `i` at
+        // index `i`, edge `j` (in graph order) at `block.len() + j`, η
+        // last. `extract_features` guarantees this; the edge loop and
+        // survival check rely on it.
+        debug_assert!(graph.edges().iter().enumerate().all(|(j, e)| {
+            pool.feature(block.len() + j)
+                == Feature::Dependency { kind: e.kind, src: e.src, dst: e.dst }
+        }));
+        debug_assert_eq!(pool.feature(pool.len() - 1), Feature::NumInstructions);
+        let replacements = block.iter().map(opcode_replacements).collect();
+        Perturber { block, graph, pool, replacements, config }
     }
 
     /// The target block.
@@ -114,12 +182,39 @@ impl<'a> Perturber<'a> {
 
     /// The candidate features P̂ of the block.
     pub fn features(&self) -> &[Feature] {
-        &self.features
+        self.pool.features()
+    }
+
+    /// The interned feature pool (P̂ in dense index space).
+    pub fn pool(&self) -> &FeaturePool {
+        &self.pool
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &PerturbConfig {
         &self.config
+    }
+
+    /// Allocate scratch buffers for [`Perturber::perturb_into`].
+    pub fn make_scratch(&self) -> PerturbScratch {
+        let n = self.block.len();
+        PerturbScratch {
+            insts: self.block.instructions().to_vec(),
+            alive: vec![true; n],
+            keep_opcode: vec![false; n],
+            opcode_changed: vec![false; n],
+            operands_changed: vec![false; n],
+            protected_regs: HashSet::new(),
+            protected_mem: HashSet::new(),
+            new_index: vec![0; n],
+            block: self.block.clone(),
+            surviving: self.pool.empty_mask(),
+            edges: EdgeSetScratch::new(),
+            reg_candidates: Vec::new(),
+            reg_fresh: Vec::new(),
+            rename_positions: Vec::new(),
+            rename_choices: Vec::new(),
+        }
     }
 
     /// Sample one perturbation that preserves `preserve` (β′ ~ D_F).
@@ -129,51 +224,81 @@ impl<'a> Perturber<'a> {
     /// interactions that would violate one, the draw is retried, and
     /// after [`MAX_ATTEMPTS`] the unperturbed block is returned (the
     /// identity perturbation — β ∈ Π(F) by definition).
+    ///
+    /// Allocating wrapper around [`Perturber::perturb_into`]; sampling
+    /// loops should hold a [`PerturbScratch`] and call that instead.
     pub fn perturb<R: Rng>(&self, preserve: &FeatureSet, rng: &mut R) -> PerturbedBlock {
         debug_assert!(
-            preserve.iter().all(|f| self.features.contains(f)),
+            preserve.iter().all(|f| self.pool.index_of(f).is_some()),
             "preserve set contains features not in the block"
         );
-        for _ in 0..MAX_ATTEMPTS {
-            let candidate = self.attempt(preserve, rng);
-            if preserve.is_subset(&candidate.surviving) {
-                return candidate;
-            }
-        }
+        let mask = self.pool.mask_of(preserve);
+        let mut scratch = self.make_scratch();
+        self.perturb_into(&mask, rng, &mut scratch);
         PerturbedBlock {
-            block: self.block.clone(),
-            surviving: self.features.iter().copied().collect(),
+            block: scratch.block.clone(),
+            surviving: self.pool.set_of(&scratch.surviving),
         }
     }
 
-    fn attempt<R: Rng>(&self, preserve: &FeatureSet, rng: &mut R) -> PerturbedBlock {
+    /// Allocation-free [`Perturber::perturb`]: the perturbed block and
+    /// surviving-feature mask are written into `scratch`
+    /// ([`PerturbScratch::block`], [`PerturbScratch::surviving`]).
+    /// `preserve` is a mask over [`Perturber::pool`]. Draws from the
+    /// RNG in exactly the same order as `perturb`, so the two are
+    /// interchangeable under a fixed seed.
+    pub fn perturb_into<R: Rng>(
+        &self,
+        preserve: &FeatureMask,
+        rng: &mut R,
+        scratch: &mut PerturbScratch,
+    ) {
+        for _ in 0..MAX_ATTEMPTS {
+            self.attempt_into(preserve, rng, scratch);
+            if preserve.is_subset(&scratch.surviving) {
+                return;
+            }
+        }
+        // Identity perturbation: the original block, all features
+        // surviving (β ∈ Π(F) by definition).
+        scratch.block.rebuild_from(self.block.iter()).expect("original block is non-empty");
+        scratch.surviving.fill_to(self.pool.len());
+    }
+
+    fn attempt_into<R: Rng>(&self, preserve: &FeatureMask, rng: &mut R, s: &mut PerturbScratch) {
         let n = self.block.len();
-        let preserve_eta = preserve.contains(&Feature::NumInstructions);
+        let eta_index = self.pool.len() - 1;
+        let preserve_eta = preserve.contains(eta_index);
 
         // Vertices whose opcode (and, for preserved dependencies, whose
         // carrying operands) must stay intact.
-        let mut keep_opcode = vec![false; n];
-        let mut protected_regs: HashSet<(usize, Register)> = HashSet::new();
-        let mut protected_mem: HashSet<usize> = HashSet::new();
-        for feature in preserve {
-            match *feature {
+        s.keep_opcode.fill(false);
+        s.protected_regs.clear();
+        s.protected_mem.clear();
+        for index in preserve.iter() {
+            match self.pool.feature(index) {
                 Feature::Instruction(i) => {
-                    keep_opcode[i] = true;
+                    s.keep_opcode[i] = true;
                     if self.config.scheme == ReplacementScheme::WholeInstruction {
-                        protect_instruction(self.block, i, &mut protected_regs, &mut protected_mem);
+                        protect_instruction(
+                            self.block,
+                            i,
+                            &mut s.protected_regs,
+                            &mut s.protected_mem,
+                        );
                     }
                 }
                 Feature::Dependency { kind, src, dst } => {
-                    keep_opcode[src] = true;
-                    keep_opcode[dst] = true;
+                    s.keep_opcode[src] = true;
+                    s.keep_opcode[dst] = true;
                     if let Some(edge) = self.graph.find_edge(kind, src, dst) {
                         for reg in edge.cause_registers() {
-                            protected_regs.insert((src, reg.full()));
-                            protected_regs.insert((dst, reg.full()));
+                            s.protected_regs.insert((src, reg.full()));
+                            s.protected_regs.insert((dst, reg.full()));
                         }
                         if edge.has_memory_cause() {
-                            protected_mem.insert(src);
-                            protected_mem.insert(dst);
+                            s.protected_mem.insert(src);
+                            s.protected_mem.insert(dst);
                         }
                     }
                 }
@@ -182,166 +307,182 @@ impl<'a> Perturber<'a> {
         }
 
         // --- vertex perturbations -----------------------------------
-        let mut insts: Vec<Option<Instruction>> =
-            self.block.iter().cloned().map(Some).collect();
-        let mut opcode_changed = vec![false; n];
-        let mut operands_changed = vec![false; n];
+        for (i, original) in self.block.iter().enumerate() {
+            s.insts[i].clone_from(original);
+            s.alive[i] = true;
+            s.opcode_changed[i] = false;
+            s.operands_changed[i] = false;
+        }
         for i in 0..n {
-            if keep_opcode[i] || rng.gen::<f64>() < self.config.p_inst_retain {
+            if s.keep_opcode[i] || rng.gen::<f64>() < self.config.p_inst_retain {
                 continue;
             }
             if !preserve_eta && rng.gen::<f64>() < self.config.p_delete {
-                insts[i] = None;
+                s.alive[i] = false;
                 continue;
             }
-            // Invariant: the delete branch above `continue`s, so slot
-            // `i` still holds its instruction here.
-            let inst = insts[i].as_mut().expect("vertex not yet deleted");
-            let candidates = opcode_replacements(inst);
-            if let Some(&new_opcode) = candidates.choose(rng) {
-                inst.opcode = new_opcode;
-                opcode_changed[i] = true;
+            if let Some(&new_opcode) = self.replacements[i].choose(rng) {
+                s.insts[i].opcode = new_opcode;
+                s.opcode_changed[i] = true;
             }
             // Under the whole-instruction scheme, operand renames are
             // part of instruction perturbation as well.
             if self.config.scheme == ReplacementScheme::WholeInstruction && rng.gen_bool(0.5) {
-                // Invariant: same slot as `inst` above — still occupied.
-                if rename_random_operand(insts[i].as_mut().unwrap(), i, &protected_regs, rng) {
-                    operands_changed[i] = true;
+                let renamed = rename_random_operand(
+                    &mut s.insts[i],
+                    i,
+                    &s.protected_regs,
+                    rng,
+                    &mut s.rename_positions,
+                    &mut s.rename_choices,
+                );
+                if renamed {
+                    s.operands_changed[i] = true;
                 }
             }
         }
 
         // --- edge perturbations --------------------------------------
-        for edge in self.graph.edges() {
-            let id = Feature::Dependency { kind: edge.kind, src: edge.src, dst: edge.dst };
-            if preserve.contains(&id) {
+        for (j, edge) in self.graph.edges().iter().enumerate() {
+            if preserve.contains(n + j) {
                 continue;
             }
-            if insts[edge.src].is_none() || insts[edge.dst].is_none() {
+            if !s.alive[edge.src] || !s.alive[edge.dst] {
                 continue; // already gone with its vertex
             }
             if rng.gen::<f64>() < self.config.p_dep_retain {
                 continue; // explicit retention
             }
-            self.break_edge(edge, &mut insts, &protected_regs, &protected_mem, rng);
+            break_edge(edge, s, rng);
         }
 
         // --- rebuild & survival --------------------------------------
-        let mut index_map: HashMap<usize, usize> = HashMap::new();
-        let mut kept = Vec::new();
-        for (i, inst) in insts.into_iter().enumerate() {
-            if let Some(inst) = inst {
-                index_map.insert(i, kept.len());
-                kept.push(inst);
+        let mut new_len = 0;
+        for i in 0..n {
+            if s.alive[i] {
+                s.new_index[i] = new_len;
+                new_len += 1;
             }
         }
-        if kept.is_empty() {
+        if new_len == 0 {
             // Blocks must be non-empty; retain the first instruction.
-            index_map.insert(0, 0);
-            kept.push(self.block.instructions()[0].clone());
-            opcode_changed[0] = false;
-            operands_changed[0] = false;
+            s.insts[0].clone_from(&self.block.instructions()[0]);
+            s.alive[0] = true;
+            s.opcode_changed[0] = false;
+            s.operands_changed[0] = false;
+            s.new_index[0] = 0;
+            new_len = 1;
         }
-        let new_len = kept.len();
-        // Invariant: `kept` is non-empty (backfilled above) and every
-        // instruction came from a valid block, possibly with operands
-        // renamed within their register class — still well-formed.
-        let block = BasicBlock::new(kept).expect("perturbation produced an invalid block");
-        let new_graph = BlockGraph::build(&block);
+        // Invariant: at least one instruction is alive (backfilled
+        // above) and every instruction came from a valid block,
+        // possibly with operands renamed within their register class —
+        // still well-formed.
+        let kept = s.insts.iter().zip(&s.alive).filter_map(|(inst, &a)| a.then_some(inst));
+        s.block.rebuild_from(kept).expect("perturbation produced an invalid block");
+        s.edges.compute(&s.block, DepConfig::default());
 
-        let mut surviving = FeatureSet::new();
-        for feature in &self.features {
+        s.surviving.clear();
+        for (index, feature) in self.pool.features().iter().enumerate() {
             let present = match *feature {
-                Feature::Instruction(i) => match index_map.get(&i) {
-                    Some(_) => {
-                        !opcode_changed[i]
-                            && (self.config.scheme == ReplacementScheme::OpcodeOnly
-                                || !operands_changed[i])
-                    }
-                    None => false,
-                },
+                Feature::Instruction(i) => {
+                    s.alive[i]
+                        && !s.opcode_changed[i]
+                        && (self.config.scheme == ReplacementScheme::OpcodeOnly
+                            || !s.operands_changed[i])
+                }
                 Feature::Dependency { kind, src, dst } => {
-                    match (index_map.get(&src), index_map.get(&dst)) {
-                        (Some(&s), Some(&d)) => new_graph.find_edge(kind, s, d).is_some(),
-                        _ => false,
-                    }
+                    s.alive[src]
+                        && s.alive[dst]
+                        && s.edges.contains(kind, s.new_index[src], s.new_index[dst])
                 }
                 Feature::NumInstructions => new_len == n,
             };
             if present {
-                surviving.insert(*feature);
-            }
-        }
-        PerturbedBlock { block, surviving }
-    }
-
-    /// Break one dependency edge by perturbing the carrying operands of
-    /// the consumer instruction. Protected occurrences are skipped, so
-    /// a break attempt can fail (implicit retention — the paper's
-    /// block-specific probability effect, Appendix D).
-    fn break_edge<R: Rng>(
-        &self,
-        edge: &DepEdge,
-        insts: &mut [Option<Instruction>],
-        protected_regs: &HashSet<(usize, Register)>,
-        protected_mem: &HashSet<usize>,
-        rng: &mut R,
-    ) {
-        for cause in edge.cause_registers() {
-            let full = cause.full();
-            if protected_regs.contains(&(edge.dst, full)) {
-                continue;
-            }
-            let replacement = self.pick_replacement_register(full, insts, rng);
-            if let Some(inst) = insts[edge.dst].as_mut() {
-                rename_register(inst, full, replacement);
-            }
-        }
-        if edge.has_memory_cause() && !protected_mem.contains(&edge.dst) {
-            if let Some(inst) = insts[edge.dst].as_mut() {
-                displace_memory(inst, 64 * (1 + rng.gen_range(0..4)));
+                s.surviving.insert(index);
             }
         }
     }
+}
 
-    /// Choose a register of the same class to substitute for `full`,
-    /// preferring registers unused anywhere in the current block so no
-    /// new dependencies form.
-    fn pick_replacement_register<R: Rng>(
-        &self,
-        full: Register,
-        insts: &[Option<Instruction>],
-        rng: &mut R,
-    ) -> Register {
-        let mut used: HashSet<Register> = HashSet::new();
-        for inst in insts.iter().flatten() {
-            for operand in &inst.operands {
-                match operand {
-                    Operand::Reg(r) => {
-                        used.insert(r.full());
+/// Break one dependency edge by perturbing the carrying operands of
+/// the consumer instruction. Protected occurrences are skipped, so
+/// a break attempt can fail (implicit retention — the paper's
+/// block-specific probability effect, Appendix D).
+fn break_edge<R: Rng>(edge: &DepEdge, s: &mut PerturbScratch, rng: &mut R) {
+    for cause in edge.cause_registers() {
+        let full = cause.full();
+        if s.protected_regs.contains(&(edge.dst, full)) {
+            continue;
+        }
+        let replacement = pick_replacement_register(
+            full,
+            &s.insts,
+            &s.alive,
+            &mut s.reg_candidates,
+            &mut s.reg_fresh,
+            rng,
+        );
+        rename_register(&mut s.insts[edge.dst], full, replacement);
+    }
+    if edge.has_memory_cause() && !s.protected_mem.contains(&edge.dst) {
+        displace_memory(&mut s.insts[edge.dst], 64 * (1 + rng.gen_range(0..4)));
+    }
+}
+
+/// Bit position of an architectural register in the 32-bit used-set
+/// bitmap: 16 GPRs then 16 vector registers, by hardware index.
+fn reg_bit(full: Register) -> u32 {
+    let class_base = match full.class() {
+        RegClass::Gpr => 0,
+        RegClass::Vec => 16,
+    };
+    1u32 << (class_base + u32::from(full.index()))
+}
+
+/// Choose a register of the same class to substitute for `full`,
+/// preferring registers unused anywhere in the current block so no
+/// new dependencies form. The used set is a 32-bit bitmap (the two
+/// register files have 16 names each), so the block scan is a few OR
+/// instructions per operand; `candidates`/`fresh` are scratch buffers,
+/// cleared and refilled each call.
+fn pick_replacement_register<R: Rng>(
+    full: Register,
+    insts: &[Instruction],
+    alive: &[bool],
+    candidates: &mut Vec<Register>,
+    fresh: &mut Vec<Register>,
+    rng: &mut R,
+) -> Register {
+    let mut used = 0u32;
+    for (inst, &live) in insts.iter().zip(alive) {
+        if !live {
+            continue;
+        }
+        for operand in &inst.operands {
+            match operand {
+                Operand::Reg(r) => used |= reg_bit(r.full()),
+                Operand::Mem(m) => {
+                    for r in m.address_registers() {
+                        used |= reg_bit(r.full());
                     }
-                    Operand::Mem(m) => used.extend(m.address_registers().map(Register::full)),
-                    Operand::Imm(_) => {}
                 }
+                Operand::Imm(_) => {}
             }
         }
-        let full_size = match full.class() {
-            RegClass::Gpr => Size::B64,
-            RegClass::Vec => Size::B256,
-        };
-        let candidates: Vec<Register> = Register::all(full.class(), full_size)
-            .filter(|r| *r != full && !r.is_stack_pointer())
-            .collect();
-        let fresh: Vec<Register> =
-            candidates.iter().copied().filter(|r| !used.contains(r)).collect();
-        // Invariant: both register classes have ≥ 15 members besides
-        // `full` and the stack pointer, so `candidates` is never empty.
-        *fresh
-            .choose(rng)
-            .or_else(|| candidates.choose(rng))
-            .expect("register file exhausted")
     }
+    let full_size = match full.class() {
+        RegClass::Gpr => Size::B64,
+        RegClass::Vec => Size::B256,
+    };
+    candidates.clear();
+    candidates.extend(
+        Register::all(full.class(), full_size).filter(|r| *r != full && !r.is_stack_pointer()),
+    );
+    fresh.clear();
+    fresh.extend(candidates.iter().copied().filter(|r| used & reg_bit(*r) == 0));
+    // Invariant: both register classes have ≥ 15 members besides
+    // `full` and the stack pointer, so `candidates` is never empty.
+    *fresh.choose(rng).or_else(|| candidates.choose(rng)).expect("register file exhausted")
 }
 
 /// Protect every register and memory operand of an instruction.
@@ -401,33 +542,33 @@ fn displace_memory(inst: &mut Instruction, delta: i64) {
 }
 
 /// Rename one random non-protected register operand to another of the
-/// same class and size. Returns whether a rename happened.
+/// same class and size. Returns whether a rename happened. The
+/// `positions`/`choices` buffers are scratch, cleared each call.
 fn rename_random_operand<R: Rng>(
     inst: &mut Instruction,
     index: usize,
     protected_regs: &HashSet<(usize, Register)>,
     rng: &mut R,
+    positions: &mut Vec<usize>,
+    choices: &mut Vec<Register>,
 ) -> bool {
-    let renameable: Vec<usize> = inst
-        .operands
-        .iter()
-        .enumerate()
-        .filter_map(|(pos, op)| match op {
-            Operand::Reg(r)
-                if !protected_regs.contains(&(index, r.full())) && !r.is_stack_pointer() =>
-            {
-                Some(pos)
-            }
-            _ => None,
-        })
-        .collect();
-    let Some(&pos) = renameable.choose(rng) else {
+    positions.clear();
+    positions.extend(inst.operands.iter().enumerate().filter_map(|(pos, op)| match op {
+        Operand::Reg(r)
+            if !protected_regs.contains(&(index, r.full())) && !r.is_stack_pointer() =>
+        {
+            Some(pos)
+        }
+        _ => None,
+    }));
+    let Some(&pos) = positions.choose(rng) else {
         return false;
     };
     let Operand::Reg(old) = inst.operands[pos] else { unreachable!() };
-    let choices: Vec<Register> = Register::all(old.class(), old.size())
-        .filter(|r| *r != old && !r.is_stack_pointer())
-        .collect();
+    choices.clear();
+    choices.extend(
+        Register::all(old.class(), old.size()).filter(|r| *r != old && !r.is_stack_pointer()),
+    );
     if let Some(&new) = choices.choose(rng) {
         inst.operands[pos] = Operand::Reg(new);
         true
@@ -565,6 +706,43 @@ mod tests {
         let b = perturber.perturb(&FeatureSet::new(), &mut StdRng::seed_from_u64(9));
         assert_eq!(a.block, b.block);
         assert_eq!(a.surviving, b.surviving);
+    }
+
+    /// The scratch entry point and the allocating wrapper must consume
+    /// the RNG identically and agree on block + surviving set, for
+    /// every preserve set — this is the determinism contract that lets
+    /// the explainer use the scratch path without changing seeded
+    /// output.
+    #[test]
+    fn scratch_path_matches_allocating_path() {
+        let block = parse_block(
+            "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx",
+        )
+        .unwrap();
+        for scheme in [ReplacementScheme::OpcodeOnly, ReplacementScheme::WholeInstruction] {
+            let config = PerturbConfig { scheme, ..PerturbConfig::default() };
+            let perturber = Perturber::new(&block, config);
+            let mut scratch = perturber.make_scratch();
+            let mut preserve_sets: Vec<FeatureSet> = vec![FeatureSet::new()];
+            preserve_sets.extend(perturber.features().iter().map(|&f| [f].into_iter().collect()));
+            for (i, preserve) in preserve_sets.iter().enumerate() {
+                let mask = perturber.pool().mask_of(preserve);
+                let mut rng_a = StdRng::seed_from_u64(1000 + i as u64);
+                let mut rng_b = StdRng::seed_from_u64(1000 + i as u64);
+                for _ in 0..20 {
+                    let via_wrapper = perturber.perturb(preserve, &mut rng_a);
+                    perturber.perturb_into(&mask, &mut rng_b, &mut scratch);
+                    assert_eq!(via_wrapper.block, *scratch.block(), "preserve {preserve:?}");
+                    assert_eq!(
+                        via_wrapper.surviving,
+                        perturber.pool().set_of(scratch.surviving()),
+                        "preserve {preserve:?}"
+                    );
+                    // The streams must stay aligned, not just start so.
+                    assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+                }
+            }
+        }
     }
 
     #[test]

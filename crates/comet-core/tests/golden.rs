@@ -1,0 +1,110 @@
+//! Golden seeded-explanation outputs.
+//!
+//! The expected values below were captured at the commit *before* the
+//! bitmask feature-set representation and the allocation-free sampling
+//! /inference paths were introduced, when the search manipulated
+//! `BTreeSet<Feature>` throughout. The optimized implementation must
+//! reproduce them exactly — same features, same precision/coverage,
+//! same query count — proving the representation change did not move a
+//! single RNG draw. If an intentional algorithm change breaks these,
+//! re-capture the values and bump the evaluation journal fingerprint.
+
+use comet_core::{ExplainConfig, Explainer, Feature, FeatureSet};
+use comet_graph::DepKind;
+use comet_isa::{parse_block, Microarch};
+use comet_models::CrudeModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SMALL: &str = "add rcx, rax\nmov rdx, rcx\npop rbx";
+const CASE2: &str =
+    "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
+
+struct Golden {
+    block: &'static str,
+    seed: u64,
+    features: &'static [Feature],
+    precision: f64,
+    coverage: f64,
+    prediction: f64,
+    anchored: bool,
+    queries: u64,
+}
+
+const GOLDENS: &[Golden] = &[
+    Golden {
+        block: SMALL,
+        seed: 3,
+        features: &[
+            Feature::Dependency { kind: DepKind::Raw, src: 0, dst: 1 },
+            Feature::NumInstructions,
+        ],
+        precision: 0.9375,
+        coverage: 0.056,
+        prediction: 0.75,
+        anchored: true,
+        queries: 866,
+    },
+    Golden {
+        block: SMALL,
+        seed: 7,
+        features: &[Feature::Instruction(1), Feature::Instruction(2)],
+        precision: 0.9375,
+        coverage: 0.248,
+        prediction: 0.75,
+        anchored: true,
+        queries: 327,
+    },
+    Golden {
+        block: CASE2,
+        seed: 3,
+        features: &[Feature::Dependency { kind: DepKind::Raw, src: 0, dst: 3 }],
+        precision: 1.0,
+        coverage: 0.074,
+        prediction: 25.25,
+        anchored: true,
+        queries: 881,
+    },
+    Golden {
+        block: CASE2,
+        seed: 7,
+        features: &[Feature::Dependency { kind: DepKind::Raw, src: 0, dst: 3 }],
+        precision: 1.0,
+        coverage: 0.062,
+        prediction: 25.25,
+        anchored: true,
+        queries: 1193,
+    },
+];
+
+#[test]
+fn seeded_explanations_match_pre_bitmask_goldens() {
+    let config = ExplainConfig { coverage_samples: 500, ..ExplainConfig::for_crude_model() };
+    for golden in GOLDENS {
+        let block = parse_block(golden.block).unwrap();
+        let explainer = Explainer::new(CrudeModel::new(Microarch::Haswell), config);
+        let mut rng = StdRng::seed_from_u64(golden.seed);
+        let e = explainer.explain(&block, &mut rng).unwrap();
+        let expected: FeatureSet = golden.features.iter().copied().collect();
+        let tag = format!("block {:?} seed {}", golden.block, golden.seed);
+        assert_eq!(e.features, expected, "{tag}: features");
+        assert_eq!(e.precision, golden.precision, "{tag}: precision");
+        assert_eq!(e.coverage, golden.coverage, "{tag}: coverage");
+        assert_eq!(e.prediction, golden.prediction, "{tag}: prediction");
+        assert_eq!(e.anchored, golden.anchored, "{tag}: anchored");
+        assert_eq!(e.queries, golden.queries, "{tag}: queries");
+    }
+}
+
+/// The small-block golden values come out the same whichever seed runs
+/// first — the explainer keeps no cross-call state.
+#[test]
+fn goldens_are_order_independent() {
+    let config = ExplainConfig { coverage_samples: 500, ..ExplainConfig::for_crude_model() };
+    let block = parse_block(SMALL).unwrap();
+    let explainer = Explainer::new(CrudeModel::new(Microarch::Haswell), config);
+    let late = explainer.explain(&block, &mut StdRng::seed_from_u64(7)).unwrap();
+    let early = explainer.explain(&block, &mut StdRng::seed_from_u64(3)).unwrap();
+    assert_eq!(early.queries, 866);
+    assert_eq!(late.queries, 327);
+}

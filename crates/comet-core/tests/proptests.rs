@@ -2,8 +2,8 @@
 
 use comet_bhive::{generate_source_block, GenConfig, Source};
 use comet_core::{
-    extract_features, ground_truth, is_accurate, precision, ExplainConfig, ExplainError,
-    Explainer, Feature, FeatureSet, PerturbConfig, Perturber,
+    extract_features, ground_truth, is_accurate, precision, ExplainConfig, ExplainError, Explainer,
+    Feature, FeatureSet, PerturbConfig, Perturber,
 };
 use comet_graph::BlockGraph;
 use comet_isa::{BasicBlock, Microarch};
@@ -140,6 +140,76 @@ proptest! {
         preserve.insert(feature);
         let pinned = comet_core::space::estimate_space(&block, &preserve);
         prop_assert!(pinned <= empty + 1e-9, "{feature}: {pinned} > {empty}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bitmask feature-set representation is observationally
+    /// equivalent to `BTreeSet<Feature>` under any interleaving of
+    /// inserts and removes: same membership, same cardinality, same
+    /// iteration order (the seeded-RNG determinism contract), and
+    /// lossless conversion both ways.
+    #[test]
+    fn bitmask_matches_btreeset_semantics(
+        block in arb_block(),
+        ops in prop::collection::vec((any::<prop::sample::Index>(), any::<bool>()), 0..64),
+    ) {
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let pool = perturber.pool();
+        let n = pool.len();
+        let mut mask = pool.empty_mask();
+        let mut set = FeatureSet::new();
+        for (pick, insert) in ops {
+            let index = pick.index(n);
+            let feature = pool.feature(index);
+            if insert {
+                mask.insert(index);
+                set.insert(feature);
+            } else {
+                mask.remove(index);
+                set.remove(&feature);
+            }
+            prop_assert_eq!(mask.len(), set.len());
+            prop_assert_eq!(mask.is_empty(), set.is_empty());
+        }
+        for index in 0..n {
+            prop_assert_eq!(mask.contains(index), set.contains(&pool.feature(index)));
+        }
+        let via_mask: Vec<Feature> = mask.iter().map(|i| pool.feature(i)).collect();
+        let via_set: Vec<Feature> = set.iter().copied().collect();
+        prop_assert_eq!(via_mask, via_set, "mask iteration must follow Ord order");
+        prop_assert_eq!(pool.set_of(&mask), set.clone());
+        prop_assert_eq!(pool.mask_of(&set), mask);
+    }
+
+    /// `FeatureMask::is_subset` agrees with `BTreeSet::is_subset` for
+    /// arbitrary pairs of subsets of one pool.
+    #[test]
+    fn bitmask_subset_matches_btreeset(
+        block in arb_block(),
+        picks_a in prop::collection::vec(any::<prop::sample::Index>(), 0..12),
+        picks_b in prop::collection::vec(any::<prop::sample::Index>(), 0..12),
+    ) {
+        let perturber = Perturber::new(&block, PerturbConfig::default());
+        let pool = perturber.pool();
+        let n = pool.len();
+        let build = |picks: &[prop::sample::Index]| {
+            let mut mask = pool.empty_mask();
+            let mut set = FeatureSet::new();
+            for pick in picks {
+                let index = pick.index(n);
+                mask.insert(index);
+                set.insert(pool.feature(index));
+            }
+            (mask, set)
+        };
+        let (mask_a, set_a) = build(&picks_a);
+        let (mask_b, set_b) = build(&picks_b);
+        prop_assert_eq!(mask_a.is_subset(&mask_b), set_a.is_subset(&set_b));
+        prop_assert_eq!(mask_b.is_subset(&mask_a), set_b.is_subset(&set_a));
+        prop_assert_eq!(mask_a == mask_b, set_a == set_b);
     }
 }
 

@@ -19,12 +19,8 @@ struct AblationSetup<'a> {
 
 fn setup(ctx: &EvalContext) -> AblationSetup<'_> {
     let crude = CrudeModel::new(Microarch::Haswell);
-    let blocks: Vec<&BasicBlock> = ctx
-        .test_corpus
-        .iter()
-        .take(ctx.scale.ablation_blocks)
-        .map(|b| &b.block)
-        .collect();
+    let blocks: Vec<&BasicBlock> =
+        ctx.test_corpus.iter().take(ctx.scale.ablation_blocks).map(|b| &b.block).collect();
     let gts: Vec<FeatureSet> = blocks.iter().map(|b| ground_truth(&crude, b)).collect();
     AblationSetup { crude, blocks, gts, seeds: ctx.scale.seeds.min(3) as u64 }
 }
@@ -38,8 +34,7 @@ fn run_config(s: &AblationSetup<'_>, config: ExplainConfig) -> ((f64, f64), f64)
         let survivors = explain_blocks(&s.crude, &s.blocks, config, 1000 + seed);
         let n = survivors.len().max(1) as f64;
         precisions.push(survivors.iter().map(|(_, e)| e.precision).sum::<f64>() / n);
-        let kept_gts: Vec<FeatureSet> =
-            survivors.iter().map(|&(i, _)| s.gts[i].clone()).collect();
+        let kept_gts: Vec<FeatureSet> = survivors.iter().map(|&(i, _)| s.gts[i].clone()).collect();
         let sets: Vec<FeatureSet> = survivors.into_iter().map(|(_, e)| e.features).collect();
         accs.push(accuracy_pct(&sets, &kept_gts));
     }
@@ -72,10 +67,7 @@ pub fn run_figure6(ctx: &EvalContext) -> Table {
     );
     for p_delete in [0.0, 0.2, 0.33, 0.5, 0.75] {
         let base = crude_config(ctx);
-        let config = ExplainConfig {
-            perturb: PerturbConfig { p_delete, ..base.perturb },
-            ..base
-        };
+        let config = ExplainConfig { perturb: PerturbConfig { p_delete, ..base.perturb }, ..base };
         let ((mean, std), _) = run_config(&s, config);
         table.push_row(vec![format!("{p_delete:.2}"), pm(mean, std)]);
     }
@@ -92,12 +84,14 @@ pub fn run_figure7(ctx: &EvalContext) -> Table {
     );
     for p_dep_retain in [0.0, 0.1, 0.25, 0.5, 0.75] {
         let base = crude_config(ctx);
-        let config = ExplainConfig {
-            perturb: PerturbConfig { p_dep_retain, ..base.perturb },
-            ..base
-        };
+        let config =
+            ExplainConfig { perturb: PerturbConfig { p_dep_retain, ..base.perturb }, ..base };
         let ((mean, std), precision) = run_config(&s, config);
-        table.push_row(vec![format!("{p_dep_retain:.2}"), pm(mean, std), format!("{precision:.3}")]);
+        table.push_row(vec![
+            format!("{p_dep_retain:.2}"),
+            pm(mean, std),
+            format!("{precision:.3}"),
+        ]);
     }
     table
 }
@@ -115,8 +109,7 @@ pub fn run_figure8(ctx: &EvalContext) -> Table {
         ("Whole instruction", ReplacementScheme::WholeInstruction),
     ] {
         let base = crude_config(ctx);
-        let config =
-            ExplainConfig { perturb: PerturbConfig { scheme, ..base.perturb }, ..base };
+        let config = ExplainConfig { perturb: PerturbConfig { scheme, ..base.perturb }, ..base };
         let ((mean, std), _) = run_config(&s, config);
         table.push_row(vec![label.into(), pm(mean, std)]);
     }

@@ -25,7 +25,13 @@ fn main() {
         println!("{}", entry.block);
         println!("GT       : {}", format_feature_set(&gt));
         match explainer.explain(&entry.block, &mut rng) {
-            Ok(e) => println!("COMET    : {} (prec {:.2}, anchored {}, cov {:.2})", e.display_features(), e.precision, e.anchored, e.coverage),
+            Ok(e) => println!(
+                "COMET    : {} (prec {:.2}, anchored {}, cov {:.2})",
+                e.display_features(),
+                e.precision,
+                e.anchored,
+                e.coverage
+            ),
             Err(error) => println!("COMET    : failed ({error})"),
         }
         println!();

@@ -10,7 +10,9 @@ use std::time::Instant;
 use comet_bhive::{Corpus, GenConfig};
 use comet_core::{ExplainConfig, Explainer};
 use comet_isa::Microarch;
-use comet_models::{CachedModel, CostModel, CrudeModel, IthemalConfig, IthemalSurrogate, UicaSurrogate};
+use comet_models::{
+    CachedModel, CostModel, CrudeModel, IthemalConfig, IthemalSurrogate, UicaSurrogate,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,16 +21,24 @@ fn main() {
     let train = Corpus::generate(300, GenConfig::default(), 2);
     let march = Microarch::Haswell;
     let t = Instant::now();
-    let ithemal = IthemalSurrogate::train(march, &train.training_pairs(march), IthemalConfig { epochs: 2, ..Default::default() });
+    let ithemal = IthemalSurrogate::train(
+        march,
+        &train.training_pairs(march),
+        IthemalConfig { epochs: 2, ..Default::default() },
+    );
     println!("train 300x2: {:?}", t.elapsed());
     let uica = UicaSurrogate::new(march);
     let crude = CrudeModel::new(march);
     let block = &corpus.blocks()[0].block;
 
-    for (name, model) in [("ithemal", &ithemal as &dyn CostModel), ("uica", &uica), ("crude", &crude)] {
+    for (name, model) in
+        [("ithemal", &ithemal as &dyn CostModel), ("uica", &uica), ("crude", &crude)]
+    {
         let t = Instant::now();
         let mut acc = 0.0;
-        for _ in 0..1000 { acc += model.predict(block); }
+        for _ in 0..1000 {
+            acc += model.predict(block);
+        }
         println!("{name}: {:.1}us/query (acc {acc:.0})", t.elapsed().as_secs_f64() * 1e3);
     }
 
@@ -40,6 +50,11 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(0);
         let e = explainer.explain(block, &mut rng).expect("surrogate models predict finite costs");
         let stats = cached.stats();
-        println!("{name} explain: {:?}, queries {} (cache hits {})", t.elapsed(), e.queries, stats.hits);
+        println!(
+            "{name} explain: {:?}, queries {} (cache hits {})",
+            t.elapsed(),
+            e.queries,
+            stats.hits
+        );
     }
 }

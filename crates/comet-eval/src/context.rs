@@ -131,15 +131,14 @@ impl EvalContext {
     pub fn build(scale: Scale) -> EvalContext {
         let config = GenConfig::default();
         let test_corpus = Corpus::generate(scale.test_blocks, config, CORPUS_SEED);
-        let source_corpus = Corpus::generate_by_source(scale.source_blocks, config, CORPUS_SEED + 1);
+        let source_corpus =
+            Corpus::generate_by_source(scale.source_blocks, config, CORPUS_SEED + 1);
         let category_corpus =
             Corpus::generate_by_category(scale.category_blocks, config, CORPUS_SEED + 2);
         let train_corpus = Corpus::generate(scale.train_blocks, config, CORPUS_SEED + 3);
 
-        let ithemal_config = IthemalConfig {
-            epochs: scale.train_epochs,
-            ..IthemalConfig::default()
-        };
+        let ithemal_config =
+            IthemalConfig { epochs: scale.train_epochs, ..IthemalConfig::default() };
         let ithemal_hsw = IthemalSurrogate::train(
             Microarch::Haswell,
             &train_corpus.training_pairs(Microarch::Haswell),

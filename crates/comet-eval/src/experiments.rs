@@ -54,8 +54,7 @@ fn run_fingerprint<M: CostModel>(
 ) -> String {
     let config_json = serde_json::to_string(config).unwrap_or_default();
     let seed_text = seed.to_string();
-    let mut parts: Vec<String> =
-        vec![model.name().to_string(), config_json, seed_text];
+    let mut parts: Vec<String> = vec![model.name().to_string(), config_json, seed_text];
     parts.extend(blocks.iter().map(|b| b.to_string()));
     let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
     fingerprint(&refs)
@@ -163,6 +162,29 @@ pub fn try_explain_blocks_durable<M: CostModel + Sync>(
             Err(panic) => Err(BlockFailure::Panic(panic)),
         });
     }
+
+    // Per-batch throughput summary from the explanations' own timing
+    // (freshly computed only: journal-recovered records carry no
+    // duration). Worker seconds, not wall clock — blocks run in
+    // parallel.
+    let mut fresh_blocks = 0u64;
+    let mut fresh_queries = 0u64;
+    let mut fresh_secs = 0.0f64;
+    for &i in &pending {
+        if let Some(Ok(explanation)) = &slots[i] {
+            fresh_blocks += 1;
+            fresh_queries += explanation.queries;
+            fresh_secs += explanation.duration_secs;
+        }
+    }
+    if fresh_blocks > 0 && fresh_secs > 0.0 {
+        eprintln!(
+            "[perf] {}: {fresh_blocks} blocks explained in {fresh_secs:.2}s worker time \
+             ({fresh_queries} queries, {:.0} queries/sec)",
+            if key.is_empty() { "batch" } else { key },
+            fresh_queries as f64 / fresh_secs,
+        );
+    }
     Ok(slots)
 }
 
@@ -265,11 +287,7 @@ pub fn model_config(ctx: &EvalContext) -> ExplainConfig {
 /// Accuracy of a list of explanations against ground truths, in percent.
 pub fn accuracy_pct(explanations: &[FeatureSet], ground_truths: &[FeatureSet]) -> f64 {
     assert_eq!(explanations.len(), ground_truths.len());
-    let hits = explanations
-        .iter()
-        .zip(ground_truths)
-        .filter(|(e, gt)| is_accurate(e, gt))
-        .count();
+    let hits = explanations.iter().zip(ground_truths).filter(|(e, gt)| is_accurate(e, gt)).count();
     100.0 * hits as f64 / explanations.len().max(1) as f64
 }
 
@@ -347,11 +365,7 @@ pub fn run_table2(ctx: &EvalContext) -> Table {
         pm(hsw.random.0, hsw.random.1),
         pm(skl.random.0, skl.random.1),
     ]);
-    table.push_row(vec![
-        "Fixed".into(),
-        format!("{:.2}", hsw.fixed),
-        format!("{:.2}", skl.fixed),
-    ]);
+    table.push_row(vec!["Fixed".into(), format!("{:.2}", hsw.fixed), format!("{:.2}", skl.fixed)]);
     table.push_row(vec![
         "COMET".into(),
         pm(hsw.comet.0, hsw.comet.1),
@@ -389,6 +403,16 @@ fn precision_coverage<M: CostModel + Sync>(
         let c: f64 = explanations.iter().map(|(_, e)| e.coverage).sum::<f64>() / n;
         precisions.push(p);
         coverages.push(c);
+        let stats = cached.stats();
+        eprintln!(
+            "[cache] {label} seed{seed}: {:.1}% hit rate over {} queries, \
+             {} entries across {}/{} shards",
+            100.0 * stats.hit_rate(),
+            stats.total,
+            stats.entries,
+            stats.occupied_shards,
+            stats.shards,
+        );
     }
     (mean_std(&precisions), mean_std(&coverages))
 }
@@ -427,11 +451,7 @@ impl<M: CostModel + Sync> CostModelSync for M {}
 // `CostModel` is expected via the reference blanket impl.
 
 /// MAPE of a model over a partition, against the hardware labels.
-pub fn partition_mape<M: CostModel>(
-    model: &M,
-    blocks: &[&BhiveBlock],
-    march: Microarch,
-) -> f64 {
+pub fn partition_mape<M: CostModel>(model: &M, blocks: &[&BhiveBlock], march: Microarch) -> f64 {
     let labelled: Vec<(BasicBlock, f64)> =
         blocks.iter().map(|b| (b.block.clone(), b.throughput(march))).collect();
     comet_models::mape(model, &labelled)

@@ -19,7 +19,8 @@ pub const BETA2: &str = "shl eax, 3\nimul rax, r15\nxor edx, edx\nadd rax, 7\nsh
 pub const CASE1: &str = "lea rdx, [rax + 1]\nmov qword ptr [rdi + 24], rdx\nmov byte ptr [rax], 80\nmov rsi, qword ptr [r14 + 32]\nmov rdi, rbp";
 
 /// Paper §6.4, Listing 3 (case study 2).
-pub const CASE2: &str = "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
+pub const CASE2: &str =
+    "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
 
 /// Appendix F: perturbation-space cardinalities for the paper's two
 /// example blocks, with and without preserved features.
@@ -80,12 +81,7 @@ pub fn run_case_studies(ctx: &EvalContext) -> Table {
                     format!("(unavailable: {error})")
                 }
             };
-            table.push_row(vec![
-                case.into(),
-                label.into(),
-                format!("{prediction:.2}"),
-                rendered,
-            ]);
+            table.push_row(vec![case.into(), label.into(), format!("{prediction:.2}"), rendered]);
         }
     }
     table

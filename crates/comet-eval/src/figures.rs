@@ -25,10 +25,8 @@ pub struct FeatureMix {
 /// Compute the feature-kind mix of a batch of explanations.
 pub fn feature_mix(explanations: &[Explanation]) -> FeatureMix {
     let count = |kind: FeatureKind| {
-        let hits = explanations
-            .iter()
-            .filter(|e| e.features.iter().any(|f| f.kind() == kind))
-            .count();
+        let hits =
+            explanations.iter().filter(|e| e.features.iter().any(|f| f.kind() == kind)).count();
         100.0 * hits as f64 / explanations.len().max(1) as f64
     };
     FeatureMix {
@@ -57,18 +55,17 @@ pub fn evaluate_partition(
     seed: u64,
 ) -> Vec<PartitionResult> {
     let plain: Vec<&BasicBlock> = blocks.iter().map(|b| &b.block).collect();
-    let models: [(&str, &dyn CostModelSync); 2] = [
-        ("Ithemal", ctx.ithemal(march)),
-        ("uiCA", ctx.uica(march)),
-    ];
+    let models: [(&str, &dyn CostModelSync); 2] =
+        [("Ithemal", ctx.ithemal(march)), ("uiCA", ctx.uica(march))];
     let mut results = Vec::new();
     for (label, model) in models {
         let mape = partition_mape(&model, blocks, march);
         let cached = CachedModel::new(model);
-        let explanations: Vec<Explanation> = explain_blocks(&cached, &plain, model_config(ctx), seed)
-            .into_iter()
-            .map(|(_, e)| e)
-            .collect();
+        let explanations: Vec<Explanation> =
+            explain_blocks(&cached, &plain, model_config(ctx), seed)
+                .into_iter()
+                .map(|(_, e)| e)
+                .collect();
         results.push(PartitionResult {
             model: label.to_string(),
             mape,
@@ -97,10 +94,8 @@ const FIGURE_HEADERS: [&str; 6] =
 /// Figure 2: MAPE vs explanation feature mix on the full test set, for
 /// Haswell and Skylake.
 pub fn run_figure2(ctx: &EvalContext) -> Table {
-    let mut table = Table::new(
-        "Figure 2: Error vs explanation granularity (full test set)",
-        &FIGURE_HEADERS,
-    );
+    let mut table =
+        Table::new("Figure 2: Error vs explanation granularity (full test set)", &FIGURE_HEADERS);
     let blocks: Vec<&BhiveBlock> = ctx.test_corpus.iter().collect();
     for march in Microarch::ALL {
         let results = evaluate_partition(ctx, &blocks, march, 21 + march as u64);
@@ -142,10 +137,8 @@ pub fn run_figure4(ctx: &EvalContext) -> Table {
 /// Extension table: model MAPE summary (Ithemal vs uiCA vs the crude
 /// model) on both microarchitectures over the test set.
 pub fn run_mape_table(ctx: &EvalContext) -> Table {
-    let mut table = Table::new(
-        "Model error summary (MAPE over the test set)",
-        &["Model", "HSW", "SKL"],
-    );
+    let mut table =
+        Table::new("Model error summary (MAPE over the test set)", &["Model", "HSW", "SKL"]);
     let blocks: Vec<&BhiveBlock> = ctx.test_corpus.iter().collect();
     let row = |label: &str, hsw: f64, skl: f64| vec![label.to_string(), pct(hsw), pct(skl)];
     table.push_row(row(
@@ -190,6 +183,7 @@ mod tests {
             faults: 0,
             retries: 0,
             degraded: false,
+            duration_secs: 0.0,
         }
     }
 

@@ -342,6 +342,7 @@ mod tests {
                 faults: 0,
                 retries: 0,
                 degraded: false,
+                duration_secs: 0.0,
             },
         }
     }

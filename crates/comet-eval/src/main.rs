@@ -16,7 +16,9 @@ use std::fmt::Write as _;
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use comet_eval::{ablations, experiments, extras, figures, CancelToken, Durability, EvalContext, Scale};
+use comet_eval::{
+    ablations, experiments, extras, figures, CancelToken, Durability, EvalContext, Scale,
+};
 
 /// Process exit status for an interrupted (SIGINT) run, shell-style.
 const SIGINT_EXIT: i32 = 130;
@@ -79,7 +81,8 @@ fn main() {
 
     let cancel = CancelToken::new();
     install_sigint(cancel.clone());
-    let durability = Durability { journal_dir: journal_dir.map(Into::into), cancel: cancel.clone() };
+    let durability =
+        Durability { journal_dir: journal_dir.map(Into::into), cancel: cancel.clone() };
 
     let mut report = String::new();
     let _ = writeln!(report, "# COMET reproduction — experiment results\n");
@@ -106,7 +109,8 @@ fn main() {
     ctx.durability = durability;
     eprintln!("[comet-eval] context ready in {:.1}s", t0.elapsed().as_secs_f64());
 
-    let experiments_list: [(&str, Box<dyn Fn(&EvalContext) -> comet_eval::report::Table>); 10] = [
+    type Experiment = Box<dyn Fn(&EvalContext) -> comet_eval::report::Table>;
+    let experiments_list: [(&str, Experiment); 10] = [
         ("mape", Box::new(figures::run_mape_table)),
         ("table2", Box::new(experiments::run_table2)),
         ("table3", Box::new(experiments::run_table3)),

@@ -157,9 +157,9 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let value = catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(
-                    |payload| ParPanic { index: i, message: panic_payload_message(&*payload) },
-                );
+                let value = catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(|payload| {
+                    ParPanic { index: i, message: panic_payload_message(&*payload) }
+                });
                 // Slots are locked only for this store, with `f` run
                 // outside and its panics caught above — recover from
                 // poisoning anyway rather than compounding a failure.
@@ -167,10 +167,7 @@ where
             });
         }
     });
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().unwrap_or_else(|p| p.into_inner()))
-        .collect()
+    results.into_iter().map(|slot| slot.into_inner().unwrap_or_else(|p| p.into_inner())).collect()
 }
 
 /// `par_map` for infallible workers: unwraps every slot, panicking with

@@ -45,11 +45,7 @@ fn sample_blocks() -> Vec<BasicBlock> {
 }
 
 fn small_config() -> ExplainConfig {
-    ExplainConfig {
-        coverage_samples: 100,
-        max_samples: 80,
-        ..ExplainConfig::for_crude_model()
-    }
+    ExplainConfig { coverage_samples: 100, max_samples: 80, ..ExplainConfig::for_crude_model() }
 }
 
 fn sample_record(index: usize) -> JournalRecord {
@@ -62,11 +58,12 @@ fn sample_record(index: usize) -> JournalRecord {
             precision: 0.125 * index as f64,
             coverage: 0.75,
             prediction: 1.5 + index as f64,
-            anchored: index % 2 == 0,
+            anchored: index.is_multiple_of(2),
             queries: 100 + index as u64,
             faults: 0,
             retries: 0,
             degraded: false,
+            duration_secs: 0.0,
         },
     }
 }
@@ -83,12 +80,7 @@ fn journal_image(n: usize) -> (Vec<u8>, Vec<usize>) {
     drop(journal);
     let bytes = fs::read(&path).unwrap();
     let _ = fs::remove_dir_all(&dir);
-    let line_ends = bytes
-        .iter()
-        .enumerate()
-        .filter(|(_, &b)| b == b'\n')
-        .map(|(i, _)| i)
-        .collect();
+    let line_ends = bytes.iter().enumerate().filter(|(_, &b)| b == b'\n').map(|(i, _)| i).collect();
     (bytes, line_ends)
 }
 
@@ -165,10 +157,8 @@ fn interrupted_then_resumed_run_matches_uninterrupted_run() {
     // First attempt: cancelled after two worker polls, so only a couple
     // of blocks complete (and are journaled) before the run stops.
     let dir = scratch_dir("resume");
-    let interrupted = Durability {
-        journal_dir: Some(dir.clone()),
-        cancel: CancelToken::after_polls(2),
-    };
+    let interrupted =
+        Durability { journal_dir: Some(dir.clone()), cancel: CancelToken::after_polls(2) };
     let model = CountingCrude::new();
     let partial =
         try_explain_blocks_durable(&model, &refs, config, seed, &interrupted, "resume-test")
@@ -229,7 +219,8 @@ fn resuming_under_a_different_configuration_is_refused() {
 
     // Same key, different seed: the fingerprint no longer matches and
     // the run must refuse to mix results rather than resume.
-    let outcome = try_explain_blocks_durable(&crude, &refs, config, 2, &durability, "mismatch-test");
+    let outcome =
+        try_explain_blocks_durable(&crude, &refs, config, 2, &durability, "mismatch-test");
     match outcome {
         Err(JournalError::FingerprintMismatch { expected, found }) => assert_ne!(expected, found),
         other => panic!("expected FingerprintMismatch, got {:?}", other.map(|slots| slots.len())),

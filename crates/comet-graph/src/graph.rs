@@ -64,63 +64,12 @@ impl BlockGraph {
 
         // (kind, src, dst) -> causes, kept ordered for determinism.
         let mut causes: BTreeMap<(DepKind, usize, usize), Vec<DepCause>> = BTreeMap::new();
-        let mut add = |kind: DepKind, src: usize, dst: usize, cause: DepCause| {
+        for_each_hazard(&effects, config, |kind, src, dst, cause| {
             let entry = causes.entry((kind, src, dst)).or_default();
             if !entry.contains(&cause) {
                 entry.push(cause);
             }
-        };
-
-        // Register-carried hazards, by full (aliasing-collapsed) register.
-        for j in 0..n {
-            for read in &effects[j].reg_reads {
-                // RAW: latest earlier writer of the register.
-                if let Some(i) = latest_writer(&effects, read.full(), j) {
-                    add(DepKind::Raw, i, j, DepCause::Register(read.full()));
-                }
-            }
-            for write in &effects[j].reg_writes {
-                let full = write.full();
-                if let Some(i) = latest_writer(&effects, full, j) {
-                    // WAW with the previous writer.
-                    add(DepKind::Waw, i, j, DepCause::Register(full));
-                    // WAR with readers after that writer.
-                    for (k, fx) in effects.iter().enumerate().take(j).skip(i + 1) {
-                        if fx.reg_reads.iter().any(|r| r.full() == full) {
-                            add(DepKind::War, k, j, DepCause::Register(full));
-                        }
-                    }
-                } else {
-                    // No earlier writer: WAR with every earlier reader.
-                    for (k, fx) in effects.iter().enumerate().take(j) {
-                        if fx.reg_reads.iter().any(|r| r.full() == full) {
-                            add(DepKind::War, k, j, DepCause::Register(full));
-                        }
-                    }
-                }
-            }
-        }
-
-        // Memory-carried hazards (conservative: every conflicting pair).
-        if config.include_memory {
-            for j in 0..n {
-                for i in 0..j {
-                    for iw in &effects[i].mem_writes {
-                        if effects[j].mem_reads.iter().any(|jr| iw.may_alias(jr)) {
-                            add(DepKind::Raw, i, j, DepCause::Memory(*iw));
-                        }
-                        if effects[j].mem_writes.iter().any(|jw| iw.may_alias(jw)) {
-                            add(DepKind::Waw, i, j, DepCause::Memory(*iw));
-                        }
-                    }
-                    for ir in &effects[i].mem_reads {
-                        if effects[j].mem_writes.iter().any(|jw| ir.may_alias(jw)) {
-                            add(DepKind::War, i, j, DepCause::Memory(*ir));
-                        }
-                    }
-                }
-            }
-        }
+        });
 
         let edges = causes
             .into_iter()
@@ -152,6 +101,133 @@ impl BlockGraph {
     /// Edges incident to the given vertex.
     pub fn incident_edges(&self, vertex: usize) -> impl Iterator<Item = &DepEdge> {
         self.edges.iter().filter(move |e| e.src == vertex || e.dst == vertex)
+    }
+}
+
+/// Enumerate every hazard occurrence of a block, given per-instruction
+/// effects. This is the single source of truth for dependency
+/// semantics: both the cause-carrying [`BlockGraph::build_with`] and
+/// the allocation-free [`EdgeSetScratch`] drive it, so the two can
+/// never disagree on which edges exist. The same `(kind, src, dst)`
+/// identity may be emitted more than once (with distinct or duplicate
+/// causes); consumers deduplicate.
+fn for_each_hazard(
+    effects: &[comet_isa::Effects],
+    config: DepConfig,
+    mut add: impl FnMut(DepKind, usize, usize, DepCause),
+) {
+    let n = effects.len();
+
+    // Register-carried hazards, by full (aliasing-collapsed) register.
+    for j in 0..n {
+        for read in &effects[j].reg_reads {
+            // RAW: latest earlier writer of the register.
+            if let Some(i) = latest_writer(effects, read.full(), j) {
+                add(DepKind::Raw, i, j, DepCause::Register(read.full()));
+            }
+        }
+        for write in &effects[j].reg_writes {
+            let full = write.full();
+            if let Some(i) = latest_writer(effects, full, j) {
+                // WAW with the previous writer.
+                add(DepKind::Waw, i, j, DepCause::Register(full));
+                // WAR with readers after that writer.
+                for (k, fx) in effects.iter().enumerate().take(j).skip(i + 1) {
+                    if fx.reg_reads.iter().any(|r| r.full() == full) {
+                        add(DepKind::War, k, j, DepCause::Register(full));
+                    }
+                }
+            } else {
+                // No earlier writer: WAR with every earlier reader.
+                for (k, fx) in effects.iter().enumerate().take(j) {
+                    if fx.reg_reads.iter().any(|r| r.full() == full) {
+                        add(DepKind::War, k, j, DepCause::Register(full));
+                    }
+                }
+            }
+        }
+    }
+
+    // Memory-carried hazards (conservative: every conflicting pair).
+    if config.include_memory {
+        for j in 0..n {
+            for i in 0..j {
+                for iw in &effects[i].mem_writes {
+                    if effects[j].mem_reads.iter().any(|jr| iw.may_alias(jr)) {
+                        add(DepKind::Raw, i, j, DepCause::Memory(*iw));
+                    }
+                    if effects[j].mem_writes.iter().any(|jw| iw.may_alias(jw)) {
+                        add(DepKind::Waw, i, j, DepCause::Memory(*iw));
+                    }
+                }
+                for ir in &effects[i].mem_reads {
+                    if effects[j].mem_writes.iter().any(|jw| ir.may_alias(jw)) {
+                        add(DepKind::War, i, j, DepCause::Memory(*ir));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reusable buffers for repeated *edge-identity* analysis.
+///
+/// The explanation loop's perturbation sampler needs to know, for
+/// millions of freshly perturbed blocks, *which* `(kind, src, dst)`
+/// dependency identities exist — but never their causes. Building a
+/// full [`BlockGraph`] per sample allocates a `BTreeMap`, per-edge
+/// cause vectors, and per-instruction effect vectors; this scratch
+/// computes exactly the same identity set (it runs the same
+/// [`for_each_hazard`] core) into buffers that are reused across
+/// calls, making steady-state recomputation allocation-free under the
+/// default [`DepConfig`].
+#[derive(Debug, Default, Clone)]
+pub struct EdgeSetScratch {
+    effects: Vec<comet_isa::Effects>,
+    ids: Vec<(DepKind, usize, usize)>,
+}
+
+impl EdgeSetScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> EdgeSetScratch {
+        EdgeSetScratch::default()
+    }
+
+    /// Recompute the edge-identity set of `block`, replacing the
+    /// previous contents. With `config.include_implicit` set the
+    /// per-instruction implicit-operand lookup still allocates; the
+    /// default (explicit-only) configuration does not.
+    pub fn compute(&mut self, block: &BasicBlock, config: DepConfig) {
+        let n = block.len();
+        if self.effects.len() < n {
+            self.effects.resize_with(n, Default::default);
+        }
+        for (inst, slot) in block.iter().zip(&mut self.effects) {
+            if config.include_implicit {
+                *slot = inst.effects();
+            } else {
+                inst.explicit_effects_into(slot);
+            }
+        }
+        self.ids.clear();
+        let ids = &mut self.ids;
+        for_each_hazard(&self.effects[..n], config, |kind, src, dst, _cause| {
+            ids.push((kind, src, dst));
+        });
+        ids.sort_unstable();
+        ids.dedup();
+    }
+
+    /// Whether the most recently computed block has the given edge.
+    /// Agrees exactly with [`BlockGraph::find_edge`] on that block.
+    pub fn contains(&self, kind: DepKind, src: usize, dst: usize) -> bool {
+        self.ids.binary_search(&(kind, src, dst)).is_ok()
+    }
+
+    /// The sorted, deduplicated edge identities of the last
+    /// [`EdgeSetScratch::compute`] call.
+    pub fn ids(&self) -> &[(DepKind, usize, usize)] {
+        &self.ids
     }
 }
 
@@ -241,8 +317,7 @@ mod tests {
 
     #[test]
     fn disjoint_memory_is_independent() {
-        let block =
-            parse_block("mov qword ptr [rdi], rax\nmov rbx, qword ptr [rdi + 16]").unwrap();
+        let block = parse_block("mov qword ptr [rdi], rax\nmov rbx, qword ptr [rdi + 16]").unwrap();
         let g = BlockGraph::build(&block);
         assert!(g.edges_of_kind(DepKind::Raw).all(|e| !e.has_memory_cause()));
     }
@@ -267,6 +342,36 @@ mod tests {
         let block = parse_block("mov rdx, rcx\nmov rcx, rbx").unwrap();
         let g = BlockGraph::build(&block);
         assert!(g.find_edge(DepKind::War, 0, 1).is_some());
+    }
+
+    #[test]
+    fn edge_set_scratch_agrees_with_full_build() {
+        let blocks = [
+            "add rcx, rax\nmov rdx, rcx\npop rbx",
+            "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx",
+            "mov qword ptr [rdi + 8], rax\nmov rbx, qword ptr [rdi + 8]\nmov qword ptr [rdi + 8], rcx",
+            "mov rdx, rcx\nmov rcx, rbx",
+            "add rax, rbx\nimul rax, rax",
+        ];
+        let mut scratch = EdgeSetScratch::new();
+        for (config_name, config) in [
+            ("default", DepConfig::default()),
+            ("implicit", DepConfig { include_implicit: true, include_memory: true }),
+            ("no-memory", DepConfig { include_implicit: false, include_memory: false }),
+        ] {
+            for text in blocks {
+                let block = parse_block(text).unwrap();
+                let graph = BlockGraph::build_with(&block, config);
+                // Reused (never reset) scratch must still match a fresh build.
+                scratch.compute(&block, config);
+                let built: Vec<_> = graph.edges().iter().map(DepEdge::id).collect();
+                assert_eq!(scratch.ids(), &built[..], "{config_name}:\n{text}");
+                for &(kind, src, dst) in scratch.ids() {
+                    assert!(scratch.contains(kind, src, dst));
+                }
+                assert!(!scratch.contains(DepKind::Raw, 97, 98));
+            }
+        }
     }
 
     #[test]

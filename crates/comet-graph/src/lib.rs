@@ -24,4 +24,4 @@ mod dep;
 mod graph;
 
 pub use dep::{DepCause, DepEdge, DepKind};
-pub use graph::{BlockGraph, DepConfig};
+pub use graph::{BlockGraph, DepConfig, EdgeSetScratch};

@@ -58,9 +58,8 @@ proptest! {
                     effects[edge.src].reg_writes.iter().any(|w| w.full() == reg);
                 let reads = effects[edge.dst].reg_reads.iter().any(|r| r.full() == reg);
                 prop_assert!(writes && reads, "unjustified {edge} in\n{block}");
-                for k in edge.src + 1..edge.dst {
-                    let interposed =
-                        effects[k].reg_writes.iter().any(|w| w.full() == reg);
+                for (k, effect) in effects.iter().enumerate().take(edge.dst).skip(edge.src + 1) {
+                    let interposed = effect.reg_writes.iter().any(|w| w.full() == reg);
                     prop_assert!(!interposed, "{edge} has interposing writer {k} in\n{block}");
                 }
             }

@@ -15,13 +15,31 @@ use crate::Opcode;
 /// Fields are public in the passive-data-structure spirit; use
 /// [`Instruction::new`] to construct validated instructions and
 /// [`Instruction::is_valid`] to re-check after mutation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Instruction {
     /// The operation.
     pub opcode: Opcode,
     /// Explicit operands in Intel (destination-first) order.
     pub operands: Vec<Operand>,
 }
+
+/// `clone_from` reuses the destination's operand buffer, so samplers
+/// that rewrite the same instruction slots millions of times do not
+/// reallocate once buffers have warmed up.
+impl Clone for Instruction {
+    fn clone(&self) -> Instruction {
+        Instruction { opcode: self.opcode, operands: self.operands.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Instruction) {
+        self.opcode = source.opcode;
+        self.operands.clone_from(&source.operands);
+    }
+}
+
+/// Upper bound on explicit operand counts used for stack staging in
+/// the allocation-free effect computation (x86 needs at most 3).
+const MAX_STAGED_OPERANDS: usize = 4;
 
 impl Instruction {
     /// Construct a validated instruction.
@@ -33,10 +51,7 @@ impl Instruction {
     pub fn new(opcode: Opcode, operands: Vec<Operand>) -> Result<Instruction, IsaError> {
         let inst = Instruction { opcode, operands };
         if inst.matching_signature().is_none() {
-            return Err(IsaError::InvalidOperands {
-                opcode,
-                kinds: inst.operand_kinds(),
-            });
+            return Err(IsaError::InvalidOperands { opcode, kinds: inst.operand_kinds() });
         }
         Ok(inst)
     }
@@ -82,9 +97,32 @@ impl Instruction {
     /// which is what the paper's multigraph construction observes.
     pub fn explicit_effects(&self) -> Effects {
         let mut effects = Effects::default();
-        let Some(sig) = self.matching_signature() else {
-            return effects;
+        self.explicit_effects_into(&mut effects);
+        effects
+    }
+
+    /// Allocation-free variant of [`Instruction::explicit_effects`]:
+    /// clears `out` and refills it in place, reusing its buffers. The
+    /// operand-kind staging that [`Instruction::matching_signature`]
+    /// would heap-allocate goes through a stack buffer instead, so a
+    /// warmed-up `Effects` makes this a zero-allocation call — the
+    /// contract the perturbation sampler's scratch path relies on.
+    pub fn explicit_effects_into(&self, out: &mut Effects) {
+        out.clear();
+        let mut staged = [OperandKind::Imm; MAX_STAGED_OPERANDS];
+        let sig = if self.operands.len() <= MAX_STAGED_OPERANDS {
+            let kinds = &mut staged[..self.operands.len()];
+            for (kind, operand) in kinds.iter_mut().zip(&self.operands) {
+                *kind = operand.kind();
+            }
+            signatures(self.opcode).iter().find(|sig| sig.matches(kinds))
+        } else {
+            self.matching_signature()
         };
+        let Some(sig) = sig else {
+            return;
+        };
+        let effects = out;
         for (operand, access) in self.operands.iter().zip(sig.accesses) {
             match operand {
                 Operand::Reg(reg) => {
@@ -107,7 +145,6 @@ impl Instruction {
                 Operand::Imm(_) => {}
             }
         }
-        effects
     }
 
     /// Whether the instruction loads from memory.
@@ -137,7 +174,10 @@ pub fn implicit_operands(opcode: Opcode) -> Vec<(Register, crate::sig::Access)> 
             (Register::new(RegClass::Gpr, 2, Size::B64), Access::ReadWrite), // rdx
         ],
         Opcode::Push | Opcode::Pop => {
-            vec![(Register::new(RegClass::Gpr, crate::reg::RSP_INDEX, Size::B64), Access::ReadWrite)]
+            vec![(
+                Register::new(RegClass::Gpr, crate::reg::RSP_INDEX, Size::B64),
+                Access::ReadWrite,
+            )]
         }
         _ => Vec::new(),
     }
@@ -154,6 +194,16 @@ pub struct Effects {
     pub mem_reads: Vec<MemOperand>,
     /// Memory locations stored to.
     pub mem_writes: Vec<MemOperand>,
+}
+
+impl Effects {
+    /// Empty all four effect lists, keeping their allocations.
+    pub fn clear(&mut self) {
+        self.reg_reads.clear();
+        self.reg_writes.clear();
+        self.mem_reads.clear();
+        self.mem_writes.clear();
+    }
 }
 
 impl fmt::Display for Instruction {
@@ -238,6 +288,43 @@ impl BasicBlock {
         self.insts
     }
 
+    /// Rebuild this block in place from `insts`, reusing the existing
+    /// instruction and operand buffers (each slot is overwritten with
+    /// [`Clone::clone_from`]). This is the hot-path counterpart of
+    /// [`BasicBlock::new`] for samplers that materialize millions of
+    /// variant blocks: once buffers have warmed up it performs no heap
+    /// allocation.
+    ///
+    /// Per-instruction validity is checked only with `debug_assert!`
+    /// (the full check allocates); callers must supply instructions
+    /// that are already well-formed, e.g. clones of validated
+    /// instructions with class- and size-preserving register renames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::EmptyBlock`] if `insts` yields nothing; the
+    /// block is left unchanged in that case.
+    pub fn rebuild_from<'i, I>(&mut self, insts: I) -> Result<(), IsaError>
+    where
+        I: IntoIterator<Item = &'i Instruction>,
+    {
+        let mut len = 0;
+        for inst in insts {
+            if len < self.insts.len() {
+                self.insts[len].clone_from(inst);
+            } else {
+                self.insts.push(inst.clone());
+            }
+            len += 1;
+        }
+        if len == 0 {
+            return Err(IsaError::EmptyBlock);
+        }
+        self.insts.truncate(len);
+        debug_assert!(self.is_valid(), "rebuild_from produced an invalid block");
+        Ok(())
+    }
+
     /// Whether every instruction is valid (for defensive re-checks after
     /// manual construction).
     pub fn is_valid(&self) -> bool {
@@ -300,8 +387,7 @@ mod tests {
     #[test]
     fn effects_of_store() {
         let mem = MemOperand::base_disp(Register::from_name("rdi").unwrap(), 24, Size::B64);
-        let store =
-            Instruction::new(Opcode::Mov, vec![Operand::Mem(mem), r("rdx").clone()]).unwrap();
+        let store = Instruction::new(Opcode::Mov, vec![Operand::Mem(mem), r("rdx")]).unwrap();
         let fx = store.effects();
         assert_eq!(fx.mem_writes.len(), 1);
         assert!(fx.mem_reads.is_empty());

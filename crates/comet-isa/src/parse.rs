@@ -97,10 +97,7 @@ fn parse_instruction_inner(line: &str, lineno: usize) -> Result<Instruction, Isa
 /// inherit the width of the first sized register operand, defaulting to
 /// 64 bits.
 fn resolve_memory_sizes(opcode: Opcode, operands: &mut [Operand]) {
-    let inferred = operands
-        .iter()
-        .find_map(|op| op.as_reg())
-        .map_or(Size::B64, |reg| reg.size());
+    let inferred = operands.iter().find_map(|op| op.as_reg()).map_or(Size::B64, |reg| reg.size());
     let _ = opcode;
     for op in operands.iter_mut() {
         if let Operand::Mem(mem) = op {
@@ -151,13 +148,13 @@ fn parse_imm(text: &str, lineno: usize) -> Result<i64, IsaError> {
         Some(rest) => (true, rest.trim_start()),
         None => (false, text),
     };
-    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
-    {
-        i64::from_str_radix(hex, 16)
-    } else {
-        digits.parse::<i64>()
-    }
-    .map_err(|_| parse_err(lineno, format!("invalid operand `{text}`")))?;
+    let value =
+        if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+            i64::from_str_radix(hex, 16)
+        } else {
+            digits.parse::<i64>()
+        }
+        .map_err(|_| parse_err(lineno, format!("invalid operand `{text}`")))?;
     Ok(if negative { -value } else { value })
 }
 
@@ -183,17 +180,16 @@ fn parse_mem(text: &str, size: Option<Size>, lineno: usize) -> Result<MemOperand
         // reg*scale or scale*reg
         if let Some((lhs, rhs)) = term.split_once('*') {
             let (lhs, rhs) = (lhs.trim(), rhs.trim());
-            let (reg_text, scale_text) =
-                if Register::from_name(&lhs.to_ascii_lowercase()).is_some() {
-                    (lhs, rhs)
-                } else {
-                    (rhs, lhs)
-                };
+            let (reg_text, scale_text) = if Register::from_name(&lhs.to_ascii_lowercase()).is_some()
+            {
+                (lhs, rhs)
+            } else {
+                (rhs, lhs)
+            };
             let reg = Register::from_name(&reg_text.to_ascii_lowercase())
                 .ok_or_else(|| parse_err(lineno, format!("bad scaled register `{term}`")))?;
-            let scale: u8 = scale_text
-                .parse()
-                .map_err(|_| parse_err(lineno, format!("bad scale `{term}`")))?;
+            let scale: u8 =
+                scale_text.parse().map_err(|_| parse_err(lineno, format!("bad scale `{term}`")))?;
             if !matches!(scale, 1 | 2 | 4 | 8) || sign < 0 {
                 return Err(parse_err(lineno, format!("bad scale `{term}`")));
             }
@@ -328,8 +324,8 @@ mod tests {
 
     #[test]
     fn comments_and_labels_tolerated() {
-        let block = parse_block("1 add rcx, rax ; comment\n# full line comment\n2 pop rbx")
-            .unwrap();
+        let block =
+            parse_block("1 add rcx, rax ; comment\n# full line comment\n2 pop rbx").unwrap();
         assert_eq!(block.len(), 2);
     }
 

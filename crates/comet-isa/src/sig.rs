@@ -223,8 +223,7 @@ static MOV: &[Signature] = &[
     Signature::new(&[Pat::rm(S_ALL), Pat::imm()], &[W, R]),
 ];
 
-static MOVX: &[Signature] =
-    &[Signature::widen(&[Pat::gpr(S_WIDE), Pat::rm(S_8_16)], &[W, R])];
+static MOVX: &[Signature] = &[Signature::widen(&[Pat::gpr(S_WIDE), Pat::rm(S_8_16)], &[W, R])];
 
 static XCHG: &[Signature] = &[
     Signature::new(&[Pat::rm(S_ALL), Pat::gpr(S_ALL)], &[RW, RW]),
@@ -233,8 +232,7 @@ static XCHG: &[Signature] = &[
 
 static BSWAP: &[Signature] = &[Signature::new(&[Pat::gpr(S_32_64)], &[RW])];
 
-static LEA: &[Signature] =
-    &[Signature::free(&[Pat::gpr(S_WIDE), Pat::addr(S_ALL)], &[W, NoAcc])];
+static LEA: &[Signature] = &[Signature::free(&[Pat::gpr(S_WIDE), Pat::addr(S_ALL)], &[W, NoAcc])];
 
 static PUSH: &[Signature] = &[
     Signature::new(&[Pat::gpr(S_64)], &[R]),
@@ -253,21 +251,16 @@ static NOP: &[Signature] = &[Signature::new(&[], &[])];
 
 // ---- vector families -------------------------------------------------------
 
-static SSE_SS_RW: &[Signature] = &[
-    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_32)], &[RW, R]),
-];
-static SSE_SD_RW: &[Signature] = &[
-    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_64)], &[RW, R]),
-];
-static SSE_SS_W: &[Signature] = &[
-    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_32)], &[W, R]),
-];
-static SSE_SD_W: &[Signature] = &[
-    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_64)], &[W, R]),
-];
-static SSE_PACKED: &[Signature] = &[
-    Signature::new(&[Pat::vec(V_128), Pat::vm(V_128, M_128)], &[RW, R]),
-];
+static SSE_SS_RW: &[Signature] =
+    &[Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_32)], &[RW, R])];
+static SSE_SD_RW: &[Signature] =
+    &[Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_64)], &[RW, R])];
+static SSE_SS_W: &[Signature] =
+    &[Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_32)], &[W, R])];
+static SSE_SD_W: &[Signature] =
+    &[Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_64)], &[W, R])];
+static SSE_PACKED: &[Signature] =
+    &[Signature::new(&[Pat::vec(V_128), Pat::vm(V_128, M_128)], &[RW, R])];
 static SSE_MOV: &[Signature] = &[
     Signature::new(&[Pat::vec(V_128), Pat::vm(V_128, M_128)], &[W, R]),
     Signature::new(&[Pat::mem(M_128), Pat::vec(V_128)], &[W, R]),
@@ -282,21 +275,16 @@ static MOVSD: &[Signature] = &[
     Signature::free(&[Pat::vec(V_128), Pat::mem(M_64)], &[W, R]),
     Signature::free(&[Pat::mem(M_64), Pat::vec(V_128)], &[W, R]),
 ];
-static SSE_SS_CMP: &[Signature] = &[
-    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_32)], &[R, R]),
-];
-static SSE_SD_CMP: &[Signature] = &[
-    Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_64)], &[R, R]),
-];
-static AVX_SS: &[Signature] = &[
-    Signature::free(&[Pat::vec(V_128), Pat::vec(V_128), Pat::vm(V_128, M_32)], &[W, R, R]),
-];
-static AVX_SD: &[Signature] = &[
-    Signature::free(&[Pat::vec(V_128), Pat::vec(V_128), Pat::vm(V_128, M_64)], &[W, R, R]),
-];
-static AVX_PACKED: &[Signature] = &[
-    Signature::new(&[Pat::vec(V_ANY), Pat::vec(V_ANY), Pat::vm(V_ANY, M_VANY)], &[W, R, R]),
-];
+static SSE_SS_CMP: &[Signature] =
+    &[Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_32)], &[R, R])];
+static SSE_SD_CMP: &[Signature] =
+    &[Signature::free(&[Pat::vec(V_128), Pat::vm(V_128, M_64)], &[R, R])];
+static AVX_SS: &[Signature] =
+    &[Signature::free(&[Pat::vec(V_128), Pat::vec(V_128), Pat::vm(V_128, M_32)], &[W, R, R])];
+static AVX_SD: &[Signature] =
+    &[Signature::free(&[Pat::vec(V_128), Pat::vec(V_128), Pat::vm(V_128, M_64)], &[W, R, R])];
+static AVX_PACKED: &[Signature] =
+    &[Signature::new(&[Pat::vec(V_ANY), Pat::vec(V_ANY), Pat::vm(V_ANY, M_VANY)], &[W, R, R])];
 static AVX_MOV: &[Signature] = &[
     Signature::new(&[Pat::vec(V_ANY), Pat::vm(V_ANY, M_VANY)], &[W, R]),
     Signature::new(&[Pat::mem(M_VANY), Pat::vec(V_ANY)], &[W, R]),
@@ -331,7 +319,11 @@ pub fn signatures(op: crate::Opcode) -> &'static [Signature] {
         Addps | Subps | Mulps | Divps | Addpd | Subpd | Mulpd | Divpd | Xorps | Andps | Orps
         | Andnps | Minps | Maxps | Unpcklps | Unpckhps | Paddd | Psubd | Paddq | Psubq | Pand
         | Por | Pxor | Pmulld | Pminud | Pmaxud | Pavgb | Pcmpeqd | Pcmpgtd | Punpckldq
-        | Punpckhdq | Paddb | Paddw | Paddsb | Paddsw | Paddusb | Paddusw | Psubb | Psubw | Psubsb | Psubsw | Psubusb | Psubusw | Pminsw | Pminsd | Pminub | Pminuw | Pmaxsw | Pmaxsd | Pmaxub | Pmaxuw | Pcmpeqb | Pcmpeqw | Pcmpeqq | Pcmpgtb | Pcmpgtw | Pcmpgtq | Pavgw | Packssdw | Packsswb | Packusdw | Punpcklbw | Punpcklwd | Punpckhbw | Punpckhwd => SSE_PACKED,
+        | Punpckhdq | Paddb | Paddw | Paddsb | Paddsw | Paddusb | Paddusw | Psubb | Psubw
+        | Psubsb | Psubsw | Psubusb | Psubusw | Pminsw | Pminsd | Pminub | Pminuw | Pmaxsw
+        | Pmaxsd | Pmaxub | Pmaxuw | Pcmpeqb | Pcmpeqw | Pcmpeqq | Pcmpgtb | Pcmpgtw | Pcmpgtq
+        | Pavgw | Packssdw | Packsswb | Packusdw | Punpcklbw | Punpcklwd | Punpckhbw
+        | Punpckhwd => SSE_PACKED,
         Movaps | Movups => SSE_MOV,
         Movss => MOVSS,
         Movsd => MOVSD,
@@ -340,7 +332,9 @@ pub fn signatures(op: crate::Opcode) -> &'static [Signature] {
         Vaddsd | Vsubsd | Vmulsd | Vdivsd | Vcvtsd2ss => AVX_SD,
         Vaddps | Vsubps | Vmulps | Vdivps | Vxorps | Vandps | Vorps | Vandnps | Vminps | Vmaxps
         | Vunpcklps | Vunpckhps | Vpaddd | Vpsubd | Vpand | Vpor | Vpxor | Vpminud | Vpmaxud
-        | Vpavgb | Vpcmpeqd | Vpcmpgtd | Vpunpckldq | Vpunpckhdq | Vpaddb | Vpaddw | Vpsubb | Vpsubw | Vpminsd | Vpmaxsd | Vpminsw | Vpmaxsw | Vpcmpeqb | Vpcmpgtb | Vpavgw | Vpacksswb | Vpackssdw | Vpunpcklbw | Vpunpcklwd => AVX_PACKED,
+        | Vpavgb | Vpcmpeqd | Vpcmpgtd | Vpunpckldq | Vpunpckhdq | Vpaddb | Vpaddw | Vpsubb
+        | Vpsubw | Vpminsd | Vpmaxsd | Vpminsw | Vpmaxsw | Vpcmpeqb | Vpcmpgtb | Vpavgw
+        | Vpacksswb | Vpackssdw | Vpunpcklbw | Vpunpcklwd => AVX_PACKED,
         Vmovaps | Vmovups => AVX_MOV,
     }
 }

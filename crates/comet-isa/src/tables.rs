@@ -163,24 +163,28 @@ fn base_profile(op: Opcode, march: Microarch) -> (u8, f64, f64, PortSet) {
         // `profile`).
         (Push | Pop, _) => (0, 0.0, 0.0, PortSet::P0156),
         // Conditional moves.
-        (
-            Cmove | Cmovne | Cmovl | Cmovg | Cmovle | Cmovge | Cmovb | Cmova,
-            Hsw,
-        ) => (2, 2.0, 0.5, PortSet::P0156),
-        (
-            Cmove | Cmovne | Cmovl | Cmovg | Cmovle | Cmovge | Cmovb | Cmova,
-            Skl,
-        ) => (1, 1.0, 0.5, PortSet::P06),
+        (Cmove | Cmovne | Cmovl | Cmovg | Cmovle | Cmovge | Cmovb | Cmova, Hsw) => {
+            (2, 2.0, 0.5, PortSet::P0156)
+        }
+        (Cmove | Cmovne | Cmovl | Cmovg | Cmovle | Cmovge | Cmovb | Cmova, Skl) => {
+            (1, 1.0, 0.5, PortSet::P06)
+        }
         // Bit scans / counts.
         (Bsf | Bsr | Popcnt | Lzcnt | Tzcnt, _) => (1, 3.0, 1.0, PortSet::P1),
         (Nop, _) => (1, 0.0, 0.25, PortSet::P0156),
         // Float add family.
-        (Addss | Subss | Minss | Maxss | Addsd | Subsd | Minsd | Maxsd | Addps | Subps
-        | Addpd | Subpd | Minps | Maxps | Vaddss | Vsubss | Vminss | Vmaxss | Vaddsd | Vsubsd
-        | Vaddps | Vsubps | Vminps | Vmaxps, Hsw) => (1, 3.0, 1.0, PortSet::P1),
-        (Addss | Subss | Minss | Maxss | Addsd | Subsd | Minsd | Maxsd | Addps | Subps
-        | Addpd | Subpd | Minps | Maxps | Vaddss | Vsubss | Vminss | Vmaxss | Vaddsd | Vsubsd
-        | Vaddps | Vsubps | Vminps | Vmaxps, Skl) => (1, 4.0, 0.5, PortSet::P01),
+        (
+            Addss | Subss | Minss | Maxss | Addsd | Subsd | Minsd | Maxsd | Addps | Subps | Addpd
+            | Subpd | Minps | Maxps | Vaddss | Vsubss | Vminss | Vmaxss | Vaddsd | Vsubsd | Vaddps
+            | Vsubps | Vminps | Vmaxps,
+            Hsw,
+        ) => (1, 3.0, 1.0, PortSet::P1),
+        (
+            Addss | Subss | Minss | Maxss | Addsd | Subsd | Minsd | Maxsd | Addps | Subps | Addpd
+            | Subpd | Minps | Maxps | Vaddss | Vsubss | Vminss | Vmaxss | Vaddsd | Vsubsd | Vaddps
+            | Vsubps | Vminps | Vmaxps,
+            Skl,
+        ) => (1, 4.0, 0.5, PortSet::P01),
         // Float multiply.
         (Mulss | Mulsd | Mulps | Mulpd | Vmulss | Vmulsd | Vmulps, Hsw) => {
             (1, 5.0, 0.5, PortSet::P01)
@@ -203,26 +207,52 @@ fn base_profile(op: Opcode, march: Microarch) -> (u8, f64, f64, PortSet) {
         (Cvtss2sd | Cvtsd2ss | Vcvtss2sd | Vcvtsd2ss, Hsw) => (1, 2.0, 1.0, PortSet::P1),
         (Cvtss2sd | Cvtsd2ss | Vcvtss2sd | Vcvtsd2ss, Skl) => (1, 2.0, 1.0, PortSet::P01),
         // Vector logic.
-        (Xorps | Andps | Orps | Andnps | Pand | Por | Pxor | Vxorps | Vandps | Vorps | Vandnps
-        | Vpand | Vpor | Vpxor, _) => (1, 1.0, 0.34, PortSet::P015),
+        (
+            Xorps | Andps | Orps | Andnps | Pand | Por | Pxor | Vxorps | Vandps | Vorps | Vandnps
+            | Vpand | Vpor | Vpxor,
+            _,
+        ) => (1, 1.0, 0.34, PortSet::P015),
         // Vector integer.
-        (Paddd | Psubd | Paddq | Psubq | Pminud | Pmaxud | Pavgb | Pcmpeqd | Pcmpgtd | Vpaddd
-        | Vpsubd | Vpminud | Vpmaxud | Vpavgb | Vpcmpeqd | Vpcmpgtd, Hsw) => {
-            (1, 1.0, 0.5, PortSet::P15)
-        }
-        (Paddd | Psubd | Paddq | Psubq | Pminud | Pmaxud | Pavgb | Pcmpeqd | Pcmpgtd | Vpaddd
-        | Vpsubd | Vpminud | Vpmaxud | Vpavgb | Vpcmpeqd | Vpcmpgtd, Skl) => {
-            (1, 1.0, 0.34, PortSet::P015)
-        }
+        (
+            Paddd | Psubd | Paddq | Psubq | Pminud | Pmaxud | Pavgb | Pcmpeqd | Pcmpgtd | Vpaddd
+            | Vpsubd | Vpminud | Vpmaxud | Vpavgb | Vpcmpeqd | Vpcmpgtd,
+            Hsw,
+        ) => (1, 1.0, 0.5, PortSet::P15),
+        (
+            Paddd | Psubd | Paddq | Psubq | Pminud | Pmaxud | Pavgb | Pcmpeqd | Pcmpgtd | Vpaddd
+            | Vpsubd | Vpminud | Vpmaxud | Vpavgb | Vpcmpeqd | Vpcmpgtd,
+            Skl,
+        ) => (1, 1.0, 0.34, PortSet::P015),
         (Pmulld, Hsw) => (2, 10.0, 2.0, PortSet::P0),
         (Pmulld, Skl) => (2, 10.0, 1.0, PortSet::P01),
         // Vector moves.
         (Movaps | Movups | Vmovaps | Vmovups, _) => (1, 1.0, 0.25, PortSet::P015),
-        (Paddb | Paddw | Paddsb | Paddsw | Paddusb | Paddusw | Psubb | Psubw | Psubsb | Psubsw | Psubusb | Psubusw | Pminsw | Pminsd | Pminub | Pminuw | Pmaxsw | Pmaxsd | Pmaxub | Pmaxuw | Pcmpeqb | Pcmpeqw | Pcmpeqq | Pcmpgtb | Pcmpgtw | Pcmpgtq | Pavgw | Vpaddb | Vpaddw | Vpsubb | Vpsubw | Vpminsd | Vpmaxsd | Vpminsw | Vpmaxsw | Vpcmpeqb | Vpcmpgtb | Vpavgw, Hsw) => (1, 1.0, 0.5, PortSet::P15),
-        (Paddb | Paddw | Paddsb | Paddsw | Paddusb | Paddusw | Psubb | Psubw | Psubsb | Psubsw | Psubusb | Psubusw | Pminsw | Pminsd | Pminub | Pminuw | Pmaxsw | Pmaxsd | Pmaxub | Pmaxuw | Pcmpeqb | Pcmpeqw | Pcmpeqq | Pcmpgtb | Pcmpgtw | Pcmpgtq | Pavgw | Vpaddb | Vpaddw | Vpsubb | Vpsubw | Vpminsd | Vpmaxsd | Vpminsw | Vpmaxsw | Vpcmpeqb | Vpcmpgtb | Vpavgw, Skl) => (1, 1.0, 0.34, PortSet::P015),
-        (Packssdw | Packsswb | Packusdw | Punpcklbw | Punpcklwd | Punpckhbw | Punpckhwd | Vpacksswb | Vpackssdw | Vpunpcklbw | Vpunpcklwd, _) => (1, 1.0, 1.0, PortSet::P5),
-        (Unpcklps | Unpckhps | Punpckldq | Punpckhdq | Vunpcklps | Vunpckhps | Vpunpckldq
-        | Vpunpckhdq, _) => (1, 1.0, 1.0, PortSet::P5),
+        (
+            Paddb | Paddw | Paddsb | Paddsw | Paddusb | Paddusw | Psubb | Psubw | Psubsb | Psubsw
+            | Psubusb | Psubusw | Pminsw | Pminsd | Pminub | Pminuw | Pmaxsw | Pmaxsd | Pmaxub
+            | Pmaxuw | Pcmpeqb | Pcmpeqw | Pcmpeqq | Pcmpgtb | Pcmpgtw | Pcmpgtq | Pavgw | Vpaddb
+            | Vpaddw | Vpsubb | Vpsubw | Vpminsd | Vpmaxsd | Vpminsw | Vpmaxsw | Vpcmpeqb
+            | Vpcmpgtb | Vpavgw,
+            Hsw,
+        ) => (1, 1.0, 0.5, PortSet::P15),
+        (
+            Paddb | Paddw | Paddsb | Paddsw | Paddusb | Paddusw | Psubb | Psubw | Psubsb | Psubsw
+            | Psubusb | Psubusw | Pminsw | Pminsd | Pminub | Pminuw | Pmaxsw | Pmaxsd | Pmaxub
+            | Pmaxuw | Pcmpeqb | Pcmpeqw | Pcmpeqq | Pcmpgtb | Pcmpgtw | Pcmpgtq | Pavgw | Vpaddb
+            | Vpaddw | Vpsubb | Vpsubw | Vpminsd | Vpmaxsd | Vpminsw | Vpmaxsw | Vpcmpeqb
+            | Vpcmpgtb | Vpavgw,
+            Skl,
+        ) => (1, 1.0, 0.34, PortSet::P015),
+        (
+            Packssdw | Packsswb | Packusdw | Punpcklbw | Punpcklwd | Punpckhbw | Punpckhwd
+            | Vpacksswb | Vpackssdw | Vpunpcklbw | Vpunpcklwd,
+            _,
+        ) => (1, 1.0, 1.0, PortSet::P5),
+        (
+            Unpcklps | Unpckhps | Punpckldq | Punpckhdq | Vunpcklps | Vunpckhps | Vpunpckldq
+            | Vpunpckhdq,
+            _,
+        ) => (1, 1.0, 1.0, PortSet::P5),
         (Movss | Movsd, _) => (1, 1.0, 1.0, PortSet::P5),
     }
 }
@@ -242,11 +272,7 @@ pub fn profile(inst: &Instruction, march: Microarch) -> InstProfile {
 
     // Narrow integer division is much cheaper than 64-bit.
     if category == OpCategory::ScalarDiv {
-        let wide = inst
-            .operands
-            .first()
-            .and_then(|op| op.size())
-            .is_some_and(|s| s == Size::B64);
+        let wide = inst.operands.first().and_then(|op| op.size()).is_some_and(|s| s == Size::B64);
         if !wide {
             latency = (latency * 0.65).round();
             rtp = (rtp * 0.4).round();
@@ -270,11 +296,7 @@ pub fn profile(inst: &Instruction, march: Microarch) -> InstProfile {
 
     // 256-bit divides halve throughput.
     if category == OpCategory::VecFloatDiv {
-        let wide = inst
-            .operands
-            .first()
-            .and_then(|op| op.size())
-            .is_some_and(|s| s == Size::B256);
+        let wide = inst.operands.first().and_then(|op| op.size()).is_some_and(|s| s == Size::B256);
         if wide {
             rtp *= 2.0;
             latency += 1.0;
@@ -399,11 +421,9 @@ mod tests {
 
     #[test]
     fn push_profile_counts_store_uops() {
-        let push = Instruction::new(
-            Opcode::Push,
-            vec![Operand::reg(Register::from_name("rbx").unwrap())],
-        )
-        .unwrap();
+        let push =
+            Instruction::new(Opcode::Push, vec![Operand::reg(Register::from_name("rbx").unwrap())])
+                .unwrap();
         let p = profile(&push, Microarch::Haswell);
         assert_eq!(p.stores, 1);
         assert_eq!(p.loads, 0);

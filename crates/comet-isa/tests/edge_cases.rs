@@ -14,12 +14,7 @@ fn parser_handles_whitespace_and_case() {
 
 #[test]
 fn parser_handles_all_size_keywords() {
-    for (kw, reg) in [
-        ("byte", "al"),
-        ("word", "ax"),
-        ("dword", "eax"),
-        ("qword", "rax"),
-    ] {
+    for (kw, reg) in [("byte", "al"), ("word", "ax"), ("dword", "eax"), ("qword", "rax")] {
         let text = format!("mov {kw} ptr [rdi], {reg}");
         let inst = parse_instruction(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
         assert!(inst.writes_memory());
@@ -46,8 +41,8 @@ fn parser_rejects_control_flow_and_malformed_input() {
         "ret",
         "jne label",
         "call rax",
-        "add rcx rax",     // missing comma
-        "mov [rax], 1 2",  // trailing junk
+        "add rcx rax",    // missing comma
+        "mov [rax], 1 2", // trailing junk
         "add , rax",
         "mov rax, qword ptr [rax + rbx + rcx + rdx]", // too many regs
     ] {
@@ -108,11 +103,7 @@ fn expensive_replacement_fraction_stays_realistic() {
             })
             .count();
         let fraction = expensive as f64 / repl.len() as f64;
-        assert!(
-            fraction < 0.20,
-            "{text}: {expensive}/{} replacements are expensive",
-            repl.len()
-        );
+        assert!(fraction < 0.20, "{text}: {expensive}/{} replacements are expensive", repl.len());
     }
 }
 

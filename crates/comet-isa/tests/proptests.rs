@@ -56,9 +56,8 @@ fn valid_instruction() -> impl Strategy<Value = Instruction> {
             .prop_map(move |(d, s)| Instruction::new(op, vec![Operand::reg(d), Operand::reg(s)]))
     });
     let alu_rm = (alu_op.clone(), gpr_size.clone()).prop_flat_map(|(op, size)| {
-        (gpr(size), mem_operand(size)).prop_map(move |(d, m)| {
-            Instruction::new(op, vec![Operand::reg(d), Operand::Mem(m)])
-        })
+        (gpr(size), mem_operand(size))
+            .prop_map(move |(d, m)| Instruction::new(op, vec![Operand::reg(d), Operand::Mem(m)]))
     });
     let store = gpr_size.clone().prop_flat_map(|size| {
         (mem_operand(size), gpr(size)).prop_map(move |(m, s)| {
@@ -79,9 +78,8 @@ fn valid_instruction() -> impl Strategy<Value = Instruction> {
         (gpr(size), -1000i64..1000)
             .prop_map(move |(d, v)| Instruction::new(op, vec![Operand::reg(d), Operand::imm(v)]))
     });
-    let lea = (gpr(Size::B64), mem_operand(Size::B64)).prop_map(|(d, m)| {
-        Instruction::new(Opcode::Lea, vec![Operand::reg(d), Operand::Mem(m)])
-    });
+    let lea = (gpr(Size::B64), mem_operand(Size::B64))
+        .prop_map(|(d, m)| Instruction::new(Opcode::Lea, vec![Operand::reg(d), Operand::Mem(m)]));
     let vec_op = proptest::sample::select(vec![
         Opcode::Vaddss,
         Opcode::Vmulss,
@@ -98,9 +96,8 @@ fn valid_instruction() -> impl Strategy<Value = Instruction> {
             ],
         )
     });
-    let unary = (0u8..16).prop_map(|i| {
-        Instruction::new(Opcode::Div, vec![Operand::reg(Register::gpr64(i))])
-    });
+    let unary = (0u8..16)
+        .prop_map(|i| Instruction::new(Opcode::Div, vec![Operand::reg(Register::gpr64(i))]));
     prop_oneof![alu_rr, alu_rm, store, alu_imm, lea, avx, unary]
         .prop_map(|r| r.expect("strategy produced invalid instruction"))
 }

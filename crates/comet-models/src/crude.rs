@@ -2,10 +2,25 @@
 //! and Appendix G), used as the explanation-accuracy oracle: its
 //! closed-form structure yields objective ground-truth explanations.
 
-use comet_graph::{BlockGraph, DepEdge, DepKind};
+use std::cell::RefCell;
+
+use comet_graph::{DepConfig, DepEdge, DepKind, EdgeSetScratch};
 use comet_isa::{instruction_throughput, BasicBlock, Microarch};
 
 use crate::traits::CostModel;
+
+thread_local! {
+    /// Reusable dependency-analysis buffers for [`CrudeModel::predict`].
+    ///
+    /// The explainer queries the crude model tens of thousands of
+    /// times per explanation; the cost function only needs dependency
+    /// *identities* (RAW pairs), so recomputing them through a
+    /// per-thread [`EdgeSetScratch`] instead of building a fresh
+    /// [`BlockGraph`] keeps the hot path free of steady-state
+    /// allocations. Identity set and cost are exactly those of the
+    /// graph-based computation (both run the same hazard enumeration).
+    static DEP_SCRATCH: RefCell<EdgeSetScratch> = RefCell::new(EdgeSetScratch::new());
+}
 
 /// The paper's interpretable cost model C:
 ///
@@ -60,21 +75,28 @@ impl CostModel for CrudeModel {
     }
 
     fn predict(&self, block: &BasicBlock) -> f64 {
-        let graph = BlockGraph::build(block);
-        let mut cost = self.cost_eta(block.len());
-        for i in 0..block.len() {
-            cost = cost.max(self.cost_inst(block, i));
-        }
-        for edge in graph.edges() {
-            cost = cost.max(self.cost_dep(block, edge));
-        }
-        cost
+        DEP_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.compute(block, DepConfig::default());
+            let mut cost = self.cost_eta(block.len());
+            for i in 0..block.len() {
+                cost = cost.max(self.cost_inst(block, i));
+            }
+            for &(kind, src, dst) in scratch.ids() {
+                // WAR/WAW are free (register renaming); only RAW pays.
+                if kind == DepKind::Raw {
+                    cost = cost.max(self.cost_inst(block, src) + self.cost_inst(block, dst));
+                }
+            }
+            cost
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use comet_graph::BlockGraph;
     use comet_isa::parse_block;
 
     #[test]
@@ -135,5 +157,33 @@ mod tests {
         let hsw = CrudeModel::new(Microarch::Haswell).predict(&block);
         let skl = CrudeModel::new(Microarch::Skylake).predict(&block);
         assert!(hsw > skl, "HSW {hsw} vs SKL {skl}");
+    }
+
+    /// The scratch-based hot path must equal the graph-based formula
+    /// bit for bit (same edge identities, same max).
+    #[test]
+    fn scratch_predict_matches_graph_formula() {
+        let texts = [
+            "add rcx, rax\nmov rdx, rcx\npop rbx",
+            "div rcx\nmov rbx, 1",
+            "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx",
+            "mov qword ptr [rdi], rcx\nmov rax, qword ptr [rdi]\nadd rax, rcx",
+            "nop",
+        ];
+        for march in [Microarch::Haswell, Microarch::Skylake] {
+            let c = CrudeModel::new(march);
+            for text in texts {
+                let block = parse_block(text).unwrap();
+                let graph = BlockGraph::build(&block);
+                let mut reference = c.cost_eta(block.len());
+                for i in 0..block.len() {
+                    reference = reference.max(c.cost_inst(&block, i));
+                }
+                for edge in graph.edges() {
+                    reference = reference.max(c.cost_dep(&block, edge));
+                }
+                assert_eq!(c.predict(&block), reference, "{march:?}: {text}");
+            }
+        }
     }
 }

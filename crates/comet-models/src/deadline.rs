@@ -90,9 +90,8 @@ impl<M: CostModel + Send + Sync + 'static> CostModel for DeadlineModel<M> {
         let model = Arc::clone(&self.inner);
         let owned = block.clone();
         let start = Instant::now();
-        let spawned = std::thread::Builder::new()
-            .name("comet-deadline-watchdog".into())
-            .spawn(move || {
+        let spawned =
+            std::thread::Builder::new().name("comet-deadline-watchdog".into()).spawn(move || {
                 // `try_predict` implementations may themselves panic
                 // (the trait default catches `predict` panics, but an
                 // override need not); convert instead of unwinding

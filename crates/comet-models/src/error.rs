@@ -164,10 +164,7 @@ mod tests {
             Err(ModelError::NonFinite { value }) => assert!(value.is_nan()),
             other => panic!("expected NonFinite, got {other:?}"),
         }
-        assert!(matches!(
-            catch_prediction(|| f64::INFINITY),
-            Err(ModelError::NonFinite { .. })
-        ));
+        assert!(matches!(catch_prediction(|| f64::INFINITY), Err(ModelError::NonFinite { .. })));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use comet_isa::BasicBlock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::error::{catch_prediction, ModelError};
+use crate::error::ModelError;
 use crate::traits::CostModel;
 
 /// Fault rates and parameters for [`FaultyModel`]. All rates are
@@ -241,7 +241,9 @@ impl<M: CostModel> CostModel for FaultyModel<M> {
         match self.draw() {
             Fault::Nan => Err(ModelError::NonFinite { value: f64::NAN }),
             Fault::Inf => Err(ModelError::NonFinite { value: f64::INFINITY }),
-            Fault::Panic => Err(ModelError::Panic { message: "injected fault: model panic".into() }),
+            Fault::Panic => {
+                Err(ModelError::Panic { message: "injected fault: model panic".into() })
+            }
             Fault::Transient => {
                 Err(ModelError::Transient { message: "injected fault: transient failure".into() })
             }
@@ -295,10 +297,8 @@ mod tests {
 
     #[test]
     fn injected_errors_match_the_taxonomy() {
-        let model = FaultyModel::new(
-            CrudeModel::new(Microarch::Haswell),
-            FaultConfig::uniform(0.15, 3),
-        );
+        let model =
+            FaultyModel::new(CrudeModel::new(Microarch::Haswell), FaultConfig::uniform(0.15, 3));
         let b = block();
         let mut seen_nan = false;
         let mut seen_transient = false;

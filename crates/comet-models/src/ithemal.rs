@@ -75,19 +75,12 @@ impl IthemalSurrogate {
         let mut rng = StdRng::seed_from_u64(config.seed ^ march as u64);
         let mut model =
             HierarchicalRegressor::new(vocab.len(), config.embed_dim, config.hidden, &mut rng);
-        let data: Vec<(Vec<Vec<usize>>, f64)> = corpus
-            .iter()
-            .map(|(block, cost)| (vocab.tokenize_block(block), *cost))
-            .collect();
-        let mut trainer = Trainer::new(config.adam, config.batch_size, config.epochs)
-            .with_loss(Loss::Relative);
+        let data: Vec<(Vec<Vec<usize>>, f64)> =
+            corpus.iter().map(|(block, cost)| (vocab.tokenize_block(block), *cost)).collect();
+        let mut trainer =
+            Trainer::new(config.adam, config.batch_size, config.epochs).with_loss(Loss::Relative);
         trainer.fit(&mut model, &data, &mut rng);
-        IthemalSurrogate {
-            model,
-            vocab,
-            name: format!("Ithemal ({})", march.abbrev()),
-            march,
-        }
+        IthemalSurrogate { model, vocab, name: format!("Ithemal ({})", march.abbrev()), march }
     }
 
     /// The microarchitecture the surrogate was trained for.
@@ -148,10 +141,7 @@ mod tests {
         let model = IthemalSurrogate::train(Microarch::Haswell, &corpus, config);
         let cheap = model.predict(&parse_block("add rax, 1").unwrap());
         let expensive = model.predict(&parse_block("div rcx").unwrap());
-        assert!(
-            expensive > cheap * 3.0,
-            "expected div >> add, got {expensive} vs {cheap}"
-        );
+        assert!(expensive > cheap * 3.0, "expected div >> add, got {expensive} vs {cheap}");
     }
 
     #[test]

@@ -219,7 +219,8 @@ impl<M: CostModel, F: CostModel> ResilientModel<M, F> {
             return Route::Inner;
         }
         st.queries_while_open += 1;
-        if self.config.probe_interval > 0 && st.queries_while_open % self.config.probe_interval == 0
+        if self.config.probe_interval > 0
+            && st.queries_while_open.is_multiple_of(self.config.probe_interval)
         {
             Route::Probe
         } else {
@@ -300,10 +301,7 @@ impl<M: CostModel, F: CostModel> ResilientModel<M, F> {
                         continue;
                     }
                     let error = if attempt > 0 {
-                        ModelError::BudgetExhausted {
-                            attempts: attempt + 1,
-                            last: Box::new(error),
-                        }
+                        ModelError::BudgetExhausted { attempts: attempt + 1, last: Box::new(error) }
                     } else {
                         error
                     };
@@ -551,7 +549,7 @@ mod tests {
                 "alternating"
             }
             fn predict(&self, _: &BasicBlock) -> f64 {
-                if self.0.fetch_add(1, Ordering::SeqCst) % 2 == 0 {
+                if self.0.fetch_add(1, Ordering::SeqCst).is_multiple_of(2) {
                     f64::NAN
                 } else {
                     1.0

@@ -1,6 +1,9 @@
 //! The query-access-only cost-model abstraction.
 
 use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use comet_isa::BasicBlock;
@@ -75,18 +78,96 @@ impl<M: CostModel + ?Sized> CostModel for Box<M> {
     }
 }
 
+/// Number of lock stripes in a [`CachedModel`]. A power of two so
+/// shard selection is a shift; 16 stripes keeps contention negligible
+/// for the worker counts the evaluation harness uses.
+const CACHE_SHARDS: usize = 16;
+
 /// A memoizing wrapper: COMET evaluates many feature sets against
 /// overlapping perturbation samples, so repeated queries are common.
 ///
-/// Keys are the printed block text (blocks print canonically). Only
-/// finite predictions are cached — errors (and NaN/Inf values) are
-/// re-queried, so a model recovering from a transient fault is not
+/// # Keys
+///
+/// Entries are keyed by the 64-bit FNV-1a hash of the block's
+/// canonical printed text, computed by streaming the `Display` output
+/// through the hasher — the block text itself is never materialized or
+/// stored, so a steady-state lookup allocates nothing. The price is a
+/// theoretical collision: two distinct blocks with the same 64-bit
+/// hash would silently share a cached cost. For an explanation run
+/// issuing `Q ≤ 25 000` distinct queries, the birthday bound puts the
+/// probability of *any* collision below `Q² / 2⁶⁵ ≈ 2 × 10⁻¹¹` — far
+/// below the noise floor of the neural models being cached.
+///
+/// # Locking
+///
+/// The cache is striped into [`CACHE_SHARDS`] independently locked
+/// shards selected by the key's high bits; counters are atomics, so no
+/// lock is ever held while acquiring another, and a cache hit takes
+/// exactly one lock, once. A miss re-acquires the same shard lock to
+/// insert after the inner prediction completes — the lock is never
+/// held across the (potentially slow) inner model call.
+///
+/// Only finite predictions are cached — errors (and NaN/Inf values)
+/// are re-queried, so a model recovering from a transient fault is not
 /// pinned to its failure.
+///
+/// # Capacity
+///
+/// By default the cache grows without bound. [`CachedModel::bounded`]
+/// caps the number of live entries; once a shard is full, each new
+/// insert evicts one arbitrary resident entry (cheap, and adequate for
+/// the explainer's highly repetitive query stream).
 #[derive(Debug)]
 pub struct CachedModel<M> {
     inner: M,
-    cache: Mutex<HashMap<String, f64>>,
-    queries: Mutex<QueryStats>,
+    shards: [Mutex<Shard>; CACHE_SHARDS],
+    /// Per-shard entry cap; `usize::MAX` when unbounded.
+    shard_capacity: usize,
+    total: AtomicU64,
+    hits: AtomicU64,
+}
+
+/// One lock stripe: keys are FNV-1a hashes, already uniformly mixed,
+/// so the map hashes them with a pass-through hasher instead of
+/// re-running SipHash on every probe.
+type Shard = HashMap<u64, f64, BuildHasherDefault<PassThroughHasher>>;
+
+/// Identity hasher for pre-hashed `u64` keys.
+#[derive(Debug, Default)]
+struct PassThroughHasher(u64);
+
+impl Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("cache keys are hashed as u64");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// Streams `fmt::Display` output through FNV-1a without building a
+/// `String`.
+struct FnvWriter(u64);
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &byte in s.as_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a hash of the block's canonical printed form.
+fn block_key(block: &BasicBlock) -> u64 {
+    let mut writer = FnvWriter(0xcbf2_9ce4_8422_2325);
+    write!(writer, "{block}").expect("hashing writer never fails");
+    writer.0
 }
 
 /// Counters exposed by [`CachedModel::stats`].
@@ -96,6 +177,23 @@ pub struct QueryStats {
     pub total: u64,
     /// Predictions answered from the cache.
     pub hits: u64,
+    /// Live cached entries at the time of the snapshot.
+    pub entries: u64,
+    /// Shards holding at least one entry.
+    pub occupied_shards: u32,
+    /// Total shard count (the lock-stripe width).
+    pub shards: u32,
+}
+
+impl QueryStats {
+    /// Fraction of queries answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
 }
 
 /// Recover a lock even when a previous holder panicked: every critical
@@ -106,9 +204,24 @@ fn recover<'a, T>(lock: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
 }
 
 impl<M: CostModel> CachedModel<M> {
-    /// Wrap a model with a prediction cache.
+    /// Wrap a model with an unbounded prediction cache.
     pub fn new(inner: M) -> CachedModel<M> {
-        CachedModel { inner, cache: Mutex::new(HashMap::new()), queries: Mutex::new(QueryStats::default()) }
+        CachedModel {
+            inner,
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            shard_capacity: usize::MAX,
+            total: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Wrap a model with a cache holding at most `capacity` entries
+    /// (rounded up to a multiple of the shard count). Inserts into a
+    /// full shard evict one arbitrary resident entry.
+    pub fn bounded(inner: M, capacity: usize) -> CachedModel<M> {
+        let mut model = CachedModel::new(inner);
+        model.shard_capacity = capacity.div_ceil(CACHE_SHARDS).max(1);
+        model
     }
 
     /// The wrapped model.
@@ -116,25 +229,66 @@ impl<M: CostModel> CachedModel<M> {
         &self.inner
     }
 
-    /// Cache hit statistics.
+    /// A consistent-enough snapshot of the cache counters. Hit/total
+    /// counts are exact; occupancy is sampled shard by shard.
     pub fn stats(&self) -> QueryStats {
-        *recover(&self.queries)
-    }
-
-    /// Drop all cached predictions.
-    pub fn clear(&self) {
-        recover(&self.cache).clear();
-    }
-
-    /// Cache lookup shared by both prediction paths.
-    fn lookup(&self, key: &str) -> Option<f64> {
-        let mut stats = recover(&self.queries);
-        stats.total += 1;
-        if let Some(&v) = recover(&self.cache).get(key) {
-            stats.hits += 1;
-            return Some(v);
+        let mut entries = 0u64;
+        let mut occupied = 0u32;
+        for shard in &self.shards {
+            let len = recover(shard).len();
+            entries += len as u64;
+            occupied += u32::from(len > 0);
         }
-        None
+        QueryStats {
+            total: self.total.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            entries,
+            occupied_shards: occupied,
+            shards: CACHE_SHARDS as u32,
+        }
+    }
+
+    /// Drop all cached predictions *and* reset the hit/total counters,
+    /// returning the cache to its freshly-constructed state. (Callers
+    /// comparing [`stats`](CachedModel::stats) across a `clear` should
+    /// snapshot first.)
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            recover(shard).clear();
+        }
+        self.total.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+    }
+
+    /// The shard a key lives in. High bits, because the pass-through
+    /// hasher feeds the key's low bits to the map's bucket index — the
+    /// two selectors must not overlap or every shard would use only
+    /// 1/[`CACHE_SHARDS`] of its buckets.
+    fn shard_of(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key >> (64 - CACHE_SHARDS.trailing_zeros())) as usize]
+    }
+
+    /// Cache lookup shared by both prediction paths: one atomic bump,
+    /// one shard lock, no nesting.
+    fn lookup(&self, key: u64) -> Option<f64> {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let hit = recover(self.shard_of(key)).get(&key).copied();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Insert a finite prediction, evicting an arbitrary entry if the
+    /// shard is at capacity.
+    fn store(&self, key: u64, value: f64) {
+        let mut shard = recover(self.shard_of(key));
+        if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
+            if let Some(&victim) = shard.keys().next() {
+                shard.remove(&victim);
+            }
+        }
+        shard.insert(key, value);
     }
 }
 
@@ -144,20 +298,20 @@ impl<M: CostModel> CostModel for CachedModel<M> {
     }
 
     fn predict(&self, block: &BasicBlock) -> f64 {
-        let key = block.to_string();
-        if let Some(v) = self.lookup(&key) {
+        let key = block_key(block);
+        if let Some(v) = self.lookup(key) {
             return v;
         }
         let value = self.inner.predict(block);
         if value.is_finite() {
-            recover(&self.cache).insert(key, value);
+            self.store(key, value);
         }
         value
     }
 
     fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
-        let key = block.to_string();
-        if let Some(v) = self.lookup(&key) {
+        let key = block_key(block);
+        if let Some(v) = self.lookup(key) {
             // Cached values are finite by construction, but an old
             // entry could predate the finiteness guard; re-check.
             if v.is_finite() {
@@ -166,7 +320,7 @@ impl<M: CostModel> CostModel for CachedModel<M> {
         }
         let value = self.inner.try_predict(block)?;
         if value.is_finite() {
-            recover(&self.cache).insert(key, value);
+            self.store(key, value);
             Ok(value)
         } else {
             // An overridden `try_predict` failed to uphold the
@@ -208,9 +362,66 @@ mod tests {
         let stats = model.stats();
         assert_eq!(stats.total, 2);
         assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.occupied_shards, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
         model.clear();
+        // `clear` resets counters along with the entries.
+        assert_eq!(
+            model.stats(),
+            QueryStats { shards: CACHE_SHARDS as u32, ..QueryStats::default() }
+        );
         model.predict(&block);
         assert_eq!(model.inner().0.load(Ordering::SeqCst), 2);
+    }
+
+    /// A spread of distinct blocks lands in multiple shards and every
+    /// entry stays retrievable (hash keys don't collide in practice).
+    #[test]
+    fn distinct_blocks_spread_across_shards() {
+        let model = CachedModel::new(Counting(AtomicU64::new(0)));
+        let blocks: Vec<BasicBlock> = (1..=64)
+            .map(|n| {
+                let text = (0..n).map(|_| "add rcx, rax").collect::<Vec<_>>().join("\n");
+                comet_isa::parse_block(&text).unwrap()
+            })
+            .collect();
+        for block in &blocks {
+            model.predict(block);
+        }
+        for block in &blocks {
+            assert_eq!(model.predict(block), block.len() as f64);
+        }
+        let stats = model.stats();
+        assert_eq!(stats.entries, 64);
+        assert_eq!(stats.hits, 64);
+        assert!(stats.occupied_shards > 1, "64 keys all hashed into one shard");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_instead_of_growing() {
+        let model = CachedModel::bounded(Counting(AtomicU64::new(0)), CACHE_SHARDS);
+        let blocks: Vec<BasicBlock> = (1..=128)
+            .map(|n| {
+                let text = (0..n).map(|_| "mov rdx, rcx").collect::<Vec<_>>().join("\n");
+                comet_isa::parse_block(&text).unwrap()
+            })
+            .collect();
+        for block in &blocks {
+            model.predict(block);
+        }
+        let stats = model.stats();
+        assert!(
+            stats.entries <= CACHE_SHARDS as u64,
+            "bounded cache grew to {} entries",
+            stats.entries
+        );
+        // A resident entry is still a hit; capacity bounds size, not
+        // correctness.
+        let before = model.stats().hits;
+        let resident = blocks.last().unwrap();
+        assert_eq!(model.predict(resident), resident.len() as f64);
+        assert_eq!(model.stats().hits, before + 1);
     }
 
     #[test]
@@ -242,10 +453,7 @@ mod tests {
             }
         }
         let block = comet_isa::parse_block("nop").unwrap();
-        assert!(matches!(
-            NanModel.try_predict(&block),
-            Err(ModelError::NonFinite { .. })
-        ));
+        assert!(matches!(NanModel.try_predict(&block), Err(ModelError::NonFinite { .. })));
     }
 
     #[test]

@@ -6,12 +6,14 @@
 //! 2. an instruction-level LSTM combines those into a block embedding;
 //! 3. a linear head regresses the block embedding to a throughput.
 
+use std::cell::RefCell;
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::layers::{Embedding, Linear};
-use crate::lstm::{Lstm, LstmCache};
+use crate::lstm::{Lstm, LstmCache, LstmScratch};
 use crate::param::{adam_step_all, AdamConfig, Param};
 
 /// A basic block tokenized for the model: one token-id sequence per
@@ -49,6 +51,35 @@ struct ForwardCaches {
     prediction: f64,
 }
 
+/// Reusable buffers for allocation-free prediction
+/// ([`HierarchicalRegressor::predict_with`]).
+///
+/// The explainer issues up to 25 000 predictions per explanation; the
+/// training-style forward pass allocates caches for every one of them
+/// even though inference discards everything but the final scalar.
+/// This scratch holds the only state inference needs — one LSTM
+/// scratch per level and the head's output — so a warmed-up scratch
+/// makes prediction heap-silent.
+#[derive(Debug, Default, Clone)]
+pub struct InferScratch {
+    token: LstmScratch,
+    instr: LstmScratch,
+    output: Vec<f64>,
+}
+
+impl InferScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> InferScratch {
+        InferScratch::default()
+    }
+}
+
+thread_local! {
+    /// Shared inference scratch behind [`HierarchicalRegressor::predict`]:
+    /// per-thread so the regressor stays `Sync` with an unchanged API.
+    static INFER_SCRATCH: RefCell<InferScratch> = RefCell::new(InferScratch::new());
+}
+
 impl HierarchicalRegressor {
     /// A freshly initialized model.
     pub fn new<R: Rng>(vocab: usize, embed_dim: usize, hidden: usize, rng: &mut R) -> Self {
@@ -82,17 +113,60 @@ impl HierarchicalRegressor {
         let instr_cache = self.instr_lstm.forward(&instr_inputs);
         let block_hidden = instr_cache.final_hidden().to_vec();
         let prediction = self.head.forward(&block_hidden)[0];
-        ForwardCaches { token_embeds, token_caches, instr_inputs, instr_cache, block_hidden, prediction }
+        ForwardCaches {
+            token_embeds,
+            token_caches,
+            instr_inputs,
+            instr_cache,
+            block_hidden,
+            prediction,
+        }
     }
 
     /// Predict the cost of a tokenized block.
+    ///
+    /// Runs the allocation-free inference path against a per-thread
+    /// [`InferScratch`], so steady-state predictions touch the heap
+    /// not at all. The result is bitwise identical to the training
+    /// forward pass (both share the same kernels; see
+    /// [`predict_with`](HierarchicalRegressor::predict_with)).
     ///
     /// # Panics
     ///
     /// Panics on an empty block, an empty instruction, or an
     /// out-of-vocabulary token id.
     pub fn predict(&self, block: &TokenizedBlock) -> f64 {
-        self.forward(block).prediction
+        INFER_SCRATCH.with(|cell| self.predict_with(block, &mut cell.borrow_mut()))
+    }
+
+    /// Predict using caller-provided scratch buffers.
+    ///
+    /// The two LSTM levels are interleaved: as soon as an
+    /// instruction's token LSTM finishes, its final hidden state is
+    /// fed to the instruction LSTM and discarded — no per-instruction
+    /// embedding vectors, no retained caches. Every arithmetic kernel
+    /// is the one the training pass uses, so the prediction is bitwise
+    /// identical to [`forward`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty block, an empty instruction, or an
+    /// out-of-vocabulary token id.
+    pub fn predict_with(&self, block: &TokenizedBlock, scratch: &mut InferScratch) -> f64 {
+        assert!(!block.is_empty(), "cannot predict an empty block");
+        self.instr_lstm.begin(&mut scratch.instr);
+        for tokens in block {
+            assert!(!tokens.is_empty(), "instruction with no tokens");
+            self.token_lstm.begin(&mut scratch.token);
+            for &id in tokens {
+                self.token_lstm.step(self.embedding.row(id), &mut scratch.token);
+            }
+            self.instr_lstm.step(scratch.token.hidden_state(), &mut scratch.instr);
+        }
+        scratch.output.clear();
+        scratch.output.resize(self.head.output(), 0.0);
+        self.head.forward_into(scratch.instr.hidden_state(), &mut scratch.output);
+        scratch.output[0]
     }
 
     /// One training example: forward, accumulate loss gradients scaled
@@ -218,11 +292,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let data = synthetic_data(&mut rng, 300);
         let mut model = HierarchicalRegressor::new(8, 8, 16, &mut rng);
-        let mut trainer = Trainer::new(
-            AdamConfig { lr: 5e-3, ..AdamConfig::default() },
-            16,
-            30,
-        );
+        let mut trainer = Trainer::new(AdamConfig { lr: 5e-3, ..AdamConfig::default() }, 16, 30);
         let losses = trainer.fit(&mut model, &data, &mut rng);
         let first = losses[0];
         let last = *losses.last().unwrap();
@@ -238,6 +308,22 @@ mod tests {
             .sum::<f64>()
             / test.len() as f64;
         assert!(mse < 1.5, "test MSE too high: {mse}");
+    }
+
+    /// The scratch-buffer inference path and the training forward pass
+    /// must produce bitwise-identical predictions.
+    #[test]
+    fn inference_path_matches_training_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let model = HierarchicalRegressor::new(16, 6, 10, &mut rng);
+        let blocks =
+            [vec![vec![0, 1]], vec![vec![2, 3, 4], vec![5], vec![6, 7, 8, 9]], vec![vec![15]; 7]];
+        let mut scratch = InferScratch::new();
+        for block in &blocks {
+            let training = model.forward(block).prediction;
+            assert_eq!(model.predict(block), training);
+            assert_eq!(model.predict_with(block, &mut scratch), training);
+        }
     }
 
     #[test]

@@ -38,8 +38,18 @@ impl Embedding {
     ///
     /// Panics if `id >= vocab`.
     pub fn lookup(&self, id: usize) -> Vec<f64> {
+        self.row(id).to_vec()
+    }
+
+    /// Borrow the embedding row of a token id without copying — the
+    /// inference path feeds this straight into the token LSTM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= vocab`.
+    pub fn row(&self, id: usize) -> &[f64] {
         assert!(id < self.vocab, "token id {id} out of range {}", self.vocab);
-        self.table.value[id * self.dim..(id + 1) * self.dim].to_vec()
+        &self.table.value[id * self.dim..(id + 1) * self.dim]
     }
 
     /// Accumulate the gradient for a looked-up token.
@@ -80,9 +90,25 @@ impl Linear {
     /// Forward pass.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.output];
-        matvec(&self.w.value, self.output, self.input, x, &mut y);
-        add_assign(&mut y, &self.b.value);
+        self.forward_into(x, &mut y);
         y
+    }
+
+    /// Forward pass into a caller-provided output buffer (the
+    /// allocation-free inference path).
+    pub fn forward_into(&self, x: &[f64], y: &mut [f64]) {
+        matvec(&self.w.value, self.output, self.input, x, y);
+        add_assign(y, &self.b.value);
+    }
+
+    /// Input dimensionality.
+    pub fn input(&self) -> usize {
+        self.input
+    }
+
+    /// Output dimensionality.
+    pub fn output(&self) -> usize {
+        self.output
     }
 
     /// Accumulate gradients for output-gradient `dy` at input `x`,

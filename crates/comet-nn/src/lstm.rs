@@ -50,6 +50,40 @@ impl LstmCache {
     }
 }
 
+/// Reusable state for the allocation-free inference path
+/// ([`Lstm::begin`] / [`Lstm::step`]).
+///
+/// One scratch serves any number of sequences (and any number of
+/// `Lstm` instances — `begin` re-sizes the buffers, which is free once
+/// their capacity has grown to the largest layer seen). Inference
+/// through a scratch is bitwise identical to [`Lstm::forward`]: both
+/// paths run the same [`matvec`] and the same gate arithmetic in the
+/// same order; the only difference is where the intermediate state
+/// lives.
+#[derive(Debug, Default, Clone)]
+pub struct LstmScratch {
+    /// Gate pre-activations, `4*hidden`.
+    z: Vec<f64>,
+    /// Hidden-to-gates product, `4*hidden`.
+    zh: Vec<f64>,
+    /// Current hidden state, `hidden`.
+    h: Vec<f64>,
+    /// Current cell state, `hidden`.
+    c: Vec<f64>,
+}
+
+impl LstmScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> LstmScratch {
+        LstmScratch::default()
+    }
+
+    /// The hidden state after the steps taken so far.
+    pub fn hidden_state(&self) -> &[f64] {
+        &self.h
+    }
+}
+
 impl Lstm {
     /// A freshly initialized LSTM with fan-in-scaled uniform weights.
     pub fn new<R: Rng>(input: usize, hidden: usize, rng: &mut R) -> Lstm {
@@ -126,6 +160,51 @@ impl Lstm {
         cache
     }
 
+    /// Reset `scratch` for a new sequence through this layer: zero
+    /// state, buffers sized to this layer's dimensions. Allocation-free
+    /// once the scratch has served a layer at least this large.
+    pub fn begin(&self, scratch: &mut LstmScratch) {
+        let h = self.hidden;
+        scratch.z.clear();
+        scratch.z.resize(4 * h, 0.0);
+        scratch.zh.clear();
+        scratch.zh.resize(4 * h, 0.0);
+        scratch.h.clear();
+        scratch.h.resize(h, 0.0);
+        scratch.c.clear();
+        scratch.c.resize(h, 0.0);
+    }
+
+    /// Advance the recurrence one step on input `x`, updating the
+    /// hidden/cell state in `scratch` in place. Performs the exact
+    /// per-step computation of [`forward`](Lstm::forward) with zero
+    /// heap traffic and no cache retention (inference only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width (debug: also if `scratch` was
+    /// not [`begun`](Lstm::begin) for this layer).
+    pub fn step(&self, x: &[f64], scratch: &mut LstmScratch) {
+        assert_eq!(x.len(), self.input, "LSTM input width mismatch");
+        let h = self.hidden;
+        debug_assert_eq!(scratch.h.len(), h, "scratch not begun for this layer");
+        matvec(&self.wx.value, 4 * h, self.input, x, &mut scratch.z);
+        matvec(&self.wh.value, 4 * h, h, &scratch.h, &mut scratch.zh);
+        add_assign(&mut scratch.z, &scratch.zh);
+        add_assign(&mut scratch.z, &self.b.value);
+        // `c` and `h` can be updated in place: entry k of either reads
+        // only entry k of the previous state, and the h_prev matvec
+        // above has already consumed the old hidden state.
+        for k in 0..h {
+            let i = sigmoid(scratch.z[k]);
+            let f = sigmoid(scratch.z[h + k]);
+            let g = scratch.z[2 * h + k].tanh();
+            let o = sigmoid(scratch.z[3 * h + k]);
+            scratch.c[k] = f * scratch.c[k] + i * g;
+            scratch.h[k] = o * scratch.c[k].tanh();
+        }
+    }
+
     /// Backpropagate `d_final` (gradient w.r.t. the final hidden state)
     /// through the cached forward pass, accumulating weight gradients
     /// and returning the gradients w.r.t. each input vector.
@@ -191,9 +270,8 @@ mod tests {
     fn gradients_match_finite_differences() {
         let mut rng = StdRng::seed_from_u64(42);
         let mut lstm = Lstm::new(3, 4, &mut rng);
-        let xs: Vec<Vec<f64>> = (0..5)
-            .map(|t| (0..3).map(|k| ((t * 3 + k) as f64 * 0.37).sin()).collect())
-            .collect();
+        let xs: Vec<Vec<f64>> =
+            (0..5).map(|t| (0..3).map(|k| ((t * 3 + k) as f64 * 0.37).sin()).collect()).collect();
         // Loss: sum of final hidden state.
         let loss = |l: &Lstm| -> f64 { l.forward(&xs).final_hidden().iter().sum() };
 
@@ -239,6 +317,34 @@ mod tests {
         let a = lstm.forward(&xs).final_hidden().to_vec();
         let b = lstm.forward(&xs).final_hidden().to_vec();
         assert_eq!(a, b);
+    }
+
+    /// The scratch-buffer inference path must agree with the training
+    /// forward pass bit for bit — they share the same kernels.
+    #[test]
+    fn scratch_steps_match_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let lstm = Lstm::new(5, 7, &mut rng);
+        let xs: Vec<Vec<f64>> =
+            (0..9).map(|t| (0..5).map(|k| ((t * 5 + k) as f64 * 0.83).cos()).collect()).collect();
+        let reference = lstm.forward(&xs);
+        let mut scratch = LstmScratch::new();
+        lstm.begin(&mut scratch);
+        for x in &xs {
+            lstm.step(x, &mut scratch);
+        }
+        assert_eq!(scratch.hidden_state(), reference.final_hidden());
+
+        // A reused scratch (even one sized by a different layer) gives
+        // the same answer again.
+        let other = Lstm::new(3, 11, &mut rng);
+        other.begin(&mut scratch);
+        other.step(&[0.1, 0.2, 0.3], &mut scratch);
+        lstm.begin(&mut scratch);
+        for x in &xs {
+            lstm.step(x, &mut scratch);
+        }
+        assert_eq!(scratch.hidden_state(), reference.final_hidden());
     }
 
     #[test]

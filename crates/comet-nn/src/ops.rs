@@ -7,6 +7,13 @@
 /// `y = W x`, where `W` is `rows x cols` row-major and `x` has `cols`
 /// elements.
 ///
+/// The dot product runs four independent accumulators over
+/// 4-element blocks so the scalar FP adds don't serialize on one
+/// dependency chain (f64 adds can't be reordered by the compiler).
+/// Both the training forward pass and the scratch-buffer inference
+/// path call this one implementation, so their summation order — and
+/// hence every prediction — is bitwise identical.
+///
 /// # Panics
 ///
 /// Panics (in debug builds) if the dimensions disagree.
@@ -16,8 +23,17 @@ pub fn matvec(w: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(y.len(), rows);
     for (r, yr) in y.iter_mut().enumerate() {
         let row = &w[r * cols..(r + 1) * cols];
-        let mut acc = 0.0;
-        for (a, b) in row.iter().zip(x) {
+        let mut lanes = [0.0f64; 4];
+        let mut row_blocks = row.chunks_exact(4);
+        let mut x_blocks = x.chunks_exact(4);
+        for (a, b) in row_blocks.by_ref().zip(x_blocks.by_ref()) {
+            lanes[0] += a[0] * b[0];
+            lanes[1] += a[1] * b[1];
+            lanes[2] += a[2] * b[2];
+            lanes[3] += a[3] * b[3];
+        }
+        let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for (a, b) in row_blocks.remainder().iter().zip(x_blocks.remainder()) {
             acc += a * b;
         }
         *yr = acc;

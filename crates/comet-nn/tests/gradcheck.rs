@@ -20,8 +20,7 @@ fn full_model_gradients_match_finite_differences() {
 
     // Analytic gradients.
     model.train_example(&block, target, 1.0, Loss::Squared);
-    let analytic: Vec<Vec<f64>> =
-        model.params_mut().iter().map(|p| p.grad.clone()).collect();
+    let analytic: Vec<Vec<f64>> = model.params_mut().iter().map(|p| p.grad.clone()).collect();
     for p in model.params_mut() {
         p.zero_grad();
     }
@@ -30,6 +29,9 @@ fn full_model_gradients_match_finite_differences() {
     // every parameter tensor.
     let eps = 1e-6;
     let num_params = analytic.len();
+    // Indexing both `analytic` and `model.params_mut()` by `pi`; an
+    // iterator over one would fight the mutable borrow of the other.
+    #[allow(clippy::needless_range_loop)]
     for pi in 0..num_params {
         let len = model.params_mut()[pi].len();
         let step = (len / 11).max(1);
@@ -58,8 +60,7 @@ fn relative_loss_gradients_match_finite_differences() {
     let target = 8.0;
 
     model.train_example(&block, target, 1.0, Loss::Relative);
-    let analytic: Vec<Vec<f64>> =
-        model.params_mut().iter().map(|p| p.grad.clone()).collect();
+    let analytic: Vec<Vec<f64>> = model.params_mut().iter().map(|p| p.grad.clone()).collect();
     for p in model.params_mut() {
         p.zero_grad();
     }
@@ -70,6 +71,7 @@ fn relative_loss_gradients_match_finite_differences() {
         err * err
     };
     let eps = 1e-6;
+    #[allow(clippy::needless_range_loop)]
     for pi in 0..analytic.len() {
         let len = model.params_mut()[pi].len();
         for idx in (0..len).step_by((len / 7).max(1)) {

@@ -142,7 +142,12 @@ impl PipelineState {
         }
         let idiom_opcode = matches!(
             inst.opcode,
-            Opcode::Xor | Opcode::Sub | Opcode::Pxor | Opcode::Xorps | Opcode::Vpxor | Opcode::Vxorps
+            Opcode::Xor
+                | Opcode::Sub
+                | Opcode::Pxor
+                | Opcode::Xorps
+                | Opcode::Vpxor
+                | Opcode::Vxorps
         );
         idiom_opcode
             && inst.operands.len() >= 2
@@ -176,10 +181,8 @@ impl PipelineState {
         // Loads start once their address registers are ready.
         let mut loaded_at = issue_at;
         for mem in &fx.mem_reads {
-            let addr_ready = mem
-                .address_registers()
-                .map(|r| self.reg_ready(r))
-                .fold(issue_at, f64::max);
+            let addr_ready =
+                mem.address_registers().map(|r| self.reg_ready(r)).fold(issue_at, f64::max);
             let start = self.reserve_port(comet_isa::PortSet::LOAD, addr_ready, 1.0);
             let mut data_at = start + comet_isa::tables::LOAD_LATENCY;
             // Store-to-load forwarding from an earlier store to the
@@ -197,11 +200,8 @@ impl PipelineState {
         }
 
         // Compute µops wait for register inputs and loaded data.
-        let inputs_ready = fx
-            .reg_reads
-            .iter()
-            .map(|r| self.reg_ready(*r))
-            .fold(loaded_at, f64::max);
+        let inputs_ready =
+            fx.reg_reads.iter().map(|r| self.reg_ready(*r)).fold(loaded_at, f64::max);
         let mut result_at = inputs_ready;
         if profile.compute_uops > 0 {
             // The (possibly unpipelined) primary µop binds a port for
@@ -217,10 +217,8 @@ impl PipelineState {
         // Stores: address and data µops, then commit.
         let mut stored_at = result_at;
         for mem in &fx.mem_writes {
-            let addr_ready = mem
-                .address_registers()
-                .map(|r| self.reg_ready(r))
-                .fold(issue_at, f64::max);
+            let addr_ready =
+                mem.address_registers().map(|r| self.reg_ready(r)).fold(issue_at, f64::max);
             let addr_at = self.reserve_port(comet_isa::PortSet::STORE_ADDR, addr_ready, 1.0);
             let data_at = self.reserve_port(comet_isa::PortSet::STORE_DATA, result_at, 1.0);
             let commit = addr_at.max(data_at) + 1.0;

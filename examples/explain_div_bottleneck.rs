@@ -36,11 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train a small Ithemal surrogate on a simulator-labelled corpus.
     eprintln!("(training the Ithemal surrogate on 800 blocks; ~15s in release)");
     let corpus = Corpus::generate(800, GenConfig::default(), 7);
-    let ithemal = IthemalSurrogate::train(
-        march,
-        &corpus.training_pairs(march),
-        IthemalConfig::default(),
-    );
+    let ithemal =
+        IthemalSurrogate::train(march, &corpus.training_pairs(march), IthemalConfig::default());
     let uica = UicaSurrogate::new(march);
 
     let config = ExplainConfig::for_throughput_model();

@@ -26,10 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let coarse = CoarseBaselineModel::new();
     let uica = UicaSurrogate::new(Microarch::Haswell);
 
-    let config = ExplainConfig {
-        coverage_samples: 500,
-        ..ExplainConfig::for_throughput_model()
-    };
+    let config = ExplainConfig { coverage_samples: 500, ..ExplainConfig::for_throughput_model() };
     let mut rng = StdRng::seed_from_u64(0);
     let report = compare_models(&coarse, &uica, &blocks, config, &mut rng)?;
 

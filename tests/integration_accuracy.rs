@@ -16,8 +16,7 @@ fn comet_beats_random_baseline_on_crude_model() {
     let config = ExplainConfig { coverage_samples: 300, ..ExplainConfig::for_crude_model() };
     let explainer = Explainer::new(crude, config);
 
-    let gts: Vec<FeatureSet> =
-        corpus.iter().map(|e| ground_truth(&crude, &e.block)).collect();
+    let gts: Vec<FeatureSet> = corpus.iter().map(|e| ground_truth(&crude, &e.block)).collect();
     let baseline = BaselineContext::from_ground_truths(&gts);
 
     let mut rng = StdRng::seed_from_u64(0);

@@ -39,10 +39,8 @@ fn explain_survives_every_fault_class_across_100_seeds() {
     let mut refused = 0u32;
     let mut faults_seen = 0u64;
     for seed in 0..100u64 {
-        let faulty = FaultyModel::new(
-            CrudeModel::new(Microarch::Haswell),
-            FaultConfig::uniform(0.1, seed),
-        );
+        let faulty =
+            FaultyModel::new(CrudeModel::new(Microarch::Haswell), FaultConfig::uniform(0.1, seed));
         let explainer = Explainer::new(faulty, sweep_config());
         let mut rng = StdRng::seed_from_u64(seed);
         match explainer.explain(&block, &mut rng) {

@@ -123,11 +123,7 @@ impl Default for Criterion {
         // `cargo bench` passes `--bench`; `cargo test --benches` passes
         // `--test`, which we treat as smoke mode (run once, fast).
         let smoke = args.iter().any(|a| a == "--test");
-        let filter = args
-            .iter()
-            .skip(1)
-            .find(|a| !a.starts_with('-') && !a.is_empty())
-            .cloned();
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-') && !a.is_empty()).cloned();
         Criterion { smoke, filter }
     }
 }
@@ -147,13 +143,17 @@ impl Criterion {
     }
 
     fn wants(&self, id: &str) -> bool {
-        self.filter.as_deref().map_or(true, |f| id.contains(f))
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Criterion {
+        let id = id.as_ref();
         if self.wants(id) {
-            let mut bencher =
-                Bencher { elapsed: Duration::ZERO, iters: 0, smoke: self.smoke };
+            let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0, smoke: self.smoke };
             f(&mut bencher);
             report(id, &bencher);
         }
@@ -180,8 +180,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let full = format!("{}/{}", self.name, id);
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
         if self.criterion.wants(&full) {
             let mut bencher =
                 Bencher { elapsed: Duration::ZERO, iters: 0, smoke: self.criterion.smoke };

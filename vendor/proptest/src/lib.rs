@@ -365,7 +365,7 @@ pub mod option {
     impl<S: Strategy> Strategy for OptionStrategy<S> {
         type Value = Option<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
-            if rng.next_u64() % 4 == 0 {
+            if rng.next_u64().is_multiple_of(4) {
                 None
             } else {
                 Some(self.0.generate(rng))
@@ -557,7 +557,9 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($left), stringify!($right), l,
+                stringify!($left),
+                stringify!($right),
+                l,
             )));
         }
     }};
@@ -580,13 +582,13 @@ macro_rules! prop_oneof {
 }
 
 pub mod prelude {
+    /// `prop::sample::Index` etc. — mirror of real proptest's prelude
+    /// alias for the crate root.
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
         Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
     };
-    /// `prop::sample::Index` etc. — mirror of real proptest's prelude
-    /// alias for the crate root.
-    pub use crate as prop;
 }
 
 #[cfg(test)]
@@ -605,7 +607,7 @@ mod tests {
 
         #[test]
         fn oneof_map_and_select(
-            v in prop_oneof![Just(1u32), Just(2), (3u32..5)].prop_map(|v| v * 10),
+            v in prop_oneof![Just(1u32), Just(2), 3u32..5].prop_map(|v| v * 10),
             s in crate::sample::select(vec!["a", "b"]),
             idx in any::<prop::sample::Index>(),
         ) {

@@ -35,6 +35,9 @@ struct Field {
     name: String,
     /// `#[serde(default)]` present.
     default: bool,
+    /// `#[serde(skip)]` present: the field is omitted from serialized
+    /// output and filled with `Default::default()` on deserialization.
+    skip: bool,
 }
 
 enum VariantKind {
@@ -62,30 +65,32 @@ struct Item {
 // ---- parsing ---------------------------------------------------------
 
 /// Skip a run of `#[...]` attributes; report whether any of them was
-/// `#[serde(default)]`.
-fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+/// `#[serde(default)]` or `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool, bool) {
     let mut has_default = false;
+    let mut has_skip = false;
     while i + 1 < tokens.len() {
         match (&tokens[i], &tokens[i + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
-                has_default |= attr_is_serde_default(&g.stream());
+                has_default |= attr_has_serde_arg(&g.stream(), "default");
+                has_skip |= attr_has_serde_arg(&g.stream(), "skip");
                 i += 2;
             }
             _ => break,
         }
     }
-    (i, has_default)
+    (i, has_default, has_skip)
 }
 
-fn attr_is_serde_default(stream: &TokenStream) -> bool {
+fn attr_has_serde_arg(stream: &TokenStream, arg: &str) -> bool {
     let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
     match tokens.as_slice() {
         [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
             .stream()
             .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == arg)),
         _ => false,
     }
 }
@@ -125,7 +130,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (next, default) = skip_attrs(&tokens, i);
+        let (next, default, skip) = skip_attrs(&tokens, i);
         i = skip_vis(&tokens, next);
         let name = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
@@ -138,7 +143,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         );
         i = skip_type(&tokens, i + 1);
         i += 1; // consume the comma (or run off the end)
-        fields.push(Field { name, default });
+        fields.push(Field { name, default, skip });
     }
     fields
 }
@@ -153,7 +158,7 @@ fn count_tuple_fields(stream: TokenStream) -> usize {
     let mut count = 0;
     let mut i = 0;
     while i < tokens.len() {
-        let (next, _) = skip_attrs(&tokens, i);
+        let (next, _, _) = skip_attrs(&tokens, i);
         i = skip_vis(&tokens, next);
         i = skip_type(&tokens, i);
         i += 1;
@@ -167,7 +172,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (next, _) = skip_attrs(&tokens, i);
+        let (next, _, _) = skip_attrs(&tokens, i);
         i = next;
         let name = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
@@ -186,9 +191,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
             _ => VariantKind::Unit,
         };
         // Skip to the separating comma (tolerates discriminants).
-        while i < tokens.len()
-            && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
-        {
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
             i += 1;
         }
         i += 1;
@@ -199,7 +202,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let (i, _) = skip_attrs(&tokens, 0);
+    let (i, _, _) = skip_attrs(&tokens, 0);
     let mut i = skip_vis(&tokens, i);
     let keyword = match &tokens[i] {
         TokenTree::Ident(id) => id.to_string(),
@@ -243,6 +246,7 @@ fn gen_serialize(item: &Item) -> String {
         ItemKind::NamedStruct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
+                .filter(|f| !f.skip)
                 .map(|f| {
                     format!(
                         "(::std::string::String::from(\"{n}\"), \
@@ -290,9 +294,10 @@ fn gen_serialize(item: &Item) -> String {
                         }
                         VariantKind::Struct(fields) => {
                             let binds: Vec<String> =
-                                fields.iter().map(|f| f.name.clone()).collect();
+                                fields.iter().filter(|f| !f.skip).map(|f| f.name.clone()).collect();
                             let entries: Vec<String> = fields
                                 .iter()
+                                .filter(|f| !f.skip)
                                 .map(|f| {
                                     format!(
                                         "(::std::string::String::from(\"{n}\"), \
@@ -302,10 +307,14 @@ fn gen_serialize(item: &Item) -> String {
                                 })
                                 .collect();
                             format!(
-                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                                "{name}::{vname} {{ {binds} .. }} => ::serde::Content::Map(vec![(\
                                  ::std::string::String::from(\"{vname}\"), \
                                  ::serde::Content::Map(vec![{entries}]))]),",
-                                binds = binds.join(", "),
+                                binds = if binds.is_empty() {
+                                    String::new()
+                                } else {
+                                    format!("{},", binds.join(", "))
+                                },
                                 entries = entries.join(", "),
                             )
                         }
@@ -324,7 +333,10 @@ fn gen_serialize(item: &Item) -> String {
 
 /// Codegen for pulling field `fname` out of the association list
 /// `entries`, in a context where `return Err` is legal.
-fn field_getter(owner: &str, fname: &str, default: bool) -> String {
+fn field_getter(owner: &str, fname: &str, default: bool, skip: bool) -> String {
+    if skip {
+        return format!("{fname}: ::std::default::Default::default()");
+    }
     let missing = if default {
         "::std::default::Default::default()".to_string()
     } else {
@@ -346,7 +358,7 @@ fn gen_deserialize(item: &Item) -> String {
     let body = match &item.kind {
         ItemKind::NamedStruct(fields) => {
             let getters: Vec<String> =
-                fields.iter().map(|f| field_getter(name, &f.name, f.default)).collect();
+                fields.iter().map(|f| field_getter(name, &f.name, f.default, f.skip)).collect();
             format!(
                 "match content {{\n\
                  ::serde::Content::Map(entries) => ::std::result::Result::Ok({name} {{ {getters} }}),\n\
@@ -383,9 +395,7 @@ fn gen_deserialize(item: &Item) -> String {
             let unit_arms: Vec<String> = variants
                 .iter()
                 .filter(|v| matches!(v.kind, VariantKind::Unit))
-                .map(|v| {
-                    format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),", v = v.name)
-                })
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),", v = v.name))
                 .collect();
             let payload_arms: Vec<String> = variants
                 .iter()
@@ -421,7 +431,7 @@ fn gen_deserialize(item: &Item) -> String {
                         VariantKind::Struct(fields) => {
                             let getters: Vec<String> = fields
                                 .iter()
-                                .map(|f| field_getter(vname, &f.name, f.default))
+                                .map(|f| field_getter(vname, &f.name, f.default, f.skip))
                                 .collect();
                             Some(format!(
                                 "\"{vname}\" => match v {{\n\

@@ -151,6 +151,25 @@ impl std::ops::IndexMut<&str> for Value {
     }
 }
 
+impl std::ops::Index<String> for Value {
+    type Output = Value;
+    fn index(&self, key: String) -> &Value {
+        self.get(&key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<String> for Value {
+    fn index_mut(&mut self, key: String) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(BTreeMap::new());
+        }
+        match self {
+            Value::Object(map) => map.entry(key).or_insert(Value::Null),
+            other => panic!("cannot index {other:?} with a string key"),
+        }
+    }
+}
+
 impl std::ops::Index<usize> for Value {
     type Output = Value;
     fn index(&self, i: usize) -> &Value {
@@ -245,9 +264,9 @@ fn content_to_value(content: &Content) -> Value {
         }
         Content::Str(s) => Value::String(s.clone()),
         Content::Seq(items) => Value::Array(items.iter().map(content_to_value).collect()),
-        Content::Map(entries) => Value::Object(
-            entries.iter().map(|(k, v)| (k.clone(), content_to_value(v))).collect(),
-        ),
+        Content::Map(entries) => {
+            Value::Object(entries.iter().map(|(k, v)| (k.clone(), content_to_value(v))).collect())
+        }
     }
 }
 
@@ -635,20 +654,82 @@ pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
     T::deserialize_content(&value_to_content(&value)).map_err(Error::new)
 }
 
-/// Build a [`Value`] from a JSON-ish literal. Supports the shapes the
-/// workspace uses: scalars/expressions, `{ "key": expr, .. }` objects
-/// and `[expr, ..]` arrays.
+/// Build a [`Value`] from a JSON-ish literal: scalars and arbitrary
+/// expressions, nested `{ "key": value, .. }` objects and `[value, ..]`
+/// arrays. A token-tree muncher (the same recognition strategy as the
+/// real crate) so values can be multi-token expressions.
 #[macro_export]
 macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // ---- array munching: @array [built elems] rest... ----
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr),*]) => { vec![$($elems),*] };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*]),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*}),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ---- object munching: @object map (key tts) (rest) (rest copy) ----
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(::std::string::String::from($($key)+), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(::std::string::String::from($($key)+), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Munch one more token into the pending key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ---- entry points ----
     (null) => { $crate::Value::Null };
-    ({ $($key:literal : $val:tt),* $(,)? }) => {{
-        #[allow(unused_mut)]
-        let mut map = ::std::collections::BTreeMap::new();
-        $( map.insert(::std::string::String::from($key), $crate::json!($val)); )*
-        $crate::Value::Object(map)
-    }};
-    ([ $($item:tt),* $(,)? ]) => {
-        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => { $crate::Value::Object(::std::collections::BTreeMap::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = ::std::collections::BTreeMap::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
     };
     ($other:expr) => { $crate::to_value(&$other) };
 }
