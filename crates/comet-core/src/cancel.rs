@@ -1,0 +1,165 @@
+//! Cooperative cancellation, shared by every long-running COMET
+//! process (the `comet-eval` harness and the `comet-serve` network
+//! service).
+//!
+//! [`CancelToken`] is a cloneable atomic flag that workers poll between
+//! units of work; [`install_sigint`] wires a token to Ctrl-C with the
+//! conventional two-stage semantics (first SIGINT cancels cooperatively
+//! so in-flight work drains, a second aborts the process immediately).
+//! Both lived in `comet-eval` originally; they moved here so the eval
+//! binary and the server share one implementation instead of a copy.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// Remaining [`CancelToken::poll`] calls before auto-cancellation;
+    /// only consulted when `budgeted` (the deterministic test mode).
+    polls_left: AtomicI64,
+    budgeted: bool,
+}
+
+/// A shared cooperative-cancellation flag. Clones share state; any
+/// holder can [`cancel`](CancelToken::cancel) and every worker polling
+/// the token observes it. Used by `comet-eval`'s `par_map_cancellable`
+/// workers, the `comet-eval` Ctrl-C handler, and the `comet-serve`
+/// accept loop / worker pool for graceful drain.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that cancels only when [`cancel`](CancelToken::cancel)
+    /// is called.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                polls_left: AtomicI64::new(i64::MAX),
+                budgeted: false,
+            }),
+        }
+    }
+
+    /// A token that additionally self-cancels after `n` worker polls —
+    /// a deterministic stand-in for "Ctrl-C partway through a run" in
+    /// tests (each worker polls once per item it claims).
+    pub fn after_polls(n: u64) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                polls_left: AtomicI64::new(n.min(i64::MAX as u64) as i64),
+                budgeted: true,
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; never blocks (safe to call
+    /// from a signal handler).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested. Does not consume a
+    /// poll-budget slot.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Worker-side check: consumes one slot of an
+    /// [`after_polls`](CancelToken::after_polls) budget, then reports
+    /// whether the token is cancelled.
+    pub fn poll(&self) -> bool {
+        if self.inner.budgeted && self.inner.polls_left.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            self.cancel();
+        }
+        self.is_cancelled()
+    }
+}
+
+/// Install a SIGINT handler that trips `token` on the first Ctrl-C and
+/// aborts the process on the second. Uses a raw `signal(2)` binding
+/// (the handler only touches atomics, which is async-signal-safe) to
+/// stay dependency-free.
+///
+/// Only the first installed token is honoured: the handler reads a
+/// process-wide [`OnceLock`], so call this once, early, from the
+/// binary's main thread. On non-Unix targets this is a no-op (graceful
+/// interruption is a Unix-only affordance).
+pub fn install_sigint(token: CancelToken) {
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    let _ = TOKEN.set(token);
+
+    extern "C" fn handle(_signum: i32) {
+        if let Some(token) = TOKEN.get() {
+            if token.is_cancelled() {
+                // Second Ctrl-C: the user wants out *now*.
+                std::process::abort();
+            }
+            token.cancel();
+        }
+    }
+
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        signal(SIGINT, handle as extern "C" fn(i32) as usize);
+    }
+    #[cfg(not(unix))]
+    let _ = handle;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(!token.poll());
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(a.poll());
+        a.cancel(); // idempotent
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn budgeted_token_self_cancels_after_n_polls() {
+        let token = CancelToken::after_polls(3);
+        assert!(!token.poll());
+        assert!(!token.poll());
+        assert!(!token.poll());
+        assert!(token.poll(), "fourth poll exhausts a 3-poll budget");
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn is_cancelled_does_not_consume_budget() {
+        let token = CancelToken::after_polls(1);
+        for _ in 0..10 {
+            assert!(!token.is_cancelled());
+        }
+        assert!(!token.poll());
+        assert!(token.poll());
+    }
+}

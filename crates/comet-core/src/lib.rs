@@ -51,6 +51,7 @@
 
 mod baselines;
 mod bitset;
+pub mod cancel;
 mod compare;
 mod explain;
 mod feature;
@@ -60,6 +61,7 @@ pub mod space;
 
 pub use baselines::{ground_truth, is_accurate, BaselineContext};
 pub use bitset::{FeatureMask, FeaturePool};
+pub use cancel::CancelToken;
 pub use compare::{compare_models, BlockComparison, ComparisonReport};
 pub use explain::{ExplainConfig, ExplainError, Explainer, Explanation};
 pub use feature::{extract_features, format_feature_set, Feature, FeatureKind, FeatureSet};

@@ -13,45 +13,15 @@
 //! (in-flight blocks drain and are journaled); a second aborts at once.
 
 use std::fmt::Write as _;
-use std::sync::OnceLock;
 use std::time::Instant;
 
+use comet_core::cancel::install_sigint;
 use comet_eval::{
     ablations, experiments, extras, figures, CancelToken, Durability, EvalContext, Scale,
 };
 
 /// Process exit status for an interrupted (SIGINT) run, shell-style.
 const SIGINT_EXIT: i32 = 130;
-
-/// Install a SIGINT handler that trips `token` on the first Ctrl-C and
-/// aborts the process on the second. Uses a raw `signal(2)` binding
-/// (the handler only touches atomics, which is async-signal-safe)
-/// to stay dependency-free.
-fn install_sigint(token: CancelToken) {
-    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
-    let _ = TOKEN.set(token);
-
-    extern "C" fn handle(_signum: i32) {
-        if let Some(token) = TOKEN.get() {
-            if token.is_cancelled() {
-                // Second Ctrl-C: the user wants out *now*.
-                std::process::abort();
-            }
-            token.cancel();
-        }
-    }
-
-    #[cfg(unix)]
-    unsafe {
-        extern "C" {
-            fn signal(signum: i32, handler: usize) -> usize;
-        }
-        const SIGINT: i32 = 2;
-        signal(SIGINT, handle as extern "C" fn(i32) as usize);
-    }
-    #[cfg(not(unix))]
-    let _ = handle; // graceful interruption is a unix-only affordance
-}
 
 fn main() {
     let mut scale_name = "standard".to_string();

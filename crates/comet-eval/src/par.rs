@@ -13,10 +13,14 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use comet_models::panic_payload_message;
+
+/// Re-exported from its shared home in `comet-core`: the eval binary
+/// and the `comet-serve` network service use one implementation.
+pub use comet_core::cancel::CancelToken;
 
 /// One item's worker panicked; siblings were unaffected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,79 +38,6 @@ impl fmt::Display for ParPanic {
 }
 
 impl std::error::Error for ParPanic {}
-
-#[derive(Debug)]
-struct CancelInner {
-    cancelled: AtomicBool,
-    /// Remaining [`CancelToken::poll`] calls before auto-cancellation;
-    /// only consulted when `budgeted` (the deterministic test mode).
-    polls_left: AtomicI64,
-    budgeted: bool,
-}
-
-/// A shared cooperative-cancellation flag. Clones share state; any
-/// holder can [`cancel`](CancelToken::cancel) and every worker polling
-/// the token observes it. Used by `par_map_cancellable` workers and by
-/// the `comet-eval` Ctrl-C handler.
-#[derive(Debug, Clone)]
-pub struct CancelToken {
-    inner: Arc<CancelInner>,
-}
-
-impl Default for CancelToken {
-    fn default() -> CancelToken {
-        CancelToken::new()
-    }
-}
-
-impl CancelToken {
-    /// A token that cancels only when [`cancel`](CancelToken::cancel)
-    /// is called.
-    pub fn new() -> CancelToken {
-        CancelToken {
-            inner: Arc::new(CancelInner {
-                cancelled: AtomicBool::new(false),
-                polls_left: AtomicI64::new(i64::MAX),
-                budgeted: false,
-            }),
-        }
-    }
-
-    /// A token that additionally self-cancels after `n` worker polls —
-    /// a deterministic stand-in for "Ctrl-C partway through a run" in
-    /// tests (each worker polls once per item it claims).
-    pub fn after_polls(n: u64) -> CancelToken {
-        CancelToken {
-            inner: Arc::new(CancelInner {
-                cancelled: AtomicBool::new(false),
-                polls_left: AtomicI64::new(n.min(i64::MAX as u64) as i64),
-                budgeted: true,
-            }),
-        }
-    }
-
-    /// Request cancellation. Idempotent; never blocks (safe to call
-    /// from a signal handler).
-    pub fn cancel(&self) {
-        self.inner.cancelled.store(true, Ordering::SeqCst);
-    }
-
-    /// Whether cancellation has been requested. Does not consume a
-    /// poll-budget slot.
-    pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::SeqCst)
-    }
-
-    /// Worker-side check: consumes one slot of an
-    /// [`after_polls`](CancelToken::after_polls) budget, then reports
-    /// whether the token is cancelled.
-    pub fn poll(&self) -> bool {
-        if self.inner.budgeted && self.inner.polls_left.fetch_sub(1, Ordering::SeqCst) <= 0 {
-            self.cancel();
-        }
-        self.is_cancelled()
-    }
-}
 
 /// Map `f` over `items` using all available cores, preserving order.
 ///
@@ -273,14 +204,5 @@ mod tests {
         let out = par_map_cancellable(&items, &token, |_, &x| x + 7);
         assert!(out.iter().enumerate().all(|(i, slot)| *slot == Some(Ok(i as u64 + 7))));
         assert!(!token.is_cancelled());
-    }
-
-    #[test]
-    fn token_clones_share_state() {
-        let a = CancelToken::new();
-        let b = a.clone();
-        b.cancel();
-        assert!(a.is_cancelled());
-        assert!(a.poll());
     }
 }

@@ -503,4 +503,57 @@ mod tests {
         assert_eq!(model.predict(&block), 1.0);
         assert_eq!(model.inner().0.load(Ordering::SeqCst), 2);
     }
+
+    /// 16 threads hammering a bounded cache with a keyspace several
+    /// times its capacity: the bound must hold under concurrent
+    /// insert/evict races, and the counters must stay exact —
+    /// `inner_calls == total - hits` is an invariant of the miss path
+    /// (every miss bumps `total`, skips `hits`, and calls the inner
+    /// model exactly once), even when two threads miss the same key
+    /// simultaneously and both compute it.
+    #[test]
+    fn bounded_cache_survives_concurrent_hammering() {
+        // Capacity a multiple of the shard count, so `bounded`'s
+        // per-shard rounding cannot raise the effective global bound.
+        const CAPACITY: usize = 4 * CACHE_SHARDS;
+        const KEYSPACE: usize = 10 * CACHE_SHARDS;
+        const THREADS: u64 = 16;
+        const ITERS: u64 = 2_000;
+
+        let model = CachedModel::bounded(Counting(AtomicU64::new(0)), CAPACITY);
+        let blocks: Vec<BasicBlock> = (1..=KEYSPACE)
+            .map(|n| {
+                let text = (0..n).map(|_| "add rcx, rax").collect::<Vec<_>>().join("\n");
+                comet_isa::parse_block(&text).unwrap()
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let model = &model;
+                let blocks = &blocks;
+                scope.spawn(move || {
+                    // Cheap deterministic per-thread stream, biased so
+                    // different threads revisit overlapping keys.
+                    let mut state = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t + 1);
+                    for _ in 0..ITERS {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let block = &blocks[(state >> 33) as usize % blocks.len()];
+                        assert_eq!(model.predict(block), block.len() as f64);
+                    }
+                });
+            }
+        });
+
+        let stats = model.stats();
+        let inner_calls = model.inner().0.load(Ordering::SeqCst);
+        assert_eq!(stats.total, THREADS * ITERS, "every query counted exactly once");
+        assert!(stats.entries <= CAPACITY as u64, "bound violated: {} entries", stats.entries);
+        assert_eq!(inner_calls, stats.total - stats.hits, "miss-path counter invariant");
+        assert!(stats.hits > 0, "a keyspace this small must produce hits");
+        // Eviction actually happened: more misses than could ever fit.
+        assert!(inner_calls > CAPACITY as u64);
+    }
 }

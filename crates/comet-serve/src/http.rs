@@ -1,0 +1,233 @@
+//! A deliberately minimal HTTP/1.1 subset over `std::net` — just
+//! enough protocol for `comet-serve`'s four endpoints: request line +
+//! headers + `Content-Length` bodies in, fixed-status responses with
+//! JSON or text bodies out, sequential keep-alive (no pipelining, no
+//! chunked encoding, no TLS).
+//!
+//! Parsing is hardened against abuse rather than feature-complete:
+//! request lines, header blocks, and bodies all have hard size caps,
+//! and a malformed request yields a typed [`HttpError`] so the caller
+//! can answer 400 and close instead of panicking or hanging.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request line or header line, bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most accepted header lines per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, bytes (basic blocks are tiny; 1 MiB
+/// is already generous).
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request line
+    /// (normal end of a keep-alive session).
+    Closed,
+    /// Socket-level failure or timeout.
+    Io(std::io::Error),
+    /// The bytes on the wire are not the HTTP subset we accept.
+    Malformed(&'static str),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Request target as sent (no query-string splitting; the API has
+    /// none).
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// `Connection: close` was requested.
+    pub close: bool,
+    /// Parsed `x-comet-deadline-ms` header, when present and numeric.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Read one line (CRLF or bare LF terminated) with a length cap.
+fn read_line(reader: &mut BufReader<&TcpStream>) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Err(HttpError::Closed);
+            }
+            return Err(HttpError::Malformed("eof inside line"));
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |p| p + 1);
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if line.len() > MAX_LINE {
+            return Err(HttpError::Malformed("line too long"));
+        }
+        if newline.is_some() {
+            while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+                line.pop();
+            }
+            return String::from_utf8(line).map_err(|_| HttpError::Malformed("non-utf8 line"));
+        }
+    }
+}
+
+/// Read and parse one request from a buffered connection. Blocks until
+/// a full request arrives, the peer closes, or the stream's read
+/// timeout fires.
+pub fn read_request(reader: &mut BufReader<&TcpStream>) -> Result<Request, HttpError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::Malformed("empty request line"))?.to_string();
+    let path = parts.next().ok_or(HttpError::Malformed("missing request target"))?.to_string();
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported protocol version"));
+    }
+
+    let mut content_length = 0usize;
+    let mut close = version == "HTTP/1.0";
+    let mut deadline_ms = None;
+    for _ in 0..MAX_HEADERS {
+        let line = match read_line(reader) {
+            Ok(line) => line,
+            Err(HttpError::Closed) => return Err(HttpError::Malformed("eof inside headers")),
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            return Ok(Request { method, path, body, close, deadline_ms });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header without colon"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length =
+                value.parse().map_err(|_| HttpError::Malformed("bad content-length"))?;
+            if content_length > MAX_BODY {
+                return Err(HttpError::Malformed("body too large"));
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("x-comet-deadline-ms") {
+            deadline_ms = value.parse().ok();
+        }
+    }
+    Err(HttpError::Malformed("too many headers"))
+}
+
+/// Reason phrases for the statuses the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response. `close` adds `Connection: close` so
+/// clients know the server will not read another request.
+pub fn write_response(
+    stream: &mut (impl Write + ?Sized),
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trip a raw request through a real loopback socket.
+    fn parse_raw(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(&server);
+        read_request(&mut reader)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_deadline_header() {
+        let req = parse_raw(
+            b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nX-Comet-Deadline-Ms: 250\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/predict");
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.deadline_ms, Some(250));
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_raw(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+        assert!(req.close);
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_malformed() {
+        assert!(matches!(parse_raw(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn junk_is_malformed() {
+        assert!(matches!(parse_raw(b"NOT HTTP\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_reading_them() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse_raw(raw.as_bytes()), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out: Vec<u8> = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

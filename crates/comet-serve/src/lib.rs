@@ -1,0 +1,33 @@
+//! comet-serve: a multi-threaded explanation service over the COMET
+//! stack — `std::net` only, no async runtime.
+//!
+//! The crate turns the library pipeline (`comet-models` stack +
+//! `comet-core` explainer) into a long-running HTTP service with the
+//! operational properties a shared deployment needs:
+//!
+//! * **Backpressure, not collapse** — a bounded queue between the
+//!   accept loop and a fixed worker pool ([`queue`]); overflow is shed
+//!   with an immediate 503.
+//! * **Work deduplication** — identical in-flight explains coalesce
+//!   onto one search ([`server`]); the sharded prediction cache
+//!   deduplicates repeated queries underneath.
+//! * **Deadlines** — per-request budgets propagate from a header or
+//!   body field into the model stack (watchdog for single predicts,
+//!   cooperative gate for explain searches).
+//! * **Observability** — atomic counters and latency histograms
+//!   rendered as Prometheus text at `GET /metrics` ([`metrics`]).
+//! * **Graceful drain** — SIGINT stops the accept loop, in-flight
+//!   requests finish, workers join ([`comet_core::cancel`]).
+//!
+//! Endpoints: `POST /v1/predict`, `POST /v1/explain`, `GET /healthz`,
+//! `GET /metrics`. Wire DTOs live in [`wire`]; the HTTP/1.1 subset in
+//! [`http`].
+
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use queue::BoundedQueue;
+pub use server::{ModelKind, ServeConfig, Server};

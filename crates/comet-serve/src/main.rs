@@ -1,0 +1,303 @@
+//! `comet-serve` — run the explanation service, or benchmark it.
+//!
+//! ```text
+//! comet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!             [--model crude|crude-skylake|uica] [--epsilon F]
+//!             [--deadline-ms MS]
+//!             [--bench-client] [--duration-secs S] [--clients N]
+//!             [--out FILE]
+//! ```
+//!
+//! Without `--bench-client` the binary serves until Ctrl-C (graceful
+//! drain; a second Ctrl-C aborts). With it, the binary starts the
+//! server on a loopback port, drives it with `--clients` concurrent
+//! connections for `--duration-secs`, and writes `BENCH_serve.json`
+//! (`{"schema":1,"mode":...,"current":{...}}`, the same envelope as
+//! `BENCH_explain.json`) with throughput, shed rate, and latency
+//! percentiles per endpoint.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use comet_core::cancel::install_sigint;
+use comet_serve::{ModelKind, ServeConfig, Server};
+use serde_json::json;
+
+struct Args {
+    config: ServeConfig,
+    model: ModelKind,
+    bench_client: bool,
+    duration_secs: u64,
+    clients: usize,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: comet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+         \x20                  [--model crude|crude-skylake|uica] [--epsilon F] [--deadline-ms MS]\n\
+         \x20                  [--bench-client] [--duration-secs S] [--clients N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        config: ServeConfig::default(),
+        model: ModelKind::CrudeHaswell,
+        bench_client: false,
+        duration_secs: 5,
+        clients: 8,
+        out: "BENCH_serve.json".into(),
+    };
+    // ε 0 means "use the model's paper default" (filled in by start()).
+    args.config.epsilon = 0.0;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| -> String {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => args.config.addr = value("--addr"),
+            "--workers" => args.config.workers = parse_or_usage(&value("--workers")),
+            "--queue-depth" => args.config.queue_depth = parse_or_usage(&value("--queue-depth")),
+            "--epsilon" => args.config.epsilon = parse_or_usage(&value("--epsilon")),
+            "--deadline-ms" => args.config.deadline_ms = parse_or_usage(&value("--deadline-ms")),
+            "--model" => {
+                let name = value("--model");
+                args.model = ModelKind::parse(&name).unwrap_or_else(|| {
+                    eprintln!("error: unknown model `{name}`");
+                    usage()
+                });
+            }
+            "--bench-client" => args.bench_client = true,
+            "--duration-secs" => args.duration_secs = parse_or_usage(&value("--duration-secs")),
+            "--clients" => args.clients = parse_or_usage(&value("--clients")),
+            "--out" => args.out = value("--out"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn parse_or_usage<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: cannot parse `{s}`");
+        usage()
+    })
+}
+
+fn main() {
+    let mut args = parse_args();
+    if args.bench_client {
+        // The bench run owns its own loopback server; never fight a
+        // user-supplied address for the port.
+        args.config.addr = "127.0.0.1:0".into();
+        bench_client(args);
+        return;
+    }
+
+    let server = match Server::start(args.model, args.config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.config.addr);
+            std::process::exit(1);
+        }
+    };
+    install_sigint(server.ctx().cancel_token().clone());
+    eprintln!(
+        "[comet-serve] listening on {} ({} workers, queue depth {}); Ctrl-C drains, twice aborts",
+        server.addr(),
+        args.config.workers,
+        args.config.queue_depth
+    );
+    server.join();
+    eprintln!("[comet-serve] drained, bye");
+}
+
+// ---------------------------------------------------------------------------
+// Bench client: loopback load generation against an in-process server.
+// ---------------------------------------------------------------------------
+
+/// Blocks the load mix cycles through — small/medium/port-pressure
+/// shapes so the cache sees repetition but not a single key.
+const BENCH_BLOCKS: [&str; 4] = [
+    "add rcx, rax\nmov rdx, rcx\npop rbx",
+    "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx",
+    "div rcx",
+    "imul rax, rcx\nadd rcx, rax\nnop",
+];
+
+/// Send one request over a fresh connection; returns (status, µs).
+/// One-shot connections make every request visible to the shed path,
+/// which is the behaviour under test.
+fn one_shot(addr: std::net::SocketAddr, request: &str) -> Option<(u16, u64)> {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+    stream.write_all(request.as_bytes()).ok()?;
+    let mut reader = BufReader::new(&stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).ok()?;
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    // Drain headers + body so the server never sees a reset mid-write.
+    let mut rest = Vec::new();
+    let _ = reader.read_to_end(&mut rest);
+    Some((status, start.elapsed().as_micros() as u64))
+}
+
+fn post(path: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Percentile over a sorted latency sample, µs.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    shed: AtomicU64,
+    other: AtomicU64,
+}
+
+fn run_phase(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    duration: Duration,
+    make_request: impl Fn(usize, u64) -> String + Send + Sync,
+) -> (Tally, Vec<u64>) {
+    let tally = Tally::default();
+    let stop = AtomicBool::new(false);
+    let latencies = std::sync::Mutex::new(Vec::<u64>::new());
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let tally = &tally;
+            let stop = &stop;
+            let latencies = &latencies;
+            let make_request = &make_request;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut i = 0u64;
+                while !stop.load(Relaxed) {
+                    let request = make_request(client, i);
+                    i += 1;
+                    match one_shot(addr, &request) {
+                        Some((200, us)) => {
+                            tally.ok.fetch_add(1, Relaxed);
+                            local.push(us);
+                        }
+                        Some((503, _)) => {
+                            tally.shed.fetch_add(1, Relaxed);
+                        }
+                        Some(_) | None => {
+                            tally.other.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Relaxed);
+    });
+    let mut all = latencies.into_inner().unwrap();
+    all.sort_unstable();
+    (tally, all)
+}
+
+fn phase_json(name: &str, tally: &Tally, sorted_us: &[u64], secs: f64) -> serde_json::Value {
+    let ok = tally.ok.load(Relaxed);
+    let shed = tally.shed.load(Relaxed);
+    let other = tally.other.load(Relaxed);
+    let total = ok + shed + other;
+    eprintln!(
+        "[bench-serve] {name}: {ok} ok, {shed} shed, {other} other in {secs:.1}s \
+         ({:.0} req/s, p50 {}µs, p99 {}µs)",
+        total as f64 / secs.max(1e-9),
+        percentile(sorted_us, 0.5),
+        percentile(sorted_us, 0.99),
+    );
+    json!({
+        "requests": total,
+        "ok": ok,
+        "shed": shed,
+        "errors": other,
+        "req_per_sec": total as f64 / secs.max(1e-9),
+        "shed_rate": if total > 0 { shed as f64 / total as f64 } else { 0.0 },
+        "p50_us": percentile(sorted_us, 0.5),
+        "p90_us": percentile(sorted_us, 0.9),
+        "p99_us": percentile(sorted_us, 0.99),
+    })
+}
+
+fn bench_client(args: Args) {
+    let server = Server::start(args.model, args.config.clone()).unwrap_or_else(|e| {
+        eprintln!("error: cannot start loopback server: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.addr();
+    let duration = Duration::from_secs(args.duration_secs.max(1));
+    eprintln!(
+        "[bench-serve] loopback server on {addr}, {} clients, {}s per phase",
+        args.clients, args.duration_secs
+    );
+
+    // Phase 1: predict throughput — unique-ish and repeated blocks mixed.
+    let (predict_tally, predict_lat) = run_phase(addr, args.clients, duration, |client, i| {
+        let block = BENCH_BLOCKS[(client + i as usize) % BENCH_BLOCKS.len()];
+        post("/v1/predict", &json!({"v": 1, "block": block}).to_string())
+    });
+
+    // Phase 2: explain throughput with heavy coalescing pressure — all
+    // clients cycle the same (block, seed) pairs concurrently.
+    let (explain_tally, explain_lat) = run_phase(addr, args.clients, duration, |_client, i| {
+        let block = BENCH_BLOCKS[(i % 2) as usize];
+        post("/v1/explain", &json!({"v": 1, "block": block, "seed": i % 2}).to_string())
+    });
+
+    let ctx = Arc::clone(server.ctx());
+    server.shutdown();
+
+    let stats = ctx.cache_stats();
+    let metrics = ctx.metrics();
+    let secs = duration.as_secs_f64();
+    let report = json!({
+        "schema": 1,
+        "mode": if args.duration_secs <= 2 { "smoke" } else { "full" },
+        "current": {
+            "predict": phase_json("predict", &predict_tally, &predict_lat, secs),
+            "explain": phase_json("explain", &explain_tally, &explain_lat, secs),
+            "server": {
+                "workers": args.config.workers,
+                "queue_depth": args.config.queue_depth,
+                "shed_total": metrics.shed_count(),
+                "explain_searches": metrics.search_count(),
+                "explain_coalesced": metrics.coalesced_count(),
+                "cache_hit_rate": stats.hit_rate(),
+                "cache_entries": stats.entries,
+            },
+        },
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, &text).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    eprintln!("[bench-serve] wrote {}", args.out);
+}

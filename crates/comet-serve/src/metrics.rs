@@ -1,0 +1,449 @@
+//! Service metrics: atomic counters and fixed-bucket latency
+//! histograms, rendered in Prometheus text exposition format at
+//! `GET /metrics`.
+//!
+//! Everything is lock-free (`AtomicU64` only) so the request hot path
+//! pays a handful of relaxed atomic increments per request, and a
+//! scrape never blocks a worker. Quantiles are estimated from the
+//! histogram buckets at scrape time (linear interpolation inside the
+//! containing bucket), which is exactly the estimate a Prometheus
+//! `histogram_quantile` query would produce from the same buckets.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// The endpoints the service distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/predict`
+    Predict,
+    /// `POST /v1/explain`
+    Explain,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404s, bad request lines, …).
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 5] = [
+        Endpoint::Predict,
+        Endpoint::Explain,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Predict => 0,
+            Endpoint::Explain => 1,
+            Endpoint::Healthz => 2,
+            Endpoint::Metrics => 3,
+            Endpoint::Other => 4,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Predict => "predict",
+            Endpoint::Explain => "explain",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Status classes tracked per endpoint (the service only ever emits
+/// these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusClass {
+    /// 200.
+    Ok,
+    /// 400 (malformed request / unknown fields / bad version).
+    BadRequest,
+    /// 404.
+    NotFound,
+    /// 408 (request deadline exhausted before completion).
+    Timeout,
+    /// 500 (handler failure).
+    Internal,
+    /// 503 (queue full: load shed).
+    Shed,
+}
+
+impl StatusClass {
+    const ALL: [StatusClass; 6] = [
+        StatusClass::Ok,
+        StatusClass::BadRequest,
+        StatusClass::NotFound,
+        StatusClass::Timeout,
+        StatusClass::Internal,
+        StatusClass::Shed,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            StatusClass::Ok => 0,
+            StatusClass::BadRequest => 1,
+            StatusClass::NotFound => 2,
+            StatusClass::Timeout => 3,
+            StatusClass::Internal => 4,
+            StatusClass::Shed => 5,
+        }
+    }
+
+    /// The HTTP status code this class renders as.
+    pub fn code(self) -> u16 {
+        match self {
+            StatusClass::Ok => 200,
+            StatusClass::BadRequest => 400,
+            StatusClass::NotFound => 404,
+            StatusClass::Timeout => 408,
+            StatusClass::Internal => 500,
+            StatusClass::Shed => 503,
+        }
+    }
+}
+
+/// Upper bounds (microseconds) of the fixed latency buckets, plus an
+/// implicit +Inf bucket. Spans 100µs → 10s: cache-hit predicts land in
+/// the first buckets, cold explains in the hundreds-of-ms range.
+const BUCKET_BOUNDS_US: [u64; 14] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 10_000_000,
+];
+
+/// A fixed-bucket latency histogram (cumulative counts would race
+/// across buckets, so buckets store per-bucket counts and cumulate at
+/// render time).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe_us(&self, us: u64) {
+        let slot = BUCKET_BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[slot].fetch_add(1, Relaxed);
+        self.sum_us.fetch_add(us, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (0 < q < 1) in microseconds by linear
+    /// interpolation within the containing bucket. Returns 0 when
+    /// empty; observations in the +Inf bucket report the last finite
+    /// bound (the estimate is saturated, not extrapolated).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q * total as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let next = cumulative + c;
+            if (next as f64) >= rank && c > 0 {
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_US[i - 1] };
+                let upper =
+                    BUCKET_BOUNDS_US.get(i).copied().unwrap_or(*BUCKET_BOUNDS_US.last().unwrap());
+                if upper <= lower {
+                    return upper as f64;
+                }
+                let within = (rank - cumulative as f64) / c as f64;
+                return lower as f64 + within.clamp(0.0, 1.0) * (upper - lower) as f64;
+            }
+            cumulative = next;
+        }
+        *BUCKET_BOUNDS_US.last().unwrap() as f64
+    }
+
+    /// Render as a Prometheus histogram (`_bucket`/`_sum`/`_count`)
+    /// with the given name and label set.
+    fn render(&self, out: &mut String, name: &str, labels: &str) {
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Relaxed);
+            let le = BUCKET_BOUNDS_US
+                .get(i)
+                .map(|&b| format!("{}", b as f64 / 1e6))
+                .unwrap_or_else(|| "+Inf".to_string());
+            let sep = if labels.is_empty() { "" } else { "," };
+            let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}");
+        }
+        let braced = if labels.is_empty() { String::new() } else { format!("{{{labels}}}") };
+        let _ = writeln!(out, "{name}_sum{braced} {}", self.sum_us.load(Relaxed) as f64 / 1e6);
+        let _ = writeln!(out, "{name}_count{braced} {}", self.count.load(Relaxed));
+    }
+}
+
+/// The process-wide metrics registry shared by the accept loop, the
+/// workers, and the `/metrics` handler.
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// Requests by endpoint × status class.
+    requests: [[AtomicU64; StatusClass::ALL.len()]; Endpoint::ALL.len()],
+    /// Connections rejected because the request queue was full.
+    shed: AtomicU64,
+    /// Explain requests answered by piggybacking on an identical
+    /// in-flight search (single-flight coalescing).
+    coalesced: AtomicU64,
+    /// Underlying anchors searches actually executed.
+    searches: AtomicU64,
+    /// Current depth of the bounded request queue (set by the accept
+    /// loop after each push/shed; workers decrement on pop).
+    queue_depth: AtomicU64,
+    /// Latency histograms for the two real endpoints.
+    predict_latency: Histogram,
+    explain_latency: Histogram,
+}
+
+impl Registry {
+    /// Fresh registry with all counters at zero.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Count one finished request.
+    pub fn record(&self, endpoint: Endpoint, status: StatusClass) {
+        self.requests[endpoint.index()][status.index()].fetch_add(1, Relaxed);
+    }
+
+    /// Record a served request's latency (predict/explain only; the
+    /// introspection endpoints are not interesting to time).
+    pub fn observe_latency(&self, endpoint: Endpoint, us: u64) {
+        match endpoint {
+            Endpoint::Predict => self.predict_latency.observe_us(us),
+            Endpoint::Explain => self.explain_latency.observe_us(us),
+            _ => {}
+        }
+    }
+
+    /// Count one load-shed connection (the 503 itself is also recorded
+    /// via [`record`](Registry::record) by the caller).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Relaxed);
+    }
+
+    /// Connections shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Relaxed)
+    }
+
+    /// Count one coalesced explain (answered by an in-flight twin).
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Relaxed);
+    }
+
+    /// Count one underlying anchors search.
+    pub fn record_search(&self) {
+        self.searches.fetch_add(1, Relaxed);
+    }
+
+    /// Underlying anchors searches executed so far.
+    pub fn search_count(&self) -> u64 {
+        self.searches.load(Relaxed)
+    }
+
+    /// Explains coalesced onto an in-flight twin so far.
+    pub fn coalesced_count(&self) -> u64 {
+        self.coalesced.load(Relaxed)
+    }
+
+    /// Requests recorded for `endpoint` across all status classes.
+    pub fn requests_for(&self, endpoint: Endpoint) -> u64 {
+        self.requests[endpoint.index()].iter().map(|c| c.load(Relaxed)).sum()
+    }
+
+    /// Update the queue-depth gauge.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Relaxed);
+    }
+
+    /// The explain latency histogram (for the bench client's report).
+    pub fn explain_latency(&self) -> &Histogram {
+        &self.explain_latency
+    }
+
+    /// The predict latency histogram (for the bench client's report).
+    pub fn predict_latency(&self) -> &Histogram {
+        &self.predict_latency
+    }
+
+    /// Render the whole registry in Prometheus text exposition format.
+    /// `cache` carries the shared model cache's counters, re-exported
+    /// as `comet_cache_*` so scrapers see hit rate without a second
+    /// endpoint.
+    pub fn render_prometheus(&self, cache: &comet_models::QueryStats) -> String {
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(out, "# HELP comet_requests_total Requests by endpoint and status.");
+        let _ = writeln!(out, "# TYPE comet_requests_total counter");
+        for endpoint in Endpoint::ALL {
+            for status in StatusClass::ALL {
+                let count = self.requests[endpoint.index()][status.index()].load(Relaxed);
+                if count > 0 {
+                    let _ = writeln!(
+                        out,
+                        "comet_requests_total{{endpoint=\"{}\",status=\"{}\"}} {count}",
+                        endpoint.label(),
+                        status.code()
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "# HELP comet_shed_total Connections rejected by backpressure.");
+        let _ = writeln!(out, "# TYPE comet_shed_total counter");
+        let _ = writeln!(out, "comet_shed_total {}", self.shed.load(Relaxed));
+        let _ = writeln!(out, "# HELP comet_explain_searches_total Underlying anchors searches.");
+        let _ = writeln!(out, "# TYPE comet_explain_searches_total counter");
+        let _ = writeln!(out, "comet_explain_searches_total {}", self.searches.load(Relaxed));
+        let _ = writeln!(
+            out,
+            "# HELP comet_explain_coalesced_total Explains answered by an in-flight twin."
+        );
+        let _ = writeln!(out, "# TYPE comet_explain_coalesced_total counter");
+        let _ = writeln!(out, "comet_explain_coalesced_total {}", self.coalesced.load(Relaxed));
+        let _ = writeln!(out, "# HELP comet_queue_depth Requests waiting in the bounded queue.");
+        let _ = writeln!(out, "# TYPE comet_queue_depth gauge");
+        let _ = writeln!(out, "comet_queue_depth {}", self.queue_depth.load(Relaxed));
+
+        let _ = writeln!(
+            out,
+            "# HELP comet_cache_queries_total Model queries through the shared cache."
+        );
+        let _ = writeln!(out, "# TYPE comet_cache_queries_total counter");
+        let _ = writeln!(out, "comet_cache_queries_total {}", cache.total);
+        let _ =
+            writeln!(out, "# HELP comet_cache_hits_total Queries answered from the shared cache.");
+        let _ = writeln!(out, "# TYPE comet_cache_hits_total counter");
+        let _ = writeln!(out, "comet_cache_hits_total {}", cache.hits);
+        let _ =
+            writeln!(out, "# HELP comet_cache_hit_rate Fraction of queries answered from cache.");
+        let _ = writeln!(out, "# TYPE comet_cache_hit_rate gauge");
+        let _ = writeln!(out, "comet_cache_hit_rate {}", cache.hit_rate());
+        let _ = writeln!(out, "# HELP comet_cache_entries Live entries in the shared cache.");
+        let _ = writeln!(out, "# TYPE comet_cache_entries gauge");
+        let _ = writeln!(out, "comet_cache_entries {}", cache.entries);
+
+        let _ = writeln!(out, "# HELP comet_request_latency_seconds Request latency.");
+        let _ = writeln!(out, "# TYPE comet_request_latency_seconds histogram");
+        self.predict_latency.render(
+            &mut out,
+            "comet_request_latency_seconds",
+            "endpoint=\"predict\"",
+        );
+        self.explain_latency.render(
+            &mut out,
+            "comet_request_latency_seconds",
+            "endpoint=\"explain\"",
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP comet_request_latency_quantile_seconds Estimated latency quantiles."
+        );
+        let _ = writeln!(out, "# TYPE comet_request_latency_quantile_seconds gauge");
+        for (label, hist) in
+            [("predict", &self.predict_latency), ("explain", &self.explain_latency)]
+        {
+            for (q, qs) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                let _ = writeln!(
+                    out,
+                    "comet_request_latency_quantile_seconds{{endpoint=\"{label}\",quantile=\"{qs}\"}} {}",
+                    hist.quantile_us(q) / 1e6
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_interpolate_within_buckets() {
+        let h = Histogram::default();
+        // 100 observations spread uniformly through the 100–250µs bucket.
+        for _ in 0..100 {
+            h.observe_us(200);
+        }
+        let p50 = h.quantile_us(0.5);
+        assert!((100.0..=250.0).contains(&p50), "p50 {p50} outside its bucket");
+        assert_eq!(h.count(), 100);
+        // All mass in one bucket ⇒ p99 stays inside it too.
+        assert!(h.quantile_us(0.99) <= 250.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_saturates_at_last_bound() {
+        let h = Histogram::default();
+        h.observe_us(60_000_000); // a minute: beyond the last bound
+        assert_eq!(h.quantile_us(0.5), 10_000_000.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_contains_the_advertised_families() {
+        let reg = Registry::new();
+        reg.record(Endpoint::Predict, StatusClass::Ok);
+        reg.record(Endpoint::Explain, StatusClass::Shed);
+        reg.record_shed();
+        reg.record_search();
+        reg.record_coalesced();
+        reg.observe_latency(Endpoint::Explain, 12_000);
+        reg.set_queue_depth(3);
+        let cache = comet_models::QueryStats { total: 10, hits: 4, ..Default::default() };
+        let text = reg.render_prometheus(&cache);
+        for needle in [
+            "comet_requests_total{endpoint=\"predict\",status=\"200\"} 1",
+            "comet_requests_total{endpoint=\"explain\",status=\"503\"} 1",
+            "comet_shed_total 1",
+            "comet_explain_searches_total 1",
+            "comet_explain_coalesced_total 1",
+            "comet_queue_depth 3",
+            "comet_cache_hit_rate 0.4",
+            "comet_request_latency_seconds_bucket{endpoint=\"explain\",le=\"+Inf\"} 1",
+            "comet_request_latency_quantile_seconds{endpoint=\"explain\",quantile=\"0.99\"}",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let h = Histogram::default();
+        for us in [50, 300, 700, 3_000, 80_000, 2_000_000, 60_000_000] {
+            h.observe_us(us);
+        }
+        let mut out = String::new();
+        h.render(&mut out, "t", "");
+        let counts: Vec<u64> = out
+            .lines()
+            .filter(|l| l.starts_with("t_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), BUCKET_BOUNDS_US.len() + 1);
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*counts.last().unwrap(), 7);
+    }
+}

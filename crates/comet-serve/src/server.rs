@@ -1,0 +1,687 @@
+//! The service itself: accept loop → bounded queue → worker pool →
+//! shared model stack.
+//!
+//! # Architecture
+//!
+//! One thread runs the accept loop; `workers` threads run connections.
+//! The bounded [`BoundedQueue`] between them is the backpressure
+//! point: when it is full the accept loop answers `503` immediately
+//! and closes (load shedding), so overload degrades into fast, honest
+//! rejections instead of unbounded memory growth or silent kernel-side
+//! drops.
+//!
+//! Workers share one process-wide model stack,
+//! `CachedModel(ResilientModel(base))` behind an `Arc`: the sharded
+//! prediction cache deduplicates the highly repetitive query stream
+//! explanations produce (its hit rate is re-exported at `/metrics`),
+//! and the resilient layer retries transient faults and trips its
+//! circuit breaker on a persistently failing backend. Per-request
+//! deadlines compose on top per query path — see [`DeadlineGate`] and
+//! the predict handler's watchdog.
+//!
+//! Identical in-flight explains — same canonical block text, same ε,
+//! same seed — are **coalesced single-flight**: the first request runs
+//! the anchors search, later twins park on a condvar and share the
+//! result, so a thundering herd on one hot block costs one search.
+//!
+//! Graceful drain: cancelling the server's [`CancelToken`] (the binary
+//! wires it to SIGINT via `comet_core::cancel::install_sigint`) stops
+//! the accept loop, shuts the queue down, lets workers finish every
+//! accepted connection's in-flight request, and then joins them.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use comet_core::cancel::CancelToken;
+use comet_core::{ExplainConfig, ExplainError, Explainer, Explanation};
+use comet_isa::{BasicBlock, Microarch};
+use comet_models::{
+    CachedModel, CostModel, CrudeModel, DeadlineModel, ModelError, QueryStats, ResilientConfig,
+    ResilientModel, UicaSurrogate,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::http::{self, HttpError, Request};
+use crate::metrics::{Endpoint, Registry, StatusClass};
+use crate::queue::BoundedQueue;
+use crate::wire::{
+    self, decode_request, ErrorResponse, ExplainRequest, ExplainResponse, ExplanationDto,
+    PredictRequest, PredictResponse, WIRE_V,
+};
+
+/// A boxed, shareable cost model — the bottom of the serving stack.
+pub type BoxedModel = Box<dyn CostModel + Send + Sync>;
+
+/// The process-wide shared model stack (see module docs).
+type Stack = CachedModel<ResilientModel<BoxedModel>>;
+
+/// Which base model the binary serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The paper's interpretable analytical model C on Haswell.
+    CrudeHaswell,
+    /// The analytical model C on Skylake.
+    CrudeSkylake,
+    /// The uiCA surrogate (pipeline simulator) on Haswell.
+    Uica,
+}
+
+impl ModelKind {
+    /// Parse a `--model` argument.
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        match s {
+            "crude" | "crude-haswell" => Some(ModelKind::CrudeHaswell),
+            "crude-skylake" => Some(ModelKind::CrudeSkylake),
+            "uica" => Some(ModelKind::Uica),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the base model and its paper-default ε.
+    pub fn build(self) -> (BoxedModel, f64) {
+        match self {
+            ModelKind::CrudeHaswell => (Box::new(CrudeModel::new(Microarch::Haswell)), 0.25),
+            ModelKind::CrudeSkylake => (Box::new(CrudeModel::new(Microarch::Skylake)), 0.25),
+            ModelKind::Uica => (Box::new(UicaSurrogate::new(Microarch::Haswell)), 0.5),
+        }
+    }
+}
+
+/// Server configuration (the binary's flags, as a struct).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Bounded request-queue depth; overflow is shed with a 503.
+    pub queue_depth: usize,
+    /// Default ε for explains (requests may override per call).
+    pub epsilon: f64,
+    /// Default per-request deadline in milliseconds; 0 disables
+    /// deadline enforcement entirely.
+    pub deadline_ms: u64,
+    /// Shared prediction-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:8080".into(),
+            workers: 4,
+            queue_depth: 64,
+            epsilon: 0.25,
+            deadline_ms: 0,
+            cache_capacity: 1 << 20,
+        }
+    }
+}
+
+/// How long an idle keep-alive connection may sit between requests
+/// before its worker reclaims itself.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Accept-loop poll interval while waiting for connections or
+/// cancellation. The nonblocking-accept-plus-sleep pattern is what
+/// lets a Ctrl-C-set flag stop the loop without a self-pipe, but the
+/// sleep bounds connection-setup latency from below — 500µs keeps
+/// that floor under typical request cost while the idle-poll syscall
+/// rate (~2k/s) stays negligible.
+const ACCEPT_POLL: Duration = Duration::from_micros(500);
+
+/// One in-flight explain search that twins can park on.
+struct Flight {
+    state: Mutex<Option<FlightResult>>,
+    done: Condvar,
+}
+
+/// What a finished flight hands every parked twin.
+type FlightResult = Result<Explanation, (StatusClass, String)>;
+
+/// Cooperative per-request deadline for the explain path.
+///
+/// An anchors search issues thousands of microsecond-scale model
+/// queries; running each under the [`DeadlineModel`] watchdog (a
+/// thread spawn per query) would cost more than the queries
+/// themselves. The gate instead checks the request's wall-clock budget
+/// before delegating each query and, once expired, fails every further
+/// query with [`ModelError::Timeout`] — the explainer's budget-capped
+/// fault-skipping sampler then winds down in microseconds and returns
+/// its best candidate so far, flagged `degraded`. The true watchdog
+/// (stalled-backend abandonment) still guards the single-query predict
+/// path, where its per-call cost is irrelevant.
+struct DeadlineGate<'a> {
+    inner: &'a Stack,
+    start: Instant,
+    budget: Option<Duration>,
+}
+
+impl CostModel for DeadlineGate<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        self.try_predict(block).unwrap_or(f64::NAN)
+    }
+
+    fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+        if let Some(budget) = self.budget {
+            let elapsed = self.start.elapsed();
+            if elapsed >= budget {
+                return Err(ModelError::Timeout { elapsed, deadline: budget });
+            }
+        }
+        self.inner.try_predict(block)
+    }
+
+    fn resilience(&self) -> Option<comet_models::ResilienceReport> {
+        self.inner.resilience()
+    }
+}
+
+/// Shared state visible to the accept loop, every worker, and (read
+/// only) to embedding code like the bench client and tests.
+pub struct ServerCtx {
+    stack: Arc<Stack>,
+    metrics: Registry,
+    flights: Mutex<HashMap<u64, Arc<Flight>>>,
+    explain_base: ExplainConfig,
+    default_epsilon: f64,
+    default_deadline_ms: u64,
+    model_name: String,
+    cancel: CancelToken,
+}
+
+impl ServerCtx {
+    /// The service metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// A snapshot of the shared prediction cache's counters.
+    pub fn cache_stats(&self) -> QueryStats {
+        self.stack.stats()
+    }
+
+    /// The cancellation token driving graceful drain.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+}
+
+/// A running server: accept thread + worker pool, shut down via its
+/// [`CancelToken`].
+pub struct Server {
+    ctx: Arc<ServerCtx>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `kind`'s model with `config`.
+    pub fn start(kind: ModelKind, mut config: ServeConfig) -> std::io::Result<Server> {
+        let (base, default_eps) = kind.build();
+        if config.epsilon <= 0.0 {
+            config.epsilon = default_eps;
+        }
+        let name = base.name().to_string();
+        Server::start_with_model(base, name, config)
+    }
+
+    /// Start with an explicit base model — the injection point for
+    /// tests and the bench client (e.g. a model with artificial
+    /// latency, or a query counter).
+    pub fn start_with_model(
+        base: BoxedModel,
+        model_name: String,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let resilient = ResilientModel::new(base, ResilientConfig::default());
+        let stack = Arc::new(CachedModel::bounded(resilient, config.cache_capacity));
+        let ctx = Arc::new(ServerCtx {
+            stack,
+            metrics: Registry::new(),
+            flights: Mutex::new(HashMap::new()),
+            explain_base: ExplainConfig { epsilon: config.epsilon, ..ExplainConfig::default() },
+            default_epsilon: config.epsilon,
+            default_deadline_ms: config.deadline_ms,
+            model_name,
+            cancel: CancelToken::new(),
+        });
+
+        let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let ctx = Arc::clone(&ctx);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("comet-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&ctx, &queue))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let ctx = Arc::clone(&ctx);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("comet-serve-accept".into())
+                .spawn(move || accept_loop(&ctx, &queue, listener))
+                .expect("spawn accept loop")
+        };
+        Ok(Server { ctx, addr, accept: Some(accept), workers })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared server state (metrics, cache stats, cancel token).
+    pub fn ctx(&self) -> &Arc<ServerCtx> {
+        &self.ctx
+    }
+
+    /// Block until the server drains and every thread exits. Returns
+    /// immediately unless something cancelled the token (Ctrl-C, a
+    /// test, the bench client finishing).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Cancel and drain: stop accepting, finish in-flight requests,
+    /// join all threads.
+    pub fn shutdown(self) {
+        self.ctx.cancel.cancel();
+        self.join();
+    }
+}
+
+/// Accept connections until cancelled, pushing into the bounded queue
+/// and shedding with an immediate 503 when it is full.
+fn accept_loop(ctx: &ServerCtx, queue: &BoundedQueue<TcpStream>, listener: TcpListener) {
+    while !ctx.cancel.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Workers use blocking reads with an idle timeout.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                match queue.try_push(stream) {
+                    Ok(()) => ctx.metrics.set_queue_depth(queue.depth()),
+                    Err(mut stream) => {
+                        ctx.metrics.record_shed();
+                        ctx.metrics.record(Endpoint::Other, StatusClass::Shed);
+                        let body = serde_json::to_string(&ErrorResponse::new(
+                            "overloaded: request queue full",
+                        ))
+                        .unwrap_or_default();
+                        let _ = http::write_response(
+                            &mut stream,
+                            StatusClass::Shed.code(),
+                            "application/json",
+                            body.as_bytes(),
+                            true,
+                        );
+                        // Dropping the stream closes the shed connection.
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Drain phase: no new connections; queued ones still get served.
+    queue.shutdown();
+}
+
+/// Pop connections until the queue shuts down and drains.
+fn worker_loop(ctx: &ServerCtx, queue: &BoundedQueue<TcpStream>) {
+    while let Some(stream) = queue.pop() {
+        ctx.metrics.set_queue_depth(queue.depth());
+        // A panicking handler must not kill the worker (the pool would
+        // silently shrink); catch, count, close, move on.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(ctx, &stream);
+        }));
+        if result.is_err() {
+            ctx.metrics.record(Endpoint::Other, StatusClass::Internal);
+        }
+    }
+}
+
+/// Serve requests on one connection until it closes, errors, idles
+/// out, or the server drains.
+fn handle_connection(ctx: &ServerCtx, stream: &TcpStream) {
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(request) => {
+                // During drain, answer the in-flight request and close.
+                let close = request.close || ctx.cancel.is_cancelled();
+                dispatch(ctx, stream, &request, close);
+                if close {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+            Err(HttpError::Malformed(reason)) => {
+                ctx.metrics.record(Endpoint::Other, StatusClass::BadRequest);
+                respond_error(stream, StatusClass::BadRequest, reason, true);
+                return;
+            }
+        }
+    }
+}
+
+/// Serialize `body` and write it with `status`.
+fn respond_json<T: serde::Serialize>(stream: &TcpStream, status: u16, body: &T, close: bool) {
+    let text = serde_json::to_string(body).unwrap_or_else(|_| "{}".into());
+    let _ =
+        http::write_response(&mut { stream }, status, "application/json", text.as_bytes(), close);
+}
+
+/// Write an [`ErrorResponse`] with `status`.
+fn respond_error(stream: &TcpStream, status: StatusClass, error: &str, close: bool) {
+    respond_json(stream, status.code(), &ErrorResponse::new(error), close);
+}
+
+/// Route one parsed request.
+fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/predict") => {
+            let start = Instant::now();
+            let status = handle_predict(ctx, stream, request, close);
+            ctx.metrics.record(Endpoint::Predict, status);
+            if status == StatusClass::Ok {
+                ctx.metrics.observe_latency(Endpoint::Predict, start.elapsed().as_micros() as u64);
+            }
+        }
+        ("POST", "/v1/explain") => {
+            let start = Instant::now();
+            let status = handle_explain(ctx, stream, request, close);
+            ctx.metrics.record(Endpoint::Explain, status);
+            if status == StatusClass::Ok {
+                ctx.metrics.observe_latency(Endpoint::Explain, start.elapsed().as_micros() as u64);
+            }
+        }
+        ("GET", "/healthz") => {
+            ctx.metrics.record(Endpoint::Healthz, StatusClass::Ok);
+            let body = format!(
+                "{{\"v\":{WIRE_V},\"ok\":true,\"model\":{}}}",
+                serde_json::to_string(&ctx.model_name).unwrap_or_else(|_| "\"?\"".into())
+            );
+            let _ = http::write_response(
+                &mut { stream },
+                200,
+                "application/json",
+                body.as_bytes(),
+                close,
+            );
+        }
+        ("GET", "/metrics") => {
+            ctx.metrics.record(Endpoint::Metrics, StatusClass::Ok);
+            let text = ctx.metrics.render_prometheus(&ctx.stack.stats());
+            let _ = http::write_response(
+                &mut { stream },
+                200,
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+                close,
+            );
+        }
+        (_, "/v1/predict" | "/v1/explain" | "/healthz" | "/metrics") => {
+            ctx.metrics.record(Endpoint::Other, StatusClass::BadRequest);
+            respond_error(stream, StatusClass::BadRequest, "method not allowed", close);
+        }
+        _ => {
+            ctx.metrics.record(Endpoint::Other, StatusClass::NotFound);
+            respond_error(stream, StatusClass::NotFound, "no such endpoint", close);
+        }
+    }
+}
+
+/// The effective deadline for a request: body field beats header beats
+/// server default; 0 anywhere means "no deadline".
+fn effective_deadline(
+    ctx: &ServerCtx,
+    body_ms: Option<u64>,
+    header_ms: Option<u64>,
+) -> Option<Duration> {
+    let ms = body_ms.or(header_ms).unwrap_or(ctx.default_deadline_ms);
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+/// `POST /v1/predict`: one model query, guarded by the [`DeadlineModel`]
+/// watchdog when a deadline applies (the header or body budget becomes
+/// the watchdog's abandonment deadline, so even a genuinely stalled
+/// backend cannot hold the worker past it).
+fn handle_predict(
+    ctx: &ServerCtx,
+    stream: &TcpStream,
+    request: &Request,
+    close: bool,
+) -> StatusClass {
+    let req: PredictRequest = match decode_request(&request.body) {
+        Ok(req) => req,
+        Err(e) => {
+            respond_error(stream, StatusClass::BadRequest, &e, close);
+            return StatusClass::BadRequest;
+        }
+    };
+    let block = match comet_isa::parse_block(&req.block) {
+        Ok(block) => block,
+        Err(e) => {
+            respond_error(
+                stream,
+                StatusClass::BadRequest,
+                &format!("unparseable block: {e}"),
+                close,
+            );
+            return StatusClass::BadRequest;
+        }
+    };
+    let result = match effective_deadline(ctx, req.deadline_ms, request.deadline_ms) {
+        Some(deadline) => {
+            DeadlineModel::from_arc(Arc::clone(&ctx.stack), deadline).try_predict(&block)
+        }
+        None => ctx.stack.try_predict(&block),
+    };
+    match result {
+        Ok(prediction) => {
+            let body = PredictResponse { v: WIRE_V, model: ctx.model_name.clone(), prediction };
+            respond_json(stream, 200, &body, close);
+            StatusClass::Ok
+        }
+        Err(ModelError::Timeout { .. }) => {
+            respond_error(stream, StatusClass::Timeout, "prediction deadline exceeded", close);
+            StatusClass::Timeout
+        }
+        Err(e) => {
+            respond_error(stream, StatusClass::Internal, &format!("model failure: {e}"), close);
+            StatusClass::Internal
+        }
+    }
+}
+
+/// `POST /v1/explain` with single-flight coalescing.
+fn handle_explain(
+    ctx: &ServerCtx,
+    stream: &TcpStream,
+    request: &Request,
+    close: bool,
+) -> StatusClass {
+    let req: ExplainRequest = match decode_request(&request.body) {
+        Ok(req) => req,
+        Err(e) => {
+            respond_error(stream, StatusClass::BadRequest, &e, close);
+            return StatusClass::BadRequest;
+        }
+    };
+    let block = match comet_isa::parse_block(&req.block) {
+        Ok(block) => block,
+        Err(e) => {
+            respond_error(
+                stream,
+                StatusClass::BadRequest,
+                &format!("unparseable block: {e}"),
+                close,
+            );
+            return StatusClass::BadRequest;
+        }
+    };
+    let epsilon = req.epsilon.filter(|e| e.is_finite() && *e > 0.0).unwrap_or(ctx.default_epsilon);
+    let deadline = effective_deadline(ctx, req.deadline_ms, request.deadline_ms);
+
+    // Coalescing key: canonical text (parse → Display normalizes
+    // whitespace/case) + ε + seed.
+    let key = wire::explain_key(&block.to_string(), epsilon, req.seed);
+    let (flight, leader) = {
+        let mut flights = ctx.flights.lock().unwrap_or_else(|p| p.into_inner());
+        match flights.get(&key) {
+            Some(flight) => (Arc::clone(flight), false),
+            None => {
+                let flight = Arc::new(Flight { state: Mutex::new(None), done: Condvar::new() });
+                flights.insert(key, Arc::clone(&flight));
+                (flight, true)
+            }
+        }
+    };
+
+    let result: FlightResult = if leader {
+        ctx.metrics.record_search();
+        // The search must always complete the flight — a panic that
+        // left twins parked forever would wedge their workers.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_search(ctx, &block, epsilon, req.seed, deadline)
+        }))
+        .unwrap_or_else(|_| Err((StatusClass::Internal, "explanation search panicked".into())));
+        {
+            let mut state = flight.state.lock().unwrap_or_else(|p| p.into_inner());
+            *state = Some(outcome.clone());
+        }
+        flight.done.notify_all();
+        ctx.flights.lock().unwrap_or_else(|p| p.into_inner()).remove(&key);
+        outcome
+    } else {
+        ctx.metrics.record_coalesced();
+        let mut state = flight.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = state.as_ref() {
+                break result.clone();
+            }
+            state = flight.done.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    };
+
+    match result {
+        Ok(explanation) => {
+            let body = ExplainResponse {
+                v: WIRE_V,
+                model: ctx.model_name.clone(),
+                epsilon,
+                seed: req.seed,
+                coalesced: !leader,
+                explanation: ExplanationDto::from(&explanation),
+            };
+            respond_json(stream, 200, &body, close);
+            StatusClass::Ok
+        }
+        Err((status, error)) => {
+            respond_error(stream, status, &error, close);
+            status
+        }
+    }
+}
+
+/// Run one anchors search against the shared stack under a cooperative
+/// deadline.
+fn run_search(
+    ctx: &ServerCtx,
+    block: &BasicBlock,
+    epsilon: f64,
+    seed: u64,
+    deadline: Option<Duration>,
+) -> FlightResult {
+    let gate = DeadlineGate { inner: &ctx.stack, start: Instant::now(), budget: deadline };
+    let config = ExplainConfig { epsilon, ..ctx.explain_base };
+    let explainer = Explainer::new(gate, config);
+    let mut rng = StdRng::seed_from_u64(seed);
+    match explainer.explain(block, &mut rng) {
+        Ok(explanation) => Ok(explanation),
+        Err(ExplainError::Model(ModelError::Timeout { .. })) => {
+            Err((StatusClass::Timeout, "explanation deadline exceeded".into()))
+        }
+        Err(ExplainError::Model(e)) => Err((StatusClass::Internal, format!("model failure: {e}"))),
+        Err(e) => Err((StatusClass::BadRequest, e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_kind_parses_the_documented_names() {
+        assert_eq!(ModelKind::parse("crude"), Some(ModelKind::CrudeHaswell));
+        assert_eq!(ModelKind::parse("crude-haswell"), Some(ModelKind::CrudeHaswell));
+        assert_eq!(ModelKind::parse("crude-skylake"), Some(ModelKind::CrudeSkylake));
+        assert_eq!(ModelKind::parse("uica"), Some(ModelKind::Uica));
+        assert_eq!(ModelKind::parse("ithemal"), None);
+    }
+
+    #[test]
+    fn deadline_gate_fails_queries_after_expiry() {
+        let (base, _) = ModelKind::CrudeHaswell.build();
+        let stack: Stack =
+            CachedModel::bounded(ResilientModel::new(base, ResilientConfig::default()), 1024);
+        let block = comet_isa::parse_block("add rcx, rax").unwrap();
+        let healthy = DeadlineGate {
+            inner: &stack,
+            start: Instant::now(),
+            budget: Some(Duration::from_secs(60)),
+        };
+        assert!(healthy.try_predict(&block).is_ok());
+        let expired = DeadlineGate {
+            inner: &stack,
+            start: Instant::now() - Duration::from_secs(1),
+            budget: Some(Duration::from_millis(1)),
+        };
+        assert!(matches!(expired.try_predict(&block), Err(ModelError::Timeout { .. })));
+        let unbounded = DeadlineGate { inner: &stack, start: Instant::now(), budget: None };
+        assert!(unbounded.try_predict(&block).is_ok());
+    }
+
+    #[test]
+    fn effective_deadline_prefers_body_then_header_then_default() {
+        let (base, _) = ModelKind::CrudeHaswell.build();
+        let server = Server::start_with_model(
+            base,
+            "test".into(),
+            ServeConfig { addr: "127.0.0.1:0".into(), deadline_ms: 100, ..Default::default() },
+        )
+        .unwrap();
+        let ctx = server.ctx();
+        assert_eq!(effective_deadline(ctx, Some(7), Some(9)), Some(Duration::from_millis(7)));
+        assert_eq!(effective_deadline(ctx, None, Some(9)), Some(Duration::from_millis(9)));
+        assert_eq!(effective_deadline(ctx, None, None), Some(Duration::from_millis(100)));
+        assert_eq!(effective_deadline(ctx, Some(0), None), None, "explicit 0 disables");
+        server.shutdown();
+    }
+}

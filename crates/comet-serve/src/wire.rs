@@ -1,0 +1,279 @@
+//! Wire format: versioned, strictly validated JSON DTOs.
+//!
+//! Every request and response carries a `{"v":1,...}` envelope so the
+//! format can evolve without silent misparses: a client speaking a
+//! different major version gets a clean 400, not a field filled with
+//! a default. Request structs are `#[serde(deny_unknown_fields)]` —
+//! a typo like `"epsilonn"` is an error, not an ignored key silently
+//! running the search with the default ε.
+
+use comet_core::{Explanation, FeatureSet};
+use serde::{Deserialize, Serialize};
+
+/// The wire major version this build speaks.
+pub const WIRE_V: u32 = 1;
+
+/// `POST /v1/predict` request body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct PredictRequest {
+    /// Wire version; must equal [`WIRE_V`].
+    pub v: u32,
+    /// Basic-block text (one instruction per line, Intel syntax).
+    pub block: String,
+    /// Per-request deadline override, milliseconds (body field wins
+    /// over the `x-comet-deadline-ms` header).
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+}
+
+/// `POST /v1/explain` request body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ExplainRequest {
+    /// Wire version; must equal [`WIRE_V`].
+    pub v: u32,
+    /// Basic-block text (one instruction per line, Intel syntax).
+    pub block: String,
+    /// ε-ball radius override (cycles); the server default applies
+    /// when absent. Part of the single-flight coalescing key.
+    #[serde(default)]
+    pub epsilon: Option<f64>,
+    /// Search RNG seed; identical (block, ε, seed) triples coalesce
+    /// onto one in-flight search. Defaults to 0.
+    #[serde(default)]
+    pub seed: u64,
+    /// Per-request deadline override, milliseconds.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+}
+
+/// `POST /v1/predict` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Wire version.
+    pub v: u32,
+    /// Serving model name.
+    pub model: String,
+    /// Predicted cost (cycles).
+    pub prediction: f64,
+}
+
+/// The explanation payload inside an [`ExplainResponse`] — an explicit
+/// wire-owned mirror of [`Explanation`] (minus process-local
+/// diagnostics like wall-clock duration) so the service's JSON shape
+/// is pinned here, not implied by a core struct's derive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplanationDto {
+    /// The explanation feature set F̂*.
+    pub features: FeatureSet,
+    /// The same set rendered in the paper's notation, for humans.
+    pub display: String,
+    /// Estimated precision.
+    pub precision: f64,
+    /// Estimated coverage.
+    pub coverage: f64,
+    /// The model's prediction for the explained block.
+    pub prediction: f64,
+    /// Whether the precision threshold was reached.
+    pub anchored: bool,
+    /// Model queries spent by the search.
+    pub queries: u64,
+    /// Queries that returned an error.
+    #[serde(default)]
+    pub faults: u64,
+    /// Whether the search ran under degraded conditions.
+    #[serde(default)]
+    pub degraded: bool,
+}
+
+impl From<&Explanation> for ExplanationDto {
+    fn from(e: &Explanation) -> ExplanationDto {
+        ExplanationDto {
+            features: e.features.clone(),
+            display: e.display_features(),
+            precision: e.precision,
+            coverage: e.coverage,
+            prediction: e.prediction,
+            anchored: e.anchored,
+            queries: e.queries,
+            faults: e.faults,
+            degraded: e.degraded,
+        }
+    }
+}
+
+/// `POST /v1/explain` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainResponse {
+    /// Wire version.
+    pub v: u32,
+    /// Serving model name.
+    pub model: String,
+    /// ε actually used for the search.
+    pub epsilon: f64,
+    /// Seed actually used for the search.
+    pub seed: u64,
+    /// True when this response piggybacked on an identical in-flight
+    /// search instead of running its own.
+    pub coalesced: bool,
+    /// The explanation itself.
+    pub explanation: ExplanationDto,
+}
+
+/// Error body for every non-200 response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Wire version.
+    pub v: u32,
+    /// Human-readable failure description.
+    pub error: String,
+}
+
+impl ErrorResponse {
+    /// Build a v1 error body.
+    pub fn new(error: impl Into<String>) -> ErrorResponse {
+        ErrorResponse { v: WIRE_V, error: error.into() }
+    }
+}
+
+/// Decode a request body, enforcing UTF-8, JSON shape, unknown-field
+/// rejection (via the derive), and the version envelope.
+pub fn decode_request<T: serde::Deserialize + HasVersion>(body: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value: T = serde_json::from_str(text).map_err(|e| format!("invalid request: {e}"))?;
+    if value.version() != WIRE_V {
+        return Err(format!(
+            "unsupported wire version {} (this server speaks v{WIRE_V})",
+            value.version()
+        ));
+    }
+    Ok(value)
+}
+
+/// Access to the envelope version field, for [`decode_request`].
+pub trait HasVersion {
+    /// The request's `v` field.
+    fn version(&self) -> u32;
+}
+
+impl HasVersion for PredictRequest {
+    fn version(&self) -> u32 {
+        self.v
+    }
+}
+
+impl HasVersion for ExplainRequest {
+    fn version(&self) -> u32 {
+        self.v
+    }
+}
+
+/// The single-flight coalescing key: FNV-1a over the canonical block
+/// text, then the ε bit pattern and the seed folded through the same
+/// hash. Identical (block, ε, seed) triples — and only those — share
+/// a key (modulo 64-bit collisions, negligible at service scale).
+pub fn explain_key(canonical_block: &str, epsilon: f64, seed: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash = (hash ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(canonical_block.as_bytes());
+    eat(&epsilon.to_bits().to_le_bytes());
+    eat(&seed.to_le_bytes());
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_request_round_trips() {
+        let req = PredictRequest { v: 1, block: "add rcx, rax\nnop".into(), deadline_ms: Some(50) };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: PredictRequest = decode_request(json.as_bytes()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn explain_request_round_trips_with_defaults() {
+        let req: ExplainRequest = decode_request(br#"{"v":1,"block":"div rcx"}"#).unwrap();
+        assert_eq!(req.block, "div rcx");
+        assert_eq!(req.seed, 0);
+        assert_eq!(req.epsilon, None);
+        assert_eq!(req.deadline_ms, None);
+        let json = serde_json::to_string(&req).unwrap();
+        let back: ExplainRequest = decode_request(json.as_bytes()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_not_ignored() {
+        let err = decode_request::<ExplainRequest>(br#"{"v":1,"block":"nop","epsilonn":0.5}"#)
+            .unwrap_err();
+        assert!(err.contains("epsilonn"), "{err}");
+        let err =
+            decode_request::<PredictRequest>(br#"{"v":1,"block":"nop","extra":true}"#).unwrap_err();
+        assert!(err.contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_a_clean_error() {
+        let err = decode_request::<PredictRequest>(br#"{"v":2,"block":"nop"}"#).unwrap_err();
+        assert!(err.contains("wire version 2"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_fields_fail() {
+        assert!(decode_request::<PredictRequest>(br#"{"v":1}"#).is_err());
+        assert!(decode_request::<ExplainRequest>(br#"{"block":"nop"}"#).is_err());
+        assert!(decode_request::<PredictRequest>(b"\xff\xfe").is_err());
+        assert!(decode_request::<PredictRequest>(b"not json").is_err());
+    }
+
+    #[test]
+    fn explain_response_round_trips() {
+        let dto = ExplanationDto {
+            features: FeatureSet::new(),
+            display: "{}".into(),
+            precision: 0.9,
+            coverage: 0.4,
+            prediction: 2.25,
+            anchored: true,
+            queries: 123,
+            faults: 0,
+            degraded: false,
+        };
+        let resp = ExplainResponse {
+            v: WIRE_V,
+            model: "crude".into(),
+            epsilon: 0.25,
+            seed: 7,
+            coalesced: false,
+            explanation: dto,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: ExplainResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_response_round_trips() {
+        let json = serde_json::to_string(&ErrorResponse::new("overloaded")).unwrap();
+        let back: ErrorResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.error, "overloaded");
+        assert_eq!(back.v, WIRE_V);
+    }
+
+    #[test]
+    fn coalescing_key_separates_block_epsilon_and_seed() {
+        let base = explain_key("add rcx, rax", 0.25, 0);
+        assert_eq!(base, explain_key("add rcx, rax", 0.25, 0));
+        assert_ne!(base, explain_key("add rcx, rbx", 0.25, 0));
+        assert_ne!(base, explain_key("add rcx, rax", 0.5, 0));
+        assert_ne!(base, explain_key("add rcx, rax", 0.25, 1));
+    }
+}

@@ -1,0 +1,327 @@
+//! Full-service integration tests over real loopback sockets: every
+//! endpoint, single-flight coalescing, queue-full shedding, and
+//! graceful drain, all against an in-process [`Server`] on port 0.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use comet_isa::{BasicBlock, Microarch};
+use comet_models::{CostModel, CrudeModel, ModelError};
+use comet_serve::server::BoxedModel;
+use comet_serve::{ModelKind, ServeConfig, Server};
+use serde_json::Value;
+
+/// A model whose queries block until the test releases a gate. Lets a
+/// test pin a worker inside an explain search at a known point, which
+/// makes coalescing and shedding assertions deterministic instead of
+/// sleep-based.
+#[derive(Clone)]
+struct GatedModel {
+    inner: CrudeModel,
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl GatedModel {
+    fn new() -> (GatedModel, Arc<(Mutex<bool>, Condvar)>) {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        (GatedModel { inner: CrudeModel::new(Microarch::Haswell), gate: Arc::clone(&gate) }, gate)
+    }
+
+    fn release(gate: &(Mutex<bool>, Condvar)) {
+        *gate.0.lock().unwrap() = true;
+        gate.1.notify_all();
+    }
+}
+
+impl CostModel for GatedModel {
+    fn name(&self) -> &str {
+        "gated-crude"
+    }
+
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        let mut open = self.gate.0.lock().unwrap();
+        while !*open {
+            open = self.gate.1.wait(open).unwrap();
+        }
+        drop(open);
+        self.inner.predict(block)
+    }
+
+    fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+        let mut open = self.gate.0.lock().unwrap();
+        while !*open {
+            open = self.gate.1.wait(open).unwrap();
+        }
+        drop(open);
+        self.inner.try_predict(block)
+    }
+}
+
+/// One HTTP exchange over a fresh connection; returns (status, body).
+fn one_shot(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(raw.as_bytes()).expect("write request");
+    read_response(&stream)
+}
+
+fn read_response(stream: &TcpStream) -> (u16, String) {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 =
+        status_line.split_whitespace().nth(1).expect("status code").parse().expect("numeric");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf8 body"))
+}
+
+fn post(path: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn get(path: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+}
+
+fn start_crude(workers: usize, queue_depth: usize) -> Server {
+    Server::start(
+        ModelKind::CrudeHaswell,
+        ServeConfig { addr: "127.0.0.1:0".into(), workers, queue_depth, ..ServeConfig::default() },
+    )
+    .expect("bind loopback")
+}
+
+/// Poll `check` until it passes or ~5s elapse.
+fn wait_for(what: &str, mut check: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !check() {
+        assert!(start.elapsed() < Duration::from_secs(5), "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let server = start_crude(2, 8);
+    let addr = server.addr();
+
+    let (status, body) = one_shot(addr, &get("/healthz"));
+    assert_eq!(status, 200);
+    let health: Value = serde_json::from_str(&body).expect("healthz is json");
+    assert_eq!(health["v"].as_u64(), Some(1));
+    assert_eq!(health["ok"].as_bool(), Some(true));
+
+    let (status, body) = one_shot(addr, &get("/metrics"));
+    assert_eq!(status, 200);
+    assert!(body.contains("comet_requests_total"), "{body}");
+    assert!(body.contains("comet_queue_depth"), "{body}");
+    assert!(body.contains("comet_cache_hit_rate"), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn predict_returns_a_prediction_and_rejects_bad_requests() {
+    let server = start_crude(2, 8);
+    let addr = server.addr();
+
+    let (status, body) =
+        one_shot(addr, &post("/v1/predict", r#"{"v":1,"block":"add rcx, rax\nnop"}"#));
+    assert_eq!(status, 200, "{body}");
+    let resp: Value = serde_json::from_str(&body).unwrap();
+    assert!(resp["prediction"].as_f64().unwrap() > 0.0);
+
+    // Unknown field → 400, not silently ignored.
+    let (status, body) =
+        one_shot(addr, &post("/v1/predict", r#"{"v":1,"block":"nop","blocc":"typo"}"#));
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("blocc"), "{body}");
+
+    // Wrong wire version → 400.
+    let (status, body) = one_shot(addr, &post("/v1/predict", r#"{"v":9,"block":"nop"}"#));
+    assert_eq!(status, 400, "{body}");
+
+    // Unparseable block → 400.
+    let (status, _) = one_shot(addr, &post("/v1/predict", r#"{"v":1,"block":"frobnicate qx"}"#));
+    assert_eq!(status, 400);
+
+    // Unknown path → 404; wrong method → 400.
+    let (status, _) = one_shot(addr, &get("/v2/predict"));
+    assert_eq!(status, 404);
+    let (status, _) = one_shot(addr, &get("/v1/predict"));
+    assert_eq!(status, 400);
+
+    server.shutdown();
+}
+
+#[test]
+fn explain_returns_an_explanation() {
+    let server = start_crude(2, 8);
+    let addr = server.addr();
+
+    let (status, body) = one_shot(
+        addr,
+        &post("/v1/explain", r#"{"v":1,"block":"add rcx, rax\nmov rdx, rcx","seed":7}"#),
+    );
+    assert_eq!(status, 200, "{body}");
+    let resp: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(resp["v"].as_u64(), Some(1));
+    assert_eq!(resp["seed"].as_u64(), Some(7));
+    assert_eq!(resp["coalesced"].as_bool(), Some(false));
+    assert!(resp["explanation"]["queries"].as_u64().unwrap() > 0);
+    assert!(resp["explanation"]["precision"].as_f64().is_some());
+
+    server.shutdown();
+}
+
+#[test]
+fn identical_concurrent_explains_coalesce_onto_one_search() {
+    let (model, gate) = GatedModel::new();
+    let server = Server::start_with_model(
+        Box::new(model) as BoxedModel,
+        "gated".into(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 8,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let ctx = Arc::clone(server.ctx());
+
+    const N: usize = 3;
+    let request = post("/v1/explain", r#"{"v":1,"block":"add rcx, rax","seed":42}"#);
+    let clients: Vec<_> = (0..N)
+        .map(|_| {
+            let request = request.clone();
+            std::thread::spawn(move || one_shot(addr, &request))
+        })
+        .collect();
+
+    // The leader is parked inside the search (on the gate); the other
+    // two must register as coalesced followers before we let it finish.
+    wait_for("leader to start its search", || ctx.metrics().search_count() == 1);
+    wait_for("followers to coalesce", || ctx.metrics().coalesced_count() == (N - 1) as u64);
+    GatedModel::release(&gate);
+
+    let mut coalesced_flags = Vec::new();
+    for client in clients {
+        let (status, body) = client.join().expect("client thread");
+        assert_eq!(status, 200, "{body}");
+        let resp: Value = serde_json::from_str(&body).unwrap();
+        coalesced_flags.push(resp["coalesced"].as_bool().unwrap());
+    }
+    assert_eq!(ctx.metrics().search_count(), 1, "exactly one underlying search");
+    assert_eq!(ctx.metrics().coalesced_count(), (N - 1) as u64);
+    assert_eq!(coalesced_flags.iter().filter(|&&c| !c).count(), 1, "one leader");
+    assert_eq!(coalesced_flags.iter().filter(|&&c| c).count(), N - 1, "rest coalesced");
+
+    // A later identical request runs its own (new) search.
+    let (status, body) = one_shot(addr, &request);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(ctx.metrics().search_count(), 2);
+
+    server.shutdown();
+}
+
+#[test]
+fn queue_overflow_is_shed_with_503() {
+    let (model, gate) = GatedModel::new();
+    let server = Server::start_with_model(
+        Box::new(model) as BoxedModel,
+        "gated".into(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_depth: 1,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let ctx = Arc::clone(server.ctx());
+
+    // Occupy the only worker: an explain parked on the gate.
+    let blocker = {
+        let request = post("/v1/explain", r#"{"v":1,"block":"div rcx","seed":1}"#);
+        std::thread::spawn(move || one_shot(addr, &request))
+    };
+    wait_for("worker to enter the search", || ctx.metrics().search_count() == 1);
+
+    // Fill the queue's single slot with a second connection.
+    let mut queued = TcpStream::connect(addr).expect("connect queued");
+    queued.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    queued.write_all(get("/healthz").as_bytes()).unwrap();
+    wait_for("connection to queue", || {
+        ctx.metrics().render_prometheus(&ctx.cache_stats()).contains("\ncomet_queue_depth 1")
+    });
+
+    // The next connection must be shed immediately — worker busy,
+    // queue full.
+    let (status, body) = one_shot(addr, &get("/healthz"));
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("overloaded"), "{body}");
+    assert!(ctx.metrics().shed_count() >= 1);
+
+    // Release the gate: the blocked explain and the queued request both
+    // complete — shedding rejected new work, it never dropped accepted
+    // work.
+    GatedModel::release(&gate);
+    let (status, _) = blocker.join().expect("blocker thread");
+    assert_eq!(status, 200);
+    let (status, body) = read_response(&queued);
+    assert_eq!(status, 200, "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn cancel_token_drains_and_joins() {
+    let server = start_crude(2, 4);
+    let addr = server.addr();
+    let (status, _) = one_shot(addr, &get("/healthz"));
+    assert_eq!(status, 200);
+
+    server.ctx().cancel_token().cancel();
+    // join() must return promptly once cancelled — run it on a thread so
+    // a regression hangs this test's watchdog rather than forever.
+    let joined = std::thread::spawn(move || server.join());
+    let start = Instant::now();
+    while !joined.is_finished() {
+        assert!(start.elapsed() < Duration::from_secs(5), "server failed to drain");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    joined.join().unwrap();
+
+    // New connections are refused or reset after drain.
+    let outcome = TcpStream::connect(addr)
+        .and_then(|mut s| {
+            s.set_read_timeout(Some(Duration::from_secs(2)))?;
+            s.write_all(get("/healthz").as_bytes())?;
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf)?;
+            Ok(buf)
+        })
+        .unwrap_or_default();
+    assert!(outcome.is_empty(), "drained server must not answer new requests");
+}

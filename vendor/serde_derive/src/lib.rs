@@ -5,7 +5,9 @@
 //! which are unavailable offline). Supports exactly the shapes the
 //! COMET workspace derives on:
 //!
-//! * structs with named fields (honouring `#[serde(default)]`);
+//! * structs with named fields (honouring `#[serde(default)]`,
+//!   `#[serde(skip)]`, and the container-level
+//!   `#[serde(deny_unknown_fields)]`);
 //! * tuple structs — one field is treated as a transparent newtype
 //!   (serde's behaviour), more fields serialize as a sequence;
 //! * enums with unit variants (`"Name"`), newtype variants
@@ -60,6 +62,10 @@ enum ItemKind {
 struct Item {
     name: String,
     kind: ItemKind,
+    /// Container-level `#[serde(deny_unknown_fields)]` present:
+    /// deserialization rejects map keys that are not (serialized)
+    /// fields instead of ignoring them.
+    deny_unknown: bool,
 }
 
 // ---- parsing ---------------------------------------------------------
@@ -200,8 +206,29 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     variants
 }
 
+/// Detect the container-level `#[serde(deny_unknown_fields)]` among the
+/// attributes preceding the item keyword.
+fn has_deny_unknown(tokens: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if attr_has_serde_arg(&g.stream(), "deny_unknown_fields") {
+                    return true;
+                }
+                i += 2;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let deny_unknown = has_deny_unknown(&tokens);
     let (i, _, _) = skip_attrs(&tokens, 0);
     let mut i = skip_vis(&tokens, i);
     let keyword = match &tokens[i] {
@@ -235,7 +262,7 @@ fn parse_item(input: TokenStream) -> Item {
         },
         other => panic!("cannot derive for `{other}` items"),
     };
-    Item { name, kind }
+    Item { name, kind, deny_unknown }
 }
 
 // ---- codegen ---------------------------------------------------------
@@ -359,9 +386,35 @@ fn gen_deserialize(item: &Item) -> String {
         ItemKind::NamedStruct(fields) => {
             let getters: Vec<String> =
                 fields.iter().map(|f| field_getter(name, &f.name, f.default, f.skip)).collect();
+            // `deny_unknown_fields`: reject keys that are not
+            // serialized fields (skipped fields are never serialized,
+            // so — like upstream serde — they count as unknown).
+            let guard = if item.deny_unknown {
+                let known: Vec<String> =
+                    fields.iter().filter(|f| !f.skip).map(|f| format!("\"{}\"", f.name)).collect();
+                let known_arm = if known.is_empty() {
+                    String::new()
+                } else {
+                    format!("{} => {{}},", known.join(" | "))
+                };
+                format!(
+                    "for (k, _) in entries.iter() {{\n\
+                     match k.as_str() {{\n\
+                     {known_arm}\n\
+                     other => return ::std::result::Result::Err(\
+                     format!(\"unknown field `{{other}}` in {name}\")),\n\
+                     }}\n\
+                     }}\n"
+                )
+            } else {
+                String::new()
+            };
             format!(
                 "match content {{\n\
-                 ::serde::Content::Map(entries) => ::std::result::Result::Ok({name} {{ {getters} }}),\n\
+                 ::serde::Content::Map(entries) => {{\n\
+                 {guard}\
+                 ::std::result::Result::Ok({name} {{ {getters} }})\n\
+                 }},\n\
                  other => ::std::result::Result::Err(\
                  format!(\"expected object for {name}, got {{other:?}}\")),\n\
                  }}",
