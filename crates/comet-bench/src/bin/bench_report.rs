@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! bench-report [--smoke] [--out FILE] [--baseline FILE]
+//!              [--allow-schema-mismatch]
 //! ```
 //!
 //! * `--smoke` shrinks iteration counts so CI finishes in seconds; the
@@ -15,19 +16,28 @@
 //! * `--baseline FILE` merges a previously captured report in as the
 //!   `baseline` section and computes `speedup` ratios against it —
 //!   this is how the committed `BENCH_explain.json` carries both the
-//!   pre-optimization and post-optimization numbers.
+//!   pre-optimization and post-optimization numbers. A baseline
+//!   written under a different report schema is refused (the sections
+//!   would not be comparable field-for-field) unless
+//!   `--allow-schema-mismatch` is passed.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
-use comet_core::{ExplainConfig, Explainer, FeatureSet, PerturbConfig, Perturber};
+use comet_core::{BatchExec, ExplainConfig, Explainer, FeatureSet, PerturbConfig, Perturber};
 use comet_isa::{parse_block, BasicBlock, Microarch};
 use comet_models::{CachedModel, CostModel, CrudeModel, Vocab};
-use comet_nn::HierarchicalRegressor;
+use comet_nn::{BatchScratch, HierarchicalRegressor, TokenizedBlock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::{json, Value};
+
+/// Report envelope schema. Bumped to 2 when the explain benches moved
+/// to the batched search (different query streams, new fields) and the
+/// `machine` header was added — schema-1 baselines are not
+/// field-for-field comparable.
+const SCHEMA: u64 = 2;
 
 /// Counts every heap allocation so benches can report allocs/query.
 /// Deallocations are not counted: the metric of interest is allocation
@@ -118,28 +128,48 @@ const SMALL: &str = "add rcx, rax\nmov rdx, rcx\npop rbx";
 const CASE2: &str =
     "mov ecx, edx\nxor edx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nmov rdx, rcx\nimul rax, rcx";
 
-/// End-to-end explanation micro-bench: the ≥2× wall-clock and ≥3×
-/// allocs/query targets are judged on these entries.
+/// Batch size the explain benches run at. Results are identical at
+/// every (batch, pool) combination (see
+/// `comet-core/tests/batch_golden.rs`), so the knobs only move time.
+const EXPLAIN_BATCH: usize = 16;
+
+/// Intra-explanation pool size for the explain benches: pool 4 is the
+/// judged configuration, clamped to the machine's parallelism — on an
+/// oversubscribed core, helper threads spin against the caller instead
+/// of helping, which benchmarks the scheduler rather than the search.
+/// The report's `machine.threads` header records which case this was.
+fn explain_pool() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(4)
+}
+
+/// End-to-end explanation micro-bench over the batched anchors search:
+/// the wall-clock targets are judged on these entries. The `BatchExec`
+/// (and its worker pool) is created once and reused across iterations,
+/// matching how `comet-serve` and `comet-eval` run searches.
 fn bench_explain(target_ms: u64, name: &str, text: &str) -> Value {
     let block = parse_block(text).unwrap();
     let config = ExplainConfig { coverage_samples: 500, ..ExplainConfig::for_crude_model() };
     let explainer = Explainer::new(CrudeModel::new(Microarch::Haswell), config);
+    let exec = BatchExec::new(EXPLAIN_BATCH, explain_pool());
     let mut queries = 0u64;
     let sample = measure(target_ms, || {
-        let mut rng = StdRng::seed_from_u64(7);
         let explanation =
-            explainer.explain(std::hint::black_box(&block), &mut rng).expect("explain");
+            explainer.explain_batched(std::hint::black_box(&block), 7, &exec).expect("explain");
         queries = explanation.queries;
     });
     let mut v = sample.to_json();
     v["queries_per_explanation"] = json!(queries);
     v["ns_per_query"] = json!(sample.ns_per_iter / queries.max(1) as f64);
     v["allocs_per_query"] = json!(sample.allocs_per_iter / queries.max(1) as f64);
+    v["batch"] = json!(EXPLAIN_BATCH);
+    v["search_pool"] = json!(explain_pool());
+    v["batch_occupancy"] = json!(exec.occupancy());
     eprintln!(
-        "[bench] explain/{name}: {:.2} ms/iter, {} queries, {:.1} allocs/query",
+        "[bench] explain/{name}: {:.2} ms/iter, {} queries, {:.1} allocs/query, occupancy {:.2}",
         sample.ns_per_iter / 1e6,
         queries,
-        sample.allocs_per_iter / queries.max(1) as f64
+        sample.allocs_per_iter / queries.max(1) as f64,
+        exec.occupancy(),
     );
     v
 }
@@ -179,6 +209,49 @@ fn bench_nn(target_ms: u64) -> Value {
     let mut v = sample.to_json();
     v["zero_alloc_steady_state"] = json!(sample.allocs_per_iter == 0.0);
     v
+}
+
+/// Blocked batch inference micro-bench: one `predict_batch_with` call
+/// per iteration over B lanes, for B ∈ {1, 8, 32}. Caller-owned
+/// scratch and output buffers, so steady state must be allocation-free
+/// — asserted, not just reported, since the batched explain path leans
+/// on this invariant.
+fn bench_nn_batch(target_ms: u64) -> Value {
+    let vocab = Vocab::standard();
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = HierarchicalRegressor::new(vocab.len(), 24, 40, &mut rng);
+    let texts = [SMALL, CASE2, "div rcx", "imul rax, rcx\nadd rcx, rax\nnop"];
+    // 32 lanes cycling through four block shapes, so lanes finish at
+    // different instruction/token positions (the interesting case for
+    // the lane-compaction logic).
+    let blocks: Vec<TokenizedBlock> = (0..32)
+        .map(|i| vocab.tokenize_block(&parse_block(texts[i % texts.len()]).unwrap()))
+        .collect();
+    let mut scratch = BatchScratch::new();
+    let mut report = json!({});
+    for lanes in [1usize, 8, 32] {
+        let batch = &blocks[..lanes];
+        let mut outs = vec![0.0; lanes];
+        let sample = measure(target_ms, || {
+            model.predict_batch_with(std::hint::black_box(batch), &mut scratch, &mut outs);
+            std::hint::black_box(&outs);
+        });
+        assert_eq!(
+            sample.allocs_per_iter, 0.0,
+            "nn_predict_batch B={lanes} allocated at steady state"
+        );
+        eprintln!(
+            "[bench] nn/ithemal_predict_batch B={lanes}: {:.0} ns/iter ({:.0} ns/block)",
+            sample.ns_per_iter,
+            sample.ns_per_iter / lanes as f64
+        );
+        let mut v = sample.to_json();
+        v["lanes"] = json!(lanes);
+        v["ns_per_block"] = json!(sample.ns_per_iter / lanes as f64);
+        v["zero_alloc_steady_state"] = json!(true);
+        report[format!("b{lanes}")] = v;
+    }
+    report
 }
 
 /// Prediction-cache micro-bench: a working set of distinct blocks
@@ -237,18 +310,34 @@ fn bench_mini_table2(smoke: bool) -> Value {
     })
 }
 
+/// The `machine` report header: enough to judge whether two reports
+/// are comparable at all (a 4-thread CI runner and a 32-thread
+/// workstation are not).
+fn machine_header() -> Value {
+    json!({
+        "os": std::env::consts::OS,
+        "arch": std::env::consts::ARCH,
+        "threads": std::thread::available_parallelism().map_or(0, |n| n.get()),
+    })
+}
+
 fn main() {
     let mut smoke = false;
     let mut out = "BENCH_explain.json".to_string();
     let mut baseline_path: Option<String> = None;
+    let mut allow_schema_mismatch = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = args.next().expect("--out needs a path"),
             "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            "--allow-schema-mismatch" => allow_schema_mismatch = true,
             "--help" | "-h" => {
-                eprintln!("usage: bench-report [--smoke] [--out FILE] [--baseline FILE]");
+                eprintln!(
+                    "usage: bench-report [--smoke] [--out FILE] [--baseline FILE] \
+                     [--allow-schema-mismatch]"
+                );
                 return;
             }
             other => {
@@ -257,6 +346,31 @@ fn main() {
             }
         }
     }
+    // Load and validate the baseline *before* spending minutes on the
+    // benches: a refused baseline should fail in milliseconds.
+    let baseline = baseline_path.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let loaded: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        // A baseline from another schema version measures different
+        // things under the same field names (e.g. schema-1 explain
+        // benches ran the scalar search); silently merging it would
+        // produce speedup ratios that look valid and aren't.
+        let baseline_schema = loaded.get("schema").and_then(Value::as_u64).unwrap_or(0);
+        if baseline_schema != SCHEMA && !allow_schema_mismatch {
+            eprintln!(
+                "error: baseline {path} has schema {baseline_schema}, this report is schema \
+                 {SCHEMA}; refusing to merge (rerun the baseline with this binary, or pass \
+                 --allow-schema-mismatch to compare across schemas anyway)"
+            );
+            std::process::exit(2);
+        }
+        // Accept either a bare capture (its `current` section) or an
+        // already-merged report (its `baseline` section).
+        loaded.get("current").or_else(|| loaded.get("baseline")).cloned().unwrap_or(loaded)
+    });
+
     // Smoke mode trades statistical stability for CI latency.
     let target_ms: u64 = if smoke { 200 } else { 2_000 };
 
@@ -266,25 +380,19 @@ fn main() {
         "explain_case2": bench_explain(target_ms, "6_instr_div", CASE2),
         "perturb": bench_perturb(target_ms / 2),
         "nn_predict": bench_nn(target_ms / 2),
+        "nn_predict_batch": bench_nn_batch(target_ms / 3),
         "cache_hit": bench_cache(target_ms / 2),
         "mini_table2": bench_mini_table2(smoke),
     });
 
     let mut report = json!({
-        "schema": 1,
+        "schema": SCHEMA,
         "mode": if smoke { "smoke" } else { "full" },
+        "machine": machine_header(),
         "current": current.clone(),
     });
 
-    if let Some(path) = baseline_path {
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let loaded: Value = serde_json::from_str(&text)
-            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
-        // Accept either a bare capture (its `current` section) or an
-        // already-merged report (its `baseline` section).
-        let baseline =
-            loaded.get("current").or_else(|| loaded.get("baseline")).cloned().unwrap_or(loaded);
+    if let Some(baseline) = baseline {
         let ratio = |bench: &str, field: &str| -> Option<f64> {
             let b = baseline.get(bench)?.get(field)?.as_f64()?;
             let c = current.get(bench)?.get(field)?.as_f64()?;

@@ -10,18 +10,23 @@
 //! [`ExplainError`] only when no explanation can be produced at all.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use comet_isa::BasicBlock;
 use comet_models::{CostModel, ModelError};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::bitset::FeatureMask;
+use crate::bitset::{splitmix64, FeatureMask};
 use crate::feature::FeatureSet;
-use crate::perturb::{PerturbConfig, Perturber};
+use crate::par::WorkerPool;
+use crate::perturb::{PerturbConfig, PerturbScratch, Perturber};
 use crate::precision::{exploration_beta, BernoulliEstimate};
 
 /// Explanation-search configuration. Defaults follow the paper:
@@ -574,6 +579,593 @@ impl<M: CostModel> Explainer<M> {
     }
 }
 
+/// Execution resources for [`Explainer::explain_batched`]: a persistent
+/// worker pool plus the target model-batch size, with cumulative
+/// batching statistics.
+///
+/// Create one `BatchExec` per explaining thread (pool threads are the
+/// expensive part) and reuse it across explanations; the counters
+/// accumulate across every explanation run on it, so services can
+/// export occupancy directly.
+#[derive(Debug)]
+pub struct BatchExec {
+    pool: WorkerPool,
+    batch: usize,
+    batched_queries: AtomicU64,
+    batch_chunks: AtomicU64,
+}
+
+impl BatchExec {
+    /// A batch executor issuing model batches of up to `batch` blocks
+    /// across `workers` pool workers (both clamped to at least 1).
+    /// `BatchExec::new(1, 1)` is the scalar reference configuration:
+    /// single-item batches on the calling thread only.
+    pub fn new(batch: usize, workers: usize) -> BatchExec {
+        BatchExec {
+            pool: WorkerPool::new(workers),
+            batch: batch.max(1),
+            batched_queries: AtomicU64::new(0),
+            batch_chunks: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum blocks per model batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Total pool workers, including the calling thread.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Model queries issued through `predict_batch` so far (cumulative
+    /// across explanations).
+    pub fn queries_batched(&self) -> u64 {
+        self.batched_queries.load(Ordering::Relaxed)
+    }
+
+    /// `predict_batch` calls issued so far.
+    pub fn chunks(&self) -> u64 {
+        self.batch_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Mean batch occupancy: queries per chunk over the configured
+    /// batch size, in `(0, 1]`. Zero before any chunk has run.
+    pub fn occupancy(&self) -> f64 {
+        let chunks = self.chunks();
+        if chunks == 0 {
+            return 0.0;
+        }
+        self.queries_batched() as f64 / (chunks * self.batch as u64) as f64
+    }
+}
+
+/// Per-worker mutable state for the batched search: perturbation
+/// scratch plus the block batch handed to `predict_batch`. Batch slots
+/// are rebuilt in place ([`BasicBlock::rebuild_from`]) so the steady
+/// state allocates nothing.
+struct WorkerState {
+    scratch: PerturbScratch,
+    batch: Vec<BasicBlock>,
+}
+
+/// Outcome codes written by batch workers: one byte per planned draw.
+const DRAW_OUT: u8 = 0;
+const DRAW_IN: u8 = 1;
+const DRAW_FAULT: u8 = 2;
+
+/// Stream tag separating coverage-pool draws from candidate draws.
+const COVERAGE_TAG: u64 = 0x636F_7665_7261_6765; // "coverage"
+
+/// Coverage perturbations claimed per cursor grab (they make no model
+/// queries, so chunking is purely an atomic-contention knob).
+const COVERAGE_CHUNK: usize = 64;
+
+/// One dispatch round of the batched search: draws planned — and their
+/// query budget charged — *before* any worker runs, so the set of draws
+/// is a pure function of the search state and never depends on batch
+/// size, pool size, or thread scheduling.
+#[derive(Default)]
+struct Round {
+    /// Distinct masks this round samples, indexed by the jobs below.
+    masks: Vec<FeatureMask>,
+    /// `(mask slot, per-draw RNG seed)`, in planning order.
+    jobs: Vec<(usize, u64)>,
+}
+
+impl Round {
+    /// Plan up to `wanted` draws for `mask`, clipped by the remaining
+    /// global query budget (each planned draw charges one query, fault
+    /// or not — same accounting as the scalar path). Every draw gets a
+    /// counter-derived RNG seed
+    /// `splitmix64(splitmix64(seed ^ stable_hash(mask)) ^ index)` where
+    /// `index` is the mask's lifetime draw counter — so the stream a
+    /// draw uses depends only on *which draw for which mask* it is,
+    /// never on which worker runs it or which batch it lands in.
+    /// Returns the planned range within this round's jobs.
+    fn plan(
+        &mut self,
+        mask: &FeatureMask,
+        wanted: u64,
+        seed: u64,
+        drawn: &mut HashMap<FeatureMask, u64>,
+        queries: &mut u64,
+        budget: u64,
+    ) -> Range<usize> {
+        let n = wanted.min(budget.saturating_sub(*queries));
+        *queries += n;
+        let start = self.jobs.len();
+        if n > 0 {
+            let slot = self.masks.len();
+            self.masks.push(mask.clone());
+            let counter = drawn.entry(mask.clone()).or_insert(0);
+            let stream = splitmix64(seed ^ mask.stable_hash());
+            for j in 0..n {
+                self.jobs.push((slot, splitmix64(stream ^ (*counter + j))));
+            }
+            *counter += n;
+        }
+        start..self.jobs.len()
+    }
+}
+
+/// Fold a round's outcome slice into a candidate's Bernoulli estimate,
+/// in draw-index order (the updates are commutative counts, but a fixed
+/// order keeps the accounting auditable).
+fn settle(
+    est: &mut BernoulliEstimate,
+    outcomes: &[AtomicU8],
+    range: Range<usize>,
+    faults: &mut u64,
+) {
+    for slot in &outcomes[range] {
+        match slot.load(Ordering::Relaxed) {
+            DRAW_IN => est.update(true),
+            DRAW_OUT => est.update(false),
+            _ => *faults += 1,
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl<M: CostModel + Sync> Explainer<M> {
+    /// Explain `block` through the batched, multi-worker search path.
+    ///
+    /// Same search as [`Explainer::explain`] — Anchors beam search with
+    /// KL-LUCB bounds — but model queries are evaluated in batches of
+    /// up to [`BatchExec::batch`] blocks via
+    /// [`CostModel::predict_batch`], fanned across the executor's
+    /// worker pool. The KL-LUCB budget decisions stay sequential at
+    /// *round* granularity: every round's draws are planned (and
+    /// charged) before dispatch, so statistical validity is unchanged —
+    /// the bounds simply observe `batch_size` fresh samples at a time,
+    /// exactly as the scalar path's inner sampling loops do.
+    ///
+    /// # Determinism
+    ///
+    /// For a deterministic model, the result is bitwise identical for a
+    /// fixed `(block, seed, config)` across *every* batch size and pool
+    /// size (including `BatchExec::new(1, 1)`): each draw's RNG stream
+    /// is derived from a per-mask draw counter, not from a shared
+    /// sequential RNG, so neither chunking nor worker scheduling can
+    /// reorder randomness. (A *stateful* model — e.g. a seeded fault
+    /// injector whose schedule advances per query — observes queries in
+    /// nondeterministic order under `workers > 1`, and its faults land
+    /// on different draws accordingly.)
+    ///
+    /// Note the draw streams intentionally differ from the scalar
+    /// path's shared-RNG streams, so `explain` and `explain_batched`
+    /// agree on the anchor but not bit-for-bit on the estimates; the
+    /// reference for golden comparisons is `explain_batched` at
+    /// `BatchExec::new(1, 1)`.
+    pub fn explain_batched(
+        &self,
+        block: &BasicBlock,
+        seed: u64,
+        exec: &BatchExec,
+    ) -> Result<Explanation, ExplainError> {
+        let start = Instant::now();
+        let perturber = Perturber::new(block, self.config.perturb);
+        let pool = perturber.pool();
+        let resilience_before = self.model.resilience().unwrap_or_default();
+        let budget = self.config.max_total_queries;
+        let mut queries: u64 = 1;
+        let mut faults: u64 = 0;
+        let prediction = self.model.try_predict(block).map_err(ExplainError::Model)?;
+
+        let states: Vec<Mutex<WorkerState>> = (0..exec.pool.workers())
+            .map(|_| {
+                Mutex::new(WorkerState { scratch: perturber.make_scratch(), batch: Vec::new() })
+            })
+            .collect();
+        let empty_mask = pool.empty_mask();
+
+        // Shared coverage pool, built in parallel: entry `i` always
+        // uses the stream seeded by `i`, so the pool's contents are
+        // independent of worker scheduling.
+        let coverage_pool: Vec<FeatureMask> = {
+            let n = self.config.coverage_samples;
+            let slots: Vec<Mutex<Option<FeatureMask>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            let cursor = AtomicUsize::new(0);
+            let stream = splitmix64(seed ^ COVERAGE_TAG);
+            exec.pool.run(&|w| {
+                let mut guard = lock(&states[w]);
+                let st = &mut *guard;
+                loop {
+                    let first = cursor.fetch_add(COVERAGE_CHUNK, Ordering::Relaxed);
+                    if first >= n {
+                        break;
+                    }
+                    for (i, slot) in
+                        slots.iter().enumerate().take((first + COVERAGE_CHUNK).min(n)).skip(first)
+                    {
+                        let mut rng = StdRng::seed_from_u64(splitmix64(stream ^ i as u64));
+                        perturber.perturb_into(&empty_mask, &mut rng, &mut st.scratch);
+                        *lock(slot) = Some(st.scratch.surviving().clone());
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    lock(&slot)
+                        .take()
+                        .expect("every coverage slot is filled before the pool returns")
+                })
+                .collect()
+        };
+        let coverage_of = |features: &FeatureMask| -> f64 {
+            let hits = coverage_pool.iter().filter(|s| features.is_subset(s)).count();
+            hits as f64 / coverage_pool.len().max(1) as f64
+        };
+
+        let n_features = pool.len();
+        if n_features == 0 {
+            return Err(ExplainError::NoFeatures);
+        }
+
+        // Dispatch one planned round: workers claim chunks of up to
+        // `exec.batch` draws from a shared cursor, perturb each draw
+        // with its own counter-derived RNG into a per-worker batch
+        // buffer (rebuilt in place — no steady-state allocation beyond
+        // the model's result vector), and issue ONE `predict_batch`
+        // per chunk. Outcomes land in a per-draw byte array; because
+        // each draw's result depends only on its seed and mask, the
+        // filled array is identical whatever the chunking.
+        let model = &self.model;
+        let epsilon = self.config.epsilon;
+        let dispatch = |round: &Round| -> Vec<AtomicU8> {
+            let jobs = &round.jobs;
+            let masks = &round.masks;
+            let outcomes: Vec<AtomicU8> =
+                (0..jobs.len()).map(|_| AtomicU8::new(DRAW_FAULT)).collect();
+            if jobs.is_empty() {
+                return outcomes;
+            }
+            let cursor = AtomicUsize::new(0);
+            exec.pool.run(&|w| {
+                let mut guard = lock(&states[w]);
+                let st = &mut *guard;
+                loop {
+                    let first = cursor.fetch_add(exec.batch, Ordering::Relaxed);
+                    if first >= jobs.len() {
+                        break;
+                    }
+                    let chunk = &jobs[first..(first + exec.batch).min(jobs.len())];
+                    for (j, &(slot, draw_seed)) in chunk.iter().enumerate() {
+                        let mut rng = StdRng::seed_from_u64(draw_seed);
+                        perturber.perturb_into(&masks[slot], &mut rng, &mut st.scratch);
+                        if st.batch.len() <= j {
+                            st.batch.push(st.scratch.block().clone());
+                        } else {
+                            st.batch[j]
+                                .rebuild_from(st.scratch.block().iter())
+                                .expect("perturbed blocks are never empty");
+                        }
+                    }
+                    let results = model.predict_batch(&st.batch[..chunk.len()]);
+                    for (j, result) in results.into_iter().enumerate() {
+                        let code = match result {
+                            // Open ε-ball, as in the scalar path.
+                            Ok(cost) => u8::from((cost - prediction).abs() < epsilon),
+                            Err(_) => DRAW_FAULT,
+                        };
+                        outcomes[first + j].store(code, Ordering::Relaxed);
+                    }
+                    exec.batched_queries.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    exec.batch_chunks.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            outcomes
+        };
+
+        // Lifetime draw counters per mask: the backbone of the
+        // determinism argument. A mask's draws are numbered 0, 1, 2, …
+        // across the entire explanation, whichever phase requests them.
+        let mut drawn: HashMap<FeatureMask, u64> = HashMap::new();
+        let threshold = self.config.threshold();
+        let max_samples = self.config.max_samples as u64;
+        let init_samples = self.config.init_samples as u64;
+        // Draws per refinement round — a *config* parameter, never the
+        // executor's batch size, or results would vary with `exec`.
+        let round_draws = self.config.batch_size as u64;
+        let mut beam: Vec<Candidate> = Vec::new();
+        let mut best_overall: Option<(FeatureMask, f64)> = None;
+        let mut outcome: Option<(FeatureMask, f64, bool)> = None;
+
+        'levels: for level in 1..=self.config.max_features {
+            // Candidate generation is identical to the scalar path.
+            let mut seen: HashSet<FeatureMask> = HashSet::new();
+            let mut candidates: Vec<Candidate> = Vec::new();
+            if level == 1 {
+                for f in 0..n_features {
+                    let mut set = empty_mask.clone();
+                    set.insert(f);
+                    if seen.insert(set.clone()) {
+                        candidates.push(Candidate { features: set, est: Default::default() });
+                    }
+                }
+            } else {
+                for parent in &beam {
+                    for f in 0..n_features {
+                        if parent.features.contains(f) {
+                            continue;
+                        }
+                        let mut set = parent.features.clone();
+                        set.insert(f);
+                        if seen.insert(set.clone()) {
+                            candidates.push(Candidate { features: set, est: Default::default() });
+                        }
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+
+            // Initial sampling: every candidate's first `init_samples`
+            // draws fused into one big round — the widest batches of
+            // the whole search.
+            let mut round = Round::default();
+            let ranges: Vec<Range<usize>> = candidates
+                .iter()
+                .map(|c| {
+                    round.plan(&c.features, init_samples, seed, &mut drawn, &mut queries, budget)
+                })
+                .collect();
+            let outcomes = dispatch(&round);
+            for (candidate, range) in candidates.iter_mut().zip(ranges) {
+                settle(&mut candidate.est, &outcomes, range, &mut faults);
+            }
+            if queries >= budget {
+                for candidate in &candidates {
+                    let mean = candidate.est.mean();
+                    if best_overall.as_ref().is_none_or(|(_, p)| mean > *p) {
+                        best_overall = Some((candidate.features.clone(), mean));
+                    }
+                }
+                break 'levels;
+            }
+
+            // KL-LUCB refinement: bound computation and the
+            // stop/continue decision are sequential per round; only the
+            // round's planned draws are evaluated in parallel.
+            let k = self.config.beam_width.min(candidates.len());
+            let mut lucb_round: u64 = 1;
+            loop {
+                let beta = exploration_beta(lucb_round, candidates.len(), self.config.confidence);
+                let mut order: Vec<usize> = (0..candidates.len()).collect();
+                order.sort_by(|&a, &b| {
+                    candidates[b].est.mean().total_cmp(&candidates[a].est.mean())
+                });
+                let in_top = &order[..k];
+                let out_top = &order[k..];
+                let weakest_in = in_top
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        candidates[a].est.lcb(beta).total_cmp(&candidates[b].est.lcb(beta))
+                    })
+                    // Invariant: `k >= 1` because `candidates` is
+                    // non-empty, so the top set is never empty.
+                    .expect("non-empty top set");
+                let strongest_out = out_top.iter().copied().max_by(|&a, &b| {
+                    candidates[a].est.ucb(beta).total_cmp(&candidates[b].est.ucb(beta))
+                });
+                let gap = match strongest_out {
+                    Some(v) => candidates[v].est.ucb(beta) - candidates[weakest_in].est.lcb(beta),
+                    None => 0.0,
+                };
+                let samples_left = candidates[weakest_in].est.samples < max_samples
+                    || strongest_out.is_some_and(|v| candidates[v].est.samples < max_samples);
+                if gap <= self.config.tolerance || !samples_left || queries >= budget {
+                    break;
+                }
+                let mut round = Round::default();
+                let mut pending: Vec<(usize, Range<usize>)> = Vec::new();
+                for idx in [Some(weakest_in), strongest_out].into_iter().flatten() {
+                    let have = candidates[idx].est.samples;
+                    if have < max_samples {
+                        let range = round.plan(
+                            &candidates[idx].features,
+                            round_draws.min(max_samples - have),
+                            seed,
+                            &mut drawn,
+                            &mut queries,
+                            budget,
+                        );
+                        pending.push((idx, range));
+                    }
+                }
+                let outcomes = dispatch(&round);
+                for (idx, range) in pending {
+                    settle(&mut candidates[idx].est, &outcomes, range, &mut faults);
+                }
+                lucb_round += 1;
+            }
+
+            // Track the best-precision candidate seen anywhere.
+            for candidate in &candidates {
+                let mean = candidate.est.mean();
+                if best_overall.as_ref().is_none_or(|(_, p)| mean > *p) {
+                    best_overall = Some((candidate.features.clone(), mean));
+                }
+            }
+
+            // Confirmation pass, in rounds of `round_draws` per
+            // candidate (per-candidate adaptive stopping keeps these
+            // rounds narrow; the bulk of the queries are behind us).
+            for candidate in &mut candidates {
+                loop {
+                    let beta = exploration_beta(
+                        lucb_round,
+                        self.config.beam_width.max(1),
+                        self.config.confidence,
+                    );
+                    let est = &candidate.est;
+                    if est.mean() < threshold
+                        || est.lcb(beta) >= threshold - self.config.tolerance
+                        || est.samples >= max_samples
+                        || queries >= budget
+                    {
+                        break;
+                    }
+                    let mut round = Round::default();
+                    let range = round.plan(
+                        &candidate.features,
+                        round_draws,
+                        seed,
+                        &mut drawn,
+                        &mut queries,
+                        budget,
+                    );
+                    if range.is_empty() {
+                        break;
+                    }
+                    let outcomes = dispatch(&round);
+                    settle(&mut candidate.est, &outcomes, range, &mut faults);
+                }
+            }
+
+            // Anchors at this level (same acceptance rule as the scalar
+            // path).
+            let beta =
+                exploration_beta(lucb_round, self.config.beam_width.max(1), self.config.confidence);
+            let anchors: Vec<&Candidate> = candidates
+                .iter()
+                .filter(|c| {
+                    c.est.mean() >= threshold
+                        && c.est.lcb(beta) >= threshold - self.config.tolerance
+                })
+                .collect();
+            if !anchors.is_empty() {
+                let best = anchors
+                    .into_iter()
+                    .map(|c| {
+                        let cov = coverage_of(&c.features);
+                        (c, cov)
+                    })
+                    .max_by(|(_, ca), (_, cb)| ca.total_cmp(cb))
+                    // Invariant: guarded by `!anchors.is_empty()`.
+                    .expect("non-empty anchors");
+                // Greedy drop-one minimization, sampling each subset in
+                // rounds with a post-round early exit.
+                let mut features = best.0.features.clone();
+                let mut precision = best.0.est.mean();
+                let mut improved = true;
+                while improved && features.len() > 1 {
+                    improved = false;
+                    let snapshot = features.clone();
+                    for feature in snapshot.iter() {
+                        let mut subset = features.clone();
+                        subset.remove(feature);
+                        let mut est = BernoulliEstimate::default();
+                        let b = exploration_beta(
+                            lucb_round,
+                            self.config.beam_width.max(1),
+                            self.config.confidence,
+                        );
+                        while est.samples < max_samples && queries < budget {
+                            let mut round = Round::default();
+                            let range = round.plan(
+                                &subset,
+                                round_draws.min(max_samples - est.samples),
+                                seed,
+                                &mut drawn,
+                                &mut queries,
+                                budget,
+                            );
+                            if range.is_empty() {
+                                break;
+                            }
+                            let outcomes = dispatch(&round);
+                            settle(&mut est, &outcomes, range, &mut faults);
+                            if est.samples >= init_samples && est.ucb(b) < threshold {
+                                break;
+                            }
+                        }
+                        if est.mean() >= threshold
+                            && est.lcb(b) >= threshold - self.config.tolerance
+                        {
+                            features = subset;
+                            precision = est.mean();
+                            improved = true;
+                            break;
+                        }
+                    }
+                }
+                outcome = Some((features, precision, true));
+                break 'levels;
+            }
+
+            // No anchor yet: carry the beam to the next level.
+            let mut order: Vec<usize> = (0..candidates.len()).collect();
+            order.sort_by(|&a, &b| candidates[b].est.mean().total_cmp(&candidates[a].est.mean()));
+            order.truncate(self.config.beam_width);
+            let mut next_beam = Vec::new();
+            let mut taken: HashSet<usize> = order.iter().copied().collect();
+            for (i, candidate) in candidates.into_iter().enumerate() {
+                if taken.remove(&i) {
+                    next_beam.push(candidate);
+                }
+            }
+            beam = next_beam;
+        }
+
+        let (features, precision, anchored) = match outcome {
+            Some(found) => found,
+            // Invariant: level 1 always has candidates (`n_features >
+            // 0`), and both exits of the level loop record every level-1
+            // candidate into `best_overall` first.
+            None => {
+                let (features, precision) =
+                    best_overall.expect("at least one candidate was evaluated");
+                (features, precision, false)
+            }
+        };
+        let coverage = coverage_of(&features);
+        let resilience_after = self.model.resilience().unwrap_or_default();
+        let retries = resilience_after.retries.saturating_sub(resilience_before.retries);
+        let degraded = faults > 0 || resilience_after.degraded;
+        Ok(Explanation {
+            features: pool.set_of(&features),
+            precision,
+            coverage,
+            prediction,
+            anchored,
+            queries,
+            faults,
+            retries,
+            degraded,
+            duration_secs: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -711,6 +1303,81 @@ mod tests {
             let explainer = Explainer::new(faulty, config);
             let mut rng = StdRng::seed_from_u64(seed);
             match explainer.explain(&block, &mut rng) {
+                Ok(e) => {
+                    assert!(e.queries <= config.max_total_queries);
+                    if e.faults > 0 {
+                        assert!(e.degraded);
+                        explained = true;
+                    }
+                }
+                Err(ExplainError::Model(_)) => {} // initial query faulted
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert!(explained, "no seed produced a degraded-but-successful explanation");
+    }
+
+    #[test]
+    fn batched_path_is_invariant_to_batch_and_pool_size() {
+        let block =
+            parse_block("mov ecx, edx\nlea rax, [rcx + rax - 1]\ndiv rcx\nimul rax, rcx").unwrap();
+        let config = ExplainConfig { coverage_samples: 300, ..ExplainConfig::for_crude_model() };
+        let explainer = Explainer::new(DivModel, config);
+        let reference = explainer.explain_batched(&block, 11, &BatchExec::new(1, 1)).unwrap();
+        assert!(reference.anchored);
+        assert_eq!(
+            reference.features.iter().copied().collect::<Vec<_>>(),
+            vec![Feature::Instruction(2)],
+            "{}",
+            reference.display_features()
+        );
+        for (batch, workers) in [(4, 1), (8, 2), (17, 4)] {
+            let exec = BatchExec::new(batch, workers);
+            let explanation = explainer.explain_batched(&block, 11, &exec).unwrap();
+            assert_eq!(explanation, reference, "batch={batch} workers={workers}");
+            assert!(exec.queries_batched() > 0);
+            assert!(exec.chunks() > 0);
+            let occupancy = exec.occupancy();
+            assert!(occupancy > 0.0 && occupancy <= 1.0, "occupancy {occupancy}");
+        }
+    }
+
+    #[test]
+    fn batched_budget_is_a_hard_cap() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx").unwrap();
+        let config = ExplainConfig {
+            coverage_samples: 100,
+            max_total_queries: 200,
+            ..ExplainConfig::for_crude_model()
+        };
+        let explainer = Explainer::new(LengthModel, config);
+        let exec = BatchExec::new(8, 2);
+        let explanation = explainer.explain_batched(&block, 5, &exec).unwrap();
+        assert!(explanation.queries <= 200, "queries {}", explanation.queries);
+        // Budget charged == queries dispatched + the initial prediction.
+        assert_eq!(explanation.queries, exec.queries_batched() + 1);
+    }
+
+    #[test]
+    fn batched_faults_are_counted_and_degrade() {
+        // Single worker keeps the fault injector's schedule
+        // deterministic, so the whole explanation is reproducible.
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx").unwrap();
+        let config = ExplainConfig {
+            coverage_samples: 100,
+            max_samples: 60,
+            max_total_queries: 1_500,
+            ..ExplainConfig::for_crude_model()
+        };
+        let mut explained = false;
+        for seed in 0..10u64 {
+            let faulty = FaultyModel::new(
+                LengthModel,
+                FaultConfig { nan_rate: 0.1, transient_rate: 0.1, seed, ..Default::default() },
+            );
+            let explainer = Explainer::new(faulty, config);
+            let exec = BatchExec::new(4, 1);
+            match explainer.explain_batched(&block, seed, &exec) {
                 Ok(e) => {
                     assert!(e.queries <= config.max_total_queries);
                     if e.faults > 0 {

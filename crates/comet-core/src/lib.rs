@@ -55,6 +55,7 @@ pub mod cancel;
 mod compare;
 mod explain;
 mod feature;
+pub mod par;
 mod perturb;
 pub mod precision;
 pub mod space;
@@ -63,6 +64,7 @@ pub use baselines::{ground_truth, is_accurate, BaselineContext};
 pub use bitset::{FeatureMask, FeaturePool};
 pub use cancel::CancelToken;
 pub use compare::{compare_models, BlockComparison, ComparisonReport};
-pub use explain::{ExplainConfig, ExplainError, Explainer, Explanation};
+pub use explain::{BatchExec, ExplainConfig, ExplainError, Explainer, Explanation};
 pub use feature::{extract_features, format_feature_set, Feature, FeatureKind, FeatureSet};
+pub use par::{par_map, par_map_cancellable, par_map_strict, ParPanic, WorkerPool};
 pub use perturb::{PerturbConfig, PerturbScratch, PerturbedBlock, Perturber, ReplacementScheme};

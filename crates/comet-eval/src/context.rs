@@ -79,26 +79,39 @@ impl Scale {
 /// Deterministic base seed for all corpora.
 const CORPUS_SEED: u64 = 0xB10C5;
 
-/// Run-durability settings shared by the experiments: where (and
-/// whether) to journal per-block results, and the cooperative
+/// Run-durability and execution settings shared by the experiments:
+/// where (and whether) to journal per-block results, the cooperative
 /// cancellation flag workers poll (tripped by Ctrl-C in the
-/// `comet-eval` binary).
+/// `comet-eval` binary), and the batched-search knobs.
 ///
 /// The default is fully transparent: no journal directory, a token
-/// nobody cancels.
-#[derive(Debug, Clone, Default)]
+/// nobody cancels, batch 16 with the search on the calling thread.
+#[derive(Debug, Clone)]
 pub struct Durability {
     /// Directory for write-ahead journals (one `<key>.jsonl` per
     /// experiment/march/seed). `None` disables journaling.
     pub journal_dir: Option<PathBuf>,
     /// Cooperative cancellation flag checked by parallel workers.
     pub cancel: CancelToken,
+    /// Model-query batch size for the batched anchors search. Results
+    /// are invariant to this knob; it only affects throughput.
+    pub batch: usize,
+    /// Intra-explanation worker-pool size. Defaults to 1 (calling
+    /// thread only): the experiments already parallelize across blocks,
+    /// so extra per-search threads usually oversubscribe the cores.
+    pub search_pool: usize,
+}
+
+impl Default for Durability {
+    fn default() -> Durability {
+        Durability { journal_dir: None, cancel: CancelToken::new(), batch: 16, search_pool: 1 }
+    }
 }
 
 impl Durability {
     /// Journal into `dir` with a fresh cancellation token.
     pub fn journaling(dir: impl Into<PathBuf>) -> Durability {
-        Durability { journal_dir: Some(dir.into()), cancel: CancelToken::new() }
+        Durability { journal_dir: Some(dir.into()), ..Durability::default() }
     }
 }
 

@@ -4,7 +4,7 @@ use std::fmt;
 
 use comet_bhive::BhiveBlock;
 use comet_core::{
-    ground_truth, is_accurate, BaselineContext, ExplainConfig, ExplainError, Explainer,
+    ground_truth, is_accurate, BaselineContext, BatchExec, ExplainConfig, ExplainError, Explainer,
     Explanation, FeatureSet,
 };
 use comet_isa::{BasicBlock, Microarch};
@@ -54,7 +54,13 @@ fn run_fingerprint<M: CostModel>(
 ) -> String {
     let config_json = serde_json::to_string(config).unwrap_or_default();
     let seed_text = seed.to_string();
-    let mut parts: Vec<String> = vec![model.name().to_string(), config_json, seed_text];
+    // The search-path tag invalidates journals written by the scalar
+    // search: its RNG streams differ from the batched search's
+    // counter-derived ones, so mixing their records would silently mix
+    // two different (both valid) result sets. Batch and pool sizes are
+    // deliberately absent — results are invariant to them.
+    let search_tag = "search=batched-v1".to_string();
+    let mut parts: Vec<String> = vec![model.name().to_string(), config_json, seed_text, search_tag];
     parts.extend(blocks.iter().map(|b| b.to_string()));
     let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
     fingerprint(&refs)
@@ -77,6 +83,11 @@ fn run_fingerprint<M: CostModel>(
 /// failure or worker panic, `None` for a block never started because
 /// the run was cancelled. Per-block RNG seeds derive from the block
 /// index, so resumed and uninterrupted runs produce identical results.
+///
+/// Explanations run on the batched anchors search
+/// ([`Explainer::explain_batched`]) with `durability.batch` queries per
+/// model call and `durability.search_pool` intra-explanation workers;
+/// results are invariant to both knobs.
 ///
 /// # Errors
 ///
@@ -139,9 +150,21 @@ pub fn try_explain_blocks_durable<M: CostModel + Sync>(
     let pending: Vec<usize> = (0..blocks.len()).filter(|&i| slots[i].is_none()).collect();
     let journal_writer = journal.as_ref().map(|(j, _)| j);
     let explainer = Explainer::new(model, config);
+    // One BatchExec per outer worker, checked out per block. With the
+    // default `search_pool == 1` the execs own no threads and the
+    // checkout only routes counter updates; with a larger pool it keeps
+    // each pool's `run` calls on a single outer thread at a time.
+    let outer_workers =
+        std::thread::available_parallelism().map_or(4, |n| n.get()).min(pending.len().max(1));
+    let execs: Vec<std::sync::Mutex<BatchExec>> = (0..outer_workers)
+        .map(|_| {
+            std::sync::Mutex::new(BatchExec::new(durability.batch.max(1), durability.search_pool))
+        })
+        .collect();
     let outcomes = par_map_cancellable(&pending, &durability.cancel, |_, &i| {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64));
-        let result = explainer.explain(blocks[i], &mut rng);
+        let exec = checkout_exec(&execs);
+        let block_seed = seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64);
+        let result = explainer.explain_batched(blocks[i], block_seed, &exec);
         if let (Some(journal), Ok(explanation)) = (journal_writer, &result) {
             let record = JournalRecord {
                 index: i,
@@ -178,14 +201,41 @@ pub fn try_explain_blocks_durable<M: CostModel + Sync>(
         }
     }
     if fresh_blocks > 0 && fresh_secs > 0.0 {
+        let batched: u64 = execs.iter().map(|slot| lock_exec(slot).queries_batched()).sum();
+        let chunks: u64 = execs.iter().map(|slot| lock_exec(slot).chunks()).sum();
+        let occupancy = if chunks > 0 {
+            batched as f64 / (chunks * durability.batch.max(1) as u64) as f64
+        } else {
+            0.0
+        };
         eprintln!(
             "[perf] {}: {fresh_blocks} blocks explained in {fresh_secs:.2}s worker time \
-             ({fresh_queries} queries, {:.0} queries/sec)",
+             ({fresh_queries} queries, {:.0} queries/sec; {:.1}% batched, \
+             batch occupancy {occupancy:.2})",
             if key.is_empty() { "batch" } else { key },
             fresh_queries as f64 / fresh_secs,
+            100.0 * batched as f64 / fresh_queries.max(1) as f64,
         );
     }
     Ok(slots)
+}
+
+/// Grab any momentarily free exec slot: with as many slots as outer
+/// workers and each worker holding at most one, a free slot always
+/// exists, so the scan terminates quickly.
+fn checkout_exec(slots: &[std::sync::Mutex<BatchExec>]) -> std::sync::MutexGuard<'_, BatchExec> {
+    loop {
+        for slot in slots {
+            if let Ok(guard) = slot.try_lock() {
+                return guard;
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+fn lock_exec(slot: &std::sync::Mutex<BatchExec>) -> std::sync::MutexGuard<'_, BatchExec> {
+    slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Explain every block in parallel with deterministic per-block seeds,

@@ -3,8 +3,13 @@
 //! ```text
 //! comet-eval [--scale quick|standard|paper] [--exp all|table2|table3|
 //!             fig2|fig3|fig4|fig5|fig6|fig7|fig8|appf|cases|mape]
-//!            [--out FILE] [--journal DIR]
+//!            [--out FILE] [--journal DIR] [--batch N] [--search-pool N]
 //! ```
+//!
+//! `--batch` sets the model-query batch size of the anchors search and
+//! `--search-pool` its intra-explanation worker count; results are
+//! invariant to both (they only trade throughput), and the defaults
+//! (16, 1) suit the block-parallel experiment runners.
 //!
 //! With `--journal DIR`, completed block explanations are written ahead
 //! to checksummed journals under `DIR`; an interrupted run (Ctrl-C, or
@@ -28,6 +33,9 @@ fn main() {
     let mut exp = "all".to_string();
     let mut out: Option<String> = None;
     let mut journal_dir: Option<String> = None;
+    let defaults = Durability::default();
+    let mut batch = defaults.batch;
+    let mut search_pool = defaults.search_pool;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,6 +46,8 @@ fn main() {
             "--journal" => {
                 journal_dir = Some(args.next().unwrap_or_else(|| usage("missing journal dir")))
             }
+            "--batch" => batch = parse_knob(args.next(), "--batch"),
+            "--search-pool" => search_pool = parse_knob(args.next(), "--search-pool"),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -51,8 +61,12 @@ fn main() {
 
     let cancel = CancelToken::new();
     install_sigint(cancel.clone());
-    let durability =
-        Durability { journal_dir: journal_dir.map(Into::into), cancel: cancel.clone() };
+    let durability = Durability {
+        journal_dir: journal_dir.map(Into::into),
+        cancel: cancel.clone(),
+        batch,
+        search_pool,
+    };
 
     let mut report = String::new();
     let _ = writeln!(report, "# COMET reproduction — experiment results\n");
@@ -145,12 +159,20 @@ fn finish(report: &str, out: Option<&str>) {
     }
 }
 
+fn parse_knob(value: Option<String>, name: &str) -> usize {
+    let text = value.unwrap_or_else(|| usage(&format!("missing value for {name}")));
+    match text.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => usage(&format!("{name} needs a positive integer, got `{text}`")),
+    }
+}
+
 fn usage(problem: &str) -> ! {
     if !problem.is_empty() {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: comet-eval [--scale quick|standard|paper] [--exp all|table2|table3|fig2..fig8|appf|cases|mape] [--out FILE] [--journal DIR]"
+        "usage: comet-eval [--scale quick|standard|paper] [--exp all|table2|table3|fig2..fig8|appf|cases|mape] [--out FILE] [--journal DIR] [--batch N] [--search-pool N]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

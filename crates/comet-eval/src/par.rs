@@ -1,123 +1,11 @@
-//! A minimal scoped-thread parallel map for embarrassingly parallel
-//! per-block work (explanations are independent given per-item RNG
-//! seeds), hardened against panicking workers: a panic in one item is
-//! caught and reported as that item's [`ParPanic`] error, and every
-//! sibling item still completes.
-//!
-//! Long runs are also *interruptible*: [`par_map_cancellable`] takes a
-//! [`CancelToken`] that workers poll cooperatively before claiming the
-//! next item. Cancelling (e.g. from a Ctrl-C handler) stops new items
-//! from starting while every in-flight item drains to completion, so a
-//! journaling caller gets a clean flush of everything finished instead
-//! of torn state.
+//! Re-exported from its shared home in `comet-core`: the eval binary,
+//! the explainer's intra-explanation fan-out, and the `comet-serve`
+//! network service all use one implementation (hoisted there so the
+//! batched anchors search can reuse the panic-isolation and
+//! cancellation machinery without a dependency cycle).
 
-use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-use comet_models::panic_payload_message;
-
-/// Re-exported from its shared home in `comet-core`: the eval binary
-/// and the `comet-serve` network service use one implementation.
 pub use comet_core::cancel::CancelToken;
-
-/// One item's worker panicked; siblings were unaffected.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParPanic {
-    /// Index of the failing item in the input slice.
-    pub index: usize,
-    /// The panic payload, rendered as text.
-    pub message: String,
-}
-
-impl fmt::Display for ParPanic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "worker panicked on item {}: {}", self.index, self.message)
-    }
-}
-
-impl std::error::Error for ParPanic {}
-
-/// Map `f` over `items` using all available cores, preserving order.
-///
-/// `f` receives `(index, item)` so callers can derive deterministic
-/// per-item RNG seeds. Each item's call is isolated with
-/// `catch_unwind`: a panicking item yields `Err(ParPanic)` in its slot
-/// while the remaining items are still processed (no worker dies, no
-/// sibling result is lost).
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, ParPanic>>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    par_map_cancellable(items, &CancelToken::new(), f)
-        .into_iter()
-        // Invariant: with a never-cancelled token every slot is filled.
-        .map(|slot| slot.expect("uncancelled par_map filled every slot"))
-        .collect()
-}
-
-/// [`par_map`] with cooperative cancellation: workers poll `cancel`
-/// before claiming each item, so after cancellation no *new* item
-/// starts while in-flight items drain to completion. Unstarted items
-/// yield `None` in their slots (started items yield `Some` as usual).
-pub fn par_map_cancellable<T, R, F>(
-    items: &[T],
-    cancel: &CancelToken,
-    f: F,
-) -> Vec<Option<Result<R, ParPanic>>>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let workers =
-        std::thread::available_parallelism().map_or(4, |n| n.get()).min(items.len().max(1));
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<R, ParPanic>>>> =
-        (0..items.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                if cancel.poll() {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let value = catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(|payload| {
-                    ParPanic { index: i, message: panic_payload_message(&*payload) }
-                });
-                // Slots are locked only for this store, with `f` run
-                // outside and its panics caught above — recover from
-                // poisoning anyway rather than compounding a failure.
-                *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
-            });
-        }
-    });
-    results.into_iter().map(|slot| slot.into_inner().unwrap_or_else(|p| p.into_inner())).collect()
-}
-
-/// `par_map` for infallible workers: unwraps every slot, panicking with
-/// the first [`ParPanic`] if a worker died. Use only where a worker
-/// panic is itself a bug (e.g. pure arithmetic).
-pub fn par_map_strict<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    par_map(items, f)
-        .into_iter()
-        .map(|slot| match slot {
-            Ok(value) => value,
-            Err(panic) => panic!("{panic}"),
-        })
-        .collect()
-}
+pub use comet_core::par::{par_map, par_map_cancellable, par_map_strict, ParPanic};
 
 #[cfg(test)]
 mod tests {
@@ -137,29 +25,6 @@ mod tests {
         let items: Vec<u64> = Vec::new();
         let out: Vec<Result<u64, ParPanic>> = par_map(&items, |_, &x| x);
         assert!(out.is_empty());
-    }
-
-    #[test]
-    fn panicking_item_is_isolated() {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let items: Vec<u64> = (0..50).collect();
-        let out = par_map(&items, |i, &x| {
-            if i == 17 {
-                panic!("boom on {i}");
-            }
-            x * 2
-        });
-        std::panic::set_hook(prev);
-        for (i, v) in out.iter().enumerate() {
-            if i == 17 {
-                let err = v.as_ref().unwrap_err();
-                assert_eq!(err.index, 17);
-                assert!(err.message.contains("boom on 17"), "{}", err.message);
-            } else {
-                assert_eq!(*v, Ok(i as u64 * 2));
-            }
-        }
     }
 
     #[test]

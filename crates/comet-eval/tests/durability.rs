@@ -157,8 +157,11 @@ fn interrupted_then_resumed_run_matches_uninterrupted_run() {
     // First attempt: cancelled after two worker polls, so only a couple
     // of blocks complete (and are journaled) before the run stops.
     let dir = scratch_dir("resume");
-    let interrupted =
-        Durability { journal_dir: Some(dir.clone()), cancel: CancelToken::after_polls(2) };
+    let interrupted = Durability {
+        journal_dir: Some(dir.clone()),
+        cancel: CancelToken::after_polls(2),
+        ..Durability::default()
+    };
     let model = CountingCrude::new();
     let partial =
         try_explain_blocks_durable(&model, &refs, config, seed, &interrupted, "resume-test")
@@ -177,7 +180,11 @@ fn interrupted_then_resumed_run_matches_uninterrupted_run() {
         &refs,
         config,
         seed,
-        &Durability { journal_dir: Some(dir.clone()), cancel: CancelToken::new() },
+        &Durability {
+            journal_dir: Some(dir.clone()),
+            cancel: CancelToken::new(),
+            ..Durability::default()
+        },
         "resume-test",
     )
     .unwrap();
@@ -191,7 +198,11 @@ fn interrupted_then_resumed_run_matches_uninterrupted_run() {
         &refs,
         config,
         seed,
-        &Durability { journal_dir: Some(dir.clone()), cancel: CancelToken::new() },
+        &Durability {
+            journal_dir: Some(dir.clone()),
+            cancel: CancelToken::new(),
+            ..Durability::default()
+        },
         "resume-test",
     )
     .unwrap();
@@ -214,7 +225,11 @@ fn resuming_under_a_different_configuration_is_refused() {
     let crude = CrudeModel::new(Microarch::Haswell);
 
     let dir = scratch_dir("mismatch");
-    let durability = Durability { journal_dir: Some(dir.clone()), cancel: CancelToken::new() };
+    let durability = Durability {
+        journal_dir: Some(dir.clone()),
+        cancel: CancelToken::new(),
+        ..Durability::default()
+    };
     try_explain_blocks_durable(&crude, &refs, config, 1, &durability, "mismatch-test").unwrap();
 
     // Same key, different seed: the fingerprint no longer matches and
@@ -236,8 +251,11 @@ fn cancelled_blocks_are_left_pending_not_recorded() {
     let crude = CrudeModel::new(Microarch::Haswell);
 
     let dir = scratch_dir("pending");
-    let durability =
-        Durability { journal_dir: Some(dir.clone()), cancel: CancelToken::after_polls(2) };
+    let durability = Durability {
+        journal_dir: Some(dir.clone()),
+        cancel: CancelToken::after_polls(2),
+        ..Durability::default()
+    };
     let slots =
         try_explain_blocks_durable(&crude, &refs, config, 5, &durability, "pending-test").unwrap();
 

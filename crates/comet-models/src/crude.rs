@@ -64,6 +64,23 @@ impl CrudeModel {
     pub fn cost_eta(&self, n: usize) -> f64 {
         n as f64 / 4.0
     }
+
+    /// The cost formula against caller-held dependency scratch, shared
+    /// by the scalar and batch prediction paths.
+    fn cost_with(&self, block: &BasicBlock, scratch: &mut EdgeSetScratch) -> f64 {
+        scratch.compute(block, DepConfig::default());
+        let mut cost = self.cost_eta(block.len());
+        for i in 0..block.len() {
+            cost = cost.max(self.cost_inst(block, i));
+        }
+        for &(kind, src, dst) in scratch.ids() {
+            // WAR/WAW are free (register renaming); only RAW pays.
+            if kind == DepKind::Raw {
+                cost = cost.max(self.cost_inst(block, src) + self.cost_inst(block, dst));
+            }
+        }
+        cost
+    }
 }
 
 impl CostModel for CrudeModel {
@@ -75,20 +92,16 @@ impl CostModel for CrudeModel {
     }
 
     fn predict(&self, block: &BasicBlock) -> f64 {
+        DEP_SCRATCH.with(|cell| self.cost_with(block, &mut cell.borrow_mut()))
+    }
+
+    /// Batch path: the crude model is a total, finite function, so the
+    /// override skips the per-item panic guard the default would pay
+    /// and holds one scratch borrow for the whole batch.
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, crate::ModelError>> {
         DEP_SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
-            scratch.compute(block, DepConfig::default());
-            let mut cost = self.cost_eta(block.len());
-            for i in 0..block.len() {
-                cost = cost.max(self.cost_inst(block, i));
-            }
-            for &(kind, src, dst) in scratch.ids() {
-                // WAR/WAW are free (register renaming); only RAW pays.
-                if kind == DepKind::Raw {
-                    cost = cost.max(self.cost_inst(block, src) + self.cost_inst(block, dst));
-                }
-            }
-            cost
+            blocks.iter().map(|block| Ok(self.cost_with(block, &mut scratch))).collect()
         })
     }
 }

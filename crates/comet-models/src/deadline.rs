@@ -137,6 +137,72 @@ impl<M: CostModel + Send + Sync + 'static> CostModel for DeadlineModel<M> {
         }
     }
 
+    /// Batch path: the whole batch runs as *one* guarded inner
+    /// `predict_batch` call (so batching survives down to the backend)
+    /// under the summed per-item budget — a batch of `n` gets
+    /// `n × deadline` of wall clock, the same total a sequential caller
+    /// would have granted. On expiry the worker is abandoned and every
+    /// item reports [`ModelError::Timeout`], with the timeout counter
+    /// advanced once per abandoned item (per-item accounting).
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
+        if blocks.is_empty() {
+            return Vec::new();
+        }
+        let budget = self.deadline.saturating_mul(blocks.len() as u32);
+        let (tx, rx) = mpsc::sync_channel(1);
+        let model = Arc::clone(&self.inner);
+        let owned: Vec<BasicBlock> = blocks.to_vec();
+        let start = Instant::now();
+        let spawned =
+            std::thread::Builder::new().name("comet-deadline-watchdog".into()).spawn(move || {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    model.predict_batch(&owned)
+                }));
+                let result = match caught {
+                    Ok(inner) => inner,
+                    Err(payload) => {
+                        let message = panic_payload_message(&*payload);
+                        owned
+                            .iter()
+                            .map(|_| Err(ModelError::Panic { message: message.clone() }))
+                            .collect()
+                    }
+                };
+                let _ = tx.send(result);
+            });
+        let handle = match spawned {
+            Ok(handle) => handle,
+            // Thread spawn failed: degrade to an unguarded batch call.
+            Err(_) => return self.inner.predict_batch(blocks),
+        };
+        match rx.recv_timeout(budget) {
+            Ok(results) => {
+                let _ = handle.join();
+                results
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.timeouts.fetch_add(blocks.len() as u64, Ordering::Relaxed);
+                drop(handle);
+                let elapsed = start.elapsed();
+                blocks
+                    .iter()
+                    .map(|_| Err(ModelError::Timeout { elapsed, deadline: budget }))
+                    .collect()
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let _ = handle.join();
+                blocks
+                    .iter()
+                    .map(|_| {
+                        Err(ModelError::Panic {
+                            message: "deadline worker died without a result".into(),
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+
     fn resilience(&self) -> Option<ResilienceReport> {
         self.inner.resilience()
     }
@@ -195,6 +261,26 @@ mod tests {
         assert_eq!(model.timeouts(), 1);
         assert!(model.predict(&block()).is_nan());
         assert_eq!(model.timeouts(), 2);
+    }
+
+    #[test]
+    fn batch_passes_through_and_times_out_whole() {
+        let model =
+            DeadlineModel::new(StallModel { stall: Duration::ZERO }, Duration::from_secs(5));
+        let blocks = vec![block(), block()];
+        assert_eq!(model.predict_batch(&blocks), vec![Ok(3.0), Ok(3.0)]);
+        assert_eq!(model.timeouts(), 0);
+
+        let model = DeadlineModel::new(
+            StallModel { stall: Duration::from_millis(500) },
+            Duration::from_millis(10),
+        );
+        let results = model.predict_batch(&blocks);
+        assert_eq!(results.len(), 2);
+        for result in &results {
+            assert!(matches!(result, Err(ModelError::Timeout { .. })), "{result:?}");
+        }
+        assert_eq!(model.timeouts(), 2, "one timeout accounted per abandoned item");
     }
 
     #[test]

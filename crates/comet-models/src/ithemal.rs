@@ -15,6 +15,7 @@ use comet_nn::{AdamConfig, HierarchicalRegressor, Loss, Trainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::error::ModelError;
 use crate::tokenize::Vocab;
 use crate::traits::CostModel;
 
@@ -99,6 +100,27 @@ impl CostModel for IthemalSurrogate {
         // Throughputs are positive; clamp the regressor's raw output.
         self.model.predict(&tokens).max(0.1)
     }
+
+    /// Batch path: all blocks run the network as side-by-side lanes
+    /// sharing one weight traversal per step
+    /// ([`HierarchicalRegressor::predict_batch`]), bitwise identical
+    /// per item to the scalar path.
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
+        let tokenized: Vec<_> =
+            blocks.iter().map(|block| self.vocab.tokenize_block(block)).collect();
+        self.model
+            .predict_batch(&tokenized)
+            .into_iter()
+            .map(|raw| {
+                let value = raw.max(0.1);
+                if value.is_finite() {
+                    Ok(value)
+                } else {
+                    Err(ModelError::NonFinite { value })
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +164,20 @@ mod tests {
         let cheap = model.predict(&parse_block("add rax, 1").unwrap());
         let expensive = model.predict(&parse_block("div rcx").unwrap());
         assert!(expensive > cheap * 3.0, "expected div >> add, got {expensive} vs {cheap}");
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        let model = IthemalSurrogate::train(
+            Microarch::Haswell,
+            &tiny_corpus(),
+            IthemalConfig { epochs: 1, ..IthemalConfig::default() },
+        );
+        let blocks: Vec<BasicBlock> = tiny_corpus().into_iter().map(|(block, _)| block).collect();
+        let batched = model.predict_batch(&blocks);
+        for (block, got) in blocks.iter().zip(&batched) {
+            assert_eq!(got, &Ok(model.predict(block)));
+        }
     }
 
     #[test]

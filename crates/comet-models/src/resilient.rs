@@ -130,6 +130,7 @@ pub struct ResilientModel<M, F = NoFallback> {
 }
 
 /// How a query should be routed, decided under the state lock.
+#[derive(Clone, Copy)]
 enum Route {
     /// Breaker closed: query the inner model normally.
     Inner,
@@ -276,9 +277,24 @@ impl<M: CostModel, F: CostModel> ResilientModel<M, F> {
 
     /// Query the inner model with bounded retries and seeded backoff.
     fn query_inner(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+        let first = self.inner.try_predict(block);
+        self.settle(block, first)
+    }
+
+    /// Finish a query whose *first* inner attempt is already in hand:
+    /// account failures, retry with backoff while the error is
+    /// retryable, and advance the breaker on final failure. Shared by
+    /// the scalar path and the batch path, whose first attempts arrive
+    /// together from one inner `predict_batch` call.
+    fn settle(
+        &self,
+        block: &BasicBlock,
+        first: Result<f64, ModelError>,
+    ) -> Result<f64, ModelError> {
         let mut attempt: u32 = 0;
+        let mut outcome = first;
         loop {
-            match self.inner.try_predict(block) {
+            match outcome {
                 Ok(value) => {
                     self.record_success();
                     return Ok(value);
@@ -298,6 +314,7 @@ impl<M: CostModel, F: CostModel> ResilientModel<M, F> {
                         if !delay.is_zero() {
                             std::thread::sleep(delay);
                         }
+                        outcome = self.inner.try_predict(block);
                         continue;
                     }
                     let error = if attempt > 0 {
@@ -335,6 +352,52 @@ impl<M: CostModel, F: CostModel> CostModel for ResilientModel<M, F> {
             Route::Inner | Route::Probe => self.query_inner(block),
             Route::Fallback => self.fallback_predict(block),
         }
+    }
+
+    /// Batch path: every item is routed in slice order with the same
+    /// per-query bookkeeping as sequential calls, all items the breaker
+    /// lets through form *one* inner `predict_batch` call (so batching
+    /// survives this layer down to the backend), and each item's
+    /// outcome is then settled in slice order — per-item failure
+    /// accounting, retries, and breaker advancement are identical to
+    /// the scalar path.
+    ///
+    /// The one batch-granular difference: breaker transitions caused by
+    /// *this batch's own* failures take effect between batches, not
+    /// between items, because routing happens before the inner results
+    /// exist. Per-item results still degrade correctly (a failure that
+    /// opens the breaker is answered by the fallback immediately).
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
+        let routes: Vec<Route> = blocks.iter().map(|_| self.route()).collect();
+        let inner_indices: Vec<usize> = routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Route::Inner | Route::Probe))
+            .map(|(i, _)| i)
+            .collect();
+        let first_attempts = if inner_indices.len() == blocks.len() {
+            self.inner.predict_batch(blocks)
+        } else if inner_indices.is_empty() {
+            Vec::new()
+        } else {
+            let selected: Vec<BasicBlock> =
+                inner_indices.iter().map(|&i| blocks[i].clone()).collect();
+            self.inner.predict_batch(&selected)
+        };
+        debug_assert_eq!(first_attempts.len(), inner_indices.len());
+        let mut first_attempts = first_attempts.into_iter();
+        routes
+            .iter()
+            .enumerate()
+            .map(|(i, route)| match route {
+                Route::Inner | Route::Probe => {
+                    let first =
+                        first_attempts.next().expect("one first attempt per inner-routed item");
+                    self.settle(&blocks[i], first)
+                }
+                Route::Fallback => self.fallback_predict(&blocks[i]),
+            })
+            .collect()
     }
 
     fn resilience(&self) -> Option<ResilienceReport> {
@@ -517,6 +580,60 @@ mod tests {
         let report = model.report();
         assert_eq!(report.timeouts, 1);
         assert_eq!(report.failures, 1);
+    }
+
+    /// The batch path must funnel every breaker-admitted item through
+    /// *one* inner `predict_batch` call, while still counting and
+    /// settling each item individually.
+    #[test]
+    fn batch_path_routes_settles_and_counts_per_item() {
+        struct BatchProbe {
+            batch_calls: AtomicU64,
+        }
+        impl CostModel for BatchProbe {
+            fn name(&self) -> &str {
+                "batch-probe"
+            }
+            fn predict(&self, block: &BasicBlock) -> f64 {
+                block.len() as f64
+            }
+            fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
+                self.batch_calls.fetch_add(1, Ordering::SeqCst);
+                blocks.iter().map(|b| self.try_predict(b)).collect()
+            }
+        }
+        let model =
+            ResilientModel::new(BatchProbe { batch_calls: AtomicU64::new(0) }, test_config());
+        let blocks: Vec<BasicBlock> = ["nop", "add rcx, rax\nmov rdx, rcx", "div rcx"]
+            .iter()
+            .map(|t| comet_isa::parse_block(t).unwrap())
+            .collect();
+        let results = model.predict_batch(&blocks);
+        assert_eq!(results, vec![Ok(1.0), Ok(2.0), Ok(1.0)]);
+        assert_eq!(model.inner().batch_calls.load(Ordering::SeqCst), 1, "one inner batch call");
+        assert_eq!(model.report().queries, 3, "each batch item routed as its own query");
+    }
+
+    /// Failures inside a batch advance the breaker per item, and items
+    /// settled after the trip degrade to the fallback; a later batch
+    /// routes straight to the fallback.
+    #[test]
+    fn batch_failures_trip_breaker_and_degrade() {
+        let model = ResilientModel::with_fallback(
+            AlwaysNan,
+            FlakyModel { calls: AtomicU64::new(0), failures: 0 },
+            ResilientConfig { breaker_threshold: 2, probe_interval: 1000, ..test_config() },
+        );
+        let b = block();
+        let first = model.predict_batch(&[b.clone(), b.clone(), b.clone()]);
+        assert!(first[0].is_err(), "first failure propagates (breaker still closed)");
+        assert_eq!(first[1], Ok(2.0), "second failure trips the breaker and degrades");
+        assert_eq!(first[2], Ok(2.0), "open breaker answers from the fallback");
+        assert!(model.breaker_open());
+        assert_eq!(model.predict_batch(std::slice::from_ref(&b)), vec![Ok(2.0)]);
+        let report = model.report();
+        assert_eq!(report.breaker_trips, 1);
+        assert_eq!(report.queries, 4);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use comet_isa::{BasicBlock, Microarch};
 use comet_sim::{MachineConfig, Simulator};
 
+use crate::error::ModelError;
 use crate::traits::CostModel;
 
 /// The uiCA surrogate: the pipeline simulator with slightly
@@ -37,6 +38,13 @@ impl CostModel for UicaSurrogate {
 
     fn predict(&self, block: &BasicBlock) -> f64 {
         self.sim.throughput(block)
+    }
+
+    /// Batch path: one pipeline-state allocation serves the batch (see
+    /// [`Simulator::throughput_batch`]); the simulator is total and
+    /// finite, so every item is `Ok`.
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
+        self.sim.throughput_batch(blocks).into_iter().map(Ok).collect()
     }
 }
 
@@ -72,6 +80,12 @@ impl CostModel for HardwareOracle {
     fn predict(&self, block: &BasicBlock) -> f64 {
         self.sim.throughput(block)
     }
+
+    /// Batch path: shares one pipeline-state allocation across items,
+    /// bitwise-identical per item to the scalar path.
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
+        self.sim.throughput_batch(blocks).into_iter().map(Ok).collect()
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +118,28 @@ mod tests {
     fn models_are_named() {
         assert_eq!(UicaSurrogate::new(Microarch::Haswell).name(), "uiCA (HSW)");
         assert_eq!(HardwareOracle::new(Microarch::Skylake).name(), "hardware (SKL)");
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        let blocks: Vec<BasicBlock> = [
+            "add rax, 1\nadd rax, 1",
+            "div rcx",
+            "mov qword ptr [rdi], rax\nmov rbx, qword ptr [rsi]",
+            "vdivss xmm0, xmm0, xmm6\nvmulss xmm7, xmm0, xmm0",
+        ]
+        .iter()
+        .map(|text| parse_block(text).unwrap())
+        .collect();
+        for march in Microarch::ALL {
+            let uica = UicaSurrogate::new(march);
+            let hw = HardwareOracle::new(march);
+            for model in [&uica as &dyn CostModel, &hw as &dyn CostModel] {
+                let batched = model.predict_batch(&blocks);
+                for (block, got) in blocks.iter().zip(&batched) {
+                    assert_eq!(got, &Ok(model.predict(block)), "{}", model.name());
+                }
+            }
+        }
     }
 }

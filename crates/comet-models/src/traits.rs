@@ -34,6 +34,24 @@ pub trait CostModel {
         catch_prediction(|| self.predict(block))
     }
 
+    /// Predict the costs of a batch of independent blocks.
+    ///
+    /// The contract is *per-item equivalence*: for a model without
+    /// hidden query-order state, `predict_batch(blocks)[i]` must equal
+    /// `try_predict(&blocks[i])`. The default implementation queries
+    /// the items strictly in slice order, so even stateful fault
+    /// injectors ([`FaultyModel`](crate::FaultyModel)) land their
+    /// faults on the same positions a sequential caller would see.
+    ///
+    /// Overrides exist so batches survive the decorator stack down to
+    /// kernels that can amortize work across items (the batched LSTM
+    /// forward shares one weight traversal over the whole batch), or so
+    /// wrappers can amortize their own bookkeeping (the cache takes one
+    /// lock round per shard instead of one lock per item).
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
+        blocks.iter().map(|block| self.try_predict(block)).collect()
+    }
+
     /// Resilience counters, when the model (or a wrapper in its stack)
     /// tracks them. Plain models report `None`; see
     /// [`ResilientModel::resilience`](crate::ResilientModel).
@@ -55,6 +73,10 @@ impl<M: CostModel + ?Sized> CostModel for &M {
         (**self).try_predict(block)
     }
 
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
+        (**self).predict_batch(blocks)
+    }
+
     fn resilience(&self) -> Option<ResilienceReport> {
         (**self).resilience()
     }
@@ -71,6 +93,10 @@ impl<M: CostModel + ?Sized> CostModel for Box<M> {
 
     fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
         (**self).try_predict(block)
+    }
+
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
+        (**self).predict_batch(blocks)
     }
 
     fn resilience(&self) -> Option<ResilienceReport> {
@@ -265,7 +291,7 @@ impl<M: CostModel> CachedModel<M> {
     /// two selectors must not overlap or every shard would use only
     /// 1/[`CACHE_SHARDS`] of its buckets.
     fn shard_of(&self, key: u64) -> &Mutex<Shard> {
-        &self.shards[(key >> (64 - CACHE_SHARDS.trailing_zeros())) as usize]
+        &self.shards[shard_index(key)]
     }
 
     /// Cache lookup shared by both prediction paths: one atomic bump,
@@ -283,13 +309,24 @@ impl<M: CostModel> CachedModel<M> {
     /// shard is at capacity.
     fn store(&self, key: u64, value: f64) {
         let mut shard = recover(self.shard_of(key));
-        if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
-            if let Some(&victim) = shard.keys().next() {
-                shard.remove(&victim);
-            }
-        }
-        shard.insert(key, value);
+        store_locked(&mut shard, self.shard_capacity, key, value);
     }
+}
+
+/// Index of the shard a key lives in (see [`CachedModel::shard_of`]).
+fn shard_index(key: u64) -> usize {
+    (key >> (64 - CACHE_SHARDS.trailing_zeros())) as usize
+}
+
+/// Capacity-respecting insert under an already-held shard lock, so the
+/// batch path can insert a whole shard group in one lock round.
+fn store_locked(shard: &mut Shard, capacity: usize, key: u64, value: f64) {
+    if shard.len() >= capacity && !shard.contains_key(&key) {
+        if let Some(&victim) = shard.keys().next() {
+            shard.remove(&victim);
+        }
+    }
+    shard.insert(key, value);
 }
 
 impl<M: CostModel> CostModel for CachedModel<M> {
@@ -327,6 +364,90 @@ impl<M: CostModel> CostModel for CachedModel<M> {
             // finiteness contract; normalize rather than propagate NaN.
             Err(ModelError::NonFinite { value })
         }
+    }
+
+    /// Batched lookup/miss/store with one lock round per *shard* rather
+    /// than one lock per item: items are grouped by shard for the
+    /// lookup pass, the misses go to the inner model as one
+    /// `predict_batch` call (so batching survives the cache layer), and
+    /// the finite results are stored with a second per-shard lock
+    /// round. Per-item results are exactly what
+    /// [`try_predict`](CostModel::try_predict) would return.
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
+        if blocks.is_empty() {
+            return Vec::new();
+        }
+        self.total.fetch_add(blocks.len() as u64, Ordering::Relaxed);
+        let keys: Vec<u64> = blocks.iter().map(block_key).collect();
+        let mut results: Vec<Option<Result<f64, ModelError>>> = vec![None; blocks.len()];
+
+        // Lookup pass: one lock acquisition per shard that has items.
+        let mut hits = 0u64;
+        for shard_id in 0..CACHE_SHARDS {
+            let mut guard = None;
+            for (i, &key) in keys.iter().enumerate() {
+                if shard_index(key) != shard_id {
+                    continue;
+                }
+                let shard = guard.get_or_insert_with(|| recover(&self.shards[shard_id]));
+                // Cached values are finite by construction; re-check as
+                // in `try_predict` so a stale non-finite entry is
+                // re-queried rather than served.
+                if let Some(&v) = shard.get(&key) {
+                    if v.is_finite() {
+                        hits += 1;
+                        results[i] = Some(Ok(v));
+                    }
+                }
+            }
+        }
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+
+        // Miss pass: one inner batch call for all misses. The all-miss
+        // case (the common one under an explainer's perturbation
+        // stream) forwards the caller's slice without copying.
+        let miss_indices: Vec<usize> =
+            (0..blocks.len()).filter(|&i| results[i].is_none()).collect();
+        if !miss_indices.is_empty() {
+            let miss_results = if miss_indices.len() == blocks.len() {
+                self.inner.predict_batch(blocks)
+            } else {
+                let miss_blocks: Vec<BasicBlock> =
+                    miss_indices.iter().map(|&i| blocks[i].clone()).collect();
+                self.inner.predict_batch(&miss_blocks)
+            };
+            debug_assert_eq!(miss_results.len(), miss_indices.len());
+
+            // Store pass: again one lock round per shard with items.
+            for shard_id in 0..CACHE_SHARDS {
+                let mut guard = None;
+                for (j, &i) in miss_indices.iter().enumerate() {
+                    if shard_index(keys[i]) != shard_id {
+                        continue;
+                    }
+                    if let Some(Ok(v)) = miss_results.get(j) {
+                        if v.is_finite() {
+                            let shard =
+                                guard.get_or_insert_with(|| recover(&self.shards[shard_id]));
+                            store_locked(shard, self.shard_capacity, keys[i], *v);
+                        }
+                    }
+                }
+            }
+
+            for (j, &i) in miss_indices.iter().enumerate() {
+                results[i] = Some(match miss_results[j].clone() {
+                    // Normalize like `try_predict`: an overridden inner
+                    // that leaks a non-finite Ok becomes a typed error.
+                    Ok(v) if v.is_finite() => Ok(v),
+                    Ok(v) => Err(ModelError::NonFinite { value: v }),
+                    Err(e) => Err(e),
+                });
+            }
+        }
+        results.into_iter().map(|r| r.expect("every batch item resolved")).collect()
     }
 
     fn resilience(&self) -> Option<ResilienceReport> {
@@ -422,6 +543,50 @@ mod tests {
         let resident = blocks.last().unwrap();
         assert_eq!(model.predict(resident), resident.len() as f64);
         assert_eq!(model.stats().hits, before + 1);
+    }
+
+    /// The batch path must answer hits from the cache, forward only the
+    /// misses to the inner model, and keep every counter exact.
+    #[test]
+    fn batch_path_partitions_hits_and_misses() {
+        let model = CachedModel::new(Counting(AtomicU64::new(0)));
+        let blocks: Vec<BasicBlock> = (1..=12)
+            .map(|n| {
+                let text = (0..n).map(|_| "imul rax, rcx").collect::<Vec<_>>().join("\n");
+                comet_isa::parse_block(&text).unwrap()
+            })
+            .collect();
+        // Warm half the keyspace through the scalar path.
+        for block in &blocks[..6] {
+            model.predict(block);
+        }
+        let results = model.predict_batch(&blocks);
+        for (block, result) in blocks.iter().zip(&results) {
+            assert_eq!(*result, Ok(block.len() as f64));
+        }
+        let stats = model.stats();
+        assert_eq!(stats.total, 6 + 12);
+        assert_eq!(stats.hits, 6, "warmed entries answered from the cache");
+        assert_eq!(model.inner().0.load(Ordering::SeqCst), 12, "only misses reached the inner");
+        // A second identical batch is all hits, zero inner calls.
+        let again = model.predict_batch(&blocks);
+        assert_eq!(again, results);
+        assert_eq!(model.inner().0.load(Ordering::SeqCst), 12);
+        assert_eq!(model.stats().hits, 18);
+    }
+
+    /// Per-item equivalence: the batch default impl and the cache
+    /// override agree with sequential `try_predict` calls.
+    #[test]
+    fn batch_default_matches_sequential_try_predict() {
+        let model = Counting(AtomicU64::new(0));
+        let blocks: Vec<BasicBlock> = ["nop", "add rcx, rax\nmov rdx, rcx", "div rcx"]
+            .iter()
+            .map(|t| comet_isa::parse_block(t).unwrap())
+            .collect();
+        let batched = model.predict_batch(&blocks);
+        let sequential: Vec<_> = blocks.iter().map(|b| model.try_predict(b)).collect();
+        assert_eq!(batched, sequential);
     }
 
     #[test]

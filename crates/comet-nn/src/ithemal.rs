@@ -13,7 +13,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::layers::{Embedding, Linear};
-use crate::lstm::{Lstm, LstmCache, LstmScratch};
+use crate::lstm::{Lstm, LstmBatchScratch, LstmCache, LstmScratch};
 use crate::param::{adam_step_all, AdamConfig, Param};
 
 /// A basic block tokenized for the model: one token-id sequence per
@@ -74,10 +74,39 @@ impl InferScratch {
     }
 }
 
+/// Reusable buffers for allocation-free *batched* prediction
+/// ([`HierarchicalRegressor::predict_batch_with`]).
+///
+/// One scratch serves any number of batches of any size; buffers grow
+/// to the largest batch seen and are then reused, so steady-state
+/// batched prediction is heap-silent like the scalar path.
+#[derive(Debug, Default, Clone)]
+pub struct BatchScratch {
+    token: LstmBatchScratch,
+    instr: LstmBatchScratch,
+    /// Lanes whose block has an instruction at the current index.
+    active_instr: Vec<usize>,
+    /// Subset of `active_instr` with a token at the current position.
+    active_token: Vec<usize>,
+    output: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
+}
+
 thread_local! {
     /// Shared inference scratch behind [`HierarchicalRegressor::predict`]:
     /// per-thread so the regressor stays `Sync` with an unchanged API.
     static INFER_SCRATCH: RefCell<InferScratch> = RefCell::new(InferScratch::new());
+
+    /// Shared batch scratch behind
+    /// [`HierarchicalRegressor::predict_batch`], per-thread for the
+    /// same reason.
+    static BATCH_SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch::new());
 }
 
 impl HierarchicalRegressor {
@@ -167,6 +196,94 @@ impl HierarchicalRegressor {
         scratch.output.resize(self.head.output(), 0.0);
         self.head.forward_into(scratch.instr.hidden_state(), &mut scratch.output);
         scratch.output[0]
+    }
+
+    /// Predict the costs of a batch of tokenized blocks, one output per
+    /// block, bitwise identical to calling
+    /// [`predict`](HierarchicalRegressor::predict) on each.
+    ///
+    /// Runs the batched inference path against a per-thread
+    /// [`BatchScratch`]; see
+    /// [`predict_batch_with`](HierarchicalRegressor::predict_batch_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty block, an empty instruction, or an
+    /// out-of-vocabulary token id.
+    pub fn predict_batch(&self, blocks: &[TokenizedBlock]) -> Vec<f64> {
+        let mut outs = vec![0.0; blocks.len()];
+        BATCH_SCRATCH
+            .with(|cell| self.predict_batch_with(blocks, &mut cell.borrow_mut(), &mut outs));
+        outs
+    }
+
+    /// Predict a batch using caller-provided scratch buffers, writing
+    /// block `b`'s cost to `outs[b]`.
+    ///
+    /// The `B` blocks run as side-by-side lanes through both LSTM
+    /// levels in lock step: at each instruction index, every lane that
+    /// still has an instruction runs its token recurrence (lanes
+    /// dropping out as their token sequences end), then feeds its final
+    /// token hidden state to the instruction recurrence — so each
+    /// weight row is traversed once per step for the whole batch
+    /// instead of once per block (see
+    /// [`matvec_lanes`](crate::ops::matvec_lanes)). Per lane, the
+    /// arithmetic is exactly the scalar
+    /// [`predict_with`](HierarchicalRegressor::predict_with) sequence,
+    /// so every output is bitwise identical to the scalar prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outs.len() != blocks.len()`, on an empty block, an
+    /// empty instruction, or an out-of-vocabulary token id.
+    pub fn predict_batch_with(
+        &self,
+        blocks: &[TokenizedBlock],
+        scratch: &mut BatchScratch,
+        outs: &mut [f64],
+    ) {
+        assert_eq!(outs.len(), blocks.len(), "output slice width mismatch");
+        let lanes = blocks.len();
+        if lanes == 0 {
+            return;
+        }
+        let max_instrs = blocks.iter().map(Vec::len).max().unwrap();
+        assert!(max_instrs > 0, "cannot predict an empty block");
+        assert!(blocks.iter().all(|b| !b.is_empty()), "cannot predict an empty block");
+        self.instr_lstm.begin_batch(lanes, &mut scratch.instr);
+        self.token_lstm.begin_batch(lanes, &mut scratch.token);
+        for j in 0..max_instrs {
+            scratch.active_instr.clear();
+            let mut max_tokens = 0;
+            for (b, block) in blocks.iter().enumerate() {
+                if let Some(tokens) = block.get(j) {
+                    assert!(!tokens.is_empty(), "instruction with no tokens");
+                    scratch.active_instr.push(b);
+                    max_tokens = max_tokens.max(tokens.len());
+                }
+            }
+            self.token_lstm.begin_lanes(&scratch.active_instr, &mut scratch.token);
+            for t in 0..max_tokens {
+                scratch.active_token.clear();
+                for &b in &scratch.active_instr {
+                    if let Some(&id) = blocks[b][j].get(t) {
+                        scratch.token.input_lane_mut(b).copy_from_slice(self.embedding.row(id));
+                        scratch.active_token.push(b);
+                    }
+                }
+                self.token_lstm.step_lanes(&mut scratch.token, &scratch.active_token);
+            }
+            for &b in &scratch.active_instr {
+                scratch.instr.input_lane_mut(b).copy_from_slice(scratch.token.hidden_lane(b));
+            }
+            self.instr_lstm.step_lanes(&mut scratch.instr, &scratch.active_instr);
+        }
+        scratch.output.clear();
+        scratch.output.resize(self.head.output(), 0.0);
+        for (b, out) in outs.iter_mut().enumerate() {
+            self.head.forward_into(scratch.instr.hidden_lane(b), &mut scratch.output);
+            *out = scratch.output[0];
+        }
     }
 
     /// One training example: forward, accumulate loss gradients scaled
@@ -323,6 +440,33 @@ mod tests {
             let training = model.forward(block).prediction;
             assert_eq!(model.predict(block), training);
             assert_eq!(model.predict_with(block, &mut scratch), training);
+        }
+    }
+
+    /// Batched prediction must equal the scalar path bit for bit for
+    /// every block, at several batch sizes, with blocks of staggered
+    /// instruction counts and token lengths (so lanes drop in and out
+    /// of the lock-step loops).
+    #[test]
+    fn batched_prediction_matches_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let model = HierarchicalRegressor::new(16, 6, 10, &mut rng);
+        let blocks: Vec<TokenizedBlock> = (0..9)
+            .map(|b| {
+                (0..1 + b % 4)
+                    .map(|j| (0..1 + (b + j) % 5).map(|t| (b * 7 + j * 3 + t) % 16).collect())
+                    .collect()
+            })
+            .collect();
+        let scalar: Vec<f64> = blocks.iter().map(|b| model.predict(b)).collect();
+        let mut scratch = BatchScratch::new();
+        for batch_size in [1, 3, 9] {
+            for (chunk, expect) in blocks.chunks(batch_size).zip(scalar.chunks(batch_size)) {
+                let mut outs = vec![0.0; chunk.len()];
+                model.predict_batch_with(chunk, &mut scratch, &mut outs);
+                assert_eq!(outs, expect, "batch size {batch_size}");
+            }
+            assert_eq!(model.predict_batch(&blocks), scalar, "thread-local path");
         }
     }
 

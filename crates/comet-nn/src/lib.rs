@@ -34,7 +34,9 @@ mod lstm;
 pub mod ops;
 mod param;
 
-pub use ithemal::{HierarchicalRegressor, InferScratch, Loss, TokenizedBlock, Trainer};
+pub use ithemal::{
+    BatchScratch, HierarchicalRegressor, InferScratch, Loss, TokenizedBlock, Trainer,
+};
 pub use layers::{Embedding, Linear};
-pub use lstm::{Lstm, LstmCache, LstmScratch};
+pub use lstm::{Lstm, LstmBatchScratch, LstmCache, LstmScratch};
 pub use param::{adam_step_all, AdamConfig, Param};

@@ -4,7 +4,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::ops::{add_assign, matvec, matvec_transpose_acc, outer_acc, sigmoid};
+use crate::ops::{add_assign, matvec, matvec_lanes, matvec_transpose_acc, outer_acc, sigmoid};
 use crate::param::Param;
 
 /// An LSTM layer processing sequences of `input`-dimensional vectors
@@ -81,6 +81,51 @@ impl LstmScratch {
     /// The hidden state after the steps taken so far.
     pub fn hidden_state(&self) -> &[f64] {
         &self.h
+    }
+}
+
+/// Reusable lane-major state for the batched inference path
+/// ([`Lstm::begin_batch`] / [`Lstm::step_lanes`]).
+///
+/// Holds `B` independent recurrences side by side: lane `b`'s input
+/// lives at `x[b*input..]`, its hidden/cell state at `h[b*hidden..]` /
+/// `c[b*hidden..]`. Stepping a set of lanes shares one traversal of
+/// the weight matrices across all of them (see
+/// [`matvec_lanes`]); per lane the arithmetic — and hence the final
+/// hidden state — is bitwise identical to the scalar
+/// [`Lstm::step`] path.
+#[derive(Debug, Default, Clone)]
+pub struct LstmBatchScratch {
+    /// Staged inputs, `lanes x input`, lane-major.
+    x: Vec<f64>,
+    /// Gate pre-activations, `lanes x 4*hidden`, lane-major.
+    z: Vec<f64>,
+    /// Hidden-to-gates products, `lanes x 4*hidden`, lane-major.
+    zh: Vec<f64>,
+    /// Hidden states, `lanes x hidden`, lane-major.
+    h: Vec<f64>,
+    /// Cell states, `lanes x hidden`, lane-major.
+    c: Vec<f64>,
+    /// Layer input width the scratch is currently sized for.
+    input: usize,
+    /// Layer hidden width the scratch is currently sized for.
+    hidden: usize,
+}
+
+impl LstmBatchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> LstmBatchScratch {
+        LstmBatchScratch::default()
+    }
+
+    /// The staging slot for lane `b`'s next input vector.
+    pub fn input_lane_mut(&mut self, b: usize) -> &mut [f64] {
+        &mut self.x[b * self.input..(b + 1) * self.input]
+    }
+
+    /// Lane `b`'s hidden state after the steps taken so far.
+    pub fn hidden_lane(&self, b: usize) -> &[f64] {
+        &self.h[b * self.hidden..(b + 1) * self.hidden]
     }
 }
 
@@ -202,6 +247,77 @@ impl Lstm {
             let o = sigmoid(scratch.z[3 * h + k]);
             scratch.c[k] = f * scratch.c[k] + i * g;
             scratch.h[k] = o * scratch.c[k].tanh();
+        }
+    }
+
+    /// Size `scratch` for `lanes` side-by-side recurrences through this
+    /// layer and zero every lane's state. Allocation-free once the
+    /// scratch has served a batch at least this large through a layer
+    /// at least this wide.
+    pub fn begin_batch(&self, lanes: usize, scratch: &mut LstmBatchScratch) {
+        let h = self.hidden;
+        scratch.input = self.input;
+        scratch.hidden = h;
+        scratch.x.clear();
+        scratch.x.resize(lanes * self.input, 0.0);
+        scratch.z.clear();
+        scratch.z.resize(lanes * 4 * h, 0.0);
+        scratch.zh.clear();
+        scratch.zh.resize(lanes * 4 * h, 0.0);
+        scratch.h.clear();
+        scratch.h.resize(lanes * h, 0.0);
+        scratch.c.clear();
+        scratch.c.resize(lanes * h, 0.0);
+    }
+
+    /// Zero the hidden/cell state of the given lanes only, starting
+    /// fresh sequences in those lanes while the others keep theirs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `scratch` was not
+    /// [`begun`](Lstm::begin_batch) for this layer.
+    pub fn begin_lanes(&self, lanes: &[usize], scratch: &mut LstmBatchScratch) {
+        let h = self.hidden;
+        debug_assert_eq!(scratch.hidden, h, "scratch not begun for this layer");
+        for &b in lanes {
+            scratch.h[b * h..(b + 1) * h].fill(0.0);
+            scratch.c[b * h..(b + 1) * h].fill(0.0);
+        }
+    }
+
+    /// Advance the recurrence one step in every named lane, reading
+    /// each lane's staged input ([`LstmBatchScratch::input_lane_mut`])
+    /// and updating its hidden/cell state in place. Lanes not named are
+    /// untouched. Per lane, this performs the exact arithmetic of the
+    /// scalar [`step`](Lstm::step) — the batching only shares the
+    /// weight-matrix traversal across lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `scratch` was not
+    /// [`begun`](Lstm::begin_batch) for this layer or a lane index is
+    /// out of range.
+    pub fn step_lanes(&self, scratch: &mut LstmBatchScratch, lanes: &[usize]) {
+        let h = self.hidden;
+        debug_assert_eq!(scratch.hidden, h, "scratch not begun for this layer");
+        debug_assert_eq!(scratch.input, self.input, "scratch not begun for this layer");
+        matvec_lanes(&self.wx.value, 4 * h, self.input, &scratch.x, &mut scratch.z, lanes);
+        matvec_lanes(&self.wh.value, 4 * h, h, &scratch.h, &mut scratch.zh, lanes);
+        for &b in lanes {
+            let z = &mut scratch.z[b * 4 * h..(b + 1) * 4 * h];
+            add_assign(z, &scratch.zh[b * 4 * h..(b + 1) * 4 * h]);
+            add_assign(z, &self.b.value);
+            let c = &mut scratch.c[b * h..(b + 1) * h];
+            let hidden = &mut scratch.h[b * h..(b + 1) * h];
+            for k in 0..h {
+                let i = sigmoid(z[k]);
+                let f = sigmoid(z[h + k]);
+                let g = z[2 * h + k].tanh();
+                let o = sigmoid(z[3 * h + k]);
+                c[k] = f * c[k] + i * g;
+                hidden[k] = o * c[k].tanh();
+            }
         }
     }
 
@@ -345,6 +461,55 @@ mod tests {
             lstm.step(x, &mut scratch);
         }
         assert_eq!(scratch.hidden_state(), reference.final_hidden());
+    }
+
+    /// Batched lanes — with staggered sequence lengths, so some steps
+    /// run a strict subset of lanes — must reproduce the scalar path
+    /// bit for bit in every lane.
+    #[test]
+    fn batched_lanes_match_scalar_steps_bitwise() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let lstm = Lstm::new(5, 7, &mut rng);
+        // Lane b runs a sequence of length 2 + 3*b.
+        let seqs: Vec<Vec<Vec<f64>>> = (0..4)
+            .map(|b| {
+                (0..2 + 3 * b)
+                    .map(|t| (0..5).map(|k| ((b * 31 + t * 5 + k) as f64 * 0.61).sin()).collect())
+                    .collect()
+            })
+            .collect();
+        let mut batch = LstmBatchScratch::new();
+        lstm.begin_batch(seqs.len(), &mut batch);
+        let longest = seqs.iter().map(Vec::len).max().unwrap();
+        let mut active = Vec::new();
+        for t in 0..longest {
+            active.clear();
+            for (b, seq) in seqs.iter().enumerate() {
+                if let Some(x) = seq.get(t) {
+                    batch.input_lane_mut(b).copy_from_slice(x);
+                    active.push(b);
+                }
+            }
+            lstm.step_lanes(&mut batch, &active);
+        }
+        let mut scratch = LstmScratch::new();
+        for (b, seq) in seqs.iter().enumerate() {
+            lstm.begin(&mut scratch);
+            for x in seq {
+                lstm.step(x, &mut scratch);
+            }
+            assert_eq!(batch.hidden_lane(b), scratch.hidden_state(), "lane {b}");
+        }
+
+        // begin_lanes restarts a single lane without disturbing others.
+        let kept = batch.hidden_lane(3).to_vec();
+        lstm.begin_lanes(&[0], &mut batch);
+        batch.input_lane_mut(0).copy_from_slice(&seqs[1][0]);
+        lstm.step_lanes(&mut batch, &[0]);
+        lstm.begin(&mut scratch);
+        lstm.step(&seqs[1][0], &mut scratch);
+        assert_eq!(batch.hidden_lane(0), scratch.hidden_state());
+        assert_eq!(batch.hidden_lane(3), &kept[..]);
     }
 
     #[test]

@@ -40,6 +40,59 @@ pub fn matvec(w: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// Batched `y_b = W x_b` over the given lanes of lane-major buffers,
+/// sharing one traversal of `W`'s rows across the whole batch.
+///
+/// `xs` holds one `cols`-wide input per lane at `xs[b*cols..]`, `ys`
+/// one `rows`-wide output per lane at `ys[b*rows..]`; only the lanes
+/// named in `lanes` are read or written. The kernel is row-outer /
+/// lane-inner: each weight row is streamed from memory once and dotted
+/// against every active lane while it is hot in cache — this is the
+/// matrix–matrix lift of [`matvec`] that batched inference buys its
+/// arithmetic-intensity win from.
+///
+/// Per lane, the dot product runs the *exact* accumulation of
+/// [`matvec`] (four lanes over 4-element blocks, `(l0+l1)+(l2+l3)`,
+/// then the remainder), so a batched forward is bitwise identical to
+/// the scalar forwards it replaces.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the dimensions disagree or a lane index
+/// is out of range.
+pub fn matvec_lanes(
+    w: &[f64],
+    rows: usize,
+    cols: usize,
+    xs: &[f64],
+    ys: &mut [f64],
+    lanes: &[usize],
+) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(xs.len() % cols.max(1), 0);
+    debug_assert_eq!(ys.len() % rows.max(1), 0);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        for &b in lanes {
+            let x = &xs[b * cols..(b + 1) * cols];
+            let mut lanes4 = [0.0f64; 4];
+            let mut row_blocks = row.chunks_exact(4);
+            let mut x_blocks = x.chunks_exact(4);
+            for (a, v) in row_blocks.by_ref().zip(x_blocks.by_ref()) {
+                lanes4[0] += a[0] * v[0];
+                lanes4[1] += a[1] * v[1];
+                lanes4[2] += a[2] * v[2];
+                lanes4[3] += a[3] * v[3];
+            }
+            let mut acc = (lanes4[0] + lanes4[1]) + (lanes4[2] + lanes4[3]);
+            for (a, v) in row_blocks.remainder().iter().zip(x_blocks.remainder()) {
+                acc += a * v;
+            }
+            ys[b * rows + r] = acc;
+        }
+    }
+}
+
 /// `y += W^T g`: accumulate the transpose product, used to propagate
 /// gradients to a layer's input.
 pub fn matvec_transpose_acc(w: &[f64], rows: usize, cols: usize, g: &[f64], y: &mut [f64]) {
@@ -90,6 +143,29 @@ mod tests {
         let mut y = [0.0; 3];
         matvec(&w, 3, 2, &x, &mut y);
         assert_eq!(y, [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_lanes_matches_matvec_bitwise() {
+        // Awkward width (10 = 2 full blocks + remainder of 2) so both
+        // the lane accumulators and the remainder path are exercised.
+        let rows = 7;
+        let cols = 10;
+        let w: Vec<f64> = (0..rows * cols).map(|i| ((i as f64) * 0.731).sin()).collect();
+        let nlanes = 5;
+        let xs: Vec<f64> = (0..nlanes * cols).map(|i| ((i as f64) * 0.917).cos()).collect();
+        let mut ys = vec![f64::NAN; nlanes * rows];
+        // Skip lane 2: untouched lanes must stay untouched.
+        matvec_lanes(&w, rows, cols, &xs, &mut ys, &[0, 1, 3, 4]);
+        for b in 0..nlanes {
+            if b == 2 {
+                assert!(ys[b * rows..(b + 1) * rows].iter().all(|v| v.is_nan()));
+                continue;
+            }
+            let mut reference = vec![0.0; rows];
+            matvec(&w, rows, cols, &xs[b * cols..(b + 1) * cols], &mut reference);
+            assert_eq!(&ys[b * rows..(b + 1) * rows], &reference[..], "lane {b}");
+        }
     }
 
     #[test]

@@ -29,5 +29,6 @@ pub mod queue;
 pub mod server;
 pub mod wire;
 
+pub use metrics::Endpoint;
 pub use queue::BoundedQueue;
 pub use server::{ModelKind, ServeConfig, Server};

@@ -3,7 +3,7 @@
 //! ```text
 //! comet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!             [--model crude|crude-skylake|uica] [--epsilon F]
-//!             [--deadline-ms MS]
+//!             [--deadline-ms MS] [--batch N] [--search-pool N]
 //!             [--bench-client] [--duration-secs S] [--clients N]
 //!             [--out FILE]
 //! ```
@@ -39,6 +39,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: comet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20                  [--model crude|crude-skylake|uica] [--epsilon F] [--deadline-ms MS]\n\
+         \x20                  [--batch N] [--search-pool N]\n\
          \x20                  [--bench-client] [--duration-secs S] [--clients N] [--out FILE]"
     );
     std::process::exit(2);
@@ -69,6 +70,8 @@ fn parse_args() -> Args {
             "--queue-depth" => args.config.queue_depth = parse_or_usage(&value("--queue-depth")),
             "--epsilon" => args.config.epsilon = parse_or_usage(&value("--epsilon")),
             "--deadline-ms" => args.config.deadline_ms = parse_or_usage(&value("--deadline-ms")),
+            "--batch" => args.config.batch = parse_or_usage(&value("--batch")),
+            "--search-pool" => args.config.search_pool = parse_or_usage(&value("--search-pool")),
             "--model" => {
                 let name = value("--model");
                 args.model = ModelKind::parse(&name).unwrap_or_else(|| {
@@ -289,9 +292,15 @@ fn bench_client(args: Args) {
             "server": {
                 "workers": args.config.workers,
                 "queue_depth": args.config.queue_depth,
+                "batch": args.config.batch,
+                "search_pool": args.config.search_pool,
                 "shed_total": metrics.shed_count(),
                 "explain_searches": metrics.search_count(),
                 "explain_coalesced": metrics.coalesced_count(),
+                "queries_batched": metrics.queries_batched_total(),
+                "explain_batch_occupancy": metrics.batch_occupancy(
+                    comet_serve::Endpoint::Explain
+                ),
                 "cache_hit_rate": stats.hit_rate(),
                 "cache_entries": stats.entries,
             },

@@ -205,6 +205,15 @@ pub struct Registry {
     /// Current depth of the bounded request queue (set by the accept
     /// loop after each push/shed; workers decrement on pop).
     queue_depth: AtomicU64,
+    /// Model queries issued through the batched search path, per
+    /// endpoint.
+    batched_queries: [AtomicU64; Endpoint::ALL.len()],
+    /// `predict_batch` calls issued, per endpoint (occupancy
+    /// denominator together with the configured batch size).
+    batch_chunks: [AtomicU64; Endpoint::ALL.len()],
+    /// The configured model-batch size, for occupancy rendering (set
+    /// once at server start; 0 until then).
+    batch_size: AtomicU64,
     /// Latency histograms for the two real endpoints.
     predict_latency: Histogram,
     explain_latency: Histogram,
@@ -272,6 +281,37 @@ impl Registry {
         self.queue_depth.store(depth as u64, Relaxed);
     }
 
+    /// Record the model-batch size the server was configured with
+    /// (once, at startup; needed to turn chunk counts into occupancy).
+    pub fn set_batch_size(&self, batch: usize) {
+        self.batch_size.store(batch as u64, Relaxed);
+    }
+
+    /// Record one finished search's batching activity: `queries` model
+    /// queries dispatched through `chunks` `predict_batch` calls.
+    pub fn record_batched(&self, endpoint: Endpoint, queries: u64, chunks: u64) {
+        self.batched_queries[endpoint.index()].fetch_add(queries, Relaxed);
+        self.batch_chunks[endpoint.index()].fetch_add(chunks, Relaxed);
+    }
+
+    /// Model queries issued through the batch path so far, across all
+    /// endpoints.
+    pub fn queries_batched_total(&self) -> u64 {
+        self.batched_queries.iter().map(|c| c.load(Relaxed)).sum()
+    }
+
+    /// Mean batch occupancy for `endpoint` in `(0, 1]`: batched queries
+    /// per chunk over the configured batch size. Zero before any chunk
+    /// ran (or if the batch size was never set).
+    pub fn batch_occupancy(&self, endpoint: Endpoint) -> f64 {
+        let chunks = self.batch_chunks[endpoint.index()].load(Relaxed);
+        let batch = self.batch_size.load(Relaxed);
+        if chunks == 0 || batch == 0 {
+            return 0.0;
+        }
+        self.batched_queries[endpoint.index()].load(Relaxed) as f64 / (chunks * batch) as f64
+    }
+
     /// The explain latency histogram (for the bench client's report).
     pub fn explain_latency(&self) -> &Histogram {
         &self.explain_latency
@@ -318,6 +358,36 @@ impl Registry {
         let _ = writeln!(out, "# HELP comet_queue_depth Requests waiting in the bounded queue.");
         let _ = writeln!(out, "# TYPE comet_queue_depth gauge");
         let _ = writeln!(out, "comet_queue_depth {}", self.queue_depth.load(Relaxed));
+        let _ = writeln!(
+            out,
+            "# HELP comet_queries_batched_total Model queries issued via predict_batch."
+        );
+        let _ = writeln!(out, "# TYPE comet_queries_batched_total counter");
+        for endpoint in Endpoint::ALL {
+            let queries = self.batched_queries[endpoint.index()].load(Relaxed);
+            if queries > 0 {
+                let _ = writeln!(
+                    out,
+                    "comet_queries_batched_total{{endpoint=\"{}\"}} {queries}",
+                    endpoint.label()
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP comet_batch_occupancy Mean model-batch occupancy (queries per chunk / batch size)."
+        );
+        let _ = writeln!(out, "# TYPE comet_batch_occupancy gauge");
+        for endpoint in Endpoint::ALL {
+            if self.batch_chunks[endpoint.index()].load(Relaxed) > 0 {
+                let _ = writeln!(
+                    out,
+                    "comet_batch_occupancy{{endpoint=\"{}\"}} {}",
+                    endpoint.label(),
+                    self.batch_occupancy(endpoint)
+                );
+            }
+        }
 
         let _ = writeln!(
             out,
@@ -412,6 +482,8 @@ mod tests {
         reg.record_coalesced();
         reg.observe_latency(Endpoint::Explain, 12_000);
         reg.set_queue_depth(3);
+        reg.set_batch_size(16);
+        reg.record_batched(Endpoint::Explain, 24, 2);
         let cache = comet_models::QueryStats { total: 10, hits: 4, ..Default::default() };
         let text = reg.render_prometheus(&cache);
         for needle in [
@@ -421,12 +493,28 @@ mod tests {
             "comet_explain_searches_total 1",
             "comet_explain_coalesced_total 1",
             "comet_queue_depth 3",
+            "comet_queries_batched_total{endpoint=\"explain\"} 24",
+            "comet_batch_occupancy{endpoint=\"explain\"} 0.75",
             "comet_cache_hit_rate 0.4",
             "comet_request_latency_seconds_bucket{endpoint=\"explain\",le=\"+Inf\"} 1",
             "comet_request_latency_quantile_seconds{endpoint=\"explain\",quantile=\"0.99\"}",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+    }
+
+    #[test]
+    fn batch_occupancy_is_zero_without_chunks_or_batch_size() {
+        let reg = Registry::new();
+        assert_eq!(reg.batch_occupancy(Endpoint::Explain), 0.0);
+        assert_eq!(reg.queries_batched_total(), 0);
+        // Chunks without a configured batch size still report zero
+        // (never a division by zero or a bogus occupancy).
+        reg.record_batched(Endpoint::Explain, 8, 1);
+        assert_eq!(reg.batch_occupancy(Endpoint::Explain), 0.0);
+        assert_eq!(reg.queries_batched_total(), 8);
+        reg.set_batch_size(8);
+        assert_eq!(reg.batch_occupancy(Endpoint::Explain), 1.0);
     }
 
     #[test]

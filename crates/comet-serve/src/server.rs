@@ -35,22 +35,19 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use comet_core::cancel::CancelToken;
-use comet_core::{ExplainConfig, ExplainError, Explainer, Explanation};
-use comet_isa::{BasicBlock, Microarch};
-use comet_models::{
-    CachedModel, CostModel, CrudeModel, DeadlineModel, ModelError, QueryStats, ResilientConfig,
-    ResilientModel, UicaSurrogate,
-};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use crate::http::{self, HttpError, Request};
 use crate::metrics::{Endpoint, Registry, StatusClass};
 use crate::queue::BoundedQueue;
 use crate::wire::{
     self, decode_request, ErrorResponse, ExplainRequest, ExplainResponse, ExplanationDto,
     PredictRequest, PredictResponse, WIRE_V,
+};
+use comet_core::cancel::CancelToken;
+use comet_core::{BatchExec, ExplainConfig, ExplainError, Explainer, Explanation};
+use comet_isa::{BasicBlock, Microarch};
+use comet_models::{
+    CachedModel, CostModel, CrudeModel, DeadlineModel, ModelError, QueryStats, ResilientConfig,
+    ResilientModel, UicaSurrogate,
 };
 
 /// A boxed, shareable cost model — the bottom of the serving stack.
@@ -107,6 +104,16 @@ pub struct ServeConfig {
     pub deadline_ms: u64,
     /// Shared prediction-cache capacity (entries).
     pub cache_capacity: usize,
+    /// Model-batch size for the explain search: perturbed candidate
+    /// blocks are evaluated through `predict_batch` in chunks of up to
+    /// this many.
+    pub batch: usize,
+    /// Intra-explanation worker-pool size per serve worker. The serve
+    /// workers already parallelize across requests, so this defaults to
+    /// 1 (batching without extra threads); raise it on machines with
+    /// spare cores when single-request latency matters more than
+    /// aggregate throughput.
+    pub search_pool: usize,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +125,8 @@ impl Default for ServeConfig {
             epsilon: 0.25,
             deadline_ms: 0,
             cache_capacity: 1 << 20,
+            batch: 16,
+            search_pool: 1,
         }
     }
 }
@@ -182,6 +191,25 @@ impl CostModel for DeadlineGate<'_> {
     fn resilience(&self) -> Option<comet_models::ResilienceReport> {
         self.inner.resilience()
     }
+
+    /// Batch path: check the wall-clock budget once per chunk, then
+    /// forward the whole slice to the stack's `predict_batch` (cache
+    /// partitioning and all). Expiry granularity is one chunk — a batch
+    /// admitted just under the deadline runs to completion, which is
+    /// bounded by `batch × per-query cost` (microseconds) and far
+    /// cheaper than checking the clock per item.
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
+        if let Some(budget) = self.budget {
+            let elapsed = self.start.elapsed();
+            if elapsed >= budget {
+                return blocks
+                    .iter()
+                    .map(|_| Err(ModelError::Timeout { elapsed, deadline: budget }))
+                    .collect();
+            }
+        }
+        self.inner.predict_batch(blocks)
+    }
 }
 
 /// Shared state visible to the accept loop, every worker, and (read
@@ -193,6 +221,8 @@ pub struct ServerCtx {
     explain_base: ExplainConfig,
     default_epsilon: f64,
     default_deadline_ms: u64,
+    explain_batch: usize,
+    search_pool: usize,
     model_name: String,
     cancel: CancelToken,
 }
@@ -248,13 +278,17 @@ impl Server {
 
         let resilient = ResilientModel::new(base, ResilientConfig::default());
         let stack = Arc::new(CachedModel::bounded(resilient, config.cache_capacity));
+        let metrics = Registry::new();
+        metrics.set_batch_size(config.batch.max(1));
         let ctx = Arc::new(ServerCtx {
             stack,
-            metrics: Registry::new(),
+            metrics,
             flights: Mutex::new(HashMap::new()),
             explain_base: ExplainConfig { epsilon: config.epsilon, ..ExplainConfig::default() },
             default_epsilon: config.epsilon,
             default_deadline_ms: config.deadline_ms,
+            explain_batch: config.batch.max(1),
+            search_pool: config.search_pool.max(1),
             model_name,
             cancel: CancelToken::new(),
         });
@@ -352,12 +386,17 @@ fn accept_loop(ctx: &ServerCtx, queue: &BoundedQueue<TcpStream>, listener: TcpLi
 
 /// Pop connections until the queue shuts down and drains.
 fn worker_loop(ctx: &ServerCtx, queue: &BoundedQueue<TcpStream>) {
+    // One batch executor per worker, alive for the worker's lifetime:
+    // its intra-explanation pool threads are spawned once, not per
+    // request, and its occupancy counters are folded into the shared
+    // registry after each search.
+    let exec = BatchExec::new(ctx.explain_batch, ctx.search_pool);
     while let Some(stream) = queue.pop() {
         ctx.metrics.set_queue_depth(queue.depth());
         // A panicking handler must not kill the worker (the pool would
         // silently shrink); catch, count, close, move on.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(ctx, &stream);
+            handle_connection(ctx, &stream, &exec);
         }));
         if result.is_err() {
             ctx.metrics.record(Endpoint::Other, StatusClass::Internal);
@@ -367,7 +406,7 @@ fn worker_loop(ctx: &ServerCtx, queue: &BoundedQueue<TcpStream>) {
 
 /// Serve requests on one connection until it closes, errors, idles
 /// out, or the server drains.
-fn handle_connection(ctx: &ServerCtx, stream: &TcpStream) {
+fn handle_connection(ctx: &ServerCtx, stream: &TcpStream, exec: &BatchExec) {
     let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
     let mut reader = BufReader::new(stream);
     loop {
@@ -375,7 +414,7 @@ fn handle_connection(ctx: &ServerCtx, stream: &TcpStream) {
             Ok(request) => {
                 // During drain, answer the in-flight request and close.
                 let close = request.close || ctx.cancel.is_cancelled();
-                dispatch(ctx, stream, &request, close);
+                dispatch(ctx, stream, &request, close, exec);
                 if close {
                     return;
                 }
@@ -403,7 +442,7 @@ fn respond_error(stream: &TcpStream, status: StatusClass, error: &str, close: bo
 }
 
 /// Route one parsed request.
-fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool) {
+fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool, exec: &BatchExec) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/predict") => {
             let start = Instant::now();
@@ -415,7 +454,7 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool)
         }
         ("POST", "/v1/explain") => {
             let start = Instant::now();
-            let status = handle_explain(ctx, stream, request, close);
+            let status = handle_explain(ctx, stream, request, close, exec);
             ctx.metrics.record(Endpoint::Explain, status);
             if status == StatusClass::Ok {
                 ctx.metrics.observe_latency(Endpoint::Explain, start.elapsed().as_micros() as u64);
@@ -526,6 +565,7 @@ fn handle_explain(
     stream: &TcpStream,
     request: &Request,
     close: bool,
+    exec: &BatchExec,
 ) -> StatusClass {
     let req: ExplainRequest = match decode_request(&request.body) {
         Ok(req) => req,
@@ -569,7 +609,7 @@ fn handle_explain(
         // The search must always complete the flight — a panic that
         // left twins parked forever would wedge their workers.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_search(ctx, &block, epsilon, req.seed, deadline)
+            run_search(ctx, &block, epsilon, req.seed, deadline, exec)
         }))
         .unwrap_or_else(|_| Err((StatusClass::Internal, "explanation search panicked".into())));
         {
@@ -611,19 +651,28 @@ fn handle_explain(
 }
 
 /// Run one anchors search against the shared stack under a cooperative
-/// deadline.
+/// deadline, through the batched search path. The worker's `BatchExec`
+/// counters are cumulative, so the per-search delta is folded into the
+/// metrics registry here.
 fn run_search(
     ctx: &ServerCtx,
     block: &BasicBlock,
     epsilon: f64,
     seed: u64,
     deadline: Option<Duration>,
+    exec: &BatchExec,
 ) -> FlightResult {
     let gate = DeadlineGate { inner: &ctx.stack, start: Instant::now(), budget: deadline };
     let config = ExplainConfig { epsilon, ..ctx.explain_base };
     let explainer = Explainer::new(gate, config);
-    let mut rng = StdRng::seed_from_u64(seed);
-    match explainer.explain(block, &mut rng) {
+    let (queries_before, chunks_before) = (exec.queries_batched(), exec.chunks());
+    let result = explainer.explain_batched(block, seed, exec);
+    ctx.metrics.record_batched(
+        Endpoint::Explain,
+        exec.queries_batched() - queries_before,
+        exec.chunks() - chunks_before,
+    );
+    match result {
         Ok(explanation) => Ok(explanation),
         Err(ExplainError::Model(ModelError::Timeout { .. })) => {
             Err((StatusClass::Timeout, "explanation deadline exceeded".into()))

@@ -193,6 +193,40 @@ fn explain_returns_an_explanation() {
 }
 
 #[test]
+fn explain_runs_on_the_batch_path_and_reports_it() {
+    let server = start_crude(2, 8);
+    let addr = server.addr();
+
+    let (status, _) = one_shot(
+        addr,
+        &post("/v1/explain", r#"{"v":1,"block":"add rcx, rax\nmov rdx, rcx","seed":3}"#),
+    );
+    assert_eq!(status, 200);
+
+    // The search must actually have gone through predict_batch — the
+    // registry only counts queries routed via BatchExec.
+    let metrics = server.ctx().metrics();
+    let batched = metrics.queries_batched_total();
+    assert!(batched > 0, "explain search reported no batched queries");
+    let occupancy = metrics.batch_occupancy(comet_serve::Endpoint::Explain);
+    assert!(
+        occupancy > 0.0 && occupancy <= 1.0,
+        "explain batch occupancy out of range: {occupancy}"
+    );
+
+    // And the same numbers surface on the Prometheus endpoint.
+    let (status, body) = one_shot(addr, &get("/metrics"));
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(&format!("comet_queries_batched_total{{endpoint=\"explain\"}} {batched}")),
+        "{body}"
+    );
+    assert!(body.contains("comet_batch_occupancy{endpoint=\"explain\"}"), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
 fn identical_concurrent_explains_coalesce_onto_one_search() {
     let (model, gate) = GatedModel::new();
     let server = Server::start_with_model(

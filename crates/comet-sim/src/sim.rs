@@ -62,6 +62,27 @@ impl Simulator {
     /// (the quantity BHive reports and the paper's cost models predict).
     pub fn throughput(&self, block: &BasicBlock) -> f64 {
         let mut state = PipelineState::new(self.config);
+        Simulator::measure(&mut state, block)
+    }
+
+    /// Throughputs of a batch of independent blocks, reusing one
+    /// pipeline-state allocation (the register/store readiness maps)
+    /// across the whole batch. Per block, the result is identical to
+    /// [`Simulator::throughput`]: the state is reset to its
+    /// freshly-constructed contents between items.
+    pub fn throughput_batch(&self, blocks: &[BasicBlock]) -> Vec<f64> {
+        let mut state = PipelineState::new(self.config);
+        blocks
+            .iter()
+            .map(|block| {
+                state.reset();
+                Simulator::measure(&mut state, block)
+            })
+            .collect()
+    }
+
+    /// Warmup + measurement over an already-initialized state.
+    fn measure(state: &mut PipelineState, block: &BasicBlock) -> f64 {
         for _ in 0..WARMUP_ITERS {
             state.run_iteration(block);
         }
@@ -104,6 +125,16 @@ impl PipelineState {
 
     fn horizon(&self) -> f64 {
         self.horizon
+    }
+
+    /// Return to the freshly-constructed state (keeping map capacity),
+    /// so one allocation can serve a whole batch of blocks.
+    fn reset(&mut self) {
+        self.reg_ready.clear();
+        self.store_ready.clear();
+        self.issued_uops = 0.0;
+        self.port_free = [0.0; 8];
+        self.horizon = 0.0;
     }
 
     fn reg_ready(&self, reg: Register) -> f64 {
