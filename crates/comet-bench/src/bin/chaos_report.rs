@@ -1,0 +1,598 @@
+//! `chaos-report` — the seeded chaos gate for the explanation service.
+//!
+//! Phase A boots an in-process `comet-serve` over a fault-injecting
+//! model with worker-panic chaos enabled, then replays a deterministic
+//! (seed-derived) storm of good requests, tiny-deadline requests, and
+//! protocol abuse (garbage bytes, truncated bodies, oversized headers,
+//! slow-loris stalls, mid-request resets) from several client threads.
+//! Phase B starts the crash-restart supervisor over real `comet-serve`
+//! child processes, SIGKILLs one, and times the recovery.
+//!
+//! The run then asserts the robustness invariants the serving stack
+//! promises — no unexplained 5xx, bounded tail latency, recovery after
+//! the storm, degradation tiers actually exercised, supervisor restart
+//! inside its backoff budget — and emits `BENCH_chaos.json` with the
+//! per-invariant verdicts. The process exits non-zero if any invariant
+//! fails, but the report file is always written.
+//!
+//! ```text
+//! chaos-report [--smoke] [--seed N] [--out FILE] [--ops N]
+//!              [--serve-bin PATH] [--skip-supervisor]
+//! ```
+//!
+//! Same seed, same op schedule, same injected-fault schedule: a chaos
+//! failure in CI is reproducible locally with the seed it prints.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use comet_isa::{BasicBlock, Microarch};
+use comet_models::{CostModel, CrudeModel, FaultConfig, FaultyModel, ModelError};
+use comet_serve::server::BoxedModel;
+use comet_serve::{
+    ChaosConfig, ChildSpec, ServeConfig, Server, StatusClass, Supervisor, SupervisorConfig, Tier,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value};
+
+const SCHEMA: u64 = 1;
+
+/// Blocks the storm cycles through (all parse; one is div-heavy so
+/// explanations are non-trivial).
+const BLOCKS: [&str; 4] = [
+    "add rcx, rax\nnop",
+    "mov ecx, edx\nxor edx, edx\ndiv rcx",
+    "imul rax, rcx\nadd rcx, rax",
+    "add rcx, rax\nmov rdx, rcx\npop rbx",
+];
+
+/// A [`FaultyModel`] shared between the server (which owns a boxed
+/// handle) and the harness (which reads fault counters afterwards).
+struct SharedFaulty(Arc<FaultyModel<CrudeModel>>);
+
+impl CostModel for SharedFaulty {
+    fn name(&self) -> &str {
+        "chaos-faulty-crude"
+    }
+
+    fn predict(&self, block: &BasicBlock) -> f64 {
+        self.0.predict(block)
+    }
+
+    fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+        self.0.try_predict(block)
+    }
+}
+
+/// One storm operation. The schedule is a pure function of the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Predict,
+    Explain,
+    /// An explain with a 1ms deadline: must ride the degradation
+    /// ladder, not fail.
+    TinyDeadline,
+    /// Non-HTTP bytes on the wire.
+    Garbage,
+    /// A body shorter than its declared Content-Length.
+    TruncatedBody,
+    /// A header line past the 8KiB line cap.
+    OversizedHeader,
+    /// Valid HTTP, invalid JSON.
+    BadJson,
+    /// Start a request, then stall until the server's read budget
+    /// cuts us off.
+    SlowLoris,
+    /// Write half a request and vanish without reading the answer.
+    Reset,
+}
+
+/// What one operation observed from the outside.
+#[derive(Debug, Default, Clone)]
+struct Outcomes {
+    by_status: std::collections::BTreeMap<u16, u64>,
+    /// Connection closed/refused with no status line — legal for abuse
+    /// ops and chaos-panicked connections, never silently counted as
+    /// success.
+    closed: u64,
+    /// Wall-clock of successful (200) predicts, for the tail bound.
+    predict_latency: Vec<Duration>,
+    /// Tiny-deadline explains that still answered 200.
+    tiny_ok: u64,
+}
+
+impl Outcomes {
+    fn see(&mut self, status: Option<u16>) {
+        match status {
+            Some(code) => *self.by_status.entry(code).or_insert(0) += 1,
+            None => self.closed += 1,
+        }
+    }
+
+    fn count(&self, code: u16) -> u64 {
+        self.by_status.get(&code).copied().unwrap_or(0)
+    }
+
+    fn merge(&mut self, other: Outcomes) {
+        for (code, n) in other.by_status {
+            *self.by_status.entry(code).or_insert(0) += n;
+        }
+        self.closed += other.closed;
+        self.predict_latency.extend(other.predict_latency);
+        self.tiny_ok += other.tiny_ok;
+    }
+}
+
+fn post(path: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Write `raw`, optionally half-close, and return the response status
+/// (None if the server closed without answering).
+fn exchange(addr: SocketAddr, raw: &[u8], truncate: bool) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+    stream.write_all(raw).ok()?;
+    if truncate {
+        let _ = stream.shutdown(Shutdown::Write);
+    }
+    let mut buf = Vec::new();
+    let _ = BufReader::new(&stream).read_to_end(&mut buf);
+    let text = String::from_utf8_lossy(&buf);
+    text.lines().next()?.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Execute one scheduled op against the server.
+fn run_op(addr: SocketAddr, op: Op, block: usize, seed: u64, outcomes: &mut Outcomes) {
+    let block_text = BLOCKS[block % BLOCKS.len()];
+    let escaped = block_text.replace('\n', "\\n");
+    match op {
+        Op::Predict => {
+            let start = Instant::now();
+            let status = exchange(
+                addr,
+                post("/v1/predict", &format!(r#"{{"v":1,"block":"{escaped}"}}"#)).as_bytes(),
+                false,
+            );
+            if status == Some(200) {
+                outcomes.predict_latency.push(start.elapsed());
+            }
+            outcomes.see(status);
+        }
+        Op::Explain => {
+            let body = format!(r#"{{"v":1,"block":"{escaped}","seed":{seed}}}"#);
+            outcomes.see(exchange(addr, post("/v1/explain", &body).as_bytes(), false));
+        }
+        Op::TinyDeadline => {
+            let body = format!(r#"{{"v":1,"block":"{escaped}","seed":{seed},"deadline_ms":1}}"#);
+            let status = exchange(addr, post("/v1/explain", &body).as_bytes(), false);
+            if status == Some(200) {
+                outcomes.tiny_ok += 1;
+            }
+            outcomes.see(status);
+        }
+        Op::Garbage => {
+            let mut junk = vec![0x16u8, 0x03, 0x01];
+            junk.extend_from_slice(seed.to_le_bytes().as_slice());
+            junk.extend_from_slice(b"\r\n\r\n");
+            outcomes.see(exchange(addr, &junk, true));
+        }
+        Op::TruncatedBody => {
+            let raw =
+                b"POST /v1/predict HTTP/1.1\r\nHost: chaos\r\nContent-Length: 64\r\n\r\n{\"v\":1";
+            outcomes.see(exchange(addr, raw, true));
+        }
+        Op::OversizedHeader => {
+            let raw = format!("GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(32 * 1024));
+            outcomes.see(exchange(addr, raw.as_bytes(), false));
+        }
+        Op::BadJson => {
+            outcomes.see(exchange(
+                addr,
+                post("/v1/predict", "{definitely not json").as_bytes(),
+                false,
+            ));
+        }
+        Op::SlowLoris => {
+            // Send a prefix, then just wait: the server's read budget
+            // must answer 408 on its own.
+            outcomes.see(exchange(addr, b"POST /v1/explain HTTP/1.1\r\nHost: chaos\r\n", false));
+        }
+        Op::Reset => {
+            if let Ok(mut stream) = TcpStream::connect(addr) {
+                let _ = stream.write_all(b"POST /v1/predict HTT");
+                // Drop without reading: the server's write fails and
+                // the connection is reclaimed.
+            } else {
+                outcomes.closed += 1;
+                return;
+            }
+            outcomes.closed += 1;
+        }
+    }
+}
+
+/// Build the deterministic op schedule. The first quarter is a clean
+/// warm-up (populates the latency histogram and the stale-explanation
+/// store); the rest interleaves abuse.
+fn schedule(seed: u64, total: usize) -> Vec<(Op, usize, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..total)
+        .map(|i| {
+            let block = rng.gen_range(0..BLOCKS.len());
+            let explain_seed = rng.gen_range(0..5u64);
+            let op = if i < total / 4 {
+                if rng.gen_range(0..3u32) == 0 {
+                    Op::Explain
+                } else {
+                    Op::Predict
+                }
+            } else {
+                match rng.gen_range(0..100u32) {
+                    0..=34 => Op::Predict,
+                    35..=54 => Op::Explain,
+                    55..=64 => Op::TinyDeadline,
+                    65..=71 => Op::Garbage,
+                    72..=78 => Op::TruncatedBody,
+                    79..=83 => Op::OversizedHeader,
+                    84..=88 => Op::BadJson,
+                    89..=93 => Op::SlowLoris,
+                    _ => Op::Reset,
+                }
+            };
+            (op, block, explain_seed)
+        })
+        .collect()
+}
+
+fn p99(latencies: &mut [Duration]) -> Duration {
+    if latencies.is_empty() {
+        return Duration::ZERO;
+    }
+    latencies.sort_unstable();
+    let idx = ((latencies.len() - 1) as f64 * 0.99).ceil() as usize;
+    latencies[idx.min(latencies.len() - 1)]
+}
+
+/// Retry `f` every 50ms until it returns true or `budget` elapses.
+fn within(budget: Duration, mut f: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    loop {
+        if f() {
+            return true;
+        }
+        if start.elapsed() >= budget {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+struct Invariant {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn invariant(name: &'static str, pass: bool, detail: String) -> Invariant {
+    let verdict = if pass { "ok" } else { "VIOLATED" };
+    eprintln!("[chaos] invariant {name}: {verdict} ({detail})");
+    Invariant { name, pass, detail }
+}
+
+/// Phase A: the in-process storm. Returns (invariants, report section).
+fn storm_phase(seed: u64, total_ops: usize) -> (Vec<Invariant>, Value) {
+    let faulty = Arc::new(FaultyModel::new(
+        CrudeModel::new(Microarch::Haswell),
+        FaultConfig {
+            nan_rate: 0.004,
+            inf_rate: 0.002,
+            panic_rate: 0.004,
+            transient_rate: 0.01,
+            latency_rate: 0.01,
+            latency: Duration::from_millis(10),
+            deadline: None,
+            seed,
+        },
+    ));
+    let server = Server::start_with_model(
+        Box::new(SharedFaulty(Arc::clone(&faulty))) as BoxedModel,
+        "chaos-faulty-crude".into(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 32,
+            deadline_ms: 200,
+            idle_timeout_ms: 250,
+            chaos: Some(ChaosConfig { worker_panic_rate: 0.02, seed }),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind chaos server");
+    let addr = server.addr();
+    let ops = schedule(seed, total_ops);
+    eprintln!("[chaos] storm: {} ops against {addr} (seed {seed})", ops.len());
+
+    const CLIENTS: usize = 4;
+    let storm_start = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let mine: Vec<(Op, usize, u64)> =
+                ops.iter().copied().skip(t).step_by(CLIENTS).collect();
+            std::thread::spawn(move || {
+                let mut outcomes = Outcomes::default();
+                for (op, block, explain_seed) in mine {
+                    run_op(addr, op, block, explain_seed, &mut outcomes);
+                }
+                outcomes
+            })
+        })
+        .collect();
+    let mut outcomes = Outcomes::default();
+    for thread in threads {
+        outcomes.merge(thread.join().expect("client thread"));
+    }
+    let storm_secs = storm_start.elapsed().as_secs_f64();
+
+    let metrics = server.ctx().metrics();
+    let faults = faulty.stats();
+    let chaos_panics = metrics.chaos_panic_count();
+    let shed = metrics.shed_count();
+    let internal = metrics.requests_with_status(StatusClass::Internal);
+    let tier_counts: Vec<(&str, u64)> =
+        Tier::ALL.iter().map(|&t| (t.label(), metrics.tier_count(t))).collect();
+    let nonfull: u64 =
+        tier_counts.iter().filter(|(label, _)| *label != "full").map(|(_, n)| n).sum();
+
+    let mut invariants = Vec::new();
+
+    // The process must still answer liveness probes (retry: a chaos
+    // panic can eat any individual connection).
+    let healthz = within(Duration::from_secs(5), || {
+        exchange(addr, b"GET /healthz HTTP/1.1\r\nHost: c\r\nConnection: close\r\n\r\n", false)
+            == Some(200)
+    });
+    invariants.push(invariant("healthz_after_storm", healthz, "GET /healthz == 200".into()));
+
+    // Every 5xx must be accounted for by backpressure or an injected
+    // fault — a 5xx with no recorded cause is a real bug.
+    let observed_5xx = outcomes.count(500) + outcomes.count(503);
+    let explained = shed + faults.total_faults() + chaos_panics;
+    invariants.push(invariant(
+        "no_unexplained_5xx",
+        observed_5xx == 0 || explained > 0,
+        format!(
+            "observed {observed_5xx} 5xx; recorded: shed={shed} faults={} chaos_panics={chaos_panics} internal={internal}",
+            faults.total_faults()
+        ),
+    ));
+
+    // Under chaos, the tail of *successful* predicts stays bounded.
+    let mut latencies = outcomes.predict_latency.clone();
+    let tail = p99(&mut latencies);
+    invariants.push(invariant(
+        "bounded_predict_p99",
+        !latencies.is_empty() && tail < Duration::from_secs(2),
+        format!("p99 {tail:?} over {} successful predicts", latencies.len()),
+    ));
+
+    // Tiny-deadline explains that answered must have ridden the ladder.
+    invariants.push(invariant(
+        "degraded_tiers_recorded",
+        outcomes.tiny_ok == 0 || nonfull > 0,
+        format!("{} tiny-deadline 200s, {nonfull} non-full tiers served", outcomes.tiny_ok),
+    ));
+
+    // After the storm, the service still does real work.
+    let recovered = within(Duration::from_secs(5), || {
+        exchange(addr, post("/v1/predict", r#"{"v":1,"block":"add rcx, rax"}"#).as_bytes(), false)
+            == Some(200)
+    });
+    invariants.push(invariant(
+        "service_recovers_after_storm",
+        recovered,
+        "a clean predict returns 200 after the storm".into(),
+    ));
+
+    // /metrics still renders (and carries the chaos counters).
+    let metrics_ok =
+        exchange(addr, b"GET /metrics HTTP/1.1\r\nHost: c\r\nConnection: close\r\n\r\n", false)
+            == Some(200);
+    invariants.push(invariant("metrics_render", metrics_ok, "GET /metrics == 200".into()));
+
+    server.shutdown();
+
+    let statuses = Value::Object(
+        outcomes.by_status.iter().map(|(code, n)| (format!("s{code}"), json!(n))).collect(),
+    );
+    let section = json!({
+        "ops": total_ops,
+        "clients": CLIENTS,
+        "storm_secs": storm_secs,
+        "observed": statuses,
+        "closed_without_response": outcomes.closed,
+        "predict_p99_ms": tail.as_secs_f64() * 1e3,
+        "tiny_deadline_200s": outcomes.tiny_ok,
+        "server": {
+            "shed": shed,
+            "internal_5xx": internal,
+            "chaos_panics": chaos_panics,
+            "injected_faults": {
+                "queries": faults.queries,
+                "nan": faults.nan,
+                "inf": faults.inf,
+                "panics": faults.panics,
+                "transient": faults.transient,
+                "latency": faults.latency,
+            },
+            "tiers": Value::Object(
+                tier_counts.iter().map(|(label, n)| (label.to_string(), json!(n))).collect()
+            ),
+        },
+    });
+    (invariants, section)
+}
+
+/// Phase B: kill a supervised serve child and time the restart.
+fn supervisor_phase(seed: u64, serve_bin: &str) -> (Vec<Invariant>, Value) {
+    let mut invariants = Vec::new();
+    if !std::path::Path::new(serve_bin).is_file() {
+        invariants.push(invariant(
+            "supervisor_recovers_killed_child",
+            false,
+            format!(
+                "serve binary not found at {serve_bin} (pass --serve-bin or --skip-supervisor)"
+            ),
+        ));
+        return (invariants, json!({ "serve_bin": serve_bin, "skipped": "binary missing" }));
+    }
+    let spec = ChildSpec {
+        program: serve_bin.into(),
+        args: vec![
+            "--supervised".into(),
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            "--workers".into(),
+            "1".into(),
+        ],
+    };
+    let config = SupervisorConfig {
+        children: 2,
+        backoff_base: Duration::from_millis(50),
+        backoff_max: Duration::from_millis(500),
+        stable_after: Duration::from_millis(100),
+        poll: Duration::from_millis(10),
+        grace: Duration::from_secs(3),
+        seed,
+        ..SupervisorConfig::default()
+    };
+    let supervisor = match Supervisor::start(spec, config) {
+        Ok(s) => s,
+        Err(e) => {
+            invariants.push(invariant(
+                "supervisor_recovers_killed_child",
+                false,
+                format!("cannot spawn {serve_bin}: {e}"),
+            ));
+            return (invariants, json!({ "serve_bin": serve_bin, "error": e.to_string() }));
+        }
+    };
+    let booted = within(Duration::from_secs(5), || supervisor.status().alive == 2);
+    let before = supervisor.status();
+    let killed = supervisor.kill_child(0);
+    let kill_at = Instant::now();
+    // Recovery budget: base backoff 50ms ×2^k with ≤1.5 jitter plus
+    // monitor polling — 3s is generous, and the assertion is what the
+    // supervisor promises operators.
+    let recovered = within(Duration::from_secs(3), || {
+        let status = supervisor.status();
+        status.alive == 2 && status.restarts >= 1 && status.pids[0] != before.pids[0]
+    });
+    let recovery = kill_at.elapsed();
+    invariants.push(invariant(
+        "supervisor_recovers_killed_child",
+        booted && killed && recovered,
+        format!("booted={booted} killed={killed} recovered={recovered} in {recovery:?}"),
+    ));
+
+    let drain_at = Instant::now();
+    let code = supervisor.shutdown();
+    let drained = drain_at.elapsed();
+    invariants.push(invariant(
+        "supervisor_drains_cleanly",
+        code == 0 && drained < Duration::from_secs(4),
+        format!("exit code {code}, drain took {drained:?}"),
+    ));
+
+    let section = json!({
+        "serve_bin": serve_bin,
+        "children": 2,
+        "recovery_ms": recovery.as_secs_f64() * 1e3,
+        "drain_ms": drained.as_secs_f64() * 1e3,
+        "exit_code": code,
+    });
+    (invariants, section)
+}
+
+/// Default serve binary: the `comet-serve` sitting next to this
+/// executable (both live in `target/<profile>` under cargo).
+fn sibling_serve_bin() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|dir| dir.join("comet-serve")))
+        .map(|p| p.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "comet-serve".into())
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut seed = 42u64;
+    let mut out = "BENCH_chaos.json".to_string();
+    let mut ops_override: Option<usize> = None;
+    let mut serve_bin = sibling_serve_bin();
+    let mut skip_supervisor = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => seed = args.next().expect("--seed needs a value").parse().expect("seed"),
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--ops" => {
+                ops_override = Some(args.next().expect("--ops needs a value").parse().expect("ops"))
+            }
+            "--serve-bin" => serve_bin = args.next().expect("--serve-bin needs a path"),
+            "--skip-supervisor" => skip_supervisor = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: chaos-report [--smoke] [--seed N] [--out FILE] [--ops N] \
+                     [--serve-bin PATH] [--skip-supervisor]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let total_ops = ops_override.unwrap_or(if smoke { 160 } else { 1200 });
+
+    eprintln!(
+        "[chaos-report] mode: {}, seed {seed}, {total_ops} ops",
+        if smoke { "smoke" } else { "full" }
+    );
+    let (mut invariants, storm) = storm_phase(seed, total_ops);
+    let supervisor = if skip_supervisor {
+        json!({ "skipped": "--skip-supervisor" })
+    } else {
+        let (more, section) = supervisor_phase(seed, &serve_bin);
+        invariants.extend(more);
+        section
+    };
+
+    let pass = invariants.iter().all(|i| i.pass);
+    let report = json!({
+        "schema": SCHEMA,
+        "mode": if smoke { "smoke" } else { "full" },
+        "seed": seed,
+        "storm": storm,
+        "supervisor": supervisor,
+        "invariants": invariants
+            .iter()
+            .map(|i| json!({ "name": i.name, "pass": i.pass, "detail": i.detail }))
+            .collect::<Vec<_>>(),
+        "pass": pass,
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, text).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("[chaos-report] wrote {out} (pass: {pass})");
+    if !pass {
+        std::process::exit(1);
+    }
+}

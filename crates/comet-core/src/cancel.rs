@@ -121,6 +121,32 @@ pub fn install_sigint(token: CancelToken) {
     let _ = handle;
 }
 
+/// Install a SIGTERM handler that trips `token` (single-stage: an
+/// orchestrator's TERM means "drain and exit", and it will escalate to
+/// KILL itself if the drain stalls). Same raw-`signal(2)`,
+/// first-token-wins mechanics as [`install_sigint`]; a no-op off Unix.
+pub fn install_sigterm(token: CancelToken) {
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    let _ = TOKEN.set(token);
+
+    extern "C" fn handle(_signum: i32) {
+        if let Some(token) = TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        signal(SIGTERM, handle as extern "C" fn(i32) as usize);
+    }
+    #[cfg(not(unix))]
+    let _ = handle;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -100,6 +100,42 @@ impl ExplainConfig {
     pub fn threshold(&self) -> f64 {
         1.0 - self.delta
     }
+
+    /// A reduced-budget variant of this config for degraded serving:
+    /// roughly an eighth of the model-query budget (fewer KL-LUCB
+    /// draws per candidate, a smaller coverage pool, a narrower beam,
+    /// and a lower cardinality cap). The statistical machinery is
+    /// unchanged — only the budgets shrink — so the result is a
+    /// legitimate, if less certain, anchors explanation.
+    pub fn reduced_budget(&self) -> ExplainConfig {
+        ExplainConfig {
+            beam_width: self.beam_width.clamp(1, 4),
+            init_samples: (self.init_samples / 2).max(4),
+            max_samples: (self.max_samples / 4).max(16),
+            coverage_samples: (self.coverage_samples / 4).max(100),
+            max_features: self.max_features.clamp(1, 3),
+            max_total_queries: (self.max_total_queries / 8).max(500),
+            ..*self
+        }
+    }
+
+    /// A minimal single-feature probe for the last rung of a
+    /// degradation ladder: greedily scores individual features with a
+    /// handful of draws and returns the best one. Hundreds of model
+    /// queries instead of tens of thousands — cheap enough to run even
+    /// under a nearly exhausted deadline.
+    pub fn baseline_probe(&self) -> ExplainConfig {
+        ExplainConfig {
+            beam_width: 1,
+            init_samples: 8,
+            batch_size: 8,
+            max_samples: 16,
+            coverage_samples: 64,
+            max_features: 1,
+            max_total_queries: 256,
+            ..*self
+        }
+    }
 }
 
 /// Why no explanation could be produced.
@@ -1241,6 +1277,51 @@ mod tests {
             "{}",
             explanation.display_features()
         );
+    }
+
+    #[test]
+    fn reduced_and_baseline_configs_shrink_every_budget() {
+        let base = ExplainConfig::for_crude_model();
+        let reduced = base.reduced_budget();
+        assert!(reduced.max_total_queries < base.max_total_queries);
+        assert!(reduced.max_samples < base.max_samples);
+        assert!(reduced.coverage_samples < base.coverage_samples);
+        assert!(reduced.beam_width <= base.beam_width);
+        assert!(reduced.max_features <= base.max_features);
+        assert_eq!(reduced.epsilon, base.epsilon, "ε is a semantic knob, not a budget");
+        let probe = base.baseline_probe();
+        assert!(probe.max_total_queries <= reduced.max_total_queries);
+        assert_eq!(probe.max_features, 1);
+        assert_eq!(probe.epsilon, base.epsilon);
+    }
+
+    #[test]
+    fn reduced_budget_still_explains_and_spends_less() {
+        let block = parse_block("add rcx, rax\nmov rdx, rcx\npop rbx\nimul r9, r10").unwrap();
+        let config = ExplainConfig::for_crude_model();
+        let full = Explainer::new(LengthModel, config)
+            .explain(&block, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let reduced = Explainer::new(LengthModel, config.reduced_budget())
+            .explain(&block, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let probe = Explainer::new(LengthModel, config.baseline_probe())
+            .explain(&block, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        // The reduced run must respect its own (much smaller) query
+        // cap; comparing against the full run directly is unreliable
+        // on trivially easy models, where smaller init batches can
+        // mean a couple of extra adaptive rounds.
+        assert!(full.queries > 0 && reduced.queries > 0);
+        assert!(
+            reduced.queries <= config.reduced_budget().max_total_queries,
+            "reduced spent {} of a {} cap",
+            reduced.queries,
+            config.reduced_budget().max_total_queries
+        );
+        assert!(probe.queries <= config.baseline_probe().max_total_queries);
+        assert!(!probe.features.is_empty(), "the probe still names a feature");
+        assert!(probe.features.len() <= 1);
     }
 
     #[test]

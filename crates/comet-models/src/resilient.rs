@@ -11,6 +11,11 @@
 //!   to [`ResilientConfig::max_retries`] times with exponential,
 //!   seeded-jitter backoff (deterministic for a given seed, so eval
 //!   runs stay reproducible);
+//! * retries draw from a global token bucket
+//!   ([`ResilientConfig::retry_budget`], refilled by successes) so a
+//!   down backend under a large `predict_batch` cannot amplify into a
+//!   retry storm — denied retries fail fast and are counted as
+//!   [`ResilienceReport::retries_suppressed`];
 //! * after [`ResilientConfig::breaker_threshold`] *consecutive* failed
 //!   queries the breaker opens and queries are served by the fallback
 //!   model (e.g. [`CoarseBaselineModel`](crate::CoarseBaselineModel))
@@ -33,7 +38,7 @@ use crate::error::ModelError;
 use crate::traits::CostModel;
 
 /// Retry/circuit-breaker parameters for [`ResilientModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResilientConfig {
     /// Maximum retries per query for retryable failures (the first
     /// attempt is not a retry).
@@ -51,6 +56,18 @@ pub struct ResilientConfig {
     pub probe_interval: u64,
     /// Seed for the deterministic backoff jitter.
     pub seed: u64,
+    /// Global retry token bucket capacity, shared by every query
+    /// (scalar and batch alike). Each retry spends one token; each
+    /// successful query refills [`retry_refill`](Self::retry_refill)
+    /// tokens (capped at this budget). When the bucket is dry further
+    /// retries are denied and counted as
+    /// [`ResilienceReport::retries_suppressed`], so per-item retries in
+    /// `predict_batch` cannot amplify a dead backend into a retry storm
+    /// (N items × max_retries inner calls). `f64::INFINITY` (the
+    /// default) disables the bucket.
+    pub retry_budget: f64,
+    /// Tokens returned to the retry bucket per successful query.
+    pub retry_refill: f64,
 }
 
 impl Default for ResilientConfig {
@@ -61,6 +78,8 @@ impl Default for ResilientConfig {
             backoff_base: Duration::from_millis(1),
             probe_interval: 64,
             seed: 0,
+            retry_budget: f64::INFINITY,
+            retry_refill: 0.1,
         }
     }
 }
@@ -76,6 +95,10 @@ pub struct ResilienceReport {
     pub failures: u64,
     /// Retries performed.
     pub retries: u64,
+    /// Retries denied because the global retry token bucket was dry
+    /// (see [`ResilientConfig::retry_budget`]); each denial fails the
+    /// query immediately instead of hammering a down backend.
+    pub retries_suppressed: u64,
     /// Failed attempts that were deadline timeouts
     /// ([`ModelError::Timeout`], typically produced by a
     /// [`DeadlineModel`](crate::DeadlineModel) watchdog in the stack;
@@ -116,6 +139,9 @@ struct ResilientState {
     consecutive_failures: u32,
     open: bool,
     queries_while_open: u64,
+    /// Remaining global retry tokens (see
+    /// [`ResilientConfig::retry_budget`]).
+    retry_tokens: f64,
     report: ResilienceReport,
 }
 
@@ -182,6 +208,7 @@ impl<M: CostModel, F: CostModel> ResilientModel<M, F> {
                 consecutive_failures: 0,
                 open: false,
                 queries_while_open: 0,
+                retry_tokens: config.retry_budget.max(0.0),
                 report: ResilienceReport::default(),
             }),
         }
@@ -251,14 +278,31 @@ impl<M: CostModel, F: CostModel> ResilientModel<M, F> {
         }
     }
 
-    /// One successful inner prediction: reset failure tracking and
-    /// close the breaker if it was open (successful probe).
+    /// One successful inner prediction: reset failure tracking, refill
+    /// the retry token bucket, and close the breaker if it was open
+    /// (successful probe).
     fn record_success(&self) {
         let mut st = self.state();
         st.consecutive_failures = 0;
+        st.retry_tokens =
+            (st.retry_tokens + self.config.retry_refill).min(self.config.retry_budget);
         if st.open {
             st.open = false;
             st.queries_while_open = 0;
+        }
+    }
+
+    /// Try to spend one retry token. A denial is counted as a
+    /// suppressed retry and the query fails with whatever error is in
+    /// hand.
+    fn take_retry_token(&self) -> bool {
+        let mut st = self.state();
+        if st.retry_tokens >= 1.0 {
+            st.retry_tokens -= 1.0;
+            true
+        } else {
+            st.report.retries_suppressed += 1;
+            false
         }
     }
 
@@ -307,7 +351,10 @@ impl<M: CostModel, F: CostModel> ResilientModel<M, F> {
                             st.report.timeouts += 1;
                         }
                     }
-                    if error.is_retryable() && attempt < self.config.max_retries {
+                    if error.is_retryable()
+                        && attempt < self.config.max_retries
+                        && self.take_retry_token()
+                    {
                         attempt += 1;
                         self.state().report.retries += 1;
                         let delay = self.backoff(attempt);
@@ -634,6 +681,124 @@ mod tests {
         let report = model.report();
         assert_eq!(report.breaker_trips, 1);
         assert_eq!(report.queries, 4);
+    }
+
+    /// Always fails with a retryable transient error.
+    struct AlwaysTransient;
+
+    impl CostModel for AlwaysTransient {
+        fn name(&self) -> &str {
+            "always-transient"
+        }
+
+        fn predict(&self, _: &BasicBlock) -> f64 {
+            f64::NAN
+        }
+
+        fn try_predict(&self, _: &BasicBlock) -> Result<f64, ModelError> {
+            Err(ModelError::Transient { message: "down".into() })
+        }
+    }
+
+    #[test]
+    fn retry_token_bucket_caps_a_retry_storm() {
+        let model = ResilientModel::new(
+            AlwaysTransient,
+            ResilientConfig {
+                max_retries: 2,
+                breaker_threshold: 1000,
+                retry_budget: 3.0,
+                retry_refill: 0.0,
+                ..test_config()
+            },
+        );
+        let b = block();
+        for _ in 0..4 {
+            assert!(model.try_predict(&b).is_err());
+        }
+        let report = model.report();
+        // Query 1 spends 2 tokens, query 2 spends the last and is then
+        // denied; queries 3 and 4 are denied outright.
+        assert_eq!(report.retries, 3, "bucket of 3 allows exactly 3 retries");
+        assert_eq!(report.retries_suppressed, 3);
+        // Denials fail the query, they do not swallow it silently.
+        assert_eq!(report.failures, 4 + 3);
+    }
+
+    #[test]
+    fn batch_retries_share_the_global_bucket() {
+        let model = ResilientModel::new(
+            AlwaysTransient,
+            ResilientConfig {
+                max_retries: 2,
+                breaker_threshold: 1000,
+                retry_budget: 2.0,
+                retry_refill: 0.0,
+                ..test_config()
+            },
+        );
+        let b = block();
+        let results = model.predict_batch(&[b.clone(), b.clone(), b.clone(), b.clone()]);
+        assert!(results.iter().all(Result::is_err));
+        let report = model.report();
+        // Without the bucket this batch would issue 4 × 2 = 8 retries:
+        // item 1 drains the bucket, items 2–4 are each denied once and
+        // fail fast.
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.retries_suppressed, 3, "one denial per item still wanting retries");
+    }
+
+    #[test]
+    fn successes_refill_the_retry_bucket() {
+        // Every 2nd call fails transiently; with refill = 1 per success
+        // the bucket never runs dry.
+        struct EveryOther(AtomicU64);
+        impl CostModel for EveryOther {
+            fn name(&self) -> &str {
+                "every-other"
+            }
+            fn predict(&self, block: &BasicBlock) -> f64 {
+                self.try_predict(block).unwrap_or(f64::NAN)
+            }
+            fn try_predict(&self, _: &BasicBlock) -> Result<f64, ModelError> {
+                if self.0.fetch_add(1, Ordering::SeqCst).is_multiple_of(2) {
+                    Err(ModelError::Transient { message: "flap".into() })
+                } else {
+                    Ok(1.0)
+                }
+            }
+        }
+        let model = ResilientModel::new(
+            EveryOther(AtomicU64::new(0)),
+            ResilientConfig {
+                max_retries: 2,
+                retry_budget: 1.0,
+                retry_refill: 1.0,
+                ..test_config()
+            },
+        );
+        let b = block();
+        for _ in 0..8 {
+            assert_eq!(model.try_predict(&b), Ok(1.0), "every query recovers via one retry");
+        }
+        let report = model.report();
+        assert_eq!(report.retries, 8);
+        assert_eq!(report.retries_suppressed, 0);
+    }
+
+    #[test]
+    fn infinite_budget_never_suppresses() {
+        let model = ResilientModel::new(
+            AlwaysTransient,
+            ResilientConfig { breaker_threshold: 1000, ..test_config() },
+        );
+        let b = block();
+        for _ in 0..20 {
+            assert!(model.try_predict(&b).is_err());
+        }
+        let report = model.report();
+        assert_eq!(report.retries, 40, "default config retries freely");
+        assert_eq!(report.retries_suppressed, 0);
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Adaptive admission control: a CoDel-style queue-delay controller
+//! driving an AIMD concurrency limit.
+//!
+//! The static bounded queue sheds only when it is *full* — a
+//! hand-tuned depth that says nothing about latency. This controller
+//! sheds on what users actually feel: **queue sojourn time**. Workers
+//! report how long each connection sat queued; while sojourn stays
+//! under a target, the concurrency limit creeps up additively (one
+//! slot per limit-worth of good dequeues). When sojourn stays *above*
+//! the target for a full interval — CoDel's "standing queue" signal,
+//! which ignores transient bursts — the limit is cut multiplicatively.
+//! The accept loop sheds any connection that would push the number of
+//! requests in the system (queued + in flight) past the limit, so
+//! shedding tracks measured explain latency instead of queue depth.
+//!
+//! Everything is atomics; the accept loop and every worker touch this
+//! on their hot paths. Time is passed in as microseconds rather than
+//! read from a clock so the control law is deterministic in unit
+//! tests.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Why a connection was shed at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue itself was full (the hard backstop).
+    QueueFull,
+    /// Admitting would exceed the adaptive concurrency limit.
+    AdmissionLimit,
+}
+
+impl ShedReason {
+    /// All reasons, for metrics iteration.
+    pub const ALL: [ShedReason; 2] = [ShedReason::QueueFull, ShedReason::AdmissionLimit];
+
+    /// Stable metrics-label index.
+    pub fn index(self) -> usize {
+        match self {
+            ShedReason::QueueFull => 0,
+            ShedReason::AdmissionLimit => 1,
+        }
+    }
+
+    /// The `reason` label value in `/metrics`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::AdmissionLimit => "admission-limit",
+        }
+    }
+
+    /// The error string sent to the shed client.
+    pub fn message(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "overloaded: request queue full",
+            ShedReason::AdmissionLimit => "overloaded: concurrency limit reached",
+        }
+    }
+}
+
+/// Control-law parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Acceptable queue sojourn time (CoDel target), µs.
+    pub target_delay_us: u64,
+    /// How long sojourn must stay above target before the limit is cut
+    /// (CoDel interval), µs. Also the minimum spacing between cuts.
+    pub interval_us: u64,
+    /// Floor for the concurrency limit (never shed below this much
+    /// admitted work).
+    pub min_limit: u64,
+    /// Ceiling for the concurrency limit.
+    pub max_limit: u64,
+    /// Limit at startup, before any congestion signal.
+    pub initial_limit: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            target_delay_us: 25_000,
+            interval_us: 100_000,
+            min_limit: 2,
+            max_limit: 1024,
+            initial_limit: 64,
+        }
+    }
+}
+
+/// The controller itself. One per server, shared by the accept loop
+/// (admit/shed), every worker (sojourn reports, in-flight gauge), and
+/// the metrics/readiness handlers (limit and overload observability).
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    /// Current AIMD concurrency limit.
+    limit: AtomicU64,
+    /// Connections handed to a worker and not yet finished.
+    inflight: AtomicU64,
+    /// When sojourn first exceeded the target (µs timestamp); 0 while
+    /// under target.
+    above_since_us: AtomicU64,
+    /// Timestamp of the last multiplicative decrease, µs.
+    last_cut_us: AtomicU64,
+    /// Under-target dequeues since the last additive increase.
+    ok_streak: AtomicU64,
+    /// Last observed sojourn, µs (gauge for `/metrics`).
+    last_delay_us: AtomicU64,
+}
+
+impl AdmissionController {
+    /// A controller with `config`'s law, starting at its initial limit.
+    pub fn new(config: AdmissionConfig) -> AdmissionController {
+        let initial = config.initial_limit.clamp(config.min_limit.max(1), config.max_limit.max(1));
+        AdmissionController {
+            config,
+            limit: AtomicU64::new(initial),
+            inflight: AtomicU64::new(0),
+            above_since_us: AtomicU64::new(0),
+            last_cut_us: AtomicU64::new(0),
+            ok_streak: AtomicU64::new(0),
+            last_delay_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Accept-loop check: may a connection enter, given `in_system`
+    /// requests already queued or in flight?
+    pub fn try_admit(&self, in_system: u64) -> Result<(), ShedReason> {
+        if in_system >= self.limit.load(Relaxed) {
+            Err(ShedReason::AdmissionLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Worker-side report: a connection just left the queue after
+    /// sitting `delay_us`; `now_us` is a monotonic timestamp. Drives
+    /// both halves of the law.
+    pub fn on_dequeue(&self, delay_us: u64, now_us: u64) {
+        // `now_us` 0 would be indistinguishable from "not above target";
+        // nudge it (the µs of resolution is irrelevant to the law).
+        let now_us = now_us.max(1);
+        self.last_delay_us.store(delay_us, Relaxed);
+        if delay_us < self.config.target_delay_us {
+            self.above_since_us.store(0, Relaxed);
+            let streak = self.ok_streak.fetch_add(1, Relaxed) + 1;
+            if streak >= self.limit.load(Relaxed) {
+                self.ok_streak.store(0, Relaxed);
+                let limit = self.limit.load(Relaxed);
+                if limit < self.config.max_limit {
+                    self.limit.store(limit + 1, Relaxed);
+                }
+            }
+            return;
+        }
+        self.ok_streak.store(0, Relaxed);
+        // First over-target observation arms the interval timer…
+        if self.above_since_us.compare_exchange(0, now_us, Relaxed, Relaxed).is_err() {
+            // …and once sojourn has been continuously above target for
+            // a full interval (and we have not cut within one), cut.
+            let since = self.above_since_us.load(Relaxed);
+            let last_cut = self.last_cut_us.load(Relaxed);
+            if now_us.saturating_sub(since) >= self.config.interval_us
+                && now_us.saturating_sub(last_cut) >= self.config.interval_us
+            {
+                self.last_cut_us.store(now_us, Relaxed);
+                self.above_since_us.store(now_us, Relaxed);
+                let limit = self.limit.load(Relaxed);
+                let cut = (limit * 3 / 4).max(self.config.min_limit).max(1);
+                self.limit.store(cut, Relaxed);
+            }
+        }
+    }
+
+    /// Whether sojourn is currently running above the target (the
+    /// readiness probe's "queue delay under threshold" check, and the
+    /// degradation ladder's load-pressure signal).
+    pub fn overloaded(&self) -> bool {
+        self.above_since_us.load(Relaxed) != 0
+    }
+
+    /// The current concurrency limit.
+    pub fn limit(&self) -> u64 {
+        self.limit.load(Relaxed)
+    }
+
+    /// Connections currently being handled by workers.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Relaxed)
+    }
+
+    /// The most recently observed queue sojourn, µs.
+    pub fn last_delay_us(&self) -> u64 {
+        self.last_delay_us.load(Relaxed)
+    }
+
+    /// A worker started handling a connection.
+    pub fn begin(&self) {
+        self.inflight.fetch_add(1, Relaxed);
+    }
+
+    /// A worker finished a connection (success or failure).
+    pub fn end(&self) {
+        // Saturating: a spurious extra `end` must not wrap the gauge.
+        let _ = self.inflight.fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
+    /// The configured target sojourn, µs.
+    pub fn target_delay_us(&self) -> u64 {
+        self.config.target_delay_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AdmissionConfig {
+        AdmissionConfig {
+            target_delay_us: 10_000,
+            interval_us: 50_000,
+            min_limit: 2,
+            max_limit: 64,
+            initial_limit: 8,
+        }
+    }
+
+    #[test]
+    fn admits_under_limit_and_sheds_at_it() {
+        let c = AdmissionController::new(config());
+        assert_eq!(c.limit(), 8);
+        assert!(c.try_admit(7).is_ok());
+        assert_eq!(c.try_admit(8), Err(ShedReason::AdmissionLimit));
+        assert_eq!(c.try_admit(9), Err(ShedReason::AdmissionLimit));
+    }
+
+    #[test]
+    fn sustained_delay_cuts_multiplicatively_once_per_interval() {
+        let c = AdmissionController::new(config());
+        // Over-target sojourns for longer than one interval: one cut.
+        c.on_dequeue(20_000, 1_000);
+        for t in (2_000..70_000).step_by(4_000) {
+            c.on_dequeue(20_000, t);
+        }
+        assert_eq!(c.limit(), 6, "8 × 3/4");
+        assert!(c.overloaded());
+        // Staying above target keeps cutting, but only one cut per
+        // interval, and never below the floor.
+        for t in (70_000..2_000_000).step_by(4_000) {
+            c.on_dequeue(20_000, t);
+        }
+        assert_eq!(c.limit(), config().min_limit);
+    }
+
+    #[test]
+    fn transient_spike_does_not_cut() {
+        let c = AdmissionController::new(config());
+        // A burst shorter than the interval, then recovery.
+        c.on_dequeue(20_000, 1_000);
+        c.on_dequeue(20_000, 10_000);
+        c.on_dequeue(1_000, 20_000);
+        assert_eq!(c.limit(), 8, "no standing queue, no cut");
+        assert!(!c.overloaded());
+    }
+
+    #[test]
+    fn good_dequeues_raise_the_limit_additively() {
+        let c = AdmissionController::new(config());
+        // One limit-worth of under-target dequeues buys one slot.
+        for i in 0..8 {
+            c.on_dequeue(100, 1_000 + i);
+        }
+        assert_eq!(c.limit(), 9);
+        // The ceiling holds.
+        for i in 0..100_000u64 {
+            c.on_dequeue(100, 10_000 + i);
+        }
+        assert_eq!(c.limit(), config().max_limit);
+    }
+
+    #[test]
+    fn recovery_after_cut_grows_back() {
+        let c = AdmissionController::new(config());
+        for t in (1_000..120_000).step_by(2_000) {
+            c.on_dequeue(30_000, t);
+        }
+        let cut = c.limit();
+        assert!(cut < 8);
+        for i in 0..200 {
+            c.on_dequeue(500, 200_000 + i);
+        }
+        assert!(c.limit() > cut, "additive recovery after the congestion clears");
+        assert!(!c.overloaded());
+    }
+
+    #[test]
+    fn inflight_gauge_tracks_begin_end_and_saturates() {
+        let c = AdmissionController::new(config());
+        c.begin();
+        c.begin();
+        assert_eq!(c.inflight(), 2);
+        c.end();
+        c.end();
+        c.end();
+        assert_eq!(c.inflight(), 0, "extra end saturates instead of wrapping");
+    }
+}

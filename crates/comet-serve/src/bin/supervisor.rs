@@ -1,0 +1,117 @@
+//! `comet-supervisor` — keep N `comet-serve` processes alive.
+//!
+//! ```text
+//! comet-supervisor [--children N] [--serve-bin PATH] [--seed N]
+//!                  [--backoff-ms MS] [--backoff-max-ms MS]
+//!                  [--max-restarts N] [--window-secs S] [--grace-ms MS]
+//!                  [-- CHILD_ARGS...]
+//! ```
+//!
+//! Everything after `--` is passed to each child verbatim, with
+//! `{slot}` substituted by the child's index (useful for per-child
+//! ports: `-- --supervised --addr 127.0.0.1:808{slot}`). Children are
+//! restarted on crash with jittered exponential backoff; a restart
+//! storm (more than `--max-restarts` exits within `--window-secs`)
+//! opens the supervision breaker, kills everything, and exits 1.
+//! SIGINT/SIGTERM drains: children get stdin EOF (which
+//! `comet-serve --supervised` treats as a drain request), then
+//! `--grace-ms` to exit before being killed.
+
+use std::time::Duration;
+
+use comet_core::cancel::{install_sigint, install_sigterm};
+use comet_serve::{ChildSpec, Supervisor, SupervisorConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: comet-supervisor [--children N] [--serve-bin PATH] [--seed N]\n\
+         \x20                       [--backoff-ms MS] [--backoff-max-ms MS]\n\
+         \x20                       [--max-restarts N] [--window-secs S] [--grace-ms MS]\n\
+         \x20                       [-- CHILD_ARGS...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_or_usage<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: cannot parse `{s}`");
+        usage()
+    })
+}
+
+/// Default child binary: the `comet-serve` sitting next to this
+/// executable (the normal cargo layout).
+fn sibling_serve_bin() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|dir| dir.join("comet-serve")))
+        .map(|p| p.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "comet-serve".into())
+}
+
+fn main() {
+    let mut config = SupervisorConfig { children: 2, ..SupervisorConfig::default() };
+    let mut program = sibling_serve_bin();
+    let mut child_args: Vec<String> =
+        vec!["--supervised".into(), "--addr".into(), "127.0.0.1:0".into()];
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| -> String {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--children" => config.children = parse_or_usage(&value("--children")),
+            "--serve-bin" => program = value("--serve-bin"),
+            "--seed" => config.seed = parse_or_usage(&value("--seed")),
+            "--backoff-ms" => {
+                config.backoff_base = Duration::from_millis(parse_or_usage(&value("--backoff-ms")))
+            }
+            "--backoff-max-ms" => {
+                config.backoff_max =
+                    Duration::from_millis(parse_or_usage(&value("--backoff-max-ms")))
+            }
+            "--max-restarts" => config.max_restarts = parse_or_usage(&value("--max-restarts")),
+            "--window-secs" => {
+                config.restart_window = Duration::from_secs(parse_or_usage(&value("--window-secs")))
+            }
+            "--grace-ms" => {
+                config.grace = Duration::from_millis(parse_or_usage(&value("--grace-ms")))
+            }
+            "--" => {
+                child_args = argv.by_ref().collect();
+                break;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let spec = ChildSpec { program: program.clone(), args: child_args };
+    let supervisor = match Supervisor::start(spec, config) {
+        Ok(supervisor) => supervisor,
+        Err(e) => {
+            eprintln!("error: cannot start `{program}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    install_sigint(supervisor.cancel_token().clone());
+    install_sigterm(supervisor.cancel_token().clone());
+    eprintln!(
+        "[comet-supervisor] supervising {} × `{program}` (seed {}); \
+         SIGINT/SIGTERM drains",
+        config.children.max(1),
+        config.seed
+    );
+    while !supervisor.cancel_token().is_cancelled() && !supervisor.done() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let code = supervisor.shutdown();
+    eprintln!("[comet-supervisor] exiting with code {code}");
+    std::process::exit(code);
+}

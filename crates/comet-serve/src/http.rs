@@ -1,16 +1,22 @@
 //! A deliberately minimal HTTP/1.1 subset over `std::net` — just
-//! enough protocol for `comet-serve`'s four endpoints: request line +
+//! enough protocol for `comet-serve`'s endpoints: request line +
 //! headers + `Content-Length` bodies in, fixed-status responses with
 //! JSON or text bodies out, sequential keep-alive (no pipelining, no
 //! chunked encoding, no TLS).
 //!
 //! Parsing is hardened against abuse rather than feature-complete:
-//! request lines, header blocks, and bodies all have hard size caps,
-//! and a malformed request yields a typed [`HttpError`] so the caller
-//! can answer 400 and close instead of panicking or hanging.
+//! request lines, header blocks, and bodies all have hard size caps
+//! (oversized input is a typed [`HttpError::TooLarge`], answered with
+//! 431/413 and a close, never a torn socket), a truncated body is a
+//! clean 400, and a request that arrives byte-by-byte (slow loris) is
+//! cut off by a wall-clock budget that starts at its first byte and
+//! surfaces as [`HttpError::Timeout`] → 408. Idle keep-alive
+//! connections that send nothing still close silently, as clients
+//! expect.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Longest accepted request line or header line, bytes.
 const MAX_LINE: usize = 8 * 1024;
@@ -26,16 +32,34 @@ pub enum HttpError {
     /// The peer closed the connection before sending a request line
     /// (normal end of a keep-alive session).
     Closed,
-    /// Socket-level failure or timeout.
+    /// Socket-level failure, or a timeout before any request byte
+    /// arrived (idle keep-alive reclaim — closed silently).
     Io(std::io::Error),
     /// The bytes on the wire are not the HTTP subset we accept.
     Malformed(&'static str),
+    /// The peer started a request but did not finish it within the
+    /// read budget (slow loris / stalled sender). Answered with 408.
+    Timeout,
+    /// A size cap was exceeded; `status` is 431 (request line /
+    /// headers) or 413 (body).
+    TooLarge {
+        /// The HTTP status to answer with (413 or 431).
+        status: u16,
+        /// Which cap was hit.
+        reason: &'static str,
+    },
 }
 
 impl From<std::io::Error> for HttpError {
     fn from(e: std::io::Error) -> HttpError {
         HttpError::Io(e)
     }
+}
+
+/// Whether an I/O error is a read-timeout expiry (both kinds occur
+/// depending on platform).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
 }
 
 /// One parsed request.
@@ -54,23 +78,71 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
 }
 
-/// Read one line (CRLF or bare LF terminated) with a length cap.
-fn read_line(reader: &mut BufReader<&TcpStream>) -> Result<String, HttpError> {
+/// Tracks the wall-clock budget for reading one request. Armed by the
+/// first byte (so idle keep-alive waits are not billed) and consulted
+/// between reads; a peer dribbling bytes cannot hold a worker past
+/// `budget` plus one socket read-timeout.
+struct ReadBudget {
+    deadline: Option<Instant>,
+    budget: Duration,
+}
+
+impl ReadBudget {
+    fn new(budget: Duration) -> ReadBudget {
+        ReadBudget { deadline: None, budget }
+    }
+
+    /// First request byte seen: start the clock (once).
+    fn arm(&mut self) {
+        if self.deadline.is_none() && !self.budget.is_zero() {
+            self.deadline = Some(Instant::now() + self.budget);
+        }
+    }
+
+    fn armed(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    fn check(&self) -> Result<(), HttpError> {
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => Err(HttpError::Timeout),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Read one line (CRLF or bare LF terminated) with a length cap and
+/// the request's read budget.
+fn read_line(
+    reader: &mut BufReader<&TcpStream>,
+    budget: &mut ReadBudget,
+) -> Result<String, HttpError> {
     let mut line = Vec::new();
     loop {
-        let buf = reader.fill_buf()?;
+        budget.check()?;
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            // A socket read-timeout mid-request is the same stalled
+            // sender the budget exists for; before any byte it is just
+            // an idle keep-alive connection.
+            Err(e) if is_timeout(&e) && (budget.armed() || !line.is_empty()) => {
+                return Err(HttpError::Timeout)
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
         if buf.is_empty() {
-            if line.is_empty() {
+            if line.is_empty() && !budget.armed() {
                 return Err(HttpError::Closed);
             }
-            return Err(HttpError::Malformed("eof inside line"));
+            return Err(HttpError::Malformed("eof inside request"));
         }
+        budget.arm();
         let newline = buf.iter().position(|&b| b == b'\n');
         let take = newline.map_or(buf.len(), |p| p + 1);
         line.extend_from_slice(&buf[..take]);
         reader.consume(take);
         if line.len() > MAX_LINE {
-            return Err(HttpError::Malformed("line too long"));
+            return Err(HttpError::TooLarge { status: 431, reason: "line too long" });
         }
         if newline.is_some() {
             while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
@@ -82,10 +154,15 @@ fn read_line(reader: &mut BufReader<&TcpStream>) -> Result<String, HttpError> {
 }
 
 /// Read and parse one request from a buffered connection. Blocks until
-/// a full request arrives, the peer closes, or the stream's read
-/// timeout fires.
-pub fn read_request(reader: &mut BufReader<&TcpStream>) -> Result<Request, HttpError> {
-    let request_line = read_line(reader)?;
+/// a full request arrives, the peer closes, the stream's read timeout
+/// fires, or — once the first byte has arrived — `read_budget` is
+/// exhausted (`Duration::ZERO` disables the budget).
+pub fn read_request(
+    reader: &mut BufReader<&TcpStream>,
+    read_budget: Duration,
+) -> Result<Request, HttpError> {
+    let mut budget = ReadBudget::new(read_budget);
+    let request_line = read_line(reader, &mut budget)?;
     let mut parts = request_line.split_whitespace();
     let method = parts.next().ok_or(HttpError::Malformed("empty request line"))?.to_string();
     let path = parts.next().ok_or(HttpError::Malformed("missing request target"))?.to_string();
@@ -98,14 +175,13 @@ pub fn read_request(reader: &mut BufReader<&TcpStream>) -> Result<Request, HttpE
     let mut close = version == "HTTP/1.0";
     let mut deadline_ms = None;
     for _ in 0..MAX_HEADERS {
-        let line = match read_line(reader) {
+        let line = match read_line(reader, &mut budget) {
             Ok(line) => line,
             Err(HttpError::Closed) => return Err(HttpError::Malformed("eof inside headers")),
             Err(e) => return Err(e),
         };
         if line.is_empty() {
-            let mut body = vec![0u8; content_length];
-            reader.read_exact(&mut body)?;
+            let body = read_body(reader, content_length, &budget)?;
             return Ok(Request { method, path, body, close, deadline_ms });
         }
         let Some((name, value)) = line.split_once(':') else {
@@ -116,7 +192,7 @@ pub fn read_request(reader: &mut BufReader<&TcpStream>) -> Result<Request, HttpE
             content_length =
                 value.parse().map_err(|_| HttpError::Malformed("bad content-length"))?;
             if content_length > MAX_BODY {
-                return Err(HttpError::Malformed("body too large"));
+                return Err(HttpError::TooLarge { status: 413, reason: "body too large" });
             }
         } else if name.eq_ignore_ascii_case("connection") {
             close = value.eq_ignore_ascii_case("close");
@@ -124,7 +200,28 @@ pub fn read_request(reader: &mut BufReader<&TcpStream>) -> Result<Request, HttpE
             deadline_ms = value.parse().ok();
         }
     }
-    Err(HttpError::Malformed("too many headers"))
+    Err(HttpError::TooLarge { status: 431, reason: "too many headers" })
+}
+
+/// Read exactly `content_length` body bytes under the request budget.
+/// EOF mid-body is a truncated request (400), not a torn socket.
+fn read_body(
+    reader: &mut BufReader<&TcpStream>,
+    content_length: usize,
+    budget: &ReadBudget,
+) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0usize;
+    while filled < content_length {
+        budget.check()?;
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::Malformed("truncated body")),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(body)
 }
 
 /// Reason phrases for the statuses the service emits.
@@ -135,6 +232,8 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -175,7 +274,7 @@ mod tests {
         client.shutdown(std::net::Shutdown::Write).unwrap();
         let (server, _) = listener.accept().unwrap();
         let mut reader = BufReader::new(&server);
-        read_request(&mut reader)
+        read_request(&mut reader, Duration::from_secs(5))
     }
 
     #[test]
@@ -217,7 +316,56 @@ mod tests {
     #[test]
     fn oversized_bodies_are_rejected_before_reading_them() {
         let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
-        assert!(matches!(parse_raw(raw.as_bytes()), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse_raw(raw.as_bytes()), Err(HttpError::TooLarge { status: 413, .. })));
+    }
+
+    #[test]
+    fn oversized_request_line_is_431() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(2 * MAX_LINE));
+        assert!(matches!(parse_raw(raw.as_bytes()), Err(HttpError::TooLarge { status: 431, .. })));
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("X-Pad-{i}: y\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(parse_raw(raw.as_bytes()), Err(HttpError::TooLarge { status: 431, .. })));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed_not_io() {
+        // Content-Length promises 100 bytes, the peer sends 5 and
+        // half-closes: a clean 400, not a torn socket.
+        let err = parse_raw(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nhello").unwrap_err();
+        assert!(
+            matches!(err, HttpError::Malformed("truncated body")),
+            "expected truncated-body, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_headers_are_malformed() {
+        let err = parse_raw(b"POST / HTTP/1.1\r\nHost: x\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn stalled_sender_times_out_within_budget() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Start a request, then stall (no half-close, no more bytes).
+        client.write_all(b"POST / HTTP/1.1\r\nContent-Le").unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_read_timeout(Some(Duration::from_millis(25))).unwrap();
+        let mut reader = BufReader::new(&server);
+        let start = Instant::now();
+        let err = read_request(&mut reader, Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, HttpError::Timeout), "got {err:?}");
+        assert!(start.elapsed() < Duration::from_secs(2));
     }
 
     #[test]

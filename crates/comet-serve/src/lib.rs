@@ -5,9 +5,14 @@
 //! `comet-core` explainer) into a long-running HTTP service with the
 //! operational properties a shared deployment needs:
 //!
-//! * **Backpressure, not collapse** — a bounded queue between the
-//!   accept loop and a fixed worker pool ([`queue`]); overflow is shed
-//!   with an immediate 503.
+//! * **Backpressure, not collapse** — adaptive admission control
+//!   ([`admission`]: CoDel-style queue-delay detection driving an AIMD
+//!   concurrency limit) in front of a bounded queue ([`queue`]); every
+//!   shed is an immediate 503 with a typed reason.
+//! * **Degradation over failure** — explains ride a ladder (full
+//!   search → reduced budget → stale cache → baseline probe) under
+//!   deadline pressure or an open circuit; the tier is visible on the
+//!   wire and in `/metrics` ([`server`]).
 //! * **Work deduplication** — identical in-flight explains coalesce
 //!   onto one search ([`server`]); the sharded prediction cache
 //!   deduplicates repeated queries underneath.
@@ -15,20 +20,32 @@
 //!   body field into the model stack (watchdog for single predicts,
 //!   cooperative gate for explain searches).
 //! * **Observability** — atomic counters and latency histograms
-//!   rendered as Prometheus text at `GET /metrics` ([`metrics`]).
-//! * **Graceful drain** — SIGINT stops the accept loop, in-flight
-//!   requests finish, workers join ([`comet_core::cancel`]).
+//!   rendered as Prometheus text at `GET /metrics` ([`metrics`]);
+//!   `GET /healthz` (liveness) and `GET /readyz` (readiness with
+//!   reasons).
+//! * **Graceful drain** — SIGINT/SIGTERM (or stdin EOF under the
+//!   supervisor) stops the accept loop, in-flight requests finish,
+//!   workers join ([`comet_core::cancel`]).
+//! * **Crash containment** — the `comet-supervisor` binary
+//!   ([`supervise`]) keeps N serve processes alive with jittered
+//!   exponential-backoff restarts and a restart-rate circuit breaker.
 //!
 //! Endpoints: `POST /v1/predict`, `POST /v1/explain`, `GET /healthz`,
-//! `GET /metrics`. Wire DTOs live in [`wire`]; the HTTP/1.1 subset in
-//! [`http`].
+//! `GET /readyz`, `GET /metrics`. Wire DTOs live in [`wire`]; the
+//! HTTP/1.1 subset in [`http`]. Seeded fault injection for the chaos
+//! harness lives in [`server::ChaosConfig`] (worker panics) and the
+//! `comet-models` fault decorators (model-level faults).
 
+pub mod admission;
 pub mod http;
 pub mod metrics;
 pub mod queue;
 pub mod server;
+pub mod supervise;
 pub mod wire;
 
-pub use metrics::Endpoint;
+pub use admission::{AdmissionConfig, AdmissionController, ShedReason};
+pub use metrics::{Endpoint, StatusClass, Tier};
 pub use queue::BoundedQueue;
-pub use server::{ModelKind, ServeConfig, Server};
+pub use server::{ChaosConfig, ModelKind, ServeConfig, Server};
+pub use supervise::{ChildSpec, Supervisor, SupervisorConfig};

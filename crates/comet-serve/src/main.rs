@@ -4,12 +4,18 @@
 //! comet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!             [--model crude|crude-skylake|uica] [--epsilon F]
 //!             [--deadline-ms MS] [--batch N] [--search-pool N]
+//!             [--idle-timeout-ms MS] [--admission-target-ms MS]
+//!             [--supervised] [--chaos-seed N] [--chaos-panic-rate F]
 //!             [--bench-client] [--duration-secs S] [--clients N]
 //!             [--out FILE]
 //! ```
 //!
-//! Without `--bench-client` the binary serves until Ctrl-C (graceful
-//! drain; a second Ctrl-C aborts). With it, the binary starts the
+//! Without `--bench-client` the binary serves until Ctrl-C or SIGTERM
+//! (graceful drain; a second Ctrl-C aborts). `--supervised` makes
+//! stdin EOF a third drain trigger, which is how `comet-supervisor`
+//! asks its children to drain without signals. The `--chaos-*` flags
+//! enable seeded in-server fault injection (worker panics) for the
+//! chaos harness — never use them in real serving. With it, the binary starts the
 //! server on a loopback port, drives it with `--clients` concurrent
 //! connections for `--duration-secs`, and writes `BENCH_serve.json`
 //! (`{"schema":1,"mode":...,"current":{...}}`, the same envelope as
@@ -22,13 +28,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use comet_core::cancel::install_sigint;
-use comet_serve::{ModelKind, ServeConfig, Server};
+use comet_core::cancel::{install_sigint, install_sigterm};
+use comet_serve::{ChaosConfig, ModelKind, ServeConfig, Server};
 use serde_json::json;
 
 struct Args {
     config: ServeConfig,
     model: ModelKind,
+    supervised: bool,
+    chaos_seed: u64,
+    chaos_panic_rate: f64,
     bench_client: bool,
     duration_secs: u64,
     clients: usize,
@@ -39,7 +48,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: comet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20                  [--model crude|crude-skylake|uica] [--epsilon F] [--deadline-ms MS]\n\
-         \x20                  [--batch N] [--search-pool N]\n\
+         \x20                  [--batch N] [--search-pool N] [--idle-timeout-ms MS]\n\
+         \x20                  [--admission-target-ms MS] [--supervised]\n\
+         \x20                  [--chaos-seed N] [--chaos-panic-rate F]\n\
          \x20                  [--bench-client] [--duration-secs S] [--clients N] [--out FILE]"
     );
     std::process::exit(2);
@@ -49,6 +60,9 @@ fn parse_args() -> Args {
     let mut args = Args {
         config: ServeConfig::default(),
         model: ModelKind::CrudeHaswell,
+        supervised: false,
+        chaos_seed: 0,
+        chaos_panic_rate: 0.0,
         bench_client: false,
         duration_secs: 5,
         clients: 8,
@@ -72,6 +86,20 @@ fn parse_args() -> Args {
             "--deadline-ms" => args.config.deadline_ms = parse_or_usage(&value("--deadline-ms")),
             "--batch" => args.config.batch = parse_or_usage(&value("--batch")),
             "--search-pool" => args.config.search_pool = parse_or_usage(&value("--search-pool")),
+            "--idle-timeout-ms" => {
+                args.config.idle_timeout_ms = parse_or_usage(&value("--idle-timeout-ms"))
+            }
+            "--admission-target-ms" => {
+                let target_ms: u64 = parse_or_usage(&value("--admission-target-ms"));
+                args.config.admission.target_delay_us = target_ms.saturating_mul(1_000);
+                args.config.admission.interval_us =
+                    args.config.admission.target_delay_us.saturating_mul(4).max(1_000);
+            }
+            "--supervised" => args.supervised = true,
+            "--chaos-seed" => args.chaos_seed = parse_or_usage(&value("--chaos-seed")),
+            "--chaos-panic-rate" => {
+                args.chaos_panic_rate = parse_or_usage(&value("--chaos-panic-rate"))
+            }
             "--model" => {
                 let name = value("--model");
                 args.model = ModelKind::parse(&name).unwrap_or_else(|| {
@@ -102,6 +130,10 @@ fn parse_or_usage<T: std::str::FromStr>(s: &str) -> T {
 
 fn main() {
     let mut args = parse_args();
+    if args.chaos_panic_rate > 0.0 {
+        args.config.chaos =
+            Some(ChaosConfig { worker_panic_rate: args.chaos_panic_rate, seed: args.chaos_seed });
+    }
     if args.bench_client {
         // The bench run owns its own loopback server; never fight a
         // user-supplied address for the port.
@@ -118,6 +150,22 @@ fn main() {
         }
     };
     install_sigint(server.ctx().cancel_token().clone());
+    install_sigterm(server.ctx().cancel_token().clone());
+    if args.supervised {
+        // Under a supervisor, stdin EOF is the drain request: the
+        // supervisor holds our stdin pipe and closes it to drain us
+        // without signals.
+        let token = server.ctx().cancel_token().clone();
+        std::thread::Builder::new()
+            .name("comet-serve-stdin-watch".into())
+            .spawn(move || {
+                let mut sink = Vec::new();
+                let _ = std::io::stdin().lock().read_to_end(&mut sink);
+                eprintln!("[comet-serve] stdin closed: draining");
+                token.cancel();
+            })
+            .expect("spawn stdin watcher");
+    }
     eprintln!(
         "[comet-serve] listening on {} ({} workers, queue depth {}); Ctrl-C drains, twice aborts",
         server.addr(),

@@ -12,6 +12,8 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
+use crate::admission::ShedReason;
+
 /// The endpoints the service distinguishes in its metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
@@ -21,6 +23,8 @@ pub enum Endpoint {
     Explain,
     /// `GET /healthz`
     Healthz,
+    /// `GET /readyz`
+    Readyz,
     /// `GET /metrics`
     Metrics,
     /// Anything else (404s, bad request lines, …).
@@ -28,10 +32,11 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 5] = [
+    const ALL: [Endpoint; 6] = [
         Endpoint::Predict,
         Endpoint::Explain,
         Endpoint::Healthz,
+        Endpoint::Readyz,
         Endpoint::Metrics,
         Endpoint::Other,
     ];
@@ -41,8 +46,9 @@ impl Endpoint {
             Endpoint::Predict => 0,
             Endpoint::Explain => 1,
             Endpoint::Healthz => 2,
-            Endpoint::Metrics => 3,
-            Endpoint::Other => 4,
+            Endpoint::Readyz => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Other => 5,
         }
     }
 
@@ -51,6 +57,7 @@ impl Endpoint {
             Endpoint::Predict => "predict",
             Endpoint::Explain => "explain",
             Endpoint::Healthz => "healthz",
+            Endpoint::Readyz => "readyz",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
         }
@@ -67,20 +74,27 @@ pub enum StatusClass {
     BadRequest,
     /// 404.
     NotFound,
-    /// 408 (request deadline exhausted before completion).
+    /// 408 (request deadline exhausted before completion, or a
+    /// slow-loris peer that never finished sending its request).
     Timeout,
+    /// 413 (request body over the hard cap).
+    PayloadTooLarge,
+    /// 431 (request line or header block over the hard cap).
+    HeadersTooLarge,
     /// 500 (handler failure).
     Internal,
-    /// 503 (queue full: load shed).
+    /// 503 (load shed, or not ready on `/readyz`).
     Shed,
 }
 
 impl StatusClass {
-    const ALL: [StatusClass; 6] = [
+    const ALL: [StatusClass; 8] = [
         StatusClass::Ok,
         StatusClass::BadRequest,
         StatusClass::NotFound,
         StatusClass::Timeout,
+        StatusClass::PayloadTooLarge,
+        StatusClass::HeadersTooLarge,
         StatusClass::Internal,
         StatusClass::Shed,
     ];
@@ -91,8 +105,10 @@ impl StatusClass {
             StatusClass::BadRequest => 1,
             StatusClass::NotFound => 2,
             StatusClass::Timeout => 3,
-            StatusClass::Internal => 4,
-            StatusClass::Shed => 5,
+            StatusClass::PayloadTooLarge => 4,
+            StatusClass::HeadersTooLarge => 5,
+            StatusClass::Internal => 6,
+            StatusClass::Shed => 7,
         }
     }
 
@@ -103,8 +119,50 @@ impl StatusClass {
             StatusClass::BadRequest => 400,
             StatusClass::NotFound => 404,
             StatusClass::Timeout => 408,
+            StatusClass::PayloadTooLarge => 413,
+            StatusClass::HeadersTooLarge => 431,
             StatusClass::Internal => 500,
             StatusClass::Shed => 503,
+        }
+    }
+}
+
+/// The degradation-ladder tier an explain response was served from
+/// (see `server::run_search`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The full anchors search at the configured budgets.
+    Full,
+    /// A reduced-budget search: fewer KL-LUCB draws, smaller coverage
+    /// pool, narrower beam.
+    ReducedBudget,
+    /// A stale explanation served from the explanation store.
+    Cached,
+    /// A minimal single-feature baseline probe.
+    Baseline,
+}
+
+impl Tier {
+    /// All tiers, for metrics iteration.
+    pub const ALL: [Tier; 4] = [Tier::Full, Tier::ReducedBudget, Tier::Cached, Tier::Baseline];
+
+    fn index(self) -> usize {
+        match self {
+            Tier::Full => 0,
+            Tier::ReducedBudget => 1,
+            Tier::Cached => 2,
+            Tier::Baseline => 3,
+        }
+    }
+
+    /// The wire label carried in `ExplanationDto::tier` and the `tier`
+    /// label in `/metrics`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::ReducedBudget => "reduced-budget",
+            Tier::Cached => "cached",
+            Tier::Baseline => "baseline",
         }
     }
 }
@@ -195,8 +253,19 @@ impl Histogram {
 pub struct Registry {
     /// Requests by endpoint × status class.
     requests: [[AtomicU64; StatusClass::ALL.len()]; Endpoint::ALL.len()],
-    /// Connections rejected because the request queue was full.
+    /// Connections rejected at admission (all reasons).
     shed: AtomicU64,
+    /// Shed connections by reason.
+    shed_reasons: [AtomicU64; ShedReason::ALL.len()],
+    /// Explain searches served, by degradation-ladder tier.
+    tiers: [AtomicU64; Tier::ALL.len()],
+    /// Current adaptive admission (concurrency) limit; refreshed at
+    /// scrape time by the `/metrics` handler.
+    admission_limit: AtomicU64,
+    /// Last observed queue sojourn, µs; refreshed at scrape time.
+    queue_delay_us: AtomicU64,
+    /// Worker panics injected by the seeded chaos mode.
+    chaos_panics: AtomicU64,
     /// Explain requests answered by piggybacking on an identical
     /// in-flight search (single-flight coalescing).
     coalesced: AtomicU64,
@@ -242,13 +311,51 @@ impl Registry {
 
     /// Count one load-shed connection (the 503 itself is also recorded
     /// via [`record`](Registry::record) by the caller).
-    pub fn record_shed(&self) {
+    pub fn record_shed(&self, reason: ShedReason) {
         self.shed.fetch_add(1, Relaxed);
+        self.shed_reasons[reason.index()].fetch_add(1, Relaxed);
     }
 
-    /// Connections shed so far.
+    /// Connections shed so far (all reasons).
     pub fn shed_count(&self) -> u64 {
         self.shed.load(Relaxed)
+    }
+
+    /// Connections shed so far for `reason`.
+    pub fn shed_count_for(&self, reason: ShedReason) -> u64 {
+        self.shed_reasons[reason.index()].load(Relaxed)
+    }
+
+    /// Count one explain search served from a degradation-ladder tier.
+    pub fn record_tier(&self, tier: Tier) {
+        self.tiers[tier.index()].fetch_add(1, Relaxed);
+    }
+
+    /// Explain searches served from `tier` so far.
+    pub fn tier_count(&self, tier: Tier) -> u64 {
+        self.tiers[tier.index()].load(Relaxed)
+    }
+
+    /// Refresh the admission gauges (called by the `/metrics` handler
+    /// at scrape time).
+    pub fn set_admission(&self, limit: u64, queue_delay_us: u64) {
+        self.admission_limit.store(limit, Relaxed);
+        self.queue_delay_us.store(queue_delay_us, Relaxed);
+    }
+
+    /// Count one chaos-injected worker panic.
+    pub fn record_chaos_panic(&self) {
+        self.chaos_panics.fetch_add(1, Relaxed);
+    }
+
+    /// Chaos-injected worker panics so far.
+    pub fn chaos_panic_count(&self) -> u64 {
+        self.chaos_panics.load(Relaxed)
+    }
+
+    /// Requests recorded with `status` across all endpoints.
+    pub fn requests_with_status(&self, status: StatusClass) -> u64 {
+        Endpoint::ALL.iter().map(|e| self.requests[e.index()][status.index()].load(Relaxed)).sum()
     }
 
     /// Count one coalesced explain (answered by an in-flight twin).
@@ -346,6 +453,51 @@ impl Registry {
         let _ = writeln!(out, "# HELP comet_shed_total Connections rejected by backpressure.");
         let _ = writeln!(out, "# TYPE comet_shed_total counter");
         let _ = writeln!(out, "comet_shed_total {}", self.shed.load(Relaxed));
+        let _ = writeln!(out, "# HELP comet_shed_reason_total Shed connections by reason.");
+        let _ = writeln!(out, "# TYPE comet_shed_reason_total counter");
+        for reason in ShedReason::ALL {
+            let _ = writeln!(
+                out,
+                "comet_shed_reason_total{{reason=\"{}\"}} {}",
+                reason.label(),
+                self.shed_reasons[reason.index()].load(Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP comet_admission_limit Current adaptive concurrency limit (AIMD)."
+        );
+        let _ = writeln!(out, "# TYPE comet_admission_limit gauge");
+        let _ = writeln!(out, "comet_admission_limit {}", self.admission_limit.load(Relaxed));
+        let _ = writeln!(out, "# HELP comet_queue_delay_seconds Last observed queue sojourn time.");
+        let _ = writeln!(out, "# TYPE comet_queue_delay_seconds gauge");
+        let _ = writeln!(
+            out,
+            "comet_queue_delay_seconds {}",
+            self.queue_delay_us.load(Relaxed) as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "# HELP comet_explain_tier_total Explain searches by degradation-ladder tier."
+        );
+        let _ = writeln!(out, "# TYPE comet_explain_tier_total counter");
+        for tier in Tier::ALL {
+            let _ = writeln!(
+                out,
+                "comet_explain_tier_total{{tier=\"{}\"}} {}",
+                tier.label(),
+                self.tiers[tier.index()].load(Relaxed)
+            );
+        }
+        let chaos_panics = self.chaos_panics.load(Relaxed);
+        if chaos_panics > 0 {
+            let _ = writeln!(
+                out,
+                "# HELP comet_chaos_panics_total Worker panics injected by chaos mode."
+            );
+            let _ = writeln!(out, "# TYPE comet_chaos_panics_total counter");
+            let _ = writeln!(out, "comet_chaos_panics_total {chaos_panics}");
+        }
         let _ = writeln!(out, "# HELP comet_explain_searches_total Underlying anchors searches.");
         let _ = writeln!(out, "# TYPE comet_explain_searches_total counter");
         let _ = writeln!(out, "comet_explain_searches_total {}", self.searches.load(Relaxed));
@@ -477,19 +629,27 @@ mod tests {
         let reg = Registry::new();
         reg.record(Endpoint::Predict, StatusClass::Ok);
         reg.record(Endpoint::Explain, StatusClass::Shed);
-        reg.record_shed();
+        reg.record_shed(ShedReason::QueueFull);
         reg.record_search();
         reg.record_coalesced();
         reg.observe_latency(Endpoint::Explain, 12_000);
         reg.set_queue_depth(3);
         reg.set_batch_size(16);
         reg.record_batched(Endpoint::Explain, 24, 2);
+        reg.record_tier(Tier::ReducedBudget);
+        reg.set_admission(48, 1_500);
         let cache = comet_models::QueryStats { total: 10, hits: 4, ..Default::default() };
         let text = reg.render_prometheus(&cache);
         for needle in [
             "comet_requests_total{endpoint=\"predict\",status=\"200\"} 1",
             "comet_requests_total{endpoint=\"explain\",status=\"503\"} 1",
             "comet_shed_total 1",
+            "comet_shed_reason_total{reason=\"queue-full\"} 1",
+            "comet_shed_reason_total{reason=\"admission-limit\"} 0",
+            "comet_admission_limit 48",
+            "comet_queue_delay_seconds 0.0015",
+            "comet_explain_tier_total{tier=\"reduced-budget\"} 1",
+            "comet_explain_tier_total{tier=\"full\"} 0",
             "comet_explain_searches_total 1",
             "comet_explain_coalesced_total 1",
             "comet_queue_depth 3",
@@ -515,6 +675,23 @@ mod tests {
         assert_eq!(reg.queries_batched_total(), 8);
         reg.set_batch_size(8);
         assert_eq!(reg.batch_occupancy(Endpoint::Explain), 1.0);
+    }
+
+    #[test]
+    fn status_codes_and_cross_endpoint_sums() {
+        assert_eq!(StatusClass::PayloadTooLarge.code(), 413);
+        assert_eq!(StatusClass::HeadersTooLarge.code(), 431);
+        assert_eq!(Tier::ReducedBudget.label(), "reduced-budget");
+        let reg = Registry::new();
+        reg.record(Endpoint::Predict, StatusClass::Internal);
+        reg.record(Endpoint::Explain, StatusClass::Internal);
+        reg.record(Endpoint::Other, StatusClass::HeadersTooLarge);
+        assert_eq!(reg.requests_with_status(StatusClass::Internal), 2);
+        assert_eq!(reg.requests_with_status(StatusClass::HeadersTooLarge), 1);
+        assert_eq!(reg.requests_with_status(StatusClass::Ok), 0);
+        reg.record_chaos_panic();
+        assert_eq!(reg.chaos_panic_count(), 1);
+        assert!(reg.render_prometheus(&Default::default()).contains("comet_chaos_panics_total 1"));
     }
 
     #[test]

@@ -4,20 +4,32 @@
 //! # Architecture
 //!
 //! One thread runs the accept loop; `workers` threads run connections.
-//! The bounded [`BoundedQueue`] between them is the backpressure
-//! point: when it is full the accept loop answers `503` immediately
-//! and closes (load shedding), so overload degrades into fast, honest
-//! rejections instead of unbounded memory growth or silent kernel-side
-//! drops.
+//! Admission is two-layered. The adaptive [`AdmissionController`]
+//! (CoDel-style queue-delay detection driving an AIMD concurrency
+//! limit) sheds connections that would push queued + in-flight work
+//! past a limit tuned to *measured* queue sojourn time; the bounded
+//! [`BoundedQueue`] behind it is the hard backstop. Either way a shed
+//! is an immediate, honest `503` with a typed reason, so overload
+//! degrades into fast rejections instead of unbounded memory growth or
+//! silent kernel-side drops.
 //!
 //! Workers share one process-wide model stack,
 //! `CachedModel(ResilientModel(base))` behind an `Arc`: the sharded
 //! prediction cache deduplicates the highly repetitive query stream
 //! explanations produce (its hit rate is re-exported at `/metrics`),
-//! and the resilient layer retries transient faults and trips its
-//! circuit breaker on a persistently failing backend. Per-request
-//! deadlines compose on top per query path — see [`DeadlineGate`] and
-//! the predict handler's watchdog.
+//! and the resilient layer retries transient faults — rate-limited by
+//! a global retry token bucket so a correlated outage cannot turn into
+//! a retry storm — and trips its circuit breaker on a persistently
+//! failing backend. Per-request deadlines compose on top per query
+//! path — see [`DeadlineGate`] and the predict handler's watchdog.
+//!
+//! Explains ride a **degradation ladder** (full search →
+//! reduced-budget search → stale cached explanation → minimal baseline
+//! probe). The tier is chosen proactively from pressure signals (open
+//! circuit, standing queue, a deadline the latency histogram says the
+//! full search cannot meet) and descends reactively when a search
+//! fails; every response carries its tier on the wire and in
+//! `/metrics`, so "degraded but alive" is observable, never silent.
 //!
 //! Identical in-flight explains — same canonical block text, same ε,
 //! same seed — are **coalesced single-flight**: the first request runs
@@ -25,18 +37,24 @@
 //! result, so a thundering herd on one hot block costs one search.
 //!
 //! Graceful drain: cancelling the server's [`CancelToken`] (the binary
-//! wires it to SIGINT via `comet_core::cancel::install_sigint`) stops
-//! the accept loop, shuts the queue down, lets workers finish every
-//! accepted connection's in-flight request, and then joins them.
+//! wires it to SIGINT/SIGTERM, and to stdin-EOF under a supervisor)
+//! stops the accept loop, shuts the queue down, lets workers finish
+//! every accepted connection's in-flight request, and then joins them.
+//! `GET /healthz` is a liveness probe; `GET /readyz` additionally
+//! checks the model probe, circuit breaker, queue delay, and drain
+//! state, so an orchestrator stops routing to a degraded instance
+//! before it starts failing requests.
 
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::admission::{AdmissionConfig, AdmissionController, ShedReason};
 use crate::http::{self, HttpError, Request};
-use crate::metrics::{Endpoint, Registry, StatusClass};
+use crate::metrics::{Endpoint, Registry, StatusClass, Tier};
 use crate::queue::BoundedQueue;
 use crate::wire::{
     self, decode_request, ErrorResponse, ExplainRequest, ExplainResponse, ExplanationDto,
@@ -88,6 +106,20 @@ impl ModelKind {
     }
 }
 
+/// Seeded fault injection inside the server itself (distinct from
+/// model-level [`comet_models::FaultyModel`] faults): with probability
+/// `worker_panic_rate`, a worker panics while handling a connection,
+/// exercising the catch-unwind containment and the chaos harness's
+/// "no silent worker death" invariant. The draw is a pure function of
+/// `(seed, connection index)`, so a chaos run is reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Probability a worker panics on a given connection.
+    pub worker_panic_rate: f64,
+    /// Seed for the deterministic panic schedule.
+    pub seed: u64,
+}
+
 /// Server configuration (the binary's flags, as a struct).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -114,6 +146,16 @@ pub struct ServeConfig {
     /// spare cores when single-request latency matters more than
     /// aggregate throughput.
     pub search_pool: usize,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before its worker reclaims itself — and the per-request read
+    /// budget that bounds slow-loris senders. Milliseconds; 0 disables
+    /// both (tests only).
+    pub idle_timeout_ms: u64,
+    /// Adaptive admission-control law parameters.
+    pub admission: AdmissionConfig,
+    /// Seeded in-server fault injection; `None` (the default) disables
+    /// chaos entirely.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -127,13 +169,13 @@ impl Default for ServeConfig {
             cache_capacity: 1 << 20,
             batch: 16,
             search_pool: 1,
+            idle_timeout_ms: 5_000,
+            admission: AdmissionConfig::default(),
+            chaos: None,
         }
     }
 }
 
-/// How long an idle keep-alive connection may sit between requests
-/// before its worker reclaims itself.
-const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
 /// Accept-loop poll interval while waiting for connections or
 /// cancellation. The nonblocking-accept-plus-sleep pattern is what
 /// lets a Ctrl-C-set flag stop the loop without a self-pipe, but the
@@ -142,14 +184,25 @@ const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
 /// rate (~2k/s) stays negligible.
 const ACCEPT_POLL: Duration = Duration::from_micros(500);
 
+/// Most stale explanations retained for the ladder's cached tier.
+const STALE_CAP: usize = 1024;
+
+/// One accepted connection, timestamped so the dequeuing worker can
+/// report its queue sojourn to the admission controller.
+struct Accepted {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
 /// One in-flight explain search that twins can park on.
 struct Flight {
     state: Mutex<Option<FlightResult>>,
     done: Condvar,
 }
 
-/// What a finished flight hands every parked twin.
-type FlightResult = Result<Explanation, (StatusClass, String)>;
+/// What a finished flight hands every parked twin: the explanation and
+/// the degradation-ladder tier that produced it.
+type FlightResult = Result<(Explanation, Tier), (StatusClass, String)>;
 
 /// Cooperative per-request deadline for the explain path.
 ///
@@ -160,13 +213,37 @@ type FlightResult = Result<Explanation, (StatusClass, String)>;
 /// before delegating each query and, once expired, fails every further
 /// query with [`ModelError::Timeout`] — the explainer's budget-capped
 /// fault-skipping sampler then winds down in microseconds and returns
-/// its best candidate so far, flagged `degraded`. The true watchdog
-/// (stalled-backend abandonment) still guards the single-query predict
-/// path, where its per-call cost is irrelevant.
+/// its best candidate so far, flagged `degraded`. The gate also
+/// watches the server's [`CancelToken`], so a drain winds active
+/// searches down the same way instead of letting them run to
+/// completion. The true watchdog (stalled-backend abandonment) still
+/// guards the single-query predict path, where its per-call cost is
+/// irrelevant.
 struct DeadlineGate<'a> {
     inner: &'a Stack,
     start: Instant,
     budget: Option<Duration>,
+    cancel: Option<&'a CancelToken>,
+}
+
+impl DeadlineGate<'_> {
+    fn expired(&self) -> Option<ModelError> {
+        if let Some(cancel) = self.cancel {
+            if cancel.is_cancelled() {
+                return Some(ModelError::Timeout {
+                    elapsed: self.start.elapsed(),
+                    deadline: self.budget.unwrap_or(Duration::ZERO),
+                });
+            }
+        }
+        if let Some(budget) = self.budget {
+            let elapsed = self.start.elapsed();
+            if elapsed >= budget {
+                return Some(ModelError::Timeout { elapsed, deadline: budget });
+            }
+        }
+        None
+    }
 }
 
 impl CostModel for DeadlineGate<'_> {
@@ -179,11 +256,8 @@ impl CostModel for DeadlineGate<'_> {
     }
 
     fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
-        if let Some(budget) = self.budget {
-            let elapsed = self.start.elapsed();
-            if elapsed >= budget {
-                return Err(ModelError::Timeout { elapsed, deadline: budget });
-            }
+        if let Some(err) = self.expired() {
+            return Err(err);
         }
         self.inner.try_predict(block)
     }
@@ -199,14 +273,8 @@ impl CostModel for DeadlineGate<'_> {
     /// bounded by `batch × per-query cost` (microseconds) and far
     /// cheaper than checking the clock per item.
     fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<Result<f64, ModelError>> {
-        if let Some(budget) = self.budget {
-            let elapsed = self.start.elapsed();
-            if elapsed >= budget {
-                return blocks
-                    .iter()
-                    .map(|_| Err(ModelError::Timeout { elapsed, deadline: budget }))
-                    .collect();
-            }
+        if let Some(err) = self.expired() {
+            return blocks.iter().map(|_| Err(err.clone())).collect();
         }
         self.inner.predict_batch(blocks)
     }
@@ -217,7 +285,11 @@ impl CostModel for DeadlineGate<'_> {
 pub struct ServerCtx {
     stack: Arc<Stack>,
     metrics: Registry,
+    admission: AdmissionController,
     flights: Mutex<HashMap<u64, Arc<Flight>>>,
+    /// Stale explanations for the ladder's cached tier, keyed by
+    /// seed-independent `explain_key(block, ε, 0)`.
+    stale: Mutex<HashMap<u64, Explanation>>,
     explain_base: ExplainConfig,
     default_epsilon: f64,
     default_deadline_ms: u64,
@@ -225,12 +297,26 @@ pub struct ServerCtx {
     search_pool: usize,
     model_name: String,
     cancel: CancelToken,
+    /// Sticky readiness: set by the first successful model probe.
+    ready: AtomicBool,
+    /// Monotonic origin for the admission controller's timestamps.
+    started: Instant,
+    idle_timeout: Duration,
+    chaos: Option<ChaosConfig>,
+    /// Connections handled so far; indexes the chaos panic schedule.
+    connections: AtomicU64,
 }
 
 impl ServerCtx {
     /// The service metrics registry.
     pub fn metrics(&self) -> &Registry {
         &self.metrics
+    }
+
+    /// The adaptive admission controller (limit, in-flight gauge,
+    /// overload flag).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
     }
 
     /// A snapshot of the shared prediction cache's counters.
@@ -276,14 +362,23 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
-        let resilient = ResilientModel::new(base, ResilientConfig::default());
+        // A finite retry budget: ~a burst of 64 retries, refilled by
+        // successes. Under a correlated backend outage the budget
+        // drains once and retries stop amplifying the load; in healthy
+        // operation the refill keeps it full and retries behave as
+        // before.
+        let resilient_config =
+            ResilientConfig { retry_budget: 64.0, retry_refill: 0.1, ..ResilientConfig::default() };
+        let resilient = ResilientModel::new(base, resilient_config);
         let stack = Arc::new(CachedModel::bounded(resilient, config.cache_capacity));
         let metrics = Registry::new();
         metrics.set_batch_size(config.batch.max(1));
         let ctx = Arc::new(ServerCtx {
             stack,
             metrics,
+            admission: AdmissionController::new(config.admission),
             flights: Mutex::new(HashMap::new()),
+            stale: Mutex::new(HashMap::new()),
             explain_base: ExplainConfig { epsilon: config.epsilon, ..ExplainConfig::default() },
             default_epsilon: config.epsilon,
             default_deadline_ms: config.deadline_ms,
@@ -291,9 +386,14 @@ impl Server {
             search_pool: config.search_pool.max(1),
             model_name,
             cancel: CancelToken::new(),
+            ready: AtomicBool::new(false),
+            started: Instant::now(),
+            idle_timeout: Duration::from_millis(config.idle_timeout_ms),
+            chaos: config.chaos,
+            connections: AtomicU64::new(0),
         });
 
-        let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth));
+        let queue = Arc::new(BoundedQueue::<Accepted>::new(config.queue_depth));
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let ctx = Arc::clone(&ctx);
@@ -345,33 +445,42 @@ impl Server {
     }
 }
 
-/// Accept connections until cancelled, pushing into the bounded queue
-/// and shedding with an immediate 503 when it is full.
-fn accept_loop(ctx: &ServerCtx, queue: &BoundedQueue<TcpStream>, listener: TcpListener) {
+/// SplitMix64: a tiny, high-quality bit mixer for the chaos schedule.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Whether chaos panics on connection `n` of a run seeded with `seed`.
+/// Pure, so the schedule is reproducible from the seed alone.
+pub fn chaos_panics_connection(seed: u64, n: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    let unit = (splitmix64(seed ^ n.wrapping_mul(0x2545_f491_4f6c_dd1d)) >> 11) as f64
+        / (1u64 << 53) as f64;
+    unit < rate
+}
+
+/// Accept connections until cancelled. Adaptive admission sheds first;
+/// the bounded queue is the hard backstop behind it.
+fn accept_loop(ctx: &ServerCtx, queue: &BoundedQueue<Accepted>, listener: TcpListener) {
     while !ctx.cancel.is_cancelled() {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 // Workers use blocking reads with an idle timeout.
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_nodelay(true);
-                match queue.try_push(stream) {
+                let in_system = queue.depth() as u64 + ctx.admission.inflight();
+                if let Err(reason) = ctx.admission.try_admit(in_system) {
+                    shed(ctx, stream, reason);
+                    continue;
+                }
+                match queue.try_push(Accepted { stream, enqueued: Instant::now() }) {
                     Ok(()) => ctx.metrics.set_queue_depth(queue.depth()),
-                    Err(mut stream) => {
-                        ctx.metrics.record_shed();
-                        ctx.metrics.record(Endpoint::Other, StatusClass::Shed);
-                        let body = serde_json::to_string(&ErrorResponse::new(
-                            "overloaded: request queue full",
-                        ))
-                        .unwrap_or_default();
-                        let _ = http::write_response(
-                            &mut stream,
-                            StatusClass::Shed.code(),
-                            "application/json",
-                            body.as_bytes(),
-                            true,
-                        );
-                        // Dropping the stream closes the shed connection.
-                    }
+                    Err(rejected) => shed(ctx, rejected.stream, ShedReason::QueueFull),
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -384,20 +493,50 @@ fn accept_loop(ctx: &ServerCtx, queue: &BoundedQueue<TcpStream>, listener: TcpLi
     queue.shutdown();
 }
 
+/// Reject a connection with an immediate 503 naming the shed reason.
+fn shed(ctx: &ServerCtx, mut stream: TcpStream, reason: ShedReason) {
+    ctx.metrics.record_shed(reason);
+    ctx.metrics.record(Endpoint::Other, StatusClass::Shed);
+    let body = serde_json::to_string(&ErrorResponse::new(reason.message())).unwrap_or_default();
+    let _ = http::write_response(
+        &mut stream,
+        StatusClass::Shed.code(),
+        "application/json",
+        body.as_bytes(),
+        true,
+    );
+    // Dropping the stream closes the shed connection.
+}
+
 /// Pop connections until the queue shuts down and drains.
-fn worker_loop(ctx: &ServerCtx, queue: &BoundedQueue<TcpStream>) {
+fn worker_loop(ctx: &ServerCtx, queue: &BoundedQueue<Accepted>) {
     // One batch executor per worker, alive for the worker's lifetime:
     // its intra-explanation pool threads are spawned once, not per
     // request, and its occupancy counters are folded into the shared
     // registry after each search.
     let exec = BatchExec::new(ctx.explain_batch, ctx.search_pool);
-    while let Some(stream) = queue.pop() {
+    while let Some(accepted) = queue.pop() {
         ctx.metrics.set_queue_depth(queue.depth());
+        // Feed the admission controller the sojourn this connection
+        // spent queued, on a monotonic µs clock anchored at server
+        // start.
+        let sojourn_us = accepted.enqueued.elapsed().as_micros() as u64;
+        let now_us = ctx.started.elapsed().as_micros() as u64;
+        ctx.admission.on_dequeue(sojourn_us, now_us);
+        ctx.admission.begin();
         // A panicking handler must not kill the worker (the pool would
         // silently shrink); catch, count, close, move on.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(ctx, &stream, &exec);
+            if let Some(chaos) = ctx.chaos {
+                let n = ctx.connections.fetch_add(1, Relaxed);
+                if chaos_panics_connection(chaos.seed, n, chaos.worker_panic_rate) {
+                    ctx.metrics.record_chaos_panic();
+                    panic!("chaos: injected worker panic on connection {n}");
+                }
+            }
+            handle_connection(ctx, &accepted.stream, &exec);
         }));
+        ctx.admission.end();
         if result.is_err() {
             ctx.metrics.record(Endpoint::Other, StatusClass::Internal);
         }
@@ -407,10 +546,13 @@ fn worker_loop(ctx: &ServerCtx, queue: &BoundedQueue<TcpStream>) {
 /// Serve requests on one connection until it closes, errors, idles
 /// out, or the server drains.
 fn handle_connection(ctx: &ServerCtx, stream: &TcpStream, exec: &BatchExec) {
-    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let idle = ctx.idle_timeout;
+    if !idle.is_zero() {
+        let _ = stream.set_read_timeout(Some(idle));
+    }
     let mut reader = BufReader::new(stream);
     loop {
-        match http::read_request(&mut reader) {
+        match http::read_request(&mut reader, idle) {
             Ok(request) => {
                 // During drain, answer the in-flight request and close.
                 let close = request.close || ctx.cancel.is_cancelled();
@@ -423,6 +565,23 @@ fn handle_connection(ctx: &ServerCtx, stream: &TcpStream, exec: &BatchExec) {
             Err(HttpError::Malformed(reason)) => {
                 ctx.metrics.record(Endpoint::Other, StatusClass::BadRequest);
                 respond_error(stream, StatusClass::BadRequest, reason, true);
+                return;
+            }
+            Err(HttpError::Timeout) => {
+                // A started-but-stalled request (slow loris): answer
+                // 408 and reclaim the worker.
+                ctx.metrics.record(Endpoint::Other, StatusClass::Timeout);
+                respond_error(stream, StatusClass::Timeout, "request read timed out", true);
+                return;
+            }
+            Err(HttpError::TooLarge { status, reason }) => {
+                let class = if status == 413 {
+                    StatusClass::PayloadTooLarge
+                } else {
+                    StatusClass::HeadersTooLarge
+                };
+                ctx.metrics.record(Endpoint::Other, class);
+                respond_error(stream, class, reason, true);
                 return;
             }
         }
@@ -461,6 +620,8 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
             }
         }
         ("GET", "/healthz") => {
+            // Liveness only: the process is up and serving its event
+            // loop. Routability is /readyz's job.
             ctx.metrics.record(Endpoint::Healthz, StatusClass::Ok);
             let body = format!(
                 "{{\"v\":{WIRE_V},\"ok\":true,\"model\":{}}}",
@@ -474,8 +635,11 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
                 close,
             );
         }
+        ("GET", "/readyz") => handle_readyz(ctx, stream, close),
         ("GET", "/metrics") => {
             ctx.metrics.record(Endpoint::Metrics, StatusClass::Ok);
+            // Refresh the admission gauges at scrape time.
+            ctx.metrics.set_admission(ctx.admission.limit(), ctx.admission.last_delay_us());
             let text = ctx.metrics.render_prometheus(&ctx.stack.stats());
             let _ = http::write_response(
                 &mut { stream },
@@ -485,7 +649,7 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
                 close,
             );
         }
-        (_, "/v1/predict" | "/v1/explain" | "/healthz" | "/metrics") => {
+        (_, "/v1/predict" | "/v1/explain" | "/healthz" | "/readyz" | "/metrics") => {
             ctx.metrics.record(Endpoint::Other, StatusClass::BadRequest);
             respond_error(stream, StatusClass::BadRequest, "method not allowed", close);
         }
@@ -493,6 +657,52 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
             ctx.metrics.record(Endpoint::Other, StatusClass::NotFound);
             respond_error(stream, StatusClass::NotFound, "no such endpoint", close);
         }
+    }
+}
+
+/// `GET /readyz`: readiness = the model answers a probe, the circuit
+/// breaker is closed, queue delay is under its target, and the server
+/// is not draining. 503 with the failing reasons otherwise, so an
+/// orchestrator can both act on and explain a routing decision.
+fn handle_readyz(ctx: &ServerCtx, stream: &TcpStream, close: bool) {
+    // Lazy, sticky model probe: cheap once warm, and a model that
+    // cannot answer `nop` was never going to serve anything.
+    if !ctx.ready.load(Relaxed) {
+        let probed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            comet_isa::parse_block("nop")
+                .ok()
+                .and_then(|block| ctx.stack.try_predict(&block).ok())
+                .is_some_and(|cost| cost.is_finite())
+        }))
+        .unwrap_or(false);
+        if probed {
+            ctx.ready.store(true, Relaxed);
+        }
+    }
+    let mut reasons: Vec<&str> = Vec::new();
+    if !ctx.ready.load(Relaxed) {
+        reasons.push("model probe failed");
+    }
+    if ctx.stack.resilience().is_some_and(|r| r.degraded) {
+        reasons.push("circuit breaker open");
+    }
+    if ctx.admission.overloaded() {
+        reasons.push("queue delay above target");
+    }
+    if ctx.cancel.is_cancelled() {
+        reasons.push("draining");
+    }
+    if reasons.is_empty() {
+        ctx.metrics.record(Endpoint::Readyz, StatusClass::Ok);
+        let body = format!("{{\"v\":{WIRE_V},\"ready\":true}}");
+        let _ =
+            http::write_response(&mut { stream }, 200, "application/json", body.as_bytes(), close);
+    } else {
+        ctx.metrics.record(Endpoint::Readyz, StatusClass::Shed);
+        let list = serde_json::to_string(&reasons).unwrap_or_else(|_| "[]".into());
+        let body = format!("{{\"v\":{WIRE_V},\"ready\":false,\"reasons\":{list}}}");
+        let _ =
+            http::write_response(&mut { stream }, 503, "application/json", body.as_bytes(), close);
     }
 }
 
@@ -612,6 +822,9 @@ fn handle_explain(
             run_search(ctx, &block, epsilon, req.seed, deadline, exec)
         }))
         .unwrap_or_else(|_| Err((StatusClass::Internal, "explanation search panicked".into())));
+        if let Ok((_, tier)) = &outcome {
+            ctx.metrics.record_tier(*tier);
+        }
         {
             let mut state = flight.state.lock().unwrap_or_else(|p| p.into_inner());
             *state = Some(outcome.clone());
@@ -631,14 +844,16 @@ fn handle_explain(
     };
 
     match result {
-        Ok(explanation) => {
+        Ok((explanation, tier)) => {
+            let mut dto = ExplanationDto::from(&explanation);
+            dto.tier = tier.label().into();
             let body = ExplainResponse {
                 v: WIRE_V,
                 model: ctx.model_name.clone(),
                 epsilon,
                 seed: req.seed,
                 coalesced: !leader,
-                explanation: ExplanationDto::from(&explanation),
+                explanation: dto,
             };
             respond_json(stream, 200, &body, close);
             StatusClass::Ok
@@ -650,9 +865,52 @@ fn handle_explain(
     }
 }
 
-/// Run one anchors search against the shared stack under a cooperative
-/// deadline, through the batched search path. The worker's `BatchExec`
-/// counters are cumulative, so the per-search delta is folded into the
+/// Pick the degradation-ladder tier to *start* at, from pressure
+/// signals available before spending any model queries: an open
+/// circuit breaker or a standing queue means reduced budget; a
+/// deadline the explain-latency histogram says the full search cannot
+/// meet steps down once (can't meet p90) or straight to the cached
+/// tier (deadline under p90/8 — not even a reduced search fits).
+/// The histogram must have seen at least 8 explains before it is
+/// trusted; before that only the breaker/queue signals apply.
+fn choose_tier(ctx: &ServerCtx, deadline: Option<Duration>) -> Tier {
+    let mut tier = Tier::Full;
+    let breaker_open = ctx.stack.resilience().is_some_and(|r| r.degraded);
+    if breaker_open || ctx.admission.overloaded() {
+        tier = Tier::ReducedBudget;
+    }
+    if let Some(deadline) = deadline {
+        let hist = ctx.metrics.explain_latency();
+        if hist.count() >= 8 {
+            let p90_us = hist.quantile_us(0.9);
+            let deadline_us = deadline.as_micros() as f64;
+            if deadline_us < p90_us / 8.0 {
+                tier = Tier::Cached;
+            } else if deadline_us < p90_us {
+                tier = Tier::ReducedBudget;
+            }
+        }
+    }
+    tier
+}
+
+/// Remember a good explanation for the ladder's cached tier (bounded,
+/// arbitrary eviction — staleness is the point, recency is not).
+fn store_stale(ctx: &ServerCtx, key: u64, explanation: &Explanation) {
+    let mut stale = ctx.stale.lock().unwrap_or_else(|p| p.into_inner());
+    if stale.len() >= STALE_CAP && !stale.contains_key(&key) {
+        if let Some(&evict) = stale.keys().next() {
+            stale.remove(&evict);
+        }
+    }
+    stale.insert(key, explanation.clone());
+}
+
+/// Run one explain through the degradation ladder. Starts at the tier
+/// [`choose_tier`] picks proactively, descends a rung whenever a
+/// search tier fails (timeout or model failure), and only reports an
+/// error once the baseline rung itself fails. The worker's `BatchExec`
+/// counters are cumulative, so each search's delta is folded into the
 /// metrics registry here.
 fn run_search(
     ctx: &ServerCtx,
@@ -662,8 +920,99 @@ fn run_search(
     deadline: Option<Duration>,
     exec: &BatchExec,
 ) -> FlightResult {
-    let gate = DeadlineGate { inner: &ctx.stack, start: Instant::now(), budget: deadline };
-    let config = ExplainConfig { epsilon, ..ctx.explain_base };
+    let start = Instant::now();
+    // Seed-independent key: any seed's completed search can serve as a
+    // stale stand-in for this (block, ε).
+    let stale_key = wire::explain_key(&block.to_string(), epsilon, 0);
+    let base = ExplainConfig { epsilon, ..ctx.explain_base };
+    let mut tier = choose_tier(ctx, deadline);
+    let mut last_error: Option<(StatusClass, String)> = None;
+    loop {
+        match tier {
+            Tier::Full | Tier::ReducedBudget => {
+                let remaining = deadline.map(|d| d.saturating_sub(start.elapsed()));
+                if remaining == Some(Duration::ZERO) {
+                    // Budget already gone; don't bother starting.
+                    last_error.get_or_insert((
+                        StatusClass::Timeout,
+                        "explanation deadline exceeded".into(),
+                    ));
+                    tier = Tier::Cached;
+                    continue;
+                }
+                let config = if tier == Tier::Full { base } else { base.reduced_budget() };
+                let gate = DeadlineGate {
+                    inner: &ctx.stack,
+                    start: Instant::now(),
+                    budget: remaining,
+                    cancel: Some(&ctx.cancel),
+                };
+                match attempt_search(ctx, &gate, config, block, seed, exec) {
+                    Ok(mut explanation) => {
+                        if tier != Tier::Full {
+                            explanation.degraded = true;
+                        }
+                        store_stale(ctx, stale_key, &explanation);
+                        return Ok((explanation, tier));
+                    }
+                    // A malformed/unexplainable block will not get
+                    // better further down the ladder.
+                    Err((StatusClass::BadRequest, e)) => return Err((StatusClass::BadRequest, e)),
+                    Err(e) => {
+                        last_error = Some(e);
+                        tier = if tier == Tier::Full { Tier::ReducedBudget } else { Tier::Cached };
+                    }
+                }
+            }
+            Tier::Cached => {
+                let cached = {
+                    let stale = ctx.stale.lock().unwrap_or_else(|p| p.into_inner());
+                    stale.get(&stale_key).cloned()
+                };
+                match cached {
+                    Some(mut explanation) => {
+                        explanation.degraded = true;
+                        return Ok((explanation, Tier::Cached));
+                    }
+                    None => tier = Tier::Baseline,
+                }
+            }
+            Tier::Baseline => {
+                // Last rung: a minimal probe, without the request
+                // deadline (it costs a few hundred queries at most and
+                // an answer beats a clean timeout here). Cancellation
+                // still applies so drain is never blocked on it.
+                let gate = DeadlineGate {
+                    inner: &ctx.stack,
+                    start: Instant::now(),
+                    budget: None,
+                    cancel: Some(&ctx.cancel),
+                };
+                match attempt_search(ctx, &gate, base.baseline_probe(), block, seed, exec) {
+                    Ok(mut explanation) => {
+                        explanation.degraded = true;
+                        return Ok((explanation, Tier::Baseline));
+                    }
+                    Err(e) => {
+                        // Report the first (most informative) failure.
+                        return Err(last_error.unwrap_or(e));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One search attempt at one rung, with batching metrics folded in and
+/// errors mapped to wire status classes.
+fn attempt_search(
+    ctx: &ServerCtx,
+    gate: &DeadlineGate<'_>,
+    config: ExplainConfig,
+    block: &BasicBlock,
+    seed: u64,
+    exec: &BatchExec,
+) -> Result<Explanation, (StatusClass, String)> {
     let explainer = Explainer::new(gate, config);
     let (queries_before, chunks_before) = (exec.queries_batched(), exec.chunks());
     let result = explainer.explain_batched(block, seed, exec);
@@ -705,16 +1054,41 @@ mod tests {
             inner: &stack,
             start: Instant::now(),
             budget: Some(Duration::from_secs(60)),
+            cancel: None,
         };
         assert!(healthy.try_predict(&block).is_ok());
         let expired = DeadlineGate {
             inner: &stack,
             start: Instant::now() - Duration::from_secs(1),
             budget: Some(Duration::from_millis(1)),
+            cancel: None,
         };
         assert!(matches!(expired.try_predict(&block), Err(ModelError::Timeout { .. })));
-        let unbounded = DeadlineGate { inner: &stack, start: Instant::now(), budget: None };
+        let unbounded =
+            DeadlineGate { inner: &stack, start: Instant::now(), budget: None, cancel: None };
         assert!(unbounded.try_predict(&block).is_ok());
+    }
+
+    #[test]
+    fn deadline_gate_fails_queries_once_cancelled() {
+        let (base, _) = ModelKind::CrudeHaswell.build();
+        let stack: Stack =
+            CachedModel::bounded(ResilientModel::new(base, ResilientConfig::default()), 1024);
+        let block = comet_isa::parse_block("add rcx, rax").unwrap();
+        let token = CancelToken::new();
+        let gate = DeadlineGate {
+            inner: &stack,
+            start: Instant::now(),
+            budget: None,
+            cancel: Some(&token),
+        };
+        assert!(gate.try_predict(&block).is_ok());
+        token.cancel();
+        assert!(matches!(gate.try_predict(&block), Err(ModelError::Timeout { .. })));
+        assert!(gate
+            .predict_batch(std::slice::from_ref(&block))
+            .iter()
+            .all(|r| matches!(r, Err(ModelError::Timeout { .. }))));
     }
 
     #[test]
@@ -731,6 +1105,80 @@ mod tests {
         assert_eq!(effective_deadline(ctx, None, Some(9)), Some(Duration::from_millis(9)));
         assert_eq!(effective_deadline(ctx, None, None), Some(Duration::from_millis(100)));
         assert_eq!(effective_deadline(ctx, Some(0), None), None, "explicit 0 disables");
+        server.shutdown();
+    }
+
+    #[test]
+    fn chaos_schedule_is_deterministic_and_rate_shaped() {
+        // Same (seed, n, rate) → same verdict, always.
+        for n in 0..256 {
+            assert_eq!(chaos_panics_connection(42, n, 0.1), chaos_panics_connection(42, n, 0.1));
+        }
+        // rate 0 never fires; rate 1 always fires.
+        assert!((0..256).all(|n| !chaos_panics_connection(7, n, 0.0)));
+        assert!((0..256).all(|n| chaos_panics_connection(7, n, 1.0)));
+        // A 10% rate lands in a loose band over 4096 draws.
+        let hits = (0..4096).filter(|&n| chaos_panics_connection(42, n, 0.1)).count();
+        assert!((200..=650).contains(&hits), "10% of 4096 ≈ 410, got {hits}");
+        // Different seeds give different schedules.
+        let a: Vec<bool> = (0..256).map(|n| chaos_panics_connection(1, n, 0.2)).collect();
+        let b: Vec<bool> = (0..256).map(|n| chaos_panics_connection(2, n, 0.2)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn choose_tier_reacts_to_pressure_and_deadlines() {
+        let (base, _) = ModelKind::CrudeHaswell.build();
+        let server = Server::start_with_model(
+            base,
+            "test".into(),
+            ServeConfig { addr: "127.0.0.1:0".into(), ..Default::default() },
+        )
+        .unwrap();
+        let ctx = server.ctx();
+        // No pressure, no history: full search regardless of deadline.
+        assert_eq!(choose_tier(ctx, None), Tier::Full);
+        assert_eq!(choose_tier(ctx, Some(Duration::from_millis(1))), Tier::Full);
+        // Teach the histogram that explains take ~100ms.
+        for _ in 0..10 {
+            ctx.metrics().observe_latency(Endpoint::Explain, 100_000);
+        }
+        assert_eq!(choose_tier(ctx, None), Tier::Full);
+        assert_eq!(choose_tier(ctx, Some(Duration::from_secs(1))), Tier::Full);
+        // A deadline under p90 steps down one rung…
+        assert_eq!(choose_tier(ctx, Some(Duration::from_millis(50))), Tier::ReducedBudget);
+        // …and one under p90/8 goes straight to the cached tier.
+        assert_eq!(choose_tier(ctx, Some(Duration::from_millis(2))), Tier::Cached);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stale_store_is_bounded() {
+        let (base, _) = ModelKind::CrudeHaswell.build();
+        let server = Server::start_with_model(
+            base,
+            "test".into(),
+            ServeConfig { addr: "127.0.0.1:0".into(), ..Default::default() },
+        )
+        .unwrap();
+        let ctx = server.ctx();
+        let explanation = Explanation {
+            features: comet_core::FeatureSet::new(),
+            precision: 1.0,
+            coverage: 1.0,
+            prediction: 1.0,
+            anchored: true,
+            queries: 1,
+            faults: 0,
+            retries: 0,
+            degraded: false,
+            duration_secs: 0.0,
+        };
+        for key in 0..(STALE_CAP as u64 + 100) {
+            store_stale(ctx, key, &explanation);
+        }
+        let len = ctx.stale.lock().unwrap().len();
+        assert!(len <= STALE_CAP, "stale store grew to {len}");
         server.shutdown();
     }
 }

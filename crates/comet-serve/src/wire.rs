@@ -85,6 +85,10 @@ pub struct ExplanationDto {
     /// Whether the search ran under degraded conditions.
     #[serde(default)]
     pub degraded: bool,
+    /// Which rung of the degradation ladder produced this explanation
+    /// (`"full"`, `"reduced-budget"`, `"cached"`, or `"baseline"`).
+    #[serde(default)]
+    pub tier: String,
 }
 
 impl From<&Explanation> for ExplanationDto {
@@ -99,6 +103,7 @@ impl From<&Explanation> for ExplanationDto {
             queries: e.queries,
             faults: e.faults,
             degraded: e.degraded,
+            tier: "full".into(),
         }
     }
 }
@@ -246,6 +251,7 @@ mod tests {
             queries: 123,
             faults: 0,
             degraded: false,
+            tier: "full".into(),
         };
         let resp = ExplainResponse {
             v: WIRE_V,

@@ -329,6 +329,323 @@ fn queue_overflow_is_shed_with_503() {
     server.shutdown();
 }
 
+/// Write raw bytes (optionally half-closing the write side, which is
+/// how a client truncates a request mid-body) and return everything the
+/// server sends back, verbatim.
+fn one_shot_bytes(addr: SocketAddr, raw: &[u8], truncate: bool) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(raw).expect("write request");
+    if truncate {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+    let mut buf = Vec::new();
+    let _ = stream.read_to_end(&mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+#[test]
+fn metrics_expose_cache_counters() {
+    let server = start_crude(2, 8);
+    let addr = server.addr();
+
+    // Two identical predicts: the second must be answered by the
+    // shared query cache.
+    for _ in 0..2 {
+        let (status, body) =
+            one_shot(addr, &post("/v1/predict", r#"{"v":1,"block":"add rcx, rax"}"#));
+        assert_eq!(status, 200, "{body}");
+    }
+    let stats = server.ctx().cache_stats();
+    assert!(stats.hits >= 1, "repeat predict did not hit the cache: {stats:?}");
+    assert!(stats.total >= 2, "cache saw too few queries: {stats:?}");
+
+    // And the counters surface on /metrics with exactly those values.
+    let (status, text) = one_shot(addr, &get("/metrics"));
+    assert_eq!(status, 200);
+    assert!(text.contains(&format!("comet_cache_queries_total {}", stats.total)), "{text}");
+    assert!(text.contains(&format!("comet_cache_hits_total {}", stats.hits)), "{text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_oversized_requests_get_clean_errors() {
+    let server = start_crude(2, 8);
+    let addr = server.addr();
+    let lower = |resp: &str| resp.to_ascii_lowercase();
+
+    // Garbage request line → 400 and an explicit close.
+    let resp = one_shot_bytes(addr, b"SPLINES /v1/predict\r\n\r\n", false);
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    assert!(lower(&resp).contains("connection: close"), "{resp}");
+
+    // Declared body beyond the wire cap → 413 without reading it.
+    let huge = format!(
+        "POST /v1/predict HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        64 * 1024 * 1024
+    );
+    let resp = one_shot_bytes(addr, huge.as_bytes(), false);
+    assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+    assert!(lower(&resp).contains("connection: close"), "{resp}");
+
+    // A header line beyond the line cap → 431.
+    let long = format!("GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(32 * 1024));
+    let resp = one_shot_bytes(addr, long.as_bytes(), false);
+    assert!(resp.starts_with("HTTP/1.1 431"), "{resp}");
+    assert!(lower(&resp).contains("connection: close"), "{resp}");
+
+    // A body cut off mid-flight → 400, not a hung worker.
+    let resp = one_shot_bytes(
+        addr,
+        b"POST /v1/predict HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\n{\"v\":1",
+        true,
+    );
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    assert!(lower(&resp).contains("truncated"), "{resp}");
+
+    // A deterministic storm of fuzzed junk: every reply is either a
+    // clean 4xx or a plain close — never a 5xx, never a hang.
+    let mut state = 0x5eed_cafe_u64;
+    for _ in 0..32 {
+        let len = 1 + (state % 200) as usize;
+        let mut junk: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        junk.extend_from_slice(b"\r\n\r\n");
+        let resp = one_shot_bytes(addr, &junk, true);
+        assert!(
+            resp.is_empty() || resp.starts_with("HTTP/1.1 4"),
+            "fuzz input produced a non-4xx answer: {resp:?}"
+        );
+    }
+
+    // The service itself is unharmed.
+    let (status, _) = one_shot(addr, &get("/healthz"));
+    assert_eq!(status, 200);
+    assert_eq!(server.ctx().metrics().requests_with_status(comet_serve::StatusClass::Internal), 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_is_timed_out_with_408() {
+    let server = Server::start(
+        ModelKind::CrudeHaswell,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 8,
+            idle_timeout_ms: 100,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Start a request and then stall: the read budget must cut the
+    // connection off with 408, well before the client's own timeout.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(b"POST /v1/predict HTTP/1.1\r\nHost: t\r\n").unwrap();
+    let start = Instant::now();
+    let (status, body) = read_response(&stream);
+    assert_eq!(status, 408, "{body}");
+    assert!(body.contains("timed out"), "{body}");
+    assert!(start.elapsed() < Duration::from_secs(5), "loris lingered {:?}", start.elapsed());
+
+    server.shutdown();
+}
+
+#[test]
+fn readyz_reflects_model_health() {
+    // A healthy stack is ready.
+    let server = start_crude(1, 4);
+    let (status, body) = one_shot(server.addr(), &get("/readyz"));
+    assert_eq!(status, 200, "{body}");
+    let resp: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(resp["ready"].as_bool(), Some(true));
+    server.shutdown();
+
+    // A model that cannot answer the probe is not.
+    struct BrokenModel;
+    impl CostModel for BrokenModel {
+        fn name(&self) -> &str {
+            "broken"
+        }
+        fn predict(&self, _block: &BasicBlock) -> f64 {
+            f64::NAN
+        }
+        fn try_predict(&self, _block: &BasicBlock) -> Result<f64, ModelError> {
+            Err(ModelError::NonFinite { value: f64::NAN })
+        }
+    }
+    let server = Server::start_with_model(
+        Box::new(BrokenModel) as BoxedModel,
+        "broken".into(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_depth: 4,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let (status, body) = one_shot(server.addr(), &get("/readyz"));
+    assert_eq!(status, 503, "{body}");
+    let resp: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(resp["ready"].as_bool(), Some(false));
+    let reasons = resp["reasons"].as_array().expect("reasons list");
+    assert!(
+        reasons.iter().any(|r| r.as_str() == Some("model probe failed")),
+        "unexpected reasons: {reasons:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn tight_deadlines_degrade_to_a_lower_tier() {
+    /// A crude model with an artificial per-query cost, so explain
+    /// latency is large and measurable next to a tiny deadline.
+    struct SlowModel(CrudeModel);
+    impl CostModel for SlowModel {
+        fn name(&self) -> &str {
+            "slow-crude"
+        }
+        fn predict(&self, block: &BasicBlock) -> f64 {
+            std::thread::sleep(Duration::from_micros(500));
+            self.0.predict(block)
+        }
+        fn try_predict(&self, block: &BasicBlock) -> Result<f64, ModelError> {
+            std::thread::sleep(Duration::from_micros(500));
+            self.0.try_predict(block)
+        }
+    }
+    let server = Server::start_with_model(
+        Box::new(SlowModel(CrudeModel::new(Microarch::Haswell))) as BoxedModel,
+        "slow".into(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 8,
+            deadline_ms: 0,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Warm up: full-tier explains that populate the latency histogram
+    // (and the stale-explanation store) for this block.
+    for seed in 0..10u64 {
+        let (status, body) = one_shot(
+            addr,
+            &post("/v1/explain", &format!(r#"{{"v":1,"block":"add rcx, rax","seed":{seed}}}"#)),
+        );
+        assert_eq!(status, 200, "{body}");
+    }
+
+    // Now an impossible deadline: the ladder must answer from a lower
+    // tier instead of failing or blowing the budget.
+    let (status, body) = one_shot(
+        addr,
+        &post("/v1/explain", r#"{"v":1,"block":"add rcx, rax","seed":99,"deadline_ms":2}"#),
+    );
+    assert_eq!(status, 200, "{body}");
+    let resp: Value = serde_json::from_str(&body).unwrap();
+    let tier = resp["explanation"]["tier"].as_str().expect("tier in dto");
+    assert_ne!(tier, "full", "a 2ms deadline must not run a full search: {body}");
+
+    let metrics = server.ctx().metrics();
+    let degraded = metrics.tier_count(comet_serve::Tier::ReducedBudget)
+        + metrics.tier_count(comet_serve::Tier::Cached)
+        + metrics.tier_count(comet_serve::Tier::Baseline);
+    assert!(degraded >= 1, "no degraded tier recorded");
+    assert!(
+        metrics.tier_count(comet_serve::Tier::Full) >= 10,
+        "warmup explains were not full-tier"
+    );
+
+    // The tier also shows up on the Prometheus endpoint.
+    let (status, text) = one_shot(addr, &get("/metrics"));
+    assert_eq!(status, 200);
+    assert!(text.contains("comet_explain_tier_total{tier=\"full\"}"), "{text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn drain_under_load_never_truncates_responses() {
+    let server = start_crude(2, 16);
+    let addr = server.addr();
+
+    // Hammer the server from several clients while it drains. Every
+    // exchange must end in exactly one of two clean ways: a complete
+    // response, or nothing at all (refused/reset before the server
+    // committed to answering). A partial response — status line without
+    // the promised body — is the failure mode this test exists to catch.
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let request = post("/v1/predict", r#"{"v":1,"block":"add rcx, rax\nnop"}"#);
+                let (mut complete, mut clean, mut dirty) = (0u64, 0u64, 0u64);
+                for _ in 0..10_000 {
+                    let Ok(mut stream) = TcpStream::connect(addr) else { break };
+                    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    if stream.write_all(request.as_bytes()).is_err() {
+                        clean += 1;
+                        continue;
+                    }
+                    let mut buf = Vec::new();
+                    let _ = BufReader::new(&stream).read_to_end(&mut buf);
+                    if buf.is_empty() {
+                        clean += 1;
+                        continue;
+                    }
+                    let text = String::from_utf8_lossy(&buf);
+                    let whole = text.split_once("\r\n\r\n").is_some_and(|(head, body)| {
+                        head.starts_with("HTTP/1.1 ")
+                            && head
+                                .to_ascii_lowercase()
+                                .lines()
+                                .find_map(|l| l.strip_prefix("content-length:").map(str::trim))
+                                .and_then(|v| v.parse::<usize>().ok())
+                                .is_some_and(|len| body.len() >= len)
+                    });
+                    if whole {
+                        complete += 1;
+                    } else {
+                        dirty += 1;
+                    }
+                }
+                (complete, clean, dirty)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(50));
+    server.ctx().cancel_token().cancel();
+    let server_join = std::thread::spawn(move || server.join());
+    let start = Instant::now();
+    while !server_join.is_finished() {
+        assert!(start.elapsed() < Duration::from_secs(10), "server failed to drain under load");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server_join.join().unwrap();
+
+    let (mut complete, mut dirty) = (0u64, 0u64);
+    for client in clients {
+        let (c, _clean, d) = client.join().expect("client thread");
+        complete += c;
+        dirty += d;
+    }
+    assert!(complete > 0, "no request completed before the drain");
+    assert_eq!(dirty, 0, "drain truncated {dirty} responses mid-flight");
+}
+
 #[test]
 fn cancel_token_drains_and_joins() {
     let server = start_crude(2, 4);

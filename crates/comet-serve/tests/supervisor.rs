@@ -1,0 +1,93 @@
+//! Integration tests for the crash-restart supervisor, driving real
+//! child processes. `/bin/sh` stands in for `comet-serve`: `read _x`
+//! models a long-running child that exits on the stdin-EOF drain
+//! signal (exactly the `--supervised` contract), and `exit 7` models a
+//! crash loop.
+
+use std::time::{Duration, Instant};
+
+use comet_serve::{ChildSpec, Supervisor, SupervisorConfig};
+
+fn sh(script: &str) -> ChildSpec {
+    ChildSpec { program: "/bin/sh".into(), args: vec!["-c".into(), script.into()] }
+}
+
+/// Poll `check` until it passes or ~5s elapse.
+fn wait_for(what: &str, mut check: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !check() {
+        assert!(start.elapsed() < Duration::from_secs(5), "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn killed_child_is_restarted_with_a_new_pid() {
+    let config = SupervisorConfig {
+        children: 2,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(50),
+        stable_after: Duration::from_millis(1),
+        poll: Duration::from_millis(5),
+        ..SupervisorConfig::default()
+    };
+    let supervisor = Supervisor::start(sh("read _x"), config).expect("start children");
+    wait_for("both children up", || supervisor.status().alive == 2);
+    let before = supervisor.status();
+    let pid0 = before.pids[0];
+    assert!(pid0.is_some());
+
+    // SIGKILL slot 0 — the crash lever the chaos harness uses.
+    assert!(supervisor.kill_child(0), "slot 0 had a child to kill");
+    wait_for("slot 0 to be respawned", || {
+        let status = supervisor.status();
+        status.restarts >= 1 && status.alive == 2 && status.pids[0].is_some()
+    });
+
+    let after = supervisor.status();
+    assert_ne!(after.pids[0], pid0, "restart must produce a fresh process");
+    assert_eq!(after.pids[1], before.pids[1], "the healthy sibling is untouched");
+    assert!(!after.breaker_open, "one crash must not open the breaker");
+    assert_eq!(supervisor.shutdown(), 0);
+}
+
+#[test]
+fn restart_storm_opens_the_breaker_and_reports_failure() {
+    let config = SupervisorConfig {
+        children: 1,
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(10),
+        max_restarts: 3,
+        restart_window: Duration::from_secs(30),
+        poll: Duration::from_millis(2),
+        ..SupervisorConfig::default()
+    };
+    // A child that always exits immediately: restarts are pure churn,
+    // so the rate breaker must give up rather than loop forever.
+    let supervisor = Supervisor::start(sh("exit 7"), config).expect("start child");
+    wait_for("the breaker to open", || supervisor.done());
+
+    let status = supervisor.status();
+    assert!(status.breaker_open);
+    assert_eq!(status.alive, 0, "an open breaker kills every child");
+    assert_eq!(supervisor.shutdown(), 1, "breaker trip is a failing exit code");
+}
+
+#[test]
+fn shutdown_drains_children_via_stdin_eof() {
+    let config = SupervisorConfig {
+        children: 2,
+        grace: Duration::from_secs(5),
+        poll: Duration::from_millis(5),
+        ..SupervisorConfig::default()
+    };
+    let supervisor = Supervisor::start(sh("read _x"), config).expect("start children");
+    wait_for("both children up", || supervisor.status().alive == 2);
+
+    // `read _x` only returns at stdin EOF, so a prompt exit proves the
+    // children drained on the pipe-close signal — the grace-period
+    // kill (5s) never fired.
+    let start = Instant::now();
+    assert_eq!(supervisor.shutdown(), 0);
+    assert!(start.elapsed() < Duration::from_secs(2), "drain took {:?}", start.elapsed());
+}

@@ -96,6 +96,7 @@ fn tripped_breaker_degrades_explanation_to_fallback() {
         // trip is served by the fallback, deterministically.
         probe_interval: u64::MAX,
         seed: 0,
+        ..ResilientConfig::default()
     };
     let resilient =
         ResilientModel::with_fallback(DeadModel, CrudeModel::new(Microarch::Haswell), config);
