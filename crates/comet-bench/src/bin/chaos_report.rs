@@ -7,6 +7,12 @@
 //! slow-loris stalls, mid-request resets) from several client threads.
 //! Phase B starts the crash-restart supervisor over real `comet-serve`
 //! child processes, SIGKILLs one, and times the recovery.
+//! Phase C attacks the model lifecycle: a swap storm (continuous
+//! forced hot-swaps under traffic, every response checked bitwise
+//! against the model its own `model_version` names), shadow-validation
+//! rejection and probation auto-rollback, and a real serve child
+//! SIGKILLed mid-promotion plus an on-disk snapshot corruption — both
+//! of which must recover to the last-known-good model.
 //!
 //! The run then asserts the robustness invariants the serving stack
 //! promises — no unexplained 5xx, bounded tail latency, recovery after
@@ -17,7 +23,7 @@
 //!
 //! ```text
 //! chaos-report [--smoke] [--seed N] [--out FILE] [--ops N]
-//!              [--serve-bin PATH] [--skip-supervisor]
+//!              [--serve-bin PATH] [--skip-supervisor] [--skip-swap]
 //! ```
 //!
 //! Same seed, same op schedule, same injected-fault schedule: a chaos
@@ -32,7 +38,8 @@ use comet_isa::{BasicBlock, Microarch};
 use comet_models::{CostModel, CrudeModel, FaultConfig, FaultyModel, ModelError};
 use comet_serve::server::BoxedModel;
 use comet_serve::{
-    ChaosConfig, ChildSpec, ServeConfig, Server, StatusClass, Supervisor, SupervisorConfig, Tier,
+    ChaosConfig, ChildSpec, ModelKind, ServeConfig, Server, StatusClass, Supervisor,
+    SupervisorConfig, Tier,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -520,6 +527,398 @@ fn supervisor_phase(seed: u64, serve_bin: &str) -> (Vec<Invariant>, Value) {
     (invariants, section)
 }
 
+/// Write `raw` and parse the response as `(status, json body)`.
+fn exchange_json(addr: SocketAddr, raw: &str) -> Option<(u16, Value)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+    stream.write_all(raw.as_bytes()).ok()?;
+    let mut buf = Vec::new();
+    let _ = BufReader::new(&stream).read_to_end(&mut buf);
+    let text = String::from_utf8_lossy(&buf);
+    let status: u16 = text.lines().next()?.split_whitespace().nth(1)?.parse().ok()?;
+    let body = text.split_once("\r\n\r\n")?.1;
+    Some((status, serde_json::from_str(body).ok()?))
+}
+
+fn get(path: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\n\r\n")
+}
+
+/// A scratch registry directory, removed on drop.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("comet-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A block whose crude cost differs between Haswell and Skylake, so a
+/// cross-version cache hit or torn read is detectable bitwise.
+const SWAP_BLOCK: &str = "vdivss xmm0, xmm0, xmm6\nadd rcx, rax";
+
+/// Phase C1+C2: the in-process swap storm and the validation /
+/// rollback paths.
+fn swap_storm_phase(smoke: bool) -> (Vec<Invariant>, Value) {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+    let mut invariants = Vec::new();
+    let block = comet_isa::parse_block(SWAP_BLOCK).expect("swap block parses");
+    let want_haswell = CrudeModel::new(Microarch::Haswell).predict(&block);
+    let want_skylake = CrudeModel::new(Microarch::Skylake).predict(&block);
+    assert_ne!(want_haswell.to_bits(), want_skylake.to_bits());
+
+    // --- C1: continuous forced swaps under traffic, with the registry
+    // on disk. Version parity encodes the kind (boot v1 = Haswell, the
+    // admin loop alternates starting with Skylake at v2), so every
+    // response can be checked bitwise against the model its own
+    // `model_version` field names.
+    let scratch = Scratch::new("swapstorm");
+    let server = Server::start(
+        ModelKind::CrudeHaswell,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 32,
+            registry_dir: Some(scratch.0.to_string_lossy().into_owned()),
+            probation_requests: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind swap-storm server");
+    let addr = server.addr();
+    let swaps: u64 = if smoke { 10 } else { 40 };
+    eprintln!("[chaos] swap storm: {swaps} forced swaps under traffic against {addr}");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let checked = Arc::new(AtomicU64::new(0));
+    let torn = Arc::new(AtomicU64::new(0));
+    let predict_body = format!(r#"{{"v":1,"block":"{}"}}"#, SWAP_BLOCK.replace('\n', "\\n"));
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let (stop, checked, torn) =
+                (Arc::clone(&stop), Arc::clone(&checked), Arc::clone(&torn));
+            let predict_body = predict_body.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Relaxed) {
+                    let Some((status, resp)) =
+                        exchange_json(addr, &post("/v1/predict", &predict_body))
+                    else {
+                        continue;
+                    };
+                    if status != 200 {
+                        torn.fetch_add(1, Relaxed);
+                        continue;
+                    }
+                    let (Some(version), Some(prediction)) =
+                        (resp["model_version"].as_u64(), resp["prediction"].as_f64())
+                    else {
+                        torn.fetch_add(1, Relaxed);
+                        continue;
+                    };
+                    let want =
+                        if version % 2 == 0 { want_skylake } else { want_haswell };
+                    if prediction.to_bits() != want.to_bits() {
+                        eprintln!(
+                            "[chaos] TORN READ: v{version} reported {prediction}, model computes {want}"
+                        );
+                        torn.fetch_add(1, Relaxed);
+                    }
+                    checked.fetch_add(1, Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    let mut promoted = 0u64;
+    for i in 0..swaps {
+        let kind = if i % 2 == 0 { "crude-skylake" } else { "crude-haswell" };
+        let swap_body = format!(r#"{{"v":1,"kind":"{kind}","force":true}}"#);
+        if let Some((200, resp)) = exchange_json(addr, &post("/admin/model", &swap_body)) {
+            if resp["action"].as_str() == Some("promoted") {
+                promoted += 1;
+            }
+        }
+    }
+    stop.store(true, Relaxed);
+    for client in clients {
+        client.join().expect("traffic thread");
+    }
+    let (checked, torn) = (checked.load(Relaxed), torn.load(Relaxed));
+    let final_version = server.ctx().model_version();
+    server.shutdown();
+
+    invariants.push(invariant(
+        "swap_storm_zero_torn_reads",
+        torn == 0 && checked > 0,
+        format!("{checked} responses checked bitwise across {promoted} swaps, {torn} torn"),
+    ));
+    invariants.push(invariant(
+        "swap_storm_all_swaps_promoted",
+        promoted == swaps && final_version == 1 + swaps,
+        format!("{promoted}/{swaps} promoted, final version {final_version}"),
+    ));
+
+    // --- C2: a garbage candidate is rejected by shadow validation,
+    // and a force-promoted failing candidate is rolled back by
+    // probation on real traffic.
+    let scratch2 = Scratch::new("swapgates");
+    let server = Server::start(
+        ModelKind::CrudeHaswell,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 16,
+            registry_dir: Some(scratch2.0.to_string_lossy().into_owned()),
+            probation_requests: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind gates server");
+    let addr = server.addr();
+
+    let rejected = exchange_json(
+        addr,
+        &post("/admin/model", r#"{"v":1,"kind":"crude-haswell","chaos_scale":50.0}"#),
+    );
+    let rejected_ok = matches!(
+        &rejected,
+        Some((409, resp)) if resp["action"].as_str() == Some("rejected")
+    );
+    invariants.push(invariant(
+        "bad_candidate_rejected_409",
+        rejected_ok,
+        format!("chaos_scale=50 candidate answered {:?}", rejected.map(|(s, _)| s)),
+    ));
+
+    let forced = exchange_json(
+        addr,
+        &post("/admin/model", r#"{"v":1,"kind":"crude-haswell","chaos_fail":true,"force":true}"#),
+    );
+    let forced_ok = matches!(
+        &forced,
+        Some((200, resp)) if resp["action"].as_str() == Some("promoted")
+    );
+    let rollback_start = Instant::now();
+    for _ in 0..24 {
+        let _ = exchange_json(addr, &post("/v1/predict", &predict_body));
+        if let Some((_, resp)) = exchange_json(addr, &get("/admin/model")) {
+            if resp["rollbacks"].as_u64() == Some(1) {
+                break;
+            }
+        }
+    }
+    let status = exchange_json(addr, &get("/admin/model"));
+    let rolled_back = matches!(
+        &status,
+        Some((200, resp)) if resp["rollbacks"].as_u64() == Some(1)
+            && resp["active_version"].as_u64() == Some(1)
+            && resp["last_rollback"].as_str().is_some_and(|r| r.contains("failure rate"))
+    );
+    let rollback_ms = rollback_start.elapsed().as_secs_f64() * 1e3;
+    // And the rolled-back service must actually serve again.
+    let healed = exchange_json(addr, &post("/v1/predict", &predict_body))
+        .is_some_and(|(status, resp)| status == 200 && resp["model_version"].as_u64() == Some(1));
+    server.shutdown();
+    invariants.push(invariant(
+        "failing_model_auto_rollback",
+        forced_ok && rolled_back && healed,
+        format!(
+            "forced={forced_ok} rolled_back={rolled_back} healed={healed} in {rollback_ms:.0}ms"
+        ),
+    ));
+
+    let section = json!({
+        "storm": {
+            "swaps": swaps,
+            "promoted": promoted,
+            "responses_checked": checked,
+            "torn_reads": torn,
+            "final_version": final_version,
+        },
+        "gates": {
+            "bad_candidate_rejected": rejected_ok,
+            "auto_rollback": rolled_back,
+            "rollback_ms": rollback_ms,
+        },
+    });
+    (invariants, section)
+}
+
+/// Spawn a real serve child over `dir` and parse its bound address
+/// from the `listening on` line on stderr. The rest of the stderr is
+/// drained on a background thread so the child never blocks on a full
+/// pipe.
+fn spawn_serve(
+    serve_bin: &str,
+    dir: &std::path::Path,
+    probation: u64,
+) -> Option<(std::process::Child, SocketAddr)> {
+    use std::io::BufRead;
+    let mut child = std::process::Command::new(serve_bin)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--registry",
+            &dir.to_string_lossy(),
+            "--probation-requests",
+            &probation.to_string(),
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .ok()?;
+    let stderr = child.stderr.take()?;
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stderr);
+        let mut line = String::new();
+        let mut addr_sent = false;
+        while reader.read_line(&mut line).is_ok_and(|n| n > 0) {
+            if !addr_sent {
+                if let Some(rest) = line.split("listening on ").nth(1) {
+                    if let Ok(addr) =
+                        rest.split_whitespace().next().unwrap_or_default().parse::<SocketAddr>()
+                    {
+                        let _ = tx.send(addr);
+                        addr_sent = true;
+                    }
+                }
+            }
+            line.clear(); // keep draining so the child never blocks
+        }
+    });
+    match rx.recv_timeout(Duration::from_secs(10)) {
+        Ok(addr) => Some((child, addr)),
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            None
+        }
+    }
+}
+
+/// Phase C3: SIGKILL a real serve child mid-promotion, then corrupt a
+/// snapshot on disk; both restarts must come back on last-known-good.
+fn swap_kill_phase(serve_bin: &str) -> (Vec<Invariant>, Value) {
+    let mut invariants = Vec::new();
+    if !std::path::Path::new(serve_bin).is_file() {
+        invariants.push(invariant(
+            "kill9_recovers_last_known_good",
+            false,
+            format!("serve binary not found at {serve_bin} (pass --serve-bin or --skip-swap)"),
+        ));
+        return (invariants, json!({ "serve_bin": serve_bin, "skipped": "binary missing" }));
+    }
+    let scratch = Scratch::new("swapkill");
+    let predict_body = format!(r#"{{"v":1,"block":"{}"}}"#, SWAP_BLOCK.replace('\n', "\\n"));
+
+    // Life 1: settle Skylake (v2) as last-known-good, then force a
+    // third swap and SIGKILL while it is still on probation — the
+    // manifest has not moved, so v3 was never promoted.
+    let Some((mut child, addr)) = spawn_serve(serve_bin, &scratch.0, 4) else {
+        invariants.push(invariant(
+            "kill9_recovers_last_known_good",
+            false,
+            "serve child did not report a listening address".into(),
+        ));
+        return (invariants, json!({ "serve_bin": serve_bin, "error": "no listening line" }));
+    };
+    let swapped = exchange_json(
+        addr,
+        &post("/admin/model", r#"{"v":1,"kind":"crude-skylake","force":true}"#),
+    )
+    .is_some_and(|(status, resp)| status == 200 && resp["action"].as_str() == Some("promoted"));
+    // Probation window is 4 requests: drive it shut.
+    let settled = within(Duration::from_secs(5), || {
+        let _ = exchange_json(addr, &post("/v1/predict", &predict_body));
+        exchange_json(addr, &get("/admin/model"))
+            .is_some_and(|(_, resp)| resp["last_good_version"].as_u64() == Some(2))
+    });
+    let mid_promotion = exchange_json(
+        addr,
+        &post("/admin/model", r#"{"v":1,"kind":"crude-haswell","force":true}"#),
+    )
+    .is_some_and(|(status, resp)| {
+        status == 200 && resp["probation_remaining"].as_u64().unwrap_or(0) > 0
+    });
+    child.kill().expect("SIGKILL serve child");
+    let _ = child.wait();
+
+    // Life 2: recovery must land on v2 (the last version that finished
+    // probation), not the half-promoted v3.
+    let recovered = spawn_serve(serve_bin, &scratch.0, 4);
+    let (recovered_ok, reported) = match &recovered {
+        Some((_, addr)) => {
+            let resp = exchange_json(*addr, &get("/admin/model"));
+            let ok = matches!(
+                &resp,
+                Some((200, r)) if r["active_version"].as_u64() == Some(2)
+                    && r["active_kind"].as_str() == Some("crude-skylake")
+            );
+            (ok, resp.map(|(_, r)| r["active_version"].clone()).unwrap_or(Value::Null))
+        }
+        None => (false, Value::Null),
+    };
+    if let Some((mut child, _)) = recovered {
+        child.kill().expect("stop recovered child");
+        let _ = child.wait();
+    }
+    invariants.push(invariant(
+        "kill9_recovers_last_known_good",
+        swapped && settled && mid_promotion && recovered_ok,
+        format!(
+            "settled v2={settled}, killed mid-promotion of v3={mid_promotion}, \
+             recovered to {reported}"
+        ),
+    ));
+
+    // Life 3: scribble garbage over the never-promoted v3 snapshot;
+    // boot must quarantine it and keep serving v2.
+    let victim = scratch.0.join("v000003.snap");
+    std::fs::write(&victim, b"COMETM1 0000000000000000 {torn mid-write").expect("corrupt snap");
+    let rebooted = spawn_serve(serve_bin, &scratch.0, 4);
+    let (quarantined_ok, quarantined) = match &rebooted {
+        Some((_, addr)) => {
+            let resp = exchange_json(*addr, &get("/admin/model"));
+            let ok = matches!(
+                &resp,
+                Some((200, r)) if r["active_version"].as_u64() == Some(2)
+                    && r["quarantined"].as_array().is_some_and(|q| !q.is_empty())
+            );
+            (ok, resp.map(|(_, r)| r["quarantined"].clone()).unwrap_or(Value::Null))
+        }
+        None => (false, Value::Null),
+    };
+    if let Some((mut child, _)) = rebooted {
+        child.kill().expect("stop rebooted child");
+        let _ = child.wait();
+    }
+    invariants.push(invariant(
+        "corrupted_snapshot_quarantined",
+        quarantined_ok,
+        format!("boot over damaged v3 quarantined {quarantined} and kept serving v2"),
+    ));
+
+    let section = json!({
+        "serve_bin": serve_bin,
+        "kill9_recovered_to_v2": recovered_ok,
+        "corruption_quarantined": quarantined_ok,
+        "quarantined": quarantined,
+    });
+    (invariants, section)
+}
+
 /// Default serve binary: the `comet-serve` sitting next to this
 /// executable (both live in `target/<profile>` under cargo).
 fn sibling_serve_bin() -> String {
@@ -537,6 +936,7 @@ fn main() {
     let mut ops_override: Option<usize> = None;
     let mut serve_bin = sibling_serve_bin();
     let mut skip_supervisor = false;
+    let mut skip_swap = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -548,10 +948,11 @@ fn main() {
             }
             "--serve-bin" => serve_bin = args.next().expect("--serve-bin needs a path"),
             "--skip-supervisor" => skip_supervisor = true,
+            "--skip-swap" => skip_swap = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: chaos-report [--smoke] [--seed N] [--out FILE] [--ops N] \
-                     [--serve-bin PATH] [--skip-supervisor]"
+                     [--serve-bin PATH] [--skip-supervisor] [--skip-swap]"
                 );
                 return;
             }
@@ -575,6 +976,16 @@ fn main() {
         invariants.extend(more);
         section
     };
+    let swap = if skip_swap {
+        json!({ "skipped": "--skip-swap" })
+    } else {
+        let (more, mut section) = swap_storm_phase(smoke);
+        invariants.extend(more);
+        let (more, kill_section) = swap_kill_phase(&serve_bin);
+        invariants.extend(more);
+        section["kill"] = kill_section;
+        section
+    };
 
     let pass = invariants.iter().all(|i| i.pass);
     let report = json!({
@@ -583,6 +994,7 @@ fn main() {
         "seed": seed,
         "storm": storm,
         "supervisor": supervisor,
+        "swap": swap,
         "invariants": invariants
             .iter()
             .map(|i| json!({ "name": i.name, "pass": i.pass, "detail": i.detail }))

@@ -59,6 +59,7 @@ pub mod par;
 mod perturb;
 pub mod precision;
 pub mod space;
+pub mod swap;
 
 pub use baselines::{ground_truth, is_accurate, BaselineContext};
 pub use bitset::{FeatureMask, FeaturePool};
@@ -68,3 +69,4 @@ pub use explain::{BatchExec, ExplainConfig, ExplainError, Explainer, Explanation
 pub use feature::{extract_features, format_feature_set, Feature, FeatureKind, FeatureSet};
 pub use par::{par_map, par_map_cancellable, par_map_strict, ParPanic, WorkerPool};
 pub use perturb::{PerturbConfig, PerturbScratch, PerturbedBlock, Perturber, ReplacementScheme};
+pub use swap::SwapCell;

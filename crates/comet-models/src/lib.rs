@@ -45,6 +45,7 @@ mod error;
 mod faulty;
 mod ithemal;
 mod metrics;
+mod registry;
 mod resilient;
 mod simulated;
 mod tokenize;
@@ -57,6 +58,7 @@ pub use error::{catch_prediction, panic_payload_message, ModelError};
 pub use faulty::{FaultConfig, FaultStats, FaultyModel};
 pub use ithemal::{IthemalConfig, IthemalSurrogate};
 pub use metrics::{mape, mean_std};
+pub use registry::{fnv1a64, ModelRegistry, ModelSnapshot, RegistryRecovery, SnapshotInfo};
 pub use resilient::{NoFallback, ResilienceReport, ResilientConfig, ResilientModel};
 pub use simulated::{HardwareOracle, UicaSurrogate};
 pub use tokenize::{Vocab, IMM, MEM_CLOSE, MEM_OPEN, UNK};

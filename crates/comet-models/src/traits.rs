@@ -151,6 +151,7 @@ pub struct CachedModel<M> {
     shard_capacity: usize,
     total: AtomicU64,
     hits: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// One lock stripe: keys are FNV-1a hashes, already uniformly mixed,
@@ -203,6 +204,11 @@ pub struct QueryStats {
     pub total: u64,
     /// Predictions answered from the cache.
     pub hits: u64,
+    /// Entries evicted by bounded-capacity inserts. Silent eviction
+    /// is invisible in hit rates until it has already cost repeat
+    /// queries; this counter makes capacity pressure observable
+    /// (exported as `comet_cache_evictions_total`).
+    pub evictions: u64,
     /// Live cached entries at the time of the snapshot.
     pub entries: u64,
     /// Shards holding at least one entry.
@@ -238,6 +244,7 @@ impl<M: CostModel> CachedModel<M> {
             shard_capacity: usize::MAX,
             total: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -268,6 +275,7 @@ impl<M: CostModel> CachedModel<M> {
         QueryStats {
             total: self.total.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries,
             occupied_shards: occupied,
             shards: CACHE_SHARDS as u32,
@@ -284,6 +292,7 @@ impl<M: CostModel> CachedModel<M> {
         }
         self.total.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
     /// The shard a key lives in. High bits, because the pass-through
@@ -308,8 +317,13 @@ impl<M: CostModel> CachedModel<M> {
     /// Insert a finite prediction, evicting an arbitrary entry if the
     /// shard is at capacity.
     fn store(&self, key: u64, value: f64) {
-        let mut shard = recover(self.shard_of(key));
-        store_locked(&mut shard, self.shard_capacity, key, value);
+        let evicted = {
+            let mut shard = recover(self.shard_of(key));
+            store_locked(&mut shard, self.shard_capacity, key, value)
+        };
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -320,13 +334,17 @@ fn shard_index(key: u64) -> usize {
 
 /// Capacity-respecting insert under an already-held shard lock, so the
 /// batch path can insert a whole shard group in one lock round.
-fn store_locked(shard: &mut Shard, capacity: usize, key: u64, value: f64) {
-    if shard.len() >= capacity && !shard.contains_key(&key) {
+/// Returns whether a resident entry was evicted, so the caller can
+/// bump the eviction counter outside the lock.
+fn store_locked(shard: &mut Shard, capacity: usize, key: u64, value: f64) -> bool {
+    let evict = shard.len() >= capacity && !shard.contains_key(&key);
+    if evict {
         if let Some(&victim) = shard.keys().next() {
             shard.remove(&victim);
         }
     }
     shard.insert(key, value);
+    evict
 }
 
 impl<M: CostModel> CostModel for CachedModel<M> {
@@ -421,6 +439,7 @@ impl<M: CostModel> CostModel for CachedModel<M> {
             debug_assert_eq!(miss_results.len(), miss_indices.len());
 
             // Store pass: again one lock round per shard with items.
+            let mut evicted = 0u64;
             for shard_id in 0..CACHE_SHARDS {
                 let mut guard = None;
                 for (j, &i) in miss_indices.iter().enumerate() {
@@ -431,10 +450,14 @@ impl<M: CostModel> CostModel for CachedModel<M> {
                         if v.is_finite() {
                             let shard =
                                 guard.get_or_insert_with(|| recover(&self.shards[shard_id]));
-                            store_locked(shard, self.shard_capacity, keys[i], *v);
+                            evicted +=
+                                u64::from(store_locked(shard, self.shard_capacity, keys[i], *v));
                         }
                     }
                 }
+            }
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
             }
 
             for (j, &i) in miss_indices.iter().enumerate() {
@@ -536,6 +559,13 @@ mod tests {
             stats.entries <= CACHE_SHARDS as u64,
             "bounded cache grew to {} entries",
             stats.entries
+        );
+        // Evictions are counted, not silent: everything inserted past
+        // the resident set displaced an entry.
+        assert_eq!(
+            stats.evictions,
+            128 - stats.entries,
+            "evictions account for every displacement"
         );
         // A resident entry is still a hit; capacity bounds size, not
         // correctness.
@@ -720,5 +750,10 @@ mod tests {
         assert!(stats.hits > 0, "a keyspace this small must produce hits");
         // Eviction actually happened: more misses than could ever fit.
         assert!(inner_calls > CAPACITY as u64);
+        // Displacements are counted: every store either evicted, added
+        // a resident, or overwrote a racing same-key store, so the
+        // counter is bounded by inserts − residents and must be hot.
+        assert!(stats.evictions > 0, "a keyspace over capacity must evict");
+        assert!(stats.evictions <= inner_calls - stats.entries, "evictions over-counted");
     }
 }

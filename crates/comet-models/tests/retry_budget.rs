@@ -1,0 +1,139 @@
+//! Edge-case tests for the global retry token bucket in
+//! [`ResilientModel`]: a zero budget suppresses every retry, successes
+//! refill the bucket so retries resume after an outage, and the
+//! shared-bucket accounting stays exact under concurrent callers.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+use comet_isa::BasicBlock;
+use comet_models::{CostModel, ModelError, ResilienceReport, ResilientConfig, ResilientModel};
+
+/// A model whose failure mode is a switch: transient (retryable)
+/// errors while `fail` is set, constant successes otherwise.
+struct SwitchedModel {
+    fail: AtomicBool,
+}
+
+impl SwitchedModel {
+    fn new(failing: bool) -> SwitchedModel {
+        SwitchedModel { fail: AtomicBool::new(failing) }
+    }
+}
+
+impl CostModel for SwitchedModel {
+    fn name(&self) -> &str {
+        "switched"
+    }
+
+    fn predict(&self, _block: &BasicBlock) -> f64 {
+        1.0
+    }
+
+    fn try_predict(&self, _block: &BasicBlock) -> Result<f64, ModelError> {
+        if self.fail.load(Relaxed) {
+            Err(ModelError::Transient { message: "backend down".into() })
+        } else {
+            Ok(1.0)
+        }
+    }
+}
+
+fn config(budget: f64, refill: f64, max_retries: u32) -> ResilientConfig {
+    ResilientConfig {
+        max_retries,
+        // Keep the breaker out of the picture: these tests are about
+        // the bucket, not the breaker.
+        breaker_threshold: 1_000_000,
+        backoff_base: Duration::ZERO,
+        retry_budget: budget,
+        retry_refill: refill,
+        ..ResilientConfig::default()
+    }
+}
+
+fn report<M: CostModel>(model: &ResilientModel<M>) -> ResilienceReport {
+    model.resilience().expect("resilient model reports counters")
+}
+
+#[test]
+fn zero_budget_suppresses_every_retry() {
+    let model = ResilientModel::new(SwitchedModel::new(true), config(0.0, 0.1, 2));
+    let block = comet_isa::parse_block("add rcx, rax").unwrap();
+    for _ in 0..10 {
+        assert!(model.try_predict(&block).is_err());
+    }
+    let r = report(&model);
+    assert_eq!(r.queries, 10);
+    assert_eq!(r.retries, 0, "a dry bucket must never grant a retry");
+    assert_eq!(
+        r.retries_suppressed, 10,
+        "each query wants exactly one retry before the denial fails it fast"
+    );
+    // Only the first attempts reached the backend: no retry storm.
+    assert_eq!(r.failures, 10);
+}
+
+#[test]
+fn successes_refill_the_bucket_so_retries_resume_after_an_outage() {
+    let model = ResilientModel::new(SwitchedModel::new(true), config(1.0, 0.5, 1));
+    let block = comet_isa::parse_block("add rcx, rax").unwrap();
+
+    // Outage: the single token funds one retry, then denials only.
+    assert!(model.try_predict(&block).is_err());
+    assert!(model.try_predict(&block).is_err());
+    let during = report(&model);
+    assert_eq!(during.retries, 1, "the initial token funds exactly one retry");
+    assert_eq!(during.retries_suppressed, 1, "the second query finds the bucket dry");
+
+    // Recovery: each success refunds 0.5 tokens (capped at the budget).
+    model.inner().fail.store(false, Relaxed);
+    for _ in 0..4 {
+        assert!(model.try_predict(&block).is_ok());
+    }
+
+    // Relapse: the refilled bucket funds retries again.
+    model.inner().fail.store(true, Relaxed);
+    assert!(model.try_predict(&block).is_err());
+    let after = report(&model);
+    assert_eq!(after.retries, 2, "idle-time successes re-armed the retry budget");
+    assert_eq!(after.retries_suppressed, 1, "no new suppression once refilled");
+}
+
+#[test]
+fn concurrent_callers_share_one_bucket_exactly() {
+    const THREADS: usize = 8;
+    const QUERIES_PER_THREAD: u64 = 16;
+    const BUDGET: f64 = 4.0;
+    let model = Arc::new(ResilientModel::new(SwitchedModel::new(true), config(BUDGET, 0.1, 3)));
+    let block = comet_isa::parse_block("div rcx").unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let model = Arc::clone(&model);
+            let block = block.clone();
+            scope.spawn(move || {
+                for _ in 0..QUERIES_PER_THREAD {
+                    assert!(model.try_predict(&block).is_err());
+                }
+            });
+        }
+    });
+
+    let total = THREADS as u64 * QUERIES_PER_THREAD;
+    let r = report(&model);
+    assert_eq!(r.queries, total);
+    // Nothing succeeded, so nothing refilled: the whole run spends
+    // exactly the initial budget, no matter how the threads interleave.
+    assert_eq!(r.retries, BUDGET as u64, "token accounting must be exact under contention");
+    // Every query that hit the dry bucket was suppressed exactly once;
+    // at most one query can be mid-retry when the bucket dries up.
+    assert!(
+        r.retries_suppressed >= total - BUDGET as u64 && r.retries_suppressed <= total,
+        "suppressed {} of {total} queries with budget {BUDGET}",
+        r.retries_suppressed
+    );
+    // Backend saw first attempts + funded retries only.
+    assert_eq!(r.failures, total + BUDGET as u64);
+}

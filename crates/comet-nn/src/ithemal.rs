@@ -323,6 +323,25 @@ impl HierarchicalRegressor {
         params.extend(self.head.params_mut());
         params
     }
+
+    /// Shared references to all trainable parameters, in the same
+    /// order as [`params_mut`](HierarchicalRegressor::params_mut).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut params = self.embedding.params();
+        params.extend(self.token_lstm.params());
+        params.extend(self.instr_lstm.params());
+        params.extend(self.head.params());
+        params
+    }
+
+    /// 64-bit FNV-1a fingerprint of every weight's IEEE-754 bit
+    /// pattern, in parameter order. Equal fingerprints mean
+    /// bitwise-equal weights and therefore bitwise-equal predictions —
+    /// the identity the model registry stores with each snapshot so a
+    /// recovered model can be proven to be the one that was saved.
+    pub fn weights_fingerprint(&self) -> u64 {
+        self.params().iter().fold(0xcbf2_9ce4_8422_2325u64, |hash, p| p.fold_fnv(hash))
+    }
 }
 
 /// Mini-batch Adam trainer for [`HierarchicalRegressor`].
@@ -493,5 +512,27 @@ mod tests {
         let short = vec![vec![0, 1]];
         let long = vec![vec![0, 1]; 6];
         assert_ne!(model.predict(&short), model.predict(&long));
+    }
+
+    /// The weights fingerprint is stable for a given model, ignores
+    /// optimizer state, and moves when any single weight moves.
+    #[test]
+    fn weights_fingerprint_tracks_weight_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = HierarchicalRegressor::new(8, 4, 8, &mut rng);
+        let clone = model.clone();
+        assert_eq!(model.weights_fingerprint(), clone.weights_fingerprint());
+        assert_ne!(
+            model.weights_fingerprint(),
+            HierarchicalRegressor::new(8, 4, 8, &mut rng).weights_fingerprint(),
+            "a differently initialized model must fingerprint differently"
+        );
+        // Gradient state is not part of the identity…
+        model.params_mut()[0].grad[0] += 1.0;
+        assert_eq!(model.weights_fingerprint(), clone.weights_fingerprint());
+        // …but the smallest possible weight change is.
+        let first = &mut model.params_mut()[0].value[0];
+        *first = f64::from_bits(first.to_bits() ^ 1);
+        assert_ne!(model.weights_fingerprint(), clone.weights_fingerprint());
     }
 }

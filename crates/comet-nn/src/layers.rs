@@ -62,6 +62,11 @@ impl Embedding {
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.table]
     }
+
+    /// Shared references to the trainable parameters.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.table]
+    }
 }
 
 /// A fully connected layer `y = W x + b`.
@@ -124,6 +129,11 @@ impl Linear {
     /// Mutable references to the trainable parameters.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w, &mut self.b]
+    }
+
+    /// Shared references to the trainable parameters.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
     }
 }
 

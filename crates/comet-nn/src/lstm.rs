@@ -371,6 +371,11 @@ impl Lstm {
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.wx, &mut self.wh, &mut self.b]
     }
+
+    /// Shared references to the trainable parameters.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.b]
+    }
 }
 
 #[cfg(test)]

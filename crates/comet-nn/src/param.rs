@@ -36,6 +36,21 @@ impl Param {
         self.value.len()
     }
 
+    /// Fold this parameter's *values* (not optimizer state) into a
+    /// running 64-bit FNV-1a hash over their IEEE-754 bit patterns.
+    /// Two parameters hash equal iff their weights are bitwise equal,
+    /// which is what model-registry fingerprints need: optimizer
+    /// moments may differ between a trained model and its snapshot
+    /// round-trip without changing what the model predicts.
+    pub fn fold_fnv(&self, mut hash: u64) -> u64 {
+        for &v in &self.value {
+            for b in v.to_bits().to_le_bytes() {
+                hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+
     /// Whether the parameter is empty.
     pub fn is_empty(&self) -> bool {
         self.value.is_empty()

@@ -29,15 +29,23 @@
 //! * **Crash containment** — the `comet-supervisor` binary
 //!   ([`supervise`]) keeps N serve processes alive with jittered
 //!   exponential-backoff restarts and a restart-rate circuit breaker.
+//! * **Crash-safe model lifecycle** — a versioned on-disk registry
+//!   ([`comet_models::ModelRegistry`]) plus RCU-published model epochs
+//!   ([`lifecycle`]): `POST /admin/model` stages a candidate, shadow
+//!   validates it against the live model, hot-swaps atomically, and
+//!   rolls back automatically if probation traffic regresses; every
+//!   response names the `model_version` that computed it.
 //!
-//! Endpoints: `POST /v1/predict`, `POST /v1/explain`, `GET /healthz`,
-//! `GET /readyz`, `GET /metrics`. Wire DTOs live in [`wire`]; the
+//! Endpoints: `POST /v1/predict`, `POST /v1/explain`,
+//! `POST`/`GET /admin/model`, `GET /healthz`, `GET /readyz`,
+//! `GET /metrics`. Wire DTOs live in [`wire`]; the
 //! HTTP/1.1 subset in [`http`]. Seeded fault injection for the chaos
 //! harness lives in [`server::ChaosConfig`] (worker panics) and the
 //! `comet-models` fault decorators (model-level faults).
 
 pub mod admission;
 pub mod http;
+pub mod lifecycle;
 pub mod metrics;
 pub mod queue;
 pub mod server;
@@ -45,6 +53,7 @@ pub mod supervise;
 pub mod wire;
 
 pub use admission::{AdmissionConfig, AdmissionController, ShedReason};
+pub use lifecycle::ShadowGates;
 pub use metrics::{Endpoint, StatusClass, Tier};
 pub use queue::BoundedQueue;
 pub use server::{ChaosConfig, ModelKind, ServeConfig, Server};

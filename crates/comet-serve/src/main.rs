@@ -5,6 +5,7 @@
 //!             [--model crude|crude-skylake|uica] [--epsilon F]
 //!             [--deadline-ms MS] [--batch N] [--search-pool N]
 //!             [--idle-timeout-ms MS] [--admission-target-ms MS]
+//!             [--registry DIR] [--probation-requests N]
 //!             [--supervised] [--chaos-seed N] [--chaos-panic-rate F]
 //!             [--bench-client] [--duration-secs S] [--clients N]
 //!             [--out FILE]
@@ -50,6 +51,7 @@ fn usage() -> ! {
          \x20                  [--model crude|crude-skylake|uica] [--epsilon F] [--deadline-ms MS]\n\
          \x20                  [--batch N] [--search-pool N] [--idle-timeout-ms MS]\n\
          \x20                  [--admission-target-ms MS] [--supervised]\n\
+         \x20                  [--registry DIR] [--probation-requests N]\n\
          \x20                  [--chaos-seed N] [--chaos-panic-rate F]\n\
          \x20                  [--bench-client] [--duration-secs S] [--clients N] [--out FILE]"
     );
@@ -94,6 +96,10 @@ fn parse_args() -> Args {
                 args.config.admission.target_delay_us = target_ms.saturating_mul(1_000);
                 args.config.admission.interval_us =
                     args.config.admission.target_delay_us.saturating_mul(4).max(1_000);
+            }
+            "--registry" => args.config.registry_dir = Some(value("--registry")),
+            "--probation-requests" => {
+                args.config.probation_requests = parse_or_usage(&value("--probation-requests"))
             }
             "--supervised" => args.supervised = true,
             "--chaos-seed" => args.chaos_seed = parse_or_usage(&value("--chaos-seed")),

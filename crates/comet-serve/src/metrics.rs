@@ -27,17 +27,20 @@ pub enum Endpoint {
     Readyz,
     /// `GET /metrics`
     Metrics,
+    /// `POST`/`GET /admin/model` (model lifecycle).
+    Admin,
     /// Anything else (404s, bad request lines, …).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 7] = [
         Endpoint::Predict,
         Endpoint::Explain,
         Endpoint::Healthz,
         Endpoint::Readyz,
         Endpoint::Metrics,
+        Endpoint::Admin,
         Endpoint::Other,
     ];
 
@@ -48,7 +51,8 @@ impl Endpoint {
             Endpoint::Healthz => 2,
             Endpoint::Readyz => 3,
             Endpoint::Metrics => 4,
-            Endpoint::Other => 5,
+            Endpoint::Admin => 5,
+            Endpoint::Other => 6,
         }
     }
 
@@ -59,6 +63,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Readyz => "readyz",
             Endpoint::Metrics => "metrics",
+            Endpoint::Admin => "admin",
             Endpoint::Other => "other",
         }
     }
@@ -79,6 +84,8 @@ pub enum StatusClass {
     Timeout,
     /// 413 (request body over the hard cap).
     PayloadTooLarge,
+    /// 409 (a staged model candidate failed shadow validation).
+    Conflict,
     /// 431 (request line or header block over the hard cap).
     HeadersTooLarge,
     /// 500 (handler failure).
@@ -88,11 +95,12 @@ pub enum StatusClass {
 }
 
 impl StatusClass {
-    const ALL: [StatusClass; 8] = [
+    const ALL: [StatusClass; 9] = [
         StatusClass::Ok,
         StatusClass::BadRequest,
         StatusClass::NotFound,
         StatusClass::Timeout,
+        StatusClass::Conflict,
         StatusClass::PayloadTooLarge,
         StatusClass::HeadersTooLarge,
         StatusClass::Internal,
@@ -105,10 +113,11 @@ impl StatusClass {
             StatusClass::BadRequest => 1,
             StatusClass::NotFound => 2,
             StatusClass::Timeout => 3,
-            StatusClass::PayloadTooLarge => 4,
-            StatusClass::HeadersTooLarge => 5,
-            StatusClass::Internal => 6,
-            StatusClass::Shed => 7,
+            StatusClass::Conflict => 4,
+            StatusClass::PayloadTooLarge => 5,
+            StatusClass::HeadersTooLarge => 6,
+            StatusClass::Internal => 7,
+            StatusClass::Shed => 8,
         }
     }
 
@@ -119,6 +128,7 @@ impl StatusClass {
             StatusClass::BadRequest => 400,
             StatusClass::NotFound => 404,
             StatusClass::Timeout => 408,
+            StatusClass::Conflict => 409,
             StatusClass::PayloadTooLarge => 413,
             StatusClass::HeadersTooLarge => 431,
             StatusClass::Internal => 500,
@@ -286,6 +296,14 @@ pub struct Registry {
     /// Latency histograms for the two real endpoints.
     predict_latency: Histogram,
     explain_latency: Histogram,
+    /// Active model version (registry version of the epoch serving
+    /// traffic); 0 until the first epoch is published.
+    model_version: AtomicU64,
+    /// Model hot-swaps that reached the serving path (promotions,
+    /// including forced ones; rollbacks count separately).
+    model_swaps: AtomicU64,
+    /// Automatic or manual rollbacks to the last-known-good model.
+    model_rollbacks: AtomicU64,
 }
 
 impl Registry {
@@ -417,6 +435,37 @@ impl Registry {
             return 0.0;
         }
         self.batched_queries[endpoint.index()].load(Relaxed) as f64 / (chunks * batch) as f64
+    }
+
+    /// Publish the active model version (gauge).
+    pub fn set_model_version(&self, version: u64) {
+        self.model_version.store(version, Relaxed);
+    }
+
+    /// The active model version last published.
+    pub fn model_version(&self) -> u64 {
+        self.model_version.load(Relaxed)
+    }
+
+    /// Count one model hot-swap (a promotion reaching the serving
+    /// path).
+    pub fn record_model_swap(&self) {
+        self.model_swaps.fetch_add(1, Relaxed);
+    }
+
+    /// Model hot-swaps so far.
+    pub fn model_swap_count(&self) -> u64 {
+        self.model_swaps.load(Relaxed)
+    }
+
+    /// Count one rollback to the last-known-good model.
+    pub fn record_model_rollback(&self) {
+        self.model_rollbacks.fetch_add(1, Relaxed);
+    }
+
+    /// Rollbacks so far.
+    pub fn model_rollback_count(&self) -> u64 {
+        self.model_rollbacks.load(Relaxed)
     }
 
     /// The explain latency histogram (for the bench client's report).
@@ -558,6 +607,28 @@ impl Registry {
         let _ = writeln!(out, "# HELP comet_cache_entries Live entries in the shared cache.");
         let _ = writeln!(out, "# TYPE comet_cache_entries gauge");
         let _ = writeln!(out, "comet_cache_entries {}", cache.entries);
+        let _ = writeln!(
+            out,
+            "# HELP comet_cache_evictions_total Entries displaced by bounded-capacity inserts."
+        );
+        let _ = writeln!(out, "# TYPE comet_cache_evictions_total counter");
+        let _ = writeln!(out, "comet_cache_evictions_total {}", cache.evictions);
+
+        let _ = writeln!(
+            out,
+            "# HELP comet_model_version Registry version of the model serving traffic."
+        );
+        let _ = writeln!(out, "# TYPE comet_model_version gauge");
+        let _ = writeln!(out, "comet_model_version {}", self.model_version.load(Relaxed));
+        let _ = writeln!(out, "# HELP comet_model_swaps_total Model hot-swaps served so far.");
+        let _ = writeln!(out, "# TYPE comet_model_swaps_total counter");
+        let _ = writeln!(out, "comet_model_swaps_total {}", self.model_swaps.load(Relaxed));
+        let _ = writeln!(
+            out,
+            "# HELP comet_model_rollbacks_total Rollbacks to the last-known-good model."
+        );
+        let _ = writeln!(out, "# TYPE comet_model_rollbacks_total counter");
+        let _ = writeln!(out, "comet_model_rollbacks_total {}", self.model_rollbacks.load(Relaxed));
 
         let _ = writeln!(out, "# HELP comet_request_latency_seconds Request latency.");
         let _ = writeln!(out, "# TYPE comet_request_latency_seconds histogram");

@@ -54,25 +54,28 @@ use std::time::{Duration, Instant};
 
 use crate::admission::{AdmissionConfig, AdmissionController, ShedReason};
 use crate::http::{self, HttpError, Request};
+use crate::lifecycle::{self, LifecycleState, ModelEpoch, ShadowGates};
 use crate::metrics::{Endpoint, Registry, StatusClass, Tier};
 use crate::queue::BoundedQueue;
 use crate::wire::{
-    self, decode_request, ErrorResponse, ExplainRequest, ExplainResponse, ExplanationDto,
-    PredictRequest, PredictResponse, WIRE_V,
+    self, decode_request, AdminModelRequest, ErrorResponse, ExplainRequest, ExplainResponse,
+    ExplanationDto, PredictRequest, PredictResponse, WIRE_V,
 };
 use comet_core::cancel::CancelToken;
-use comet_core::{BatchExec, ExplainConfig, ExplainError, Explainer, Explanation};
+use comet_core::{BatchExec, ExplainConfig, ExplainError, Explainer, Explanation, SwapCell};
 use comet_isa::{BasicBlock, Microarch};
 use comet_models::{
-    CachedModel, CostModel, CrudeModel, DeadlineModel, ModelError, QueryStats, ResilientConfig,
-    ResilientModel, UicaSurrogate,
+    CachedModel, CostModel, CrudeModel, DeadlineModel, ModelError, ModelRegistry, QueryStats,
+    RegistryRecovery, ResilientModel, UicaSurrogate,
 };
 
 /// A boxed, shareable cost model — the bottom of the serving stack.
 pub type BoxedModel = Box<dyn CostModel + Send + Sync>;
 
-/// The process-wide shared model stack (see module docs).
-type Stack = CachedModel<ResilientModel<BoxedModel>>;
+/// The per-epoch shared model stack (see module docs). Each published
+/// [`ModelEpoch`] owns its own stack, so swapping models invalidates
+/// the prediction cache by construction.
+pub(crate) type Stack = CachedModel<ResilientModel<BoxedModel>>;
 
 /// Which base model the binary serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +96,16 @@ impl ModelKind {
             "crude-skylake" => Some(ModelKind::CrudeSkylake),
             "uica" => Some(ModelKind::Uica),
             _ => None,
+        }
+    }
+
+    /// The canonical rebuild-recipe string (round-trips through
+    /// [`ModelKind::parse`] and the registry's snapshot `kind` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::CrudeHaswell => "crude-haswell",
+            ModelKind::CrudeSkylake => "crude-skylake",
+            ModelKind::Uica => "uica",
         }
     }
 
@@ -156,6 +169,17 @@ pub struct ServeConfig {
     /// Seeded in-server fault injection; `None` (the default) disables
     /// chaos entirely.
     pub chaos: Option<ChaosConfig>,
+    /// On-disk model registry directory. `None` serves without
+    /// persistence (swaps still work, versions are in-memory only);
+    /// `Some(dir)` makes the last-known-good model crash-durable and
+    /// recovers it at boot.
+    pub registry_dir: Option<String>,
+    /// Requests a freshly swapped model must survive before it is
+    /// durably promoted as last-known-good; 0 disables probation
+    /// (shadow validation alone gates swaps).
+    pub probation_requests: u64,
+    /// Shadow-validation gates for `POST /admin/model` candidates.
+    pub shadow: ShadowGates,
 }
 
 impl Default for ServeConfig {
@@ -172,6 +196,9 @@ impl Default for ServeConfig {
             idle_timeout_ms: 5_000,
             admission: AdmissionConfig::default(),
             chaos: None,
+            registry_dir: None,
+            probation_requests: 64,
+            shadow: ShadowGates::default(),
         }
     }
 }
@@ -283,19 +310,22 @@ impl CostModel for DeadlineGate<'_> {
 /// Shared state visible to the accept loop, every worker, and (read
 /// only) to embedding code like the bench client and tests.
 pub struct ServerCtx {
-    stack: Arc<Stack>,
+    /// The published model epoch. Readers load it lock-free (RCU);
+    /// every request captures exactly one `(version, model)` pair for
+    /// its lifetime, so responses are never torn across a swap.
+    pub(crate) epoch: SwapCell<ModelEpoch>,
     metrics: Registry,
     admission: AdmissionController,
     flights: Mutex<HashMap<u64, Arc<Flight>>>,
     /// Stale explanations for the ladder's cached tier, keyed by
-    /// seed-independent `explain_key(block, ε, 0)`.
-    stale: Mutex<HashMap<u64, Explanation>>,
+    /// `(model version, seed-independent explain_key(block, ε, 0))` —
+    /// an old model's explanation is never served as another version's.
+    stale: Mutex<HashMap<(u64, u64), Explanation>>,
     explain_base: ExplainConfig,
     default_epsilon: f64,
     default_deadline_ms: u64,
     explain_batch: usize,
     search_pool: usize,
-    model_name: String,
     cancel: CancelToken,
     /// Sticky readiness: set by the first successful model probe.
     ready: AtomicBool,
@@ -305,6 +335,18 @@ pub struct ServerCtx {
     chaos: Option<ChaosConfig>,
     /// Connections handled so far; indexes the chaos panic schedule.
     connections: AtomicU64,
+    /// The on-disk registry, when serving with `--registry`.
+    pub(crate) registry: Option<ModelRegistry>,
+    /// What opening the registry had to repair (quarantines etc.).
+    pub(crate) recovery: RegistryRecovery,
+    /// Swap/probation/rollback state; its mutex serializes admin swaps.
+    pub(crate) lifecycle: Mutex<LifecycleState>,
+    /// Probation window length for freshly swapped models.
+    pub(crate) probation_requests: u64,
+    /// Shadow-validation gates.
+    pub(crate) shadow: ShadowGates,
+    /// Cache capacity for stacks built around swapped-in candidates.
+    pub(crate) cache_capacity: usize,
 }
 
 impl ServerCtx {
@@ -319,9 +361,14 @@ impl ServerCtx {
         &self.admission
     }
 
-    /// A snapshot of the shared prediction cache's counters.
+    /// A snapshot of the live epoch's prediction-cache counters.
     pub fn cache_stats(&self) -> QueryStats {
-        self.stack.stats()
+        self.epoch.load().stack.stats()
+    }
+
+    /// The registry version of the model currently serving traffic.
+    pub fn model_version(&self) -> u64 {
+        self.epoch.load().version
     }
 
     /// The cancellation token driving graceful drain.
@@ -340,41 +387,95 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind and start serving `kind`'s model with `config`.
+    /// Bind and start serving `kind`'s model with `config`. With a
+    /// registry configured, an intact active snapshot on disk wins
+    /// over `kind` — restart recovery serves what the manifest says
+    /// was last known good.
     pub fn start(kind: ModelKind, mut config: ServeConfig) -> std::io::Result<Server> {
         let (base, default_eps) = kind.build();
         if config.epsilon <= 0.0 {
             config.epsilon = default_eps;
         }
         let name = base.name().to_string();
-        Server::start_with_model(base, name, config)
+        Server::start_inner(base, name, kind.label().to_string(), config)
     }
 
     /// Start with an explicit base model — the injection point for
     /// tests and the bench client (e.g. a model with artificial
-    /// latency, or a query counter).
+    /// latency, or a query counter). The model's rebuild recipe is
+    /// recorded as `"custom"`, which restart recovery cannot rebuild —
+    /// it falls back to the model the caller provides.
     pub fn start_with_model(
         base: BoxedModel,
         model_name: String,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        Server::start_inner(base, model_name, "custom".to_string(), config)
+    }
+
+    fn start_inner(
+        mut base: BoxedModel,
+        mut model_name: String,
+        mut kind_str: String,
         config: ServeConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
-        // A finite retry budget: ~a burst of 64 retries, refilled by
-        // successes. Under a correlated backend outage the budget
-        // drains once and retries stop amplifying the load; in healthy
-        // operation the refill keeps it full and retries behave as
-        // before.
-        let resilient_config =
-            ResilientConfig { retry_budget: 64.0, retry_refill: 0.1, ..ResilientConfig::default() };
-        let resilient = ResilientModel::new(base, resilient_config);
-        let stack = Arc::new(CachedModel::bounded(resilient, config.cache_capacity));
+        // Registry boot: verify snapshots (quarantining damage), then
+        // let the durable last-known-good model override the CLI choice
+        // when its kind can be rebuilt. An empty registry adopts the
+        // boot model as v1.
+        let (registry, recovery) = match &config.registry_dir {
+            Some(dir) => {
+                let (registry, recovery) = ModelRegistry::open(std::path::Path::new(dir))?;
+                if !recovery.quarantined.is_empty() || recovery.manifest_recovered {
+                    eprintln!(
+                        "[comet-serve] registry recovery: quarantined {:?}, manifest recovered: {}",
+                        recovery.quarantined, recovery.manifest_recovered
+                    );
+                }
+                (Some(registry), recovery)
+            }
+            None => (None, RegistryRecovery::default()),
+        };
+        let mut version = 1u64;
+        if let Some(registry) = &registry {
+            match registry.load_active() {
+                Ok(Some(snapshot)) => {
+                    version = snapshot.version;
+                    if let Some(kind) = ModelKind::parse(&snapshot.kind) {
+                        let payload = serde_json::from_str(&snapshot.payload).unwrap_or_default();
+                        base = lifecycle::build_base(kind, &payload);
+                        model_name = base.name().to_string();
+                        kind_str = snapshot.kind.clone();
+                        eprintln!(
+                            "[comet-serve] registry: serving last-known-good v{version} ({})",
+                            snapshot.kind
+                        );
+                    }
+                    // An unrebuildable kind (e.g. "custom") keeps the
+                    // caller's base model under the recorded version.
+                }
+                Ok(None) | Err(_) => {
+                    // Empty registry, or the active snapshot rotted
+                    // since open and was just quarantined: adopt the
+                    // boot model as the first last-known-good.
+                    let snapshot = registry.stage(&kind_str, "boot", "{}")?;
+                    registry.promote(snapshot.version)?;
+                    version = snapshot.version;
+                }
+            }
+        }
+
+        let stack = lifecycle::build_stack(base, config.cache_capacity);
+        let epoch = Arc::new(ModelEpoch { version, name: model_name, kind: kind_str, stack });
         let metrics = Registry::new();
         metrics.set_batch_size(config.batch.max(1));
+        metrics.set_model_version(version);
         let ctx = Arc::new(ServerCtx {
-            stack,
+            epoch: SwapCell::new(Arc::clone(&epoch)),
             metrics,
             admission: AdmissionController::new(config.admission),
             flights: Mutex::new(HashMap::new()),
@@ -384,13 +485,23 @@ impl Server {
             default_deadline_ms: config.deadline_ms,
             explain_batch: config.batch.max(1),
             search_pool: config.search_pool.max(1),
-            model_name,
             cancel: CancelToken::new(),
             ready: AtomicBool::new(false),
             started: Instant::now(),
             idle_timeout: Duration::from_millis(config.idle_timeout_ms),
             chaos: config.chaos,
             connections: AtomicU64::new(0),
+            registry,
+            recovery,
+            lifecycle: Mutex::new(LifecycleState {
+                good: epoch,
+                probation: None,
+                last_rollback: None,
+                next_version: version,
+            }),
+            probation_requests: config.probation_requests,
+            shadow: config.shadow,
+            cache_capacity: config.cache_capacity,
         });
 
         let queue = Arc::new(BoundedQueue::<Accepted>::new(config.queue_depth));
@@ -619,13 +730,23 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
                 ctx.metrics.observe_latency(Endpoint::Explain, start.elapsed().as_micros() as u64);
             }
         }
+        ("POST", "/admin/model") => {
+            let status = handle_admin_post(ctx, stream, request, close);
+            ctx.metrics.record(Endpoint::Admin, status);
+        }
+        ("GET", "/admin/model") => {
+            ctx.metrics.record(Endpoint::Admin, StatusClass::Ok);
+            respond_json(stream, 200, &lifecycle::admin_status(ctx), close);
+        }
         ("GET", "/healthz") => {
             // Liveness only: the process is up and serving its event
             // loop. Routability is /readyz's job.
             ctx.metrics.record(Endpoint::Healthz, StatusClass::Ok);
+            let epoch = ctx.epoch.load();
             let body = format!(
-                "{{\"v\":{WIRE_V},\"ok\":true,\"model\":{}}}",
-                serde_json::to_string(&ctx.model_name).unwrap_or_else(|_| "\"?\"".into())
+                "{{\"v\":{WIRE_V},\"ok\":true,\"model\":{},\"model_version\":{}}}",
+                serde_json::to_string(&epoch.name).unwrap_or_else(|_| "\"?\"".into()),
+                epoch.version
             );
             let _ = http::write_response(
                 &mut { stream },
@@ -640,7 +761,7 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
             ctx.metrics.record(Endpoint::Metrics, StatusClass::Ok);
             // Refresh the admission gauges at scrape time.
             ctx.metrics.set_admission(ctx.admission.limit(), ctx.admission.last_delay_us());
-            let text = ctx.metrics.render_prometheus(&ctx.stack.stats());
+            let text = ctx.metrics.render_prometheus(&ctx.epoch.load().stack.stats());
             let _ = http::write_response(
                 &mut { stream },
                 200,
@@ -649,7 +770,10 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
                 close,
             );
         }
-        (_, "/v1/predict" | "/v1/explain" | "/healthz" | "/readyz" | "/metrics") => {
+        (
+            _,
+            "/v1/predict" | "/v1/explain" | "/healthz" | "/readyz" | "/metrics" | "/admin/model",
+        ) => {
             ctx.metrics.record(Endpoint::Other, StatusClass::BadRequest);
             respond_error(stream, StatusClass::BadRequest, "method not allowed", close);
         }
@@ -665,13 +789,14 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
 /// is not draining. 503 with the failing reasons otherwise, so an
 /// orchestrator can both act on and explain a routing decision.
 fn handle_readyz(ctx: &ServerCtx, stream: &TcpStream, close: bool) {
+    let epoch = ctx.epoch.load();
     // Lazy, sticky model probe: cheap once warm, and a model that
     // cannot answer `nop` was never going to serve anything.
     if !ctx.ready.load(Relaxed) {
         let probed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             comet_isa::parse_block("nop")
                 .ok()
-                .and_then(|block| ctx.stack.try_predict(&block).ok())
+                .and_then(|block| epoch.stack.try_predict(&block).ok())
                 .is_some_and(|cost| cost.is_finite())
         }))
         .unwrap_or(false);
@@ -679,28 +804,31 @@ fn handle_readyz(ctx: &ServerCtx, stream: &TcpStream, close: bool) {
             ctx.ready.store(true, Relaxed);
         }
     }
-    let mut reasons: Vec<&str> = Vec::new();
+    let mut reasons: Vec<String> = Vec::new();
     if !ctx.ready.load(Relaxed) {
-        reasons.push("model probe failed");
+        reasons.push("model probe failed".into());
     }
-    if ctx.stack.resilience().is_some_and(|r| r.degraded) {
-        reasons.push("circuit breaker open");
+    if epoch.stack.resilience().is_some_and(|r| r.degraded) {
+        reasons.push("circuit breaker open".into());
     }
     if ctx.admission.overloaded() {
-        reasons.push("queue delay above target");
+        reasons.push("queue delay above target".into());
     }
     if ctx.cancel.is_cancelled() {
-        reasons.push("draining");
+        reasons.push("draining".into());
     }
     if reasons.is_empty() {
         ctx.metrics.record(Endpoint::Readyz, StatusClass::Ok);
-        let body = format!("{{\"v\":{WIRE_V},\"ready\":true}}");
+        let body = format!("{{\"v\":{WIRE_V},\"ready\":true,\"model_version\":{}}}", epoch.version);
         let _ =
             http::write_response(&mut { stream }, 200, "application/json", body.as_bytes(), close);
     } else {
         ctx.metrics.record(Endpoint::Readyz, StatusClass::Shed);
         let list = serde_json::to_string(&reasons).unwrap_or_else(|_| "[]".into());
-        let body = format!("{{\"v\":{WIRE_V},\"ready\":false,\"reasons\":{list}}}");
+        let body = format!(
+            "{{\"v\":{WIRE_V},\"ready\":false,\"model_version\":{},\"reasons\":{list}}}",
+            epoch.version
+        );
         let _ =
             http::write_response(&mut { stream }, 503, "application/json", body.as_bytes(), close);
     }
@@ -746,16 +874,26 @@ fn handle_predict(
             return StatusClass::BadRequest;
         }
     };
+    // One epoch for the whole request: the prediction and the
+    // version/name reported alongside it always agree, even if a swap
+    // lands while this request is in flight.
+    let epoch = ctx.epoch.load();
     let result = match effective_deadline(ctx, req.deadline_ms, request.deadline_ms) {
         Some(deadline) => {
-            DeadlineModel::from_arc(Arc::clone(&ctx.stack), deadline).try_predict(&block)
+            DeadlineModel::from_arc(Arc::clone(&epoch.stack), deadline).try_predict(&block)
         }
-        None => ctx.stack.try_predict(&block),
+        None => epoch.stack.try_predict(&block),
     };
     match result {
         Ok(prediction) => {
-            let body = PredictResponse { v: WIRE_V, model: ctx.model_name.clone(), prediction };
+            let body = PredictResponse {
+                v: WIRE_V,
+                model: epoch.name.clone(),
+                model_version: epoch.version,
+                prediction,
+            };
             respond_json(stream, 200, &body, close);
+            lifecycle::note_outcome(ctx, epoch.version, lifecycle::Outcome::Ok);
             StatusClass::Ok
         }
         Err(ModelError::Timeout { .. }) => {
@@ -764,7 +902,35 @@ fn handle_predict(
         }
         Err(e) => {
             respond_error(stream, StatusClass::Internal, &format!("model failure: {e}"), close);
+            lifecycle::note_outcome(ctx, epoch.version, lifecycle::Outcome::Failure);
             StatusClass::Internal
+        }
+    }
+}
+
+/// `POST /admin/model`: the model-lifecycle entry point (stage, shadow
+/// validate, hot-swap, rollback). See [`lifecycle`].
+fn handle_admin_post(
+    ctx: &ServerCtx,
+    stream: &TcpStream,
+    request: &Request,
+    close: bool,
+) -> StatusClass {
+    let req: AdminModelRequest = match decode_request(&request.body) {
+        Ok(req) => req,
+        Err(e) => {
+            respond_error(stream, StatusClass::BadRequest, &e, close);
+            return StatusClass::BadRequest;
+        }
+    };
+    match lifecycle::admin_model(ctx, &req) {
+        Ok((status, body)) => {
+            respond_json(stream, status.code(), &body, close);
+            status
+        }
+        Err((status, error)) => {
+            respond_error(stream, status, &error, close);
+            status
         }
     }
 }
@@ -799,9 +965,13 @@ fn handle_explain(
     let epsilon = req.epsilon.filter(|e| e.is_finite() && *e > 0.0).unwrap_or(ctx.default_epsilon);
     let deadline = effective_deadline(ctx, req.deadline_ms, request.deadline_ms);
 
+    // One epoch for the whole request (see handle_predict).
+    let epoch = ctx.epoch.load();
     // Coalescing key: canonical text (parse → Display normalizes
-    // whitespace/case) + ε + seed.
-    let key = wire::explain_key(&block.to_string(), epsilon, req.seed);
+    // whitespace/case) + ε + seed — folded with the epoch version so a
+    // follower can never piggyback on a search run against a different
+    // model than the one it will report.
+    let key = wire::explain_key(&block.to_string(), epsilon, req.seed) ^ splitmix64(epoch.version);
     let (flight, leader) = {
         let mut flights = ctx.flights.lock().unwrap_or_else(|p| p.into_inner());
         match flights.get(&key) {
@@ -819,7 +989,7 @@ fn handle_explain(
         // The search must always complete the flight — a panic that
         // left twins parked forever would wedge their workers.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_search(ctx, &block, epsilon, req.seed, deadline, exec)
+            run_search(ctx, &epoch, &block, epsilon, req.seed, deadline, exec)
         }))
         .unwrap_or_else(|_| Err((StatusClass::Internal, "explanation search panicked".into())));
         if let Ok((_, tier)) = &outcome {
@@ -849,17 +1019,22 @@ fn handle_explain(
             dto.tier = tier.label().into();
             let body = ExplainResponse {
                 v: WIRE_V,
-                model: ctx.model_name.clone(),
+                model: epoch.name.clone(),
+                model_version: epoch.version,
                 epsilon,
                 seed: req.seed,
                 coalesced: !leader,
                 explanation: dto,
             };
             respond_json(stream, 200, &body, close);
+            lifecycle::note_outcome(ctx, epoch.version, lifecycle::Outcome::ExplainTier(tier));
             StatusClass::Ok
         }
         Err((status, error)) => {
             respond_error(stream, status, &error, close);
+            if status == StatusClass::Internal {
+                lifecycle::note_outcome(ctx, epoch.version, lifecycle::Outcome::Failure);
+            }
             status
         }
     }
@@ -873,9 +1048,9 @@ fn handle_explain(
 /// tier (deadline under p90/8 — not even a reduced search fits).
 /// The histogram must have seen at least 8 explains before it is
 /// trusted; before that only the breaker/queue signals apply.
-fn choose_tier(ctx: &ServerCtx, deadline: Option<Duration>) -> Tier {
+fn choose_tier(ctx: &ServerCtx, stack: &Stack, deadline: Option<Duration>) -> Tier {
     let mut tier = Tier::Full;
-    let breaker_open = ctx.stack.resilience().is_some_and(|r| r.degraded);
+    let breaker_open = stack.resilience().is_some_and(|r| r.degraded);
     if breaker_open || ctx.admission.overloaded() {
         tier = Tier::ReducedBudget;
     }
@@ -896,7 +1071,7 @@ fn choose_tier(ctx: &ServerCtx, deadline: Option<Duration>) -> Tier {
 
 /// Remember a good explanation for the ladder's cached tier (bounded,
 /// arbitrary eviction — staleness is the point, recency is not).
-fn store_stale(ctx: &ServerCtx, key: u64, explanation: &Explanation) {
+fn store_stale(ctx: &ServerCtx, key: (u64, u64), explanation: &Explanation) {
     let mut stale = ctx.stale.lock().unwrap_or_else(|p| p.into_inner());
     if stale.len() >= STALE_CAP && !stale.contains_key(&key) {
         if let Some(&evict) = stale.keys().next() {
@@ -914,6 +1089,7 @@ fn store_stale(ctx: &ServerCtx, key: u64, explanation: &Explanation) {
 /// metrics registry here.
 fn run_search(
     ctx: &ServerCtx,
+    epoch: &ModelEpoch,
     block: &BasicBlock,
     epsilon: f64,
     seed: u64,
@@ -921,11 +1097,12 @@ fn run_search(
     exec: &BatchExec,
 ) -> FlightResult {
     let start = Instant::now();
-    // Seed-independent key: any seed's completed search can serve as a
-    // stale stand-in for this (block, ε).
-    let stale_key = wire::explain_key(&block.to_string(), epsilon, 0);
+    // Seed-independent, version-scoped key: any seed's completed search
+    // can serve as a stale stand-in for this (model version, block, ε)
+    // — never for another model's.
+    let stale_key = (epoch.version, wire::explain_key(&block.to_string(), epsilon, 0));
     let base = ExplainConfig { epsilon, ..ctx.explain_base };
-    let mut tier = choose_tier(ctx, deadline);
+    let mut tier = choose_tier(ctx, &epoch.stack, deadline);
     let mut last_error: Option<(StatusClass, String)> = None;
     loop {
         match tier {
@@ -942,7 +1119,7 @@ fn run_search(
                 }
                 let config = if tier == Tier::Full { base } else { base.reduced_budget() };
                 let gate = DeadlineGate {
-                    inner: &ctx.stack,
+                    inner: &epoch.stack,
                     start: Instant::now(),
                     budget: remaining,
                     cancel: Some(&ctx.cancel),
@@ -983,7 +1160,7 @@ fn run_search(
                 // an answer beats a clean timeout here). Cancellation
                 // still applies so drain is never blocked on it.
                 let gate = DeadlineGate {
-                    inner: &ctx.stack,
+                    inner: &epoch.stack,
                     start: Instant::now(),
                     budget: None,
                     cancel: Some(&ctx.cancel),
@@ -1034,6 +1211,7 @@ fn attempt_search(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use comet_models::ResilientConfig;
 
     #[test]
     fn model_kind_parses_the_documented_names() {
@@ -1042,6 +1220,10 @@ mod tests {
         assert_eq!(ModelKind::parse("crude-skylake"), Some(ModelKind::CrudeSkylake));
         assert_eq!(ModelKind::parse("uica"), Some(ModelKind::Uica));
         assert_eq!(ModelKind::parse("ithemal"), None);
+        // Labels round-trip through parse (the registry relies on it).
+        for kind in [ModelKind::CrudeHaswell, ModelKind::CrudeSkylake, ModelKind::Uica] {
+            assert_eq!(ModelKind::parse(kind.label()), Some(kind));
+        }
     }
 
     #[test]
@@ -1136,19 +1318,20 @@ mod tests {
         )
         .unwrap();
         let ctx = server.ctx();
+        let stack = Arc::clone(&ctx.epoch.load().stack);
         // No pressure, no history: full search regardless of deadline.
-        assert_eq!(choose_tier(ctx, None), Tier::Full);
-        assert_eq!(choose_tier(ctx, Some(Duration::from_millis(1))), Tier::Full);
+        assert_eq!(choose_tier(ctx, &stack, None), Tier::Full);
+        assert_eq!(choose_tier(ctx, &stack, Some(Duration::from_millis(1))), Tier::Full);
         // Teach the histogram that explains take ~100ms.
         for _ in 0..10 {
             ctx.metrics().observe_latency(Endpoint::Explain, 100_000);
         }
-        assert_eq!(choose_tier(ctx, None), Tier::Full);
-        assert_eq!(choose_tier(ctx, Some(Duration::from_secs(1))), Tier::Full);
+        assert_eq!(choose_tier(ctx, &stack, None), Tier::Full);
+        assert_eq!(choose_tier(ctx, &stack, Some(Duration::from_secs(1))), Tier::Full);
         // A deadline under p90 steps down one rung…
-        assert_eq!(choose_tier(ctx, Some(Duration::from_millis(50))), Tier::ReducedBudget);
+        assert_eq!(choose_tier(ctx, &stack, Some(Duration::from_millis(50))), Tier::ReducedBudget);
         // …and one under p90/8 goes straight to the cached tier.
-        assert_eq!(choose_tier(ctx, Some(Duration::from_millis(2))), Tier::Cached);
+        assert_eq!(choose_tier(ctx, &stack, Some(Duration::from_millis(2))), Tier::Cached);
         server.shutdown();
     }
 
@@ -1175,7 +1358,7 @@ mod tests {
             duration_secs: 0.0,
         };
         for key in 0..(STALE_CAP as u64 + 100) {
-            store_stale(ctx, key, &explanation);
+            store_stale(ctx, (1, key), &explanation);
         }
         let len = ctx.stale.lock().unwrap().len();
         assert!(len <= STALE_CAP, "stale store grew to {len}");

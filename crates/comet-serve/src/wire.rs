@@ -55,6 +55,11 @@ pub struct PredictResponse {
     pub v: u32,
     /// Serving model name.
     pub model: String,
+    /// Registry version of the model that produced this prediction.
+    /// Every response reports the version its numbers actually came
+    /// from, even while a hot-swap is in flight.
+    #[serde(default)]
+    pub model_version: u64,
     /// Predicted cost (cycles).
     pub prediction: f64,
 }
@@ -115,6 +120,11 @@ pub struct ExplainResponse {
     pub v: u32,
     /// Serving model name.
     pub model: String,
+    /// Registry version of the model the search queried. A coalesced
+    /// follower reports the leader's version — the one whose
+    /// predictions are inside the explanation.
+    #[serde(default)]
+    pub model_version: u64,
     /// ε actually used for the search.
     pub epsilon: f64,
     /// Seed actually used for the search.
@@ -124,6 +134,113 @@ pub struct ExplainResponse {
     pub coalesced: bool,
     /// The explanation itself.
     pub explanation: ExplanationDto,
+}
+
+/// `POST /admin/model` request body: stage a model candidate (or roll
+/// back). The candidate is built server-side from `kind`, staged into
+/// the on-disk registry, shadow-validated against the active model,
+/// and — if it passes the gates (or `force` is set) — hot-swapped into
+/// the serving path on probation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct AdminModelRequest {
+    /// Wire version; must equal [`WIRE_V`].
+    pub v: u32,
+    /// Model kind to build (`"crude-haswell"`, `"crude-skylake"`,
+    /// `"uica"`). Required unless `rollback` is set.
+    #[serde(default)]
+    pub kind: Option<String>,
+    /// Free-form operator note recorded in the snapshot.
+    #[serde(default)]
+    pub note: Option<String>,
+    /// Skip the shadow-validation gates (the candidate is still
+    /// staged, validated, and put on probation — `force` only ignores
+    /// a failing report).
+    #[serde(default)]
+    pub force: bool,
+    /// Stage and validate but do not swap, whatever the verdict.
+    #[serde(default)]
+    pub dry_run: bool,
+    /// Roll back to the last-known-good model instead of staging a
+    /// candidate. Mutually exclusive with `kind`.
+    #[serde(default)]
+    pub rollback: bool,
+    /// Fault injection: scale the candidate's predictions by this
+    /// factor. A scaled candidate fails the shadow MAPE gate — the
+    /// supported way to exercise the 409 path and, with `force`, the
+    /// probation rollback path.
+    #[serde(default)]
+    pub chaos_scale: Option<f64>,
+    /// Fault injection: make every candidate prediction error. Fails
+    /// shadow validation outright; combine with `force` to promote
+    /// anyway and exercise the probation failure-rate trip and
+    /// automatic rollback.
+    #[serde(default)]
+    pub chaos_fail: bool,
+}
+
+impl HasVersion for AdminModelRequest {
+    fn version(&self) -> u32 {
+        self.v
+    }
+}
+
+/// Shadow-validation report for one candidate, returned from
+/// `POST /admin/model` and kept in the lifecycle log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShadowReport {
+    /// Probe blocks evaluated.
+    pub probes: u64,
+    /// Candidate predictions that were not finite.
+    pub non_finite: u64,
+    /// Mean absolute percentage error of the candidate vs the active
+    /// model over the probe set.
+    pub mape: f64,
+    /// Mean per-probe candidate latency, microseconds.
+    pub mean_latency_us: f64,
+    /// Whether every gate passed.
+    pub passed: bool,
+    /// Human-readable gate verdicts (empty when `passed`).
+    pub failures: Vec<String>,
+}
+
+/// `POST /admin/model` / `GET /admin/model` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdminModelResponse {
+    /// Wire version.
+    pub v: u32,
+    /// Registry version of the model currently serving traffic.
+    pub active_version: u64,
+    /// Name of the model currently serving traffic.
+    pub active_model: String,
+    /// Rebuild recipe of the active model (`"crude-skylake"`, …).
+    pub active_kind: String,
+    /// Last-known-good version (the rollback target).
+    pub last_good_version: u64,
+    /// Registry version this request staged (0 if none).
+    #[serde(default)]
+    pub staged_version: u64,
+    /// What the request did: `"promoted"`, `"rejected"`,
+    /// `"dry-run"`, `"rolled-back"`, or `"status"`.
+    pub action: String,
+    /// Shadow-validation report for the staged candidate, when one ran.
+    #[serde(default)]
+    pub shadow: Option<ShadowReport>,
+    /// Versions on disk in the registry, ascending.
+    pub registry_versions: Vec<u64>,
+    /// Snapshots quarantined at boot (damage found while scanning).
+    #[serde(default)]
+    pub quarantined: Vec<String>,
+    /// Hot-swaps so far (including rollback swaps).
+    pub swaps: u64,
+    /// Rollbacks so far.
+    pub rollbacks: u64,
+    /// Requests remaining in the active model's probation window
+    /// (0 once settled).
+    pub probation_remaining: u64,
+    /// Why the last rollback happened, if any.
+    #[serde(default)]
+    pub last_rollback: Option<String>,
 }
 
 /// Error body for every non-200 response.
@@ -256,6 +373,7 @@ mod tests {
         let resp = ExplainResponse {
             v: WIRE_V,
             model: "crude".into(),
+            model_version: 3,
             epsilon: 0.25,
             seed: 7,
             coalesced: false,
@@ -264,6 +382,21 @@ mod tests {
         let json = serde_json::to_string(&resp).unwrap();
         let back: ExplainResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn admin_request_round_trips_and_rejects_unknown_fields() {
+        let req: AdminModelRequest =
+            decode_request(br#"{"v":1,"kind":"crude-skylake","note":"canary"}"#).unwrap();
+        assert_eq!(req.kind.as_deref(), Some("crude-skylake"));
+        assert!(!req.force && !req.dry_run && !req.rollback && !req.chaos_fail);
+        assert_eq!(req.chaos_scale, None);
+        let json = serde_json::to_string(&req).unwrap();
+        let back: AdminModelRequest = decode_request(json.as_bytes()).unwrap();
+        assert_eq!(back, req);
+
+        let err = decode_request::<AdminModelRequest>(br#"{"v":1,"kindd":"uica"}"#).unwrap_err();
+        assert!(err.contains("kindd"), "{err}");
     }
 
     #[test]
