@@ -28,7 +28,7 @@ use std::time::Instant;
 use comet_core::{BatchExec, ExplainConfig, Explainer, FeatureSet, PerturbConfig, Perturber};
 use comet_isa::{parse_block, BasicBlock, Microarch};
 use comet_models::{CachedModel, CostModel, CrudeModel, Vocab};
-use comet_nn::{BatchScratch, HierarchicalRegressor, TokenizedBlock};
+use comet_nn::{kernel, BatchScratch, HierarchicalRegressor, TokenizedBlock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::{json, Value};
@@ -211,17 +211,19 @@ fn bench_nn(target_ms: u64) -> Value {
     v
 }
 
-/// Blocked batch inference micro-bench: one `predict_batch_with` call
-/// per iteration over B lanes, for B ∈ {1, 8, 32}. Caller-owned
-/// scratch and output buffers, so steady state must be allocation-free
-/// — asserted, not just reported, since the batched explain path leans
-/// on this invariant.
+/// Blocked batch inference micro-bench: every lane width B ∈ {1, 8, 32}
+/// pushes the SAME fixed 32-block mixed set through `predict_batch_with`
+/// in chunks of B, so `ns_per_block` is directly comparable across
+/// widths (each width does identical total work — only the lane count
+/// per call differs). Caller-owned scratch and output buffers, so
+/// steady state must be allocation-free — asserted, not just reported,
+/// since the batched explain path leans on this invariant.
 fn bench_nn_batch(target_ms: u64) -> Value {
     let vocab = Vocab::standard();
     let mut rng = StdRng::seed_from_u64(9);
     let model = HierarchicalRegressor::new(vocab.len(), 24, 40, &mut rng);
     let texts = [SMALL, CASE2, "div rcx", "imul rax, rcx\nadd rcx, rax\nnop"];
-    // 32 lanes cycling through four block shapes, so lanes finish at
+    // 32 blocks cycling through four shapes, so lanes finish at
     // different instruction/token positions (the interesting case for
     // the lane-compaction logic).
     let blocks: Vec<TokenizedBlock> = (0..32)
@@ -230,24 +232,29 @@ fn bench_nn_batch(target_ms: u64) -> Value {
     let mut scratch = BatchScratch::new();
     let mut report = json!({});
     for lanes in [1usize, 8, 32] {
-        let batch = &blocks[..lanes];
         let mut outs = vec![0.0; lanes];
         let sample = measure(target_ms, || {
-            model.predict_batch_with(std::hint::black_box(batch), &mut scratch, &mut outs);
-            std::hint::black_box(&outs);
+            for chunk in blocks.chunks(lanes) {
+                let outs = &mut outs[..chunk.len()];
+                model.predict_batch_with(std::hint::black_box(chunk), &mut scratch, outs);
+                std::hint::black_box(&*outs);
+            }
         });
         assert_eq!(
             sample.allocs_per_iter, 0.0,
             "nn_predict_batch B={lanes} allocated at steady state"
         );
+        let ns_per_block = sample.ns_per_iter / blocks.len() as f64;
         eprintln!(
-            "[bench] nn/ithemal_predict_batch B={lanes}: {:.0} ns/iter ({:.0} ns/block)",
+            "[bench] nn/ithemal_predict_batch B={lanes}: {:.0} ns/iter ({ns_per_block:.0} \
+             ns/block over {} blocks)",
             sample.ns_per_iter,
-            sample.ns_per_iter / lanes as f64
+            blocks.len(),
         );
         let mut v = sample.to_json();
         v["lanes"] = json!(lanes);
-        v["ns_per_block"] = json!(sample.ns_per_iter / lanes as f64);
+        v["blocks"] = json!(blocks.len());
+        v["ns_per_block"] = json!(ns_per_block);
         v["zero_alloc_steady_state"] = json!(true);
         report[format!("b{lanes}")] = v;
     }
@@ -318,6 +325,11 @@ fn machine_header() -> Value {
         "os": std::env::consts::OS,
         "arch": std::env::consts::ARCH,
         "threads": std::thread::available_parallelism().map_or(0, |n| n.get()),
+        // Which inference kernel variant produced the nn_* numbers, and
+        // what the CPU reported: an avx2-v1 report and a scalar-v1
+        // report are not comparable on the nn benches.
+        "kernel": kernel::active().name,
+        "cpu_features": kernel::cpu_features(),
     })
 }
 

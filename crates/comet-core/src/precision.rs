@@ -21,12 +21,25 @@ pub fn kl_bernoulli(p: f64, q: f64) -> f64 {
 
 /// Upper confidence bound: the largest `q >= p_hat` with
 /// `n * kl(p_hat, q) <= beta`.
+///
+/// Solved by guarded Newton iteration (see [`newton_kl`]): the KL
+/// search runs thousands of bound inversions per explanation, and
+/// Newton converges in ~5 iterations where bisection needs 60 — this
+/// inversion is the single hottest non-sampling operation in the
+/// anchors search.
 pub fn kl_ucb(p_hat: f64, n: u64, beta: f64) -> f64 {
     if n == 0 {
         return 1.0;
     }
     let level = beta / n as f64;
-    bisect(|q| kl_bernoulli(p_hat, q), p_hat, 1.0, level)
+    if kl_bernoulli(p_hat, 1.0) <= level {
+        return 1.0;
+    }
+    // Pinsker: kl(p, q) >= 2 (q - p)^2, so the root lies at or below
+    // p_hat + sqrt(level / 2) — a start point right of the root, from
+    // which Newton on the convex KL descends monotonically.
+    let start = (p_hat + (level * 0.5).sqrt()).min(1.0 - 1e-12);
+    newton_kl(p_hat, level, start, p_hat, 1.0)
 }
 
 /// Lower confidence bound: the smallest `q <= p_hat` with
@@ -36,34 +49,36 @@ pub fn kl_lcb(p_hat: f64, n: u64, beta: f64) -> f64 {
         return 0.0;
     }
     let level = beta / n as f64;
-    // kl(p_hat, q) is decreasing in q on [0, p_hat]; search the mirror.
-    let f = |q: f64| kl_bernoulli(p_hat, q);
-    // Bisect on [0, p_hat] for the smallest q with f(q) <= level.
-    let (mut lo, mut hi) = (0.0f64, p_hat);
-    for _ in 0..60 {
-        let mid = 0.5 * (lo + hi);
-        if f(mid) > level {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
+    if kl_bernoulli(p_hat, 0.0) <= level {
+        return 0.0;
     }
-    hi
+    // Mirror of the UCB start point: left of the root, from which
+    // Newton ascends monotonically.
+    let start = (p_hat - (level * 0.5).sqrt()).max(1e-12);
+    newton_kl(p_hat, level, start, 0.0, p_hat)
 }
 
-/// Bisect on `[lo0, hi0]` (with `f` increasing away from `lo0`) for the
-/// largest `x` with `f(x) <= level`.
-fn bisect(f: impl Fn(f64) -> f64, lo0: f64, hi0: f64, level: f64) -> f64 {
-    let (mut lo, mut hi) = (lo0, hi0);
-    for _ in 0..60 {
-        let mid = 0.5 * (lo + hi);
-        if f(mid) > level {
-            hi = mid;
-        } else {
-            lo = mid;
+/// Newton iteration for the root of `kl(p, q) = level` in `q`, within
+/// `[lo, hi]` (one side of `p`). `kl(p, ·)` is convex with derivative
+/// `(q - p) / (q (1 - q))`, so from a start point on the far side of
+/// the root the iterates approach it monotonically; the clamp to
+/// `[lo, hi]` guards the first step when the Pinsker start point
+/// overshoots the interval.
+fn newton_kl(p: f64, level: f64, start: f64, lo: f64, hi: f64) -> f64 {
+    let mut q = start.clamp(lo, hi);
+    for _ in 0..25 {
+        let qc = q.clamp(1e-12, 1.0 - 1e-12);
+        let deriv = (qc - p) / (qc * (1.0 - qc));
+        if deriv == 0.0 {
+            break;
         }
+        let next = (q - (kl_bernoulli(p, q) - level) / deriv).clamp(lo, hi);
+        if (next - q).abs() <= 1e-12 {
+            return next;
+        }
+        q = next;
     }
-    lo
+    q
 }
 
 /// The exploration rate `beta(n, t)` from the Anchors implementation:

@@ -54,13 +54,20 @@ fn run_fingerprint<M: CostModel>(
 ) -> String {
     let config_json = serde_json::to_string(config).unwrap_or_default();
     let seed_text = seed.to_string();
-    // The search-path tag invalidates journals written by the scalar
-    // search: its RNG streams differ from the batched search's
-    // counter-derived ones, so mixing their records would silently mix
-    // two different (both valid) result sets. Batch and pool sizes are
-    // deliberately absent — results are invariant to them.
-    let search_tag = "search=batched-v1".to_string();
-    let mut parts: Vec<String> = vec![model.name().to_string(), config_json, seed_text, search_tag];
+    // The search-path tag invalidates journals written by earlier
+    // search generations: the scalar search's RNG streams differ from
+    // the batched search's counter-derived ones, and batched-v2's
+    // Newton KL bound inversion can differ from v1's bisection in the
+    // last ulps. Mixing such records would silently mix two different
+    // (both valid) result sets. Batch and pool sizes are deliberately
+    // absent — results are invariant to them. The kernel tag likewise
+    // separates runs whose predictions came from different inference
+    // kernel variants (scalar vs AVX2 numerics agree only to a ULP
+    // bound, not bitwise).
+    let search_tag = "search=batched-v2".to_string();
+    let kernel_tag = format!("kernel={}", comet_nn::kernel::active().name);
+    let mut parts: Vec<String> =
+        vec![model.name().to_string(), config_json, seed_text, search_tag, kernel_tag];
     parts.extend(blocks.iter().map(|b| b.to_string()));
     let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
     fingerprint(&refs)

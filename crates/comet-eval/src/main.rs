@@ -4,7 +4,12 @@
 //! comet-eval [--scale quick|standard|paper] [--exp all|table2|table3|
 //!             fig2|fig3|fig4|fig5|fig6|fig7|fig8|appf|cases|mape]
 //!            [--out FILE] [--journal DIR] [--batch N] [--search-pool N]
+//!            [--force-scalar]
 //! ```
+//!
+//! `--force-scalar` pins the inference kernel to the portable scalar
+//! variant (`scalar-v1`) regardless of CPU features — the knob for
+//! reproducing results bit-for-bit against a machine without AVX2.
 //!
 //! `--batch` sets the model-query batch size of the anchors search and
 //! `--search-pool` its intra-explanation worker count; results are
@@ -48,6 +53,9 @@ fn main() {
             }
             "--batch" => batch = parse_knob(args.next(), "--batch"),
             "--search-pool" => search_pool = parse_knob(args.next(), "--search-pool"),
+            "--force-scalar" => {
+                let _ = comet_nn::kernel::force_scalar();
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -172,7 +180,7 @@ fn usage(problem: &str) -> ! {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: comet-eval [--scale quick|standard|paper] [--exp all|table2|table3|fig2..fig8|appf|cases|mape] [--out FILE] [--journal DIR] [--batch N] [--search-pool N]"
+        "usage: comet-eval [--scale quick|standard|paper] [--exp all|table2|table3|fig2..fig8|appf|cases|mape] [--out FILE] [--journal DIR] [--batch N] [--search-pool N] [--force-scalar]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

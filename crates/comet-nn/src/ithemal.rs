@@ -12,8 +12,10 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::kernel::{self, Kernel, KernelKind};
 use crate::layers::{Embedding, Linear};
-use crate::lstm::{Lstm, LstmBatchScratch, LstmCache, LstmScratch};
+use crate::lstm::{Lstm, LstmCache, LstmScratch};
+use crate::packed::{PackCache, PackedScratch};
 use crate::param::{adam_step_all, AdamConfig, Param};
 
 /// A basic block tokenized for the model: one token-id sequence per
@@ -40,6 +42,11 @@ pub struct HierarchicalRegressor {
     token_lstm: Lstm,
     instr_lstm: Lstm,
     head: Linear,
+    /// Per-weight-epoch packed layout for the AVX2 kernel; pure
+    /// acceleration state (skipped by serde, emptied by `Clone`),
+    /// invalidated by [`params_mut`](HierarchicalRegressor::params_mut).
+    #[serde(skip)]
+    pack: PackCache,
 }
 
 struct ForwardCaches {
@@ -65,6 +72,7 @@ pub struct InferScratch {
     token: LstmScratch,
     instr: LstmScratch,
     output: Vec<f64>,
+    packed: PackedScratch,
 }
 
 impl InferScratch {
@@ -82,13 +90,12 @@ impl InferScratch {
 /// batched prediction is heap-silent like the scalar path.
 #[derive(Debug, Default, Clone)]
 pub struct BatchScratch {
-    token: LstmBatchScratch,
-    instr: LstmBatchScratch,
-    /// Lanes whose block has an instruction at the current index.
-    active_instr: Vec<usize>,
-    /// Subset of `active_instr` with a token at the current position.
-    active_token: Vec<usize>,
-    output: Vec<f64>,
+    /// Scalar-path buffers: under the scalar kernel the batch runs
+    /// block by block (the lane-staged scalar path never beat it; see
+    /// `crates/comet-nn/src/kernel.rs`).
+    infer: InferScratch,
+    /// Lane-panel buffers for the packed AVX2 forward.
+    packed: PackedScratch,
 }
 
 impl BatchScratch {
@@ -117,6 +124,7 @@ impl HierarchicalRegressor {
             token_lstm: Lstm::new(embed_dim, hidden, rng),
             instr_lstm: Lstm::new(hidden, hidden, rng),
             head: Linear::new(hidden, 1, rng),
+            pack: PackCache::default(),
         }
     }
 
@@ -156,9 +164,10 @@ impl HierarchicalRegressor {
     ///
     /// Runs the allocation-free inference path against a per-thread
     /// [`InferScratch`], so steady-state predictions touch the heap
-    /// not at all. The result is bitwise identical to the training
-    /// forward pass (both share the same kernels; see
-    /// [`predict_with`](HierarchicalRegressor::predict_with)).
+    /// not at all. Dispatches through the process-wide
+    /// [`kernel::active`] variant; under `scalar-v1` the result is
+    /// bitwise identical to the training forward pass, under `avx2-v1`
+    /// it agrees within the tested ULP bound (see [`crate::kernel`]).
     ///
     /// # Panics
     ///
@@ -168,20 +177,66 @@ impl HierarchicalRegressor {
         INFER_SCRATCH.with(|cell| self.predict_with(block, &mut cell.borrow_mut()))
     }
 
-    /// Predict using caller-provided scratch buffers.
-    ///
-    /// The two LSTM levels are interleaved: as soon as an
-    /// instruction's token LSTM finishes, its final hidden state is
-    /// fed to the instruction LSTM and discarded — no per-instruction
-    /// embedding vectors, no retained caches. Every arithmetic kernel
-    /// is the one the training pass uses, so the prediction is bitwise
-    /// identical to [`forward`]'s.
+    /// Predict using caller-provided scratch buffers, dispatching
+    /// through the process-wide [`kernel::active`] variant.
     ///
     /// # Panics
     ///
     /// Panics on an empty block, an empty instruction, or an
     /// out-of-vocabulary token id.
     pub fn predict_with(&self, block: &TokenizedBlock, scratch: &mut InferScratch) -> f64 {
+        self.predict_with_kernel(block, scratch, kernel::active())
+    }
+
+    /// Predict with an explicitly chosen kernel variant, bypassing the
+    /// process-global dispatch — the hook tests use to compare variants
+    /// side by side in one process.
+    ///
+    /// Under [`KernelKind::Scalar`] this is the interleaved two-level
+    /// scalar recurrence, bitwise identical to the training forward
+    /// pass. Under [`KernelKind::Avx2`] it is the packed lane forward
+    /// with a single active lane — the *same* kernel the batched path
+    /// runs, which is what makes the variant's predictions bitwise
+    /// batch-size-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty block, an empty instruction, or an
+    /// out-of-vocabulary token id.
+    pub fn predict_with_kernel(
+        &self,
+        block: &TokenizedBlock,
+        scratch: &mut InferScratch,
+        kernel: &Kernel,
+    ) -> f64 {
+        match kernel.kind {
+            KernelKind::Scalar => self.predict_scalar_with(block, scratch),
+            KernelKind::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                if let Some(packed) = self.pack.get_or_pack(&self.embedding, &self.token_lstm) {
+                    let mut out = [0.0];
+                    crate::packed::forward_packed(
+                        packed,
+                        &self.token_lstm,
+                        &self.instr_lstm,
+                        &self.head,
+                        std::slice::from_ref(block),
+                        &mut scratch.packed,
+                        &mut out,
+                    );
+                    return out[0];
+                }
+                self.predict_scalar_with(block, scratch)
+            }
+        }
+    }
+
+    /// The interleaved scalar inference recurrence: as soon as an
+    /// instruction's token LSTM finishes, its final hidden state is fed
+    /// to the instruction LSTM and discarded. Every arithmetic kernel
+    /// is the one the training pass uses, so the prediction is bitwise
+    /// identical to [`forward`]'s.
+    fn predict_scalar_with(&self, block: &TokenizedBlock, scratch: &mut InferScratch) -> f64 {
         assert!(!block.is_empty(), "cannot predict an empty block");
         self.instr_lstm.begin(&mut scratch.instr);
         for tokens in block {
@@ -218,19 +273,8 @@ impl HierarchicalRegressor {
     }
 
     /// Predict a batch using caller-provided scratch buffers, writing
-    /// block `b`'s cost to `outs[b]`.
-    ///
-    /// The `B` blocks run as side-by-side lanes through both LSTM
-    /// levels in lock step: at each instruction index, every lane that
-    /// still has an instruction runs its token recurrence (lanes
-    /// dropping out as their token sequences end), then feeds its final
-    /// token hidden state to the instruction recurrence — so each
-    /// weight row is traversed once per step for the whole batch
-    /// instead of once per block (see
-    /// [`matvec_lanes`](crate::ops::matvec_lanes)). Per lane, the
-    /// arithmetic is exactly the scalar
-    /// [`predict_with`](HierarchicalRegressor::predict_with) sequence,
-    /// so every output is bitwise identical to the scalar prediction.
+    /// block `b`'s cost to `outs[b]`; dispatches through the
+    /// process-wide [`kernel::active`] variant.
     ///
     /// # Panics
     ///
@@ -242,47 +286,54 @@ impl HierarchicalRegressor {
         scratch: &mut BatchScratch,
         outs: &mut [f64],
     ) {
+        self.predict_batch_with_kernel(blocks, scratch, outs, kernel::active());
+    }
+
+    /// Predict a batch with an explicitly chosen kernel variant.
+    ///
+    /// Under [`KernelKind::Avx2`] the blocks run as side-by-side lanes
+    /// of the packed panel forward (see `crates/comet-nn/src/packed.rs`)
+    /// — each weight row traversed once per step for up to four blocks
+    /// per vector. Under [`KernelKind::Scalar`] the batch runs block by
+    /// block through the scalar recurrence: the lane-staged scalar path
+    /// this replaced was *slower* per block than B=1 (BENCH_explain.json
+    /// b8/b32 vs b1), so degrading to the scalar path is exactly the
+    /// adaptive fallback — batching can never lose. Either way every
+    /// output is bitwise identical to the same-variant single-block
+    /// prediction, whatever the batch width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outs.len() != blocks.len()`, on an empty block, an
+    /// empty instruction, or an out-of-vocabulary token id.
+    pub fn predict_batch_with_kernel(
+        &self,
+        blocks: &[TokenizedBlock],
+        scratch: &mut BatchScratch,
+        outs: &mut [f64],
+        kernel: &Kernel,
+    ) {
         assert_eq!(outs.len(), blocks.len(), "output slice width mismatch");
-        let lanes = blocks.len();
-        if lanes == 0 {
+        if blocks.is_empty() {
             return;
         }
-        let max_instrs = blocks.iter().map(Vec::len).max().unwrap();
-        assert!(max_instrs > 0, "cannot predict an empty block");
-        assert!(blocks.iter().all(|b| !b.is_empty()), "cannot predict an empty block");
-        self.instr_lstm.begin_batch(lanes, &mut scratch.instr);
-        self.token_lstm.begin_batch(lanes, &mut scratch.token);
-        for j in 0..max_instrs {
-            scratch.active_instr.clear();
-            let mut max_tokens = 0;
-            for (b, block) in blocks.iter().enumerate() {
-                if let Some(tokens) = block.get(j) {
-                    assert!(!tokens.is_empty(), "instruction with no tokens");
-                    scratch.active_instr.push(b);
-                    max_tokens = max_tokens.max(tokens.len());
-                }
+        if kernel.kind == KernelKind::Avx2 {
+            #[cfg(target_arch = "x86_64")]
+            if let Some(packed) = self.pack.get_or_pack(&self.embedding, &self.token_lstm) {
+                crate::packed::forward_packed(
+                    packed,
+                    &self.token_lstm,
+                    &self.instr_lstm,
+                    &self.head,
+                    blocks,
+                    &mut scratch.packed,
+                    outs,
+                );
+                return;
             }
-            self.token_lstm.begin_lanes(&scratch.active_instr, &mut scratch.token);
-            for t in 0..max_tokens {
-                scratch.active_token.clear();
-                for &b in &scratch.active_instr {
-                    if let Some(&id) = blocks[b][j].get(t) {
-                        scratch.token.input_lane_mut(b).copy_from_slice(self.embedding.row(id));
-                        scratch.active_token.push(b);
-                    }
-                }
-                self.token_lstm.step_lanes(&mut scratch.token, &scratch.active_token);
-            }
-            for &b in &scratch.active_instr {
-                scratch.instr.input_lane_mut(b).copy_from_slice(scratch.token.hidden_lane(b));
-            }
-            self.instr_lstm.step_lanes(&mut scratch.instr, &scratch.active_instr);
         }
-        scratch.output.clear();
-        scratch.output.resize(self.head.output(), 0.0);
-        for (b, out) in outs.iter_mut().enumerate() {
-            self.head.forward_into(scratch.instr.hidden_lane(b), &mut scratch.output);
-            *out = scratch.output[0];
+        for (block, out) in blocks.iter().zip(outs.iter_mut()) {
+            *out = self.predict_scalar_with(block, &mut scratch.infer);
         }
     }
 
@@ -316,7 +367,12 @@ impl HierarchicalRegressor {
     }
 
     /// Mutable references to all trainable parameters.
+    ///
+    /// This is the only gate through which weights change, so it also
+    /// invalidates the packed-kernel cache: the next prediction repacks
+    /// from the new weights.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.pack.invalidate();
         let mut params = self.embedding.params_mut();
         params.extend(self.token_lstm.params_mut());
         params.extend(self.instr_lstm.params_mut());
@@ -446,8 +502,10 @@ mod tests {
         assert!(mse < 1.5, "test MSE too high: {mse}");
     }
 
-    /// The scratch-buffer inference path and the training forward pass
-    /// must produce bitwise-identical predictions.
+    /// The scalar-variant inference path and the training forward pass
+    /// must produce bitwise-identical predictions. (The AVX2 variant is
+    /// only ULP-close to training; its agreement is tested in
+    /// `tests/kernels.rs`.)
     #[test]
     fn inference_path_matches_training_forward_bitwise() {
         let mut rng = StdRng::seed_from_u64(23);
@@ -457,8 +515,7 @@ mod tests {
         let mut scratch = InferScratch::new();
         for block in &blocks {
             let training = model.forward(block).prediction;
-            assert_eq!(model.predict(block), training);
-            assert_eq!(model.predict_with(block, &mut scratch), training);
+            assert_eq!(model.predict_with_kernel(block, &mut scratch, kernel::scalar()), training);
         }
     }
 

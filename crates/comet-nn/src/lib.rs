@@ -29,10 +29,14 @@
 #![warn(missing_docs)]
 
 mod ithemal;
+pub mod kernel;
 mod layers;
 mod lstm;
 pub mod ops;
+mod packed;
 mod param;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 
 pub use ithemal::{
     BatchScratch, HierarchicalRegressor, InferScratch, Loss, TokenizedBlock, Trainer,

@@ -1,0 +1,352 @@
+//! Prepacked weight layouts for the `avx2-v1` kernel variant.
+//!
+//! The packed forward replaces the per-token `Wx · embed[id]` matvec
+//! (the dominant cost of the token recurrence) with a table lookup:
+//! at pack time every vocabulary id gets a precomputed gate
+//! pre-activation row `table[id] = b_tok + Wx_tok · embed[id]`, so a
+//! token step only has to stage that row into the lane panel and
+//! accumulate the recurrent `Wh_tok · h` term.
+//!
+//! Activations live in *lane-interleaved panels*: a buffer of logical
+//! shape `rows x lp` stores element `(r, lane)` at `r * lp + lane`,
+//! where `lp` is the batch width rounded up to a multiple of 4 (one
+//! AVX2 f64 vector per *lane group*). Weights stay row-major and are
+//! broadcast, so every lane's accumulation is one FMA chain in
+//! ascending column order — the foundation of the variant's bitwise
+//! batch-size invariance (see [`crate::simd`]). A single-block
+//! prediction is just the same forward with one active lane.
+//!
+//! The pack is cached per weight epoch in [`PackCache`] — an
+//! interior-mutability cell invalidated by
+//! [`crate::HierarchicalRegressor::params_mut`], the only gate through
+//! which weights change.
+
+use std::sync::OnceLock;
+
+use crate::layers::Embedding;
+use crate::lstm::Lstm;
+use crate::ops;
+
+/// Upper bound on the packed token table, in bytes. `Vocab::standard`
+/// needs well under 1 MiB; a model whose vocabulary would blow this cap
+/// simply runs unpacked (scalar fallback), trading speed for memory.
+const MAX_TABLE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Weight data precomputed once per weight epoch for the packed
+/// forward.
+#[derive(Debug)]
+pub(crate) struct PackedModel {
+    /// `vocab x row_len`, row `id` = `b_tok + Wx_tok · embed[id]`.
+    pub(crate) tok_table: Vec<f64>,
+    /// Gate row width: `4 * hidden`.
+    pub(crate) row_len: usize,
+    /// Hidden width of both LSTM levels.
+    pub(crate) hidden: usize,
+}
+
+/// Build the packed representation, or `None` when the token table
+/// would exceed [`MAX_TABLE_BYTES`].
+///
+/// Uses the scalar [`ops::matvec`] kernel, so packing is deterministic
+/// and target-independent; the staged values reach the gate math
+/// bitwise however the table was produced.
+fn pack(embedding: &Embedding, token_lstm: &Lstm) -> Option<PackedModel> {
+    let hidden = token_lstm.hidden();
+    let row_len = 4 * hidden;
+    let vocab = embedding.vocab();
+    if vocab * row_len * std::mem::size_of::<f64>() > MAX_TABLE_BYTES {
+        return None;
+    }
+    let mut tok_table = vec![0.0; vocab * row_len];
+    for id in 0..vocab {
+        let row = &mut tok_table[id * row_len..(id + 1) * row_len];
+        ops::matvec(&token_lstm.wx.value, row_len, embedding.dim(), embedding.row(id), row);
+        ops::add_assign(row, &token_lstm.b.value);
+    }
+    Some(PackedModel { tok_table, row_len, hidden })
+}
+
+/// Lazily packed weights, cached until the next weight mutation.
+///
+/// Serde skips this field (a deserialized model repacks on first use)
+/// and `Clone` produces an *empty* cache for the same reason: the cache
+/// is pure acceleration state, never identity.
+#[derive(Debug, Default)]
+pub(crate) struct PackCache(OnceLock<Option<PackedModel>>);
+
+impl Clone for PackCache {
+    fn clone(&self) -> Self {
+        PackCache::default()
+    }
+}
+
+impl PackCache {
+    /// The packed model for the current weights, packing on first use.
+    /// `None` means the model declined to pack (table cap); callers
+    /// fall back to the scalar path.
+    pub(crate) fn get_or_pack(
+        &self,
+        embedding: &Embedding,
+        token_lstm: &Lstm,
+    ) -> Option<&PackedModel> {
+        self.0.get_or_init(|| pack(embedding, token_lstm)).as_ref()
+    }
+
+    /// Drop any cached pack; the next prediction repacks from the
+    /// then-current weights.
+    pub(crate) fn invalidate(&mut self) {
+        self.0 = OnceLock::new();
+    }
+}
+
+/// Reusable lane-panel buffers for the packed forward; embedded in
+/// [`crate::InferScratch`] and [`crate::BatchScratch`]. All buffers
+/// grow to the largest `(hidden, batch)` seen and are then reused, so
+/// the packed path is heap-silent in steady state.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PackedScratch {
+    /// Slot → original block index, sorted for prefix-active lanes.
+    order: Vec<usize>,
+    /// Per-group 4-bit lane-active masks for the current kernel call.
+    masks: Vec<u8>,
+    /// Gate pre-activation panel, `4*hidden x lp`.
+    zt: Vec<f64>,
+    /// Token-level hidden/cell panels, `hidden x lp`.
+    tok_h: Vec<f64>,
+    tok_c: Vec<f64>,
+    /// Instruction-level hidden/cell panels, `hidden x lp`.
+    ins_h: Vec<f64>,
+    ins_c: Vec<f64>,
+    /// One lane's block embedding, gathered contiguous for the head.
+    head_in: Vec<f64>,
+    /// Head output buffer (width 1).
+    out: Vec<f64>,
+}
+
+/// Accumulate `zt += W · xt` over every lane group with at least one
+/// active lane, pairing adjacent active groups for the wide tile.
+#[cfg(target_arch = "x86_64")]
+fn run_wmat(
+    w: &[f64],
+    rows: usize,
+    cols: usize,
+    xt: &[f64],
+    lp: usize,
+    zt: &mut [f64],
+    masks: &[u8],
+) {
+    // Safety: only reached from `forward_packed`, which the regressor
+    // enters exclusively for the AVX2 kernel variant — handed out only
+    // after runtime AVX2+FMA detection.
+    let mut g = 0;
+    while g < masks.len() {
+        if masks[g] == 0 {
+            g += 1;
+        } else if g + 1 < masks.len() && masks[g + 1] != 0 {
+            unsafe { crate::simd::wmat_acc_g2(w, rows, cols, xt, lp, zt, g) };
+            g += 2;
+        } else {
+            unsafe { crate::simd::wmat_acc_g1(w, rows, cols, xt, lp, zt, g) };
+            g += 1;
+        }
+    }
+}
+
+/// The packed batched forward: predict every block of `blocks`,
+/// writing block `b`'s cost to `outs[b]`.
+///
+/// Blocks are assigned to panel lanes sorted by descending
+/// (instruction count, token count), so at every instruction index the
+/// active lanes are a prefix of the slots and partial activity is
+/// confined to the last lane group. Masked gate stores keep inactive
+/// lanes' state untouched; whatever the arithmetic computes for them
+/// is finite garbage that is never observed. Per lane the computation
+/// — and therefore the prediction — is independent of the batch
+/// width, the lane assignment, and the other blocks (bitwise).
+///
+/// Panics mirror the scalar path: empty block, empty instruction,
+/// out-of-vocabulary token id, output width mismatch.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn forward_packed(
+    packed: &PackedModel,
+    token_lstm: &Lstm,
+    instr_lstm: &Lstm,
+    head: &crate::layers::Linear,
+    blocks: &[crate::TokenizedBlock],
+    scratch: &mut PackedScratch,
+    outs: &mut [f64],
+) {
+    assert_eq!(outs.len(), blocks.len(), "output slice width mismatch");
+    let n = blocks.len();
+    if n == 0 {
+        return;
+    }
+    let h = packed.hidden;
+    let row_len = packed.row_len;
+    let vocab = packed.tok_table.len() / row_len;
+    for block in blocks {
+        assert!(!block.is_empty(), "cannot predict an empty block");
+        for tokens in block {
+            assert!(!tokens.is_empty(), "instruction with no tokens");
+            for &id in tokens {
+                assert!(id < vocab, "token id {id} out of range {vocab}");
+            }
+        }
+    }
+
+    let lp = n.div_ceil(4) * 4;
+    scratch.order.clear();
+    scratch.order.extend(0..n);
+    scratch.order.sort_unstable_by(|&a, &b| {
+        blocks[b]
+            .len()
+            .cmp(&blocks[a].len())
+            .then_with(|| {
+                let ta: usize = blocks[a].iter().map(Vec::len).sum();
+                let tb: usize = blocks[b].iter().map(Vec::len).sum();
+                tb.cmp(&ta)
+            })
+            .then(a.cmp(&b))
+    });
+    scratch.masks.clear();
+    scratch.masks.resize(lp / 4, 0);
+    scratch.zt.clear();
+    scratch.zt.resize(4 * h * lp, 0.0);
+    scratch.tok_h.clear();
+    scratch.tok_h.resize(h * lp, 0.0);
+    scratch.tok_c.clear();
+    scratch.tok_c.resize(h * lp, 0.0);
+    scratch.ins_h.clear();
+    scratch.ins_h.resize(h * lp, 0.0);
+    scratch.ins_c.clear();
+    scratch.ins_c.resize(h * lp, 0.0);
+
+    let max_instrs = blocks[scratch.order[0]].len();
+    let mut n_j = n;
+    for j in 0..max_instrs {
+        // Sorted descending by instruction count, so the lanes still
+        // holding an instruction shrink to a prefix.
+        while n_j > 0 && blocks[scratch.order[n_j - 1]].len() <= j {
+            n_j -= 1;
+        }
+        let groups_j = n_j.div_ceil(4);
+        // Fresh token sequences for every lane of the active groups —
+        // lanes past the prefix are dead for the rest of the forward,
+        // so whole-group zeroing is safe.
+        for k in 0..h {
+            scratch.tok_h[k * lp..k * lp + groups_j * 4].fill(0.0);
+            scratch.tok_c[k * lp..k * lp + groups_j * 4].fill(0.0);
+        }
+        let max_tokens = (0..n_j).map(|s| blocks[scratch.order[s]][j].len()).max().unwrap_or(0);
+        for t in 0..max_tokens {
+            // Stage z = b + Wx·embed (the packed table row) for every
+            // lane with a token at position t. Lanes whose sequence
+            // already ended keep stale z — finite, and their state is
+            // never stored back.
+            for g in 0..groups_j {
+                let mut ids = [0usize; 4];
+                let mut mask = 0u8;
+                for (l, slot_id) in ids.iter_mut().enumerate() {
+                    let s = g * 4 + l;
+                    if s < n_j {
+                        if let Some(&id) = blocks[scratch.order[s]][j].get(t) {
+                            *slot_id = id;
+                            mask |= 1 << l;
+                        }
+                    }
+                }
+                scratch.masks[g] = mask;
+                if mask != 0 {
+                    // Safety: AVX2 verified at kernel resolution.
+                    unsafe {
+                        crate::simd::stage_rows_group(
+                            &packed.tok_table,
+                            row_len,
+                            ids,
+                            &mut scratch.zt,
+                            lp,
+                            g,
+                            mask,
+                        )
+                    };
+                }
+            }
+            run_wmat(
+                &token_lstm.wh.value,
+                4 * h,
+                h,
+                &scratch.tok_h,
+                lp,
+                &mut scratch.zt,
+                &scratch.masks[..groups_j],
+            );
+            for g in 0..groups_j {
+                if scratch.masks[g] != 0 {
+                    // Safety: AVX2 verified at kernel resolution.
+                    unsafe {
+                        crate::simd::gates_group(
+                            &scratch.zt,
+                            h,
+                            lp,
+                            &mut scratch.tok_c,
+                            &mut scratch.tok_h,
+                            g,
+                            scratch.masks[g],
+                        )
+                    };
+                }
+            }
+        }
+        // Instruction-level step for the active prefix: the token
+        // LSTM's final hidden state is already the panel `tok_h`.
+        for g in 0..groups_j {
+            scratch.masks[g] = if (g + 1) * 4 <= n_j { 0b1111 } else { (1 << (n_j - g * 4)) - 1 };
+        }
+        // Safety: AVX2 verified at kernel resolution.
+        unsafe { crate::simd::broadcast_rows(&instr_lstm.b.value, &mut scratch.zt, lp, groups_j) };
+        run_wmat(
+            &instr_lstm.wx.value,
+            4 * h,
+            h,
+            &scratch.tok_h,
+            lp,
+            &mut scratch.zt,
+            &scratch.masks[..groups_j],
+        );
+        run_wmat(
+            &instr_lstm.wh.value,
+            4 * h,
+            h,
+            &scratch.ins_h,
+            lp,
+            &mut scratch.zt,
+            &scratch.masks[..groups_j],
+        );
+        for g in 0..groups_j {
+            // Safety: AVX2 verified at kernel resolution.
+            unsafe {
+                crate::simd::gates_group(
+                    &scratch.zt,
+                    h,
+                    lp,
+                    &mut scratch.ins_c,
+                    &mut scratch.ins_h,
+                    g,
+                    scratch.masks[g],
+                )
+            };
+        }
+    }
+
+    scratch.head_in.clear();
+    scratch.head_in.resize(h, 0.0);
+    scratch.out.clear();
+    scratch.out.resize(head.output(), 0.0);
+    for (s, &b) in scratch.order.iter().enumerate() {
+        for k in 0..h {
+            scratch.head_in[k] = scratch.ins_h[k * lp + s];
+        }
+        head.forward_into(&scratch.head_in, &mut scratch.out);
+        outs[b] = scratch.out[0];
+    }
+}

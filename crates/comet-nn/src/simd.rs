@@ -1,0 +1,952 @@
+//! AVX2+FMA inference kernels (`avx2-v1`), x86-64 only.
+//!
+//! Two families live here, with different determinism contracts:
+//!
+//! * **Scalar-exact primitives** ([`matvec`], [`matvec_lanes`]): SIMD
+//!   reimplementations of [`crate::ops`] that reproduce the scalar
+//!   accumulation order *exactly* — four independent lane accumulators
+//!   over 4-element blocks (multiply then add, no FMA contraction),
+//!   horizontal sum `(l0+l1)+(l2+l3)`, scalar remainder — so their
+//!   results are bitwise identical to the scalar kernel on every
+//!   input. These back the vtable entries and the linear head.
+//!
+//! * **Packed lane kernels** ([`wmat_acc_g2`], [`gates_group`], the
+//!   `exp`/`sigmoid`/`tanh` vector math): the data-parallel LSTM step.
+//!   Weights stay row-major and are broadcast against lane-interleaved
+//!   activation panels (`xt[c*lp + lane]`), accumulating each output
+//!   element as one FMA chain in ascending column order. The chain of
+//!   any element depends only on its own lane's values — never on the
+//!   number of lanes, the group tiling, or which other lanes are
+//!   active — which is what makes `avx2-v1` predictions bitwise
+//!   *batch-size-invariant* by construction. Relative to `scalar-v1`
+//!   the sums are reassociated (FMA, different summation tree) and the
+//!   transcendentals are polynomial rather than libm, so cross-variant
+//!   agreement is ULP-bounded, not bitwise (tested in
+//!   `tests::packed_matvec_error_bound` and the sigmoid/tanh bounds).
+//!
+//! Every function is `unsafe` with `#[target_feature(enable = "avx2",
+//! enable = "fma")]`: callers must have verified CPU support (the
+//! [`crate::kernel`] resolver does).
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use std::arch::x86_64::*;
+
+/// Per-lane store masks for `_mm256_maskstore_pd`, indexed by a 4-bit
+/// lane bitmask (bit `j` = lane `j` active; all-ones sign bit enables
+/// the store).
+const STORE_MASKS: [[i64; 4]; 16] = {
+    let mut masks = [[0i64; 4]; 16];
+    let mut m = 0;
+    while m < 16 {
+        let mut j = 0;
+        while j < 4 {
+            if m & (1 << j) != 0 {
+                masks[m][j] = -1;
+            }
+            j += 1;
+        }
+        m += 1;
+    }
+    masks
+};
+
+/// `y = W x`, bitwise identical to [`crate::ops::matvec`].
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA. Slice dimensions must agree as
+/// for the scalar kernel (debug-asserted).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn matvec(w: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    debug_assert_eq!(y.len(), rows);
+    for (r, yr) in y.iter_mut().enumerate() {
+        *yr = dot_scalar_order(w.as_ptr().add(r * cols), x.as_ptr(), cols);
+    }
+}
+
+/// Batched `y_b = W x_b` over the named lanes of lane-major buffers,
+/// bitwise identical to [`crate::ops::matvec_lanes`].
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA. Dimensions and lane indices must
+/// agree as for the scalar kernel (debug-asserted).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn matvec_lanes(
+    w: &[f64],
+    rows: usize,
+    cols: usize,
+    xs: &[f64],
+    ys: &mut [f64],
+    lanes: &[usize],
+) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(xs.len() % cols.max(1), 0);
+    debug_assert_eq!(ys.len() % rows.max(1), 0);
+    for r in 0..rows {
+        let row = w.as_ptr().add(r * cols);
+        for &b in lanes {
+            debug_assert!((b + 1) * cols <= xs.len());
+            ys[b * rows + r] = dot_scalar_order(row, xs.as_ptr().add(b * cols), cols);
+        }
+    }
+}
+
+/// One dot product in the scalar kernel's exact accumulation order:
+/// one vector accumulator whose four lanes are the scalar kernel's
+/// `lanes[0..4]` (multiply, then add — FMA would change the rounding),
+/// horizontal `(l0+l1)+(l2+l3)`, plain scalar remainder.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_scalar_order(a: *const f64, b: *const f64, n: usize) -> f64 {
+    let blocks = n / 4;
+    let mut acc = _mm256_setzero_pd();
+    for k in 0..blocks {
+        let va = _mm256_loadu_pd(a.add(4 * k));
+        let vb = _mm256_loadu_pd(b.add(4 * k));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    let mut sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for k in 4 * blocks..n {
+        sum += *a.add(k) * *b.add(k);
+    }
+    sum
+}
+
+/// `zt[r][lane] += Σ_c w[r][c] · xt[c][lane]` for the eight lanes of
+/// groups `g` and `g+1`, tiled four rows × two groups so the FMA ports
+/// stay saturated (per column: two panel loads + four broadcasts feed
+/// eight FMAs). Every output element accumulates as a single FMA chain
+/// in ascending `c` from its prior `zt` value — the element's value is
+/// independent of the tiling and of every other lane.
+///
+/// `lp` is the panel stride (lanes rounded up to 4); `xt` is
+/// `cols x lp`, `zt` is `rows x lp`, both lane-interleaved.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA; `(g + 2) * 4 <= lp`,
+/// `w.len() == rows * cols`, `xt.len() >= cols * lp`,
+/// `zt.len() >= rows * lp` (debug-asserted).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn wmat_acc_g2(
+    w: &[f64],
+    rows: usize,
+    cols: usize,
+    xt: &[f64],
+    lp: usize,
+    zt: &mut [f64],
+    g: usize,
+) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert!(xt.len() >= cols * lp);
+    debug_assert!(zt.len() >= rows * lp);
+    debug_assert!((g + 2) * 4 <= lp);
+    let wp = w.as_ptr();
+    let xp = xt.as_ptr().add(g * 4);
+    let zp = zt.as_mut_ptr().add(g * 4);
+    let mut r = 0;
+    while r + 4 <= rows {
+        let mut acc00 = _mm256_loadu_pd(zp.add(r * lp));
+        let mut acc01 = _mm256_loadu_pd(zp.add(r * lp + 4));
+        let mut acc10 = _mm256_loadu_pd(zp.add((r + 1) * lp));
+        let mut acc11 = _mm256_loadu_pd(zp.add((r + 1) * lp + 4));
+        let mut acc20 = _mm256_loadu_pd(zp.add((r + 2) * lp));
+        let mut acc21 = _mm256_loadu_pd(zp.add((r + 2) * lp + 4));
+        let mut acc30 = _mm256_loadu_pd(zp.add((r + 3) * lp));
+        let mut acc31 = _mm256_loadu_pd(zp.add((r + 3) * lp + 4));
+        for c in 0..cols {
+            let x0 = _mm256_loadu_pd(xp.add(c * lp));
+            let x1 = _mm256_loadu_pd(xp.add(c * lp + 4));
+            let w0 = _mm256_broadcast_sd(&*wp.add(r * cols + c));
+            acc00 = _mm256_fmadd_pd(x0, w0, acc00);
+            acc01 = _mm256_fmadd_pd(x1, w0, acc01);
+            let w1 = _mm256_broadcast_sd(&*wp.add((r + 1) * cols + c));
+            acc10 = _mm256_fmadd_pd(x0, w1, acc10);
+            acc11 = _mm256_fmadd_pd(x1, w1, acc11);
+            let w2 = _mm256_broadcast_sd(&*wp.add((r + 2) * cols + c));
+            acc20 = _mm256_fmadd_pd(x0, w2, acc20);
+            acc21 = _mm256_fmadd_pd(x1, w2, acc21);
+            let w3 = _mm256_broadcast_sd(&*wp.add((r + 3) * cols + c));
+            acc30 = _mm256_fmadd_pd(x0, w3, acc30);
+            acc31 = _mm256_fmadd_pd(x1, w3, acc31);
+        }
+        _mm256_storeu_pd(zp.add(r * lp), acc00);
+        _mm256_storeu_pd(zp.add(r * lp + 4), acc01);
+        _mm256_storeu_pd(zp.add((r + 1) * lp), acc10);
+        _mm256_storeu_pd(zp.add((r + 1) * lp + 4), acc11);
+        _mm256_storeu_pd(zp.add((r + 2) * lp), acc20);
+        _mm256_storeu_pd(zp.add((r + 2) * lp + 4), acc21);
+        _mm256_storeu_pd(zp.add((r + 3) * lp), acc30);
+        _mm256_storeu_pd(zp.add((r + 3) * lp + 4), acc31);
+        r += 4;
+    }
+    while r < rows {
+        let mut acc0 = _mm256_loadu_pd(zp.add(r * lp));
+        let mut acc1 = _mm256_loadu_pd(zp.add(r * lp + 4));
+        for c in 0..cols {
+            let wv = _mm256_broadcast_sd(&*wp.add(r * cols + c));
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(c * lp)), wv, acc0);
+            acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(c * lp + 4)), wv, acc1);
+        }
+        _mm256_storeu_pd(zp.add(r * lp), acc0);
+        _mm256_storeu_pd(zp.add(r * lp + 4), acc1);
+        r += 1;
+    }
+}
+
+/// Single-group variant of [`wmat_acc_g2`] (eight rows × one group),
+/// with the identical per-element FMA chain. Eight accumulator rows —
+/// not four — because a lone group only carries one FMA chain per row;
+/// eight independent chains are what the FMA ports need to stay
+/// saturated when there is no second group to pair with.
+///
+/// # Safety
+///
+/// As [`wmat_acc_g2`], with `(g + 1) * 4 <= lp`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn wmat_acc_g1(
+    w: &[f64],
+    rows: usize,
+    cols: usize,
+    xt: &[f64],
+    lp: usize,
+    zt: &mut [f64],
+    g: usize,
+) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert!(xt.len() >= cols * lp);
+    debug_assert!(zt.len() >= rows * lp);
+    debug_assert!((g + 1) * 4 <= lp);
+    let wp = w.as_ptr();
+    let xp = xt.as_ptr().add(g * 4);
+    let zp = zt.as_mut_ptr().add(g * 4);
+    let mut r = 0;
+    while r + 8 <= rows {
+        let mut acc0 = _mm256_loadu_pd(zp.add(r * lp));
+        let mut acc1 = _mm256_loadu_pd(zp.add((r + 1) * lp));
+        let mut acc2 = _mm256_loadu_pd(zp.add((r + 2) * lp));
+        let mut acc3 = _mm256_loadu_pd(zp.add((r + 3) * lp));
+        let mut acc4 = _mm256_loadu_pd(zp.add((r + 4) * lp));
+        let mut acc5 = _mm256_loadu_pd(zp.add((r + 5) * lp));
+        let mut acc6 = _mm256_loadu_pd(zp.add((r + 6) * lp));
+        let mut acc7 = _mm256_loadu_pd(zp.add((r + 7) * lp));
+        for c in 0..cols {
+            let x0 = _mm256_loadu_pd(xp.add(c * lp));
+            acc0 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add(r * cols + c)), acc0);
+            acc1 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add((r + 1) * cols + c)), acc1);
+            acc2 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add((r + 2) * cols + c)), acc2);
+            acc3 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add((r + 3) * cols + c)), acc3);
+            acc4 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add((r + 4) * cols + c)), acc4);
+            acc5 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add((r + 5) * cols + c)), acc5);
+            acc6 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add((r + 6) * cols + c)), acc6);
+            acc7 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add((r + 7) * cols + c)), acc7);
+        }
+        _mm256_storeu_pd(zp.add(r * lp), acc0);
+        _mm256_storeu_pd(zp.add((r + 1) * lp), acc1);
+        _mm256_storeu_pd(zp.add((r + 2) * lp), acc2);
+        _mm256_storeu_pd(zp.add((r + 3) * lp), acc3);
+        _mm256_storeu_pd(zp.add((r + 4) * lp), acc4);
+        _mm256_storeu_pd(zp.add((r + 5) * lp), acc5);
+        _mm256_storeu_pd(zp.add((r + 6) * lp), acc6);
+        _mm256_storeu_pd(zp.add((r + 7) * lp), acc7);
+        r += 8;
+    }
+    while r + 4 <= rows {
+        let mut acc0 = _mm256_loadu_pd(zp.add(r * lp));
+        let mut acc1 = _mm256_loadu_pd(zp.add((r + 1) * lp));
+        let mut acc2 = _mm256_loadu_pd(zp.add((r + 2) * lp));
+        let mut acc3 = _mm256_loadu_pd(zp.add((r + 3) * lp));
+        for c in 0..cols {
+            let x0 = _mm256_loadu_pd(xp.add(c * lp));
+            acc0 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add(r * cols + c)), acc0);
+            acc1 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add((r + 1) * cols + c)), acc1);
+            acc2 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add((r + 2) * cols + c)), acc2);
+            acc3 = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add((r + 3) * cols + c)), acc3);
+        }
+        _mm256_storeu_pd(zp.add(r * lp), acc0);
+        _mm256_storeu_pd(zp.add((r + 1) * lp), acc1);
+        _mm256_storeu_pd(zp.add((r + 2) * lp), acc2);
+        _mm256_storeu_pd(zp.add((r + 3) * lp), acc3);
+        r += 4;
+    }
+    while r < rows {
+        let mut acc = _mm256_loadu_pd(zp.add(r * lp));
+        for c in 0..cols {
+            let x0 = _mm256_loadu_pd(xp.add(c * lp));
+            acc = _mm256_fmadd_pd(x0, _mm256_broadcast_sd(&*wp.add(r * cols + c)), acc);
+        }
+        _mm256_storeu_pd(zp.add(r * lp), acc);
+        r += 1;
+    }
+}
+
+/// Fused LSTM gate step for the four lanes of group `g`: reads the
+/// gate pre-activations `zt` (`4*hidden x lp`, gate order i,f,g,o),
+/// updates cell/hidden panels `ct`/`ht` (`hidden x lp`) in place as
+///
+/// ```text
+/// c = fma(σ(z_f), c, σ(z_i) · tanh(z_g));   h = σ(z_o) · tanh(c)
+/// ```
+///
+/// Only the lanes set in the 4-bit `mask` are written back; the
+/// arithmetic runs for all four lanes (masked lanes compute finite
+/// garbage that is discarded), so an element's value never depends on
+/// which other lanes are active.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA; `(g + 1) * 4 <= lp`, `zt` at
+/// least `4*hidden x lp`, `ct`/`ht` at least `hidden x lp`
+/// (debug-asserted); `mask < 16`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn gates_group(
+    zt: &[f64],
+    hidden: usize,
+    lp: usize,
+    ct: &mut [f64],
+    ht: &mut [f64],
+    g: usize,
+    mask: u8,
+) {
+    debug_assert!(zt.len() >= 4 * hidden * lp);
+    debug_assert!(ct.len() >= hidden * lp);
+    debug_assert!(ht.len() >= hidden * lp);
+    debug_assert!((g + 1) * 4 <= lp);
+    debug_assert!(mask < 16);
+    let zp = zt.as_ptr().add(g * 4);
+    let cp = ct.as_mut_ptr().add(g * 4);
+    let hp = ht.as_mut_ptr().add(g * 4);
+    let full = mask == 0b1111;
+    let store_mask = _mm256_loadu_si256(STORE_MASKS[mask as usize].as_ptr() as *const __m256i);
+    // Chunked two-pass evaluation. Pass one computes the input-side
+    // gates — their four exps are independent, so they run in lockstep
+    // through `exp4x4` — and the new cell row, stashing `c` and `σ(z_o)`
+    // in small stack panels. Pass two then evaluates the dependent
+    // `tanh(c)` four rows at a time, again in lockstep. Splitting the
+    // passes breaks the per-row serial chain exp → div → fma → exp →
+    // div → mul whose latency (not port throughput) otherwise bounds
+    // the loop. Every value is bitwise what the naive
+    // `sigmoid4`/`tanh4` composition produces — only evaluation
+    // ordering changes.
+    const CHUNK: usize = 16;
+    let mut c_buf = [0.0f64; CHUNK * 4];
+    let mut o_buf = [0.0f64; CHUNK * 4];
+    let one = _mm256_set1_pd(1.0);
+    let two = _mm256_set1_pd(2.0);
+    let neg_one = _mm256_set1_pd(-1.0);
+    let nsign = _mm256_set1_pd(-0.0);
+    let mut k0 = 0;
+    while k0 < hidden {
+        let m = CHUNK.min(hidden - k0);
+        for dk in 0..m {
+            let k = k0 + dk;
+            let zi = _mm256_loadu_pd(zp.add(k * lp));
+            let zf = _mm256_loadu_pd(zp.add((hidden + k) * lp));
+            let zg = _mm256_loadu_pd(zp.add((2 * hidden + k) * lp));
+            let zo = _mm256_loadu_pd(zp.add((3 * hidden + k) * lp));
+            let (ei, ef, eg, eo) = exp4x4(
+                _mm256_xor_pd(zi, nsign),
+                _mm256_xor_pd(zf, nsign),
+                _mm256_xor_pd(_mm256_add_pd(zg, zg), nsign),
+                _mm256_xor_pd(zo, nsign),
+            );
+            let i = _mm256_div_pd(one, _mm256_add_pd(one, ei));
+            let f = _mm256_div_pd(one, _mm256_add_pd(one, ef));
+            let sg = _mm256_div_pd(one, _mm256_add_pd(one, eg));
+            let gg = _mm256_fmadd_pd(two, sg, neg_one);
+            let o = _mm256_div_pd(one, _mm256_add_pd(one, eo));
+            let c_old = _mm256_loadu_pd(cp.add(k * lp));
+            let c_new = _mm256_fmadd_pd(f, c_old, _mm256_mul_pd(i, gg));
+            _mm256_storeu_pd(c_buf.as_mut_ptr().add(dk * 4), c_new);
+            _mm256_storeu_pd(o_buf.as_mut_ptr().add(dk * 4), o);
+            if full {
+                _mm256_storeu_pd(cp.add(k * lp), c_new);
+            } else {
+                _mm256_maskstore_pd(cp.add(k * lp), store_mask, c_new);
+            }
+        }
+        let mut dk = 0;
+        while dk + 4 <= m {
+            let c0 = _mm256_loadu_pd(c_buf.as_ptr().add(dk * 4));
+            let c1 = _mm256_loadu_pd(c_buf.as_ptr().add((dk + 1) * 4));
+            let c2 = _mm256_loadu_pd(c_buf.as_ptr().add((dk + 2) * 4));
+            let c3 = _mm256_loadu_pd(c_buf.as_ptr().add((dk + 3) * 4));
+            let (e0, e1, e2, e3) = exp4x4(
+                _mm256_xor_pd(_mm256_add_pd(c0, c0), nsign),
+                _mm256_xor_pd(_mm256_add_pd(c1, c1), nsign),
+                _mm256_xor_pd(_mm256_add_pd(c2, c2), nsign),
+                _mm256_xor_pd(_mm256_add_pd(c3, c3), nsign),
+            );
+            let t0 = _mm256_fmadd_pd(two, _mm256_div_pd(one, _mm256_add_pd(one, e0)), neg_one);
+            let t1 = _mm256_fmadd_pd(two, _mm256_div_pd(one, _mm256_add_pd(one, e1)), neg_one);
+            let t2 = _mm256_fmadd_pd(two, _mm256_div_pd(one, _mm256_add_pd(one, e2)), neg_one);
+            let t3 = _mm256_fmadd_pd(two, _mm256_div_pd(one, _mm256_add_pd(one, e3)), neg_one);
+            for (dj, t) in [t0, t1, t2, t3].into_iter().enumerate() {
+                let k = k0 + dk + dj;
+                let o = _mm256_loadu_pd(o_buf.as_ptr().add((dk + dj) * 4));
+                let h_new = _mm256_mul_pd(o, t);
+                if full {
+                    _mm256_storeu_pd(hp.add(k * lp), h_new);
+                } else {
+                    _mm256_maskstore_pd(hp.add(k * lp), store_mask, h_new);
+                }
+            }
+            dk += 4;
+        }
+        while dk < m {
+            let k = k0 + dk;
+            let c = _mm256_loadu_pd(c_buf.as_ptr().add(dk * 4));
+            let o = _mm256_loadu_pd(o_buf.as_ptr().add(dk * 4));
+            let h_new = _mm256_mul_pd(o, tanh4(c));
+            if full {
+                _mm256_storeu_pd(hp.add(k * lp), h_new);
+            } else {
+                _mm256_maskstore_pd(hp.add(k * lp), store_mask, h_new);
+            }
+            dk += 1;
+        }
+        k0 += m;
+    }
+}
+
+/// Scatter up to four `row_len`-wide table rows into the lane columns
+/// of group `g` of `zt`: `zt[r][g*4 + j] = table[ids[j] * row_len + r]`
+/// for every lane `j` set in the 4-bit `mask`, via 4×4 in-register
+/// transposes with masked stores; unset lanes' columns are left
+/// untouched. A pure data movement — the staged values are bitwise the
+/// table's. Unset lanes' `ids` entries are still read (callers pass
+/// id 0), so they only need to be in bounds.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA; every `ids[j] * row_len +
+/// row_len` must be in bounds of `table`, `(g + 1) * 4 <= lp`, and
+/// `zt.len() >= row_len * lp` (debug-asserted); `mask < 16`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn stage_rows_group(
+    table: &[f64],
+    row_len: usize,
+    ids: [usize; 4],
+    zt: &mut [f64],
+    lp: usize,
+    g: usize,
+    mask: u8,
+) {
+    debug_assert!(ids.iter().all(|&id| (id + 1) * row_len <= table.len()));
+    debug_assert!(zt.len() >= row_len * lp);
+    debug_assert!((g + 1) * 4 <= lp);
+    debug_assert!(mask < 16);
+    let full = mask == 0b1111;
+    let store_mask = _mm256_loadu_si256(STORE_MASKS[mask as usize].as_ptr() as *const __m256i);
+    let tp = table.as_ptr();
+    let zp = zt.as_mut_ptr().add(g * 4);
+    let p0 = tp.add(ids[0] * row_len);
+    let p1 = tp.add(ids[1] * row_len);
+    let p2 = tp.add(ids[2] * row_len);
+    let p3 = tp.add(ids[3] * row_len);
+    let blocks = row_len / 4;
+    for b in 0..blocks {
+        let a = _mm256_loadu_pd(p0.add(4 * b));
+        let bv = _mm256_loadu_pd(p1.add(4 * b));
+        let c = _mm256_loadu_pd(p2.add(4 * b));
+        let d = _mm256_loadu_pd(p3.add(4 * b));
+        let t0 = _mm256_unpacklo_pd(a, bv); // a0 b0 a2 b2
+        let t1 = _mm256_unpackhi_pd(a, bv); // a1 b1 a3 b3
+        let t2 = _mm256_unpacklo_pd(c, d); // c0 d0 c2 d2
+        let t3 = _mm256_unpackhi_pd(c, d); // c1 d1 c3 d3
+        let r0 = _mm256_permute2f128_pd(t0, t2, 0x20); // a0 b0 c0 d0
+        let r1 = _mm256_permute2f128_pd(t1, t3, 0x20);
+        let r2 = _mm256_permute2f128_pd(t0, t2, 0x31);
+        let r3 = _mm256_permute2f128_pd(t1, t3, 0x31);
+        if full {
+            _mm256_storeu_pd(zp.add((4 * b) * lp), r0);
+            _mm256_storeu_pd(zp.add((4 * b + 1) * lp), r1);
+            _mm256_storeu_pd(zp.add((4 * b + 2) * lp), r2);
+            _mm256_storeu_pd(zp.add((4 * b + 3) * lp), r3);
+        } else {
+            _mm256_maskstore_pd(zp.add((4 * b) * lp), store_mask, r0);
+            _mm256_maskstore_pd(zp.add((4 * b + 1) * lp), store_mask, r1);
+            _mm256_maskstore_pd(zp.add((4 * b + 2) * lp), store_mask, r2);
+            _mm256_maskstore_pd(zp.add((4 * b + 3) * lp), store_mask, r3);
+        }
+    }
+    for r in 4 * blocks..row_len {
+        if mask & 1 != 0 {
+            *zp.add(r * lp) = *p0.add(r);
+        }
+        if mask & 2 != 0 {
+            *zp.add(r * lp + 1) = *p1.add(r);
+        }
+        if mask & 4 != 0 {
+            *zp.add(r * lp + 2) = *p2.add(r);
+        }
+        if mask & 8 != 0 {
+            *zp.add(r * lp + 3) = *p3.add(r);
+        }
+    }
+}
+
+/// Broadcast a bias vector across the first `groups` lane groups:
+/// `zt[r][lane] = src[r]` for every lane of groups `0..groups`.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA; `groups * 4 <= lp` and
+/// `zt.len() >= src.len() * lp` (debug-asserted).
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn broadcast_rows(src: &[f64], zt: &mut [f64], lp: usize, groups: usize) {
+    debug_assert!(groups * 4 <= lp);
+    debug_assert!(zt.len() >= src.len() * lp);
+    let zp = zt.as_mut_ptr();
+    for (r, &v) in src.iter().enumerate() {
+        let vv = _mm256_set1_pd(v);
+        for g in 0..groups {
+            _mm256_storeu_pd(zp.add(r * lp + g * 4), vv);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vector transcendentals.
+// ---------------------------------------------------------------------
+
+/// Clamp range for `exp4`: inputs below −708 underflow toward zero and
+/// inputs above +709 would overflow the 2^n scale; both ends round to
+/// finite values after clamping, so saturated gates stay finite.
+const EXP_LO: f64 = -708.0;
+const EXP_HI: f64 = 709.0;
+
+/// Cody–Waite split of ln 2: `r = x − n·LN2_HI − n·LN2_LO` keeps the
+/// reduced argument exact to well below the f64 ulp for |n| ≤ 1024.
+/// The extra decimal digits pin the intended (non-nearest) f64 values.
+#[allow(clippy::excessive_precision)]
+const LN2_HI: f64 = 6.931_471_803_691_238_164_9e-1;
+#[allow(clippy::excessive_precision)]
+const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+
+/// exp(x) for four lanes: range reduction x = n·ln2 + r with
+/// |r| ≤ ln2/2, degree-13 Taylor polynomial in r (truncation error
+/// ~1e-17 relative), exact 2^n scaling through the exponent field.
+/// NaN propagates (the clamp's operand order keeps NaN as src2).
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn exp4(x: __m256d) -> __m256d {
+    let x = _mm256_min_pd(_mm256_set1_pd(EXP_HI), _mm256_max_pd(_mm256_set1_pd(EXP_LO), x));
+    let n_real = _mm256_round_pd(
+        _mm256_mul_pd(x, _mm256_set1_pd(std::f64::consts::LOG2_E)),
+        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC,
+    );
+    let r = _mm256_fnmadd_pd(n_real, _mm256_set1_pd(LN2_HI), x);
+    let r = _mm256_fnmadd_pd(n_real, _mm256_set1_pd(LN2_LO), r);
+    // Horner evaluation of Σ r^k / k!, k = 0..=13.
+    let mut p = _mm256_set1_pd(1.0 / 6_227_020_800.0); // 1/13!
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 479_001_600.0));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 39_916_800.0));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 3_628_800.0));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 362_880.0));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 40_320.0));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 5_040.0));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 720.0));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 120.0));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 24.0));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0 / 6.0));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(0.5));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0));
+    // 2^n via the exponent field: n is integral and within ±1023 after
+    // the clamp, so the biased exponent stays in (0, 2047).
+    let n_i64 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(n_real));
+    let scale = _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_add_epi64(
+        n_i64,
+        _mm256_set1_epi64x(1023),
+    )));
+    _mm256_mul_pd(p, scale)
+}
+
+/// Four independent `exp` evaluations in lockstep, bitwise identical
+/// to four [`exp4`] calls. The lockstep form exists purely for
+/// throughput: each Horner coefficient is materialized once and feeds
+/// four FMAs (instead of one broadcast load per FMA), and the four
+/// dependency chains overlap — [`gates_group`] is latency- and
+/// load-bound on its transcendentals otherwise.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn exp4x4(
+    x0: __m256d,
+    x1: __m256d,
+    x2: __m256d,
+    x3: __m256d,
+) -> (__m256d, __m256d, __m256d, __m256d) {
+    let hi = _mm256_set1_pd(EXP_HI);
+    let lo = _mm256_set1_pd(EXP_LO);
+    let x0 = _mm256_min_pd(hi, _mm256_max_pd(lo, x0));
+    let x1 = _mm256_min_pd(hi, _mm256_max_pd(lo, x1));
+    let x2 = _mm256_min_pd(hi, _mm256_max_pd(lo, x2));
+    let x3 = _mm256_min_pd(hi, _mm256_max_pd(lo, x3));
+    let log2e = _mm256_set1_pd(std::f64::consts::LOG2_E);
+    const RN: i32 = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+    let n0 = _mm256_round_pd::<RN>(_mm256_mul_pd(x0, log2e));
+    let n1 = _mm256_round_pd::<RN>(_mm256_mul_pd(x1, log2e));
+    let n2 = _mm256_round_pd::<RN>(_mm256_mul_pd(x2, log2e));
+    let n3 = _mm256_round_pd::<RN>(_mm256_mul_pd(x3, log2e));
+    let ln2_hi = _mm256_set1_pd(LN2_HI);
+    let r0 = _mm256_fnmadd_pd(n0, ln2_hi, x0);
+    let r1 = _mm256_fnmadd_pd(n1, ln2_hi, x1);
+    let r2 = _mm256_fnmadd_pd(n2, ln2_hi, x2);
+    let r3 = _mm256_fnmadd_pd(n3, ln2_hi, x3);
+    let ln2_lo = _mm256_set1_pd(LN2_LO);
+    let r0 = _mm256_fnmadd_pd(n0, ln2_lo, r0);
+    let r1 = _mm256_fnmadd_pd(n1, ln2_lo, r1);
+    let r2 = _mm256_fnmadd_pd(n2, ln2_lo, r2);
+    let r3 = _mm256_fnmadd_pd(n3, ln2_lo, r3);
+    // Same degree-13 Taylor series as `exp4`, four chains in lockstep.
+    const COEFFS: [f64; 13] = [
+        1.0 / 479_001_600.0,
+        1.0 / 39_916_800.0,
+        1.0 / 3_628_800.0,
+        1.0 / 362_880.0,
+        1.0 / 40_320.0,
+        1.0 / 5_040.0,
+        1.0 / 720.0,
+        1.0 / 120.0,
+        1.0 / 24.0,
+        1.0 / 6.0,
+        0.5,
+        1.0,
+        1.0,
+    ];
+    let mut p0 = _mm256_set1_pd(1.0 / 6_227_020_800.0); // 1/13!
+    let mut p1 = p0;
+    let mut p2 = p0;
+    let mut p3 = p0;
+    for &c in &COEFFS {
+        let cv = _mm256_set1_pd(c);
+        p0 = _mm256_fmadd_pd(p0, r0, cv);
+        p1 = _mm256_fmadd_pd(p1, r1, cv);
+        p2 = _mm256_fmadd_pd(p2, r2, cv);
+        p3 = _mm256_fmadd_pd(p3, r3, cv);
+    }
+    let bias = _mm256_set1_epi64x(1023);
+    let scale = |n: __m256d| {
+        let n_i64 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(n));
+        _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_add_epi64(n_i64, bias)))
+    };
+    (
+        _mm256_mul_pd(p0, scale(n0)),
+        _mm256_mul_pd(p1, scale(n1)),
+        _mm256_mul_pd(p2, scale(n2)),
+        _mm256_mul_pd(p3, scale(n3)),
+    )
+}
+
+/// Logistic sigmoid for four lanes: `1 / (1 + exp(−x))`.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn sigmoid4(x: __m256d) -> __m256d {
+    let one = _mm256_set1_pd(1.0);
+    let neg_x = _mm256_xor_pd(x, _mm256_set1_pd(-0.0));
+    _mm256_div_pd(one, _mm256_add_pd(one, exp4(neg_x)))
+}
+
+/// tanh for four lanes as `2·σ(2x) − 1` in one FMA: the doubling and
+/// the final fused multiply-add are exact, so the relative accuracy of
+/// `sigmoid4` carries over — including near zero, where the naive
+/// `2σ−1` subtraction would cancel.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tanh4(x: __m256d) -> __m256d {
+    let s = sigmoid4(_mm256_add_pd(x, x));
+    _mm256_fmadd_pd(_mm256_set1_pd(2.0), s, _mm256_set1_pd(-1.0))
+}
+
+/// In-place vector sigmoid over a slice (vtable entry).
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn sigmoid_slice(xs: &mut [f64]) {
+    let n = xs.len();
+    let p = xs.as_mut_ptr();
+    let blocks = n / 4;
+    for k in 0..blocks {
+        let v = _mm256_loadu_pd(p.add(4 * k));
+        _mm256_storeu_pd(p.add(4 * k), sigmoid4(v));
+    }
+    if !n.is_multiple_of(4) {
+        let mut pad = [0.0f64; 4];
+        pad[..n - 4 * blocks].copy_from_slice(&xs[4 * blocks..]);
+        let v = sigmoid4(_mm256_loadu_pd(pad.as_ptr()));
+        _mm256_storeu_pd(pad.as_mut_ptr(), v);
+        xs[4 * blocks..].copy_from_slice(&pad[..n - 4 * blocks]);
+    }
+}
+
+/// In-place vector tanh over a slice (vtable entry).
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and FMA.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn tanh_slice(xs: &mut [f64]) {
+    let n = xs.len();
+    let p = xs.as_mut_ptr();
+    let blocks = n / 4;
+    for k in 0..blocks {
+        let v = _mm256_loadu_pd(p.add(4 * k));
+        _mm256_storeu_pd(p.add(4 * k), tanh4(v));
+    }
+    if !n.is_multiple_of(4) {
+        let mut pad = [0.0f64; 4];
+        pad[..n - 4 * blocks].copy_from_slice(&xs[4 * blocks..]);
+        let v = tanh4(_mm256_loadu_pd(pad.as_ptr()));
+        _mm256_storeu_pd(pad.as_mut_ptr(), v);
+        xs[4 * blocks..].copy_from_slice(&pad[..n - 4 * blocks]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn have_avx2() -> bool {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+
+    fn ulp_of(x: f64) -> f64 {
+        let a = x.abs().max(f64::MIN_POSITIVE);
+        f64::from_bits(a.to_bits() + 1) - a
+    }
+
+    /// The scalar-exact primitives must be *bitwise* equal to the
+    /// scalar kernel, including on awkward shapes: cols % 8 ≠ 0 (both
+    /// a partial 4-block and a remainder), a single row, zero cols.
+    #[test]
+    fn matvec_is_bitwise_scalar() {
+        if !have_avx2() {
+            return;
+        }
+        for (rows, cols) in [(7, 10), (1, 13), (5, 3), (160, 24), (3, 0), (1, 1)] {
+            let w: Vec<f64> = (0..rows * cols).map(|i| ((i as f64) * 0.731).sin() * 3.0).collect();
+            let x: Vec<f64> = (0..cols).map(|i| ((i as f64) * 0.917).cos() * 2.0).collect();
+            let mut want = vec![0.0; rows];
+            crate::ops::matvec(&w, rows, cols, &x, &mut want);
+            let mut got = vec![0.0; rows];
+            unsafe { matvec(&w, rows, cols, &x, &mut got) };
+            assert_eq!(got, want, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn matvec_lanes_is_bitwise_scalar_and_skips_lanes() {
+        if !have_avx2() {
+            return;
+        }
+        let (rows, cols, nlanes) = (7, 10, 5);
+        let w: Vec<f64> = (0..rows * cols).map(|i| ((i as f64) * 0.31).sin()).collect();
+        let xs: Vec<f64> = (0..nlanes * cols).map(|i| ((i as f64) * 0.17).cos()).collect();
+        let lanes = [0usize, 1, 3, 4];
+        let mut want = vec![f64::NAN; nlanes * rows];
+        crate::ops::matvec_lanes(&w, rows, cols, &xs, &mut want, &lanes);
+        let mut got = vec![f64::NAN; nlanes * rows];
+        unsafe { matvec_lanes(&w, rows, cols, &xs, &mut got, &lanes) };
+        for b in 0..nlanes {
+            if b == 2 {
+                assert!(got[b * rows..(b + 1) * rows].iter().all(|v| v.is_nan()));
+            } else {
+                assert_eq!(&got[b * rows..(b + 1) * rows], &want[b * rows..(b + 1) * rows]);
+            }
+        }
+    }
+
+    /// The packed FMA accumulation reassociates the sum, so it is not
+    /// bitwise scalar — but each element is one FMA chain over `cols`
+    /// products, whose error against the exactly-rounded dot product
+    /// is classically bounded by ~n·ε·Σ|terms|. Check against a
+    /// generous version of that bound.
+    #[test]
+    fn packed_matvec_error_bound() {
+        if !have_avx2() {
+            return;
+        }
+        for (rows, cols, lanes) in
+            [(160usize, 24usize, 8usize), (160, 40, 12), (6, 5, 4), (9, 7, 5)]
+        {
+            let lp = lanes.div_ceil(4) * 4;
+            let w: Vec<f64> = (0..rows * cols).map(|i| ((i as f64) * 0.61).sin()).collect();
+            let xt: Vec<f64> = (0..cols * lp).map(|i| ((i as f64) * 0.43).cos()).collect();
+            let mut zt = vec![0.25f64; rows * lp];
+            let groups = lp / 4;
+            let mut g = 0;
+            while g + 2 <= groups {
+                unsafe { wmat_acc_g2(&w, rows, cols, &xt, lp, &mut zt, g) };
+                g += 2;
+            }
+            if g < groups {
+                unsafe { wmat_acc_g1(&w, rows, cols, &xt, lp, &mut zt, g) };
+            }
+            for r in 0..rows {
+                for b in 0..lanes {
+                    let mut reference = 0.25f64;
+                    let mut magnitude = 0.25f64;
+                    for c in 0..cols {
+                        let term = w[r * cols + c] * xt[c * lp + b];
+                        reference += term;
+                        magnitude += term.abs();
+                    }
+                    let got = zt[r * lp + b];
+                    let bound =
+                        ((cols + 4) as f64) * f64::EPSILON * magnitude + 4.0 * ulp_of(reference);
+                    assert!(
+                        (got - reference).abs() <= bound,
+                        "rows {rows} cols {cols} r {r} b {b}: {got} vs {reference}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Per-element independence: the FMA chain of a lane must not see
+    /// the other lanes — running one group of a 2-group panel and
+    /// running both must produce bitwise identical values for that
+    /// group's lanes.
+    #[test]
+    fn packed_matvec_lane_chains_are_independent() {
+        if !have_avx2() {
+            return;
+        }
+        let (rows, cols, lp) = (12, 9, 8);
+        let w: Vec<f64> = (0..rows * cols).map(|i| ((i as f64) * 0.29).sin()).collect();
+        let xt: Vec<f64> = (0..cols * lp).map(|i| ((i as f64) * 0.83).cos()).collect();
+        let mut both = vec![0.5f64; rows * lp];
+        unsafe { wmat_acc_g2(&w, rows, cols, &xt, lp, &mut both, 0) };
+        let mut solo = vec![0.5f64; rows * lp];
+        unsafe { wmat_acc_g1(&w, rows, cols, &xt, lp, &mut solo, 0) };
+        for r in 0..rows {
+            assert_eq!(&both[r * lp..r * lp + 4], &solo[r * lp..r * lp + 4], "row {r}");
+        }
+    }
+
+    #[test]
+    fn vector_sigmoid_matches_libm_within_ulps() {
+        if !have_avx2() {
+            return;
+        }
+        let xs: Vec<f64> = (-4000..4000)
+            .map(|i| i as f64 * 0.01)
+            .chain([0.0, -0.0, 1e-18, -1e-18, 700.0, -700.0, 1e9, -1e9])
+            .collect();
+        let mut got = xs.clone();
+        unsafe { sigmoid_slice(&mut got) };
+        for (&x, &s) in xs.iter().zip(&got) {
+            let want = 1.0 / (1.0 + (-x).exp());
+            // The EXP_LO/EXP_HI clamp makes deeply saturated outputs
+            // bottom out near the smallest normal instead of exactly 0.
+            let tolerance = (8.0 * ulp_of(want)).max(1.5e-308);
+            assert!(
+                (s - want).abs() <= tolerance,
+                "sigmoid({x}): {s} vs {want} (diff {})",
+                (s - want).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn vector_tanh_matches_libm_within_bound() {
+        if !have_avx2() {
+            return;
+        }
+        let xs: Vec<f64> = (-4000..4000)
+            .map(|i| i as f64 * 0.005)
+            .chain([0.0, -0.0, 1e-18, -1e-12, 350.0, -350.0, 1e9, -1e9])
+            .collect();
+        let mut got = xs.clone();
+        unsafe { tanh_slice(&mut got) };
+        for (&x, &t) in xs.iter().zip(&got) {
+            let want = x.tanh();
+            // Relative where tanh is well-scaled, absolute through the
+            // 2σ(2x)−1 cancellation regime.
+            let tolerance = (8.0 * ulp_of(want)).max(2e-16);
+            assert!(
+                (t - want).abs() <= tolerance,
+                "tanh({x}): {t} vs {want} (diff {})",
+                (t - want).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn transcendental_tails_handle_odd_lengths() {
+        if !have_avx2() {
+            return;
+        }
+        for n in [0usize, 1, 2, 3, 5, 7] {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+            let mut got = xs.clone();
+            unsafe { sigmoid_slice(&mut got) };
+            let mut whole = xs.clone();
+            whole.resize(8, 0.0);
+            unsafe { sigmoid_slice(&mut whole) };
+            assert_eq!(&got[..], &whole[..n], "n={n}");
+        }
+    }
+
+    #[test]
+    fn stage_and_broadcast_are_exact_copies() {
+        if !have_avx2() {
+            return;
+        }
+        let row_len = 10; // exercises the transpose tail (10 % 4 != 0)
+        let table: Vec<f64> = (0..6 * row_len).map(|i| i as f64 * 0.5).collect();
+        let lp = 8;
+        let mut zt = vec![f64::NAN; row_len * lp];
+        unsafe { stage_rows_group(&table, row_len, [3, 0, 5, 1], &mut zt, lp, 1, 0b1111) };
+        for r in 0..row_len {
+            for (j, id) in [3usize, 0, 5, 1].into_iter().enumerate() {
+                assert_eq!(zt[r * lp + 4 + j].to_bits(), table[id * row_len + r].to_bits());
+            }
+            // Group 0 untouched.
+            assert!(zt[r * lp..r * lp + 4].iter().all(|v| v.is_nan()));
+        }
+        // Partial mask: only the set lanes' columns are written.
+        let mut zt_m = vec![f64::NAN; row_len * lp];
+        unsafe { stage_rows_group(&table, row_len, [3, 0, 5, 1], &mut zt_m, lp, 1, 0b0101) };
+        for r in 0..row_len {
+            for (j, id) in [3usize, 0, 5, 1].into_iter().enumerate() {
+                if 0b0101 & (1 << j) != 0 {
+                    assert_eq!(zt_m[r * lp + 4 + j].to_bits(), table[id * row_len + r].to_bits());
+                } else {
+                    assert!(zt_m[r * lp + 4 + j].is_nan());
+                }
+            }
+        }
+        let bias: Vec<f64> = (0..5).map(|i| i as f64 - 1.5).collect();
+        let mut panel = vec![f64::NAN; 5 * lp];
+        unsafe { broadcast_rows(&bias, &mut panel, lp, 2) };
+        for r in 0..5 {
+            for lane in 0..8 {
+                assert_eq!(panel[r * lp + lane], bias[r]);
+            }
+        }
+    }
+
+    #[test]
+    fn exp_clamp_keeps_saturated_gates_finite() {
+        if !have_avx2() {
+            return;
+        }
+        let mut xs = [-1e308, 1e308, -750.0, 750.0, 709.0, -708.0, 0.0, 1.0];
+        unsafe { sigmoid_slice(&mut xs) };
+        for (i, v) in xs.iter().enumerate() {
+            assert!(v.is_finite(), "slot {i} not finite: {v}");
+            assert!((0.0..=1.0).contains(v), "slot {i} out of range: {v}");
+        }
+        assert!(xs[0] < 1e-300 && xs[1] == 1.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Cross-variant kernel agreement: the executable form of the
+//! determinism policy in `comet-nn/src/kernel.rs`.
+//!
+//! * `matvec` / `matvec_lanes` must be **bitwise identical** between
+//!   `scalar-v1` and `avx2-v1` on every shape — including the odd ones
+//!   (`cols % 8 != 0`, single rows, an empty lane list) where the AVX2
+//!   remainder handling differs from its main loop.
+//! * `sigmoid_slice` / `tanh_slice` use polynomial transcendentals
+//!   under AVX2; agreement with libm is ULP-bounded, not bitwise.
+//! * Each variant's predictions must be bitwise batch-size-invariant:
+//!   a block predicted alone and the same block inside any batch give
+//!   the same bits.
+//! * Across variants, whole-network predictions agree to a tested
+//!   relative bound.
+//!
+//! AVX2 cases skip silently on hardware without AVX2+FMA; the scalar
+//! invariants still run everywhere.
+
+use comet_nn::kernel::{self, Kernel};
+use comet_nn::{BatchScratch, HierarchicalRegressor, InferScratch, TokenizedBlock};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Distance in units-in-the-last-place between two finite doubles,
+/// via the order-preserving integer mapping of IEEE-754 bit patterns.
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    assert!(a.is_finite() && b.is_finite(), "non-finite kernel output: {a} vs {b}");
+    fn key(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN - bits
+        } else {
+            bits
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
+fn avx2_or_skip() -> Option<&'static Kernel> {
+    let kernel = kernel::avx2();
+    if kernel.is_none() {
+        eprintln!("skipping: CPU lacks AVX2+FMA, nothing to compare against scalar");
+    }
+    kernel
+}
+
+proptest! {
+    /// `matvec` is bitwise identical across variants on arbitrary
+    /// shapes, including `rows == 1` and `cols` not a multiple of the
+    /// vector width.
+    #[test]
+    fn matvec_bitwise_identical_across_variants(
+        rows in 1usize..12,
+        cols in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let Some(avx2) = kernel::avx2() else { return Ok(()) };
+        let scalar = kernel::scalar();
+        let w = pseudo_values(rows * cols, seed);
+        let x = pseudo_values(cols, seed ^ 0x9E37);
+        let mut y_scalar = vec![f64::NAN; rows];
+        let mut y_avx2 = vec![f64::NAN; rows];
+        (scalar.matvec)(&w, rows, cols, &x, &mut y_scalar);
+        (avx2.matvec)(&w, rows, cols, &x, &mut y_avx2);
+        for (r, (a, b)) in y_scalar.iter().zip(&y_avx2).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "row {} of {}x{}: scalar {} vs avx2 {}", r, rows, cols, a, b
+            );
+        }
+    }
+
+    /// `matvec_lanes` is bitwise identical across variants for every
+    /// lane subset — empty, sparse, and full — and leaves unlisted
+    /// lanes untouched.
+    #[test]
+    fn matvec_lanes_bitwise_identical_across_variants(
+        rows in 1usize..10,
+        cols in 1usize..18,
+        present in prop::collection::vec(any::<bool>(), 0..8),
+        seed in any::<u64>(),
+    ) {
+        let Some(avx2) = kernel::avx2() else { return Ok(()) };
+        let scalar = kernel::scalar();
+        let n_lanes = present.len().max(1);
+        let lanes: Vec<usize> =
+            present.iter().enumerate().filter(|(_, &p)| p).map(|(b, _)| b).collect();
+        let w = pseudo_values(rows * cols, seed);
+        let xs = pseudo_values(n_lanes * cols, seed ^ 0x517C);
+        // NaN sentinel: unlisted lanes must keep it, bit for bit.
+        let mut ys_scalar = vec![f64::NAN; n_lanes * rows];
+        let mut ys_avx2 = ys_scalar.clone();
+        (scalar.matvec_lanes)(&w, rows, cols, &xs, &mut ys_scalar, &lanes);
+        (avx2.matvec_lanes)(&w, rows, cols, &xs, &mut ys_avx2, &lanes);
+        for (i, (a, b)) in ys_scalar.iter().zip(&ys_avx2).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "entry {} ({}x{}, lanes {:?}): scalar {} vs avx2 {}", i, rows, cols, &lanes, a, b
+            );
+        }
+    }
+
+    /// Polynomial sigmoid agrees with libm within a small ULP bound
+    /// across the full useful input range. In the saturated tail the
+    /// two can land on different subnormals (libm underflows to zero
+    /// where the clamped polynomial keeps ~1e-317) — ULP distance is
+    /// meaningless there, so a subnormal-scale absolute bound covers
+    /// it.
+    #[test]
+    fn sigmoid_slice_agreement_is_ulp_bounded(
+        values in prop::collection::vec(-750.0f64..750.0, 1..64),
+    ) {
+        let Some(avx2) = kernel::avx2() else { return Ok(()) };
+        let scalar = kernel::scalar();
+        let mut via_scalar = values.clone();
+        let mut via_avx2 = values.clone();
+        (scalar.sigmoid_slice)(&mut via_scalar);
+        (avx2.sigmoid_slice)(&mut via_avx2);
+        for ((x, a), b) in values.iter().zip(&via_scalar).zip(&via_avx2) {
+            let ok =
+                ulp_distance(*a, *b) <= SIGMOID_ULP_BOUND || (a - b).abs() <= SIGMOID_ABS_BOUND;
+            prop_assert!(
+                ok,
+                "sigmoid({}) diverges: scalar {} vs avx2 {} ({} ulps)",
+                x, a, b, ulp_distance(*a, *b)
+            );
+        }
+    }
+
+    /// Polynomial tanh agrees with libm within the tested bound. Near
+    /// zero the identity `tanh(x) = 2 sigmoid(2x) - 1` loses absolute
+    /// (not relative) precision, hence the small absolute escape hatch.
+    #[test]
+    fn tanh_slice_agreement_is_ulp_bounded(
+        values in prop::collection::vec(-400.0f64..400.0, 1..64),
+    ) {
+        let Some(avx2) = kernel::avx2() else { return Ok(()) };
+        let scalar = kernel::scalar();
+        let mut via_scalar = values.clone();
+        let mut via_avx2 = values.clone();
+        (scalar.tanh_slice)(&mut via_scalar);
+        (avx2.tanh_slice)(&mut via_avx2);
+        for ((x, a), b) in values.iter().zip(&via_scalar).zip(&via_avx2) {
+            let ok = ulp_distance(*a, *b) <= TANH_ULP_BOUND || (a - b).abs() <= TANH_ABS_BOUND;
+            prop_assert!(
+                ok,
+                "tanh({}) diverges: scalar {} vs avx2 {} ({} ulps, |diff| {})",
+                x, a, b, ulp_distance(*a, *b), (a - b).abs()
+            );
+        }
+    }
+}
+
+/// Tested agreement bounds between libm and the polynomial kernels.
+const SIGMOID_ULP_BOUND: u64 = 8;
+const SIGMOID_ABS_BOUND: f64 = 1e-300;
+const TANH_ULP_BOUND: u64 = 8;
+const TANH_ABS_BOUND: f64 = 2e-16;
+
+/// Deterministic pseudo-random values in roughly [-2, 2] from a
+/// splitmix-style hash — keeps proptest cases reproducible without
+/// threading an RNG through every strategy.
+fn pseudo_values(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mantissa = (state >> 11) as f64 / (1u64 << 53) as f64;
+            4.0 * mantissa - 2.0
+        })
+        .collect()
+}
+
+/// A model and a shape-diverse block set shared by the whole-network
+/// tests: single-instruction blocks, long blocks, repeated tokens —
+/// the shapes that stress packed-lane grouping and remainder paths.
+fn model_and_blocks() -> (HierarchicalRegressor, Vec<TokenizedBlock>) {
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let model = HierarchicalRegressor::new(48, 24, 40, &mut rng);
+    let blocks: Vec<TokenizedBlock> = vec![
+        vec![vec![1, 2, 3]],
+        vec![vec![4], vec![5, 6], vec![7, 8, 9, 10]],
+        vec![vec![11, 12]; 7],
+        vec![vec![0]],
+        vec![vec![13, 14, 15], vec![16, 17], vec![18], vec![19, 20, 21, 22, 23]],
+        vec![vec![2, 2, 2], vec![2, 2, 2]],
+        vec![vec![30, 31, 32, 33, 34, 35, 36, 37]],
+        vec![vec![40, 41], vec![42, 43], vec![44, 45], vec![46, 47], vec![1, 3]],
+        vec![vec![5, 10, 15], vec![20, 25]],
+    ];
+    (model, blocks)
+}
+
+/// Every batch width must reproduce the single-block bits, per variant.
+fn assert_batch_size_invariant(kernel: &Kernel) {
+    let (model, blocks) = model_and_blocks();
+    let mut infer = InferScratch::new();
+    let singles: Vec<u64> = blocks
+        .iter()
+        .map(|block| model.predict_with_kernel(block, &mut infer, kernel).to_bits())
+        .collect();
+
+    let mut scratch = BatchScratch::new();
+    for width in [1usize, 2, 3, 4, 8, blocks.len()] {
+        let mut outs = vec![0.0; blocks.len()];
+        for (chunk_index, chunk) in blocks.chunks(width).enumerate() {
+            let outs = &mut outs[chunk_index * width..chunk_index * width + chunk.len()];
+            model.predict_batch_with_kernel(chunk, &mut scratch, outs, kernel);
+        }
+        for (b, (single, batched)) in singles.iter().zip(&outs).enumerate() {
+            assert_eq!(
+                *single,
+                batched.to_bits(),
+                "{}: block {b} at batch width {width}: single {} vs batched {}",
+                kernel.name,
+                f64::from_bits(*single),
+                batched
+            );
+        }
+    }
+}
+
+#[test]
+fn scalar_predictions_are_batch_size_invariant() {
+    assert_batch_size_invariant(kernel::scalar());
+}
+
+#[test]
+fn avx2_predictions_are_batch_size_invariant() {
+    if let Some(avx2) = avx2_or_skip() {
+        assert_batch_size_invariant(avx2);
+    }
+}
+
+/// Whole-network predictions across variants: reassociated sums and
+/// polynomial transcendentals compound through 40-wide LSTM steps, so
+/// the bound is relative, with generous headroom over the measured
+/// worst case.
+#[test]
+fn scalar_and_avx2_predictions_agree() {
+    let Some(avx2) = avx2_or_skip() else { return };
+    let scalar = kernel::scalar();
+    let (model, blocks) = model_and_blocks();
+    let mut infer = InferScratch::new();
+    for (b, block) in blocks.iter().enumerate() {
+        let via_scalar = model.predict_with_kernel(block, &mut infer, scalar);
+        let via_avx2 = model.predict_with_kernel(block, &mut infer, avx2);
+        let rel = (via_scalar - via_avx2).abs() / via_scalar.abs().max(1e-12);
+        assert!(
+            rel <= 1e-10,
+            "block {b}: scalar {via_scalar} vs avx2 {via_avx2} (relative diff {rel:e})"
+        );
+    }
+}
+
+/// The active-kernel dispatch hands batched predictions to the same
+/// variant as single ones: the public `predict` / `predict_batch` pair
+/// must agree bitwise whatever variant resolution picked.
+#[test]
+fn public_predict_paths_agree_bitwise() {
+    let (model, blocks) = model_and_blocks();
+    let batched = model.predict_batch(&blocks);
+    for (b, (block, batch_out)) in blocks.iter().zip(&batched).enumerate() {
+        assert_eq!(
+            model.predict(block).to_bits(),
+            batch_out.to_bits(),
+            "block {b} under {}",
+            kernel::active().name
+        );
+    }
+}

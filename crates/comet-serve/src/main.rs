@@ -7,6 +7,7 @@
 //!             [--idle-timeout-ms MS] [--admission-target-ms MS]
 //!             [--registry DIR] [--probation-requests N]
 //!             [--supervised] [--chaos-seed N] [--chaos-panic-rate F]
+//!             [--force-scalar]
 //!             [--bench-client] [--duration-secs S] [--clients N]
 //!             [--out FILE]
 //! ```
@@ -52,7 +53,7 @@ fn usage() -> ! {
          \x20                  [--batch N] [--search-pool N] [--idle-timeout-ms MS]\n\
          \x20                  [--admission-target-ms MS] [--supervised]\n\
          \x20                  [--registry DIR] [--probation-requests N]\n\
-         \x20                  [--chaos-seed N] [--chaos-panic-rate F]\n\
+         \x20                  [--chaos-seed N] [--chaos-panic-rate F] [--force-scalar]\n\
          \x20                  [--bench-client] [--duration-secs S] [--clients N] [--out FILE]"
     );
     std::process::exit(2);
@@ -102,6 +103,9 @@ fn parse_args() -> Args {
                 args.config.probation_requests = parse_or_usage(&value("--probation-requests"))
             }
             "--supervised" => args.supervised = true,
+            "--force-scalar" => {
+                let _ = comet_nn::kernel::force_scalar();
+            }
             "--chaos-seed" => args.chaos_seed = parse_or_usage(&value("--chaos-seed")),
             "--chaos-panic-rate" => {
                 args.chaos_panic_rate = parse_or_usage(&value("--chaos-panic-rate"))

@@ -499,6 +499,12 @@ impl Registry {
                 }
             }
         }
+        let _ = writeln!(
+            out,
+            "# HELP comet_kernel Active inference kernel variant (info gauge, always 1)."
+        );
+        let _ = writeln!(out, "# TYPE comet_kernel gauge");
+        let _ = writeln!(out, "comet_kernel{{name=\"{}\"}} 1", comet_nn::kernel::active().name);
         let _ = writeln!(out, "# HELP comet_shed_total Connections rejected by backpressure.");
         let _ = writeln!(out, "# TYPE comet_shed_total counter");
         let _ = writeln!(out, "comet_shed_total {}", self.shed.load(Relaxed));
