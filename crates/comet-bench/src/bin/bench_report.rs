@@ -317,6 +317,36 @@ fn bench_mini_table2(smoke: bool) -> Value {
     })
 }
 
+/// Store-lookup micro-bench: build a small precomputed explanation
+/// store (the expensive, unmeasured part), then measure the serving
+/// hit path — binary-search the sorted key index and reconstruct the
+/// explanation bitwise from the columnar sections. This is the `store`
+/// tier of the serve degradation ladder; compare `ns_per_iter` here
+/// against `explain_small`/`explain_case2` to see what precomputation
+/// buys over the live search.
+fn bench_store_lookup(target_ms: u64, smoke: bool) -> Value {
+    let blocks = if smoke { 4 } else { 16 };
+    let cfg = comet_store::BuildConfig { blocks, ..Default::default() };
+    let out = std::env::temp_dir().join(format!("comet-bench-store-{}.comets", std::process::id()));
+    let built = comet_store::build_store(&out, &cfg).expect("store build");
+    let store = comet_store::ExplanationStore::open(&out).expect("store open");
+    let texts: Vec<String> = store.iter_texts().map(str::to_string).collect();
+    let mut i = 0usize;
+    let sample = measure(target_ms, || {
+        let text = &texts[i % texts.len()];
+        i += 1;
+        std::hint::black_box(store.lookup(std::hint::black_box(text)).expect("stored block"));
+    });
+    let _ = std::fs::remove_file(&out);
+    eprintln!(
+        "[bench] store/lookup: {:.0} ns/iter over {} records, {:.1} allocs/iter",
+        sample.ns_per_iter, built.records, sample.allocs_per_iter
+    );
+    let mut v = sample.to_json();
+    v["records"] = json!(built.records);
+    v
+}
+
 /// The `machine` report header: enough to judge whether two reports
 /// are comparable at all (a 4-thread CI runner and a 32-thread
 /// workstation are not).
@@ -394,6 +424,7 @@ fn main() {
         "nn_predict": bench_nn(target_ms / 2),
         "nn_predict_batch": bench_nn_batch(target_ms / 3),
         "cache_hit": bench_cache(target_ms / 2),
+        "store_lookup": bench_store_lookup(target_ms / 2, smoke),
         "mini_table2": bench_mini_table2(smoke),
     });
 
@@ -415,7 +446,9 @@ fn main() {
             }
         };
         let mut speedup = json!({});
-        for bench in ["explain_small", "explain_case2", "perturb", "nn_predict", "cache_hit"] {
+        for bench in
+            ["explain_small", "explain_case2", "perturb", "nn_predict", "cache_hit", "store_lookup"]
+        {
             if let Some(r) = ratio(bench, "ns_per_iter") {
                 speedup[format!("{bench}_time")] = json!(r);
             }

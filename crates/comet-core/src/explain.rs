@@ -248,6 +248,27 @@ impl Explanation {
             0.0
         }
     }
+
+    /// Fraction of the explanation's features of each kind, in
+    /// [`FeatureKind`](crate::feature::FeatureKind)`::ALL` order
+    /// (`[inst, dep, eta]`). All zeros for an empty feature set.
+    /// Corpus-level rollups (the Figure 3/4 feature-mix breakdowns and
+    /// the precomputed store's importance lanes) aggregate these.
+    pub fn kind_fractions(&self) -> [f64; 3] {
+        let mut counts = [0u32; 3];
+        for feature in &self.features {
+            let slot = crate::feature::FeatureKind::ALL
+                .iter()
+                .position(|k| *k == feature.kind())
+                .expect("FeatureKind::ALL covers every kind");
+            counts[slot] += 1;
+        }
+        let total = self.features.len();
+        if total == 0 {
+            return [0.0; 3];
+        }
+        counts.map(|c| f64::from(c) / total as f64)
+    }
 }
 
 /// The COMET explainer for a given cost model.

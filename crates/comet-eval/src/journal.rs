@@ -297,8 +297,10 @@ fn parse_record_line(line: &[u8]) -> Option<String> {
 }
 
 /// `*.tmp` sibling + write + fsync + rename + parent-dir fsync: the
-/// destination is never observable in a torn state.
-fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+/// destination is never observable in a torn state. Public because the
+/// precomputed explanation store (`comet-store`) publishes its columnar
+/// files with the same discipline.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
     name.push(".tmp");
     let tmp = path.with_file_name(name);

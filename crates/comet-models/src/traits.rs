@@ -215,6 +215,11 @@ pub struct QueryStats {
     pub occupied_shards: u32,
     /// Total shard count (the lock-stripe width).
     pub shards: u32,
+    /// Model version these entries belong to. The cache itself is
+    /// version-agnostic (serve keeps one cache per model epoch); the
+    /// owner stamps this so operators can see which version's entries
+    /// a hot-swap invalidated. Zero when unversioned.
+    pub version: u64,
 }
 
 impl QueryStats {
@@ -279,6 +284,7 @@ impl<M: CostModel> CachedModel<M> {
             entries,
             occupied_shards: occupied,
             shards: CACHE_SHARDS as u32,
+            version: 0,
         }
     }
 

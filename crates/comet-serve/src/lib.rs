@@ -9,10 +9,16 @@
 //!   ([`admission`]: CoDel-style queue-delay detection driving an AIMD
 //!   concurrency limit) in front of a bounded queue ([`queue`]); every
 //!   shed is an immediate 503 with a typed reason.
-//! * **Degradation over failure** — explains ride a ladder (full
-//!   search → reduced budget → stale cache → baseline probe) under
-//!   deadline pressure or an open circuit; the tier is visible on the
-//!   wire and in `/metrics` ([`server`]).
+//! * **Degradation over failure** — explains ride a ladder
+//!   (precomputed store → full search → reduced budget → stale cache →
+//!   baseline probe) under deadline pressure or an open circuit; the
+//!   tier is visible on the wire and in `/metrics` ([`server`]).
+//! * **Precomputed explanations** — `--store` serves bitwise replicas
+//!   of live search results from a `comet-store` file as the ladder's
+//!   top tier, keyed by model version so hot-swaps structurally
+//!   invalidate stale stores, and exposes the store's build-time
+//!   importance rollups at `GET /analytics/categories` and
+//!   `/analytics/opcodes`.
 //! * **Work deduplication** — identical in-flight explains coalesce
 //!   onto one search ([`server`]); the sharded prediction cache
 //!   deduplicates repeated queries underneath.
@@ -38,7 +44,8 @@
 //!
 //! Endpoints: `POST /v1/predict`, `POST /v1/explain`,
 //! `POST`/`GET /admin/model`, `GET /healthz`, `GET /readyz`,
-//! `GET /metrics`. Wire DTOs live in [`wire`]; the
+//! `GET /metrics`, `GET /analytics/categories`,
+//! `GET /analytics/opcodes`. Wire DTOs live in [`wire`]; the
 //! HTTP/1.1 subset in [`http`]. Seeded fault injection for the chaos
 //! harness lives in [`server::ChaosConfig`] (worker panics) and the
 //! `comet-models` fault decorators (model-level faults).

@@ -6,11 +6,17 @@
 //!             [--deadline-ms MS] [--batch N] [--search-pool N]
 //!             [--idle-timeout-ms MS] [--admission-target-ms MS]
 //!             [--registry DIR] [--probation-requests N]
+//!             [--store PATH]
 //!             [--supervised] [--chaos-seed N] [--chaos-panic-rate F]
 //!             [--force-scalar]
 //!             [--bench-client] [--duration-secs S] [--clients N]
 //!             [--out FILE]
 //! ```
+//!
+//! `--store PATH` serves precomputed explanations from a `comet-store
+//! build` output (a `.comets` file, or a directory holding
+//! `store.comets`) as the top tier of the explain ladder, and enables
+//! the `GET /analytics/*` rollup endpoints.
 //!
 //! Without `--bench-client` the binary serves until Ctrl-C or SIGTERM
 //! (graceful drain; a second Ctrl-C aborts). `--supervised` makes
@@ -52,7 +58,7 @@ fn usage() -> ! {
          \x20                  [--model crude|crude-skylake|uica] [--epsilon F] [--deadline-ms MS]\n\
          \x20                  [--batch N] [--search-pool N] [--idle-timeout-ms MS]\n\
          \x20                  [--admission-target-ms MS] [--supervised]\n\
-         \x20                  [--registry DIR] [--probation-requests N]\n\
+         \x20                  [--registry DIR] [--probation-requests N] [--store PATH]\n\
          \x20                  [--chaos-seed N] [--chaos-panic-rate F] [--force-scalar]\n\
          \x20                  [--bench-client] [--duration-secs S] [--clients N] [--out FILE]"
     );
@@ -99,6 +105,7 @@ fn parse_args() -> Args {
                     args.config.admission.target_delay_us.saturating_mul(4).max(1_000);
             }
             "--registry" => args.config.registry_dir = Some(value("--registry")),
+            "--store" => args.config.store_path = Some(value("--store")),
             "--probation-requests" => {
                 args.config.probation_requests = parse_or_usage(&value("--probation-requests"))
             }
@@ -310,7 +317,45 @@ fn phase_json(name: &str, tally: &Tally, sorted_us: &[u64], secs: f64) -> serde_
     })
 }
 
-fn bench_client(args: Args) {
+/// Blocks a bench store covers. Small so the pre-phase build stays in
+/// the low seconds; plenty for hammering the lookup path.
+const BENCH_STORE_BLOCKS: usize = 32;
+
+/// Make sure the bench run has a store to hit: use `--store` if given,
+/// otherwise build a fresh mini-store (model-matched, seed 0, default
+/// ε — the same parameters the explain requests will carry).
+fn ensure_bench_store(args: &mut Args) -> std::path::PathBuf {
+    if let Some(path) = &args.config.store_path {
+        return std::path::PathBuf::from(path);
+    }
+    let out = std::env::temp_dir().join(format!("comet-bench-store-{}.comets", std::process::id()));
+    let cfg = comet_store::BuildConfig {
+        model: comet_store::BuildModel::parse(args.model.label())
+            .expect("serve model kinds are buildable"),
+        blocks: BENCH_STORE_BLOCKS,
+        ..comet_store::BuildConfig::default()
+    };
+    eprintln!("[bench-serve] building {BENCH_STORE_BLOCKS}-block bench store…");
+    let report = comet_store::build_store(&out, &cfg).unwrap_or_else(|e| {
+        eprintln!("error: cannot build bench store: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("[bench-serve] bench store ready ({} records)", report.records);
+    args.config.store_path = Some(out.display().to_string());
+    out
+}
+
+fn bench_client(mut args: Args) {
+    let store_path = ensure_bench_store(&mut args);
+    let store = comet_store::ExplanationStore::open(&store_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot open bench store: {e}");
+        std::process::exit(1);
+    });
+    // Guaranteed-hit request parameters, straight from the store file.
+    let store_texts: Vec<String> = store.iter_texts().map(str::to_string).collect();
+    let store_epsilon = store.provenance().epsilon();
+    let store_seed = store.provenance().seed;
+
     let server = Server::start(args.model, args.config.clone()).unwrap_or_else(|e| {
         eprintln!("error: cannot start loopback server: {e}");
         std::process::exit(1);
@@ -329,10 +374,24 @@ fn bench_client(args: Args) {
     });
 
     // Phase 2: explain throughput with heavy coalescing pressure — all
-    // clients cycle the same (block, seed) pairs concurrently.
+    // clients cycle the same (block, seed) pairs concurrently. The
+    // bench blocks are not in the generated store corpus, so these
+    // requests exercise the miss-then-live path.
     let (explain_tally, explain_lat) = run_phase(addr, args.clients, duration, |_client, i| {
         let block = BENCH_BLOCKS[(i % 2) as usize];
         post("/v1/explain", &json!({"v": 1, "block": block, "seed": i % 2}).to_string())
+    });
+
+    // Phase 3: store-hit lookups — every request carries the store's
+    // exact (ε, seed) and a block text read from the store file, so
+    // each is answered from the precomputed store without a search.
+    let (store_tally, store_lat) = run_phase(addr, args.clients, duration, |client, i| {
+        let block = &store_texts[(client + i as usize) % store_texts.len()];
+        post(
+            "/v1/explain",
+            &json!({"v": 1, "block": block, "epsilon": store_epsilon, "seed": store_seed})
+                .to_string(),
+        )
     });
 
     let ctx = Arc::clone(server.ctx());
@@ -341,12 +400,39 @@ fn bench_client(args: Args) {
     let stats = ctx.cache_stats();
     let metrics = ctx.metrics();
     let secs = duration.as_secs_f64();
+    // The speedup claim compares server-side handler latencies: the
+    // store-hit histogram (lookup + response) against the live explain
+    // phase's client p50 (which is what BENCH_serve.json has always
+    // reported for explains). A store hit is a binary search over the
+    // file bytes — microseconds against the search's milliseconds.
+    let live_p50_us = percentile(&explain_lat, 0.5) as f64;
+    let hit_p50_us = metrics.store_hit_latency().quantile_us(0.5);
+    let hit_p99_us = metrics.store_hit_latency().quantile_us(0.99);
+    let mut store_axis = phase_json("store", &store_tally, &store_lat, secs);
+    if let serde_json::Value::Object(map) = &mut store_axis {
+        map.insert("records".into(), json!(store_texts.len()));
+        map.insert("hits".into(), json!(metrics.store_hit_count()));
+        map.insert("misses".into(), json!(metrics.store_miss_count()));
+        map.insert("hit_p50_us".into(), json!(hit_p50_us));
+        map.insert("hit_p99_us".into(), json!(hit_p99_us));
+        map.insert("live_p50_us".into(), json!(live_p50_us));
+        map.insert(
+            "speedup_p50".into(),
+            json!(if hit_p50_us > 0.0 { live_p50_us / hit_p50_us } else { 0.0 }),
+        );
+    }
+    eprintln!(
+        "[bench-serve] store: hit p50 {hit_p50_us:.1}µs vs live p50 {live_p50_us:.0}µs \
+         ({:.0}× speedup)",
+        if hit_p50_us > 0.0 { live_p50_us / hit_p50_us } else { 0.0 }
+    );
     let report = json!({
         "schema": 1,
         "mode": if args.duration_secs <= 2 { "smoke" } else { "full" },
         "current": {
             "predict": phase_json("predict", &predict_tally, &predict_lat, secs),
             "explain": phase_json("explain", &explain_tally, &explain_lat, secs),
+            "store": store_axis,
             "server": {
                 "workers": args.config.workers,
                 "queue_depth": args.config.queue_depth,

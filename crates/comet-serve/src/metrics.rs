@@ -29,18 +29,22 @@ pub enum Endpoint {
     Metrics,
     /// `POST`/`GET /admin/model` (model lifecycle).
     Admin,
+    /// `GET /analytics/categories` and `/analytics/opcodes`
+    /// (store-backed aggregation rollups).
+    Analytics,
     /// Anything else (404s, bad request lines, …).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 7] = [
+    const ALL: [Endpoint; 8] = [
         Endpoint::Predict,
         Endpoint::Explain,
         Endpoint::Healthz,
         Endpoint::Readyz,
         Endpoint::Metrics,
         Endpoint::Admin,
+        Endpoint::Analytics,
         Endpoint::Other,
     ];
 
@@ -52,7 +56,8 @@ impl Endpoint {
             Endpoint::Readyz => 3,
             Endpoint::Metrics => 4,
             Endpoint::Admin => 5,
-            Endpoint::Other => 6,
+            Endpoint::Analytics => 6,
+            Endpoint::Other => 7,
         }
     }
 
@@ -64,6 +69,7 @@ impl Endpoint {
             Endpoint::Readyz => "readyz",
             Endpoint::Metrics => "metrics",
             Endpoint::Admin => "admin",
+            Endpoint::Analytics => "analytics",
             Endpoint::Other => "other",
         }
     }
@@ -141,27 +147,33 @@ impl StatusClass {
 /// (see `server::run_search`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tier {
+    /// A precomputed explanation served straight from the on-disk
+    /// store (comet-store) — the top of the ladder, no search at all.
+    Store,
     /// The full anchors search at the configured budgets.
     Full,
     /// A reduced-budget search: fewer KL-LUCB draws, smaller coverage
     /// pool, narrower beam.
     ReducedBudget,
-    /// A stale explanation served from the explanation store.
+    /// A stale previously-computed explanation served from the
+    /// in-memory per-version stale map.
     Cached,
     /// A minimal single-feature baseline probe.
     Baseline,
 }
 
 impl Tier {
-    /// All tiers, for metrics iteration.
-    pub const ALL: [Tier; 4] = [Tier::Full, Tier::ReducedBudget, Tier::Cached, Tier::Baseline];
+    /// All tiers, for metrics iteration, best first.
+    pub const ALL: [Tier; 5] =
+        [Tier::Store, Tier::Full, Tier::ReducedBudget, Tier::Cached, Tier::Baseline];
 
     fn index(self) -> usize {
         match self {
-            Tier::Full => 0,
-            Tier::ReducedBudget => 1,
-            Tier::Cached => 2,
-            Tier::Baseline => 3,
+            Tier::Store => 0,
+            Tier::Full => 1,
+            Tier::ReducedBudget => 2,
+            Tier::Cached => 3,
+            Tier::Baseline => 4,
         }
     }
 
@@ -169,6 +181,7 @@ impl Tier {
     /// label in `/metrics`.
     pub fn label(self) -> &'static str {
         match self {
+            Tier::Store => "store",
             Tier::Full => "full",
             Tier::ReducedBudget => "reduced-budget",
             Tier::Cached => "cached",
@@ -177,28 +190,55 @@ impl Tier {
     }
 }
 
-/// Upper bounds (microseconds) of the fixed latency buckets, plus an
-/// implicit +Inf bucket. Spans 100µs → 10s: cache-hit predicts land in
-/// the first buckets, cold explains in the hundreds-of-ms range.
+/// Upper bounds (microseconds) of the standard latency buckets, plus
+/// an implicit +Inf bucket. Spans 100µs → 10s: cache-hit predicts land
+/// in the first buckets, cold explains in the hundreds-of-ms range.
 const BUCKET_BOUNDS_US: [u64; 14] = [
     100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
     1_000_000, 10_000_000,
 ];
 
+/// Fine-grained bounds for store-hit latency (1µs → 10ms). Store hits
+/// complete in microseconds — two orders of magnitude below the first
+/// standard bucket — so demonstrating the ≥100× speedup over live
+/// explains needs its own resolution.
+const STORE_BUCKET_BOUNDS_US: [u64; 13] =
+    [1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000];
+
 /// A fixed-bucket latency histogram (cumulative counts would race
 /// across buckets, so buckets store per-bucket counts and cumulate at
-/// render time).
-#[derive(Debug, Default)]
+/// render time). Bucket bounds are chosen at construction:
+/// [`Histogram::default`] uses the standard request-latency bounds,
+/// [`Histogram::with_bounds`] any custom static set.
+#[derive(Debug)]
 pub struct Histogram {
-    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    bounds: &'static [u64],
+    buckets: Box<[AtomicU64]>,
     sum_us: AtomicU64,
     count: AtomicU64,
 }
 
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::with_bounds(&BUCKET_BOUNDS_US)
+    }
+}
+
 impl Histogram {
+    /// A histogram over `bounds` (ascending, in µs) plus an implicit
+    /// +Inf bucket.
+    pub fn with_bounds(bounds: &'static [u64]) -> Histogram {
+        Histogram {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
     /// Record one observation.
     pub fn observe_us(&self, us: u64) {
-        let slot = BUCKET_BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(BUCKET_BOUNDS_US.len());
+        let slot = self.bounds.iter().position(|&b| us <= b).unwrap_or(self.bounds.len());
         self.buckets[slot].fetch_add(1, Relaxed);
         self.sum_us.fetch_add(us, Relaxed);
         self.count.fetch_add(1, Relaxed);
@@ -224,9 +264,8 @@ impl Histogram {
         for (i, &c) in counts.iter().enumerate() {
             let next = cumulative + c;
             if (next as f64) >= rank && c > 0 {
-                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_US[i - 1] };
-                let upper =
-                    BUCKET_BOUNDS_US.get(i).copied().unwrap_or(*BUCKET_BOUNDS_US.last().unwrap());
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = self.bounds.get(i).copied().unwrap_or(*self.bounds.last().unwrap());
                 if upper <= lower {
                     return upper as f64;
                 }
@@ -235,7 +274,7 @@ impl Histogram {
             }
             cumulative = next;
         }
-        *BUCKET_BOUNDS_US.last().unwrap() as f64
+        *self.bounds.last().unwrap() as f64
     }
 
     /// Render as a Prometheus histogram (`_bucket`/`_sum`/`_count`)
@@ -244,7 +283,8 @@ impl Histogram {
         let mut cumulative = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
             cumulative += bucket.load(Relaxed);
-            let le = BUCKET_BOUNDS_US
+            let le = self
+                .bounds
                 .get(i)
                 .map(|&b| format!("{}", b as f64 / 1e6))
                 .unwrap_or_else(|| "+Inf".to_string());
@@ -254,6 +294,17 @@ impl Histogram {
         let braced = if labels.is_empty() { String::new() } else { format!("{{{labels}}}") };
         let _ = writeln!(out, "{name}_sum{braced} {}", self.sum_us.load(Relaxed) as f64 / 1e6);
         let _ = writeln!(out, "{name}_count{braced} {}", self.count.load(Relaxed));
+    }
+}
+
+/// A [`Histogram`] whose `Default` uses the fine store-hit bounds, so
+/// [`Registry`] can keep deriving `Default`.
+#[derive(Debug)]
+struct StoreHitHistogram(Histogram);
+
+impl Default for StoreHitHistogram {
+    fn default() -> StoreHitHistogram {
+        StoreHitHistogram(Histogram::with_bounds(&STORE_BUCKET_BOUNDS_US))
     }
 }
 
@@ -296,6 +347,15 @@ pub struct Registry {
     /// Latency histograms for the two real endpoints.
     predict_latency: Histogram,
     explain_latency: Histogram,
+    /// Explains answered from the precomputed on-disk store.
+    store_hits: AtomicU64,
+    /// Explains that consulted a configured store and missed (fell
+    /// through to the live ladder). Absent-store requests count
+    /// neither.
+    store_misses: AtomicU64,
+    /// Store-hit latency on its own fine-grained buckets (store hits
+    /// are ~µs; the standard buckets start at 100µs).
+    store_hit_latency: StoreHitHistogram,
     /// Active model version (registry version of the epoch serving
     /// traffic); 0 until the first epoch is published.
     model_version: AtomicU64,
@@ -478,11 +538,44 @@ impl Registry {
         &self.predict_latency
     }
 
+    /// Count one explain served from the precomputed store, with its
+    /// end-to-end handler latency.
+    pub fn record_store_hit(&self, us: u64) {
+        self.store_hits.fetch_add(1, Relaxed);
+        self.store_hit_latency.0.observe_us(us);
+    }
+
+    /// Count one explain that consulted the store and missed.
+    pub fn record_store_miss(&self) {
+        self.store_misses.fetch_add(1, Relaxed);
+    }
+
+    /// Explains served from the store so far.
+    pub fn store_hit_count(&self) -> u64 {
+        self.store_hits.load(Relaxed)
+    }
+
+    /// Store lookups that missed so far.
+    pub fn store_miss_count(&self) -> u64 {
+        self.store_misses.load(Relaxed)
+    }
+
+    /// The store-hit latency histogram (fine-grained buckets).
+    pub fn store_hit_latency(&self) -> &Histogram {
+        &self.store_hit_latency.0
+    }
+
     /// Render the whole registry in Prometheus text exposition format.
     /// `cache` carries the shared model cache's counters, re-exported
     /// as `comet_cache_*` so scrapers see hit rate without a second
-    /// endpoint.
-    pub fn render_prometheus(&self, cache: &comet_models::QueryStats) -> String {
+    /// endpoint; `stale_versions` carries `(model_version, entries)`
+    /// pairs from the stale-explanation map, so operators can see
+    /// exactly how many entries each hot-swap stranded.
+    pub fn render_prometheus(
+        &self,
+        cache: &comet_models::QueryStats,
+        stale_versions: &[(u64, u64)],
+    ) -> String {
         let mut out = String::with_capacity(4096);
         let _ = writeln!(out, "# HELP comet_requests_total Requests by endpoint and status.");
         let _ = writeln!(out, "# TYPE comet_requests_total counter");
@@ -619,6 +712,39 @@ impl Registry {
         );
         let _ = writeln!(out, "# TYPE comet_cache_evictions_total counter");
         let _ = writeln!(out, "comet_cache_evictions_total {}", cache.evictions);
+        let _ = writeln!(
+            out,
+            "# HELP comet_cache_version Model version the live prediction cache belongs to."
+        );
+        let _ = writeln!(out, "# TYPE comet_cache_version gauge");
+        let _ = writeln!(out, "comet_cache_version {}", cache.version);
+        let _ = writeln!(
+            out,
+            "# HELP comet_stale_entries Stale-explanation entries by the model version that produced them."
+        );
+        let _ = writeln!(out, "# TYPE comet_stale_entries gauge");
+        for (version, entries) in stale_versions {
+            let _ = writeln!(out, "comet_stale_entries{{version=\"{version}\"}} {entries}");
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP comet_store_hits_total Explains served from the precomputed store."
+        );
+        let _ = writeln!(out, "# TYPE comet_store_hits_total counter");
+        let _ = writeln!(out, "comet_store_hits_total {}", self.store_hits.load(Relaxed));
+        let _ = writeln!(
+            out,
+            "# HELP comet_store_misses_total Explains that consulted the store and missed."
+        );
+        let _ = writeln!(out, "# TYPE comet_store_misses_total counter");
+        let _ = writeln!(out, "comet_store_misses_total {}", self.store_misses.load(Relaxed));
+        let _ = writeln!(
+            out,
+            "# HELP comet_store_hit_latency_seconds Store-hit handler latency (fine buckets)."
+        );
+        let _ = writeln!(out, "# TYPE comet_store_hit_latency_seconds histogram");
+        self.store_hit_latency.0.render(&mut out, "comet_store_hit_latency_seconds", "");
 
         let _ = writeln!(
             out,
@@ -714,9 +840,13 @@ mod tests {
         reg.set_batch_size(16);
         reg.record_batched(Endpoint::Explain, 24, 2);
         reg.record_tier(Tier::ReducedBudget);
+        reg.record_tier(Tier::Store);
+        reg.record_store_hit(12);
+        reg.record_store_miss();
         reg.set_admission(48, 1_500);
-        let cache = comet_models::QueryStats { total: 10, hits: 4, ..Default::default() };
-        let text = reg.render_prometheus(&cache);
+        let cache =
+            comet_models::QueryStats { total: 10, hits: 4, version: 3, ..Default::default() };
+        let text = reg.render_prometheus(&cache, &[(1, 5), (2, 7)]);
         for needle in [
             "comet_requests_total{endpoint=\"predict\",status=\"200\"} 1",
             "comet_requests_total{endpoint=\"explain\",status=\"503\"} 1",
@@ -733,6 +863,13 @@ mod tests {
             "comet_queries_batched_total{endpoint=\"explain\"} 24",
             "comet_batch_occupancy{endpoint=\"explain\"} 0.75",
             "comet_cache_hit_rate 0.4",
+            "comet_cache_version 3",
+            "comet_stale_entries{version=\"1\"} 5",
+            "comet_stale_entries{version=\"2\"} 7",
+            "comet_explain_tier_total{tier=\"store\"} 1",
+            "comet_store_hits_total 1",
+            "comet_store_misses_total 1",
+            "comet_store_hit_latency_seconds_count 1",
             "comet_request_latency_seconds_bucket{endpoint=\"explain\",le=\"+Inf\"} 1",
             "comet_request_latency_quantile_seconds{endpoint=\"explain\",quantile=\"0.99\"}",
         ] {
@@ -768,7 +905,9 @@ mod tests {
         assert_eq!(reg.requests_with_status(StatusClass::Ok), 0);
         reg.record_chaos_panic();
         assert_eq!(reg.chaos_panic_count(), 1);
-        assert!(reg.render_prometheus(&Default::default()).contains("comet_chaos_panics_total 1"));
+        assert!(reg
+            .render_prometheus(&Default::default(), &[])
+            .contains("comet_chaos_panics_total 1"));
     }
 
     #[test]

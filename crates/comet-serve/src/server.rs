@@ -180,6 +180,12 @@ pub struct ServeConfig {
     pub probation_requests: u64,
     /// Shadow-validation gates for `POST /admin/model` candidates.
     pub shadow: ShadowGates,
+    /// Precomputed explanation store (a `.comets` file built by
+    /// `comet-store build`, or a directory containing `store.comets`).
+    /// `None` serves every explain live. A configured-but-unreadable
+    /// store does not stop the server — it serves live, reports the
+    /// failure on `/readyz`, and answers `/analytics/*` with 503.
+    pub store_path: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -199,6 +205,7 @@ impl Default for ServeConfig {
             registry_dir: None,
             probation_requests: 64,
             shadow: ShadowGates::default(),
+            store_path: None,
         }
     }
 }
@@ -213,6 +220,51 @@ const ACCEPT_POLL: Duration = Duration::from_micros(500);
 
 /// Most stale explanations retained for the ladder's cached tier.
 const STALE_CAP: usize = 1024;
+
+/// What opening the configured explanation store produced.
+pub(crate) enum StoreState {
+    /// The store opened and validated; lookups are live.
+    Open(Box<comet_store::ExplanationStore>),
+    /// The store could not be opened (corrupt, missing, or built for a
+    /// different model). Kept for `/readyz` reporting; never consulted.
+    Error(String),
+}
+
+/// A configured explanation store, bound to the model version that was
+/// serving when it was opened. A hot-swap changes the live version and
+/// thereby structurally disables store hits — a new model's
+/// explanations are never served from an old model's store.
+pub(crate) struct StoreSlot {
+    /// The path the operator configured (as given).
+    pub(crate) path: String,
+    pub(crate) state: StoreState,
+    /// The epoch version the store was validated against at boot.
+    pub(crate) bound_version: u64,
+}
+
+/// Open and validate the configured store: the file must parse and
+/// checksum clean, and its provenance must name the model kind this
+/// server is serving (a store built for `uica` must not answer for
+/// `crude-haswell`). A directory path means `<dir>/store.comets`.
+fn open_store(path: &str, kind: &str) -> StoreState {
+    let mut file = std::path::PathBuf::from(path);
+    if file.is_dir() {
+        file.push("store.comets");
+    }
+    match comet_store::ExplanationStore::open(&file) {
+        Ok(store) => {
+            let built_for = &store.provenance().model_kind;
+            if built_for != kind {
+                StoreState::Error(format!(
+                    "store was built for model kind {built_for:?}, serving {kind:?}"
+                ))
+            } else {
+                StoreState::Open(Box::new(store))
+            }
+        }
+        Err(e) => StoreState::Error(format!("cannot open store at {}: {e}", file.display())),
+    }
+}
 
 /// One accepted connection, timestamped so the dequeuing worker can
 /// report its queue sojourn to the admission controller.
@@ -347,6 +399,8 @@ pub struct ServerCtx {
     pub(crate) shadow: ShadowGates,
     /// Cache capacity for stacks built around swapped-in candidates.
     pub(crate) cache_capacity: usize,
+    /// The precomputed explanation store, when `--store` is configured.
+    pub(crate) store: Option<StoreSlot>,
 }
 
 impl ServerCtx {
@@ -361,9 +415,30 @@ impl ServerCtx {
         &self.admission
     }
 
-    /// A snapshot of the live epoch's prediction-cache counters.
+    /// A snapshot of the live epoch's prediction-cache counters,
+    /// stamped with the model version the entries belong to — after a
+    /// hot-swap this is how an operator sees what the swap invalidated.
     pub fn cache_stats(&self) -> QueryStats {
-        self.epoch.load().stack.stats()
+        let epoch = self.epoch.load();
+        let mut stats = epoch.stack.stats();
+        stats.version = epoch.version;
+        stats
+    }
+
+    /// Stale-explanation entries grouped by the model version that
+    /// produced them, ascending — the `/metrics` per-version gauge.
+    pub fn stale_by_version(&self) -> Vec<(u64, u64)> {
+        let stale = self.stale.lock().unwrap_or_else(|p| p.into_inner());
+        let mut counts = std::collections::BTreeMap::new();
+        for (version, _) in stale.keys() {
+            *counts.entry(*version).or_insert(0u64) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// The configured explanation store slot, if any.
+    pub(crate) fn store(&self) -> Option<&StoreSlot> {
+        self.store.as_ref()
     }
 
     /// The registry version of the model currently serving traffic.
@@ -469,6 +544,14 @@ impl Server {
             }
         }
 
+        let store = config.store_path.as_ref().map(|path| {
+            let state = open_store(path, &kind_str);
+            if let StoreState::Error(e) = &state {
+                eprintln!("[comet-serve] explanation store unavailable: {e}");
+            }
+            StoreSlot { path: path.clone(), state, bound_version: version }
+        });
+
         let stack = lifecycle::build_stack(base, config.cache_capacity);
         let epoch = Arc::new(ModelEpoch { version, name: model_name, kind: kind_str, stack });
         let metrics = Registry::new();
@@ -502,6 +585,7 @@ impl Server {
             probation_requests: config.probation_requests,
             shadow: config.shadow,
             cache_capacity: config.cache_capacity,
+            store,
         });
 
         let queue = Arc::new(BoundedQueue::<Accepted>::new(config.queue_depth));
@@ -757,11 +841,19 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
             );
         }
         ("GET", "/readyz") => handle_readyz(ctx, stream, close),
+        ("GET", "/analytics/categories") => {
+            let status = handle_analytics(ctx, stream, close, "categories");
+            ctx.metrics.record(Endpoint::Analytics, status);
+        }
+        ("GET", "/analytics/opcodes") => {
+            let status = handle_analytics(ctx, stream, close, "opcodes");
+            ctx.metrics.record(Endpoint::Analytics, status);
+        }
         ("GET", "/metrics") => {
             ctx.metrics.record(Endpoint::Metrics, StatusClass::Ok);
             // Refresh the admission gauges at scrape time.
             ctx.metrics.set_admission(ctx.admission.limit(), ctx.admission.last_delay_us());
-            let text = ctx.metrics.render_prometheus(&ctx.epoch.load().stack.stats());
+            let text = ctx.metrics.render_prometheus(&ctx.cache_stats(), &ctx.stale_by_version());
             let _ = http::write_response(
                 &mut { stream },
                 200,
@@ -772,7 +864,14 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
         }
         (
             _,
-            "/v1/predict" | "/v1/explain" | "/healthz" | "/readyz" | "/metrics" | "/admin/model",
+            "/v1/predict"
+            | "/v1/explain"
+            | "/healthz"
+            | "/readyz"
+            | "/metrics"
+            | "/admin/model"
+            | "/analytics/categories"
+            | "/analytics/opcodes",
         ) => {
             ctx.metrics.record(Endpoint::Other, StatusClass::BadRequest);
             respond_error(stream, StatusClass::BadRequest, "method not allowed", close);
@@ -781,6 +880,59 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
             ctx.metrics.record(Endpoint::Other, StatusClass::NotFound);
             respond_error(stream, StatusClass::NotFound, "no such endpoint", close);
         }
+    }
+}
+
+/// `GET /analytics/categories` and `/analytics/opcodes`: the store's
+/// build-time feature-importance rollups (the paper's Figure 3/4
+/// breakdowns), served straight from the open store. Without a
+/// readable store there is nothing to aggregate — 503 with the reason.
+fn handle_analytics(ctx: &ServerCtx, stream: &TcpStream, close: bool, view: &str) -> StatusClass {
+    let Some(slot) = ctx.store() else {
+        respond_error(stream, StatusClass::Shed, "no explanation store configured", close);
+        return StatusClass::Shed;
+    };
+    let store = match &slot.state {
+        StoreState::Open(store) => store,
+        StoreState::Error(e) => {
+            respond_error(stream, StatusClass::Shed, &format!("store unreadable: {e}"), close);
+            return StatusClass::Shed;
+        }
+    };
+    let rollups = match view {
+        "categories" => serde_json::to_string(&store.analytics().categories),
+        _ => serde_json::to_string(&store.analytics().opcodes),
+    };
+    let Ok(rollups) = rollups else {
+        respond_error(stream, StatusClass::Internal, "rollup serialization failed", close);
+        return StatusClass::Internal;
+    };
+    let provenance = store.provenance();
+    let body = format!(
+        "{{\"v\":{WIRE_V},\"source\":\"store\",\"model_kind\":{},\"model_version\":{},\"records\":{},\"{view}\":{rollups}}}",
+        serde_json::to_string(&provenance.model_kind).unwrap_or_else(|_| "\"?\"".into()),
+        provenance.model_version,
+        store.len(),
+    );
+    let _ = http::write_response(&mut { stream }, 200, "application/json", body.as_bytes(), close);
+    StatusClass::Ok
+}
+
+/// The `"store"` object in the `/readyz` body, when a store is
+/// configured: whether it opened, whether its bound version still
+/// matches the live epoch (hits are disabled after a hot-swap), and
+/// the record count. Unreadable stores report the error instead.
+fn readyz_store_json(slot: &StoreSlot, live_version: u64) -> String {
+    match &slot.state {
+        StoreState::Open(store) => format!(
+            "{{\"open\":true,\"version_match\":{},\"records\":{}}}",
+            live_version == slot.bound_version,
+            store.len()
+        ),
+        StoreState::Error(e) => format!(
+            "{{\"open\":false,\"error\":{}}}",
+            serde_json::to_string(e).unwrap_or_else(|_| "\"unreadable\"".into())
+        ),
     }
 }
 
@@ -817,16 +969,30 @@ fn handle_readyz(ctx: &ServerCtx, stream: &TcpStream, close: bool) {
     if ctx.cancel.is_cancelled() {
         reasons.push("draining".into());
     }
+    // A configured store is part of the contract the operator asked
+    // for: unreadable means not ready (orchestrators route elsewhere
+    // until it's rebuilt or the flag is dropped). A version-mismatched
+    // store is healthy-but-bypassed, reported but not a failure.
+    let store_section = ctx.store().map(|slot| {
+        if let StoreState::Error(_) = &slot.state {
+            reasons.push(format!("store unreadable ({})", slot.path));
+        }
+        format!(",\"store\":{}", readyz_store_json(slot, epoch.version))
+    });
+    let store_section = store_section.unwrap_or_default();
     if reasons.is_empty() {
         ctx.metrics.record(Endpoint::Readyz, StatusClass::Ok);
-        let body = format!("{{\"v\":{WIRE_V},\"ready\":true,\"model_version\":{}}}", epoch.version);
+        let body = format!(
+            "{{\"v\":{WIRE_V},\"ready\":true,\"model_version\":{}{store_section}}}",
+            epoch.version
+        );
         let _ =
             http::write_response(&mut { stream }, 200, "application/json", body.as_bytes(), close);
     } else {
         ctx.metrics.record(Endpoint::Readyz, StatusClass::Shed);
         let list = serde_json::to_string(&reasons).unwrap_or_else(|_| "[]".into());
         let body = format!(
-            "{{\"v\":{WIRE_V},\"ready\":false,\"model_version\":{},\"reasons\":{list}}}",
+            "{{\"v\":{WIRE_V},\"ready\":false,\"model_version\":{},\"reasons\":{list}{store_section}}}",
             epoch.version
         );
         let _ =
@@ -967,11 +1133,57 @@ fn handle_explain(
 
     // One epoch for the whole request (see handle_predict).
     let epoch = ctx.epoch.load();
+    let canonical = block.to_string();
+
+    // Top of the ladder: the precomputed store. A hit needs the exact
+    // provenance triple — the epoch version the store was bound to at
+    // boot (hot-swaps structurally invalidate it), the store's ε bit
+    // pattern, and the store's build seed — because stored
+    // explanations are bitwise replicas of the live search only under
+    // those parameters. Anything else falls through to the live path.
+    if let Some(slot) = ctx.store() {
+        if let StoreState::Open(store) = &slot.state {
+            let provenance = store.provenance();
+            if epoch.version == slot.bound_version
+                && epsilon.to_bits() == provenance.epsilon_bits
+                && req.seed == provenance.seed
+            {
+                let lookup_start = Instant::now();
+                match store.lookup(&canonical) {
+                    Some(explanation) => {
+                        ctx.metrics.record_store_hit(lookup_start.elapsed().as_micros() as u64);
+                        ctx.metrics.record_tier(Tier::Store);
+                        let mut dto = ExplanationDto::from(&explanation);
+                        dto.tier = Tier::Store.label().into();
+                        dto.source = "store".into();
+                        let body = ExplainResponse {
+                            v: WIRE_V,
+                            model: epoch.name.clone(),
+                            model_version: epoch.version,
+                            epsilon,
+                            seed: req.seed,
+                            coalesced: false,
+                            explanation: dto,
+                        };
+                        respond_json(stream, 200, &body, close);
+                        lifecycle::note_outcome(
+                            ctx,
+                            epoch.version,
+                            lifecycle::Outcome::ExplainTier(Tier::Store),
+                        );
+                        return StatusClass::Ok;
+                    }
+                    None => ctx.metrics.record_store_miss(),
+                }
+            }
+        }
+    }
+
     // Coalescing key: canonical text (parse → Display normalizes
     // whitespace/case) + ε + seed — folded with the epoch version so a
     // follower can never piggyback on a search run against a different
     // model than the one it will report.
-    let key = wire::explain_key(&block.to_string(), epsilon, req.seed) ^ splitmix64(epoch.version);
+    let key = wire::explain_key(&canonical, epsilon, req.seed) ^ splitmix64(epoch.version);
     let (flight, leader) = {
         let mut flights = ctx.flights.lock().unwrap_or_else(|p| p.into_inner());
         match flights.get(&key) {
@@ -1106,6 +1318,10 @@ fn run_search(
     let mut last_error: Option<(StatusClass, String)> = None;
     loop {
         match tier {
+            // The store tier is handled before the flight is created
+            // (handle_explain); a search that reaches this ladder
+            // already missed or bypassed it.
+            Tier::Store => tier = Tier::Full,
             Tier::Full | Tier::ReducedBudget => {
                 let remaining = deadline.map(|d| d.saturating_sub(start.elapsed()));
                 if remaining == Some(Duration::ZERO) {

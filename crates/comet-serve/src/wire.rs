@@ -91,9 +91,14 @@ pub struct ExplanationDto {
     #[serde(default)]
     pub degraded: bool,
     /// Which rung of the degradation ladder produced this explanation
-    /// (`"full"`, `"reduced-budget"`, `"cached"`, or `"baseline"`).
+    /// (`"store"`, `"full"`, `"reduced-budget"`, `"cached"`, or
+    /// `"baseline"`).
     #[serde(default)]
     pub tier: String,
+    /// Where the explanation came from: `"store"` (precomputed on-disk
+    /// store) or `"live"` (an anchors search this process ran).
+    #[serde(default)]
+    pub source: String,
 }
 
 impl From<&Explanation> for ExplanationDto {
@@ -109,6 +114,7 @@ impl From<&Explanation> for ExplanationDto {
             faults: e.faults,
             degraded: e.degraded,
             tier: "full".into(),
+            source: "live".into(),
         }
     }
 }
@@ -369,6 +375,7 @@ mod tests {
             faults: 0,
             degraded: false,
             tier: "full".into(),
+            source: "live".into(),
         };
         let resp = ExplainResponse {
             v: WIRE_V,

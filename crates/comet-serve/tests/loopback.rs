@@ -307,7 +307,7 @@ fn queue_overflow_is_shed_with_503() {
     queued.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
     queued.write_all(get("/healthz").as_bytes()).unwrap();
     wait_for("connection to queue", || {
-        ctx.metrics().render_prometheus(&ctx.cache_stats()).contains("\ncomet_queue_depth 1")
+        ctx.metrics().render_prometheus(&ctx.cache_stats(), &[]).contains("\ncomet_queue_depth 1")
     });
 
     // The next connection must be shed immediately — worker busy,

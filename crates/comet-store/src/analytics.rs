@@ -1,0 +1,154 @@
+//! Build-time aggregation analytics: the paper's Figure 3/4
+//! per-category feature-importance breakdowns (and a per-opcode
+//! variant) computed once over the whole corpus and stored in the
+//! file's ANALYTICS section, so serving them is a JSON copy, not a
+//! corpus scan.
+//!
+//! The percentage definition is deliberately identical to
+//! `comet_eval::figures::feature_mix` — the share of explanations
+//! containing at least one feature of the kind, in percent — so the
+//! `/analytics/categories` ranking reproduces the eval path's
+//! Figure 3/4 numbers exactly.
+
+use std::collections::BTreeMap;
+
+use comet_bhive::Category;
+use comet_core::{Feature, FeatureKind};
+use serde::{Deserialize, Serialize};
+
+use crate::format::StoreRecord;
+
+/// Analytics schema version inside the ANALYTICS section.
+pub const ANALYTICS_V: u32 = 1;
+
+/// Feature-importance rollup for one BHive category (one Figure 4
+/// bar group).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryRollup {
+    /// Category display label (`Load`, `Load/Store`, …).
+    pub category: String,
+    /// Blocks of this category in the store.
+    pub blocks: u64,
+    /// Mean explanation precision over those blocks.
+    pub mean_precision: f64,
+    /// Mean explanation coverage.
+    pub mean_coverage: f64,
+    /// % of explanations containing ≥1 η feature (feature_mix-compatible).
+    pub pct_eta: f64,
+    /// % of explanations containing ≥1 instruction feature.
+    pub pct_inst: f64,
+    /// % of explanations containing ≥1 dependency feature.
+    pub pct_dep: f64,
+    /// Mean fraction of explanation features that are instructions.
+    pub mean_inst_frac: f64,
+    /// Mean fraction that are dependencies.
+    pub mean_dep_frac: f64,
+    /// Mean fraction that are η.
+    pub mean_eta_frac: f64,
+}
+
+/// Feature-importance rollup for one opcode: of the blocks containing
+/// the opcode, how often does an instruction feature single it out?
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpcodeRollup {
+    /// Opcode mnemonic.
+    pub opcode: String,
+    /// Blocks in the store containing ≥1 instance of the opcode.
+    pub blocks: u64,
+    /// Of those, blocks whose explanation includes an `inst_i` feature
+    /// pointing at an instance of this opcode.
+    pub important: u64,
+    /// `important / blocks` (0 when the opcode never appears).
+    pub importance_rate: f64,
+}
+
+/// The full rollup set stored in (and served from) a store file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Analytics {
+    /// Analytics schema version.
+    pub v: u32,
+    /// One rollup per category, in [`Category::ALL`] (Figure 4) order —
+    /// zero-block categories included so the shape is stable.
+    pub categories: Vec<CategoryRollup>,
+    /// Opcode rollups, sorted by importance rate (desc), then block
+    /// count (desc), then mnemonic.
+    pub opcodes: Vec<OpcodeRollup>,
+}
+
+/// Compute the full analytics rollup from finished store records.
+pub fn compute_analytics(records: &[StoreRecord]) -> Analytics {
+    let categories = Category::ALL
+        .iter()
+        .map(|&category| {
+            let members: Vec<&StoreRecord> =
+                records.iter().filter(|r| r.category == category).collect();
+            category_rollup(category, &members)
+        })
+        .collect();
+
+    // opcode -> (blocks containing it, blocks where it is important)
+    let mut per_opcode: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for record in records {
+        let instructions = record.block.instructions();
+        let mut present: BTreeMap<&'static str, bool> = BTreeMap::new();
+        for inst in instructions {
+            present.entry(inst.opcode.name()).or_insert(false);
+        }
+        for feature in &record.explanation.features {
+            if let Feature::Instruction(i) = feature {
+                if let Some(inst) = instructions.get(*i) {
+                    present.insert(inst.opcode.name(), true);
+                }
+            }
+        }
+        for (name, important) in present {
+            let entry = per_opcode.entry(name).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += u64::from(important);
+        }
+    }
+    let mut opcodes: Vec<OpcodeRollup> = per_opcode
+        .into_iter()
+        .map(|(opcode, (blocks, important))| OpcodeRollup {
+            opcode: opcode.to_string(),
+            blocks,
+            important,
+            importance_rate: if blocks == 0 { 0.0 } else { important as f64 / blocks as f64 },
+        })
+        .collect();
+    opcodes.sort_by(|a, b| {
+        b.importance_rate
+            .total_cmp(&a.importance_rate)
+            .then(b.blocks.cmp(&a.blocks))
+            .then(a.opcode.cmp(&b.opcode))
+    });
+
+    Analytics { v: ANALYTICS_V, categories, opcodes }
+}
+
+fn category_rollup(category: Category, members: &[&StoreRecord]) -> CategoryRollup {
+    let n = members.len();
+    let denom = n.max(1) as f64;
+    // Same definition as comet_eval::figures::feature_mix: percent of
+    // explanations containing at least one feature of the kind.
+    let pct = |kind: FeatureKind| {
+        let hits = members
+            .iter()
+            .filter(|r| r.explanation.features.iter().any(|f| f.kind() == kind))
+            .count();
+        100.0 * hits as f64 / denom
+    };
+    let mean = |f: &dyn Fn(&StoreRecord) -> f64| members.iter().map(|r| f(r)).sum::<f64>() / denom;
+    CategoryRollup {
+        category: category.to_string(),
+        blocks: n as u64,
+        mean_precision: mean(&|r| r.explanation.precision),
+        mean_coverage: mean(&|r| r.explanation.coverage),
+        pct_eta: pct(FeatureKind::Eta),
+        pct_inst: pct(FeatureKind::Inst),
+        pct_dep: pct(FeatureKind::Dep),
+        mean_inst_frac: mean(&|r| r.explanation.kind_fractions()[0]),
+        mean_dep_frac: mean(&|r| r.explanation.kind_fractions()[1]),
+        mean_eta_frac: mean(&|r| r.explanation.kind_fractions()[2]),
+    }
+}

@@ -1,0 +1,252 @@
+//! COMETS1 format unit coverage: round-trips are bitwise, corruption
+//! is a typed load error (never a panic, never a wrong record), and a
+//! randomized round-trip proptest pins the bit-exactness claim across
+//! arbitrary IEEE-754 payloads and feature sets.
+
+use comet_bhive::classify;
+use comet_core::{Explanation, Feature, FeatureSet};
+use comet_graph::DepKind;
+use comet_isa::parse_block;
+use comet_store::{
+    compute_analytics, write_store, ExplanationStore, Provenance, StoreError, StoreRecord,
+};
+use proptest::prelude::*;
+
+/// Distinct single-purpose test blocks (texts must differ so keys do).
+const BLOCK_TEXTS: [&str; 5] = [
+    "add rax, rbx",
+    "add rax, rbx\nsub rcx, rdx",
+    "mov rax, qword ptr [rbx]\nadd rax, rcx",
+    "mov qword ptr [rbx], rax",
+    "vaddps xmm0, xmm1, xmm2\nvmulps xmm3, xmm0, xmm1",
+];
+
+fn provenance(records: u64) -> Provenance {
+    Provenance {
+        v: 1,
+        model_kind: "crude-haswell".to_string(),
+        model_version: 1,
+        epsilon_bits: 0.25f64.to_bits(),
+        seed: 0,
+        kernel: "scalar-v1".to_string(),
+        search: "search=batched-v2".to_string(),
+        records,
+        config_fingerprint: "deadbeefdeadbeef".to_string(),
+    }
+}
+
+fn record(text: &str, precision: f64, features: FeatureSet) -> StoreRecord {
+    let block = parse_block(text).expect("test block parses");
+    let category = classify(&block);
+    StoreRecord {
+        block,
+        category,
+        explanation: Explanation {
+            features,
+            precision,
+            coverage: 0.5 + precision / 2.0,
+            prediction: 3.25,
+            anchored: precision >= 0.7,
+            queries: 1234,
+            faults: 1,
+            retries: 2,
+            degraded: true,
+            duration_secs: 9.0, // must NOT round-trip (excluded from equality)
+        },
+    }
+}
+
+fn sample_records() -> Vec<StoreRecord> {
+    BLOCK_TEXTS
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            let mut features = FeatureSet::new();
+            features.insert(Feature::NumInstructions);
+            features.insert(Feature::Instruction(i % 2));
+            if i % 2 == 1 {
+                features.insert(Feature::Dependency { kind: DepKind::Raw, src: 0, dst: 1 });
+            }
+            record(text, 0.6 + 0.1 * i as f64 / 10.0, features)
+        })
+        .collect()
+}
+
+fn build_bytes(records: &[StoreRecord]) -> Vec<u8> {
+    let analytics = compute_analytics(records);
+    write_store(records, &provenance(records.len() as u64), &analytics)
+        .expect("writing sample records succeeds")
+}
+
+#[test]
+fn round_trip_is_bitwise() {
+    let records = sample_records();
+    let bytes = build_bytes(&records);
+    let store = ExplanationStore::from_bytes(bytes).expect("clean store opens");
+    assert_eq!(store.len(), records.len());
+    for original in &records {
+        let text = original.block.to_string();
+        let looked_up = store.lookup(&text).expect("every written block is found");
+        // PartialEq covers everything but duration_secs, which is
+        // deliberately not stored.
+        assert_eq!(looked_up, original.explanation);
+        assert_eq!(looked_up.duration_secs, 0.0);
+        // The float lanes must be bit-identical, not just ==.
+        let index = store.lookup_index(&text).expect("index resolves");
+        let lanes = store.importance_at(index);
+        assert_eq!(lanes[0].to_bits(), original.explanation.precision.to_bits());
+        assert_eq!(lanes[1].to_bits(), original.explanation.coverage.to_bits());
+        assert_eq!(lanes[2].to_bits(), original.explanation.prediction.to_bits());
+        let fractions = original.explanation.kind_fractions();
+        for lane in 0..3 {
+            assert_eq!(lanes[3 + lane].to_bits(), fractions[lane].to_bits());
+        }
+        assert_eq!(store.category_at(index).unwrap(), original.category);
+    }
+    assert_eq!(store.provenance().records, records.len() as u64);
+    assert_eq!(store.analytics(), &compute_analytics(&records));
+}
+
+#[test]
+fn lookup_misses_cleanly() {
+    let store = ExplanationStore::from_bytes(build_bytes(&sample_records())).unwrap();
+    assert!(store.lookup("xor rax, rax").is_none());
+    assert!(store.lookup("").is_none());
+}
+
+#[test]
+fn truncated_tail_is_a_clean_error() {
+    let bytes = build_bytes(&sample_records());
+    // Every strict prefix must fail with a typed error, never panic
+    // and never produce a store.
+    for cut in [bytes.len() - 1, bytes.len() / 2, 64, 16, 8, 1, 0] {
+        let result = ExplanationStore::from_bytes(bytes[..cut].to_vec());
+        assert!(result.is_err(), "truncation at {cut} bytes must not open");
+    }
+}
+
+#[test]
+fn flipped_byte_fails_checksum() {
+    let bytes = build_bytes(&sample_records());
+    // Flip one byte in several regions of the payload. Positions stay
+    // past the 336-byte header + section table (table pad bytes are
+    // the one unprotected region), inside checksummed section bytes.
+    let payload_start = (bytes.len() / 4).max(400);
+    assert!(payload_start < bytes.len(), "sample store too small for corruption probe");
+    for position in [payload_start, bytes.len() / 2, bytes.len() - 1] {
+        let mut corrupt = bytes.clone();
+        corrupt[position] ^= 0x40;
+        match ExplanationStore::from_bytes(corrupt) {
+            Err(_) => {}
+            Ok(_) => panic!("flipped byte at {position} must not open"),
+        }
+    }
+}
+
+#[test]
+fn version_mismatch_is_refused() {
+    let mut bytes = build_bytes(&sample_records());
+    // Format version lives at offset 8..12; bump it.
+    bytes[8] = 0xFF;
+    match ExplanationStore::from_bytes(bytes) {
+        Err(StoreError::Version { found }) => assert_eq!(found, 0xFF),
+        other => panic!("expected Version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_is_refused() {
+    let mut bytes = build_bytes(&sample_records());
+    bytes[0] = b'X';
+    assert!(matches!(ExplanationStore::from_bytes(bytes), Err(StoreError::BadMagic)));
+}
+
+#[test]
+fn peek_provenance_survives_payload_corruption() {
+    let bytes = build_bytes(&sample_records());
+    let mut corrupt = bytes.clone();
+    // Corrupt the last byte (importance/meta/analytics payload): full
+    // open fails, but the provenance header is still readable for
+    // readyz-style reporting.
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xFF;
+    assert!(ExplanationStore::from_bytes(corrupt.clone()).is_err());
+    let peeked = comet_store::peek_provenance(&corrupt).expect("provenance still readable");
+    assert_eq!(peeked.model_kind, "crude-haswell");
+    assert_eq!(peeked.records, BLOCK_TEXTS.len() as u64);
+}
+
+#[test]
+fn empty_store_round_trips() {
+    let store = ExplanationStore::from_bytes(build_bytes(&[])).expect("empty store is valid");
+    assert!(store.is_empty());
+    assert!(store.lookup("add rax, rbx").is_none());
+}
+
+/// Map arbitrary proptest inputs onto a valid feature for a 2-insn block.
+fn feature_from(tag: u8, a: u16, b: u16) -> Feature {
+    match tag % 5 {
+        0 => Feature::NumInstructions,
+        1 => Feature::Instruction(a as usize),
+        2 => Feature::Dependency { kind: DepKind::Raw, src: a as usize, dst: b as usize },
+        3 => Feature::Dependency { kind: DepKind::War, src: a as usize, dst: b as usize },
+        _ => Feature::Dependency { kind: DepKind::Waw, src: a as usize, dst: b as usize },
+    }
+}
+
+proptest! {
+    /// build → open → lookup returns bitwise-identical importance
+    /// vectors and identical feature sets for arbitrary (including
+    /// non-finite) float payloads and arbitrary feature mixtures.
+    #[test]
+    fn round_trip_proptest(
+        precision_bits in any::<u64>(),
+        coverage_bits in any::<u64>(),
+        prediction_bits in any::<u64>(),
+        raw_features in prop::collection::vec(
+            (any::<u8>(), 0u16..64, 0u16..64), 0..8),
+        queries in any::<u64>(),
+        anchored in any::<bool>(),
+        degraded in any::<bool>(),
+    ) {
+        let mut features = FeatureSet::new();
+        for (tag, a, b) in raw_features {
+            features.insert(feature_from(tag, a, b));
+        }
+        let block = parse_block("add rax, rbx\nsub rcx, rdx").unwrap();
+        let category = classify(&block);
+        let records = vec![StoreRecord {
+            block,
+            category,
+            explanation: Explanation {
+                features: features.clone(),
+                precision: f64::from_bits(precision_bits),
+                coverage: f64::from_bits(coverage_bits),
+                prediction: f64::from_bits(prediction_bits),
+                anchored,
+                queries,
+                faults: 3,
+                retries: 1,
+                degraded,
+                duration_secs: 1.0,
+            },
+        }];
+        let analytics = compute_analytics(&records);
+        let bytes = write_store(&records, &provenance(1), &analytics).unwrap();
+        let store = ExplanationStore::from_bytes(bytes).unwrap();
+        let text = records[0].block.to_string();
+        let index = store.lookup_index(&text).expect("written block is found");
+        let lanes = store.importance_at(index);
+        // Bitwise, so NaN payloads and signed zeros survive exactly.
+        prop_assert_eq!(lanes[0].to_bits(), precision_bits);
+        prop_assert_eq!(lanes[1].to_bits(), coverage_bits);
+        prop_assert_eq!(lanes[2].to_bits(), prediction_bits);
+        let explanation = store.explanation_at(index).unwrap();
+        prop_assert_eq!(explanation.features, features);
+        prop_assert_eq!(explanation.queries, queries);
+        prop_assert_eq!(explanation.anchored, anchored);
+        prop_assert_eq!(explanation.degraded, degraded);
+        prop_assert_eq!(explanation.faults, 3);
+        prop_assert_eq!(explanation.retries, 1);
+    }
+}
