@@ -1,0 +1,107 @@
+//! `comet-router` — front door for a consistent-hash sharded fleet.
+//!
+//! ```text
+//! comet-router --shard-addr HOST:PORT [--shard-addr HOST:PORT ...]
+//!              [--addr HOST:PORT] [--event-threads N] [--workers N]
+//!              [--queue-depth N] [--idle-timeout-ms MS]
+//!              [--upstream-timeout-ms MS] [--down-cooldown-ms MS]
+//!              [--supervised]
+//! ```
+//!
+//! `--shard-addr` order matters: position `i` is shard `i` of an
+//! `M = count(--shard-addr)` fleet, and must point at a comet-serve
+//! started with `--shard i/M`. Runs until Ctrl-C/SIGTERM (graceful
+//! drain); `--supervised` adds stdin EOF as a drain trigger.
+
+use std::io::Read;
+
+use comet_core::cancel::{install_sigint, install_sigterm};
+use comet_serve::{Router, RouterConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: comet-router --shard-addr HOST:PORT [--shard-addr HOST:PORT ...]\n\
+         \x20                   [--addr HOST:PORT] [--event-threads N] [--workers N]\n\
+         \x20                   [--queue-depth N] [--idle-timeout-ms MS]\n\
+         \x20                   [--upstream-timeout-ms MS] [--down-cooldown-ms MS]\n\
+         \x20                   [--supervised]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_or_usage<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: cannot parse `{s}`");
+        usage()
+    })
+}
+
+fn main() {
+    let mut config = RouterConfig::default();
+    let mut supervised = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| -> String {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--shard-addr" => config.shards.push(value("--shard-addr")),
+            "--event-threads" => config.event_threads = parse_or_usage(&value("--event-threads")),
+            "--workers" => config.workers = parse_or_usage(&value("--workers")),
+            "--queue-depth" => config.queue_depth = parse_or_usage(&value("--queue-depth")),
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = parse_or_usage(&value("--idle-timeout-ms"))
+            }
+            "--upstream-timeout-ms" => {
+                config.upstream_timeout_ms = parse_or_usage(&value("--upstream-timeout-ms"))
+            }
+            "--down-cooldown-ms" => {
+                config.down_cooldown_ms = parse_or_usage(&value("--down-cooldown-ms"))
+            }
+            "--supervised" => supervised = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if config.shards.is_empty() {
+        eprintln!("error: at least one --shard-addr is required");
+        usage();
+    }
+
+    let shards = config.shards.len();
+    let router = match Router::start(config) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("error: cannot start router: {e}");
+            std::process::exit(1);
+        }
+    };
+    install_sigint(router.cancel_token().clone());
+    install_sigterm(router.cancel_token().clone());
+    if supervised {
+        let token = router.cancel_token().clone();
+        std::thread::Builder::new()
+            .name("comet-router-stdin-watch".into())
+            .spawn(move || {
+                let mut sink = Vec::new();
+                let _ = std::io::stdin().lock().read_to_end(&mut sink);
+                eprintln!("[comet-router] stdin closed: draining");
+                token.cancel();
+            })
+            .expect("spawn stdin watcher");
+    }
+    eprintln!(
+        "[comet-router] listening on {} ({} shards); Ctrl-C drains, twice aborts",
+        router.addr(),
+        shards
+    );
+    router.join();
+    eprintln!("[comet-router] drained, bye");
+}

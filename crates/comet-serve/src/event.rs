@@ -1,0 +1,1079 @@
+//! The readiness-driven front end: epoll reactors + the CPU worker
+//! pool, glued by a bounded job queue and a wakeup pipe.
+//!
+//! # Why a reactor
+//!
+//! The original front end was thread-per-connection: an accept loop
+//! polled a nonblocking listener on a 500µs sleep, flipped each
+//! accepted socket back to blocking, and parked one worker thread per
+//! connection in blocking reads. That tops out at a thread-pool's
+//! worth of concurrent sockets and burns a sleep/poll cycle even when
+//! idle. Here the sockets never block and never own a thread: one (or
+//! `--event-threads N`) reactor threads own *all* connections through
+//! one `epoll` instance each, and the worker pool only ever sees
+//! complete, parsed requests.
+//!
+//! # Per-connection state machine
+//!
+//! ```text
+//!             accept
+//!               │
+//!               ▼           request complete
+//!  ┌──► ReadHeaders/ReadBody ───────────────► Dispatched (job queued)
+//!  │      (EPOLLIN, RequestParser)                  │ worker finishes,
+//!  │                                                │ wakeup pipe
+//!  │    keep-alive (re-arm idle deadline,           ▼
+//!  └─── parse pipelined leftovers) ◄───────── WriteResponse
+//!                                              (EPOLLOUT on a full
+//!               close ◄───────────────────────  socket buffer)
+//! ```
+//!
+//! `ReadHeaders` and `ReadBody` are one reactor state (`Reading`) —
+//! the incremental [`RequestParser`] tracks which grammar phase the
+//! bytes are in; the reactor only cares about readiness. While a job
+//! is `Dispatched` the connection's interest set is empty: sequential
+//! keep-alive means no read-ahead, which is also the backpressure
+//! story (a client that pipelines just waits in its socket buffer).
+//!
+//! # Deadlines
+//!
+//! Blocking reads carried their timeouts in the socket
+//! (`set_read_timeout`); readiness reads carry them in a hashed
+//! [`TimerWheel`]. Idle keep-alive connections get a silent-close
+//! deadline; once a request's first byte arrives the same budget
+//! re-arms as a slow-loris deadline answered with 408; a stalled
+//! response write gets a silent-close deadline. `epoll_wait`'s timeout
+//! is the time to the wheel's next 25ms tick, so cancellation and
+//! expiry are both noticed within a tick — no spin-sleeps anywhere.
+//!
+//! # Drain
+//!
+//! Cancelling the service's token makes every reactor deregister the
+//! listener, close connections with no request in flight, and shut the
+//! job queue down; queued and executing jobs still complete and their
+//! responses are written in full before the reactor exits — a request
+//! the server committed to is never truncated. Workers exit once the
+//! queue drains; [`FrontEnd::join`] joins reactors first, workers
+//! second.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::http::{HttpError, Request, RequestParser};
+use crate::queue::BoundedQueue;
+use crate::sys::{self, Epoll, EpollEvent, WakeReader, WakeWriter};
+use crate::timer::{TimerWheel, TICK};
+use comet_core::cancel::CancelToken;
+
+/// What the front end serves. One implementation wraps the COMET
+/// dispatch table ([`crate::server`]); another proxies to a sharded
+/// fleet ([`crate::router`]). Everything admission- and
+/// metrics-shaped lives behind this trait so the reactor stays pure
+/// I/O machinery.
+pub trait Service: Send + Sync + 'static {
+    /// Build one worker's handler (called on the worker thread; owns
+    /// worker-local state such as a `BatchExec`).
+    fn make_worker(&self) -> Box<dyn WorkerHandler>;
+
+    /// Admission decision for a freshly parsed request, given the
+    /// current queue depth. `Err` carries a prebuilt response (a 503
+    /// shed) to write before closing; the implementation records its
+    /// own shed metrics.
+    fn admit(&self, queued: usize) -> Result<(), Vec<u8>>;
+
+    /// The response for a request that passed admission but found the
+    /// bounded queue full (the hard backstop behind the adaptive
+    /// limit).
+    fn shed_overflow(&self) -> Vec<u8>;
+
+    /// A job made it into the queue; `depth` is the new queue depth.
+    fn enqueued(&self, depth: usize);
+
+    /// A worker picked a job up after `sojourn_us` in the queue.
+    /// Implementations feed their admission controller and mark the
+    /// job in-flight.
+    fn dequeued(&self, sojourn_us: u64, depth: usize);
+
+    /// A job finished (even by panicking — the worker always catches).
+    fn finished(&self, panicked: bool);
+
+    /// The response for an HTTP-level failure on a connection
+    /// (malformed bytes, slow-loris timeout, size caps). `None` closes
+    /// silently (clean EOF, socket errors). Implementations record
+    /// their own error metrics.
+    fn http_error(&self, err: &HttpError) -> Option<Vec<u8>>;
+
+    /// Whether the `n`-th accepted connection carries an injected
+    /// chaos panic (seeded fault injection; see
+    /// [`crate::server::ChaosConfig`]).
+    fn chaos_panics(&self, conn_index: u64) -> bool;
+
+    /// Called by the worker immediately before an injected panic
+    /// fires, so the chaos metric counts scheduled panics exactly.
+    fn on_chaos_panic(&self);
+
+    /// The drain token. Cancellation is observed within one timer
+    /// tick.
+    fn cancel(&self) -> &CancelToken;
+
+    /// Open-connection gauge across all reactors.
+    fn set_connections(&self, open: u64);
+}
+
+/// Per-worker request handler. `handle` runs on a worker thread and
+/// returns the complete response bytes; `close` says the connection
+/// closes after this response (so the handler can set the
+/// `Connection` header honestly).
+pub trait WorkerHandler {
+    /// Handle one request, returning full response bytes.
+    fn handle(&mut self, request: &Request, close: bool) -> Vec<u8>;
+}
+
+/// One parsed request bound for the worker pool.
+pub struct Job {
+    /// Which reactor to hand the completion back to.
+    sink: Arc<CompletionSink>,
+    slot: u32,
+    gen: u32,
+    request: Request,
+    /// The request asked to close (the worker additionally ORs in
+    /// drain state at execution time).
+    close: bool,
+    enqueued: Instant,
+    /// This connection's injected chaos panic fires on this job.
+    chaos: bool,
+}
+
+/// A finished job on its way back to the owning reactor.
+struct Completion {
+    slot: u32,
+    gen: u32,
+    /// `None` means the handler panicked — close without a response,
+    /// exactly like the threaded front end dropped the stream.
+    bytes: Option<Vec<u8>>,
+    close: bool,
+}
+
+/// One reactor's inbound completion mailbox plus the pipe that wakes
+/// it.
+struct CompletionSink {
+    done: Mutex<Vec<Completion>>,
+    waker: WakeWriter,
+}
+
+impl CompletionSink {
+    fn push(&self, completion: Completion) {
+        self.done.lock().unwrap_or_else(|p| p.into_inner()).push(completion);
+        self.waker.wake();
+    }
+}
+
+/// Front-end tunables, carved out of `ServeConfig`.
+pub struct FrontEndConfig {
+    /// Reactor (event-loop) threads.
+    pub event_threads: usize,
+    /// CPU worker threads.
+    pub workers: usize,
+    /// Bounded job-queue depth.
+    pub queue_depth: usize,
+    /// Idle / slow-loris / stalled-write budget; zero disables all
+    /// connection deadlines (tests only).
+    pub idle_timeout: Duration,
+}
+
+/// The running front end: reactor threads + worker threads.
+pub struct FrontEnd {
+    reactors: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    queue: Arc<BoundedQueue<Job>>,
+}
+
+impl FrontEnd {
+    /// Spawn reactors and workers over an already-bound listener.
+    pub fn start(
+        listener: TcpListener,
+        service: Arc<dyn Service>,
+        config: FrontEndConfig,
+    ) -> std::io::Result<FrontEnd> {
+        listener.set_nonblocking(true)?;
+        let listener = Arc::new(listener);
+        let queue = Arc::new(BoundedQueue::<Job>::new(config.queue_depth));
+        let open = Arc::new(AtomicU64::new(0));
+        let accepted = Arc::new(AtomicU64::new(0));
+
+        let mut reactors = Vec::new();
+        for i in 0..config.event_threads.max(1) {
+            // Fallible setup happens on the caller's thread so a bad
+            // epoll/pipe surfaces as a bind-time error, not a panic.
+            let epoll = Epoll::new()?;
+            let (wake_rx, waker) = sys::wake_pipe()?;
+            epoll.add(listener.as_raw_fd(), sys::EPOLLIN | sys::EPOLLEXCLUSIVE, TOKEN_LISTENER)?;
+            epoll.add(wake_rx.fd(), sys::EPOLLIN, TOKEN_WAKER)?;
+            let sink = Arc::new(CompletionSink { done: Mutex::new(Vec::new()), waker });
+            let mut reactor = Reactor {
+                epoll,
+                listener: Arc::clone(&listener),
+                listener_armed: true,
+                service: Arc::clone(&service),
+                queue: Arc::clone(&queue),
+                sink,
+                wake_rx,
+                slab: Slab::default(),
+                open: Arc::clone(&open),
+                accepted: Arc::clone(&accepted),
+                idle: config.idle_timeout,
+                draining: false,
+            };
+            reactors.push(
+                std::thread::Builder::new()
+                    .name(format!("comet-serve-reactor-{i}"))
+                    .spawn(move || reactor.run())
+                    .expect("spawn reactor"),
+            );
+        }
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let service = Arc::clone(&service);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("comet-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&service, &queue))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Ok(FrontEnd { reactors, workers, queue })
+    }
+
+    /// Block until drain completes and every thread exits. Join order
+    /// matters: reactors first (each exits once its last connection's
+    /// response is written — the queue must stay up for those
+    /// in-flight requests), then the queue is shut down, then workers
+    /// (they exit once the shut queue drains).
+    pub fn join(mut self) {
+        for reactor in self.reactors.drain(..) {
+            let _ = reactor.join();
+        }
+        self.queue.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Pop jobs until the queue shuts down and drains. Chaos panics and
+/// genuine handler panics are both caught here — a worker never dies
+/// silently; it reports the panic and moves on.
+fn worker_loop(service: &Arc<dyn Service>, queue: &BoundedQueue<Job>) {
+    let mut handler = service.make_worker();
+    while let Some(job) = queue.pop() {
+        let sojourn_us = job.enqueued.elapsed().as_micros() as u64;
+        service.dequeued(sojourn_us, queue.depth());
+        // During drain, answer the in-flight request and close — the
+        // same rule the threaded dispatch applied.
+        let close = job.close || service.cancel().is_cancelled();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if job.chaos {
+                service.on_chaos_panic();
+                panic!("chaos: injected worker panic");
+            }
+            handler.handle(&job.request, close)
+        }));
+        service.finished(result.is_err());
+        let completion = match result {
+            Ok(bytes) => Completion { slot: job.slot, gen: job.gen, bytes: Some(bytes), close },
+            Err(_) => Completion { slot: job.slot, gen: job.gen, bytes: None, close: true },
+        };
+        job.sink.push(completion);
+    }
+}
+
+/// epoll token for the shared listener.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// epoll token for the wakeup pipe's read end.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+/// Pack a slab slot and its generation into an epoll token.
+fn token(slot: u32, gen: u32) -> u64 {
+    ((gen as u64) << 32) | slot as u64
+}
+
+/// What an armed connection deadline means when it fires.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DeadlineKind {
+    /// Idle keep-alive between requests: close silently.
+    Idle,
+    /// A request started but stalled (slow loris): answer 408, close.
+    Request,
+    /// A response write stalled on a full socket buffer: close.
+    Write,
+}
+
+/// Reactor-visible connection lifecycle (the parser tracks the finer
+/// ReadHeaders/ReadBody distinction).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Reading request bytes (EPOLLIN).
+    Reading,
+    /// A job is queued or executing; interest set is empty.
+    Dispatched,
+    /// Writing a response (EPOLLOUT once the socket buffer filled).
+    Writing,
+}
+
+/// One connection owned by a reactor.
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    state: ConnState,
+    parser: RequestParser,
+    /// Armed deadline. Superseded wheel entries are cancelled lazily:
+    /// a fire only counts if its `Instant` matches this field.
+    deadline: Option<(Instant, DeadlineKind)>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    close_after_write: bool,
+    /// The chaos schedule marked this connection; fires on its first
+    /// job.
+    chaos: bool,
+}
+
+/// Generation-tagged connection slab. Slot indices are reused;
+/// generations make stale epoll events and timer fires harmless.
+#[derive(Default)]
+struct Slab {
+    conns: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl Slab {
+    /// Insert, assigning the slot's current generation. Returns
+    /// `(slot, gen)`.
+    fn insert(&mut self, mut conn: Conn) -> (u32, u32) {
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.conns.push(None);
+                self.gens.push(1);
+                (self.conns.len() - 1) as u32
+            }
+        };
+        let gen = self.gens[slot as usize];
+        conn.gen = gen;
+        self.conns[slot as usize] = Some(conn);
+        (slot, gen)
+    }
+
+    /// The live connection at `slot` if its generation matches.
+    fn get_mut(&mut self, slot: u32, gen: u32) -> Option<&mut Conn> {
+        match self.conns.get_mut(slot as usize) {
+            Some(Some(conn)) if conn.gen == gen => Some(conn),
+            _ => None,
+        }
+    }
+
+    /// Remove and return the connection, bumping the slot generation.
+    fn remove(&mut self, slot: u32) -> Option<Conn> {
+        let conn = self.conns.get_mut(slot as usize)?.take()?;
+        // Generation 0 is never assigned, so a wrapped counter still
+        // never collides with a stale token.
+        self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1).max(1);
+        self.free.push(slot);
+        Some(conn)
+    }
+
+    fn len(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// Whether the reading loop should stop driving this connection.
+#[derive(PartialEq, Eq)]
+enum ReadFlow {
+    /// Keep feeding the parser from the socket.
+    Continue,
+    /// The connection dispatched, errored, or closed — stop reading.
+    Stop,
+}
+
+struct Reactor {
+    epoll: Epoll,
+    listener: Arc<TcpListener>,
+    /// Listener currently registered in this epoll set (disarmed
+    /// during accept-failure backoff and drain).
+    listener_armed: bool,
+    service: Arc<dyn Service>,
+    queue: Arc<BoundedQueue<Job>>,
+    sink: Arc<CompletionSink>,
+    wake_rx: WakeReader,
+    slab: Slab,
+    /// Open connections across all reactors (shared gauge).
+    open: Arc<AtomicU64>,
+    /// Accept counter across all reactors; indexes the chaos schedule.
+    accepted: Arc<AtomicU64>,
+    idle: Duration,
+    draining: bool,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut wheel = TimerWheel::new(Instant::now());
+        let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+        let mut ready: Vec<(u32, u64)> = Vec::new();
+        let mut fired: Vec<(u64, Instant)> = Vec::new();
+        // Deadlines to arm, accumulated per iteration (keeps the wheel
+        // out of the per-connection borrow scopes).
+        let mut arm: Vec<(u64, Instant)> = Vec::new();
+        loop {
+            // The wait never exceeds one tick, so timer expiry and
+            // cancellation are both noticed within TICK — no
+            // spin-sleeps, no unbounded blocking.
+            let timeout = wheel.until_next_tick(Instant::now()).min(TICK);
+            let timeout_ms = timeout.as_micros().div_ceil(1000) as i32;
+            ready.clear();
+            if let Ok(batch) = self.epoll.wait(&mut events, timeout_ms.max(1)) {
+                ready.extend(batch.iter().map(|ev| ({ ev.events }, { ev.data })));
+            }
+
+            for &(mask, data) in &ready {
+                match data {
+                    TOKEN_LISTENER => self.accept_burst(&mut arm),
+                    TOKEN_WAKER => self.wake_rx.drain(),
+                    tok => self.on_conn_event(tok, mask, &mut arm),
+                }
+            }
+
+            // Completions from the worker pool (the waker above is the
+            // doorbell; the mailbox is drained every iteration).
+            let done =
+                std::mem::take(&mut *self.sink.done.lock().unwrap_or_else(|p| p.into_inner()));
+            for completion in done {
+                self.on_completion(completion, &mut arm);
+            }
+
+            // Timer sweep, with lazy-cancel validation per fire.
+            fired.clear();
+            wheel.advance(Instant::now(), &mut fired);
+            for &(tok, deadline) in &fired {
+                if tok == TOKEN_LISTENER {
+                    self.arm_listener();
+                } else {
+                    self.on_deadline(tok, deadline, &mut arm);
+                }
+            }
+            for (tok, deadline) in arm.drain(..) {
+                wheel.insert(tok, deadline);
+            }
+
+            if self.service.cancel().is_cancelled() {
+                self.drain_step();
+                if self.slab.len() == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    // ----- accept ------------------------------------------------------
+
+    /// Accept until the listener runs dry. A non-WouldBlock accept
+    /// failure (fd exhaustion, say) disarms the listener for one tick
+    /// instead of letting level-triggered readiness spin the loop.
+    fn accept_burst(&mut self, arm: &mut Vec<(u64, Instant)>) {
+        if self.draining {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.register(stream, arm),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    if self.listener_armed {
+                        let _ = self.epoll.delete(self.listener.as_raw_fd());
+                        self.listener_armed = false;
+                        arm.push((TOKEN_LISTENER, Instant::now() + TICK));
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Re-register the listener after an accept-failure backoff tick.
+    /// EPOLLEXCLUSIVE registrations cannot be `EPOLL_CTL_MOD`-ed, so
+    /// disarm/arm is a delete/add pair.
+    fn arm_listener(&mut self) {
+        if !self.listener_armed
+            && !self.draining
+            && self
+                .epoll
+                .add(self.listener.as_raw_fd(), sys::EPOLLIN | sys::EPOLLEXCLUSIVE, TOKEN_LISTENER)
+                .is_ok()
+        {
+            self.listener_armed = true;
+        }
+    }
+
+    /// Slot a fresh connection into the slab and start reading.
+    fn register(&mut self, stream: TcpStream, arm: &mut Vec<(u64, Instant)>) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let n = self.accepted.fetch_add(1, Relaxed);
+        let chaos = self.service.chaos_panics(n);
+        let (slot, gen) = self.slab.insert(Conn {
+            stream,
+            gen: 0,
+            state: ConnState::Reading,
+            parser: RequestParser::new(),
+            deadline: None,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            close_after_write: false,
+            chaos,
+        });
+        let conn = self.slab.get_mut(slot, gen).expect("just inserted");
+        if self.epoll.add(conn.stream.as_raw_fd(), sys::EPOLLIN, token(slot, gen)).is_err() {
+            self.slab.remove(slot);
+            return;
+        }
+        if !self.idle.is_zero() {
+            let deadline = Instant::now() + self.idle;
+            conn.deadline = Some((deadline, DeadlineKind::Idle));
+            arm.push((token(slot, gen), deadline));
+        }
+        let open = self.open.fetch_add(1, Relaxed) + 1;
+        self.service.set_connections(open);
+    }
+
+    /// Tear a connection down: epoll deregistration, fd close, slot
+    /// generation bump, gauge update.
+    fn close(&mut self, slot: u32) {
+        if let Some(conn) = self.slab.remove(slot) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            drop(conn);
+            let open = self.open.fetch_sub(1, Relaxed).saturating_sub(1);
+            self.service.set_connections(open);
+        }
+    }
+
+    // ----- readiness ---------------------------------------------------
+
+    fn on_conn_event(&mut self, tok: u64, mask: u32, arm: &mut Vec<(u64, Instant)>) {
+        let slot = (tok & 0xffff_ffff) as u32;
+        let gen = (tok >> 32) as u32;
+        let Some(conn) = self.slab.get_mut(slot, gen) else { return };
+        match conn.state {
+            // Errors and hangups surface through read()/write() on the
+            // respective path, so ERR/HUP route the same way as data.
+            ConnState::Reading => self.do_read(slot, gen, arm),
+            ConnState::Writing => {
+                if mask & (sys::EPOLLOUT | sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                    self.do_write(slot, gen, arm);
+                }
+            }
+            // Interest is empty while dispatched; a straggling ERR/HUP
+            // is discovered when the response write fails.
+            ConnState::Dispatched => {}
+        }
+    }
+
+    /// Feed the parser from the socket until it would block, a request
+    /// dispatches, or the connection dies.
+    fn do_read(&mut self, slot: u32, gen: u32, arm: &mut Vec<(u64, Instant)>) {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.slab.get_mut(slot, gen) else { return };
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    let err = conn.parser.eof_error();
+                    self.fail(slot, gen, &err, arm);
+                    return;
+                }
+                Ok(n) => {
+                    conn.parser.push(&buf[..n]);
+                    // First byte of a request: the idle deadline
+                    // becomes a slow-loris (408) deadline.
+                    if !self.idle.is_zero()
+                        && conn.parser.started()
+                        && !matches!(conn.deadline, Some((_, DeadlineKind::Request)))
+                    {
+                        let deadline = Instant::now() + self.idle;
+                        conn.deadline = Some((deadline, DeadlineKind::Request));
+                        arm.push((token(slot, gen), deadline));
+                    }
+                    if self.advance_parser(slot, gen, arm) == ReadFlow::Stop {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drive the parser over whatever is buffered. At most one request
+    /// dispatches (sequential keep-alive); errors answer and close.
+    fn advance_parser(&mut self, slot: u32, gen: u32, arm: &mut Vec<(u64, Instant)>) -> ReadFlow {
+        let Some(conn) = self.slab.get_mut(slot, gen) else { return ReadFlow::Stop };
+        match conn.parser.poll() {
+            Ok(None) => ReadFlow::Continue,
+            Ok(Some(request)) => {
+                self.dispatch(slot, gen, request, arm);
+                ReadFlow::Stop
+            }
+            Err(err) => {
+                self.fail(slot, gen, &err, arm);
+                ReadFlow::Stop
+            }
+        }
+    }
+
+    /// Admission + enqueue for one parsed request.
+    fn dispatch(&mut self, slot: u32, gen: u32, request: Request, arm: &mut Vec<(u64, Instant)>) {
+        if let Err(shed) = self.service.admit(self.queue.depth()) {
+            self.start_write(slot, gen, shed, true, arm);
+            return;
+        }
+        let Some(conn) = self.slab.get_mut(slot, gen) else { return };
+        let close = request.close;
+        let chaos = std::mem::take(&mut conn.chaos);
+        let fd = conn.stream.as_raw_fd();
+        let job = Job {
+            sink: Arc::clone(&self.sink),
+            slot,
+            gen,
+            request,
+            close,
+            enqueued: Instant::now(),
+            chaos,
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.service.enqueued(self.queue.depth());
+                let Some(conn) = self.slab.get_mut(slot, gen) else { return };
+                conn.state = ConnState::Dispatched;
+                conn.deadline = None;
+                let _ = self.epoll.modify(fd, 0, token(slot, gen));
+            }
+            Err(_rejected) => {
+                let shed = self.service.shed_overflow();
+                self.start_write(slot, gen, shed, true, arm);
+            }
+        }
+    }
+
+    /// Answer an HTTP-level failure (or close silently, per the
+    /// service's mapping).
+    fn fail(&mut self, slot: u32, gen: u32, err: &HttpError, arm: &mut Vec<(u64, Instant)>) {
+        match self.service.http_error(err) {
+            Some(bytes) => self.start_write(slot, gen, bytes, true, arm),
+            None => self.close(slot),
+        }
+    }
+
+    // ----- writes ------------------------------------------------------
+
+    /// Begin writing a response; most complete inline without ever
+    /// touching EPOLLOUT.
+    fn start_write(
+        &mut self,
+        slot: u32,
+        gen: u32,
+        bytes: Vec<u8>,
+        close: bool,
+        arm: &mut Vec<(u64, Instant)>,
+    ) {
+        let Some(conn) = self.slab.get_mut(slot, gen) else { return };
+        conn.state = ConnState::Writing;
+        conn.write_buf = bytes;
+        conn.write_pos = 0;
+        conn.close_after_write = close;
+        conn.deadline = None;
+        self.do_write(slot, gen, arm);
+    }
+
+    /// Push buffered response bytes until done or the socket buffer
+    /// fills.
+    fn do_write(&mut self, slot: u32, gen: u32, arm: &mut Vec<(u64, Instant)>) {
+        loop {
+            let Some(conn) = self.slab.get_mut(slot, gen) else { return };
+            if conn.write_pos == conn.write_buf.len() {
+                if conn.close_after_write {
+                    self.close(slot);
+                } else {
+                    self.keepalive_reset(slot, gen, arm);
+                }
+                return;
+            }
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    self.close(slot);
+                    return;
+                }
+                Ok(n) => conn.write_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Socket buffer full: hand the rest to EPOLLOUT
+                    // and bound the stall with a write deadline.
+                    let fd = conn.stream.as_raw_fd();
+                    if !self.idle.is_zero()
+                        && !matches!(conn.deadline, Some((_, DeadlineKind::Write)))
+                    {
+                        let deadline = Instant::now() + self.idle;
+                        conn.deadline = Some((deadline, DeadlineKind::Write));
+                        arm.push((token(slot, gen), deadline));
+                    }
+                    let _ = self.epoll.modify(fd, sys::EPOLLOUT, token(slot, gen));
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A response went out on a keep-alive connection: back to
+    /// reading, and parse any pipelined leftovers immediately (their
+    /// bytes are already buffered, so no readiness event will announce
+    /// them).
+    fn keepalive_reset(&mut self, slot: u32, gen: u32, arm: &mut Vec<(u64, Instant)>) {
+        if self.draining {
+            // No further requests during drain (the worker marks
+            // responses `Connection: close` after cancellation, so
+            // this is a belt-and-suspenders close for completions
+            // computed just before the cancel).
+            self.close(slot);
+            return;
+        }
+        let idle = self.idle;
+        let Some(conn) = self.slab.get_mut(slot, gen) else { return };
+        conn.state = ConnState::Reading;
+        conn.write_buf = Vec::new();
+        conn.write_pos = 0;
+        let fd = conn.stream.as_raw_fd();
+        if !idle.is_zero() {
+            let kind =
+                if conn.parser.started() { DeadlineKind::Request } else { DeadlineKind::Idle };
+            let deadline = Instant::now() + idle;
+            conn.deadline = Some((deadline, kind));
+            arm.push((token(slot, gen), deadline));
+        } else {
+            conn.deadline = None;
+        }
+        let _ = self.epoll.modify(fd, sys::EPOLLIN, token(slot, gen));
+        let _ = self.advance_parser(slot, gen, arm);
+    }
+
+    // ----- completions and deadlines -----------------------------------
+
+    fn on_completion(&mut self, completion: Completion, arm: &mut Vec<(u64, Instant)>) {
+        let Completion { slot, gen, bytes, close } = completion;
+        let Some(conn) = self.slab.get_mut(slot, gen) else { return };
+        if conn.state != ConnState::Dispatched {
+            return;
+        }
+        match bytes {
+            Some(bytes) => self.start_write(slot, gen, bytes, close, arm),
+            // Handler panicked: drop the connection without a
+            // response, as the threaded front end did.
+            None => self.close(slot),
+        }
+    }
+
+    fn on_deadline(&mut self, tok: u64, fired: Instant, arm: &mut Vec<(u64, Instant)>) {
+        let slot = (tok & 0xffff_ffff) as u32;
+        let gen = (tok >> 32) as u32;
+        let Some(conn) = self.slab.get_mut(slot, gen) else { return };
+        match conn.deadline {
+            Some((deadline, kind)) if deadline == fired => {
+                conn.deadline = None;
+                match kind {
+                    DeadlineKind::Idle | DeadlineKind::Write => self.close(slot),
+                    DeadlineKind::Request => self.fail(slot, gen, &HttpError::Timeout, arm),
+                }
+            }
+            // Superseded or disarmed deadline: lazy-cancelled.
+            _ => {}
+        }
+    }
+
+    // ----- drain -------------------------------------------------------
+
+    /// One drain sweep: stop accepting and close every *idle*
+    /// keep-alive connection. Connections that are `Dispatched` or
+    /// `Writing` survive until their response is fully written, and a
+    /// `Reading` connection that has already started a request gets to
+    /// finish it (answered with `Connection: close`, and still visible
+    /// to `/readyz`, which reports "draining") — its request deadline
+    /// bounds how long that can take. The queue is NOT shut down here:
+    /// in-flight requests still need workers; [`FrontEnd::join`] shuts
+    /// it once every reactor has emptied. Runs every loop iteration
+    /// after cancellation — cheap, and it catches connections that
+    /// return to `Reading` from a pre-cancel completion.
+    fn drain_step(&mut self) {
+        if !self.draining {
+            self.draining = true;
+            if self.listener_armed {
+                let _ = self.epoll.delete(self.listener.as_raw_fd());
+                self.listener_armed = false;
+            }
+        }
+        // With deadlines disabled (tests) a half-sent request has no
+        // reaper, so drain must not wait on it.
+        let reap_started = self.idle.is_zero();
+        let victims: Vec<u32> = self
+            .slab
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                c.as_ref()
+                    .filter(|c| {
+                        c.state == ConnState::Reading && (reap_started || !c.parser.started())
+                    })
+                    .map(|_| i as u32)
+            })
+            .collect();
+        for slot in victims {
+            self.close(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+
+    /// A minimal service: answers every request with its own path,
+    /// 503s when asked, never panics.
+    struct EchoService {
+        cancel: CancelToken,
+    }
+
+    struct EchoWorker;
+
+    impl WorkerHandler for EchoWorker {
+        fn handle(&mut self, request: &Request, close: bool) -> Vec<u8> {
+            let mut out = Vec::new();
+            let _ =
+                http::write_response(&mut out, 200, "text/plain", request.path.as_bytes(), close);
+            out
+        }
+    }
+
+    impl Service for EchoService {
+        fn make_worker(&self) -> Box<dyn WorkerHandler> {
+            Box::new(EchoWorker)
+        }
+        fn admit(&self, _queued: usize) -> Result<(), Vec<u8>> {
+            Ok(())
+        }
+        fn shed_overflow(&self) -> Vec<u8> {
+            let mut out = Vec::new();
+            let _ = http::write_response(&mut out, 503, "text/plain", b"full", true);
+            out
+        }
+        fn enqueued(&self, _depth: usize) {}
+        fn dequeued(&self, _sojourn_us: u64, _depth: usize) {}
+        fn finished(&self, _panicked: bool) {}
+        fn http_error(&self, err: &HttpError) -> Option<Vec<u8>> {
+            let (status, text) = match err {
+                HttpError::Closed | HttpError::Io(_) => return None,
+                HttpError::Malformed(reason) => (400, *reason),
+                HttpError::Timeout => (408, "timeout"),
+                HttpError::TooLarge { status, reason } => (*status, *reason),
+            };
+            let mut out = Vec::new();
+            let _ = http::write_response(&mut out, status, "text/plain", text.as_bytes(), true);
+            Some(out)
+        }
+        fn chaos_panics(&self, _conn_index: u64) -> bool {
+            false
+        }
+        fn on_chaos_panic(&self) {}
+        fn cancel(&self) -> &CancelToken {
+            &self.cancel
+        }
+        fn set_connections(&self, _open: u64) {}
+    }
+
+    fn start_echo(idle_ms: u64) -> (std::net::SocketAddr, CancelToken, FrontEnd) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let cancel = CancelToken::new();
+        let service = Arc::new(EchoService { cancel: cancel.clone() });
+        let front = FrontEnd::start(
+            listener,
+            service,
+            FrontEndConfig {
+                event_threads: 1,
+                workers: 2,
+                queue_depth: 16,
+                idle_timeout: Duration::from_millis(idle_ms),
+            },
+        )
+        .unwrap();
+        (addr, cancel, front)
+    }
+
+    fn read_response(reader: &mut BufReader<&TcpStream>) -> (u16, String) {
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        std::io::Read::read_exact(reader, &mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn keepalive_serves_sequential_requests_on_one_connection() {
+        let (addr, cancel, front) = start_echo(5_000);
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = BufReader::new(&stream);
+        for path in ["/first", "/second", "/third"] {
+            (&stream)
+                .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                .unwrap();
+            let (status, body) = read_response(&mut reader);
+            assert_eq!(status, 200);
+            assert_eq!(body, path);
+        }
+        cancel.cancel();
+        front.join();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let (addr, cancel, front) = start_echo(5_000);
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // Both requests in one write: the second must be parsed from
+        // the leftover buffer after the first response, with no
+        // readiness event to announce it.
+        (&stream)
+            .write_all(b"GET /a HTTP/1.1\r\nHost: t\r\n\r\nGET /b HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut reader = BufReader::new(&stream);
+        let (_, first) = read_response(&mut reader);
+        let (_, second) = read_response(&mut reader);
+        assert_eq!((first.as_str(), second.as_str()), ("/a", "/b"));
+        cancel.cancel();
+        front.join();
+    }
+
+    #[test]
+    fn cancel_drains_and_joins_promptly() {
+        let (addr, cancel, front) = start_echo(5_000);
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        (&stream).write_all(b"GET /x HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(&stream);
+        let (status, _) = read_response(&mut reader);
+        assert_eq!(status, 200);
+
+        cancel.cancel();
+        let start = Instant::now();
+        front.join();
+        assert!(start.elapsed() < Duration::from_secs(5), "drain took {:?}", start.elapsed());
+    }
+
+    #[test]
+    fn large_response_survives_a_full_socket_buffer() {
+        // A handler response far larger than any socket buffer, with a
+        // client that reads slowly: the reactor must finish via
+        // EPOLLOUT continuation without corrupting or truncating.
+        struct BigService {
+            cancel: CancelToken,
+        }
+        struct BigWorker;
+        impl WorkerHandler for BigWorker {
+            fn handle(&mut self, _request: &Request, close: bool) -> Vec<u8> {
+                let body = vec![b'z'; 8 * 1024 * 1024];
+                let mut out = Vec::new();
+                let _ = http::write_response(&mut out, 200, "text/plain", &body, close);
+                out
+            }
+        }
+        impl Service for BigService {
+            fn make_worker(&self) -> Box<dyn WorkerHandler> {
+                Box::new(BigWorker)
+            }
+            fn admit(&self, _queued: usize) -> Result<(), Vec<u8>> {
+                Ok(())
+            }
+            fn shed_overflow(&self) -> Vec<u8> {
+                Vec::new()
+            }
+            fn enqueued(&self, _depth: usize) {}
+            fn dequeued(&self, _sojourn_us: u64, _depth: usize) {}
+            fn finished(&self, _panicked: bool) {}
+            fn http_error(&self, _err: &HttpError) -> Option<Vec<u8>> {
+                None
+            }
+            fn chaos_panics(&self, _conn_index: u64) -> bool {
+                false
+            }
+            fn on_chaos_panic(&self) {}
+            fn cancel(&self) -> &CancelToken {
+                &self.cancel
+            }
+            fn set_connections(&self, _open: u64) {}
+        }
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let cancel = CancelToken::new();
+        let front = FrontEnd::start(
+            listener,
+            Arc::new(BigService { cancel: cancel.clone() }),
+            FrontEndConfig {
+                event_threads: 1,
+                workers: 1,
+                queue_depth: 4,
+                idle_timeout: Duration::from_secs(30),
+            },
+        )
+        .unwrap();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        (&stream).write_all(b"GET /big HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(&stream);
+        let (status, body) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(body.len(), 8 * 1024 * 1024);
+        assert!(body.bytes().all(|b| b == b'z'), "response corrupted");
+
+        cancel.cancel();
+        front.join();
+    }
+}

@@ -4,17 +4,25 @@
 //! JSON or text bodies out, sequential keep-alive (no pipelining, no
 //! chunked encoding, no TLS).
 //!
-//! Parsing is hardened against abuse rather than feature-complete:
-//! request lines, header blocks, and bodies all have hard size caps
-//! (oversized input is a typed [`HttpError::TooLarge`], answered with
-//! 431/413 and a close, never a torn socket), a truncated body is a
-//! clean 400, and a request that arrives byte-by-byte (slow loris) is
-//! cut off by a wall-clock budget that starts at its first byte and
-//! surfaces as [`HttpError::Timeout`] → 408. Idle keep-alive
-//! connections that send nothing still close silently, as clients
-//! expect.
+//! Parsing is **incremental**: [`RequestParser`] consumes whatever
+//! bytes the socket has ready — a byte at a time under a slow-loris
+//! sender, a full pipelined request in one readiness event — and
+//! yields a [`Request`] only when one is complete. The epoll front end
+//! ([`crate::event`]) feeds it from nonblocking reads; the blocking
+//! [`read_request`] used by tests and simple clients is a thin driver
+//! over the same parser, so both paths share one grammar and one set
+//! of hardening rules.
+//!
+//! Hardening over feature-completeness: request lines, header blocks,
+//! and bodies all have hard size caps (oversized input is a typed
+//! [`HttpError::TooLarge`], answered with 431/413 and a close, never a
+//! torn socket), a truncated body is a clean 400, and a request that
+//! arrives byte-by-byte (slow loris) is cut off by a wall-clock budget
+//! that starts at its first byte and surfaces as [`HttpError::Timeout`]
+//! → 408. Idle keep-alive connections that send nothing still close
+//! silently, as clients expect.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -78,6 +86,198 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
 }
 
+/// Where the parser is inside the current request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParseState {
+    /// Waiting for (or inside) the request line.
+    RequestLine,
+    /// Between the request line and the blank line.
+    Headers,
+    /// Reading `Content-Length` body bytes.
+    Body,
+}
+
+/// Incremental request parser: push bytes in as they arrive, poll
+/// complete requests out. One per connection; survives across
+/// keep-alive requests (leftover pipelined bytes stay buffered and
+/// parse on the next poll).
+#[derive(Debug)]
+pub struct RequestParser {
+    /// Unconsumed input bytes.
+    buf: Vec<u8>,
+    /// How far `buf` has been scanned for a newline (avoids rescans
+    /// under byte-at-a-time senders).
+    scan: usize,
+    state: ParseState,
+    // Per-request accumulators.
+    method: String,
+    path: String,
+    close: bool,
+    deadline_ms: Option<u64>,
+    content_length: usize,
+    headers_seen: usize,
+    http10: bool,
+}
+
+impl Default for RequestParser {
+    fn default() -> RequestParser {
+        RequestParser::new()
+    }
+}
+
+impl RequestParser {
+    /// A fresh parser, ready for the first request.
+    pub fn new() -> RequestParser {
+        RequestParser {
+            buf: Vec::new(),
+            scan: 0,
+            state: ParseState::RequestLine,
+            method: String::new(),
+            path: String::new(),
+            close: false,
+            deadline_ms: None,
+            content_length: 0,
+            headers_seen: 0,
+            http10: false,
+        }
+    }
+
+    /// Buffer freshly read socket bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether any byte of an unfinished request has arrived — the
+    /// line between "idle keep-alive, close silently" and "started a
+    /// request, answer 408 on expiry".
+    pub fn started(&self) -> bool {
+        !self.buf.is_empty() || self.state != ParseState::RequestLine
+    }
+
+    /// What a peer EOF means in the current state: a clean
+    /// [`HttpError::Closed`] between requests, a malformed-request
+    /// error mid-request.
+    pub fn eof_error(&self) -> HttpError {
+        if !self.started() {
+            return HttpError::Closed;
+        }
+        match self.state {
+            ParseState::Body => HttpError::Malformed("truncated body"),
+            _ => HttpError::Malformed("eof inside request"),
+        }
+    }
+
+    /// Extract the next complete line from `buf`, stripped of its
+    /// CR/LF tail. `Ok(None)` means more bytes are needed.
+    fn next_line(&mut self) -> Result<Option<String>, HttpError> {
+        match self.buf[self.scan..].iter().position(|&b| b == b'\n') {
+            Some(offset) => {
+                let end = self.scan + offset + 1;
+                if end > MAX_LINE {
+                    return Err(HttpError::TooLarge { status: 431, reason: "line too long" });
+                }
+                let mut line: Vec<u8> = self.buf.drain(..end).collect();
+                self.scan = 0;
+                while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+                    line.pop();
+                }
+                String::from_utf8(line).map(Some).map_err(|_| HttpError::Malformed("non-utf8 line"))
+            }
+            None => {
+                self.scan = self.buf.len();
+                if self.scan > MAX_LINE {
+                    return Err(HttpError::TooLarge { status: 431, reason: "line too long" });
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Parse as far as the buffered bytes allow. `Ok(None)` means a
+    /// request is still incomplete; `Ok(Some(_))` hands a finished
+    /// request out and leaves any pipelined remainder buffered. Errors
+    /// are terminal for the connection.
+    pub fn poll(&mut self) -> Result<Option<Request>, HttpError> {
+        loop {
+            match self.state {
+                ParseState::RequestLine => {
+                    let Some(line) = self.next_line()? else { return Ok(None) };
+                    let mut parts = line.split_whitespace();
+                    self.method =
+                        parts.next().ok_or(HttpError::Malformed("empty request line"))?.to_string();
+                    self.path = parts
+                        .next()
+                        .ok_or(HttpError::Malformed("missing request target"))?
+                        .to_string();
+                    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+                    if !version.starts_with("HTTP/1.") {
+                        return Err(HttpError::Malformed("unsupported protocol version"));
+                    }
+                    self.http10 = version == "HTTP/1.0";
+                    self.close = self.http10;
+                    self.state = ParseState::Headers;
+                }
+                ParseState::Headers => {
+                    if self.headers_seen >= MAX_HEADERS {
+                        return Err(HttpError::TooLarge {
+                            status: 431,
+                            reason: "too many headers",
+                        });
+                    }
+                    let Some(line) = self.next_line()? else { return Ok(None) };
+                    if line.is_empty() {
+                        self.state = ParseState::Body;
+                        continue;
+                    }
+                    self.headers_seen += 1;
+                    let Some((name, value)) = line.split_once(':') else {
+                        return Err(HttpError::Malformed("header without colon"));
+                    };
+                    let value = value.trim();
+                    if name.eq_ignore_ascii_case("content-length") {
+                        self.content_length = value
+                            .parse()
+                            .map_err(|_| HttpError::Malformed("bad content-length"))?;
+                        if self.content_length > MAX_BODY {
+                            return Err(HttpError::TooLarge {
+                                status: 413,
+                                reason: "body too large",
+                            });
+                        }
+                    } else if name.eq_ignore_ascii_case("connection") {
+                        self.close = value.eq_ignore_ascii_case("close");
+                    } else if name.eq_ignore_ascii_case("x-comet-deadline-ms") {
+                        self.deadline_ms = value.parse().ok();
+                    }
+                }
+                ParseState::Body => {
+                    if self.buf.len() < self.content_length {
+                        self.scan = self.buf.len();
+                        return Ok(None);
+                    }
+                    let body: Vec<u8> = self.buf.drain(..self.content_length).collect();
+                    self.scan = 0;
+                    let request = Request {
+                        method: std::mem::take(&mut self.method),
+                        path: std::mem::take(&mut self.path),
+                        body,
+                        close: self.close,
+                        deadline_ms: self.deadline_ms.take(),
+                    };
+                    // Reset for the next keep-alive request; leftover
+                    // bytes (an eager pipeliner) stay buffered.
+                    self.state = ParseState::RequestLine;
+                    self.close = false;
+                    self.http10 = false;
+                    self.content_length = 0;
+                    self.headers_seen = 0;
+                    return Ok(Some(request));
+                }
+            }
+        }
+    }
+}
+
 /// Tracks the wall-clock budget for reading one request. Armed by the
 /// first byte (so idle keep-alive waits are not billed) and consulted
 /// between reads; a peer dribbling bytes cannot hold a worker past
@@ -111,117 +311,41 @@ impl ReadBudget {
     }
 }
 
-/// Read one line (CRLF or bare LF terminated) with a length cap and
-/// the request's read budget.
-fn read_line(
-    reader: &mut BufReader<&TcpStream>,
-    budget: &mut ReadBudget,
-) -> Result<String, HttpError> {
-    let mut line = Vec::new();
-    loop {
-        budget.check()?;
-        let buf = match reader.fill_buf() {
-            Ok(buf) => buf,
-            // A socket read-timeout mid-request is the same stalled
-            // sender the budget exists for; before any byte it is just
-            // an idle keep-alive connection.
-            Err(e) if is_timeout(&e) && (budget.armed() || !line.is_empty()) => {
-                return Err(HttpError::Timeout)
-            }
-            Err(e) => return Err(HttpError::Io(e)),
-        };
-        if buf.is_empty() {
-            if line.is_empty() && !budget.armed() {
-                return Err(HttpError::Closed);
-            }
-            return Err(HttpError::Malformed("eof inside request"));
-        }
-        budget.arm();
-        let newline = buf.iter().position(|&b| b == b'\n');
-        let take = newline.map_or(buf.len(), |p| p + 1);
-        line.extend_from_slice(&buf[..take]);
-        reader.consume(take);
-        if line.len() > MAX_LINE {
-            return Err(HttpError::TooLarge { status: 431, reason: "line too long" });
-        }
-        if newline.is_some() {
-            while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
-                line.pop();
-            }
-            return String::from_utf8(line).map_err(|_| HttpError::Malformed("non-utf8 line"));
-        }
-    }
-}
-
-/// Read and parse one request from a buffered connection. Blocks until
-/// a full request arrives, the peer closes, the stream's read timeout
-/// fires, or — once the first byte has arrived — `read_budget` is
-/// exhausted (`Duration::ZERO` disables the budget).
+/// Read and parse one request from a buffered connection — the
+/// blocking driver over [`RequestParser`], used by tests and simple
+/// clients (the serving path feeds the parser from the epoll loop
+/// instead). Blocks until a full request arrives, the peer closes, the
+/// stream's read timeout fires, or — once the first byte has arrived —
+/// `read_budget` is exhausted (`Duration::ZERO` disables the budget).
 pub fn read_request(
     reader: &mut BufReader<&TcpStream>,
     read_budget: Duration,
 ) -> Result<Request, HttpError> {
+    let mut parser = RequestParser::new();
     let mut budget = ReadBudget::new(read_budget);
-    let request_line = read_line(reader, &mut budget)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or(HttpError::Malformed("empty request line"))?.to_string();
-    let path = parts.next().ok_or(HttpError::Malformed("missing request target"))?.to_string();
-    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed("unsupported protocol version"));
-    }
-
-    let mut content_length = 0usize;
-    let mut close = version == "HTTP/1.0";
-    let mut deadline_ms = None;
-    for _ in 0..MAX_HEADERS {
-        let line = match read_line(reader, &mut budget) {
-            Ok(line) => line,
-            Err(HttpError::Closed) => return Err(HttpError::Malformed("eof inside headers")),
-            Err(e) => return Err(e),
-        };
-        if line.is_empty() {
-            let body = read_body(reader, content_length, &budget)?;
-            return Ok(Request { method, path, body, close, deadline_ms });
+    loop {
+        if let Some(request) = parser.poll()? {
+            return Ok(request);
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::Malformed("header without colon"));
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length =
-                value.parse().map_err(|_| HttpError::Malformed("bad content-length"))?;
-            if content_length > MAX_BODY {
-                return Err(HttpError::TooLarge { status: 413, reason: "body too large" });
-            }
-        } else if name.eq_ignore_ascii_case("connection") {
-            close = value.eq_ignore_ascii_case("close");
-        } else if name.eq_ignore_ascii_case("x-comet-deadline-ms") {
-            deadline_ms = value.parse().ok();
-        }
-    }
-    Err(HttpError::TooLarge { status: 431, reason: "too many headers" })
-}
-
-/// Read exactly `content_length` body bytes under the request budget.
-/// EOF mid-body is a truncated request (400), not a torn socket.
-fn read_body(
-    reader: &mut BufReader<&TcpStream>,
-    content_length: usize,
-    budget: &ReadBudget,
-) -> Result<Vec<u8>, HttpError> {
-    let mut body = vec![0u8; content_length];
-    let mut filled = 0usize;
-    while filled < content_length {
         budget.check()?;
-        match reader.read(&mut body[filled..]) {
-            Ok(0) => return Err(HttpError::Malformed("truncated body")),
-            Ok(n) => filled += n,
-            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            // A socket read-timeout mid-request is the same stalled
+            // sender the budget exists for; before any byte it is just
+            // an idle keep-alive connection.
+            Err(e) if is_timeout(&e) && (budget.armed() || parser.started()) => {
+                return Err(HttpError::Timeout)
+            }
             Err(e) => return Err(HttpError::Io(e)),
+        };
+        if chunk.is_empty() {
+            return Err(parser.eof_error());
         }
+        budget.arm();
+        let n = chunk.len();
+        parser.push(chunk);
+        reader.consume(n);
     }
-    Ok(body)
 }
 
 /// Reason phrases for the statuses the service emits.
@@ -236,6 +360,7 @@ fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -378,5 +503,92 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    // ----- incremental-parser edges -------------------------------------
+
+    /// Feed `raw` to a parser in `chunk`-byte slices and return every
+    /// request it produces.
+    fn parse_in_chunks(raw: &[u8], chunk: usize) -> Result<Vec<Request>, HttpError> {
+        let mut parser = RequestParser::new();
+        let mut out = Vec::new();
+        for piece in raw.chunks(chunk.max(1)) {
+            parser.push(piece);
+            while let Some(req) = parser.poll()? {
+                out.push(req);
+            }
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn byte_at_a_time_parses_identically_to_one_shot() {
+        let raw = b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world";
+        for chunk in [1, 2, 3, 7, raw.len()] {
+            let reqs = parse_in_chunks(raw, chunk).unwrap();
+            assert_eq!(reqs.len(), 1, "chunk={chunk}");
+            assert_eq!(reqs[0].method, "POST");
+            assert_eq!(reqs[0].path, "/v1/predict");
+            assert_eq!(reqs[0].body, b"hello world");
+        }
+    }
+
+    #[test]
+    fn headers_cut_mid_token_resume_cleanly() {
+        let mut parser = RequestParser::new();
+        parser.push(b"GET /healthz HTTP/1.1\r\nX-Comet-Dead");
+        assert!(parser.poll().unwrap().is_none());
+        assert!(parser.started());
+        parser.push(b"line-Ms: 75\r\nConnec");
+        assert!(parser.poll().unwrap().is_none());
+        parser.push(b"tion: close\r\n\r\n");
+        let req = parser.poll().unwrap().expect("complete request");
+        assert_eq!(req.deadline_ms, Some(75));
+        assert!(req.close);
+        assert!(!parser.started(), "parser resets between requests");
+    }
+
+    #[test]
+    fn pipelined_second_request_stays_buffered() {
+        let mut parser = RequestParser::new();
+        parser.push(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        let first = parser.poll().unwrap().expect("first request");
+        assert_eq!(first.path, "/a");
+        assert!(parser.started(), "second request is pending");
+        let second = parser.poll().unwrap().expect("second request");
+        assert_eq!(second.path, "/b");
+        assert!(parser.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_line_detected_before_newline_arrives() {
+        let mut parser = RequestParser::new();
+        // 2×MAX_LINE bytes with no newline at all: the cap must fire
+        // without waiting for the terminator.
+        let mut err = None;
+        for _ in 0..(2 * MAX_LINE / 64) {
+            parser.push(&[b'x'; 64]);
+            if let Err(e) = parser.poll() {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(err, Some(HttpError::TooLarge { status: 431, .. })), "got {err:?}");
+    }
+
+    #[test]
+    fn eof_error_tracks_parser_state() {
+        let parser = RequestParser::new();
+        assert!(matches!(parser.eof_error(), HttpError::Closed));
+
+        let mut parser = RequestParser::new();
+        parser.push(b"GET / HT");
+        let _ = parser.poll();
+        assert!(matches!(parser.eof_error(), HttpError::Malformed("eof inside request")));
+
+        let mut parser = RequestParser::new();
+        parser.push(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        let _ = parser.poll();
+        assert!(matches!(parser.eof_error(), HttpError::Malformed("truncated body")));
     }
 }

@@ -51,17 +51,24 @@
 //! `comet-models` fault decorators (model-level faults).
 
 pub mod admission;
+pub mod event;
 pub mod http;
 pub mod lifecycle;
 pub mod metrics;
 pub mod queue;
+pub mod route;
+pub mod router;
 pub mod server;
 pub mod supervise;
+pub mod sys;
+pub mod timer;
 pub mod wire;
 
 pub use admission::{AdmissionConfig, AdmissionController, ShedReason};
 pub use lifecycle::ShadowGates;
 pub use metrics::{Endpoint, StatusClass, Tier};
 pub use queue::BoundedQueue;
+pub use route::{Ring, ShardSpec};
+pub use router::{Router, RouterConfig};
 pub use server::{ChaosConfig, ModelKind, ServeConfig, Server};
 pub use supervise::{ChildSpec, Supervisor, SupervisorConfig};

@@ -364,6 +364,10 @@ pub struct Registry {
     model_swaps: AtomicU64,
     /// Automatic or manual rollbacks to the last-known-good model.
     model_rollbacks: AtomicU64,
+    /// Open connections across all reactor threads (gauge).
+    connections: AtomicU64,
+    /// Shard identity, packed `(count << 32) | index`; 0 = unsharded.
+    shard: AtomicU64,
 }
 
 impl Registry {
@@ -528,6 +532,21 @@ impl Registry {
         self.model_rollbacks.load(Relaxed)
     }
 
+    /// Update the open-connections gauge (set by the reactors).
+    pub fn set_connections(&self, open: u64) {
+        self.connections.store(open, Relaxed);
+    }
+
+    /// Open connections right now.
+    pub fn connection_count(&self) -> u64 {
+        self.connections.load(Relaxed)
+    }
+
+    /// Publish this process's shard identity (`--shard index/count`).
+    pub fn set_shard(&self, index: u32, count: u32) {
+        self.shard.store(((count as u64) << 32) | index as u64, Relaxed);
+    }
+
     /// The explain latency histogram (for the bench client's report).
     pub fn explain_latency(&self) -> &Histogram {
         &self.explain_latency
@@ -658,6 +677,23 @@ impl Registry {
         let _ = writeln!(out, "# HELP comet_queue_depth Requests waiting in the bounded queue.");
         let _ = writeln!(out, "# TYPE comet_queue_depth gauge");
         let _ = writeln!(out, "comet_queue_depth {}", self.queue_depth.load(Relaxed));
+        let _ = writeln!(out, "# HELP comet_connections Open connections across all reactors.");
+        let _ = writeln!(out, "# TYPE comet_connections gauge");
+        let _ = writeln!(out, "comet_connections {}", self.connections.load(Relaxed));
+        let shard = self.shard.load(Relaxed);
+        if shard != 0 {
+            let _ = writeln!(
+                out,
+                "# HELP comet_shard Shard identity of this process (info gauge, always 1)."
+            );
+            let _ = writeln!(out, "# TYPE comet_shard gauge");
+            let _ = writeln!(
+                out,
+                "comet_shard{{index=\"{}\",count=\"{}\"}} 1",
+                shard & 0xffff_ffff,
+                shard >> 32
+            );
+        }
         let _ = writeln!(
             out,
             "# HELP comet_queries_batched_total Model queries issued via predict_batch."

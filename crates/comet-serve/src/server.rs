@@ -1,17 +1,30 @@
-//! The service itself: accept loop → bounded queue → worker pool →
+//! The service itself: epoll reactors → bounded queue → worker pool →
 //! shared model stack.
 //!
 //! # Architecture
 //!
-//! One thread runs the accept loop; `workers` threads run connections.
-//! Admission is two-layered. The adaptive [`AdmissionController`]
-//! (CoDel-style queue-delay detection driving an AIMD concurrency
-//! limit) sheds connections that would push queued + in-flight work
-//! past a limit tuned to *measured* queue sojourn time; the bounded
-//! [`BoundedQueue`] behind it is the hard backstop. Either way a shed
-//! is an immediate, honest `503` with a typed reason, so overload
-//! degrades into fast rejections instead of unbounded memory growth or
-//! silent kernel-side drops.
+//! `--event-threads N` reactor threads ([`crate::event`]) own every
+//! connection through nonblocking sockets and a readiness loop; the
+//! `workers` CPU threads only ever see complete, parsed requests and
+//! hand finished response bytes back over a wakeup pipe. This module
+//! supplies the [`event::Service`] implementation: the dispatch table,
+//! admission policy, metrics, and the chaos schedule.
+//!
+//! Admission is two-layered and per *request*. The adaptive
+//! [`AdmissionController`] (CoDel-style queue-delay detection driving
+//! an AIMD concurrency limit) sheds requests that would push queued +
+//! in-flight work past a limit tuned to *measured* queue sojourn time;
+//! the bounded queue ([`crate::queue`]) behind it is the hard
+//! backstop. Either
+//! way a shed is an immediate, honest `503` with a typed reason, so
+//! overload degrades into fast rejections instead of unbounded memory
+//! growth or silent kernel-side drops.
+//!
+//! With `--shard i/M` the process additionally *enforces* its
+//! consistent-hash slice of the block-key space ([`crate::route`]):
+//! a predict/explain for a block another shard owns is answered `409
+//! Conflict` naming the true owner, so a misrouted fleet fails loudly
+//! instead of silently splitting cache and store state.
 //!
 //! Workers share one process-wide model stack,
 //! `CachedModel(ResilientModel(base))` behind an `Arc`: the sharded
@@ -46,17 +59,17 @@
 //! before it starts failing requests.
 
 use std::collections::HashMap;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::admission::{AdmissionConfig, AdmissionController, ShedReason};
+use crate::event::{FrontEnd, FrontEndConfig, Service, WorkerHandler};
 use crate::http::{self, HttpError, Request};
 use crate::lifecycle::{self, LifecycleState, ModelEpoch, ShadowGates};
 use crate::metrics::{Endpoint, Registry, StatusClass, Tier};
-use crate::queue::BoundedQueue;
+use crate::route::{self, Ring, ShardSpec};
 use crate::wire::{
     self, decode_request, AdminModelRequest, ErrorResponse, ExplainRequest, ExplainResponse,
     ExplanationDto, PredictRequest, PredictResponse, WIRE_V,
@@ -186,6 +199,12 @@ pub struct ServeConfig {
     /// store does not stop the server — it serves live, reports the
     /// failure on `/readyz`, and answers `/analytics/*` with 503.
     pub store_path: Option<String>,
+    /// Reactor (event-loop) threads owning the nonblocking sockets.
+    pub event_threads: usize,
+    /// `--shard i/M`: enforce ownership of this process's
+    /// consistent-hash slice of the block-key space. `None` serves the
+    /// whole key space.
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for ServeConfig {
@@ -206,17 +225,11 @@ impl Default for ServeConfig {
             probation_requests: 64,
             shadow: ShadowGates::default(),
             store_path: None,
+            event_threads: 1,
+            shard: None,
         }
     }
 }
-
-/// Accept-loop poll interval while waiting for connections or
-/// cancellation. The nonblocking-accept-plus-sleep pattern is what
-/// lets a Ctrl-C-set flag stop the loop without a self-pipe, but the
-/// sleep bounds connection-setup latency from below — 500µs keeps
-/// that floor under typical request cost while the idle-poll syscall
-/// rate (~2k/s) stays negligible.
-const ACCEPT_POLL: Duration = Duration::from_micros(500);
 
 /// Most stale explanations retained for the ladder's cached tier.
 const STALE_CAP: usize = 1024;
@@ -264,13 +277,6 @@ fn open_store(path: &str, kind: &str) -> StoreState {
         }
         Err(e) => StoreState::Error(format!("cannot open store at {}: {e}", file.display())),
     }
-}
-
-/// One accepted connection, timestamped so the dequeuing worker can
-/// report its queue sojourn to the admission controller.
-struct Accepted {
-    stream: TcpStream,
-    enqueued: Instant,
 }
 
 /// One in-flight explain search that twins can park on.
@@ -383,10 +389,10 @@ pub struct ServerCtx {
     ready: AtomicBool,
     /// Monotonic origin for the admission controller's timestamps.
     started: Instant,
-    idle_timeout: Duration,
     chaos: Option<ChaosConfig>,
-    /// Connections handled so far; indexes the chaos panic schedule.
-    connections: AtomicU64,
+    /// `--shard i/M` enforcement state: the fleet ring plus this
+    /// process's slot.
+    shard: Option<(Ring, ShardSpec)>,
     /// The on-disk registry, when serving with `--registry`.
     pub(crate) registry: Option<ModelRegistry>,
     /// What opening the registry had to repair (quarantines etc.).
@@ -452,13 +458,12 @@ impl ServerCtx {
     }
 }
 
-/// A running server: accept thread + worker pool, shut down via its
+/// A running server: reactor threads + worker pool, shut down via its
 /// [`CancelToken`].
 pub struct Server {
     ctx: Arc<ServerCtx>,
     addr: SocketAddr,
-    accept: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    front: Option<FrontEnd>,
 }
 
 impl Server {
@@ -496,7 +501,6 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
 
         // Registry boot: verify snapshots (quarantining damage), then
         // let the durable last-known-good model override the CLI choice
@@ -557,6 +561,9 @@ impl Server {
         let metrics = Registry::new();
         metrics.set_batch_size(config.batch.max(1));
         metrics.set_model_version(version);
+        if let Some(spec) = config.shard {
+            metrics.set_shard(spec.index, spec.count);
+        }
         let ctx = Arc::new(ServerCtx {
             epoch: SwapCell::new(Arc::clone(&epoch)),
             metrics,
@@ -571,9 +578,8 @@ impl Server {
             cancel: CancelToken::new(),
             ready: AtomicBool::new(false),
             started: Instant::now(),
-            idle_timeout: Duration::from_millis(config.idle_timeout_ms),
             chaos: config.chaos,
-            connections: AtomicU64::new(0),
+            shard: config.shard.map(|spec| (Ring::new(spec.count), spec)),
             registry,
             recovery,
             lifecycle: Mutex::new(LifecycleState {
@@ -588,26 +594,18 @@ impl Server {
             store,
         });
 
-        let queue = Arc::new(BoundedQueue::<Accepted>::new(config.queue_depth));
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let ctx = Arc::clone(&ctx);
-                let queue = Arc::clone(&queue);
-                std::thread::Builder::new()
-                    .name(format!("comet-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&ctx, &queue))
-                    .expect("spawn worker")
-            })
-            .collect();
-        let accept = {
-            let ctx = Arc::clone(&ctx);
-            let queue = Arc::clone(&queue);
-            std::thread::Builder::new()
-                .name("comet-serve-accept".into())
-                .spawn(move || accept_loop(&ctx, &queue, listener))
-                .expect("spawn accept loop")
-        };
-        Ok(Server { ctx, addr, accept: Some(accept), workers })
+        let service = Arc::new(CometService { ctx: Arc::clone(&ctx) });
+        let front = FrontEnd::start(
+            listener,
+            service,
+            FrontEndConfig {
+                event_threads: config.event_threads,
+                workers: config.workers,
+                queue_depth: config.queue_depth,
+                idle_timeout: Duration::from_millis(config.idle_timeout_ms),
+            },
+        )?;
+        Ok(Server { ctx, addr, front: Some(front) })
     }
 
     /// The bound address (useful with port 0).
@@ -624,11 +622,8 @@ impl Server {
     /// immediately unless something cancelled the token (Ctrl-C, a
     /// test, the bench client finishing).
     pub fn join(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if let Some(front) = self.front.take() {
+            front.join();
         }
     }
 
@@ -659,148 +654,155 @@ pub fn chaos_panics_connection(seed: u64, n: u64, rate: f64) -> bool {
     unit < rate
 }
 
-/// Accept connections until cancelled. Adaptive admission sheds first;
-/// the bounded queue is the hard backstop behind it.
-fn accept_loop(ctx: &ServerCtx, queue: &BoundedQueue<Accepted>, listener: TcpListener) {
-    while !ctx.cancel.is_cancelled() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                // Workers use blocking reads with an idle timeout.
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_nodelay(true);
-                let in_system = queue.depth() as u64 + ctx.admission.inflight();
-                if let Err(reason) = ctx.admission.try_admit(in_system) {
-                    shed(ctx, stream, reason);
-                    continue;
-                }
-                match queue.try_push(Accepted { stream, enqueued: Instant::now() }) {
-                    Ok(()) => ctx.metrics.set_queue_depth(queue.depth()),
-                    Err(rejected) => shed(ctx, rejected.stream, ShedReason::QueueFull),
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+/// The COMET dispatch table as an [`event::Service`]: the front end
+/// owns sockets and readiness; this glues its hooks to the admission
+/// controller, the metrics registry, the chaos schedule, and
+/// [`dispatch`].
+pub(crate) struct CometService {
+    pub(crate) ctx: Arc<ServerCtx>,
+}
+
+impl CometService {
+    /// A prebuilt 503 naming the shed reason, with metrics recorded —
+    /// shared by the adaptive-admission and queue-overflow paths.
+    fn shed_bytes(&self, reason: ShedReason) -> Vec<u8> {
+        self.ctx.metrics.record_shed(reason);
+        self.ctx.metrics.record(Endpoint::Other, StatusClass::Shed);
+        let mut out = Vec::new();
+        respond_error(&mut out, StatusClass::Shed, reason.message(), true);
+        out
+    }
+}
+
+impl Service for CometService {
+    fn make_worker(&self) -> Box<dyn WorkerHandler> {
+        // One batch executor per worker, alive for the worker's
+        // lifetime: its intra-explanation pool threads are spawned
+        // once, not per request, and its occupancy counters are folded
+        // into the shared registry after each search.
+        let exec = BatchExec::new(self.ctx.explain_batch, self.ctx.search_pool);
+        Box::new(CometWorker { ctx: Arc::clone(&self.ctx), exec })
+    }
+
+    fn admit(&self, queued: usize) -> Result<(), Vec<u8>> {
+        let in_system = queued as u64 + self.ctx.admission.inflight();
+        self.ctx.admission.try_admit(in_system).map_err(|reason| self.shed_bytes(reason))
+    }
+
+    fn shed_overflow(&self) -> Vec<u8> {
+        self.shed_bytes(ShedReason::QueueFull)
+    }
+
+    fn enqueued(&self, depth: usize) {
+        self.ctx.metrics.set_queue_depth(depth);
+    }
+
+    fn dequeued(&self, sojourn_us: u64, depth: usize) {
+        self.ctx.metrics.set_queue_depth(depth);
+        // Feed the admission controller the sojourn this request spent
+        // queued, on a monotonic µs clock anchored at server start.
+        let now_us = self.ctx.started.elapsed().as_micros() as u64;
+        self.ctx.admission.on_dequeue(sojourn_us, now_us);
+        self.ctx.admission.begin();
+    }
+
+    fn finished(&self, panicked: bool) {
+        self.ctx.admission.end();
+        if panicked {
+            self.ctx.metrics.record(Endpoint::Other, StatusClass::Internal);
         }
     }
-    // Drain phase: no new connections; queued ones still get served.
-    queue.shutdown();
-}
 
-/// Reject a connection with an immediate 503 naming the shed reason.
-fn shed(ctx: &ServerCtx, mut stream: TcpStream, reason: ShedReason) {
-    ctx.metrics.record_shed(reason);
-    ctx.metrics.record(Endpoint::Other, StatusClass::Shed);
-    let body = serde_json::to_string(&ErrorResponse::new(reason.message())).unwrap_or_default();
-    let _ = http::write_response(
-        &mut stream,
-        StatusClass::Shed.code(),
-        "application/json",
-        body.as_bytes(),
-        true,
-    );
-    // Dropping the stream closes the shed connection.
-}
-
-/// Pop connections until the queue shuts down and drains.
-fn worker_loop(ctx: &ServerCtx, queue: &BoundedQueue<Accepted>) {
-    // One batch executor per worker, alive for the worker's lifetime:
-    // its intra-explanation pool threads are spawned once, not per
-    // request, and its occupancy counters are folded into the shared
-    // registry after each search.
-    let exec = BatchExec::new(ctx.explain_batch, ctx.search_pool);
-    while let Some(accepted) = queue.pop() {
-        ctx.metrics.set_queue_depth(queue.depth());
-        // Feed the admission controller the sojourn this connection
-        // spent queued, on a monotonic µs clock anchored at server
-        // start.
-        let sojourn_us = accepted.enqueued.elapsed().as_micros() as u64;
-        let now_us = ctx.started.elapsed().as_micros() as u64;
-        ctx.admission.on_dequeue(sojourn_us, now_us);
-        ctx.admission.begin();
-        // A panicking handler must not kill the worker (the pool would
-        // silently shrink); catch, count, close, move on.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if let Some(chaos) = ctx.chaos {
-                let n = ctx.connections.fetch_add(1, Relaxed);
-                if chaos_panics_connection(chaos.seed, n, chaos.worker_panic_rate) {
-                    ctx.metrics.record_chaos_panic();
-                    panic!("chaos: injected worker panic on connection {n}");
-                }
-            }
-            handle_connection(ctx, &accepted.stream, &exec);
-        }));
-        ctx.admission.end();
-        if result.is_err() {
-            ctx.metrics.record(Endpoint::Other, StatusClass::Internal);
-        }
-    }
-}
-
-/// Serve requests on one connection until it closes, errors, idles
-/// out, or the server drains.
-fn handle_connection(ctx: &ServerCtx, stream: &TcpStream, exec: &BatchExec) {
-    let idle = ctx.idle_timeout;
-    if !idle.is_zero() {
-        let _ = stream.set_read_timeout(Some(idle));
-    }
-    let mut reader = BufReader::new(stream);
-    loop {
-        match http::read_request(&mut reader, idle) {
-            Ok(request) => {
-                // During drain, answer the in-flight request and close.
-                let close = request.close || ctx.cancel.is_cancelled();
-                dispatch(ctx, stream, &request, close, exec);
-                if close {
-                    return;
-                }
-            }
-            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
-            Err(HttpError::Malformed(reason)) => {
-                ctx.metrics.record(Endpoint::Other, StatusClass::BadRequest);
-                respond_error(stream, StatusClass::BadRequest, reason, true);
-                return;
-            }
-            Err(HttpError::Timeout) => {
-                // A started-but-stalled request (slow loris): answer
-                // 408 and reclaim the worker.
-                ctx.metrics.record(Endpoint::Other, StatusClass::Timeout);
-                respond_error(stream, StatusClass::Timeout, "request read timed out", true);
-                return;
-            }
-            Err(HttpError::TooLarge { status, reason }) => {
-                let class = if status == 413 {
+    fn http_error(&self, err: &HttpError) -> Option<Vec<u8>> {
+        let (class, reason) = match err {
+            // Clean close or transport error: nothing to say.
+            HttpError::Closed | HttpError::Io(_) => return None,
+            HttpError::Malformed(reason) => (StatusClass::BadRequest, *reason),
+            // A started-but-stalled request (slow loris): answer 408
+            // and reclaim the connection.
+            HttpError::Timeout => (StatusClass::Timeout, "request read timed out"),
+            HttpError::TooLarge { status, reason } => {
+                let class = if *status == 413 {
                     StatusClass::PayloadTooLarge
                 } else {
                     StatusClass::HeadersTooLarge
                 };
-                ctx.metrics.record(Endpoint::Other, class);
-                respond_error(stream, class, reason, true);
-                return;
+                (class, *reason)
             }
-        }
+        };
+        self.ctx.metrics.record(Endpoint::Other, class);
+        let mut out = Vec::new();
+        respond_error(&mut out, class, reason, true);
+        Some(out)
+    }
+
+    fn chaos_panics(&self, conn_index: u64) -> bool {
+        self.ctx
+            .chaos
+            .is_some_and(|c| chaos_panics_connection(c.seed, conn_index, c.worker_panic_rate))
+    }
+
+    fn on_chaos_panic(&self) {
+        self.ctx.metrics.record_chaos_panic();
+    }
+
+    fn cancel(&self) -> &CancelToken {
+        &self.ctx.cancel
+    }
+
+    fn set_connections(&self, open: u64) {
+        self.ctx.metrics.set_connections(open);
+    }
+}
+
+/// One worker's handler: the dispatch table plus its worker-local
+/// [`BatchExec`].
+struct CometWorker {
+    ctx: Arc<ServerCtx>,
+    exec: BatchExec,
+}
+
+impl WorkerHandler for CometWorker {
+    fn handle(&mut self, request: &Request, close: bool) -> Vec<u8> {
+        dispatch(&self.ctx, request, close, &self.exec)
     }
 }
 
 /// Serialize `body` and write it with `status`.
-fn respond_json<T: serde::Serialize>(stream: &TcpStream, status: u16, body: &T, close: bool) {
+fn respond_json<T: serde::Serialize>(out: &mut Vec<u8>, status: u16, body: &T, close: bool) {
     let text = serde_json::to_string(body).unwrap_or_else(|_| "{}".into());
-    let _ =
-        http::write_response(&mut { stream }, status, "application/json", text.as_bytes(), close);
+    let _ = http::write_response(out, status, "application/json", text.as_bytes(), close);
 }
 
 /// Write an [`ErrorResponse`] with `status`.
-fn respond_error(stream: &TcpStream, status: StatusClass, error: &str, close: bool) {
-    respond_json(stream, status.code(), &ErrorResponse::new(error), close);
+fn respond_error(out: &mut Vec<u8>, status: StatusClass, error: &str, close: bool) {
+    respond_json(out, status.code(), &ErrorResponse::new(error), close);
 }
 
-/// Route one parsed request.
-fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool, exec: &BatchExec) {
+/// Route one parsed request, returning the full response bytes.
+pub(crate) fn dispatch(
+    ctx: &ServerCtx,
+    request: &Request,
+    close: bool,
+    exec: &BatchExec,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    dispatch_into(ctx, &mut out, request, close, exec);
+    out
+}
+
+/// The dispatch table proper, writing into `out`.
+fn dispatch_into(
+    ctx: &ServerCtx,
+    out: &mut Vec<u8>,
+    request: &Request,
+    close: bool,
+    exec: &BatchExec,
+) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/predict") => {
             let start = Instant::now();
-            let status = handle_predict(ctx, stream, request, close);
+            let status = handle_predict(ctx, out, request, close);
             ctx.metrics.record(Endpoint::Predict, status);
             if status == StatusClass::Ok {
                 ctx.metrics.observe_latency(Endpoint::Predict, start.elapsed().as_micros() as u64);
@@ -808,19 +810,19 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
         }
         ("POST", "/v1/explain") => {
             let start = Instant::now();
-            let status = handle_explain(ctx, stream, request, close, exec);
+            let status = handle_explain(ctx, out, request, close, exec);
             ctx.metrics.record(Endpoint::Explain, status);
             if status == StatusClass::Ok {
                 ctx.metrics.observe_latency(Endpoint::Explain, start.elapsed().as_micros() as u64);
             }
         }
         ("POST", "/admin/model") => {
-            let status = handle_admin_post(ctx, stream, request, close);
+            let status = handle_admin_post(ctx, out, request, close);
             ctx.metrics.record(Endpoint::Admin, status);
         }
         ("GET", "/admin/model") => {
             ctx.metrics.record(Endpoint::Admin, StatusClass::Ok);
-            respond_json(stream, 200, &lifecycle::admin_status(ctx), close);
+            respond_json(out, 200, &lifecycle::admin_status(ctx), close);
         }
         ("GET", "/healthz") => {
             // Liveness only: the process is up and serving its event
@@ -832,21 +834,15 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
                 serde_json::to_string(&epoch.name).unwrap_or_else(|_| "\"?\"".into()),
                 epoch.version
             );
-            let _ = http::write_response(
-                &mut { stream },
-                200,
-                "application/json",
-                body.as_bytes(),
-                close,
-            );
+            let _ = http::write_response(out, 200, "application/json", body.as_bytes(), close);
         }
-        ("GET", "/readyz") => handle_readyz(ctx, stream, close),
+        ("GET", "/readyz") => handle_readyz(ctx, out, close),
         ("GET", "/analytics/categories") => {
-            let status = handle_analytics(ctx, stream, close, "categories");
+            let status = handle_analytics(ctx, out, close, "categories");
             ctx.metrics.record(Endpoint::Analytics, status);
         }
         ("GET", "/analytics/opcodes") => {
-            let status = handle_analytics(ctx, stream, close, "opcodes");
+            let status = handle_analytics(ctx, out, close, "opcodes");
             ctx.metrics.record(Endpoint::Analytics, status);
         }
         ("GET", "/metrics") => {
@@ -854,13 +850,8 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
             // Refresh the admission gauges at scrape time.
             ctx.metrics.set_admission(ctx.admission.limit(), ctx.admission.last_delay_us());
             let text = ctx.metrics.render_prometheus(&ctx.cache_stats(), &ctx.stale_by_version());
-            let _ = http::write_response(
-                &mut { stream },
-                200,
-                "text/plain; version=0.0.4",
-                text.as_bytes(),
-                close,
-            );
+            let _ =
+                http::write_response(out, 200, "text/plain; version=0.0.4", text.as_bytes(), close);
         }
         (
             _,
@@ -874,11 +865,11 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
             | "/analytics/opcodes",
         ) => {
             ctx.metrics.record(Endpoint::Other, StatusClass::BadRequest);
-            respond_error(stream, StatusClass::BadRequest, "method not allowed", close);
+            respond_error(out, StatusClass::BadRequest, "method not allowed", close);
         }
         _ => {
             ctx.metrics.record(Endpoint::Other, StatusClass::NotFound);
-            respond_error(stream, StatusClass::NotFound, "no such endpoint", close);
+            respond_error(out, StatusClass::NotFound, "no such endpoint", close);
         }
     }
 }
@@ -887,15 +878,15 @@ fn dispatch(ctx: &ServerCtx, stream: &TcpStream, request: &Request, close: bool,
 /// build-time feature-importance rollups (the paper's Figure 3/4
 /// breakdowns), served straight from the open store. Without a
 /// readable store there is nothing to aggregate — 503 with the reason.
-fn handle_analytics(ctx: &ServerCtx, stream: &TcpStream, close: bool, view: &str) -> StatusClass {
+fn handle_analytics(ctx: &ServerCtx, out: &mut Vec<u8>, close: bool, view: &str) -> StatusClass {
     let Some(slot) = ctx.store() else {
-        respond_error(stream, StatusClass::Shed, "no explanation store configured", close);
+        respond_error(out, StatusClass::Shed, "no explanation store configured", close);
         return StatusClass::Shed;
     };
     let store = match &slot.state {
         StoreState::Open(store) => store,
         StoreState::Error(e) => {
-            respond_error(stream, StatusClass::Shed, &format!("store unreadable: {e}"), close);
+            respond_error(out, StatusClass::Shed, &format!("store unreadable: {e}"), close);
             return StatusClass::Shed;
         }
     };
@@ -904,7 +895,7 @@ fn handle_analytics(ctx: &ServerCtx, stream: &TcpStream, close: bool, view: &str
         _ => serde_json::to_string(&store.analytics().opcodes),
     };
     let Ok(rollups) = rollups else {
-        respond_error(stream, StatusClass::Internal, "rollup serialization failed", close);
+        respond_error(out, StatusClass::Internal, "rollup serialization failed", close);
         return StatusClass::Internal;
     };
     let provenance = store.provenance();
@@ -914,7 +905,7 @@ fn handle_analytics(ctx: &ServerCtx, stream: &TcpStream, close: bool, view: &str
         provenance.model_version,
         store.len(),
     );
-    let _ = http::write_response(&mut { stream }, 200, "application/json", body.as_bytes(), close);
+    let _ = http::write_response(out, 200, "application/json", body.as_bytes(), close);
     StatusClass::Ok
 }
 
@@ -940,7 +931,7 @@ fn readyz_store_json(slot: &StoreSlot, live_version: u64) -> String {
 /// breaker is closed, queue delay is under its target, and the server
 /// is not draining. 503 with the failing reasons otherwise, so an
 /// orchestrator can both act on and explain a routing decision.
-fn handle_readyz(ctx: &ServerCtx, stream: &TcpStream, close: bool) {
+fn handle_readyz(ctx: &ServerCtx, out: &mut Vec<u8>, close: bool) {
     let epoch = ctx.epoch.load();
     // Lazy, sticky model probe: cheap once warm, and a model that
     // cannot answer `nop` was never going to serve anything.
@@ -986,8 +977,7 @@ fn handle_readyz(ctx: &ServerCtx, stream: &TcpStream, close: bool) {
             "{{\"v\":{WIRE_V},\"ready\":true,\"model_version\":{}{store_section}}}",
             epoch.version
         );
-        let _ =
-            http::write_response(&mut { stream }, 200, "application/json", body.as_bytes(), close);
+        let _ = http::write_response(out, 200, "application/json", body.as_bytes(), close);
     } else {
         ctx.metrics.record(Endpoint::Readyz, StatusClass::Shed);
         let list = serde_json::to_string(&reasons).unwrap_or_else(|_| "[]".into());
@@ -995,8 +985,7 @@ fn handle_readyz(ctx: &ServerCtx, stream: &TcpStream, close: bool) {
             "{{\"v\":{WIRE_V},\"ready\":false,\"model_version\":{},\"reasons\":{list}{store_section}}}",
             epoch.version
         );
-        let _ =
-            http::write_response(&mut { stream }, 503, "application/json", body.as_bytes(), close);
+        let _ = http::write_response(out, 503, "application/json", body.as_bytes(), close);
     }
 }
 
@@ -1017,29 +1006,27 @@ fn effective_deadline(
 /// backend cannot hold the worker past it).
 fn handle_predict(
     ctx: &ServerCtx,
-    stream: &TcpStream,
+    out: &mut Vec<u8>,
     request: &Request,
     close: bool,
 ) -> StatusClass {
     let req: PredictRequest = match decode_request(&request.body) {
         Ok(req) => req,
         Err(e) => {
-            respond_error(stream, StatusClass::BadRequest, &e, close);
+            respond_error(out, StatusClass::BadRequest, &e, close);
             return StatusClass::BadRequest;
         }
     };
     let block = match comet_isa::parse_block(&req.block) {
         Ok(block) => block,
         Err(e) => {
-            respond_error(
-                stream,
-                StatusClass::BadRequest,
-                &format!("unparseable block: {e}"),
-                close,
-            );
+            respond_error(out, StatusClass::BadRequest, &format!("unparseable block: {e}"), close);
             return StatusClass::BadRequest;
         }
     };
+    if let Some(status) = enforce_shard(ctx, out, &block, close) {
+        return status;
+    }
     // One epoch for the whole request: the prediction and the
     // version/name reported alongside it always agree, even if a swap
     // lands while this request is in flight.
@@ -1058,44 +1045,67 @@ fn handle_predict(
                 model_version: epoch.version,
                 prediction,
             };
-            respond_json(stream, 200, &body, close);
+            respond_json(out, 200, &body, close);
             lifecycle::note_outcome(ctx, epoch.version, lifecycle::Outcome::Ok);
             StatusClass::Ok
         }
         Err(ModelError::Timeout { .. }) => {
-            respond_error(stream, StatusClass::Timeout, "prediction deadline exceeded", close);
+            respond_error(out, StatusClass::Timeout, "prediction deadline exceeded", close);
             StatusClass::Timeout
         }
         Err(e) => {
-            respond_error(stream, StatusClass::Internal, &format!("model failure: {e}"), close);
+            respond_error(out, StatusClass::Internal, &format!("model failure: {e}"), close);
             lifecycle::note_outcome(ctx, epoch.version, lifecycle::Outcome::Failure);
             StatusClass::Internal
         }
     }
 }
 
+/// `--shard i/M` ownership check for a parsed block. `None` means this
+/// process owns the key (or sharding is off); `Some(Conflict)` means
+/// the 409 naming the true owner was already written.
+fn enforce_shard(
+    ctx: &ServerCtx,
+    out: &mut Vec<u8>,
+    block: &BasicBlock,
+    close: bool,
+) -> Option<StatusClass> {
+    let (ring, spec) = ctx.shard.as_ref()?;
+    let owner = ring.owner(route::fnv1a(block.to_string().as_bytes()));
+    if owner == spec.index {
+        return None;
+    }
+    respond_error(
+        out,
+        StatusClass::Conflict,
+        &format!("block owned by shard {owner}/{} (this is shard {spec})", spec.count),
+        close,
+    );
+    Some(StatusClass::Conflict)
+}
+
 /// `POST /admin/model`: the model-lifecycle entry point (stage, shadow
 /// validate, hot-swap, rollback). See [`lifecycle`].
 fn handle_admin_post(
     ctx: &ServerCtx,
-    stream: &TcpStream,
+    out: &mut Vec<u8>,
     request: &Request,
     close: bool,
 ) -> StatusClass {
     let req: AdminModelRequest = match decode_request(&request.body) {
         Ok(req) => req,
         Err(e) => {
-            respond_error(stream, StatusClass::BadRequest, &e, close);
+            respond_error(out, StatusClass::BadRequest, &e, close);
             return StatusClass::BadRequest;
         }
     };
     match lifecycle::admin_model(ctx, &req) {
         Ok((status, body)) => {
-            respond_json(stream, status.code(), &body, close);
+            respond_json(out, status.code(), &body, close);
             status
         }
         Err((status, error)) => {
-            respond_error(stream, status, &error, close);
+            respond_error(out, status, &error, close);
             status
         }
     }
@@ -1104,7 +1114,7 @@ fn handle_admin_post(
 /// `POST /v1/explain` with single-flight coalescing.
 fn handle_explain(
     ctx: &ServerCtx,
-    stream: &TcpStream,
+    out: &mut Vec<u8>,
     request: &Request,
     close: bool,
     exec: &BatchExec,
@@ -1112,22 +1122,20 @@ fn handle_explain(
     let req: ExplainRequest = match decode_request(&request.body) {
         Ok(req) => req,
         Err(e) => {
-            respond_error(stream, StatusClass::BadRequest, &e, close);
+            respond_error(out, StatusClass::BadRequest, &e, close);
             return StatusClass::BadRequest;
         }
     };
     let block = match comet_isa::parse_block(&req.block) {
         Ok(block) => block,
         Err(e) => {
-            respond_error(
-                stream,
-                StatusClass::BadRequest,
-                &format!("unparseable block: {e}"),
-                close,
-            );
+            respond_error(out, StatusClass::BadRequest, &format!("unparseable block: {e}"), close);
             return StatusClass::BadRequest;
         }
     };
+    if let Some(status) = enforce_shard(ctx, out, &block, close) {
+        return status;
+    }
     let epsilon = req.epsilon.filter(|e| e.is_finite() && *e > 0.0).unwrap_or(ctx.default_epsilon);
     let deadline = effective_deadline(ctx, req.deadline_ms, request.deadline_ms);
 
@@ -1165,7 +1173,7 @@ fn handle_explain(
                             coalesced: false,
                             explanation: dto,
                         };
-                        respond_json(stream, 200, &body, close);
+                        respond_json(out, 200, &body, close);
                         lifecycle::note_outcome(
                             ctx,
                             epoch.version,
@@ -1238,12 +1246,12 @@ fn handle_explain(
                 coalesced: !leader,
                 explanation: dto,
             };
-            respond_json(stream, 200, &body, close);
+            respond_json(out, 200, &body, close);
             lifecycle::note_outcome(ctx, epoch.version, lifecycle::Outcome::ExplainTier(tier));
             StatusClass::Ok
         }
         Err((status, error)) => {
-            respond_error(stream, status, &error, close);
+            respond_error(out, status, &error, close);
             if status == StatusClass::Internal {
                 lifecycle::note_outcome(ctx, epoch.version, lifecycle::Outcome::Failure);
             }

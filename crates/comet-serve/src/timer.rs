@@ -1,0 +1,175 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The old thread-per-connection front end leaned on per-stream
+//! blocking read timeouts (`set_read_timeout`) to bound idle
+//! keep-alive waits and slow-loris senders. A readiness loop owns
+//! thousands of sockets on one thread, so deadlines become data: each
+//! connection's next deadline lives in a coarse-grained wheel, the
+//! reactor's `epoll_wait` timeout is the time to the next tick, and a
+//! tick sweeps one slot. Insert and cancel are O(1); a full wheel
+//! revolution covers `SLOTS × tick` and longer deadlines simply stay
+//! in their slot for another lap (`rounds` counter).
+//!
+//! Cancellation is lazy: entries carry the connection's slot
+//! generation, and the sweep hands back `(token, deadline)` pairs for
+//! the reactor to validate against the connection's *current* state —
+//! a connection that progressed (or was replaced by a newer one in the
+//! same slab slot) ignores the stale fire. This keeps the wheel free
+//! of back-pointers and makes re-arming a deadline a plain re-insert.
+
+use std::time::{Duration, Instant};
+
+/// Wheel granularity. Connection deadlines are hundreds of
+/// milliseconds to seconds; 25ms ticks keep expiry error under 5% of
+/// the shortest real timeout while a full 256-slot revolution spans
+/// 6.4s without relapping.
+pub const TICK: Duration = Duration::from_millis(25);
+
+const SLOTS: usize = 256;
+
+/// One armed deadline.
+struct Entry {
+    /// Opaque connection token (slab slot + generation).
+    token: u64,
+    /// Absolute expiry.
+    deadline: Instant,
+    /// Laps left before this entry is due in its slot.
+    rounds: u32,
+}
+
+/// The wheel itself. Single-owner (one per reactor thread) — no locks.
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    /// Index of the next slot to sweep.
+    cursor: usize,
+    /// The absolute time the cursor slot sweeps at.
+    next_tick: Instant,
+    /// Armed entries (including stale ones not yet swept).
+    len: usize,
+}
+
+impl TimerWheel {
+    /// A wheel whose first tick is one `TICK` after `now`.
+    pub fn new(now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            next_tick: now + TICK,
+            len: 0,
+        }
+    }
+
+    /// Arm `token` to fire at `deadline` (clamped to at least the next
+    /// tick — the wheel never fires in the past).
+    pub fn insert(&mut self, token: u64, deadline: Instant) {
+        let until = deadline.saturating_duration_since(self.next_tick);
+        let ticks_ahead = (until.as_nanos() / TICK.as_nanos()) as usize;
+        let slot = (self.cursor + ticks_ahead) % SLOTS;
+        let rounds = (ticks_ahead / SLOTS) as u32;
+        self.slots[slot].push(Entry { token, deadline, rounds });
+        self.len += 1;
+    }
+
+    /// How long `epoll_wait` may sleep before the next sweep is due.
+    /// Zero once the next tick is already in the past.
+    pub fn until_next_tick(&self, now: Instant) -> Duration {
+        self.next_tick.saturating_duration_since(now)
+    }
+
+    /// Sweep every slot that has come due by `now`, appending expired
+    /// `(token, deadline)` pairs to `fired`. The caller re-validates
+    /// each against live connection state (lazy cancellation).
+    pub fn advance(&mut self, now: Instant, fired: &mut Vec<(u64, Instant)>) {
+        while now >= self.next_tick {
+            let slot = &mut self.slots[self.cursor];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].rounds > 0 {
+                    slot[i].rounds -= 1;
+                    i += 1;
+                } else {
+                    let entry = slot.swap_remove(i);
+                    self.len -= 1;
+                    fired.push((entry.token, entry.deadline));
+                }
+            }
+            self.cursor = (self.cursor + 1) % SLOTS;
+            self.next_tick += TICK;
+        }
+    }
+
+    /// Armed entries, stale included.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No armed entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_and_not_before_the_deadline() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start);
+        wheel.insert(1, start + Duration::from_millis(100));
+        let mut fired = Vec::new();
+
+        // Two ticks in: nothing due yet.
+        wheel.advance(start + Duration::from_millis(50), &mut fired);
+        assert!(fired.is_empty());
+
+        // Past the deadline (plus a tick of slack): fired exactly once.
+        wheel.advance(start + Duration::from_millis(150), &mut fired);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, 1);
+        assert!(wheel.is_empty());
+
+        fired.clear();
+        wheel.advance(start + Duration::from_millis(400), &mut fired);
+        assert!(fired.is_empty(), "an entry fires only once");
+    }
+
+    #[test]
+    fn long_deadlines_survive_full_revolutions() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start);
+        // 10s is beyond one 6.4s revolution — needs a rounds lap.
+        wheel.insert(9, start + Duration::from_secs(10));
+        let mut fired = Vec::new();
+        wheel.advance(start + Duration::from_secs(7), &mut fired);
+        assert!(fired.is_empty(), "must not fire a lap early");
+        wheel.advance(start + Duration::from_secs(11), &mut fired);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, 9);
+    }
+
+    #[test]
+    fn many_entries_fire_in_deadline_order_per_sweep() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start);
+        for i in 0..64u64 {
+            wheel.insert(i, start + Duration::from_millis(30 * (i + 1)));
+        }
+        assert_eq!(wheel.len(), 64);
+        let mut fired = Vec::new();
+        wheel.advance(start + Duration::from_secs(3), &mut fired);
+        assert_eq!(fired.len(), 64, "everything due fires");
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_tick() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start);
+        wheel.insert(3, start); // already expired at insert
+        let mut fired = Vec::new();
+        wheel.advance(start + TICK, &mut fired);
+        assert_eq!(fired.len(), 1);
+    }
+}

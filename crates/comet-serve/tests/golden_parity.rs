@@ -1,0 +1,126 @@
+//! Golden-byte parity: the epoll front end must answer with
+//! bitwise-identical bodies to the threaded accept loop it replaced.
+//! These strings were captured verbatim from the pre-rewrite server
+//! (same model, same seeds) — a diff here means the transplant changed
+//! observable behavior, not just plumbing.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use comet_serve::{ModelKind, ServeConfig, Server};
+
+fn one_shot(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut reader = BufReader::new(&stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf8"))
+}
+
+fn post(path: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn get(path: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+}
+
+fn start() -> Server {
+    Server::start(
+        ModelKind::CrudeHaswell,
+        ServeConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServeConfig::default() },
+    )
+    .expect("bind loopback")
+}
+
+#[test]
+fn predict_bodies_match_the_threaded_front_end_bitwise() {
+    let server = start();
+    let addr = server.addr();
+
+    let (status, body) = one_shot(
+        addr,
+        &post("/v1/predict", r#"{"v":1,"block":"add rcx, rax\nmov rdx, rcx\npop rbx"}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"v":1,"model":"C_HSW","model_version":1,"prediction":0.75}"#);
+
+    let (status, body) = one_shot(addr, &post("/v1/predict", r#"{"v":1,"block":"div rcx"}"#));
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"v":1,"model":"C_HSW","model_version":1,"prediction":25.0}"#);
+
+    server.shutdown();
+}
+
+#[test]
+fn explain_bodies_match_the_threaded_front_end_bitwise() {
+    let server = start();
+    let addr = server.addr();
+
+    let (status, body) = one_shot(
+        addr,
+        &post("/v1/explain", r#"{"v":1,"block":"add rcx, rax\nmov rdx, rcx\npop rbx","seed":0}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        concat!(
+            r#"{"v":1,"model":"C_HSW","model_version":1,"epsilon":0.25,"seed":0,"#,
+            r#""coalesced":false,"explanation":{"features":[{"Instruction":1},"#,
+            r#"{"Instruction":2}],"display":"{inst_2, inst_3}","precision":0.8,"#,
+            r#""coverage":0.242,"prediction":0.75,"anchored":true,"queries":345,"#,
+            r#""faults":0,"degraded":false,"tier":"full","source":"live"}}"#,
+        )
+    );
+
+    let (status, body) = one_shot(
+        addr,
+        &post(
+            "/v1/explain",
+            r#"{"v":1,"block":"imul rax, rcx\nadd rcx, rax\nnop","seed":7,"epsilon":0.5}"#,
+        ),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        concat!(
+            r#"{"v":1,"model":"C_HSW","model_version":1,"epsilon":0.5,"seed":7,"#,
+            r#""coalesced":false,"explanation":{"features":[{"Instruction":0}],"#,
+            r#""display":"{inst_1}","precision":1.0,"coverage":0.5085,"#,
+            r#""prediction":1.25,"anchored":true,"queries":97,"faults":0,"#,
+            r#""degraded":false,"tier":"full","source":"live"}}"#,
+        )
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn healthz_body_matches_the_threaded_front_end_bitwise() {
+    let server = start();
+    let (status, body) = one_shot(server.addr(), &get("/healthz"));
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"v":1,"ok":true,"model":"C_HSW","model_version":1}"#);
+    server.shutdown();
+}
